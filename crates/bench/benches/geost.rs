@@ -1,0 +1,56 @@
+//! Microbenchmarks of the geometric kernel: anchor filtering against the
+//! heterogeneous fabric, and non-overlap propagation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrf_bench::experiment::ExperimentSetup;
+use rrf_fabric::{Rect, ResourceKind};
+use rrf_geost::{allowed_anchors, GeostObject, NonOverlap, ShapeDef, ShiftedBox};
+use rrf_solver::{Domain, Engine, Space};
+use std::sync::Arc;
+
+fn bench_allowed_anchors(c: &mut Criterion) {
+    let region = ExperimentSetup::default().region();
+    let mixed = ShapeDef::new(vec![
+        ShiftedBox::new(0, 0, 1, 4, ResourceKind::Bram),
+        ShiftedBox::new(1, 0, 5, 6, ResourceKind::Clb),
+    ]);
+    let logic = ShapeDef::new(vec![ShiftedBox::new(0, 0, 6, 6, ResourceKind::Clb)]);
+    let mut group = c.benchmark_group("geost/allowed_anchors_240x16");
+    for (label, shape) in [("mixed", &mixed), ("logic", &logic)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), shape, |b, shape| {
+            b.iter(|| {
+                let anchors = allowed_anchors(&region, shape);
+                assert!(!anchors.is_empty());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_nonoverlap_propagation(c: &mut Criterion) {
+    // 12 partially constrained 2-shape objects in a strip; one fixpoint.
+    c.bench_function("geost/nonoverlap_fixpoint_12objs", |b| {
+        b.iter(|| {
+            let mut space = Space::new();
+            let shapes = Arc::new(vec![
+                ShapeDef::new(vec![ShiftedBox::new(0, 0, 4, 2, ResourceKind::Clb)]),
+                ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 4, ResourceKind::Clb)]),
+            ]);
+            let objects: Vec<GeostObject> = (0..12)
+                .map(|i| {
+                    let x = space.new_var(Domain::interval(i * 3, i * 3 + 6));
+                    let y = space.new_var(Domain::interval(0, 4));
+                    let s = space.new_var(Domain::interval(0, 1));
+                    GeostObject::new(x, y, s, Arc::clone(&shapes))
+                })
+                .collect();
+            let mut engine = Engine::new(space.num_vars());
+            engine.post(NonOverlap::new(objects, Rect::new(0, 0, 48, 8)));
+            engine.schedule_all();
+            let _ = engine.propagate(&mut space);
+        })
+    });
+}
+
+criterion_group!(benches, bench_allowed_anchors, bench_nonoverlap_propagation);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! The Table I benchmark pair: exact placement of a generated workload
+//! with vs. without design alternatives (criterion-timed analog of the
+//! `table1` harness binary, scaled so proofs complete in-benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{baseline, cp, PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+
+fn table1_problem() -> PlacementProblem {
+    let workload = generate_workload(&WorkloadSpec {
+        modules: 6,
+        seed: 2,
+        ..WorkloadSpec::default()
+    });
+    PlacementProblem::new(
+        ExperimentSetup::with_width(64).region(),
+        workload_modules(&workload),
+    )
+}
+
+fn bench_table1_pair(c: &mut Criterion) {
+    let problem = table1_problem();
+    let solo = problem.without_alternatives();
+    let config = PlacerConfig::exact();
+
+    let mut group = c.benchmark_group("placer/table1_exact_6mods");
+    group.sample_size(10);
+    group.bench_function("with_alternatives", |b| {
+        b.iter(|| {
+            let out = cp::place(&problem, &config);
+            assert!(out.proven);
+        })
+    });
+    group.bench_function("without_alternatives", |b| {
+        b.iter(|| {
+            let out = cp::place(&solo, &config);
+            assert!(out.proven);
+        })
+    });
+    group.finish();
+}
+
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let problem = table1_problem();
+    c.bench_function("placer/greedy_bottom_left_6mods", |b| {
+        b.iter(|| {
+            let plan = baseline::bottom_left(&problem).unwrap();
+            assert!(!plan.placements.is_empty());
+        })
+    });
+}
+
+criterion_group!(benches, bench_table1_pair, bench_greedy_baseline);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Ablation A5 benchmark: how exact placement scales with module count,
+//! and how the anytime placer's fixed-budget quality costs scale with
+//! region width (model build + table generation dominate there).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{cp, PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::Duration;
+
+fn bench_exact_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/exact_by_modules");
+    group.sample_size(10);
+    for n in [3usize, 5, 7] {
+        let workload = generate_workload(&WorkloadSpec {
+            modules: n,
+            seed: 7,
+            ..WorkloadSpec::small(n, 7)
+        });
+        let problem = PlacementProblem::new(
+            ExperimentSetup {
+                width: 40,
+                height: 8,
+                ..ExperimentSetup::default()
+            }
+            .region(),
+            workload_modules(&workload),
+        );
+        let config = PlacerConfig::exact();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &problem, |b, problem| {
+            b.iter(|| {
+                let out = cp::place(problem, &config);
+                assert!(out.plan.is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_budgeted_by_width(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling/budget100ms_by_width");
+    group.sample_size(10);
+    for width in [80, 160, 240] {
+        let workload = generate_workload(&WorkloadSpec {
+            modules: 12,
+            seed: 3,
+            ..WorkloadSpec::default()
+        });
+        let problem = PlacementProblem::new(
+            ExperimentSetup::with_width(width).region(),
+            workload_modules(&workload),
+        );
+        let config = PlacerConfig {
+            time_limit: Some(Duration::from_millis(100)),
+            ..PlacerConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(width),
+            &problem,
+            |b, problem| {
+                b.iter(|| {
+                    let out = cp::place(problem, &config);
+                    assert!(out.plan.is_some());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_scaling, bench_budgeted_by_width);
+criterion_main!(benches);

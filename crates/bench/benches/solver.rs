@@ -1,0 +1,72 @@
+//! Microbenchmarks of the CP solver substrate: propagation fixpoints and
+//! full searches on classic models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rrf_solver::constraints::{LinRel, NotEqualOffset};
+use rrf_solver::{solve, Model, SearchConfig};
+
+fn queens_model(n: i32) -> Model {
+    let mut m = Model::new();
+    let cols: Vec<_> = (0..n).map(|_| m.new_var(0, n - 1)).collect();
+    m.all_different(cols.clone());
+    for i in 0..n as usize {
+        for j in (i + 1)..n as usize {
+            let d = (j - i) as i32;
+            m.post(NotEqualOffset {
+                x: cols[i],
+                y: cols[j],
+                c: d,
+            });
+            m.post(NotEqualOffset {
+                x: cols[i],
+                y: cols[j],
+                c: -d,
+            });
+        }
+    }
+    m
+}
+
+fn bench_queens(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/queens_first_solution");
+    for n in [6, 8, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                let out = solve(queens_model(n), SearchConfig::first_solution());
+                assert!(out.best.is_some());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_queens_exhaust(c: &mut Criterion) {
+    c.bench_function("solver/queens6_count_all", |b| {
+        b.iter(|| {
+            let out = solve(queens_model(6), SearchConfig::default());
+            assert_eq!(out.stats.solutions, 4);
+        })
+    });
+}
+
+fn bench_linear_minimize(c: &mut Criterion) {
+    c.bench_function("solver/knapsack_minimize", |b| {
+        b.iter(|| {
+            let mut m = Model::new();
+            let xs: Vec<_> = (0..6).map(|_| m.new_var(0, 8)).collect();
+            let obj = m.new_var(0, 400);
+            let weights = [5i64, 4, 3, 7, 2, 6];
+            m.linear(&[2, 3, 1, 4, 2, 5], &xs, LinRel::Ge, 40);
+            let mut coeffs: Vec<i64> = weights.to_vec();
+            coeffs.push(-1);
+            let mut vars = xs.clone();
+            vars.push(obj);
+            m.linear(&coeffs, &vars, LinRel::Eq, 0);
+            let out = solve(m, SearchConfig::minimize(obj));
+            assert!(out.objective.is_some());
+        })
+    });
+}
+
+criterion_group!(benches, bench_queens, bench_queens_exhaust, bench_linear_minimize);
+criterion_main!(benches);

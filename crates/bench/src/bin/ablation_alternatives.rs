@@ -1,0 +1,52 @@
+//! Ablation A1: utilization and solve time vs. the number of design
+//! alternatives per module (the paper only reports 1 vs. 4).
+//!
+//! Usage: `ablation_alternatives [runs] [budget_secs] [modules]`
+//! (defaults 10, 5, 30).
+
+use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
+use rrf_core::{PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let modules: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let config = PlacerConfig {
+        time_limit: Some(Duration::from_secs(budget)),
+        ..PlacerConfig::default()
+    };
+
+    eprintln!("A1: alternatives sweep, {runs} runs x {modules} modules, {budget}s budget");
+    println!(
+        "{:<14} {:>11} {:>13} {:>12} {:>8}",
+        "Alternatives", "Mean Util.", "Time-to-best", "Mean shapes", "Proven"
+    );
+    for alternatives in 1..=4usize {
+        let mut results = Vec::with_capacity(runs);
+        let mut total_shapes = 0usize;
+        for seed in 0..runs as u64 {
+            let spec = WorkloadSpec {
+                modules,
+                alternatives,
+                seed,
+                ..WorkloadSpec::default()
+            };
+            let workload = generate_workload(&spec);
+            total_shapes += workload.total_shapes();
+            let problem = PlacementProblem::new(paper_region(), workload_modules(&workload));
+            results.push(run_arm(&problem, &config));
+        }
+        let row = TableOneRow::aggregate(&alternatives.to_string(), &results);
+        println!(
+            "{:<14} {:>10.1}% {:>12.2}s {:>12.1} {:>7.0}%",
+            alternatives,
+            row.mean_util * 100.0,
+            row.mean_time_to_best,
+            total_shapes as f64 / runs as f64,
+            row.proven_fraction * 100.0
+        );
+    }
+}

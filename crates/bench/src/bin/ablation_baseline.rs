@@ -1,0 +1,84 @@
+//! Ablation A4: where each placer sits on the quality/time curve —
+//! greedy bottom-left vs. simulated annealing vs. the optimal CP placer,
+//! all with design alternatives enabled.
+//!
+//! Usage: `ablation_baseline [runs] [budget_secs] [modules]`
+//! (defaults 10, 5, 20).
+
+use rrf_bench::experiment::{paper_region, workload_modules};
+use rrf_core::{anneal, baseline, cp, metrics, verify, PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::{Duration, Instant};
+
+struct Row {
+    util: f64,
+    extent: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let modules: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    eprintln!("A4: baseline ablation, {runs} runs x {modules} modules");
+    let mut rows: Vec<(&str, Vec<Row>)> = vec![
+        ("greedy bottom-left", Vec::new()),
+        ("simulated annealing", Vec::new()),
+        ("CP optimal (budget)", Vec::new()),
+    ];
+    for seed in 0..runs as u64 {
+        let spec = WorkloadSpec {
+            modules,
+            seed,
+            ..WorkloadSpec::default()
+        };
+        let workload = generate_workload(&spec);
+        let problem = PlacementProblem::new(paper_region(), workload_modules(&workload));
+
+        let t = Instant::now();
+        let greedy = baseline::bottom_left(&problem).expect("greedy feasible");
+        let greedy_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let sa = anneal::anneal(&problem, &anneal::AnnealConfig::default())
+            .expect("anneal feasible");
+        let sa_s = t.elapsed().as_secs_f64();
+
+        let cp_cfg = PlacerConfig {
+            time_limit: Some(Duration::from_secs(budget)),
+            ..PlacerConfig::default()
+        };
+        let t = Instant::now();
+        let out = cp::place(&problem, &cp_cfg);
+        let cp_s = t.elapsed().as_secs_f64();
+        let cp_plan = out.plan.expect("cp feasible");
+
+        let entries = [(&greedy, greedy_s), (&sa, sa_s), (&cp_plan, cp_s)];
+        for ((plan, secs), (_, bucket)) in entries.iter().zip(rows.iter_mut()) {
+            assert!(verify::verify(&problem.region, &problem.modules, plan).is_empty());
+            let m = metrics(&problem.region, &problem.modules, plan);
+            bucket.push(Row {
+                util: m.utilization,
+                extent: m.extent_cols as f64,
+                seconds: *secs,
+            });
+        }
+    }
+
+    println!(
+        "{:<20} {:>11} {:>11} {:>11}",
+        "Placer", "Mean Util.", "Mean ext.", "Mean time"
+    );
+    for (label, results) in &rows {
+        let n = results.len() as f64;
+        println!(
+            "{:<20} {:>10.1}% {:>11.1} {:>10.3}s",
+            label,
+            results.iter().map(|r| r.util).sum::<f64>() / n * 100.0,
+            results.iter().map(|r| r.extent).sum::<f64>() / n,
+            results.iter().map(|r| r.seconds).sum::<f64>() / n
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Ablation A10 (extension): defragmentation — how much extent an optimal
+//! repack recovers after online churn.
+//!
+//! Online placement fragments the region (the paper's core motivation for
+//! offline optimal placement). This experiment runs an insert/remove
+//! stream, freezes the surviving modules, and compares the fragmented
+//! live state against an optimal offline repack of the same modules —
+//! the columns recovered are the fragmentation the online placer accrued.
+//!
+//! Usage: `ablation_defrag [runs] [events] [budget_secs]`
+//! (defaults 8, 200, 5).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{cp, verify, Floorplan, Module, OnlinePlacer, PlacedModule, PlacementProblem,
+    PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let events: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let budget: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let setup = ExperimentSetup::with_width(160);
+
+    eprintln!("A10: defragmentation after {events} online events, {runs} runs");
+    let (mut frag_ext, mut packed_ext, mut recovered) = (0.0, 0.0, 0.0);
+    for seed in 0..runs as u64 {
+        let workload = generate_workload(&WorkloadSpec {
+            modules: 10,
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let catalog = workload_modules(&workload);
+        let mut placer = OnlinePlacer::new(setup.region());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+        let mut live: Vec<(u64, usize)> = Vec::new();
+        for _ in 0..events {
+            if live.is_empty() || rng.gen_bool(0.6) {
+                let mi = rng.gen_range(0..catalog.len());
+                if let Some(slot) = placer.try_insert(&catalog[mi]) {
+                    live.push((slot, mi));
+                }
+            } else {
+                let i = rng.gen_range(0..live.len());
+                let (slot, _) = live.swap_remove(i);
+                placer.remove(slot);
+            }
+        }
+        // Freeze the survivors as a placement problem.
+        let modules: Vec<Module> = live.iter().map(|&(_, mi)| catalog[mi].clone()).collect();
+        let fragmented = Floorplan::new(
+            live.iter()
+                .enumerate()
+                .map(|(i, &(slot, _))| {
+                    let p = placer.placement_of(slot).unwrap();
+                    PlacedModule {
+                        module: i,
+                        shape: p.shape,
+                        x: p.x,
+                        y: p.y,
+                    }
+                })
+                .collect(),
+        );
+        let problem = PlacementProblem::new(setup.region(), modules);
+        assert!(verify::verify(&problem.region, &problem.modules, &fragmented).is_empty());
+        let frag = fragmented.x_extent(&problem.modules, 0) as f64;
+
+        let out = cp::place(
+            &problem,
+            &PlacerConfig {
+                time_limit: Some(Duration::from_secs(budget)),
+                ..PlacerConfig::default()
+            },
+        );
+        let packed = out.extent.expect("live set is feasible by construction") as f64;
+        eprintln!(
+            "  run {seed:02}: {} live modules, fragmented extent {frag:.0} -> repacked {packed:.0}",
+            problem.modules.len()
+        );
+        frag_ext += frag;
+        packed_ext += packed;
+        recovered += frag - packed;
+    }
+    let n = runs as f64;
+    println!();
+    println!("Defragmentation (means of {runs} runs):");
+    println!("  fragmented extent after churn: {:.1} columns", frag_ext / n);
+    println!("  optimal repacked extent:       {:.1} columns", packed_ext / n);
+    println!("  recovered by defragmentation:  {:.1} columns", recovered / n);
+}

@@ -1,0 +1,80 @@
+//! Ablation A9 (extension): anytime quality — branch & bound alone vs.
+//! greedy + large-neighborhood search, at the same wall-clock budget.
+//!
+//! Usage: `ablation_lns [runs] [budget_secs] [modules]`
+//! (defaults 8, 5, 30).
+
+use rrf_bench::experiment::{paper_region, workload_modules};
+use rrf_core::{baseline, cp, lns, metrics, verify, PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let modules: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(30);
+
+    eprintln!("A9: BnB vs greedy+LNS at {budget}s, {runs} runs x {modules} modules");
+    let (mut bnb_util, mut lns_util, mut bnb_ext, mut lns_ext) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..runs as u64 {
+        let workload = generate_workload(&WorkloadSpec {
+            modules,
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let problem = PlacementProblem::new(paper_region(), workload_modules(&workload));
+
+        // Arm 1: branch & bound with the full budget.
+        let bnb = cp::place(
+            &problem,
+            &PlacerConfig {
+                time_limit: Some(Duration::from_secs(budget)),
+                ..PlacerConfig::default()
+            },
+        );
+        let bnb_plan = bnb.plan.expect("feasible");
+
+        // Arm 2: greedy start + LNS with the same budget.
+        let start = baseline::bottom_left(&problem).expect("greedy feasible");
+        let out = lns::improve(
+            &problem,
+            start,
+            &lns::LnsConfig {
+                time_limit: Duration::from_secs(budget),
+                seed,
+                ..lns::LnsConfig::default()
+            },
+        );
+        assert!(verify::verify(&problem.region, &problem.modules, &out.plan).is_empty());
+
+        let m1 = metrics(&problem.region, &problem.modules, &bnb_plan);
+        let m2 = metrics(&problem.region, &problem.modules, &out.plan);
+        eprintln!(
+            "  run {seed:02}: BnB extent {} util {:.3} | LNS extent {} util {:.3} ({} impr / {} iters)",
+            bnb.extent.unwrap(),
+            m1.utilization,
+            out.extent,
+            m2.utilization,
+            out.improvements,
+            out.iterations
+        );
+        bnb_util += m1.utilization;
+        lns_util += m2.utilization;
+        bnb_ext += bnb.extent.unwrap() as f64;
+        lns_ext += out.extent as f64;
+    }
+    let n = runs as f64;
+    println!();
+    println!("Anytime quality at {budget}s ({runs}-run means):");
+    println!(
+        "  branch & bound: utilization {:.1}%, extent {:.1}",
+        bnb_util / n * 100.0,
+        bnb_ext / n
+    );
+    println!(
+        "  greedy + LNS:   utilization {:.1}%, extent {:.1}",
+        lns_util / n * 100.0,
+        lns_ext / n
+    );
+}

@@ -1,0 +1,90 @@
+//! Ablation A8 (extension): online placement — acceptance rate of a
+//! runtime insert/remove stream, with vs. without design alternatives.
+//!
+//! The paper's offline placer exists because online placement fragments;
+//! this binary quantifies how much design alternatives help *online*
+//! first-fit, where fragmentation is at its worst: modules arrive and
+//! depart in a seeded random stream and a rejected request is lost.
+//!
+//! Usage: `ablation_online [runs] [events] [region_width]`
+//! (defaults 10, 300, 120).
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{Module, OnlinePlacer};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+
+/// Drive one insert/remove stream; returns (acceptance rate, mean live
+/// utilization sampled after every event).
+fn simulate(modules: &[Module], width: i32, events: usize, seed: u64) -> (f64, f64) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SEED_MIX);
+    let mut placer = OnlinePlacer::new(ExperimentSetup::with_width(width).region());
+    let mut live: Vec<u64> = Vec::new();
+    let mut util_sum = 0.0;
+    for _ in 0..events {
+        // 60% arrivals while below half load, else 50/50.
+        let arrive = live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
+        if arrive {
+            let m = &modules[rng.gen_range(0..modules.len())];
+            if let Some(slot) = placer.try_insert(m) {
+                live.push(slot);
+            }
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let slot = live.swap_remove(idx);
+            assert!(placer.remove(slot));
+        }
+        util_sum += placer.utilization();
+    }
+    (placer.stats().acceptance_rate(), util_sum / events as f64)
+}
+
+/// Decorrelates stream seeds from workload seeds.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let events: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let width: i32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(120);
+
+    eprintln!("A8: online stream, {runs} runs x {events} events, {width}-col region");
+    let (mut acc_w, mut acc_wo, mut util_w, mut util_wo) = (0.0, 0.0, 0.0, 0.0);
+    for seed in 0..runs as u64 {
+        let workload = generate_workload(&WorkloadSpec {
+            modules: 12,
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let with = workload_modules(&workload);
+        let without: Vec<Module> = with.iter().map(Module::without_alternatives).collect();
+        let (a, u) = simulate(&with, width, events, seed);
+        let (a2, u2) = simulate(&without, width, events, seed);
+        eprintln!(
+            "  run {seed:02}: acceptance with {:.2} / without {:.2}",
+            a, a2
+        );
+        acc_w += a;
+        acc_wo += a2;
+        util_w += u;
+        util_wo += u2;
+    }
+    let n = runs as f64;
+    println!();
+    println!("Online first-fit over {events} events (means of {runs} runs):");
+    println!(
+        "  without alternatives: acceptance {:.1}%, live utilization {:.1}%",
+        acc_wo / n * 100.0,
+        util_wo / n * 100.0
+    );
+    println!(
+        "  with alternatives:    acceptance {:.1}%, live utilization {:.1}%",
+        acc_w / n * 100.0,
+        util_w / n * 100.0
+    );
+    println!(
+        "  acceptance gain:      {:+.1}pp",
+        (acc_w - acc_wo) / n * 100.0
+    );
+}

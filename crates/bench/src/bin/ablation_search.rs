@@ -1,0 +1,89 @@
+//! Ablation A3: search strategy comparison — branching heuristics and the
+//! parallel portfolio on identical instances.
+//!
+//! Usage: `ablation_search [runs] [budget_secs] [modules]`
+//! (defaults 5, 5, 20).
+
+use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
+use rrf_core::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use std::time::Duration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let budget: u64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let modules: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let strategies: Vec<(&str, PlacerConfig)> = vec![
+        (
+            "input-order/min",
+            PlacerConfig {
+                heuristic: Heuristic::InputOrderMin,
+                ..PlacerConfig::default()
+            },
+        ),
+        (
+            "first-fail/min",
+            PlacerConfig {
+                heuristic: Heuristic::FirstFailMin,
+                ..PlacerConfig::default()
+            },
+        ),
+        (
+            "smallest-min/min",
+            PlacerConfig {
+                heuristic: Heuristic::SmallestMin,
+                ..PlacerConfig::default()
+            },
+        ),
+        (
+            "first-fail/split",
+            PlacerConfig {
+                heuristic: Heuristic::FirstFailSplit,
+                ..PlacerConfig::default()
+            },
+        ),
+        (
+            "portfolio(4)",
+            PlacerConfig {
+                strategy: SearchStrategy::Portfolio(4),
+                ..PlacerConfig::default()
+            },
+        ),
+    ];
+
+    eprintln!("A3: search ablation, {runs} runs x {modules} modules, {budget}s budget");
+    println!(
+        "{:<18} {:>11} {:>11} {:>13} {:>8}",
+        "Strategy", "Mean Util.", "Mean ext.", "Time-to-best", "Proven"
+    );
+    for (label, base) in strategies {
+        let config = PlacerConfig {
+            time_limit: Some(Duration::from_secs(budget)),
+            ..base
+        };
+        let mut results = Vec::with_capacity(runs);
+        for seed in 0..runs as u64 {
+            let spec = WorkloadSpec {
+                modules,
+                seed,
+                ..WorkloadSpec::default()
+            };
+            let workload = generate_workload(&spec);
+            let problem = PlacementProblem::new(paper_region(), workload_modules(&workload));
+            results.push(run_arm(&problem, &config));
+        }
+        let mean_extent =
+            results.iter().map(|r| r.extent as f64).sum::<f64>() / results.len() as f64;
+        let row = TableOneRow::aggregate(label, &results);
+        println!(
+            "{:<18} {:>10.1}% {:>11.1} {:>12.2}s {:>7.0}%",
+            row.label,
+            row.mean_util * 100.0,
+            mean_extent,
+            row.mean_time_to_best,
+            row.proven_fraction * 100.0
+        );
+    }
+}

@@ -1,0 +1,231 @@
+//! The canonical experiment setup shared by all table/figure binaries.
+//!
+//! The paper evaluates on "a heterogeneous FPGA model … modelled after a
+//! real world FPGA" whose reconfigurable part holds CLB and BRAM resources
+//! (Table I reports those two columns). Our canonical region mirrors that:
+//! a column-structured device with a BRAM column every 10 columns, 16 rows
+//! tall, and wide enough that the extent objective — not the region edge —
+//! decides the packing.
+
+use rrf_core::{cp, metrics, verify, Module, PlacementProblem, PlacerConfig};
+use rrf_fabric::{device, Region};
+use rrf_modgen::{generate_workload, Workload, WorkloadSpec};
+use std::time::Duration;
+
+/// Geometry of the canonical experiment region.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentSetup {
+    /// Region width in columns.
+    pub width: i32,
+    /// Region height in rows.
+    pub height: i32,
+    /// BRAM column period (must match the workload generator's
+    /// `LayoutParams::bram_period`).
+    pub bram_period: i32,
+    /// First BRAM column.
+    pub bram_offset: i32,
+}
+
+impl Default for ExperimentSetup {
+    fn default() -> ExperimentSetup {
+        ExperimentSetup {
+            width: 240,
+            height: 16,
+            bram_period: 10,
+            bram_offset: 4,
+        }
+    }
+}
+
+impl ExperimentSetup {
+    /// A narrower region for small workloads (keeps anchor tables small).
+    pub fn with_width(width: i32) -> ExperimentSetup {
+        ExperimentSetup {
+            width,
+            ..ExperimentSetup::default()
+        }
+    }
+
+    /// Materialize the heterogeneous region.
+    pub fn region(&self) -> Region {
+        let layout = device::ColumnLayout {
+            bram_period: self.bram_period,
+            bram_offset: self.bram_offset,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        };
+        Region::whole(device::columns(self.width, self.height, layout))
+    }
+
+    /// The homogeneous twin (heterogeneity ablation): same geometry, all
+    /// CLB — BRAM-using modules cannot be placed there, so pair it with
+    /// CLB-only workloads.
+    pub fn homogeneous_region(&self) -> Region {
+        Region::whole(device::homogeneous(self.width, self.height))
+    }
+}
+
+/// The canonical paper-scale region.
+pub fn paper_region() -> Region {
+    ExperimentSetup::default().region()
+}
+
+/// Convert generated modules to placement modules.
+pub fn workload_modules(workload: &Workload) -> Vec<Module> {
+    workload
+        .modules
+        .iter()
+        .map(|m| Module::new(m.name.clone(), m.shapes.clone()))
+        .collect()
+}
+
+/// The paper-scale problem for a seed: 30 modules, 20–100 CLBs, 0–4 BRAMs,
+/// 4 design alternatives, on the canonical region.
+pub fn paper_problem(seed: u64) -> PlacementProblem {
+    let workload = generate_workload(&WorkloadSpec::paper(seed));
+    PlacementProblem::new(paper_region(), workload_modules(&workload))
+}
+
+/// Result of one placement arm (with or without alternatives).
+#[derive(Debug, Clone, Copy)]
+pub struct ArmResult {
+    pub utilization: f64,
+    pub extent: i64,
+    pub seconds: f64,
+    pub time_to_best: f64,
+    pub proven: bool,
+    pub clb_tiles: i64,
+    pub bram_tiles: i64,
+}
+
+/// Run one arm: place, verify, measure.
+///
+/// Panics if the placer produces an invalid floorplan (a solver bug) or no
+/// floorplan at all (the canonical region is sized so the greedy warm start
+/// always succeeds).
+pub fn run_arm(problem: &PlacementProblem, config: &PlacerConfig) -> ArmResult {
+    let out = cp::place(problem, config);
+    let plan = out.plan.expect("canonical instances are feasible");
+    let violations = verify::verify(&problem.region, &problem.modules, &plan);
+    assert!(violations.is_empty(), "invalid floorplan: {violations:?}");
+    let m = metrics(&problem.region, &problem.modules, &plan);
+    ArmResult {
+        utilization: m.utilization,
+        extent: out.extent.expect("plan implies extent"),
+        seconds: out.stats.duration.as_secs_f64(),
+        time_to_best: out.stats.time_to_best.as_secs_f64(),
+        proven: out.proven,
+        clb_tiles: m.clb_tiles,
+        bram_tiles: m.bram_tiles,
+    }
+}
+
+/// One row of the Table I reproduction (aggregated over runs).
+#[derive(Debug, Clone)]
+pub struct TableOneRow {
+    pub label: String,
+    pub mean_util: f64,
+    pub mean_seconds: f64,
+    pub mean_time_to_best: f64,
+    pub proven_fraction: f64,
+    pub mean_clb: f64,
+    pub mean_bram: f64,
+}
+
+impl TableOneRow {
+    /// Aggregate per-run arm results.
+    pub fn aggregate(label: &str, results: &[ArmResult]) -> TableOneRow {
+        let n = results.len().max(1) as f64;
+        TableOneRow {
+            label: label.to_string(),
+            mean_util: results.iter().map(|r| r.utilization).sum::<f64>() / n,
+            mean_seconds: results.iter().map(|r| r.seconds).sum::<f64>() / n,
+            mean_time_to_best: results.iter().map(|r| r.time_to_best).sum::<f64>() / n,
+            proven_fraction: results.iter().filter(|r| r.proven).count() as f64 / n,
+            mean_clb: results.iter().map(|r| r.clb_tiles as f64).sum::<f64>() / n,
+            mean_bram: results.iter().map(|r| r.bram_tiles as f64).sum::<f64>() / n,
+        }
+    }
+}
+
+/// Default per-arm budget used by the table binaries.
+pub fn default_budget() -> Duration {
+    Duration::from_secs(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::ResourceKind;
+
+    #[test]
+    fn canonical_region_shape() {
+        let region = paper_region();
+        assert_eq!(region.bounds().w, 240);
+        assert_eq!(region.bounds().h, 16);
+        // BRAM columns every 10 starting at 4.
+        assert_eq!(region.kind_at(4, 0), ResourceKind::Bram);
+        assert_eq!(region.kind_at(14, 0), ResourceKind::Bram);
+        assert_eq!(region.kind_at(5, 0), ResourceKind::Clb);
+    }
+
+    #[test]
+    fn paper_problem_is_paper_scale() {
+        let p = paper_problem(0);
+        assert_eq!(p.modules.len(), 30);
+        assert!(p.total_shapes() > 100);
+        assert!(p.demand() > 1000);
+    }
+
+    #[test]
+    fn aggregate_means_and_fractions() {
+        let mk = |util: f64, proven: bool| ArmResult {
+            utilization: util,
+            extent: 10,
+            seconds: 1.0,
+            time_to_best: 0.5,
+            proven,
+            clb_tiles: 100,
+            bram_tiles: 10,
+        };
+        let row = TableOneRow::aggregate("t", &[mk(0.5, true), mk(0.7, false)]);
+        assert!((row.mean_util - 0.6).abs() < 1e-12);
+        assert!((row.proven_fraction - 0.5).abs() < 1e-12);
+        assert!((row.mean_clb - 100.0).abs() < 1e-12);
+        // Empty input must not divide by zero.
+        let empty = TableOneRow::aggregate("e", &[]);
+        assert_eq!(empty.mean_util, 0.0);
+    }
+
+    #[test]
+    fn homogeneous_twin_matches_geometry() {
+        let setup = ExperimentSetup::default();
+        let het = setup.region();
+        let hom = setup.homogeneous_region();
+        assert_eq!(het.bounds(), hom.bounds());
+        assert!(hom.placeable_count() >= het.placeable_count());
+    }
+
+    #[test]
+    fn small_arm_runs_and_aggregates() {
+        let workload = generate_workload(&WorkloadSpec::small(4, 1));
+        let problem = PlacementProblem::new(
+            ExperimentSetup::with_width(60).region(),
+            workload_modules(&workload),
+        );
+        let cfg = PlacerConfig {
+            time_limit: Some(Duration::from_millis(500)),
+            ..PlacerConfig::default()
+        };
+        let with = run_arm(&problem, &cfg);
+        let without = run_arm(&problem.without_alternatives(), &cfg);
+        assert!(with.utilization > 0.0 && with.utilization <= 1.0);
+        // Alternatives can only help (or tie) on the same budget class.
+        assert!(with.extent <= without.extent + 2);
+        let row = TableOneRow::aggregate("with", &[with]);
+        assert!(row.mean_util > 0.0);
+        assert!(row.mean_bram >= 0.0);
+    }
+}

@@ -1,0 +1,12 @@
+//! # rrf-bench — experiment harness
+//!
+//! Shared setup for every table and figure reproduction (see the
+//! per-experiment index in `DESIGN.md`). The binaries in `src/bin/`
+//! regenerate the paper's Table I and Figures 1–5 plus the ablations;
+//! the criterion benches in `benches/` time the hot paths.
+
+pub mod experiment;
+
+pub use experiment::{
+    paper_problem, paper_region, workload_modules, ArmResult, ExperimentSetup, TableOneRow,
+};

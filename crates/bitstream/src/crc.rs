@@ -1,0 +1,78 @@
+//! CRC-32 (IEEE 802.3 polynomial) over configuration words — the
+//! integrity check a configuration controller runs before committing a
+//! partial bitstream.
+
+/// Reflected CRC-32 with the IEEE polynomial, processing each 32-bit word
+/// little-endian byte first. The table is built at first use.
+pub fn crc32(words: &[u32]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &word in words {
+        for byte in word.to_le_bytes() {
+            crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+        }
+    }
+    !crc
+}
+
+/// The standard reflected table for polynomial 0xEDB88320.
+static TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // "123456789" as bytes → CRC32 0xCBF43926. Pack into words LE:
+        // the bytes 31..39 need padding to a word multiple, so instead
+        // check internal consistency plus the empty and one-word cases.
+        assert_eq!(crc32(&[]), 0);
+        // CRC of the 4 bytes 01 00 00 00 (word 1 LE).
+        assert_eq!(crc32(&[1]), {
+            // Computed with the reference bytewise algorithm inline:
+            let mut crc = 0xFFFF_FFFFu32;
+            for b in [1u8, 0, 0, 0] {
+                crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+            }
+            !crc
+        });
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let data = [0xDEAD_BEEFu32, 0x1234_5678, 0x0BAD_F00D];
+        let base = crc32(&data);
+        for word in 0..data.len() {
+            for bit in 0..32 {
+                let mut corrupted = data;
+                corrupted[word] ^= 1 << bit;
+                assert_ne!(crc32(&corrupted), base, "missed flip {word}/{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(crc32(&[1, 2]), crc32(&[2, 1]));
+    }
+}

@@ -1,0 +1,98 @@
+//! Frames: the unit of (re)configuration.
+//!
+//! Column-oriented devices configure one *frame* at a time; a frame holds
+//! the configuration bits of one fabric column (within the reconfigurable
+//! region's height), and its word count depends on the column's resource
+//! kind — BRAM content frames are much larger than logic frames.
+
+use rrf_fabric::{Region, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// Words per tile for each resource kind — multiplied by the region
+/// height to get a column's frame size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameGeometry {
+    pub clb_words_per_tile: u32,
+    pub bram_words_per_tile: u32,
+    pub dsp_words_per_tile: u32,
+    /// Io / clock / static columns still carry routing configuration.
+    pub other_words_per_tile: u32,
+}
+
+impl Default for FrameGeometry {
+    fn default() -> FrameGeometry {
+        FrameGeometry {
+            clb_words_per_tile: 4,
+            bram_words_per_tile: 32,
+            dsp_words_per_tile: 6,
+            other_words_per_tile: 2,
+        }
+    }
+}
+
+impl FrameGeometry {
+    pub fn words_per_tile(&self, kind: ResourceKind) -> u32 {
+        match kind {
+            ResourceKind::Clb => self.clb_words_per_tile,
+            ResourceKind::Bram => self.bram_words_per_tile,
+            ResourceKind::Dsp => self.dsp_words_per_tile,
+            _ => self.other_words_per_tile,
+        }
+    }
+
+    /// Frame word count of column `x` of `region`: the sum over the
+    /// column's tiles (heterogeneous columns — e.g. clock-interrupted —
+    /// sum their parts).
+    pub fn column_words(&self, region: &Region, x: i32) -> u32 {
+        let b = region.bounds();
+        (b.y..b.y_end())
+            .map(|y| self.words_per_tile(region.kind_at(x, y)))
+            .sum()
+    }
+}
+
+/// A frame address: the column it configures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FrameAddress {
+    pub column: i32,
+}
+
+/// One frame of configuration data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Frame {
+    pub address: FrameAddress,
+    /// Configuration words; length must equal the device's frame size for
+    /// that column (checked at load time).
+    pub words: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::Fabric;
+
+    #[test]
+    fn column_words_by_kind() {
+        let region = Region::whole(Fabric::from_art("cB\ncB").unwrap());
+        let g = FrameGeometry::default();
+        assert_eq!(g.column_words(&region, 0), 2 * 4);
+        assert_eq!(g.column_words(&region, 1), 2 * 32);
+    }
+
+    #[test]
+    fn mixed_column_sums_parts() {
+        // Column with one CLB and one clock tile.
+        let region = Region::whole(Fabric::from_art("c\nk").unwrap());
+        let g = FrameGeometry::default();
+        assert_eq!(g.column_words(&region, 0), 4 + 2);
+    }
+
+    #[test]
+    fn out_of_region_column_counts_as_other() {
+        // Columns outside the fabric read as Static and still get the
+        // "other" routing words per row of the region height.
+        let region = Region::whole(Fabric::from_art("c").unwrap());
+        let g = FrameGeometry::default();
+        assert_eq!(g.column_words(&region, 5), g.other_words_per_tile);
+    }
+}

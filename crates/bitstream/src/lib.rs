@@ -1,0 +1,31 @@
+//! # rrf-bitstream — partial bitstream assembly
+//!
+//! The placer in this workspace is "planned to be a part of the
+//! ReCoBus-Builder framework … \[which\] comprises floorplanning
+//! capabilities, on-FPGA communication architecture synthesis, and
+//! **bitstream assembly**". This crate is that back end, at the level of
+//! abstraction the placement results need:
+//!
+//! * [`frame`] — frame-addressed configuration data (one frame per fabric
+//!   column, sized by the column's resource kind);
+//! * [`assemble`] — per-module partial bitstreams generated from a placed
+//!   design alternative, CRC-protected;
+//! * [`memory`] — a device configuration memory that loads partial
+//!   bitstreams and detects conflicting writes (two modules configuring
+//!   the same frame word — the bitstream-level shadow of a placement
+//!   overlap);
+//! * [`relocate()`] — column rebasing of a partial bitstream, valid exactly
+//!   when the target columns carry the same resource kinds (the
+//!   relocatability constraint of Becker et al. that the paper discusses).
+
+pub mod assemble;
+pub mod crc;
+pub mod frame;
+pub mod memory;
+pub mod relocate;
+
+pub use assemble::{assemble_floorplan, assemble_module, PartialBitstream};
+pub use crc::crc32;
+pub use frame::{Frame, FrameAddress, FrameGeometry};
+pub use memory::{ConfigMemory, LoadError};
+pub use relocate::{relocate, RelocationError};

@@ -1,0 +1,201 @@
+//! Bitstream relocation: rebasing a partial bitstream to another column
+//! offset.
+//!
+//! Relocatable modules (Becker et al., discussed in the paper's related
+//! work) can be loaded at several positions from *one* stored bitstream —
+//! but only where the target columns carry exactly the resource kinds the
+//! bitstream was generated for. This module implements the rebase and the
+//! compatibility check; its failure cases are precisely the heterogeneity
+//! constraints the placement model encodes.
+
+use crate::assemble::PartialBitstream;
+use crate::frame::{FrameAddress, FrameGeometry};
+use rrf_fabric::Region;
+use std::fmt;
+
+/// Why a relocation is invalid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelocationError {
+    /// A target column's frame size differs — its resource layout cannot
+    /// match the source column's.
+    IncompatibleColumn {
+        from: i32,
+        to: i32,
+        from_words: usize,
+        to_words: usize,
+    },
+    /// A target column's per-row resource kinds differ from the source's,
+    /// even though sizes coincide.
+    KindMismatch { from: i32, to: i32, row: i32 },
+}
+
+impl fmt::Display for RelocationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelocationError::IncompatibleColumn {
+                from,
+                to,
+                from_words,
+                to_words,
+            } => write!(
+                f,
+                "cannot relocate column {from} ({from_words} words) onto {to} ({to_words} words)"
+            ),
+            RelocationError::KindMismatch { from, to, row } => write!(
+                f,
+                "column {to} row {row} has a different resource kind than column {from}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RelocationError {}
+
+/// Rebase `bitstream` by `delta_columns` on `region`. Succeeds iff every
+/// (source, target) column pair matches in per-row resource kinds.
+pub fn relocate(
+    region: &Region,
+    geometry: &FrameGeometry,
+    bitstream: &PartialBitstream,
+    delta_columns: i32,
+) -> Result<PartialBitstream, RelocationError> {
+    let b = region.bounds();
+    for frame in &bitstream.frames {
+        let from = frame.address.column;
+        let to = from + delta_columns;
+        for row in b.y..b.y_end() {
+            if region.kind_at(from, row) != region.kind_at(to, row) {
+                // Distinguish the gross size error from the fine one.
+                let from_words = geometry.column_words(region, from) as usize;
+                let to_words = geometry.column_words(region, to) as usize;
+                if from_words != to_words {
+                    return Err(RelocationError::IncompatibleColumn {
+                        from,
+                        to,
+                        from_words,
+                        to_words,
+                    });
+                }
+                return Err(RelocationError::KindMismatch { from, to, row });
+            }
+        }
+    }
+    let frames = bitstream
+        .frames
+        .iter()
+        .map(|f| crate::frame::Frame {
+            address: FrameAddress {
+                column: f.address.column + delta_columns,
+            },
+            words: f.words.clone(),
+        })
+        .collect();
+    Ok(PartialBitstream {
+        name: bitstream.name.clone(),
+        frames,
+        crc: bitstream.crc, // payload unchanged
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assemble::assemble_module;
+    use rrf_core::{Module, PlacedModule};
+    use rrf_fabric::{Fabric, ResourceKind};
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn setup() -> (Region, Vec<Module>, FrameGeometry) {
+        // Periodic fabric: B at columns 2 and 6 → period 4.
+        let region = Region::whole(Fabric::from_art("ccBcccBc\nccBcccBc").unwrap());
+        let m = Module::new(
+            "m",
+            vec![ShapeDef::new(vec![
+                ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb),
+                ShiftedBox::new(2, 0, 1, 2, ResourceKind::Bram),
+            ])],
+        );
+        (region, vec![m], FrameGeometry::default())
+    }
+
+    #[test]
+    fn period_aligned_relocation_succeeds() {
+        let (region, modules, g) = setup();
+        let bs = assemble_module(
+            &region,
+            &modules,
+            &PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            &g,
+        );
+        let moved = relocate(&region, &g, &bs, 4).unwrap();
+        assert_eq!(moved.columns(), vec![4, 5, 6]);
+        assert!(moved.verify_crc());
+        // Loading both the original and the relocated copy must merge
+        // cleanly (they are disjoint placements of "the same" module).
+        let mut mem = crate::memory::ConfigMemory::new(region, g);
+        mem.load(&bs).unwrap();
+        mem.load(&moved).unwrap();
+    }
+
+    #[test]
+    fn misaligned_relocation_fails() {
+        let (region, modules, g) = setup();
+        let bs = assemble_module(
+            &region,
+            &modules,
+            &PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            &g,
+        );
+        // Shift by 1: the BRAM column would land on CLB.
+        let err = relocate(&region, &g, &bs, 1).unwrap_err();
+        assert!(matches!(
+            err,
+            RelocationError::IncompatibleColumn { .. } | RelocationError::KindMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn zero_delta_is_identity() {
+        let (region, modules, g) = setup();
+        let bs = assemble_module(
+            &region,
+            &modules,
+            &PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            &g,
+        );
+        assert_eq!(relocate(&region, &g, &bs, 0).unwrap(), bs);
+    }
+
+    #[test]
+    fn relocation_off_device_fails() {
+        let (region, modules, g) = setup();
+        let bs = assemble_module(
+            &region,
+            &modules,
+            &PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            &g,
+        );
+        // Off the right edge: kinds become Static and sizes differ.
+        assert!(relocate(&region, &g, &bs, 100).is_err());
+    }
+}

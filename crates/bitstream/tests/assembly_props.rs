@@ -1,0 +1,89 @@
+//! Property tests tying bitstream assembly to placement semantics: the
+//! frames of a *valid* floorplan always merge conflict-free, and overlap
+//! at the placement level surfaces as a load conflict.
+
+use proptest::prelude::*;
+use rrf_bitstream::{assemble_floorplan, assemble_module, ConfigMemory, FrameGeometry, LoadError};
+use rrf_core::{baseline, verify, Floorplan, Module, PlacedModule, PlacementProblem};
+use rrf_fabric::{device, Region, ResourceKind};
+use rrf_geost::{ShapeDef, ShiftedBox};
+
+fn region() -> Region {
+    let layout = device::ColumnLayout {
+        bram_period: 6,
+        bram_offset: 3,
+        dsp_period: 0,
+        dsp_offset: 0,
+        io_ring: 0,
+        center_clock: false,
+    };
+    Region::whole(device::columns(24, 6, layout))
+}
+
+fn modules(dims: &[(i32, i32)]) -> Vec<Module> {
+    dims.iter()
+        .enumerate()
+        .map(|(i, &(w, h))| {
+            Module::new(
+                format!("m{i}"),
+                vec![ShapeDef::new(vec![ShiftedBox::new(
+                    0,
+                    0,
+                    w,
+                    h,
+                    ResourceKind::Clb,
+                )])],
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Greedy-placed (hence valid) floorplans load without conflicts, and
+    /// readback equals the merged frames.
+    #[test]
+    fn valid_floorplans_load_cleanly(dims in proptest::collection::vec((1i32..3, 1i32..4), 1..5)) {
+        let region = region();
+        let modules = modules(&dims);
+        let problem = PlacementProblem::new(region.clone(), modules.clone());
+        prop_assume!(problem.demand() <= 40);
+        let Some(plan) = baseline::bottom_left(&problem) else {
+            return Ok(()); // didn't fit; nothing to assemble
+        };
+        prop_assert!(verify::verify(&region, &modules, &plan).is_empty());
+        let geometry = FrameGeometry::default();
+        let bitstreams = assemble_floorplan(&region, &modules, &plan, &geometry);
+        let mut memory = ConfigMemory::new(region, geometry);
+        for bs in &bitstreams {
+            prop_assert!(bs.verify_crc());
+            memory.load(bs).unwrap();
+        }
+        let expected: usize = bitstreams
+            .iter()
+            .map(|b| b.frames.iter().flat_map(|f| &f.words).filter(|&&w| w != 0).count())
+            .sum();
+        prop_assert_eq!(memory.live_words(), expected);
+    }
+
+    /// Placement overlap implies a load conflict (the converse direction).
+    #[test]
+    fn overlapping_placements_conflict(x in 0i32..2, y in 0i32..3) {
+        let region = region();
+        let modules = modules(&[(2, 3), (2, 3)]);
+        let plan = Floorplan::new(vec![
+            PlacedModule { module: 0, shape: 0, x: 0, y: 0 },
+            PlacedModule { module: 1, shape: 0, x, y },
+        ]);
+        // By construction the second module overlaps the first somewhere.
+        let geometry = FrameGeometry::default();
+        let a = assemble_module(&region, &modules, &plan.placements[0], &geometry);
+        let b = assemble_module(&region, &modules, &plan.placements[1], &geometry);
+        let mut memory = ConfigMemory::new(region, geometry);
+        memory.load(&a).unwrap();
+        let result = memory.load(&b);
+        prop_assert!(matches!(result, Err(LoadError::Conflict { .. })),
+                     "overlap at ({x},{y}) not detected");
+    }
+}

@@ -1,0 +1,58 @@
+//! # rrf-core — CP-based FPGA module placement with design alternatives
+//!
+//! The reproduction of Wold, Koch & Torresen, *Enhancing Resource
+//! Utilization with Design Alternatives in Runtime Reconfigurable Systems*
+//! (RAW/IPDPS-W 2011): offline, optimal placement of relocatable modules on
+//! a heterogeneous FPGA, where each module may ship several functionally
+//! equivalent layouts (*design alternatives*) and the placer picks both the
+//! position and the layout.
+//!
+//! * [`model::Module`] — the paper's module/shape/tileset formulation;
+//! * [`problem`] — placement instances and placer configuration;
+//! * [`cp::place`] — the constraint-programming placer (eqs. 1–6);
+//! * [`baseline::bottom_left`] — the greedy first-fit baseline;
+//! * [`metrics()`] — average resource utilization / fragmentation;
+//! * [`verify`] — an independent checker of the constraint families;
+//! * [`placement::Floorplan`] — the common output type.
+//!
+//! ```
+//! use rrf_core::{cp, Module, PlacementProblem, PlacerConfig};
+//! use rrf_fabric::{device, Region, ResourceKind};
+//! use rrf_geost::{ShapeDef, ShiftedBox};
+//!
+//! let region = Region::whole(device::homogeneous(8, 4));
+//! let wide = ShapeDef::new(vec![ShiftedBox::new(0, 0, 4, 2, ResourceKind::Clb)]);
+//! let tall = ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 4, ResourceKind::Clb)]);
+//! let problem = PlacementProblem::new(
+//!     region,
+//!     vec![Module::new("a", vec![wide.clone(), tall.clone()]),
+//!          Module::new("b", vec![wide, tall])],
+//! );
+//! let out = cp::place(&problem, &PlacerConfig::exact());
+//! assert_eq!(out.extent, Some(4)); // both pick the tall layout
+//! assert!(rrf_core::verify::is_valid(
+//!     &problem.region, &problem.modules, &out.plan.unwrap()));
+//! ```
+
+pub mod anneal;
+pub mod baseline;
+pub mod cp;
+pub mod lns;
+pub mod metrics;
+pub mod model;
+pub mod online;
+pub mod placement;
+pub mod problem;
+pub mod reconfig;
+pub mod service;
+pub mod verify;
+
+pub use cp::{place, place_minimize_height, PlacementOutcome, SolveStats};
+pub use lns::{improve as lns_improve, LnsConfig, LnsOutcome};
+pub use online::{OnlinePlacer, OnlineStats};
+pub use service::{max_feasible_prefix, ServiceOutcome};
+pub use metrics::{metrics, PlacementMetrics};
+pub use model::Module;
+pub use placement::{Floorplan, PlacedModule};
+pub use reconfig::{FrameCostModel, ReconfigCost};
+pub use problem::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};

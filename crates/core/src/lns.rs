@@ -1,0 +1,222 @@
+//! Large neighborhood search — an anytime improver beyond the paper.
+//!
+//! Branch & bound explores the full permutation space; on 30-module
+//! instances it rarely proves optimality inside an interactive budget. LNS
+//! is the standard CP remedy: start from any incumbent, repeatedly *relax*
+//! a random subset of modules (keeping the rest pinned at their current
+//! placements) and ask the exact solver for a strictly better completion
+//! of the small subproblem. Each iteration is cheap, improvements
+//! accumulate, and any incumbent is a valid floorplan at all times.
+
+use crate::cp::{build_model, extract_plan};
+use crate::placement::Floorplan;
+use crate::problem::{PlacementProblem, PlacerConfig};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rrf_solver::constraints::LinRel;
+use rrf_solver::{solve, Limits, Objective, SearchConfig, ValSelect, VarSelect};
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// LNS schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LnsConfig {
+    /// Total wall-clock budget.
+    pub time_limit: Duration,
+    /// Modules relaxed per iteration (clamped to `[2, n]`).
+    pub neighborhood: usize,
+    /// Failure budget per iteration (keeps iterations short).
+    pub fails_per_iteration: u64,
+    pub seed: u64,
+}
+
+impl Default for LnsConfig {
+    fn default() -> LnsConfig {
+        LnsConfig {
+            time_limit: Duration::from_secs(5),
+            neighborhood: 6,
+            fails_per_iteration: 2_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of an LNS run.
+#[derive(Debug, Clone)]
+pub struct LnsOutcome {
+    pub plan: Floorplan,
+    /// Extent of `plan` (rightmost occupied column + 1).
+    pub extent: i64,
+    pub iterations: u64,
+    pub improvements: u64,
+}
+
+/// Improve `start` (which must be a valid floorplan for `problem`) within
+/// the budget. Returns the best floorplan seen — never worse than `start`.
+pub fn improve(problem: &PlacementProblem, start: Floorplan, config: &LnsConfig) -> LnsOutcome {
+    let deadline = Instant::now() + config.time_limit;
+    let n = problem.modules.len();
+    let left = problem.region.bounds().x;
+    let mut best = start;
+    let mut best_extent = best.x_extent(&problem.modules, left) as i64;
+    let mut iterations = 0;
+    let mut improvements = 0;
+    if n < 2 {
+        return LnsOutcome {
+            plan: best,
+            extent: best_extent,
+            iterations,
+            improvements,
+        };
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+    let mut order: Vec<usize> = (0..n).collect();
+    let placer_cfg = PlacerConfig {
+        warm_start: false, // the incumbent itself is the warm start
+        ..PlacerConfig::default()
+    };
+
+    while Instant::now() < deadline {
+        iterations += 1;
+        order.shuffle(&mut rng);
+        let mut relaxed: std::collections::HashSet<usize> =
+            order[..config.neighborhood.clamp(2, n)].iter().copied().collect();
+        // The extent only drops if every module pinning the current extent
+        // is free to move: relax all extent-critical modules (there are
+        // usually one or two).
+        for (i, p) in best.placements.iter().enumerate() {
+            let right =
+                p.x + problem.modules[i].shapes()[p.shape].bounding_box().x_end();
+            if right as i64 == best_extent {
+                relaxed.insert(i);
+            }
+        }
+
+        let Some(mut built) = build_model(problem, &placer_cfg) else {
+            break; // infeasible model cannot happen with a valid incumbent
+        };
+        // Pin every non-relaxed module to its current placement.
+        for (i, &(s, x, y)) in built.module_vars.iter().enumerate() {
+            if !relaxed.contains(&i) {
+                let p = best.placements[i];
+                built.model.linear(&[1], &[s], LinRel::Eq, p.shape as i64);
+                built.model.linear(&[1], &[x], LinRel::Eq, p.x as i64);
+                built.model.linear(&[1], &[y], LinRel::Eq, p.y as i64);
+            }
+        }
+        // Demand strict improvement.
+        built
+            .model
+            .linear(&[1], &[built.objective], LinRel::Le, best_extent - 1);
+
+        let search = SearchConfig {
+            var_select: VarSelect::InputOrder,
+            val_select: ValSelect::Min,
+            objective: Objective::Minimize(built.objective),
+            limits: Limits {
+                failures: Some(config.fails_per_iteration),
+                time: Some(deadline.saturating_duration_since(Instant::now())),
+                nodes: None,
+            },
+            decision_vars: Some(built.decision_vars.clone()),
+            stop_after: Some(1), // take the first improvement, iterate again
+            shared_bound: None,
+            stop_flag: None,
+        };
+        let outcome = solve(built.model, search);
+        if let Some(plan) = extract_plan(&outcome, &built.module_vars) {
+            let extent = plan.x_extent(&problem.modules, left) as i64;
+            debug_assert!(extent < best_extent);
+            best = plan;
+            best_extent = extent;
+            improvements += 1;
+        }
+    }
+    LnsOutcome {
+        plan: best,
+        extent: best_extent,
+        iterations,
+        improvements,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::bottom_left;
+    use crate::model::Module;
+    use crate::verify::is_valid;
+    use rrf_fabric::{device, Region, ResourceKind};
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn clb_shape(w: i32, h: i32) -> ShapeDef {
+        ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+    }
+
+    fn problem() -> PlacementProblem {
+        PlacementProblem::new(
+            Region::whole(device::homogeneous(20, 4)),
+            vec![
+                Module::new("a", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+                Module::new("b", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+                Module::new("c", vec![clb_shape(3, 2), clb_shape(2, 3)]),
+                Module::new("d", vec![clb_shape(3, 2), clb_shape(2, 3)]),
+                Module::new("e", vec![clb_shape(2, 2)]),
+            ],
+        )
+    }
+
+    #[test]
+    fn never_worse_than_start_and_valid() {
+        let p = problem();
+        let start = bottom_left(&p).unwrap();
+        let start_extent = start.x_extent(&p.modules, 0) as i64;
+        let out = improve(
+            &p,
+            start,
+            &LnsConfig {
+                time_limit: Duration::from_millis(500),
+                seed: 1,
+                ..LnsConfig::default()
+            },
+        );
+        assert!(out.extent <= start_extent);
+        assert!(is_valid(&p.region, &p.modules, &out.plan));
+        assert!(out.iterations >= 1);
+    }
+
+    #[test]
+    fn reaches_known_optimum_on_easy_instance() {
+        // Total area 8+8+6+6+4 = 32 = 8 cols x 4 rows: a perfect packing
+        // with extent 8 exists (2x4, 2x4, 2x3+stack...). The true optimum
+        // is whatever exact search says; LNS from greedy should match it
+        // here because neighborhoods cover the whole instance.
+        let p = problem();
+        let exact = crate::cp::place(&p, &PlacerConfig::exact());
+        let start = bottom_left(&p).unwrap();
+        let out = improve(
+            &p,
+            start,
+            &LnsConfig {
+                time_limit: Duration::from_secs(2),
+                neighborhood: 5, // the full instance: equivalent to exact
+                seed: 3,
+                ..LnsConfig::default()
+            },
+        );
+        assert_eq!(out.extent, exact.extent.unwrap());
+    }
+
+    #[test]
+    fn single_module_short_circuits() {
+        let p = PlacementProblem::new(
+            Region::whole(device::homogeneous(8, 4)),
+            vec![Module::new("solo", vec![clb_shape(2, 2)])],
+        );
+        let start = bottom_left(&p).unwrap();
+        let out = improve(&p, start.clone(), &LnsConfig::default());
+        assert_eq!(out.plan, start);
+        assert_eq!(out.iterations, 0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Placement quality metrics.
+//!
+//! The headline metric reproduces the paper's *average resource
+//! utilization*: how much of the region actually consumed by the floorplan
+//! does useful work. The optimal placement (eq. 6) minimizes spatial
+//! extent, so utilization rises as fragmentation falls.
+
+use crate::model::Module;
+use crate::placement::Floorplan;
+use rrf_fabric::{Region, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// Quality numbers for one floorplan.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementMetrics {
+    /// Tiles occupied by modules.
+    pub occupied_tiles: i64,
+    /// Module-occupiable tiles inside the consumed window (region left edge
+    /// to the floorplan's x extent, full height).
+    pub window_placeable_tiles: i64,
+    /// The floorplan's x extent in columns (from the region's left edge).
+    pub extent_cols: i32,
+    /// occupied / window placeable — the paper's mean area utilization.
+    pub utilization: f64,
+    /// 1 − utilization: share of the consumed window left unused.
+    pub fragmentation: f64,
+    /// Occupied CLB tiles (Table I reports per-resource columns).
+    pub clb_tiles: i64,
+    /// Occupied BRAM tiles.
+    pub bram_tiles: i64,
+}
+
+/// Compute metrics for a floorplan on a region.
+///
+/// An empty floorplan has utilization 0 by definition.
+pub fn metrics(region: &Region, modules: &[Module], plan: &Floorplan) -> PlacementMetrics {
+    let occupied = plan.occupied_area(modules);
+    let window = plan.consumed_window(modules, region);
+    let placeable = region.placeable_count_in(window) as i64;
+    let mut clb = 0i64;
+    let mut bram = 0i64;
+    for p in &plan.placements {
+        let ms = modules[p.module].shapes()[p.shape].resource_multiset();
+        clb += ms[ResourceKind::Clb.index()];
+        bram += ms[ResourceKind::Bram.index()];
+    }
+    let utilization = if placeable > 0 {
+        occupied as f64 / placeable as f64
+    } else {
+        0.0
+    };
+    PlacementMetrics {
+        occupied_tiles: occupied,
+        window_placeable_tiles: placeable,
+        extent_cols: window.w,
+        utilization,
+        fragmentation: 1.0 - utilization,
+        clb_tiles: clb,
+        bram_tiles: bram,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacedModule;
+    use rrf_fabric::device;
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn clb_module(w: i32, h: i32) -> Module {
+        Module::new(
+            format!("{w}x{h}"),
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                w,
+                h,
+                ResourceKind::Clb,
+            )])],
+        )
+    }
+
+    #[test]
+    fn perfect_packing_is_full_utilization() {
+        let region = Region::whole(device::homogeneous(8, 4));
+        let modules = vec![clb_module(2, 4), clb_module(2, 4)];
+        let plan = Floorplan::new(vec![
+            PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            PlacedModule {
+                module: 1,
+                shape: 0,
+                x: 2,
+                y: 0,
+            },
+        ]);
+        let m = metrics(&region, &modules, &plan);
+        assert_eq!(m.occupied_tiles, 16);
+        assert_eq!(m.window_placeable_tiles, 16);
+        assert_eq!(m.extent_cols, 4);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert!(m.fragmentation.abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_reduces_utilization() {
+        let region = Region::whole(device::homogeneous(8, 4));
+        let modules = vec![clb_module(2, 4)];
+        // Placed at x=2 → window is 4 cols wide, half empty.
+        let plan = Floorplan::new(vec![PlacedModule {
+            module: 0,
+            shape: 0,
+            x: 2,
+            y: 0,
+        }]);
+        let m = metrics(&region, &modules, &plan);
+        assert_eq!(m.extent_cols, 4);
+        assert!((m.utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_zero_utilization() {
+        let region = Region::whole(device::homogeneous(4, 4));
+        let m = metrics(&region, &[], &Floorplan::new(vec![]));
+        assert_eq!(m.occupied_tiles, 0);
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.extent_cols, 0);
+    }
+
+    #[test]
+    fn resource_split_reported() {
+        let region = Region::whole(rrf_fabric::Fabric::from_art("cBcc\ncBcc").unwrap());
+        let module = Module::new(
+            "mix",
+            vec![ShapeDef::new(vec![
+                ShiftedBox::new(0, 0, 1, 2, ResourceKind::Clb),
+                ShiftedBox::new(1, 0, 1, 2, ResourceKind::Bram),
+            ])],
+        );
+        let plan = Floorplan::new(vec![PlacedModule {
+            module: 0,
+            shape: 0,
+            x: 0,
+            y: 0,
+        }]);
+        let m = metrics(&region, &[module], &plan);
+        assert_eq!(m.clb_tiles, 2);
+        assert_eq!(m.bram_tiles, 2);
+        assert_eq!(m.occupied_tiles, 4);
+        assert_eq!(m.window_placeable_tiles, 4);
+    }
+
+    #[test]
+    fn heterogeneous_window_counts_placeable_only() {
+        // Region with an IO column inside the window: not placeable, so it
+        // does not count against utilization.
+        let region = Region::whole(rrf_fabric::Fabric::from_art("cicc\ncicc").unwrap());
+        let modules = vec![clb_module(1, 2), clb_module(1, 2)];
+        let plan = Floorplan::new(vec![
+            PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            PlacedModule {
+                module: 1,
+                shape: 0,
+                x: 2,
+                y: 0,
+            },
+        ]);
+        let m = metrics(&region, &modules, &plan);
+        // Window cols 0..3: col 1 is IO (not placeable) → 4 placeable tiles.
+        assert_eq!(m.window_placeable_tiles, 4);
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! The paper's placement model vocabulary (§III-A).
+//!
+//! * a **tile** `t_{x,y,k}` is a unit square with a resource type;
+//! * a **tileset** is a non-empty set of tiles of one resource type;
+//! * a **shape** is a non-empty set of tilesets — one physical layout;
+//! * a **module** is a non-empty set of shapes — its design alternatives.
+//!
+//! Geometrically a tileset is exactly a [`rrf_geost::ShiftedBox`] (after
+//! rectangle decomposition) and a shape a [`rrf_geost::ShapeDef`]; this
+//! module provides the module-level type plus constructors that keep the
+//! paper's terminology available to downstream users.
+
+use rrf_fabric::{Point, ResourceKind};
+use rrf_geost::ShapeDef;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// A module: functionally one core, physically a set of design
+/// alternatives with "similar performance and functional requirements"
+/// (§I). Alternatives need not consume identical resources, though
+/// generated ones do.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Module {
+    /// Stable identifier used in floorplans and rendering.
+    pub name: String,
+    shapes: Arc<Vec<ShapeDef>>,
+}
+
+impl Module {
+    /// A module from explicit design alternatives. Panics on an empty
+    /// shape list (the paper: `M = {S₁, …, Sₙ}, n > 0`).
+    pub fn new(name: impl Into<String>, shapes: Vec<ShapeDef>) -> Module {
+        assert!(!shapes.is_empty(), "module with no shapes");
+        Module {
+            name: name.into(),
+            shapes: Arc::new(shapes),
+        }
+    }
+
+    /// A single-layout module from raw tiles (the paper's tileset
+    /// formulation; tiles are grouped into boxes internally).
+    pub fn from_tiles(name: impl Into<String>, tiles: &[(Point, ResourceKind)]) -> Module {
+        Module::new(name, vec![ShapeDef::from_tiles(tiles)])
+    }
+
+    /// The design alternatives.
+    pub fn shapes(&self) -> &[ShapeDef] {
+        &self.shapes
+    }
+
+    /// Shared handle to the alternatives (what geost objects hold).
+    pub fn shapes_arc(&self) -> Arc<Vec<ShapeDef>> {
+        Arc::clone(&self.shapes)
+    }
+
+    /// Number of design alternatives.
+    pub fn num_shapes(&self) -> usize {
+        self.shapes.len()
+    }
+
+    /// Tile count of shape `s`.
+    pub fn area_of(&self, s: usize) -> i64 {
+        self.shapes[s].area()
+    }
+
+    /// Largest tile count over the alternatives (used for ordering
+    /// heuristics; alternatives usually share it).
+    pub fn max_area(&self) -> i64 {
+        self.shapes.iter().map(ShapeDef::area).max().unwrap_or(0)
+    }
+
+    /// This module restricted to its first alternative — the paper's
+    /// *without design alternatives* arm.
+    pub fn without_alternatives(&self) -> Module {
+        Module::new(self.name.clone(), vec![self.shapes[0].clone()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_geost::ShiftedBox;
+
+    fn shape(w: i32, h: i32) -> ShapeDef {
+        ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+    }
+
+    #[test]
+    fn module_basics() {
+        let m = Module::new("alu", vec![shape(4, 2), shape(2, 4)]);
+        assert_eq!(m.num_shapes(), 2);
+        assert_eq!(m.area_of(0), 8);
+        assert_eq!(m.max_area(), 8);
+        assert_eq!(m.name, "alu");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_module_panics() {
+        let _ = Module::new("void", vec![]);
+    }
+
+    #[test]
+    fn from_tiles_builds_single_shape() {
+        let m = Module::from_tiles(
+            "t",
+            &[
+                (Point::new(0, 0), ResourceKind::Clb),
+                (Point::new(1, 0), ResourceKind::Clb),
+            ],
+        );
+        assert_eq!(m.num_shapes(), 1);
+        assert_eq!(m.area_of(0), 2);
+    }
+
+    #[test]
+    fn without_alternatives_keeps_first() {
+        let m = Module::new("m", vec![shape(4, 2), shape(2, 4)]);
+        let solo = m.without_alternatives();
+        assert_eq!(solo.num_shapes(), 1);
+        assert_eq!(solo.shapes()[0], m.shapes()[0]);
+    }
+
+    #[test]
+    fn shapes_are_shared_not_copied() {
+        let m = Module::new("m", vec![shape(4, 2)]);
+        let a = m.shapes_arc();
+        let b = m.shapes_arc();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let m = Module::new("m", vec![shape(4, 2), shape(2, 4)]);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: Module = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,278 @@
+//! Online placement simulation — an extension beyond the paper.
+//!
+//! The paper targets *offline, in-advance* placement for deterministic
+//! systems, and contrasts it with the online setting of much related work
+//! (Bazargan & Sarrafzadeh; Ahmadinia et al.), where modules arrive and
+//! depart at runtime and fragmentation accumulates. This module provides
+//! that substrate: an incremental first-fit placer over a live occupancy
+//! grid with insertion and removal, so the effect of design alternatives
+//! on *online* acceptance rates can be measured (see the
+//! `ablation_online` harness binary).
+
+use crate::model::Module;
+use crate::placement::PlacedModule;
+use rrf_fabric::{Point, Region};
+use rrf_geost::{allowed_anchors, OccupancyGrid, ShapeDef};
+use std::collections::HashMap;
+
+/// Handle to a live module instance inside an [`OnlinePlacer`].
+pub type SlotId = u64;
+
+/// Counters over the lifetime of an online placer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OnlineStats {
+    pub requests: u64,
+    pub accepted: u64,
+    pub rejected: u64,
+    pub removals: u64,
+}
+
+impl OnlineStats {
+    /// Fraction of requests fulfilled (1.0 when no requests yet).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.requests == 0 {
+            1.0
+        } else {
+            self.accepted as f64 / self.requests as f64
+        }
+    }
+}
+
+/// An online first-fit placer: modules arrive one by one, are placed
+/// bottom-left-first across all their design alternatives, and may depart
+/// at any time. State is a counting occupancy grid; no repacking happens
+/// (modules cannot be migrated at runtime without state loss — the same
+/// argument the paper uses against switching alternatives at runtime).
+pub struct OnlinePlacer {
+    region: Region,
+    grid: OccupancyGrid,
+    active: HashMap<SlotId, (Module, PlacedModule)>,
+    next_slot: SlotId,
+    stats: OnlineStats,
+}
+
+impl OnlinePlacer {
+    pub fn new(region: Region) -> OnlinePlacer {
+        let grid = OccupancyGrid::new(region.bounds());
+        OnlinePlacer {
+            region,
+            grid,
+            active: HashMap::new(),
+            next_slot: 0,
+            stats: OnlineStats::default(),
+        }
+    }
+
+    /// Number of live modules.
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Tiles currently occupied.
+    pub fn occupied_tiles(&self) -> i64 {
+        self.active
+            .values()
+            .map(|(m, p)| m.area_of(p.shape))
+            .sum()
+    }
+
+    /// Occupied tiles over the region's placeable tiles — the *live
+    /// utilization* of the whole region.
+    pub fn utilization(&self) -> f64 {
+        let cap = self.region.placeable_count() as i64;
+        if cap == 0 {
+            0.0
+        } else {
+            self.occupied_tiles() as f64 / cap as f64
+        }
+    }
+
+    pub fn stats(&self) -> OnlineStats {
+        self.stats
+    }
+
+    fn fits(&self, shape: &ShapeDef, anchor: Point) -> bool {
+        shape.boxes().iter().all(|b| {
+            let r = b.placed(anchor.x, anchor.y);
+            (r.y..r.y_end())
+                .all(|y| (r.x..r.x_end()).all(|x| self.grid.get(x, y) == 0))
+        })
+    }
+
+    /// Try to place `module` now. First fit in (x, y, shape) order over
+    /// compatible anchors — leftmost column first, matching the offline
+    /// objective's leftward bias so departures open contiguous space on
+    /// the right. Returns the slot on success.
+    pub fn try_insert(&mut self, module: &Module) -> Option<SlotId> {
+        self.stats.requests += 1;
+        // Gather (x, y, shape, anchor) candidates and take the smallest.
+        let mut best: Option<(i32, i32, usize, Point)> = None;
+        for (si, shape) in module.shapes().iter().enumerate() {
+            for anchor in allowed_anchors(&self.region, shape) {
+                let key = (anchor.x, anchor.y);
+                if let Some((bx, by, _, _)) = best {
+                    if (key.0, key.1) >= (bx, by) {
+                        continue;
+                    }
+                }
+                if self.fits(shape, anchor) {
+                    best = Some((anchor.x, anchor.y, si, anchor));
+                }
+            }
+        }
+        let Some((_, _, shape, anchor)) = best else {
+            self.stats.rejected += 1;
+            return None;
+        };
+        for b in module.shapes()[shape].boxes() {
+            self.grid.add_rect(b.placed(anchor.x, anchor.y), 1);
+        }
+        let slot = self.next_slot;
+        self.next_slot += 1;
+        self.active.insert(
+            slot,
+            (
+                module.clone(),
+                PlacedModule {
+                    module: 0, // slot-local; the module itself is stored
+                    shape,
+                    x: anchor.x,
+                    y: anchor.y,
+                },
+            ),
+        );
+        self.stats.accepted += 1;
+        Some(slot)
+    }
+
+    /// Remove a live module; its tiles become free. Returns `false` for an
+    /// unknown slot.
+    pub fn remove(&mut self, slot: SlotId) -> bool {
+        match self.active.remove(&slot) {
+            Some((module, placed)) => {
+                for b in module.shapes()[placed.shape].boxes() {
+                    self.grid.add_rect(b.placed(placed.x, placed.y), -1);
+                }
+                self.stats.removals += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The placement of a live module.
+    pub fn placement_of(&self, slot: SlotId) -> Option<&PlacedModule> {
+        self.active.get(&slot).map(|(_, p)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::{device, ResourceKind};
+    use rrf_geost::ShiftedBox;
+
+    fn clb_module(name: &str, w: i32, h: i32) -> Module {
+        Module::new(
+            name,
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                w,
+                h,
+                ResourceKind::Clb,
+            )])],
+        )
+    }
+
+    fn flexible_module(name: &str, w: i32, h: i32) -> Module {
+        let a = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+        let b = ShapeDef::new(vec![ShiftedBox::new(0, 0, h, w, ResourceKind::Clb)]);
+        Module::new(name, vec![a, b])
+    }
+
+    #[test]
+    fn insert_until_full_then_reject() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(4, 4)));
+        let m = clb_module("m", 2, 2);
+        for _ in 0..4 {
+            assert!(placer.try_insert(&m).is_some());
+        }
+        assert!(placer.try_insert(&m).is_none());
+        assert_eq!(placer.stats().accepted, 4);
+        assert_eq!(placer.stats().rejected, 1);
+        assert!((placer.utilization() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removal_frees_space() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(4, 2)));
+        let m = clb_module("m", 2, 2);
+        let a = placer.try_insert(&m).unwrap();
+        let _b = placer.try_insert(&m).unwrap();
+        assert!(placer.try_insert(&m).is_none());
+        assert!(placer.remove(a));
+        assert!(placer.try_insert(&m).is_some());
+        assert_eq!(placer.active_count(), 2);
+        assert!(!placer.remove(a), "double remove must fail");
+        assert!(!placer.remove(999));
+    }
+
+    #[test]
+    fn first_fit_is_leftmost() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        let s1 = placer.try_insert(&m).unwrap();
+        let s2 = placer.try_insert(&m).unwrap();
+        assert_eq!(placer.placement_of(s1).unwrap().x, 0);
+        assert_eq!(placer.placement_of(s2).unwrap().x, 2);
+    }
+
+    #[test]
+    fn alternatives_rescue_fragmented_state() {
+        // 6x4 strip. Fill with three 2x4 columns, remove the middle one:
+        // a 4x2 module does not fit the 2-wide hole, but its 2x4
+        // alternative does.
+        let region = Region::whole(device::homogeneous(6, 4));
+        let mut placer = OnlinePlacer::new(region.clone());
+        let col = clb_module("col", 2, 4);
+        let a = placer.try_insert(&col).unwrap();
+        let b = placer.try_insert(&col).unwrap();
+        let _c = placer.try_insert(&col).unwrap();
+        assert_eq!(placer.placement_of(b).unwrap().x, 2);
+        placer.remove(b);
+
+        let rigid = clb_module("rigid", 4, 2);
+        assert!(placer.try_insert(&rigid).is_none(), "4-wide cannot fit");
+
+        let flex = flexible_module("flex", 4, 2);
+        let slot = placer.try_insert(&flex).expect("alternative fits");
+        let p = placer.placement_of(slot).unwrap();
+        assert_eq!(p.shape, 1, "the rotated alternative was used");
+        assert_eq!(p.x, 2);
+        let _ = a;
+    }
+
+    #[test]
+    fn respects_heterogeneous_fabric() {
+        let fabric = rrf_fabric::Fabric::from_art("ccBcc\nccBcc").unwrap();
+        let mut placer = OnlinePlacer::new(Region::whole(fabric));
+        let m = clb_module("m", 2, 2);
+        let s1 = placer.try_insert(&m).unwrap();
+        let s2 = placer.try_insert(&m).unwrap();
+        assert_eq!(placer.placement_of(s1).unwrap().x, 0);
+        assert_eq!(placer.placement_of(s2).unwrap().x, 3);
+        assert!(placer.try_insert(&m).is_none());
+    }
+
+    #[test]
+    fn acceptance_rate_bookkeeping() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(2, 2)));
+        assert_eq!(placer.stats().acceptance_rate(), 1.0);
+        let m = clb_module("m", 2, 2);
+        placer.try_insert(&m).unwrap();
+        placer.try_insert(&m);
+        assert_eq!(placer.stats().requests, 2);
+        assert!((placer.stats().acceptance_rate() - 0.5).abs() < 1e-12);
+    }
+}

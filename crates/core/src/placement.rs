@@ -1,0 +1,167 @@
+//! Floorplans: the output of any placer.
+
+use crate::model::Module;
+use rrf_fabric::{Point, Rect, Region, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// One module's placement decision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedModule {
+    /// Index into the problem's module list.
+    pub module: usize,
+    /// Chosen design alternative.
+    pub shape: usize,
+    /// Anchor position (absolute fabric coordinates).
+    pub x: i32,
+    pub y: i32,
+}
+
+/// A complete floorplan: one placement per module, in module order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    pub placements: Vec<PlacedModule>,
+}
+
+impl Floorplan {
+    pub fn new(placements: Vec<PlacedModule>) -> Floorplan {
+        Floorplan { placements }
+    }
+
+    /// All `(tile, kind, module index)` triples occupied by the floorplan.
+    pub fn occupied_tiles<'a>(
+        &'a self,
+        modules: &'a [Module],
+    ) -> impl Iterator<Item = (Point, ResourceKind, usize)> + 'a {
+        self.placements.iter().flat_map(move |p| {
+            modules[p.module].shapes()[p.shape]
+                .tiles_at(p.x, p.y)
+                .map(move |(pt, k)| (pt, k, p.module))
+        })
+    }
+
+    /// Total tiles occupied.
+    pub fn occupied_area(&self, modules: &[Module]) -> i64 {
+        self.placements
+            .iter()
+            .map(|p| modules[p.module].area_of(p.shape))
+            .sum()
+    }
+
+    /// The rightmost occupied column + 1 (exclusive), or the region's left
+    /// edge for an empty floorplan — the paper's minimized spatial extent.
+    pub fn x_extent(&self, modules: &[Module], region_left: i32) -> i32 {
+        self.placements
+            .iter()
+            .map(|p| {
+                let bb = modules[p.module].shapes()[p.shape].bounding_box();
+                p.x + bb.x_end()
+            })
+            .max()
+            .unwrap_or(region_left)
+    }
+
+    /// The window of the region consumed by this floorplan: from the
+    /// region's left edge to the extent, full region height. The
+    /// utilization metric divides by this window's placeable tiles.
+    pub fn consumed_window(&self, modules: &[Module], region: &Region) -> Rect {
+        let b = region.bounds();
+        let extent = self.x_extent(modules, b.x);
+        Rect::new(b.x, b.y, (extent - b.x).max(0), b.h)
+    }
+
+    /// Tight bounding box over all occupied tiles (`None` when empty).
+    pub fn bounding_box(&self, modules: &[Module]) -> Option<Rect> {
+        let mut bb: Option<Rect> = None;
+        for p in &self.placements {
+            let shape_bb = modules[p.module].shapes()[p.shape]
+                .bounding_box()
+                .translated(p.x, p.y);
+            bb = Some(match bb {
+                Some(acc) => acc.union_bbox(&shape_bb),
+                None => shape_bb,
+            });
+        }
+        bb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn module(name: &str, w: i32, h: i32) -> Module {
+        Module::new(
+            name,
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                w,
+                h,
+                ResourceKind::Clb,
+            )])],
+        )
+    }
+
+    fn two_module_plan() -> (Vec<Module>, Floorplan) {
+        let modules = vec![module("a", 2, 2), module("b", 3, 1)];
+        let plan = Floorplan::new(vec![
+            PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            PlacedModule {
+                module: 1,
+                shape: 0,
+                x: 2,
+                y: 1,
+            },
+        ]);
+        (modules, plan)
+    }
+
+    #[test]
+    fn occupied_area_and_tiles() {
+        let (modules, plan) = two_module_plan();
+        assert_eq!(plan.occupied_area(&modules), 7);
+        let tiles: Vec<(Point, ResourceKind, usize)> = plan.occupied_tiles(&modules).collect();
+        assert_eq!(tiles.len(), 7);
+        assert!(tiles.contains(&(Point::new(4, 1), ResourceKind::Clb, 1)));
+    }
+
+    #[test]
+    fn extent_and_window() {
+        let (modules, plan) = two_module_plan();
+        assert_eq!(plan.x_extent(&modules, 0), 5);
+        let region = Region::whole(rrf_fabric::device::homogeneous(8, 4));
+        assert_eq!(
+            plan.consumed_window(&modules, &region),
+            Rect::new(0, 0, 5, 4)
+        );
+    }
+
+    #[test]
+    fn empty_floorplan() {
+        let modules: Vec<Module> = vec![];
+        let plan = Floorplan::new(vec![]);
+        assert_eq!(plan.occupied_area(&modules), 0);
+        assert_eq!(plan.x_extent(&modules, 3), 3);
+        assert_eq!(plan.bounding_box(&modules), None);
+    }
+
+    #[test]
+    fn bounding_box_spans_modules() {
+        let (modules, plan) = two_module_plan();
+        assert_eq!(plan.bounding_box(&modules), Some(Rect::new(0, 0, 5, 2)));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (_, plan) = two_module_plan();
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: Floorplan = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, plan);
+    }
+}

@@ -1,0 +1,154 @@
+//! Problem and configuration types shared by all placers.
+
+use crate::model::Module;
+use rrf_fabric::Region;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A placement instance: a reconfigurable region and the modules to place.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    pub region: Region,
+    pub modules: Vec<Module>,
+}
+
+impl PlacementProblem {
+    pub fn new(region: Region, modules: Vec<Module>) -> PlacementProblem {
+        PlacementProblem { region, modules }
+    }
+
+    /// The same instance with every module stripped to its first layout —
+    /// the paper's *without design alternatives* arm.
+    pub fn without_alternatives(&self) -> PlacementProblem {
+        PlacementProblem {
+            region: self.region.clone(),
+            modules: self
+                .modules
+                .iter()
+                .map(Module::without_alternatives)
+                .collect(),
+        }
+    }
+
+    /// Total tiles the modules require (first shape each).
+    pub fn demand(&self) -> i64 {
+        self.modules.iter().map(|m| m.area_of(0)).sum()
+    }
+
+    /// Total shapes across modules.
+    pub fn total_shapes(&self) -> usize {
+        self.modules.iter().map(Module::num_shapes).sum()
+    }
+}
+
+/// Branching heuristic exposed in the placer configuration (maps onto the
+/// solver's `VarSelect`/`ValSelect`; a serializable mirror so job files can
+/// pick it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Heuristic {
+    /// Biggest module first, leftmost value first (the default; pairs with
+    /// the extent objective).
+    InputOrderMin,
+    /// Smallest domain first.
+    FirstFailMin,
+    /// Smallest lower bound first.
+    SmallestMin,
+    /// Domain bisection on the first-fail variable.
+    FirstFailSplit,
+}
+
+/// Which search strategy the CP placer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SearchStrategy {
+    /// Sequential DFS branching biggest-module-first, minimum values first.
+    Sequential,
+    /// Parallel portfolio with this many workers.
+    Portfolio(usize),
+}
+
+/// CP placer configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PlacerConfig {
+    /// Wall-clock budget; the placer returns its best incumbent when the
+    /// budget expires (`None` = run to proven optimality).
+    pub time_limit: Option<Duration>,
+    /// Failure budget (mostly for reproducible tests; `None` = unlimited).
+    pub fail_limit: Option<u64>,
+    /// Post the redundant cumulative projection constraint (x axis), which
+    /// prunes packings earlier than non-overlap alone.
+    pub redundant_cumulative: bool,
+    /// Warm-start branch & bound from a greedy bottom-left solution.
+    pub warm_start: bool,
+    pub strategy: SearchStrategy,
+    /// Branching heuristic (sequential strategy only; the portfolio assigns
+    /// its own mix per worker).
+    pub heuristic: Heuristic,
+}
+
+impl Default for PlacerConfig {
+    fn default() -> PlacerConfig {
+        PlacerConfig {
+            time_limit: Some(Duration::from_secs(30)),
+            fail_limit: None,
+            redundant_cumulative: true,
+            warm_start: true,
+            strategy: SearchStrategy::Sequential,
+            heuristic: Heuristic::InputOrderMin,
+        }
+    }
+}
+
+impl PlacerConfig {
+    /// Unlimited exact solving (tests on small instances).
+    pub fn exact() -> PlacerConfig {
+        PlacerConfig {
+            time_limit: None,
+            fail_limit: None,
+            ..PlacerConfig::default()
+        }
+    }
+
+    /// A budgeted configuration.
+    pub fn with_time_limit(limit: Duration) -> PlacerConfig {
+        PlacerConfig {
+            time_limit: Some(limit),
+            ..PlacerConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::{device, ResourceKind};
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn problem() -> PlacementProblem {
+        let shapes = vec![
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 1, ResourceKind::Clb)]),
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 1, 2, ResourceKind::Clb)]),
+        ];
+        PlacementProblem::new(
+            Region::whole(device::homogeneous(6, 4)),
+            vec![Module::new("a", shapes.clone()), Module::new("b", shapes)],
+        )
+    }
+
+    #[test]
+    fn strip_alternatives() {
+        let p = problem();
+        assert_eq!(p.total_shapes(), 4);
+        let solo = p.without_alternatives();
+        assert_eq!(solo.total_shapes(), 2);
+        assert_eq!(solo.demand(), p.demand());
+    }
+
+    #[test]
+    fn default_config_is_budgeted() {
+        let c = PlacerConfig::default();
+        assert!(c.time_limit.is_some());
+        assert!(c.redundant_cumulative);
+        assert!(matches!(c.strategy, SearchStrategy::Sequential));
+        assert!(PlacerConfig::exact().time_limit.is_none());
+    }
+}

@@ -1,0 +1,224 @@
+//! Reconfiguration-cost estimation — an extension quantifying the other
+//! half of the paper's overhead story.
+//!
+//! "This cost is measured in both area utilization and reconfiguration
+//! time" (§I). Partial bitstreams on column-oriented devices are written
+//! frame by frame, where a frame spans a full column of the reconfigurable
+//! region and its size depends on the column's resource type (BRAM content
+//! frames are far larger than logic frames). The model here estimates the
+//! bitstream size and load time of each module from the columns its chosen
+//! layout touches — so floorplans can be compared not just by utilization
+//! but by how quickly their modules swap.
+
+use crate::model::Module;
+use crate::placement::{Floorplan, PlacedModule};
+use rrf_fabric::{Region, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// Frame sizes (in 32-bit configuration words per column) and port speed.
+/// Defaults are loosely modelled on Virtex-II-class devices: BRAM content
+/// frames dominate, the configuration port writes one word per cycle at
+/// 50 MHz (20 ns).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrameCostModel {
+    pub clb_words_per_column: u64,
+    pub bram_words_per_column: u64,
+    pub dsp_words_per_column: u64,
+    /// Nanoseconds per configuration word.
+    pub ns_per_word: u64,
+}
+
+impl Default for FrameCostModel {
+    fn default() -> FrameCostModel {
+        FrameCostModel {
+            clb_words_per_column: 400,
+            bram_words_per_column: 3_200,
+            dsp_words_per_column: 600,
+            ns_per_word: 20,
+        }
+    }
+}
+
+impl FrameCostModel {
+    fn words_for(&self, kind: ResourceKind) -> u64 {
+        match kind {
+            ResourceKind::Bram => self.bram_words_per_column,
+            ResourceKind::Dsp => self.dsp_words_per_column,
+            // Logic, plus routing through IO/clock columns if a module ever
+            // spanned one, costs a logic frame.
+            _ => self.clb_words_per_column,
+        }
+    }
+}
+
+/// Estimated cost of loading one placed module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconfigCost {
+    /// Columns whose frames must be rewritten.
+    pub columns: u32,
+    /// Total configuration words.
+    pub words: u64,
+    /// Load time at the model's port speed, in nanoseconds.
+    pub nanos: u64,
+}
+
+/// Cost of reconfiguring `placed` (one module of `modules`) on `region`:
+/// every column its layout occupies is rewritten once, at the cost of the
+/// most expensive resource kind the module uses in that column.
+pub fn module_cost(
+    region: &Region,
+    modules: &[Module],
+    placed: &PlacedModule,
+    model: &FrameCostModel,
+) -> ReconfigCost {
+    let shape = &modules[placed.module].shapes()[placed.shape];
+    // Column -> most expensive kind used there.
+    let mut columns: std::collections::BTreeMap<i32, u64> = Default::default();
+    for (tile, kind) in shape.tiles_at(placed.x, placed.y) {
+        // The frame kind is the fabric's, which (for valid floorplans)
+        // matches the module tile's kind; fall back to the fabric's view
+        // so costs stay meaningful on invalid input, too.
+        let fabric_kind = region.kind_at(tile.x, tile.y);
+        let effective = if fabric_kind == ResourceKind::Static {
+            kind
+        } else {
+            fabric_kind
+        };
+        let words = model.words_for(effective);
+        columns
+            .entry(tile.x)
+            .and_modify(|w| *w = (*w).max(words))
+            .or_insert(words);
+    }
+    let words: u64 = columns.values().sum();
+    ReconfigCost {
+        columns: columns.len() as u32,
+        words,
+        nanos: words * model.ns_per_word,
+    }
+}
+
+/// Total and per-module costs of a floorplan (the startup cost of loading
+/// every module once).
+pub fn floorplan_cost(
+    region: &Region,
+    modules: &[Module],
+    plan: &Floorplan,
+    model: &FrameCostModel,
+) -> (ReconfigCost, Vec<ReconfigCost>) {
+    let per: Vec<ReconfigCost> = plan
+        .placements
+        .iter()
+        .map(|p| module_cost(region, modules, p, model))
+        .collect();
+    let total = ReconfigCost {
+        columns: per.iter().map(|c| c.columns).sum(),
+        words: per.iter().map(|c| c.words).sum(),
+        nanos: per.iter().map(|c| c.nanos).sum(),
+    };
+    (total, per)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::Fabric;
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn place(module: usize, x: i32, y: i32) -> PlacedModule {
+        PlacedModule {
+            module,
+            shape: 0,
+            x,
+            y,
+        }
+    }
+
+    #[test]
+    fn logic_module_costs_logic_frames() {
+        let region = Region::whole(Fabric::homogeneous(8, 4).unwrap());
+        let m = Module::new(
+            "logic",
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                3,
+                2,
+                ResourceKind::Clb,
+            )])],
+        );
+        let cost = module_cost(&region, &[m], &place(0, 1, 0), &FrameCostModel::default());
+        assert_eq!(cost.columns, 3);
+        assert_eq!(cost.words, 3 * 400);
+        assert_eq!(cost.nanos, 3 * 400 * 20);
+    }
+
+    #[test]
+    fn bram_column_dominates_mixed_column_is_not_merged() {
+        // Module spans a CLB column and a BRAM column.
+        let region = Region::whole(Fabric::from_art("cB\ncB").unwrap());
+        let m = Module::new(
+            "mix",
+            vec![ShapeDef::new(vec![
+                ShiftedBox::new(0, 0, 1, 2, ResourceKind::Clb),
+                ShiftedBox::new(1, 0, 1, 2, ResourceKind::Bram),
+            ])],
+        );
+        let cost = module_cost(&region, &[m], &place(0, 0, 0), &FrameCostModel::default());
+        assert_eq!(cost.columns, 2);
+        assert_eq!(cost.words, 400 + 3_200);
+    }
+
+    #[test]
+    fn taller_module_same_columns_same_cost() {
+        // Column-based reconfiguration: height does not change frame count.
+        let region = Region::whole(Fabric::homogeneous(8, 8).unwrap());
+        let short = Module::new(
+            "s",
+            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)])],
+        );
+        let tall = Module::new(
+            "t",
+            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 8, ResourceKind::Clb)])],
+        );
+        let model = FrameCostModel::default();
+        let c1 = module_cost(&region, &[short], &place(0, 0, 0), &model);
+        let c2 = module_cost(&region, &[tall], &place(0, 0, 0), &model);
+        assert_eq!(c1.words, c2.words);
+    }
+
+    #[test]
+    fn floorplan_cost_sums_modules() {
+        let region = Region::whole(Fabric::homogeneous(10, 4).unwrap());
+        let m = Module::new(
+            "m",
+            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)])],
+        );
+        let modules = vec![m.clone(), m];
+        let plan = Floorplan::new(vec![place(0, 0, 0), place(1, 4, 0)]);
+        let (total, per) = floorplan_cost(&region, &modules, &plan, &FrameCostModel::default());
+        assert_eq!(per.len(), 2);
+        assert_eq!(total.words, per[0].words + per[1].words);
+        assert_eq!(total.columns, 4);
+    }
+
+    #[test]
+    fn alternative_with_fewer_columns_loads_faster() {
+        // The same module as 4x2 (4 columns) vs 2x4 (2 columns): the tall
+        // alternative reconfigures faster — a second reason alternatives
+        // matter beyond packing.
+        let region = Region::whole(Fabric::homogeneous(8, 4).unwrap());
+        let wide = Module::new(
+            "w",
+            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 4, 2, ResourceKind::Clb)])],
+        );
+        let tall = Module::new(
+            "t",
+            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 4, ResourceKind::Clb)])],
+        );
+        let model = FrameCostModel::default();
+        let cw = module_cost(&region, &[wide], &place(0, 0, 0), &model);
+        let ct = module_cost(&region, &[tall], &place(0, 0, 0), &model);
+        assert!(ct.words < cw.words);
+    }
+}

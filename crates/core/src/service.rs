@@ -1,0 +1,170 @@
+//! Service level: how many module requests fit a *fixed* region.
+//!
+//! The paper's related-work section frames most placement research around
+//! the *service level* — "the amount of module requests that can be
+//! fulfilled". This extension measures it for the offline placer: given a
+//! priority-ordered module list and a fixed region, find the longest
+//! prefix that is simultaneously placeable, using CP satisfiability per
+//! probe (greedy first, search as fallback) and binary search over the
+//! prefix length (feasibility is monotone in the prefix).
+
+use crate::baseline::bottom_left;
+use crate::placement::Floorplan;
+use crate::problem::{PlacementProblem, PlacerConfig};
+use crate::{cp, verify};
+
+/// Result of a service-level probe.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Longest feasible prefix length.
+    pub placed: usize,
+    /// A floorplan for that prefix (empty when `placed == 0`).
+    pub plan: Floorplan,
+    /// Whether every probe that decided the boundary was *proven* (an
+    /// unproven infeasible probe may underestimate the service level).
+    pub exact: bool,
+}
+
+/// Is the prefix `problem.modules[..k]` placeable at all?
+/// Tries the greedy placer first (a solution is a solution), then a CP
+/// satisfiability search under `config`'s budget.
+fn prefix_feasible(
+    problem: &PlacementProblem,
+    k: usize,
+    config: &PlacerConfig,
+) -> (Option<Floorplan>, bool) {
+    let prefix = PlacementProblem::new(
+        problem.region.clone(),
+        problem.modules[..k].to_vec(),
+    );
+    if let Some(plan) = bottom_left(&prefix) {
+        debug_assert!(verify::verify(&prefix.region, &prefix.modules, &plan).is_empty());
+        return (Some(plan), true);
+    }
+    let out = cp::place(&prefix, config);
+    (out.plan, out.proven)
+}
+
+/// Find the longest feasible prefix of `problem.modules`.
+pub fn max_feasible_prefix(problem: &PlacementProblem, config: &PlacerConfig) -> ServiceOutcome {
+    let n = problem.modules.len();
+    if n == 0 {
+        return ServiceOutcome {
+            placed: 0,
+            plan: Floorplan::new(vec![]),
+            exact: true,
+        };
+    }
+    // Binary search the boundary: invariant lo feasible (with plan), hi
+    // infeasible (or n+1 sentinel).
+    let mut lo = 0usize;
+    let mut lo_plan = Floorplan::new(vec![]);
+    let mut hi = n + 1;
+    let mut exact = true;
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        let (plan, proven) = prefix_feasible(problem, mid, config);
+        match plan {
+            Some(p) => {
+                lo = mid;
+                lo_plan = p;
+            }
+            None => {
+                exact &= proven;
+                hi = mid;
+            }
+        }
+    }
+    ServiceOutcome {
+        placed: lo,
+        plan: lo_plan,
+        exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Module;
+    use rrf_fabric::{device, Region, ResourceKind};
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn clb_shape(w: i32, h: i32) -> ShapeDef {
+        ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+    }
+
+    fn modules(n: usize, w: i32, h: i32) -> Vec<Module> {
+        (0..n)
+            .map(|i| Module::new(format!("m{i}"), vec![clb_shape(w, h)]))
+            .collect()
+    }
+
+    #[test]
+    fn exact_capacity_boundary() {
+        // 8x4 region, 2x4 modules: exactly 4 fit.
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(8, 4)),
+            modules(6, 2, 4),
+        );
+        let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
+        assert_eq!(out.placed, 4);
+        assert!(out.exact);
+        assert!(verify::verify(&problem.region, &problem.modules[..4], &out.plan).is_empty());
+    }
+
+    #[test]
+    fn all_fit() {
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(10, 4)),
+            modules(3, 2, 2),
+        );
+        let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
+        assert_eq!(out.placed, 3);
+    }
+
+    #[test]
+    fn none_fit() {
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(3, 3)),
+            modules(2, 4, 4),
+        );
+        let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
+        assert_eq!(out.placed, 0);
+        assert!(out.plan.placements.is_empty());
+        assert!(out.exact);
+    }
+
+    #[test]
+    fn empty_problem() {
+        let problem = PlacementProblem::new(Region::whole(device::homogeneous(3, 3)), vec![]);
+        let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
+        assert_eq!(out.placed, 0);
+        assert!(out.exact);
+    }
+
+    #[test]
+    fn alternatives_raise_service_level() {
+        // Region 4 tall. Modules alternate 4x2 / {4x2, 2x4}: with the tall
+        // alternative more modules fit in the same extent.
+        let wide = clb_shape(4, 2);
+        let tall = clb_shape(2, 4);
+        let with: Vec<Module> = (0..6)
+            .map(|i| Module::new(format!("m{i}"), vec![wide.clone(), tall.clone()]))
+            .collect();
+        let without: Vec<Module> = with.iter().map(Module::without_alternatives).collect();
+        let region = Region::whole(device::homogeneous(7, 4));
+        let out_with = max_feasible_prefix(
+            &PlacementProblem::new(region.clone(), with),
+            &PlacerConfig::exact(),
+        );
+        let out_without = max_feasible_prefix(
+            &PlacementProblem::new(region, without),
+            &PlacerConfig::exact(),
+        );
+        // 7x4 region: wide-only packs 3 (2 stacked + 1, extent…) — exactly:
+        // 4x2 modules in 7x4: two stacked at x0..4, one at x4..7? 4 wide
+        // doesn't fit in remaining 3 columns → 2. With the 2x4 alternative:
+        // 2+ (3 columns hold 1 tall module (2 cols)) → 3.
+        assert!(out_with.placed > out_without.placed);
+    }
+}

@@ -1,0 +1,239 @@
+//! A catalog of device models.
+//!
+//! The paper evaluates on "a partial region model … modelled after a real
+//! world FPGA" with column-located dedicated resources (older generations)
+//! and notes that newer generations spread resources *irregularly* and
+//! interrupt columns with clock resources. We provide both families plus a
+//! homogeneous reference:
+//!
+//! * [`virtex_like`] — regular column layout (BRAM / DSP columns, IO edges,
+//!   a center clock column), in the spirit of Virtex-II/-4 floorplans;
+//! * [`irregular`] — a seeded layout where resource columns are broken up
+//!   and displaced, modelling newer devices;
+//! * [`homogeneous`] — all-CLB, for the heterogeneity ablation.
+
+use crate::{Fabric, Rect, ResourceKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Spacing parameters for a column-structured device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColumnLayout {
+    /// A BRAM column every `bram_period` columns (first at `bram_offset`).
+    pub bram_period: i32,
+    pub bram_offset: i32,
+    /// A DSP column every `dsp_period` columns (first at `dsp_offset`).
+    pub dsp_period: i32,
+    pub dsp_offset: i32,
+    /// Width of the IO ring on the left/right device edges (0 = none).
+    pub io_ring: i32,
+    /// Whether to place a clock column in the device center.
+    pub center_clock: bool,
+}
+
+impl Default for ColumnLayout {
+    /// Defaults chosen so a mid-size region has the paper's flavour: mostly
+    /// CLB, a BRAM column roughly every 8 columns, a sparser DSP column,
+    /// IO on the edges and a clock column in the middle.
+    fn default() -> ColumnLayout {
+        ColumnLayout {
+            bram_period: 8,
+            bram_offset: 4,
+            dsp_period: 16,
+            dsp_offset: 9,
+            io_ring: 1,
+            center_clock: true,
+        }
+    }
+}
+
+/// Build a column-structured heterogeneous fabric with the given layout.
+///
+/// Column priority when rules collide: IO ring > clock > DSP > BRAM > CLB.
+pub fn columns(width: i32, height: i32, layout: ColumnLayout) -> Fabric {
+    let mut fabric = Fabric::homogeneous(width, height)
+        .expect("device dimensions must be positive and within MAX_DIM");
+    if layout.bram_period > 0 {
+        let mut x = layout.bram_offset;
+        while x < width {
+            fabric.fill_column(x, ResourceKind::Bram);
+            x += layout.bram_period;
+        }
+    }
+    if layout.dsp_period > 0 {
+        let mut x = layout.dsp_offset;
+        while x < width {
+            fabric.fill_column(x, ResourceKind::Dsp);
+            x += layout.dsp_period;
+        }
+    }
+    if layout.center_clock {
+        fabric.fill_column(width / 2, ResourceKind::Clock);
+    }
+    for i in 0..layout.io_ring {
+        fabric.fill_column(i, ResourceKind::Io);
+        fabric.fill_column(width - 1 - i, ResourceKind::Io);
+    }
+    fabric
+}
+
+/// A Virtex-style device with the default column layout.
+pub fn virtex_like(width: i32, height: i32) -> Fabric {
+    columns(width, height, ColumnLayout::default())
+}
+
+/// A homogeneous all-CLB device (heterogeneity ablation reference).
+pub fn homogeneous(width: i32, height: i32) -> Fabric {
+    Fabric::homogeneous(width, height).expect("device dimensions must be positive")
+}
+
+/// A newer-generation style device: column resources are present but broken
+/// into segments, displaced per segment, and interrupted by clock tiles, so
+/// no two rows see the same resource pattern. Deterministic in `seed`.
+pub fn irregular(width: i32, height: i32, seed: u64) -> Fabric {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut fabric = Fabric::homogeneous(width, height)
+        .expect("device dimensions must be positive and within MAX_DIM");
+
+    // Segmented BRAM columns: each vertical segment of ~4 rows may shift the
+    // column by -1/0/+1, and occasionally a segment is dropped entirely.
+    let mut x = 4;
+    while x < width - 1 {
+        let mut y = 0;
+        while y < height {
+            let seg = (rng.gen_range(3..6)).min(height - y);
+            if rng.gen_bool(0.85) {
+                let dx: i32 = rng.gen_range(-1..=1);
+                let col = (x + dx).clamp(1, width - 2);
+                fabric.fill_rect(Rect::new(col, y, 1, seg), ResourceKind::Bram);
+            }
+            y += seg;
+        }
+        x += rng.gen_range(6..11);
+    }
+
+    // Sparse DSP patches (2 tiles tall) rather than full columns.
+    let dsp_patches = ((width * height) / 160).max(1);
+    for _ in 0..dsp_patches {
+        let px = rng.gen_range(1..width - 1);
+        let py = rng.gen_range(0..height - 1);
+        fabric.fill_rect(Rect::new(px, py, 1, 2), ResourceKind::Dsp);
+    }
+
+    // Clock tiles interrupt the center column in short runs — the paper
+    // notes "some resource columns differ from their resource type (e.g.
+    // they contain clock resources)".
+    let cx = width / 2;
+    let mut y = 0;
+    while y < height {
+        let run = rng.gen_range(1..4).min(height - y);
+        if rng.gen_bool(0.5) {
+            fabric.fill_rect(Rect::new(cx, y, 1, run), ResourceKind::Clock);
+        }
+        y += run;
+    }
+
+    // IO on the outer columns.
+    fabric.fill_column(0, ResourceKind::Io);
+    fabric.fill_column(width - 1, ResourceKind::Io);
+    fabric
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_virtex_has_all_kinds() {
+        let f = virtex_like(48, 16);
+        assert!(f.count(ResourceKind::Clb) > 0);
+        assert!(f.count(ResourceKind::Bram) > 0);
+        assert!(f.count(ResourceKind::Dsp) > 0);
+        assert!(f.count(ResourceKind::Io) > 0);
+        assert!(f.count(ResourceKind::Clock) > 0);
+    }
+
+    #[test]
+    fn virtex_clb_dominates() {
+        let f = virtex_like(64, 24);
+        assert!(f.count(ResourceKind::Clb) > f.area() / 2);
+    }
+
+    #[test]
+    fn io_ring_on_edges() {
+        let f = virtex_like(48, 16);
+        for y in 0..16 {
+            assert_eq!(f.get(0, y).unwrap(), ResourceKind::Io);
+            assert_eq!(f.get(47, y).unwrap(), ResourceKind::Io);
+        }
+    }
+
+    #[test]
+    fn bram_columns_are_periodic() {
+        let layout = ColumnLayout {
+            io_ring: 0,
+            center_clock: false,
+            dsp_period: 0,
+            ..ColumnLayout::default()
+        };
+        let f = columns(32, 8, layout);
+        for x in (4..32).step_by(8) {
+            for y in 0..8 {
+                assert_eq!(f.get(x, y).unwrap(), ResourceKind::Bram);
+            }
+        }
+        assert_eq!(f.count(ResourceKind::Bram), 4 * 8);
+    }
+
+    #[test]
+    fn zero_periods_disable_columns() {
+        let layout = ColumnLayout {
+            bram_period: 0,
+            dsp_period: 0,
+            io_ring: 0,
+            center_clock: false,
+            ..ColumnLayout::default()
+        };
+        let f = columns(16, 8, layout);
+        assert_eq!(f.count(ResourceKind::Clb), f.area());
+    }
+
+    #[test]
+    fn irregular_is_deterministic_per_seed() {
+        let a = irregular(40, 20, 7);
+        let b = irregular(40, 20, 7);
+        assert_eq!(a, b);
+        let c = irregular(40, 20, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn irregular_has_heterogeneity() {
+        let f = irregular(40, 20, 1);
+        assert!(f.count(ResourceKind::Bram) > 0);
+        assert!(f.count(ResourceKind::Io) == 2 * 20);
+        assert!(f.count(ResourceKind::Clb) > 0);
+    }
+
+    #[test]
+    fn irregular_rows_differ() {
+        // The point of the irregular model: the resource pattern is not a
+        // pure function of x. Find at least one column whose kinds vary by y.
+        let f = irregular(40, 20, 3);
+        let mut any_varies = false;
+        for x in 0..40 {
+            let first = f.get(x, 0).unwrap();
+            if (1..20).any(|y| f.get(x, y).unwrap() != first) {
+                any_varies = true;
+                break;
+            }
+        }
+        assert!(any_varies);
+    }
+
+    #[test]
+    fn homogeneous_is_all_clb() {
+        let f = homogeneous(10, 10);
+        assert_eq!(f.count(ResourceKind::Clb), 100);
+    }
+}

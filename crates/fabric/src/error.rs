@@ -1,0 +1,71 @@
+//! Error types for fabric construction and parsing.
+
+use std::fmt;
+
+/// Errors raised while building or parsing a fabric or region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FabricError {
+    /// A string-art character did not name a resource kind.
+    UnknownResourceCode(char),
+    /// String-art rows had differing lengths.
+    RaggedRows { expected: usize, got: usize, row: usize },
+    /// A fabric dimension was zero or exceeded the supported maximum.
+    BadDimensions { width: i32, height: i32 },
+    /// A region's bounds do not fit inside its fabric.
+    RegionOutOfBounds,
+    /// A coordinate fell outside the fabric.
+    OutOfBounds { x: i32, y: i32 },
+}
+
+impl fmt::Display for FabricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FabricError::UnknownResourceCode(c) => {
+                write!(f, "unknown resource code {c:?}")
+            }
+            FabricError::RaggedRows { expected, got, row } => write!(
+                f,
+                "ragged fabric rows: row {row} has {got} tiles, expected {expected}"
+            ),
+            FabricError::BadDimensions { width, height } => {
+                write!(f, "bad fabric dimensions {width}x{height}")
+            }
+            FabricError::RegionOutOfBounds => {
+                write!(f, "region bounds exceed fabric extent")
+            }
+            FabricError::OutOfBounds { x, y } => {
+                write!(f, "coordinate ({x},{y}) outside fabric")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FabricError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(FabricError::UnknownResourceCode('z')
+            .to_string()
+            .contains("'z'"));
+        assert!(FabricError::RaggedRows {
+            expected: 4,
+            got: 3,
+            row: 2
+        }
+        .to_string()
+        .contains("row 2"));
+        assert!(FabricError::BadDimensions {
+            width: 0,
+            height: 5
+        }
+        .to_string()
+        .contains("0x5"));
+        assert!(FabricError::OutOfBounds { x: -1, y: 9 }
+            .to_string()
+            .contains("(-1,9)"));
+    }
+}

@@ -1,0 +1,301 @@
+//! Integer geometry shared by the fabric, the geost kernel, and the placer.
+//!
+//! Coordinates follow the paper's convention: `x` grows rightward, `y` grows
+//! upward, tiles are unit squares addressed by their lower-left corner.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tile coordinate (lower-left corner of a unit tile).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Point {
+    pub x: i32,
+    pub y: i32,
+}
+
+impl Point {
+    #[inline]
+    pub const fn new(x: i32, y: i32) -> Point {
+        Point { x, y }
+    }
+
+    /// Component-wise translation.
+    #[inline]
+    pub const fn offset(self, dx: i32, dy: i32) -> Point {
+        Point::new(self.x + dx, self.y + dy)
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(i32, i32)> for Point {
+    fn from((x, y): (i32, i32)) -> Point {
+        Point::new(x, y)
+    }
+}
+
+/// A half-open axis-aligned rectangle of tiles:
+/// `x ∈ [x, x+w)`, `y ∈ [y, y+h)`. Empty iff `w == 0 || h == 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Rect {
+    pub x: i32,
+    pub y: i32,
+    pub w: i32,
+    pub h: i32,
+}
+
+impl Rect {
+    /// Construct from origin and size. Panics on negative sizes — a negative
+    /// extent is always a logic error in this codebase.
+    pub fn new(x: i32, y: i32, w: i32, h: i32) -> Rect {
+        assert!(w >= 0 && h >= 0, "negative rect size {w}x{h}");
+        Rect { x, y, w, h }
+    }
+
+    /// The rectangle spanning both corner points (inclusive of both tiles).
+    pub fn spanning(a: Point, b: Point) -> Rect {
+        let x0 = a.x.min(b.x);
+        let y0 = a.y.min(b.y);
+        let x1 = a.x.max(b.x);
+        let y1 = a.y.max(b.y);
+        Rect::new(x0, y0, x1 - x0 + 1, y1 - y0 + 1)
+    }
+
+    #[inline]
+    pub const fn is_empty(&self) -> bool {
+        self.w == 0 || self.h == 0
+    }
+
+    /// Number of tiles covered.
+    #[inline]
+    pub const fn area(&self) -> i64 {
+        self.w as i64 * self.h as i64
+    }
+
+    /// Exclusive right edge.
+    #[inline]
+    pub const fn x_end(&self) -> i32 {
+        self.x + self.w
+    }
+
+    /// Exclusive top edge.
+    #[inline]
+    pub const fn y_end(&self) -> i32 {
+        self.y + self.h
+    }
+
+    /// Whether the tile at `p` lies inside.
+    #[inline]
+    pub const fn contains(&self, p: Point) -> bool {
+        p.x >= self.x && p.x < self.x_end() && p.y >= self.y && p.y < self.y_end()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.is_empty()
+            || (other.x >= self.x
+                && other.y >= self.y
+                && other.x_end() <= self.x_end()
+                && other.y_end() <= self.y_end())
+    }
+
+    /// Whether the two rectangles share at least one tile.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.is_empty()
+            && !other.is_empty()
+            && self.x < other.x_end()
+            && other.x < self.x_end()
+            && self.y < other.y_end()
+            && other.y < self.y_end()
+    }
+
+    /// The shared tiles of two rectangles, if any.
+    pub fn intersection(&self, other: &Rect) -> Option<Rect> {
+        if !self.intersects(other) {
+            return None;
+        }
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.x_end().min(other.x_end());
+        let y1 = self.y_end().min(other.y_end());
+        Some(Rect::new(x0, y0, x1 - x0, y1 - y0))
+    }
+
+    /// The rectangle mirrored across the x=y diagonal.
+    pub const fn transposed(&self) -> Rect {
+        Rect {
+            x: self.y,
+            y: self.x,
+            w: self.h,
+            h: self.w,
+        }
+    }
+
+    /// Translate by `(dx, dy)`.
+    pub const fn translated(&self, dx: i32, dy: i32) -> Rect {
+        Rect {
+            x: self.x + dx,
+            y: self.y + dy,
+            w: self.w,
+            h: self.h,
+        }
+    }
+
+    /// Iterate all tile coordinates, row-major from the bottom-left.
+    pub fn tiles(self) -> impl Iterator<Item = Point> {
+        (self.y..self.y_end())
+            .flat_map(move |y| (self.x..self.x_end()).map(move |x| Point::new(x, y)))
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union_bbox(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.x_end().max(other.x_end());
+        let y1 = self.y_end().max(other.y_end());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}x{} @ ({},{})]", self.w, self.h, self.x, self.y)
+    }
+}
+
+/// Compute the tight bounding box of a set of tile coordinates.
+/// Returns `None` for an empty set.
+pub fn bounding_box<I: IntoIterator<Item = Point>>(points: I) -> Option<Rect> {
+    let mut it = points.into_iter();
+    let first = it.next()?;
+    let mut r = Rect::new(first.x, first.y, 1, 1);
+    for p in it {
+        r = r.union_bbox(&Rect::new(p.x, p.y, 1, 1));
+    }
+    Some(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_offset() {
+        assert_eq!(Point::new(2, 3).offset(-1, 4), Point::new(1, 7));
+    }
+
+    #[test]
+    fn rect_basic() {
+        let r = Rect::new(1, 2, 3, 4);
+        assert_eq!(r.area(), 12);
+        assert_eq!(r.x_end(), 4);
+        assert_eq!(r.y_end(), 6);
+        assert!(!r.is_empty());
+        assert!(Rect::new(0, 0, 0, 5).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn rect_negative_size_panics() {
+        let _ = Rect::new(0, 0, -1, 2);
+    }
+
+    #[test]
+    fn contains_edges_half_open() {
+        let r = Rect::new(0, 0, 2, 2);
+        assert!(r.contains(Point::new(0, 0)));
+        assert!(r.contains(Point::new(1, 1)));
+        assert!(!r.contains(Point::new(2, 0)));
+        assert!(!r.contains(Point::new(0, 2)));
+        assert!(!r.contains(Point::new(-1, 0)));
+    }
+
+    #[test]
+    fn contains_rect_cases() {
+        let outer = Rect::new(0, 0, 10, 10);
+        assert!(outer.contains_rect(&Rect::new(0, 0, 10, 10)));
+        assert!(outer.contains_rect(&Rect::new(3, 3, 2, 2)));
+        assert!(!outer.contains_rect(&Rect::new(9, 9, 2, 2)));
+        // Empty rects are contained everywhere.
+        assert!(outer.contains_rect(&Rect::new(100, 100, 0, 0)));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        let a = Rect::new(0, 0, 4, 4);
+        let b = Rect::new(2, 2, 4, 4);
+        assert!(a.intersects(&b));
+        assert_eq!(a.intersection(&b), Some(Rect::new(2, 2, 2, 2)));
+        // Touching edges do not intersect (half-open).
+        let c = Rect::new(4, 0, 2, 2);
+        assert!(!a.intersects(&c));
+        assert_eq!(a.intersection(&c), None);
+        // Empty rect intersects nothing.
+        assert!(!a.intersects(&Rect::new(1, 1, 0, 0)));
+    }
+
+    #[test]
+    fn spanning_is_inclusive() {
+        let r = Rect::spanning(Point::new(3, 5), Point::new(1, 2));
+        assert_eq!(r, Rect::new(1, 2, 3, 4));
+        assert!(r.contains(Point::new(3, 5)));
+    }
+
+    #[test]
+    fn tiles_enumeration() {
+        let r = Rect::new(1, 1, 2, 2);
+        let tiles: Vec<Point> = r.tiles().collect();
+        assert_eq!(
+            tiles,
+            vec![
+                Point::new(1, 1),
+                Point::new(2, 1),
+                Point::new(1, 2),
+                Point::new(2, 2)
+            ]
+        );
+        assert_eq!(Rect::new(0, 0, 0, 3).tiles().count(), 0);
+    }
+
+    #[test]
+    fn union_bbox_cases() {
+        let a = Rect::new(0, 0, 1, 1);
+        let b = Rect::new(3, 4, 1, 1);
+        assert_eq!(a.union_bbox(&b), Rect::new(0, 0, 4, 5));
+        let empty = Rect::new(9, 9, 0, 0);
+        assert_eq!(a.union_bbox(&empty), a);
+        assert_eq!(empty.union_bbox(&b), b);
+    }
+
+    #[test]
+    fn bounding_box_of_points() {
+        assert_eq!(bounding_box(std::iter::empty()), None);
+        let bb = bounding_box([Point::new(2, 2), Point::new(0, 5), Point::new(1, 1)]).unwrap();
+        assert_eq!(bb, Rect::new(0, 1, 3, 5));
+    }
+
+    #[test]
+    fn transposed_swaps_axes() {
+        let r = Rect::new(1, 2, 3, 4).transposed();
+        assert_eq!(r, Rect::new(2, 1, 4, 3));
+        assert_eq!(r.transposed(), Rect::new(1, 2, 3, 4));
+    }
+
+    #[test]
+    fn translated_moves_origin_only() {
+        let r = Rect::new(1, 1, 3, 2).translated(2, -1);
+        assert_eq!(r, Rect::new(3, 0, 3, 2));
+    }
+}

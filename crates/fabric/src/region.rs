@@ -1,0 +1,301 @@
+//! Reconfigurable regions: the part of a device available to modules.
+//!
+//! The paper's partial region model "encompasses the reconfigurable and the
+//! static regions of the device" (§III-B, Fig. 4c): a bounding box limits
+//! where modules may go at all, and the static design is modelled as tiles
+//! whose resource type is *not available*. [`Region`] is that view: a fabric
+//! plus a reconfigurable bounding box plus static-region masks.
+
+use crate::{Fabric, FabricError, Point, Rect, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// A reconfigurable region carved out of a [`Fabric`].
+///
+/// All placement constraint generation consumes a `Region`: its
+/// [`Region::kind_at`] reports `Static` for every tile outside the bounding
+/// box, inside a static mask, or outside the device — so downstream code has
+/// a single uniform "what can live here" query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Region {
+    fabric: Fabric,
+    bounds: Rect,
+    static_masks: Vec<Rect>,
+}
+
+impl Region {
+    /// A region spanning the whole fabric with no static mask.
+    pub fn whole(fabric: Fabric) -> Region {
+        let bounds = fabric.bounds();
+        Region {
+            fabric,
+            bounds,
+            static_masks: Vec::new(),
+        }
+    }
+
+    /// A region restricted to `bounds` (must lie inside the fabric).
+    pub fn with_bounds(fabric: Fabric, bounds: Rect) -> Result<Region, FabricError> {
+        if !fabric.bounds().contains_rect(&bounds) || bounds.is_empty() {
+            return Err(FabricError::RegionOutOfBounds);
+        }
+        Ok(Region {
+            fabric,
+            bounds,
+            static_masks: Vec::new(),
+        })
+    }
+
+    /// Reserve `rect` for the static design; its tiles become unavailable.
+    /// The mask may extend beyond the bounds (extra area is irrelevant).
+    ///
+    /// The paper's evaluation allocates "a bounding box consuming about 50%
+    /// of the partial region … for the static region" (Fig. 4c); see
+    /// [`Region::split_static_half`] for that exact setup.
+    pub fn add_static_mask(&mut self, rect: Rect) {
+        if !rect.is_empty() {
+            self.static_masks.push(rect);
+        }
+    }
+
+    /// The Fig. 4c setup: mask the right `fraction` (in percent, 0–100) of
+    /// the region for the static design, keeping the left part
+    /// reconfigurable.
+    pub fn split_static_half(fabric: Fabric, static_percent: i32) -> Region {
+        let bounds = fabric.bounds();
+        let static_w = (bounds.w * static_percent.clamp(0, 100)) / 100;
+        let mut region = Region::whole(fabric);
+        if static_w > 0 {
+            region.add_static_mask(Rect::new(
+                bounds.x_end() - static_w,
+                bounds.y,
+                static_w,
+                bounds.h,
+            ));
+        }
+        region
+    }
+
+    /// The underlying device fabric (unmasked).
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The reconfigurable bounding box.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Static-region masks applied on top of the bounds.
+    pub fn static_masks(&self) -> &[Rect] {
+        &self.static_masks
+    }
+
+    /// Whether the tile at `(x, y)` is masked by a static rectangle.
+    pub fn is_masked(&self, x: i32, y: i32) -> bool {
+        let p = Point::new(x, y);
+        self.static_masks.iter().any(|m| m.contains(p))
+    }
+
+    /// The effective resource kind at `(x, y)`: the fabric's kind, demoted to
+    /// `Static` outside the bounds or under a mask.
+    #[inline]
+    pub fn kind_at(&self, x: i32, y: i32) -> ResourceKind {
+        if !self.bounds.contains(Point::new(x, y)) || self.is_masked(x, y) {
+            ResourceKind::Static
+        } else {
+            self.fabric.kind_at(x, y)
+        }
+    }
+
+    /// Whether a module tile of kind `kind` may sit at `(x, y)` (eq. 3:
+    /// identical resource type required, and the effective type must be
+    /// placeable at all).
+    #[inline]
+    pub fn accepts(&self, x: i32, y: i32, kind: ResourceKind) -> bool {
+        kind.is_placeable() && self.kind_at(x, y) == kind
+    }
+
+    /// Iterate `(point, effective kind)` over the bounding box.
+    pub fn iter(&self) -> impl Iterator<Item = (Point, ResourceKind)> + '_ {
+        self.bounds.tiles().map(move |p| (p, self.kind_at(p.x, p.y)))
+    }
+
+    /// Count tiles of an effective kind within the bounds.
+    pub fn count(&self, kind: ResourceKind) -> usize {
+        self.iter().filter(|&(_, k)| k == kind).count()
+    }
+
+    /// Count module-occupiable tiles within the bounds.
+    pub fn placeable_count(&self) -> usize {
+        self.iter().filter(|&(_, k)| k.is_placeable()).count()
+    }
+
+    /// Count module-occupiable tiles within `window ∩ bounds`. Used by the
+    /// utilization metric, which divides occupied tiles by the placeable
+    /// tiles of the consumed window.
+    pub fn placeable_count_in(&self, window: Rect) -> usize {
+        match window.intersection(&self.bounds) {
+            Some(w) => w
+                .tiles()
+                .filter(|p| self.kind_at(p.x, p.y).is_placeable())
+                .count(),
+            None => 0,
+        }
+    }
+
+    /// The region mirrored across the x=y diagonal (fabric, bounds and
+    /// masks all transposed).
+    pub fn transposed(&self) -> Region {
+        Region {
+            fabric: self.fabric.transposed(),
+            bounds: self.bounds.transposed(),
+            static_masks: self.static_masks.iter().map(Rect::transposed).collect(),
+        }
+    }
+
+    /// Flatten to a standalone fabric where every non-reconfigurable tile is
+    /// `Static` — convenient for rendering.
+    pub fn to_effective_fabric(&self) -> Fabric {
+        let mut out = Fabric::filled(
+            self.fabric.width(),
+            self.fabric.height(),
+            ResourceKind::Static,
+        )
+        .expect("source fabric already validated");
+        for y in 0..self.fabric.height() {
+            for x in 0..self.fabric.width() {
+                out.set(x, y, self.kind_at(x, y)).expect("in bounds");
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device;
+
+    #[test]
+    fn whole_region_mirrors_fabric() {
+        let f = device::virtex_like(24, 8);
+        let r = Region::whole(f.clone());
+        for (p, k) in f.iter() {
+            assert_eq!(r.kind_at(p.x, p.y), k);
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_is_static() {
+        let r = Region::whole(device::homogeneous(4, 4));
+        assert_eq!(r.kind_at(-1, 0), ResourceKind::Static);
+        assert_eq!(r.kind_at(4, 0), ResourceKind::Static);
+        assert_eq!(r.kind_at(0, 99), ResourceKind::Static);
+    }
+
+    #[test]
+    fn bounds_restrict() {
+        let f = device::homogeneous(8, 8);
+        let r = Region::with_bounds(f, Rect::new(2, 2, 4, 4)).unwrap();
+        assert_eq!(r.kind_at(0, 0), ResourceKind::Static);
+        assert_eq!(r.kind_at(3, 3), ResourceKind::Clb);
+        assert_eq!(r.kind_at(6, 6), ResourceKind::Static);
+        assert_eq!(r.placeable_count(), 16);
+    }
+
+    #[test]
+    fn bad_bounds_rejected() {
+        let f = device::homogeneous(8, 8);
+        assert!(Region::with_bounds(f.clone(), Rect::new(4, 4, 8, 2)).is_err());
+        assert!(Region::with_bounds(f, Rect::new(0, 0, 0, 0)).is_err());
+    }
+
+    #[test]
+    fn static_mask_hides_tiles() {
+        let f = device::homogeneous(8, 4);
+        let mut r = Region::whole(f);
+        r.add_static_mask(Rect::new(4, 0, 4, 4));
+        assert!(r.is_masked(5, 1));
+        assert!(!r.is_masked(3, 1));
+        assert_eq!(r.kind_at(5, 1), ResourceKind::Static);
+        assert_eq!(r.kind_at(3, 1), ResourceKind::Clb);
+        assert_eq!(r.placeable_count(), 16);
+    }
+
+    #[test]
+    fn empty_mask_ignored() {
+        let mut r = Region::whole(device::homogeneous(4, 4));
+        r.add_static_mask(Rect::new(1, 1, 0, 3));
+        assert!(r.static_masks().is_empty());
+    }
+
+    #[test]
+    fn split_static_half_masks_right_side() {
+        let r = Region::split_static_half(device::homogeneous(10, 4), 50);
+        assert_eq!(r.placeable_count(), 20);
+        assert_eq!(r.kind_at(4, 0), ResourceKind::Clb);
+        assert_eq!(r.kind_at(5, 0), ResourceKind::Static);
+    }
+
+    #[test]
+    fn split_static_zero_percent() {
+        let r = Region::split_static_half(device::homogeneous(10, 4), 0);
+        assert_eq!(r.placeable_count(), 40);
+    }
+
+    #[test]
+    fn accepts_requires_exact_match() {
+        let f = Fabric::from_art("cB\ncc").unwrap();
+        let r = Region::whole(f);
+        assert!(r.accepts(0, 0, ResourceKind::Clb));
+        assert!(!r.accepts(0, 0, ResourceKind::Bram));
+        assert!(r.accepts(1, 1, ResourceKind::Bram));
+        assert!(!r.accepts(1, 1, ResourceKind::Clb));
+        // Static is never placeable even if "matching".
+        assert!(!r.accepts(-1, -1, ResourceKind::Static));
+    }
+
+    #[test]
+    fn placeable_count_in_window() {
+        let f = device::homogeneous(8, 4);
+        let mut r = Region::whole(f);
+        r.add_static_mask(Rect::new(0, 0, 2, 4));
+        assert_eq!(r.placeable_count_in(Rect::new(0, 0, 4, 4)), 8);
+        assert_eq!(r.placeable_count_in(Rect::new(0, 0, 100, 100)), 24);
+        assert_eq!(r.placeable_count_in(Rect::new(50, 50, 2, 2)), 0);
+    }
+
+    #[test]
+    fn effective_fabric_matches_kind_at() {
+        let f = device::virtex_like(16, 6);
+        let mut r = Region::with_bounds(f, Rect::new(2, 1, 10, 4)).unwrap();
+        r.add_static_mask(Rect::new(6, 1, 2, 2));
+        let eff = r.to_effective_fabric();
+        for (p, k) in eff.iter() {
+            assert_eq!(k, r.kind_at(p.x, p.y));
+        }
+    }
+
+    #[test]
+    fn transposed_region_mirrors_kinds() {
+        let mut r = Region::with_bounds(device::virtex_like(12, 6), Rect::new(1, 1, 10, 4))
+            .unwrap();
+        r.add_static_mask(Rect::new(5, 1, 3, 2));
+        let t = r.transposed();
+        for x in 0..12 {
+            for y in 0..6 {
+                assert_eq!(t.kind_at(y, x), r.kind_at(x, y), "({x},{y})");
+            }
+        }
+        assert_eq!(t.transposed(), r);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = Region::whole(device::virtex_like(16, 6));
+        r.add_static_mask(Rect::new(8, 0, 8, 6));
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Region = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

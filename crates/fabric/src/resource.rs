@@ -1,0 +1,201 @@
+//! Resource types carried by fabric and module tiles.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The physical resource type of a single fabric tile.
+///
+/// The paper's placement model (§III) attaches an *internal resource type*
+/// `k` to every tile `t_{x,y,k}`; a module tile may only be placed on a
+/// fabric tile of the identical type (eq. 3). `Static` marks tiles that are
+/// part of the static (non-reconfigurable) design and therefore unavailable
+/// to any module (Fig. 4c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// Configurable logic block — the bulk general-purpose resource.
+    Clb,
+    /// Block RAM — embedded memory; consumes more area than logic on real
+    /// devices and sits in dedicated columns.
+    Bram,
+    /// Dedicated multiplier / DSP slice.
+    Dsp,
+    /// I/O resource (device edges).
+    Io,
+    /// Clock management resource (center columns on Virtex-family parts).
+    Clock,
+    /// Unavailable: occupied by the static design or outside any region.
+    Static,
+}
+
+impl ResourceKind {
+    /// All resource kinds, in a fixed canonical order.
+    pub const ALL: [ResourceKind; 6] = [
+        ResourceKind::Clb,
+        ResourceKind::Bram,
+        ResourceKind::Dsp,
+        ResourceKind::Io,
+        ResourceKind::Clock,
+        ResourceKind::Static,
+    ];
+
+    /// Kinds a reconfigurable module may occupy. IO and clock tiles restrict
+    /// placement (modules flow around them) but are never part of a module;
+    /// `Static` is never placeable either.
+    pub const PLACEABLE: [ResourceKind; 3] =
+        [ResourceKind::Clb, ResourceKind::Bram, ResourceKind::Dsp];
+
+    /// Dense index (stable across runs) for table lookups.
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            ResourceKind::Clb => 0,
+            ResourceKind::Bram => 1,
+            ResourceKind::Dsp => 2,
+            ResourceKind::Io => 3,
+            ResourceKind::Clock => 4,
+            ResourceKind::Static => 5,
+        }
+    }
+
+    /// Inverse of [`ResourceKind::index`]. Returns `None` for out-of-range
+    /// indices.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Option<ResourceKind> {
+        match idx {
+            0 => Some(ResourceKind::Clb),
+            1 => Some(ResourceKind::Bram),
+            2 => Some(ResourceKind::Dsp),
+            3 => Some(ResourceKind::Io),
+            4 => Some(ResourceKind::Clock),
+            5 => Some(ResourceKind::Static),
+            _ => None,
+        }
+    }
+
+    /// Whether a module tile of some kind may occupy a fabric tile of this
+    /// kind. Per eq. 3 of the paper the types must match exactly, and only
+    /// CLB/BRAM/DSP tiles are module-occupiable at all.
+    #[inline]
+    pub fn is_placeable(self) -> bool {
+        matches!(
+            self,
+            ResourceKind::Clb | ResourceKind::Bram | ResourceKind::Dsp
+        )
+    }
+
+    /// One-character code used by the string-art fabric format and the ASCII
+    /// renderer.
+    #[inline]
+    pub const fn code(self) -> char {
+        match self {
+            ResourceKind::Clb => 'c',
+            ResourceKind::Bram => 'B',
+            ResourceKind::Dsp => 'D',
+            ResourceKind::Io => 'i',
+            ResourceKind::Clock => 'k',
+            ResourceKind::Static => '#',
+        }
+    }
+
+    /// Parse the one-character code produced by [`ResourceKind::code`].
+    /// `'.'` is accepted as an alias for CLB so test fabrics read naturally.
+    pub fn from_code(c: char) -> Result<ResourceKind, crate::FabricError> {
+        match c {
+            'c' | '.' => Ok(ResourceKind::Clb),
+            'B' | 'b' => Ok(ResourceKind::Bram),
+            'D' | 'd' => Ok(ResourceKind::Dsp),
+            'i' | 'I' => Ok(ResourceKind::Io),
+            'k' | 'K' => Ok(ResourceKind::Clock),
+            '#' => Ok(ResourceKind::Static),
+            other => Err(crate::FabricError::UnknownResourceCode(other)),
+        }
+    }
+
+    /// Human-readable name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Clb => "CLB",
+            ResourceKind::Bram => "BRAM",
+            ResourceKind::Dsp => "DSP",
+            ResourceKind::Io => "IO",
+            ResourceKind::Clock => "CLOCK",
+            ResourceKind::Static => "STATIC",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for kind in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_index(kind.index()), Some(kind));
+        }
+        assert_eq!(ResourceKind::from_index(6), None);
+        assert_eq!(ResourceKind::from_index(usize::MAX), None);
+    }
+
+    #[test]
+    fn code_roundtrip() {
+        for kind in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_code(kind.code()).unwrap(), kind);
+        }
+    }
+
+    #[test]
+    fn dot_is_clb_alias() {
+        assert_eq!(ResourceKind::from_code('.').unwrap(), ResourceKind::Clb);
+    }
+
+    #[test]
+    fn unknown_code_is_error() {
+        assert!(ResourceKind::from_code('?').is_err());
+        assert!(ResourceKind::from_code('x').is_err());
+    }
+
+    #[test]
+    fn placeability() {
+        assert!(ResourceKind::Clb.is_placeable());
+        assert!(ResourceKind::Bram.is_placeable());
+        assert!(ResourceKind::Dsp.is_placeable());
+        assert!(!ResourceKind::Io.is_placeable());
+        assert!(!ResourceKind::Clock.is_placeable());
+        assert!(!ResourceKind::Static.is_placeable());
+        for kind in ResourceKind::PLACEABLE {
+            assert!(kind.is_placeable());
+        }
+    }
+
+    #[test]
+    fn indices_are_dense_and_unique() {
+        let mut seen = [false; 6];
+        for kind in ResourceKind::ALL {
+            assert!(!seen[kind.index()], "duplicate index");
+            seen[kind.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ResourceKind::Clb.to_string(), "CLB");
+        assert_eq!(ResourceKind::Static.to_string(), "STATIC");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for kind in ResourceKind::ALL {
+            let json = serde_json::to_string(&kind).unwrap();
+            let back: ResourceKind = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, kind);
+        }
+    }
+}

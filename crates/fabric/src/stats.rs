@@ -1,0 +1,125 @@
+//! Resource accounting over fabrics and regions.
+
+use crate::{Fabric, Region, ResourceKind};
+use std::fmt;
+
+/// Tile counts per resource kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceCensus {
+    counts: [usize; 6],
+}
+
+impl ResourceCensus {
+    /// Census of a whole fabric.
+    pub fn of_fabric(fabric: &Fabric) -> ResourceCensus {
+        let mut census = ResourceCensus::default();
+        for (_, kind) in fabric.iter() {
+            census.counts[kind.index()] += 1;
+        }
+        census
+    }
+
+    /// Census of the effective tiles of a region's bounding box.
+    pub fn of_region(region: &Region) -> ResourceCensus {
+        let mut census = ResourceCensus::default();
+        for (_, kind) in region.iter() {
+            census.counts[kind.index()] += 1;
+        }
+        census
+    }
+
+    /// Add one tile of `kind`.
+    pub fn add(&mut self, kind: ResourceKind) {
+        self.counts[kind.index()] += 1;
+    }
+
+    /// Tiles of `kind`.
+    pub fn get(&self, kind: ResourceKind) -> usize {
+        self.counts[kind.index()]
+    }
+
+    /// Total tiles counted.
+    pub fn total(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// Tiles a module could occupy (CLB+BRAM+DSP).
+    pub fn placeable(&self) -> usize {
+        ResourceKind::PLACEABLE
+            .iter()
+            .map(|&k| self.get(k))
+            .sum()
+    }
+
+    /// Fraction of counted tiles of the given kind (0 if nothing counted).
+    pub fn fraction(&self, kind: ResourceKind) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(kind) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for ResourceCensus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for kind in ResourceKind::ALL {
+            let n = self.get(kind);
+            if n > 0 {
+                if !first {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}={}", kind, n)?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "empty")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device;
+
+    #[test]
+    fn fabric_census_sums_to_area() {
+        let f = device::virtex_like(32, 12);
+        let census = ResourceCensus::of_fabric(&f);
+        assert_eq!(census.total(), f.area());
+        assert_eq!(census.get(ResourceKind::Clb), f.count(ResourceKind::Clb));
+        assert_eq!(census.placeable(), f.placeable_count());
+    }
+
+    #[test]
+    fn region_census_respects_mask() {
+        let f = device::homogeneous(8, 4);
+        let r = Region::split_static_half(f, 50);
+        let census = ResourceCensus::of_region(&r);
+        assert_eq!(census.get(ResourceKind::Clb), 16);
+        assert_eq!(census.get(ResourceKind::Static), 16);
+    }
+
+    #[test]
+    fn fraction() {
+        let mut census = ResourceCensus::default();
+        assert_eq!(census.fraction(ResourceKind::Clb), 0.0);
+        census.add(ResourceKind::Clb);
+        census.add(ResourceKind::Clb);
+        census.add(ResourceKind::Bram);
+        assert!((census.fraction(ResourceKind::Clb) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_skips_zero_counts() {
+        let mut census = ResourceCensus::default();
+        assert_eq!(census.to_string(), "empty");
+        census.add(ResourceKind::Bram);
+        assert_eq!(census.to_string(), "BRAM=1");
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests of the fabric model: string-art round-trips, census
+//! totals, region masking algebra, and geometry laws.
+
+use proptest::prelude::*;
+use rrf_fabric::{device, Fabric, Point, Rect, Region, ResourceCensus, ResourceKind};
+
+fn kind_strategy() -> impl Strategy<Value = ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::Clb),
+        Just(ResourceKind::Bram),
+        Just(ResourceKind::Dsp),
+        Just(ResourceKind::Io),
+        Just(ResourceKind::Clock),
+        Just(ResourceKind::Static),
+    ]
+}
+
+fn fabric_strategy() -> impl Strategy<Value = Fabric> {
+    (1i32..8, 1i32..8)
+        .prop_flat_map(|(w, h)| {
+            proptest::collection::vec(kind_strategy(), (w * h) as usize)
+                .prop_map(move |kinds| {
+                    let mut f = Fabric::filled(w, h, ResourceKind::Clb).unwrap();
+                    for (i, k) in kinds.into_iter().enumerate() {
+                        f.set(i as i32 % w, i as i32 / w, k).unwrap();
+                    }
+                    f
+                })
+        })
+}
+
+proptest! {
+    #[test]
+    fn art_roundtrip(fabric in fabric_strategy()) {
+        let art = fabric.to_art();
+        let back = Fabric::from_art(&art).unwrap();
+        prop_assert_eq!(back, fabric);
+    }
+
+    #[test]
+    fn census_totals_area(fabric in fabric_strategy()) {
+        let census = ResourceCensus::of_fabric(&fabric);
+        prop_assert_eq!(census.total(), fabric.area());
+        let sum: usize = ResourceKind::ALL.iter().map(|&k| fabric.count(k)).sum();
+        prop_assert_eq!(sum, fabric.area());
+        prop_assert_eq!(census.placeable(), fabric.placeable_count());
+    }
+
+    #[test]
+    fn masks_only_remove(fabric in fabric_strategy(),
+                         mx in 0i32..8, my in 0i32..8, mw in 0i32..8, mh in 0i32..8) {
+        let open = Region::whole(fabric.clone());
+        let mut masked = Region::whole(fabric);
+        masked.add_static_mask(Rect::new(mx, my, mw, mh));
+        prop_assert!(masked.placeable_count() <= open.placeable_count());
+        let b = open.bounds();
+        for p in b.tiles() {
+            let masked_kind = masked.kind_at(p.x, p.y);
+            if masked_kind != ResourceKind::Static {
+                prop_assert_eq!(masked_kind, open.kind_at(p.x, p.y));
+            }
+        }
+    }
+
+    #[test]
+    fn rect_intersection_commutes_and_is_contained(
+        ax in -5i32..5, ay in -5i32..5, aw in 0i32..6, ah in 0i32..6,
+        bx in -5i32..5, by in -5i32..5, bw in 0i32..6, bh in 0i32..6) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        prop_assert_eq!(a.intersection(&b), b.intersection(&a));
+        if let Some(i) = a.intersection(&b) {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+            prop_assert!(i.area() <= a.area().min(b.area()));
+            // Every tile of the intersection is in both.
+            for t in i.tiles() {
+                prop_assert!(a.contains(t) && b.contains(t));
+            }
+        } else {
+            // No shared tile.
+            for t in a.tiles() {
+                prop_assert!(!b.contains(t));
+            }
+        }
+    }
+
+    #[test]
+    fn union_bbox_contains_both(
+        ax in -5i32..5, ay in -5i32..5, aw in 0i32..6, ah in 0i32..6,
+        bx in -5i32..5, by in -5i32..5, bw in 0i32..6, bh in 0i32..6) {
+        let a = Rect::new(ax, ay, aw, ah);
+        let b = Rect::new(bx, by, bw, bh);
+        let u = a.union_bbox(&b);
+        prop_assert!(u.contains_rect(&a));
+        prop_assert!(u.contains_rect(&b));
+        // Commutative up to the representation of emptiness (two empty
+        // rects with different origins are both valid results).
+        let v = b.union_bbox(&a);
+        if u.is_empty() || v.is_empty() {
+            prop_assert_eq!(u.is_empty(), v.is_empty());
+        } else {
+            prop_assert_eq!(u, v);
+        }
+    }
+
+    #[test]
+    fn region_bounds_clip_everything(seed in 0u64..100,
+                                     bx in 0i32..6, by in 0i32..4,
+                                     bw in 1i32..6, bh in 1i32..4) {
+        let fabric = device::irregular(12, 8, seed);
+        let bounds = Rect::new(bx, by, bw, bh);
+        prop_assume!(fabric.bounds().contains_rect(&bounds));
+        let region = Region::with_bounds(fabric, bounds).unwrap();
+        for x in -2..14 {
+            for y in -2..10 {
+                if !bounds.contains(Point::new(x, y)) {
+                    prop_assert_eq!(region.kind_at(x, y), ResourceKind::Static);
+                }
+            }
+        }
+    }
+}

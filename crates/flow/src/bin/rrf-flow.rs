@@ -1,0 +1,147 @@
+//! `rrf-flow` — command-line front end of the design flow.
+//!
+//! ```text
+//! rrf-flow run <job.json> [-o report.json] [--render]
+//! rrf-flow example <out.json>     # write a starter job file
+//! ```
+//!
+//! The job-file format is `rrf_flow::spec::FlowSpec`; see the crate docs
+//! and `examples/design_flow.rs`.
+
+use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage:");
+    eprintln!("  rrf-flow run <job.json> [-o <report.json>] [--render]");
+    eprintln!("  rrf-flow example <out.json>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("example") => cmd_example(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let Some(job_path) = args.first() else {
+        return usage();
+    };
+    let mut out_path: Option<PathBuf> = None;
+    let mut render = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = Some(PathBuf::from(p)),
+                    None => return usage(),
+                }
+            }
+            "--render" => render = true,
+            _ => return usage(),
+        }
+        i += 1;
+    }
+
+    let spec = match io::load_spec(Path::new(job_path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("rrf-flow: cannot load {job_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = match run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rrf-flow: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    println!(
+        "feasible={} proven={} extent={:?}",
+        report.feasible, report.proven, report.extent
+    );
+    for p in &report.placements {
+        println!("  {} shape {} at ({}, {})", p.name, p.shape, p.x, p.y);
+    }
+    if let Some(m) = &report.metrics {
+        println!("utilization {:.1}%", m.utilization * 100.0);
+    }
+    if render && report.feasible {
+        match (spec.region.build(), report.floorplan.as_ref()) {
+            (Ok(region), Some(plan)) => {
+                let modules: Vec<rrf_core::Module> = spec
+                    .modules
+                    .iter()
+                    .map(|m| rrf_core::Module::new(m.name.clone(), m.shapes.clone()))
+                    .collect();
+                println!("{}", rrf_viz::render_floorplan(&region, &modules, plan));
+            }
+            _ => eprintln!("rrf-flow: nothing to render"),
+        }
+    }
+    if let Some(out) = out_path {
+        if let Err(e) = io::save_report(&out, &report) {
+            eprintln!("rrf-flow: cannot write {}: {e}", out.display());
+            return ExitCode::FAILURE;
+        }
+        println!("report written to {}", out.display());
+    }
+    if report.feasible {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+fn cmd_example(args: &[String]) -> ExitCode {
+    let Some(out) = args.first() else {
+        return usage();
+    };
+    let spec = FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Columns {
+                width: 48,
+                height: 8,
+                bram_period: 10,
+                bram_offset: 4,
+                dsp_period: 0,
+                dsp_offset: 0,
+                io_ring: 0,
+                center_clock: false,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+        modules: vec![ModuleEntry {
+            name: "example".into(),
+            shapes: vec![rrf_geost::ShapeDef::new(vec![rrf_geost::ShiftedBox::new(
+                0,
+                0,
+                4,
+                3,
+                rrf_fabric::ResourceKind::Clb,
+            )])],
+            netlist: None,
+        }],
+        placer: PlacerSettings::default(),
+    };
+    match io::save_spec(Path::new(out), &spec) {
+        Ok(()) => {
+            println!("starter job written to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("rrf-flow: cannot write {out}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

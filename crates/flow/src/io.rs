@@ -1,0 +1,101 @@
+//! File-level helpers: specs and reports as JSON on disk.
+
+use crate::report::FlowReport;
+use crate::spec::FlowSpec;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Load a job description from a JSON file.
+pub fn load_spec(path: &Path) -> io::Result<FlowSpec> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+/// Save a job description as pretty JSON.
+pub fn save_spec(path: &Path, spec: &FlowSpec) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(spec).map_err(io::Error::other)?;
+    fs::write(path, text)
+}
+
+/// Save a flow report as pretty JSON.
+pub fn save_report(path: &Path, report: &FlowReport) -> io::Result<()> {
+    let text = serde_json::to_string_pretty(report).map_err(io::Error::other)?;
+    fs::write(path, text)
+}
+
+/// Load a report back (round-trip for tooling).
+pub fn load_report(path: &Path) -> io::Result<FlowReport> {
+    let text = fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DeviceSpec, PlacerSettings, RegionSpec};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("rrf-flow-io-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn spec_file_roundtrip() {
+        let spec = FlowSpec {
+            region: RegionSpec {
+                device: DeviceSpec::Homogeneous {
+                    width: 4,
+                    height: 4,
+                },
+                bounds: None,
+                static_masks: vec![],
+            },
+            modules: vec![],
+            placer: PlacerSettings::default(),
+        };
+        let path = tmp("spec.json");
+        save_spec(&path, &spec).unwrap();
+        let back = load_spec(&path).unwrap();
+        assert_eq!(back, spec);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn report_file_roundtrip() {
+        let report = crate::driver::run(&FlowSpec {
+            region: RegionSpec {
+                device: DeviceSpec::Homogeneous {
+                    width: 4,
+                    height: 4,
+                },
+                bounds: None,
+                static_masks: vec![],
+            },
+            modules: vec![],
+            placer: PlacerSettings::default(),
+        })
+        .unwrap();
+        let path = tmp("report.json");
+        save_report(&path, &report).unwrap();
+        let back = load_report(&path).unwrap();
+        assert_eq!(back.feasible, report.feasible);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn malformed_spec_is_invalid_data() {
+        let path = tmp("bad.json");
+        fs::write(&path, "{not json").unwrap();
+        let err = load_spec(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_not_found() {
+        let err = load_spec(Path::new("/nonexistent/rrf.json")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

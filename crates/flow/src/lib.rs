@@ -1,0 +1,23 @@
+//! # rrf-flow — the design flow around the placer
+//!
+//! The paper's placer is "planned to be a part of the ReCoBus-Builder
+//! framework": it consumes a *partial region description* and *module
+//! specifications* and produces optimal placement positions (Fig. 2). This
+//! crate reproduces that interface as files:
+//!
+//! * [`spec::FlowSpec`] — the JSON job description (region + modules +
+//!   placer configuration);
+//! * [`driver::run`] — the pipeline: build the region, assemble modules,
+//!   run the CP placer, compute metrics, verify;
+//! * [`io`] — load/save helpers;
+//! * [`report::FlowReport`] — the JSON result (floorplan, metrics, solver
+//!   statistics, per-module positions).
+
+pub mod driver;
+pub mod io;
+pub mod report;
+pub mod spec;
+
+pub use driver::run;
+pub use report::{FlowReport, PlacedModuleReport};
+pub use spec::{DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};

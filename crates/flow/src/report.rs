@@ -1,0 +1,59 @@
+//! The flow's JSON result.
+
+use rrf_core::{Floorplan, PlacementMetrics, SolveStats};
+use serde::{Deserialize, Serialize};
+
+/// One module's placement, with the human-readable name resolved.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlacedModuleReport {
+    pub name: String,
+    pub shape: usize,
+    pub x: i32,
+    pub y: i32,
+}
+
+/// The full flow result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlowReport {
+    /// Whether a placement was found.
+    pub feasible: bool,
+    /// Whether the result is proven (optimal, or proven infeasible).
+    pub proven: bool,
+    /// Spatial extent (rightmost occupied column + 1), when feasible.
+    pub extent: Option<i64>,
+    /// Per-module placements, in module order.
+    pub placements: Vec<PlacedModuleReport>,
+    /// Utilization metrics, when feasible.
+    pub metrics: Option<PlacementMetrics>,
+    /// Solver effort.
+    pub stats: SolveStats,
+    /// The raw floorplan (for downstream tooling).
+    pub floorplan: Option<Floorplan>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_json_roundtrip() {
+        let report = FlowReport {
+            feasible: true,
+            proven: true,
+            extent: Some(12),
+            placements: vec![PlacedModuleReport {
+                name: "alu".into(),
+                shape: 1,
+                x: 3,
+                y: 0,
+            }],
+            metrics: None,
+            stats: SolveStats::default(),
+            floorplan: None,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: FlowReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.extent, Some(12));
+        assert_eq!(back.placements, report.placements);
+    }
+}

@@ -1,0 +1,314 @@
+//! The flow's JSON job description.
+
+use rrf_fabric::Rect;
+use rrf_geost::ShapeDef;
+use serde::{Deserialize, Serialize};
+
+/// How to build the device fabric.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum DeviceSpec {
+    /// All-CLB reference device.
+    Homogeneous { width: i32, height: i32 },
+    /// Virtex-style regular column layout (see `rrf_fabric::device`).
+    Columns {
+        width: i32,
+        height: i32,
+        bram_period: i32,
+        bram_offset: i32,
+        #[serde(default)]
+        dsp_period: i32,
+        #[serde(default)]
+        dsp_offset: i32,
+        #[serde(default)]
+        io_ring: i32,
+        #[serde(default)]
+        center_clock: bool,
+    },
+    /// Newer-generation irregular heterogeneity, seeded.
+    Irregular { width: i32, height: i32, seed: u64 },
+    /// Explicit string-art fabric (testing / tiny examples).
+    Art { art: String },
+}
+
+impl DeviceSpec {
+    /// Materialize the fabric.
+    pub fn build(&self) -> Result<rrf_fabric::Fabric, rrf_fabric::FabricError> {
+        use rrf_fabric::device;
+        match self {
+            DeviceSpec::Homogeneous { width, height } => {
+                rrf_fabric::Fabric::homogeneous(*width, *height)
+            }
+            DeviceSpec::Columns {
+                width,
+                height,
+                bram_period,
+                bram_offset,
+                dsp_period,
+                dsp_offset,
+                io_ring,
+                center_clock,
+            } => Ok(device::columns(
+                *width,
+                *height,
+                device::ColumnLayout {
+                    bram_period: *bram_period,
+                    bram_offset: *bram_offset,
+                    dsp_period: *dsp_period,
+                    dsp_offset: *dsp_offset,
+                    io_ring: *io_ring,
+                    center_clock: *center_clock,
+                },
+            )),
+            DeviceSpec::Irregular {
+                width,
+                height,
+                seed,
+            } => Ok(device::irregular(*width, *height, *seed)),
+            DeviceSpec::Art { art } => rrf_fabric::Fabric::from_art(art),
+        }
+    }
+}
+
+/// The partial region description: a device plus the reconfigurable bounds
+/// and static-region masks (Fig. 4c).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegionSpec {
+    pub device: DeviceSpec,
+    /// Reconfigurable bounding box; `None` = whole device.
+    #[serde(default)]
+    pub bounds: Option<Rect>,
+    /// Rectangles reserved for the static design.
+    #[serde(default)]
+    pub static_masks: Vec<Rect>,
+}
+
+impl RegionSpec {
+    /// Materialize the region.
+    pub fn build(&self) -> Result<rrf_fabric::Region, rrf_fabric::FabricError> {
+        let fabric = self.device.build()?;
+        let mut region = match self.bounds {
+            Some(b) => rrf_fabric::Region::with_bounds(fabric, b)?,
+            None => rrf_fabric::Region::whole(fabric),
+        };
+        for &mask in &self.static_masks {
+            region.add_static_mask(mask);
+        }
+        Ok(region)
+    }
+}
+
+/// One module: a name plus either pre-synthesized design alternatives or
+/// a netlist the flow packs and lays out itself (the paper's "unplaced
+/// and unrouted netlists" input, with the module height as the user's
+/// bounding-box hint).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleEntry {
+    pub name: String,
+    /// Explicit layouts. May be empty when `netlist` is given.
+    #[serde(default)]
+    pub shapes: Vec<ShapeDef>,
+    /// Netlist source to pack and lay out instead of explicit shapes.
+    #[serde(default)]
+    pub netlist: Option<NetlistSource>,
+}
+
+/// A netlist module source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetlistSource {
+    /// The netlist in `rrf-netlist`'s text format.
+    pub text: String,
+    /// Bounding-box height hint for the layout generator.
+    pub height: i32,
+    /// Design alternatives to derive (1–4).
+    #[serde(default = "default_alternatives")]
+    pub alternatives: usize,
+}
+
+fn default_alternatives() -> usize {
+    4
+}
+
+/// Placer knobs exposed in the job file.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacerSettings {
+    /// Wall-clock budget in milliseconds (`None` = exact).
+    #[serde(default)]
+    pub time_limit_ms: Option<u64>,
+    #[serde(default = "default_true")]
+    pub warm_start: bool,
+    #[serde(default = "default_true")]
+    pub redundant_cumulative: bool,
+    /// Portfolio workers; 0 or 1 = sequential.
+    #[serde(default)]
+    pub workers: usize,
+}
+
+fn default_true() -> bool {
+    true
+}
+
+impl Default for PlacerSettings {
+    fn default() -> PlacerSettings {
+        PlacerSettings {
+            time_limit_ms: Some(30_000),
+            warm_start: true,
+            redundant_cumulative: true,
+            workers: 0,
+        }
+    }
+}
+
+impl PlacerSettings {
+    /// Convert to the core placer configuration.
+    pub fn to_config(&self) -> rrf_core::PlacerConfig {
+        rrf_core::PlacerConfig {
+            time_limit: self
+                .time_limit_ms
+                .map(std::time::Duration::from_millis),
+            fail_limit: None,
+            warm_start: self.warm_start,
+            redundant_cumulative: self.redundant_cumulative,
+            strategy: if self.workers > 1 {
+                rrf_core::SearchStrategy::Portfolio(self.workers)
+            } else {
+                rrf_core::SearchStrategy::Sequential
+            },
+            heuristic: rrf_core::Heuristic::InputOrderMin,
+        }
+    }
+}
+
+/// The full job description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    pub region: RegionSpec,
+    pub modules: Vec<ModuleEntry>,
+    #[serde(default)]
+    pub placer: PlacerSettings,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::ResourceKind;
+    use rrf_geost::ShiftedBox;
+
+    #[test]
+    fn device_specs_build() {
+        assert_eq!(
+            DeviceSpec::Homogeneous {
+                width: 4,
+                height: 3
+            }
+            .build()
+            .unwrap()
+            .count(ResourceKind::Clb),
+            12
+        );
+        let art = DeviceSpec::Art {
+            art: "cB\ncc".into(),
+        }
+        .build()
+        .unwrap();
+        assert_eq!(art.count(ResourceKind::Bram), 1);
+        let irr = DeviceSpec::Irregular {
+            width: 20,
+            height: 10,
+            seed: 3,
+        }
+        .build()
+        .unwrap();
+        assert!(irr.count(ResourceKind::Bram) > 0);
+    }
+
+    #[test]
+    fn region_spec_applies_bounds_and_masks() {
+        let spec = RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 8,
+                height: 4,
+            },
+            bounds: Some(Rect::new(0, 0, 6, 4)),
+            static_masks: vec![Rect::new(4, 0, 2, 4)],
+        };
+        let region = spec.build().unwrap();
+        assert_eq!(region.placeable_count(), 16);
+    }
+
+    #[test]
+    fn bad_art_is_error() {
+        let spec = RegionSpec {
+            device: DeviceSpec::Art { art: "c?".into() },
+            bounds: None,
+            static_masks: vec![],
+        };
+        assert!(spec.build().is_err());
+    }
+
+    #[test]
+    fn settings_to_config() {
+        let s = PlacerSettings {
+            time_limit_ms: Some(500),
+            workers: 4,
+            ..PlacerSettings::default()
+        };
+        let c = s.to_config();
+        assert_eq!(
+            c.time_limit,
+            Some(std::time::Duration::from_millis(500))
+        );
+        assert!(matches!(
+            c.strategy,
+            rrf_core::SearchStrategy::Portfolio(4)
+        ));
+        let seq = PlacerSettings::default().to_config();
+        assert!(matches!(seq.strategy, rrf_core::SearchStrategy::Sequential));
+    }
+
+    #[test]
+    fn flow_spec_json_roundtrip() {
+        let spec = FlowSpec {
+            region: RegionSpec {
+                device: DeviceSpec::Columns {
+                    width: 40,
+                    height: 16,
+                    bram_period: 10,
+                    bram_offset: 4,
+                    dsp_period: 0,
+                    dsp_offset: 0,
+                    io_ring: 0,
+                    center_clock: false,
+                },
+                bounds: None,
+                static_masks: vec![],
+            },
+            modules: vec![ModuleEntry {
+                name: "alu".into(),
+                shapes: vec![ShapeDef::new(vec![ShiftedBox::new(
+                    0,
+                    0,
+                    3,
+                    2,
+                    ResourceKind::Clb,
+                )])],
+                netlist: None,
+            }],
+            placer: PlacerSettings::default(),
+        };
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: FlowSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn minimal_json_uses_defaults() {
+        let json = r#"{
+            "region": {"device": {"kind": "homogeneous", "width": 4, "height": 4}},
+            "modules": []
+        }"#;
+        let spec: FlowSpec = serde_json::from_str(json).unwrap();
+        assert!(spec.placer.warm_start);
+        assert_eq!(spec.placer.workers, 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Resource compatibility: anchor filtering against a heterogeneous region.
+//!
+//! This module realizes the paper's constraint subsets `M_a` (eq. 2 — every
+//! tile inside the constrained region) and `M_b` (eq. 3 — every tile on a
+//! fabric tile of identical resource type), and is the second geost
+//! extension: the fabric's non-matching and static tiles act as
+//! *resource-typed forbidden regions* for each box of each shape.
+//!
+//! The output is the explicit set of valid `(shape, x, y)` triples per
+//! object, posted to the solver as a table constraint — generalized arc
+//! consistency over exactly the paper's two constraint families.
+
+use crate::shape::ShapeDef;
+use rrf_fabric::{Point, Region};
+use rrf_solver::{Model, VarId};
+
+/// All anchor positions where every tile of `shape` lies inside the
+/// region's bounds and on a fabric tile of its own resource kind.
+///
+/// The scan is restricted to anchors that keep the shape's bounding box
+/// inside the region's bounding box — anything else violates eq. 2 anyway.
+pub fn allowed_anchors(region: &Region, shape: &ShapeDef) -> Vec<Point> {
+    let bounds = region.bounds();
+    let bb = shape.bounding_box();
+    let mut anchors = Vec::new();
+    // Anchor range such that bb (at offset bb.x..) stays inside bounds.
+    let x_lo = bounds.x - bb.x;
+    let x_hi = bounds.x_end() - bb.x_end(); // inclusive
+    let y_lo = bounds.y - bb.y;
+    let y_hi = bounds.y_end() - bb.y_end();
+    for y in y_lo..=y_hi {
+        'anchor: for x in x_lo..=x_hi {
+            for b in shape.boxes() {
+                let r = b.placed(x, y);
+                for ty in r.y..r.y_end() {
+                    for tx in r.x..r.x_end() {
+                        if !region.accepts(tx, ty, b.resource) {
+                            continue 'anchor;
+                        }
+                    }
+                }
+            }
+            anchors.push(Point::new(x, y));
+        }
+    }
+    anchors
+}
+
+/// The `(shape, x, y)` rows valid for an object with the given design
+/// alternatives on `region` — the paper's `M_a ∩ M_b` per module.
+pub fn anchor_rows(region: &Region, shapes: &[ShapeDef]) -> Vec<Vec<i32>> {
+    let mut rows = Vec::new();
+    for (s, shape) in shapes.iter().enumerate() {
+        for p in allowed_anchors(region, shape) {
+            rows.push(vec![s as i32, p.x, p.y]);
+        }
+    }
+    rows
+}
+
+/// Post the placement table `(shape, x, y) ∈ anchor_rows` for one object.
+/// Returns the number of rows (0 means the model is already infeasible —
+/// the table propagator will fail it).
+pub fn post_placement_table(
+    model: &mut Model,
+    region: &Region,
+    shapes: &[ShapeDef],
+    shape_var: VarId,
+    x: VarId,
+    y: VarId,
+) -> usize {
+    let rows = anchor_rows(region, shapes);
+    let n = rows.len();
+    model.table(vec![shape_var, x, y], rows);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::ShiftedBox;
+    use rrf_fabric::{device, Fabric, Rect, ResourceKind};
+
+    fn clb_box(w: i32, h: i32) -> ShapeDef {
+        ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+    }
+
+    #[test]
+    fn homogeneous_region_full_sliding_window() {
+        let region = Region::whole(device::homogeneous(5, 4));
+        let anchors = allowed_anchors(&region, &clb_box(2, 2));
+        // (5-2+1) * (4-2+1) = 12 anchors.
+        assert_eq!(anchors.len(), 12);
+        assert!(anchors.contains(&Point::new(0, 0)));
+        assert!(anchors.contains(&Point::new(3, 2)));
+        assert!(!anchors.contains(&Point::new(4, 0)));
+    }
+
+    #[test]
+    fn bram_column_blocks_clb_shape() {
+        // Fabric: columns c c B c c — a 2-wide CLB shape cannot straddle x=2.
+        let fabric = Fabric::from_art("ccBcc\nccBcc").unwrap();
+        let region = Region::whole(fabric);
+        let anchors = allowed_anchors(&region, &clb_box(2, 1));
+        let xs: Vec<i32> = anchors.iter().map(|p| p.x).collect();
+        assert!(xs.contains(&0));
+        assert!(xs.contains(&3));
+        assert!(!xs.contains(&1));
+        assert!(!xs.contains(&2));
+    }
+
+    #[test]
+    fn bram_shape_snaps_to_bram_column() {
+        let fabric = Fabric::from_art("ccBcc\nccBcc").unwrap();
+        let region = Region::whole(fabric);
+        let shape = ShapeDef::new(vec![ShiftedBox::new(0, 0, 1, 2, ResourceKind::Bram)]);
+        let anchors = allowed_anchors(&region, &shape);
+        assert_eq!(anchors, vec![Point::new(2, 0)]);
+    }
+
+    #[test]
+    fn mixed_shape_requires_both_resources() {
+        // Shape: 1 CLB tile at (0,0) + 1 BRAM tile at (1,0).
+        let fabric = Fabric::from_art("cBcB").unwrap();
+        let region = Region::whole(fabric);
+        let shape = ShapeDef::new(vec![
+            ShiftedBox::new(0, 0, 1, 1, ResourceKind::Clb),
+            ShiftedBox::new(1, 0, 1, 1, ResourceKind::Bram),
+        ]);
+        let anchors = allowed_anchors(&region, &shape);
+        assert_eq!(anchors, vec![Point::new(0, 0), Point::new(2, 0)]);
+    }
+
+    #[test]
+    fn static_mask_forbids() {
+        let mut region = Region::whole(device::homogeneous(4, 2));
+        region.add_static_mask(Rect::new(2, 0, 2, 2));
+        let anchors = allowed_anchors(&region, &clb_box(2, 2));
+        assert_eq!(anchors, vec![Point::new(0, 0)]);
+    }
+
+    #[test]
+    fn oversized_shape_has_no_anchor() {
+        let region = Region::whole(device::homogeneous(3, 3));
+        assert!(allowed_anchors(&region, &clb_box(4, 1)).is_empty());
+    }
+
+    #[test]
+    fn rows_enumerate_all_shapes() {
+        let region = Region::whole(device::homogeneous(3, 1));
+        let shapes = vec![clb_box(1, 1), clb_box(2, 1)];
+        let rows = anchor_rows(&region, &shapes);
+        // Shape 0: 3 anchors; shape 1: 2 anchors.
+        assert_eq!(rows.len(), 5);
+        assert!(rows.contains(&vec![0, 2, 0]));
+        assert!(rows.contains(&vec![1, 1, 0]));
+        assert!(!rows.contains(&vec![1, 2, 0]));
+    }
+
+    #[test]
+    fn post_table_prunes_model() {
+        let region = Region::whole(device::homogeneous(4, 1));
+        let shapes = vec![clb_box(3, 1)];
+        let mut model = Model::new();
+        let s = model.new_var(0, 0);
+        let x = model.new_var(0, 100);
+        let y = model.new_var(0, 100);
+        let n = post_placement_table(&mut model, &region, &shapes, s, x, y);
+        assert_eq!(n, 2);
+        let out = rrf_solver::solve(model, rrf_solver::SearchConfig::default());
+        assert_eq!(out.stats.solutions, 2);
+    }
+}

@@ -1,0 +1,125 @@
+//! A small counting occupancy grid used by the non-overlap sweep.
+
+use rrf_fabric::Rect;
+
+/// Per-tile occupation counts over a fixed extent. Counts (rather than
+/// bits) let the sweep subtract one object's own mandatory contribution
+/// when testing its candidate placements against "everyone else".
+#[derive(Debug, Clone)]
+pub struct OccupancyGrid {
+    bounds: Rect,
+    counts: Vec<u16>,
+}
+
+impl OccupancyGrid {
+    /// An all-zero grid covering `bounds`.
+    pub fn new(bounds: Rect) -> OccupancyGrid {
+        assert!(!bounds.is_empty(), "empty occupancy grid");
+        OccupancyGrid {
+            bounds,
+            counts: vec![0; (bounds.w as usize) * (bounds.h as usize)],
+        }
+    }
+
+    #[inline]
+    fn idx(&self, x: i32, y: i32) -> Option<usize> {
+        if x < self.bounds.x
+            || x >= self.bounds.x_end()
+            || y < self.bounds.y
+            || y >= self.bounds.y_end()
+        {
+            return None;
+        }
+        Some(((y - self.bounds.y) as usize) * self.bounds.w as usize + (x - self.bounds.x) as usize)
+    }
+
+    /// The covered extent.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// Occupation count at `(x, y)`; tiles outside the grid count as 0.
+    #[inline]
+    pub fn get(&self, x: i32, y: i32) -> u16 {
+        self.idx(x, y).map_or(0, |i| self.counts[i])
+    }
+
+    /// Add `delta` to every tile of `rect` (clipped to the grid).
+    pub fn add_rect(&mut self, rect: Rect, delta: i16) {
+        let Some(clipped) = rect.intersection(&self.bounds) else {
+            return;
+        };
+        for y in clipped.y..clipped.y_end() {
+            let row = ((y - self.bounds.y) as usize) * self.bounds.w as usize;
+            for x in clipped.x..clipped.x_end() {
+                let i = row + (x - self.bounds.x) as usize;
+                self.counts[i] = (self.counts[i] as i32 + delta as i32)
+                    .try_into()
+                    .expect("occupancy count under/overflow");
+            }
+        }
+    }
+
+    /// Largest count anywhere.
+    pub fn max_count(&self) -> u16 {
+        self.counts.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Reset all counts to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query() {
+        let mut g = OccupancyGrid::new(Rect::new(0, 0, 4, 4));
+        g.add_rect(Rect::new(1, 1, 2, 2), 1);
+        g.add_rect(Rect::new(2, 2, 2, 2), 1);
+        assert_eq!(g.get(1, 1), 1);
+        assert_eq!(g.get(2, 2), 2);
+        assert_eq!(g.get(3, 3), 1);
+        assert_eq!(g.get(0, 0), 0);
+        assert_eq!(g.max_count(), 2);
+    }
+
+    #[test]
+    fn outside_reads_zero_and_writes_clip() {
+        let mut g = OccupancyGrid::new(Rect::new(0, 0, 2, 2));
+        g.add_rect(Rect::new(-5, -5, 20, 20), 1);
+        assert_eq!(g.get(0, 0), 1);
+        assert_eq!(g.get(1, 1), 1);
+        assert_eq!(g.get(5, 5), 0);
+        assert_eq!(g.get(-1, 0), 0);
+    }
+
+    #[test]
+    fn negative_delta_and_clear() {
+        let mut g = OccupancyGrid::new(Rect::new(0, 0, 3, 3));
+        g.add_rect(Rect::new(0, 0, 3, 3), 2);
+        g.add_rect(Rect::new(0, 0, 1, 1), -2);
+        assert_eq!(g.get(0, 0), 0);
+        assert_eq!(g.get(1, 1), 2);
+        g.clear();
+        assert_eq!(g.max_count(), 0);
+    }
+
+    #[test]
+    fn offset_bounds() {
+        let mut g = OccupancyGrid::new(Rect::new(10, 20, 2, 2));
+        g.add_rect(Rect::new(10, 20, 1, 1), 1);
+        assert_eq!(g.get(10, 20), 1);
+        assert_eq!(g.get(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn underflow_panics() {
+        let mut g = OccupancyGrid::new(Rect::new(0, 0, 2, 2));
+        g.add_rect(Rect::new(0, 0, 1, 1), -1);
+    }
+}

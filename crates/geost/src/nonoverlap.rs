@@ -1,0 +1,436 @@
+//! The geost non-overlap propagator over polymorphic objects.
+//!
+//! Implements the paper's constraint family `M_c` (eq. 4): no two modules
+//! may occupy a tile at the same time. The filtering follows the classic
+//! geost recipe:
+//!
+//! 1. compute every object's **mandatory part** — tiles it occupies under
+//!    *all* of its remaining placements (anchor slack × shape alternatives);
+//! 2. fail as soon as two mandatory parts collide;
+//! 3. sweep each object's anchor domains: a candidate anchor survives only
+//!    if *some* alive shape and *some* partner coordinate avoid every other
+//!    object's mandatory tiles; bounds that cannot survive are pruned;
+//! 4. prune shape selectors whose every placement collides.
+//!
+//! The propagator is sound at every node and **complete at leaves**: once
+//! all objects are fixed, mandatory parts equal the true covers, so any
+//! residual overlap is detected.
+
+use crate::grid::OccupancyGrid;
+use crate::object::GeostObject;
+use rrf_fabric::Rect;
+use rrf_solver::{Conflict, Propagator, Space, VarId};
+
+/// Non-overlap of a set of geost objects within `bounds`.
+///
+/// `bounds` must cover every anchor placement reachable by the objects
+/// (in the placer this is the region's bounding box, which the
+/// compatibility tables already enforce); mandatory parts are clipped to it.
+pub struct NonOverlap {
+    objects: Vec<GeostObject>,
+    bounds: Rect,
+}
+
+/// One object's mandatory part, as disjoint rectangles.
+#[derive(Debug, Clone, Default)]
+struct Mandatory {
+    rects: Vec<Rect>,
+}
+
+impl Mandatory {
+    #[inline]
+    fn covers(&self, x: i32, y: i32) -> bool {
+        let p = rrf_fabric::Point::new(x, y);
+        self.rects.iter().any(|r| r.contains(p))
+    }
+}
+
+impl NonOverlap {
+    pub fn new(objects: Vec<GeostObject>, bounds: Rect) -> NonOverlap {
+        assert!(!bounds.is_empty(), "non-overlap with empty bounds");
+        NonOverlap { objects, bounds }
+    }
+
+    /// Mandatory part of object `i`: per-box compulsory rectangles if a
+    /// single shape is alive; with several alive shapes, the per-tile
+    /// intersection of the shapes' compulsory regions (computed through a
+    /// scratch grid and re-encoded as horizontal runs).
+    fn mandatory(&self, space: &Space, i: usize, scratch: &mut OccupancyGrid) -> Mandatory {
+        let per_shape = self.objects[i].mandatory_rects_per_shape(space);
+        match per_shape.len() {
+            0 => Mandatory::default(), // no alive shape: the shape-var conflict surfaces elsewhere
+            1 => Mandatory {
+                rects: per_shape.into_iter().next().unwrap(),
+            },
+            n => {
+                if per_shape.iter().any(|rects| rects.is_empty()) {
+                    // Some alive shape has no compulsory tile at all, so no
+                    // tile is compulsory under every shape.
+                    return Mandatory::default();
+                }
+                scratch.clear();
+                for rects in &per_shape {
+                    for &r in rects {
+                        scratch.add_rect(r, 1);
+                    }
+                }
+                // Tiles hit by every alive shape; re-encode as runs.
+                let mut rects = Vec::new();
+                let b = scratch.bounds();
+                for y in b.y..b.y_end() {
+                    let mut run_start: Option<i32> = None;
+                    for x in b.x..=b.x_end() {
+                        let full = x < b.x_end() && scratch.get(x, y) as usize == n;
+                        match (full, run_start) {
+                            (true, None) => run_start = Some(x),
+                            (false, Some(s)) => {
+                                rects.push(Rect::new(s, y, x - s, 1));
+                                run_start = None;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                Mandatory { rects }
+            }
+        }
+    }
+
+    /// Whether object `i` placed as `(shape s, x, y)` avoids every *other*
+    /// object's mandatory tiles.
+    fn placement_free(
+        &self,
+        i: usize,
+        s: usize,
+        x: i32,
+        y: i32,
+        total: &OccupancyGrid,
+        own: &Mandatory,
+    ) -> bool {
+        for b in self.objects[i].shapes[s].boxes() {
+            let r = b.placed(x, y);
+            for ty in r.y..r.y_end() {
+                for tx in r.x..r.x_end() {
+                    if total.get(tx, ty) > 0 && !own.covers(tx, ty) {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Whether *any* alive shape and partner coordinates make `fixed_axis`
+    /// value `v` feasible for object `i`. `axis_is_x` selects which anchor
+    /// coordinate `v` binds.
+    fn value_feasible(
+        &self,
+        space: &Space,
+        i: usize,
+        axis_is_x: bool,
+        v: i32,
+        total: &OccupancyGrid,
+        own: &Mandatory,
+    ) -> bool {
+        let obj = &self.objects[i];
+        let partner = if axis_is_x { obj.y } else { obj.x };
+        for s in obj.alive_shapes(space) {
+            for w in space.domain(partner).iter() {
+                let (x, y) = if axis_is_x { (v, w) } else { (w, v) };
+                if self.placement_free(i, s, x, y, total, own) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// Prune the min and max of one anchor axis of object `i` to the first
+    /// and last feasible values.
+    fn prune_axis(
+        &self,
+        space: &mut Space,
+        i: usize,
+        axis_is_x: bool,
+        total: &OccupancyGrid,
+        own: &Mandatory,
+    ) -> Result<(), Conflict> {
+        let var: VarId = if axis_is_x {
+            self.objects[i].x
+        } else {
+            self.objects[i].y
+        };
+        // Min side.
+        let values: Vec<i32> = space.domain(var).iter().collect();
+        let new_min = values
+            .iter()
+            .copied()
+            .find(|&v| self.value_feasible(space, i, axis_is_x, v, total, own));
+        match new_min {
+            None => return Err(Conflict),
+            Some(v) => {
+                space.set_min(var, v)?;
+            }
+        }
+        let new_max = values
+            .iter()
+            .rev()
+            .copied()
+            .find(|&v| self.value_feasible(space, i, axis_is_x, v, total, own))
+            .expect("max exists when min exists");
+        space.set_max(var, new_max)?;
+        Ok(())
+    }
+
+    /// Remove alive shapes of object `i` with no feasible placement left.
+    fn prune_shapes(
+        &self,
+        space: &mut Space,
+        i: usize,
+        total: &OccupancyGrid,
+        own: &Mandatory,
+    ) -> Result<(), Conflict> {
+        let obj = &self.objects[i];
+        let alive: Vec<usize> = obj.alive_shapes(space).collect();
+        if alive.len() <= 1 {
+            return Ok(()); // axis pruning already proved feasibility
+        }
+        for s in alive {
+            let mut feasible = false;
+            'scan: for x in space.domain(obj.x).iter() {
+                for y in space.domain(obj.y).iter() {
+                    if self.placement_free(i, s, x, y, total, own) {
+                        feasible = true;
+                        break 'scan;
+                    }
+                }
+            }
+            if !feasible {
+                space.remove(obj.shape, s as i32)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for NonOverlap {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        let mut scratch = OccupancyGrid::new(self.bounds);
+        // Phase 1: mandatory parts and the global occupancy count.
+        let mandatory: Vec<Mandatory> = (0..self.objects.len())
+            .map(|i| self.mandatory(space, i, &mut scratch))
+            .collect();
+        let mut total = OccupancyGrid::new(self.bounds);
+        for m in &mandatory {
+            for &r in &m.rects {
+                total.add_rect(r, 1);
+            }
+        }
+        // Phase 2: two mandatory parts on one tile is a hard conflict.
+        if total.max_count() >= 2 {
+            return Err(Conflict);
+        }
+        // Phase 3+4: sweep anchors and shape selectors.
+        for (i, own) in mandatory.iter().enumerate() {
+            self.prune_axis(space, i, true, &total, own)?;
+            self.prune_axis(space, i, false, &total, own)?;
+            self.prune_shapes(space, i, &total, own)?;
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        self.objects
+            .iter()
+            .flat_map(|o| [o.x, o.y, o.shape])
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "geost_non_overlap"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::{ShapeDef, ShiftedBox};
+    use rrf_solver::{Domain, Engine};
+    use rrf_fabric::ResourceKind;
+    use std::sync::Arc;
+
+    fn rect_shape(w: i32, h: i32) -> Arc<Vec<ShapeDef>> {
+        Arc::new(vec![ShapeDef::new(vec![ShiftedBox::new(
+            0,
+            0,
+            w,
+            h,
+            ResourceKind::Clb,
+        )])])
+    }
+
+    fn obj(
+        space: &mut Space,
+        shapes: Arc<Vec<ShapeDef>>,
+        x: (i32, i32),
+        y: (i32, i32),
+    ) -> GeostObject {
+        let xv = space.new_var(Domain::interval(x.0, x.1));
+        let yv = space.new_var(Domain::interval(y.0, y.1));
+        let sv = space.new_var(Domain::interval(0, shapes.len() as i32 - 1));
+        GeostObject::new(xv, yv, sv, shapes)
+    }
+
+    fn run(space: &mut Space, p: NonOverlap) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn fixed_overlap_fails() {
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(2, 2), (0, 0), (0, 0));
+        let b = obj(&mut space, rect_shape(2, 2), (1, 1), (1, 1));
+        assert!(run(
+            &mut space,
+            NonOverlap::new(vec![a, b], Rect::new(0, 0, 8, 8))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fixed_disjoint_ok() {
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(2, 2), (0, 0), (0, 0));
+        let b = obj(&mut space, rect_shape(2, 2), (2, 2), (0, 0));
+        run(
+            &mut space,
+            NonOverlap::new(vec![a, b], Rect::new(0, 0, 8, 8)),
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn anchor_pushed_past_fixed_block() {
+        // A 4x4 block fixed at origin in a 8x4 strip; a 2x4 object with
+        // x ∈ [0,6] must start at x >= 4.
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(4, 4), (0, 0), (0, 0));
+        let b = obj(&mut space, rect_shape(2, 4), (0, 6), (0, 0));
+        let bx = b.x;
+        run(
+            &mut space,
+            NonOverlap::new(vec![a, b], Rect::new(0, 0, 8, 4)),
+        )
+        .unwrap();
+        assert_eq!(space.min(bx), 4);
+        assert_eq!(space.max(bx), 6);
+    }
+
+    #[test]
+    fn squeeze_between_blocks() {
+        // Blocks at x=[0,2) and x=[5,7) in a 7-wide strip; a 3-wide object
+        // must sit exactly at x=2.
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(2, 2), (0, 0), (0, 0));
+        let b = obj(&mut space, rect_shape(2, 2), (5, 5), (0, 0));
+        let c = obj(&mut space, rect_shape(3, 2), (0, 4), (0, 0));
+        let cx = c.x;
+        run(
+            &mut space,
+            NonOverlap::new(vec![a, b, c], Rect::new(0, 0, 7, 2)),
+        )
+        .unwrap();
+        assert_eq!(space.value(cx), 2);
+    }
+
+    #[test]
+    fn mandatory_parts_of_loose_objects_do_not_prune() {
+        // Two 2x2 objects with x ∈ [0,6] in a wide strip: no mandatory
+        // parts, nothing pruned.
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(2, 2), (0, 6), (0, 0));
+        let b = obj(&mut space, rect_shape(2, 2), (0, 6), (0, 0));
+        let (ax, bx) = (a.x, b.x);
+        run(
+            &mut space,
+            NonOverlap::new(vec![a, b], Rect::new(0, 0, 8, 2)),
+        )
+        .unwrap();
+        assert_eq!((space.min(ax), space.max(ax)), (0, 6));
+        assert_eq!((space.min(bx), space.max(bx)), (0, 6));
+    }
+
+    #[test]
+    fn infeasible_axis_fails() {
+        // A 4x2 block fixed in a 4-wide strip leaves no room for a 1x1.
+        let mut space = Space::new();
+        let a = obj(&mut space, rect_shape(4, 2), (0, 0), (0, 0));
+        let b = obj(&mut space, rect_shape(1, 1), (0, 3), (0, 1));
+        assert!(run(
+            &mut space,
+            NonOverlap::new(vec![a, b], Rect::new(0, 0, 4, 2))
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn shape_selector_pruned() {
+        // Containment is compat's job, so pin the anchor and let the two
+        // shapes differ by internal layout: shape 0 collides with the fixed
+        // block, shape 1 (offset right) does not — only shape 1 survives.
+        let mut space = Space::new();
+        let block = obj(&mut space, rect_shape(2, 2), (0, 0), (0, 0));
+        let shapes = Arc::new(vec![
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)]),
+            ShapeDef::new(vec![ShiftedBox::new(4, 4, 2, 2, ResourceKind::Clb)]),
+        ]);
+        let flex = obj(&mut space, shapes, (0, 0), (0, 0));
+        let sv = flex.shape;
+        run(
+            &mut space,
+            NonOverlap::new(vec![block, flex], Rect::new(0, 0, 8, 8)),
+        )
+        .unwrap();
+        assert_eq!(space.value(sv), 1);
+    }
+
+    #[test]
+    fn polymorphic_mandatory_intersection() {
+        // Object with two shapes that share a common column: shape A is a
+        // 2-wide box, shape B a 2-wide box shifted right by 1, x fixed.
+        // Mandatory = intersection = the shared column; a second object's
+        // feasibility must respect only that column.
+        let mut space = Space::new();
+        let shapes = Arc::new(vec![
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)]),
+            ShapeDef::new(vec![ShiftedBox::new(1, 0, 2, 2, ResourceKind::Clb)]),
+        ]);
+        let poly = obj(&mut space, shapes, (0, 0), (0, 0));
+        // Probe: 1x2 object with x ∈ [0,3].
+        let probe = obj(&mut space, rect_shape(1, 2), (0, 3), (0, 0));
+        let px = probe.x;
+        let (poly2, probe2) = (poly.clone(), probe.clone());
+        run(
+            &mut space,
+            NonOverlap::new(vec![poly, probe], Rect::new(0, 0, 4, 2)),
+        )
+        .unwrap();
+        // Shared mandatory column is x=1 (covered by both shapes); probe
+        // keeps 0 (shape B world) and 3, loses only... min is 0, max is 3.
+        assert_eq!(space.min(px), 0);
+        assert_eq!(space.max(px), 3);
+        assert!(!space.contains(px, 1) || space.contains(px, 1));
+        // The decisive check: px = 1 must be infeasible only via search;
+        // bounds sweep keeps interior values. Fix probe to x=1 and expect
+        // failure.
+        space.assign(px, 1).unwrap();
+        assert!(run(
+            &mut space,
+            NonOverlap::new(vec![poly2, probe2], Rect::new(0, 0, 4, 2))
+        )
+        .is_err());
+    }
+}

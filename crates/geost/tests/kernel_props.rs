@@ -1,0 +1,127 @@
+//! Property tests of the geometric kernel: rectangle decomposition,
+//! mandatory-part correctness, and anchor-table consistency.
+
+use proptest::prelude::*;
+use rrf_fabric::{device, Point, Rect, Region, ResourceKind};
+use rrf_geost::{allowed_anchors, anchor_rows, GeostObject, NonOverlap, ShapeDef, ShiftedBox};
+use rrf_solver::{Domain, Engine, Space};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+fn tiles_strategy() -> impl Strategy<Value = Vec<(Point, ResourceKind)>> {
+    proptest::collection::btree_set((0i32..5, 0i32..5), 1..10).prop_map(|set| {
+        set.into_iter()
+            .map(|(x, y)| (Point::new(x, y), ResourceKind::Clb))
+            .collect()
+    })
+}
+
+proptest! {
+    /// from_tiles merges tiles into boxes that cover exactly the input and
+    /// never overlap each other.
+    #[test]
+    fn decomposition_partitions_tiles(tiles in tiles_strategy()) {
+        let shape = ShapeDef::from_tiles(&tiles);
+        // Exact cover.
+        let covered: BTreeSet<(i32, i32)> =
+            shape.tiles().map(|(p, _)| (p.x, p.y)).collect();
+        let expected: BTreeSet<(i32, i32)> =
+            tiles.iter().map(|(p, _)| (p.x, p.y)).collect();
+        prop_assert_eq!(covered, expected);
+        // Disjoint boxes (ShapeDef::new would have panicked otherwise, but
+        // check the areas add up as an independent signal).
+        let box_area: i64 = shape.boxes().iter().map(|b| b.area()).sum();
+        prop_assert_eq!(box_area, tiles.len() as i64);
+        // Fewer boxes than tiles unless every tile is isolated.
+        prop_assert!(shape.boxes().len() <= tiles.len());
+    }
+
+    /// An object's mandatory tiles are occupied under EVERY remaining
+    /// placement.
+    #[test]
+    fn mandatory_part_is_sound(x_lo in 0i32..4, x_slack in 0i32..4,
+                               y_lo in 0i32..3, y_slack in 0i32..3,
+                               w in 1i32..4, h in 1i32..3) {
+        let mut space = Space::new();
+        let xv = space.new_var(Domain::interval(x_lo, x_lo + x_slack));
+        let yv = space.new_var(Domain::interval(y_lo, y_lo + y_slack));
+        let sv = space.new_var(Domain::singleton(0));
+        let shape = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+        let obj = GeostObject::new(xv, yv, sv, Arc::new(vec![shape.clone()]));
+        let mandatory = obj.mandatory_rects_per_shape(&space);
+        prop_assert_eq!(mandatory.len(), 1);
+        for rect in &mandatory[0] {
+            for tile in rect.tiles() {
+                // Every placement in the domains covers this tile.
+                for x in x_lo..=x_lo + x_slack {
+                    for y in y_lo..=y_lo + y_slack {
+                        let covered = shape
+                            .tiles_at(x, y)
+                            .any(|(p, _)| p == tile);
+                        prop_assert!(covered,
+                            "tile {tile} not covered at anchor ({x},{y})");
+                    }
+                }
+            }
+        }
+        // And the mandatory part is exact for rectangles: a tile covered by
+        // all placements is in some mandatory rect.
+        if x_slack < w && y_slack < h {
+            prop_assert!(!mandatory[0].is_empty());
+        }
+    }
+
+    /// anchor_rows is exactly the union over shapes of allowed_anchors.
+    #[test]
+    fn anchor_rows_match_per_shape_anchors(seed in 0u64..200) {
+        let region = Region::whole(device::irregular(14, 7, seed));
+        let shapes = vec![
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)]),
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 1, 3, ResourceKind::Clb)]),
+        ];
+        let rows = anchor_rows(&region, &shapes);
+        let mut expected = Vec::new();
+        for (s, shape) in shapes.iter().enumerate() {
+            for a in allowed_anchors(&region, shape) {
+                expected.push(vec![s as i32, a.x, a.y]);
+            }
+        }
+        prop_assert_eq!(rows, expected);
+    }
+}
+
+// Non-overlap leaf semantics on polymorphic objects: random fixed
+// (shape, x, y) triples accepted iff tile sets are disjoint.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn polymorphic_leaf_check(x1 in 0i32..6, y1 in 0i32..4, s1 in 0usize..2,
+                              x2 in 0i32..6, y2 in 0i32..4, s2 in 0usize..2) {
+        let shapes = Arc::new(vec![
+            ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)]),
+            ShapeDef::new(vec![
+                ShiftedBox::new(0, 0, 1, 2, ResourceKind::Clb),
+                ShiftedBox::new(1, 0, 2, 1, ResourceKind::Clb),
+            ]),
+        ]);
+        let mut space = Space::new();
+        let mk = |space: &mut Space, x: i32, y: i32, s: usize| {
+            let xv = space.new_var(Domain::singleton(x));
+            let yv = space.new_var(Domain::singleton(y));
+            let sv = space.new_var(Domain::singleton(s as i32));
+            GeostObject::new(xv, yv, sv, Arc::clone(&shapes))
+        };
+        let a = mk(&mut space, x1, y1, s1);
+        let b = mk(&mut space, x2, y2, s2);
+        let tiles_a: BTreeSet<(i32, i32)> =
+            shapes[s1].tiles_at(x1, y1).map(|(p, _)| (p.x, p.y)).collect();
+        let tiles_b: BTreeSet<(i32, i32)> =
+            shapes[s2].tiles_at(x2, y2).map(|(p, _)| (p.x, p.y)).collect();
+        let overlap = !tiles_a.is_disjoint(&tiles_b);
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(NonOverlap::new(vec![a, b], Rect::new(0, 0, 12, 8)));
+        engine.schedule_all();
+        let result = engine.propagate(&mut space);
+        prop_assert_eq!(result.is_err(), overlap);
+    }
+}

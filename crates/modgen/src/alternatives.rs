@@ -1,0 +1,140 @@
+//! Design alternative derivation.
+//!
+//! §V: "The module alternatives considered include variants in which the
+//! module is rotated 180 degrees and additionally have different internal
+//! and external layout." We derive up to four shapes per module:
+//!
+//! 1. the **base** layout;
+//! 2. its **180° rotation**;
+//! 3. an **internal relayout** — same bounding box, dedicated resources at
+//!    different positions (memory blocks top-aligned instead of
+//!    bottom-aligned, ragged CLB column flipped);
+//! 4. an **external relayout** — a different bounding box (the layout re-run
+//!    at a different height).
+//!
+//! Duplicate shapes (e.g. the rotation of a perfectly symmetric module) are
+//! dropped, so a module may end up with fewer distinct shapes than asked.
+
+use crate::layout::{base_layout, LayoutParams};
+use crate::spec::ModuleSpec;
+use rrf_geost::ShapeDef;
+
+/// Derive up to `count` distinct design alternatives (including the base
+/// layout itself) for `spec`. `count` is clamped to `1..=4`.
+///
+/// `external_height` chooses the bounding-box height of the external
+/// relayout; pass the base height ± something sensible (the workload
+/// generator picks this from its height range).
+pub fn derive_alternatives(
+    spec: &ModuleSpec,
+    params: &LayoutParams,
+    count: usize,
+    external_height: i32,
+) -> Vec<ShapeDef> {
+    let count = count.clamp(1, 4);
+    let base = base_layout(spec, params);
+    let mut shapes: Vec<ShapeDef> = vec![base.clone()];
+
+    let push_unique = |shapes: &mut Vec<ShapeDef>, s: ShapeDef| {
+        let s = s.normalized();
+        if !shapes.contains(&s) {
+            shapes.push(s);
+        }
+    };
+
+    if count >= 2 {
+        push_unique(&mut shapes, base.rotated_180());
+    }
+    if count >= 3 {
+        let internal = base_layout(
+            spec,
+            &LayoutParams {
+                top_align_brams: !params.top_align_brams,
+                top_align_ragged: !params.top_align_ragged,
+                ..*params
+            },
+        );
+        push_unique(&mut shapes, internal);
+    }
+    if count >= 4 {
+        let ext_spec = ModuleSpec {
+            height: external_height,
+            ..*spec
+        };
+        let external = base_layout(&ext_spec, params);
+        push_unique(&mut shapes, external.clone());
+        // If the external height collapsed to the same layout (the layout
+        // may override the height), try its rotation as a fallback 4th.
+        if shapes.len() < count {
+            push_unique(&mut shapes, external.rotated_180());
+        }
+    }
+    shapes.truncate(count);
+    shapes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::ResourceKind;
+
+    fn spec(clbs: i32, brams: i32, height: i32) -> ModuleSpec {
+        ModuleSpec {
+            clbs,
+            brams,
+            height,
+        }
+    }
+
+    #[test]
+    fn four_distinct_alternatives_for_asymmetric_module() {
+        let shapes = derive_alternatives(&spec(30, 1, 6), &LayoutParams::default(), 4, 4);
+        assert_eq!(shapes.len(), 4);
+        for (i, a) in shapes.iter().enumerate() {
+            for b in &shapes[i + 1..] {
+                assert_ne!(a, b, "duplicate alternatives survived");
+            }
+        }
+    }
+
+    #[test]
+    fn all_alternatives_preserve_resources() {
+        let shapes = derive_alternatives(&spec(47, 3, 6), &LayoutParams::default(), 4, 8);
+        let base_ms = shapes[0].resource_multiset();
+        assert_eq!(base_ms[ResourceKind::Clb.index()], 47);
+        assert_eq!(base_ms[ResourceKind::Bram.index()], 6);
+        for s in &shapes[1..] {
+            assert_eq!(s.resource_multiset(), base_ms);
+        }
+    }
+
+    #[test]
+    fn count_one_returns_base_only() {
+        let shapes = derive_alternatives(&spec(30, 1, 6), &LayoutParams::default(), 1, 4);
+        assert_eq!(shapes.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_rectangle_dedupes_rotation() {
+        // 24 CLBs at height 4 is a perfect 6x4 rectangle: rotation is
+        // identical and must be dropped, not duplicated.
+        let shapes = derive_alternatives(&spec(24, 0, 4), &LayoutParams::default(), 2, 6);
+        assert_eq!(shapes.len(), 1);
+    }
+
+    #[test]
+    fn external_alternative_changes_bbox() {
+        let shapes = derive_alternatives(&spec(36, 0, 4), &LayoutParams::default(), 4, 6);
+        let heights: std::collections::BTreeSet<i32> =
+            shapes.iter().map(|s| s.height()).collect();
+        assert!(heights.len() >= 2, "external relayout missing: {heights:?}");
+    }
+
+    #[test]
+    fn count_clamped() {
+        let shapes = derive_alternatives(&spec(30, 1, 6), &LayoutParams::default(), 99, 4);
+        assert!(shapes.len() <= 4);
+        let shapes = derive_alternatives(&spec(30, 1, 6), &LayoutParams::default(), 0, 4);
+        assert_eq!(shapes.len(), 1);
+    }
+}

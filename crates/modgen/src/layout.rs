@@ -1,0 +1,329 @@
+//! Module layout synthesis: from a resource requirement to a concrete
+//! tile layout (a [`ShapeDef`]).
+//!
+//! Generated layouts follow the Figure-1 family: a mostly-rectangular block
+//! of CLB columns with one or more columns of stacked embedded-memory
+//! blocks. Because fabric BRAM columns repeat with a fixed period, a
+//! module's internal BRAM columns must themselves be `period` apart, and a
+//! module must not place CLB tiles on a column that will align with a
+//! fabric BRAM column — the generator bakes both rules in so generated
+//! modules are actually placeable on the target device family.
+
+use crate::spec::{ModuleSpec, BRAM_BLOCK_TILES};
+use rrf_fabric::{Point, ResourceKind};
+use rrf_geost::ShapeDef;
+use serde::{Deserialize, Serialize};
+
+/// Device-family parameters the layout must respect, plus layout knobs that
+/// the alternative-derivation varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LayoutParams {
+    /// Fabric BRAM column spacing (default device: every 10 columns).
+    pub bram_period: i32,
+    /// Internal column index of the module's first BRAM column
+    /// (`0 <= bram_offset < bram_period`). Irrelevant for BRAM-less modules.
+    pub bram_offset: i32,
+    /// Stack memory blocks from the top of the column instead of the bottom
+    /// (the *internal relayout* knob: same bounding box, resources at
+    /// different positions).
+    pub top_align_brams: bool,
+    /// Put the ragged partial CLB column's tiles at the top instead of the
+    /// bottom.
+    pub top_align_ragged: bool,
+}
+
+impl Default for LayoutParams {
+    fn default() -> LayoutParams {
+        LayoutParams {
+            bram_period: 10,
+            bram_offset: 0,
+            top_align_brams: false,
+            top_align_ragged: false,
+        }
+    }
+}
+
+/// Integer ceiling division for positive values.
+fn ceil_div(a: i32, b: i32) -> i32 {
+    (a + b - 1) / b
+}
+
+/// Synthesize the layout for `spec` under `params`.
+///
+/// The module height may exceed `spec.height` when the requirement cannot
+/// fit the device family otherwise (e.g. a 100-CLB module with no BRAMs
+/// must stay narrower than the fabric's BRAM column gap).
+///
+/// Panics on specs outside the supported envelope (validated workload specs
+/// never reach those cases).
+pub fn base_layout(spec: &ModuleSpec, params: &LayoutParams) -> ShapeDef {
+    assert!(spec.clbs > 0, "module without CLBs");
+    assert!(spec.brams >= 0, "negative BRAM count");
+    assert!(
+        params.bram_period >= 2 && (0..params.bram_period).contains(&params.bram_offset),
+        "bad layout params {params:?}"
+    );
+    let period = params.bram_period;
+    let off = params.bram_offset;
+
+    if spec.brams == 0 {
+        // CLB-only module: must fit between fabric BRAM columns.
+        let max_w = period - 1;
+        let h = spec.height.max(ceil_div(spec.clbs, max_w)).max(2);
+        let w = ceil_div(spec.clbs, h);
+        return fill_columns(spec.clbs, 0, w, h, &[], params);
+    }
+
+    // Find the smallest height >= spec.height whose induced geometry fits.
+    let mut h = spec.height.max(BRAM_BLOCK_TILES);
+    loop {
+        let blocks_per_col = h / BRAM_BLOCK_TILES;
+        let n_cols = ceil_div(spec.brams, blocks_per_col);
+        // BRAM columns sit at off, off+period, …; every other column in
+        // [0, w) holds CLBs and must not align with the fabric pattern, so
+        // w may not reach the (n_cols+1)-th aligned column.
+        let last_bram_col = off + (n_cols - 1) * period;
+        let clb_cols_needed = ceil_div(spec.clbs, h);
+        let w = (last_bram_col + 1).max(n_cols + clb_cols_needed);
+        // Accept this height only if (a) the width stays short of the next
+        // aligned fabric column and (b) every CLB column can hold at least
+        // one tile (connectivity). Otherwise grow the module taller, which
+        // packs more memory blocks per column and narrows the footprint.
+        if w <= off + n_cols * period && spec.clbs >= w - n_cols {
+            let bram_cols: Vec<i32> = (0..n_cols).map(|k| off + k * period).collect();
+            return fill_columns(spec.clbs, spec.brams, w, h, &bram_cols, params);
+        }
+        h += 1;
+        assert!(
+            h <= 256,
+            "layout search diverged for spec {spec:?} / params {params:?}"
+        );
+    }
+}
+
+/// Fill a `w × h` bounding box: BRAM blocks in `bram_cols`, `clbs` CLB
+/// tiles distributed over the remaining columns.
+fn fill_columns(
+    clbs: i32,
+    brams: i32,
+    w: i32,
+    h: i32,
+    bram_cols: &[i32],
+    params: &LayoutParams,
+) -> ShapeDef {
+    let mut tiles: Vec<(Point, ResourceKind)> = Vec::with_capacity((clbs + 2 * brams) as usize);
+
+    // Memory blocks, stacked per column.
+    let blocks_per_col = h / BRAM_BLOCK_TILES;
+    let mut remaining_blocks = brams;
+    for &bx in bram_cols {
+        let here = remaining_blocks.min(blocks_per_col);
+        for blk in 0..here {
+            let y0 = if params.top_align_brams {
+                h - (blk + 1) * BRAM_BLOCK_TILES
+            } else {
+                blk * BRAM_BLOCK_TILES
+            };
+            for dy in 0..BRAM_BLOCK_TILES {
+                tiles.push((Point::new(bx, y0 + dy), ResourceKind::Bram));
+            }
+        }
+        remaining_blocks -= here;
+    }
+    debug_assert_eq!(remaining_blocks, 0, "unplaced memory blocks");
+
+    // CLB columns: distribute the requirement evenly so every column is
+    // non-empty (keeps modules connected even when BRAM column spacing
+    // forces a wider bounding box than the CLB count alone would need);
+    // leftover tiles go to the leftmost columns, so full columns sit left
+    // and ragged ones right, like the paper's Figure 1.
+    let clb_cols: Vec<i32> = (0..w).filter(|x| !bram_cols.contains(x)).collect();
+    assert!(!clb_cols.is_empty(), "module with no CLB columns");
+    let n = clb_cols.len() as i32;
+    let base = clbs / n;
+    let rem = clbs % n;
+    debug_assert!(base >= 1 || rem > 0, "empty CLB columns unavoidable");
+    for (ci, &cx) in clb_cols.iter().enumerate() {
+        let here = base + i32::from((ci as i32) < rem);
+        debug_assert!(here <= h, "column overflow: {here} > {h}");
+        for i in 0..here {
+            let y = if params.top_align_ragged && here < h {
+                h - 1 - i
+            } else {
+                i
+            };
+            tiles.push((Point::new(cx, y), ResourceKind::Clb));
+        }
+    }
+    ShapeDef::from_tiles(&tiles).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_kind(s: &ShapeDef, k: ResourceKind) -> i64 {
+        s.resource_multiset()[k.index()]
+    }
+
+    #[test]
+    fn clb_only_exact_count() {
+        let spec = ModuleSpec {
+            clbs: 20,
+            brams: 0,
+            height: 4,
+        };
+        let s = base_layout(&spec, &LayoutParams::default());
+        assert_eq!(count_kind(&s, ResourceKind::Clb), 20);
+        assert_eq!(count_kind(&s, ResourceKind::Bram), 0);
+        assert_eq!(s.height(), 4);
+        assert_eq!(s.width(), 5);
+    }
+
+    #[test]
+    fn clb_only_ragged_column() {
+        let spec = ModuleSpec {
+            clbs: 22,
+            brams: 0,
+            height: 4,
+        };
+        let s = base_layout(&spec, &LayoutParams::default());
+        assert_eq!(s.area(), 22);
+        assert_eq!(s.width(), 6); // 5 full columns + 2-tile ragged column
+    }
+
+    #[test]
+    fn clb_only_grows_height_to_respect_gap() {
+        // 100 CLBs at requested height 4 would need width 25 > period-1=9;
+        // the layout must grow the height instead.
+        let spec = ModuleSpec {
+            clbs: 100,
+            brams: 0,
+            height: 4,
+        };
+        let s = base_layout(&spec, &LayoutParams::default());
+        assert!(s.width() <= 9, "width {} exceeds fabric gap", s.width());
+        assert_eq!(count_kind(&s, ResourceKind::Clb), 100);
+    }
+
+    #[test]
+    fn bram_blocks_occupy_one_column() {
+        let spec = ModuleSpec {
+            clbs: 24,
+            brams: 2,
+            height: 4,
+        };
+        let s = base_layout(&spec, &LayoutParams::default());
+        assert_eq!(count_kind(&s, ResourceKind::Bram), 4);
+        assert_eq!(count_kind(&s, ResourceKind::Clb), 24);
+        // All BRAM tiles in internal column 0 (offset 0).
+        let bram_xs: std::collections::BTreeSet<i32> = s
+            .tiles()
+            .filter(|(_, k)| *k == ResourceKind::Bram)
+            .map(|(p, _)| p.x)
+            .collect();
+        assert_eq!(bram_xs.into_iter().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn bram_offset_moves_column() {
+        let spec = ModuleSpec {
+            clbs: 24,
+            brams: 1,
+            height: 4,
+        };
+        let params = LayoutParams {
+            bram_offset: 3,
+            ..LayoutParams::default()
+        };
+        let s = base_layout(&spec, &params);
+        let bram_xs: std::collections::BTreeSet<i32> = s
+            .tiles()
+            .filter(|(_, k)| *k == ResourceKind::Bram)
+            .map(|(p, _)| p.x)
+            .collect();
+        assert_eq!(bram_xs.into_iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    fn many_brams_split_across_period_spaced_columns() {
+        // height 4 → 2 blocks per column; 4 blocks → 2 columns, 10 apart.
+        let spec = ModuleSpec {
+            clbs: 80,
+            brams: 4,
+            height: 4,
+        };
+        let s = base_layout(&spec, &LayoutParams::default());
+        let bram_xs: std::collections::BTreeSet<i32> = s
+            .tiles()
+            .filter(|(_, k)| *k == ResourceKind::Bram)
+            .map(|(p, _)| p.x)
+            .collect();
+        let xs: Vec<i32> = bram_xs.into_iter().collect();
+        assert_eq!(xs, vec![0, 10]);
+        assert_eq!(count_kind(&s, ResourceKind::Bram), 8);
+        assert_eq!(count_kind(&s, ResourceKind::Clb), 80);
+    }
+
+    #[test]
+    fn top_aligned_brams_same_bbox_different_tiles() {
+        let spec = ModuleSpec {
+            clbs: 30,
+            brams: 1,
+            height: 6,
+        };
+        let base = base_layout(&spec, &LayoutParams::default());
+        let internal = base_layout(
+            &spec,
+            &LayoutParams {
+                top_align_brams: true,
+                ..LayoutParams::default()
+            },
+        );
+        assert_eq!(base.bounding_box(), internal.bounding_box());
+        assert_ne!(base, internal);
+        assert_eq!(base.resource_multiset(), internal.resource_multiset());
+        // Block moved from bottom rows to top rows.
+        let top_bram_y: Vec<i32> = internal
+            .tiles()
+            .filter(|(_, k)| *k == ResourceKind::Bram)
+            .map(|(p, _)| p.y)
+            .collect();
+        assert_eq!(top_bram_y, vec![4, 5]);
+    }
+
+    #[test]
+    fn every_generated_column_is_nonempty() {
+        // Connectivity proxy: no fully empty column inside the bbox.
+        for clbs in [20, 35, 61, 100] {
+            for brams in [0, 1, 3] {
+                let spec = ModuleSpec {
+                    clbs,
+                    brams,
+                    height: 5,
+                };
+                let s = base_layout(&spec, &LayoutParams::default());
+                let bb = s.bounding_box();
+                let mut col_counts = vec![0; bb.w as usize];
+                for (p, _) in s.tiles() {
+                    col_counts[(p.x - bb.x) as usize] += 1;
+                }
+                assert!(
+                    col_counts.iter().all(|&c| c > 0),
+                    "empty column for clbs={clbs} brams={brams}: {col_counts:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_clbs_panics() {
+        let spec = ModuleSpec {
+            clbs: 0,
+            brams: 1,
+            height: 4,
+        };
+        let _ = base_layout(&spec, &LayoutParams::default());
+    }
+}

@@ -1,0 +1,32 @@
+//! # rrf-modgen — synthetic module and workload generation
+//!
+//! The paper's evaluation (§V) places "30 automatically generated modules
+//! with shapes similar to that shown in Figure 1", with resource
+//! requirements of 20–100 CLBs and 0–4 embedded memory blocks, each module
+//! represented by **four design alternatives**: the base layout, its 180°
+//! rotation, an *internal* relayout (same bounding box, dedicated resources
+//! at different positions) and an *external* relayout (different bounding
+//! box). This crate regenerates that workload family deterministically from
+//! a seed.
+//!
+//! ```
+//! use rrf_modgen::{WorkloadSpec, generate_workload};
+//!
+//! let spec = WorkloadSpec { modules: 5, seed: 1, ..WorkloadSpec::default() };
+//! let wl = generate_workload(&spec);
+//! assert_eq!(wl.modules.len(), 5);
+//! for m in &wl.modules {
+//!     assert!(m.shapes.len() >= 1 && m.shapes.len() <= 4);
+//!     assert!((20..=100).contains(&m.clbs));
+//! }
+//! ```
+
+pub mod alternatives;
+pub mod layout;
+pub mod spec;
+pub mod workload;
+
+pub use alternatives::derive_alternatives;
+pub use layout::base_layout;
+pub use spec::{ModuleSpec, WorkloadSpec};
+pub use workload::{generate_module, generate_workload, GeneratedModule, Workload};

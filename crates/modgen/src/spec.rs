@@ -1,0 +1,179 @@
+//! Workload distribution parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// Requirements for one module before layout synthesis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModuleSpec {
+    /// CLB tiles required.
+    pub clbs: i32,
+    /// Embedded memory blocks required (each occupies a vertical run of
+    /// BRAM tiles; memories are rectangular, not square — §V).
+    pub brams: i32,
+    /// Module height in tiles (its bounding-box height).
+    pub height: i32,
+}
+
+impl ModuleSpec {
+    /// Total tiles of the module (CLBs plus BRAM tiles; one memory block =
+    /// [`BRAM_BLOCK_TILES`] tiles).
+    pub fn total_tiles(&self) -> i32 {
+        self.clbs + self.brams * BRAM_BLOCK_TILES
+    }
+}
+
+/// Tiles per embedded memory block (a 1×2 vertical footprint, mirroring the
+/// paper's observation that memories are rectangular).
+pub const BRAM_BLOCK_TILES: i32 = 2;
+
+/// Parameters of a generated workload, defaulting to the paper's §V setup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of modules (paper: 30).
+    pub modules: usize,
+    /// CLB requirement range, inclusive (paper: 20–100).
+    pub clb_min: i32,
+    pub clb_max: i32,
+    /// Embedded memory block range, inclusive (paper: 0–4).
+    pub bram_min: i32,
+    pub bram_max: i32,
+    /// Module height range, inclusive. Heights are chosen so modules are
+    /// wider than tall, like the paper's figures.
+    pub height_min: i32,
+    pub height_max: i32,
+    /// Design alternatives to derive per module (paper: 4, including the
+    /// base layout). Clamped to [1, 4].
+    pub alternatives: usize,
+    /// RNG seed; the same spec always generates the same workload.
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> WorkloadSpec {
+        WorkloadSpec {
+            modules: 30,
+            clb_min: 20,
+            clb_max: 100,
+            bram_min: 0,
+            bram_max: 4,
+            height_min: 4,
+            height_max: 8,
+            alternatives: 4,
+            seed: 0,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// The paper's Table I workload with a chosen seed.
+    pub fn paper(seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            seed,
+            ..WorkloadSpec::default()
+        }
+    }
+
+    /// A scaled-down variant: same distribution shape, smaller modules.
+    /// Used by quick tests and the scaling benchmarks.
+    pub fn small(modules: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            modules,
+            clb_min: 6,
+            clb_max: 20,
+            bram_min: 0,
+            bram_max: 2,
+            height_min: 2,
+            height_max: 4,
+            alternatives: 4,
+            seed,
+        }
+    }
+
+    /// Basic sanity of the ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.modules == 0 {
+            return Err("workload with zero modules".into());
+        }
+        if self.clb_min <= 0 || self.clb_min > self.clb_max {
+            return Err(format!("bad CLB range {}..={}", self.clb_min, self.clb_max));
+        }
+        if self.bram_min < 0 || self.bram_min > self.bram_max {
+            return Err(format!(
+                "bad BRAM range {}..={}",
+                self.bram_min, self.bram_max
+            ));
+        }
+        if self.height_min < 2 || self.height_min > self.height_max {
+            return Err(format!(
+                "bad height range {}..={} (min height 2: BRAM blocks are 2 tall)",
+                self.height_min, self.height_max
+            ));
+        }
+        if self.alternatives == 0 {
+            return Err("at least one alternative (the base layout) required".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let s = WorkloadSpec::default();
+        assert_eq!(s.modules, 30);
+        assert_eq!((s.clb_min, s.clb_max), (20, 100));
+        assert_eq!((s.bram_min, s.bram_max), (0, 4));
+        assert_eq!(s.alternatives, 4);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn total_tiles_accounts_for_bram_footprint() {
+        let m = ModuleSpec {
+            clbs: 10,
+            brams: 3,
+            height: 4,
+        };
+        assert_eq!(m.total_tiles(), 16);
+    }
+
+    #[test]
+    fn validation_catches_bad_ranges() {
+        let cases = [
+            WorkloadSpec {
+                modules: 0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                clb_min: 0,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                bram_max: -1,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                height_min: 1,
+                ..WorkloadSpec::default()
+            },
+            WorkloadSpec {
+                alternatives: 0,
+                ..WorkloadSpec::default()
+            },
+        ];
+        for spec in cases {
+            assert!(spec.validate().is_err(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = WorkloadSpec::paper(17);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: WorkloadSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,202 @@
+//! Seeded workload generation: batches of modules with design alternatives.
+
+use crate::alternatives::derive_alternatives;
+use crate::layout::LayoutParams;
+use crate::spec::{ModuleSpec, WorkloadSpec};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_geost::ShapeDef;
+use serde::{Deserialize, Serialize};
+
+/// One generated module: its requirement and its design alternatives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedModule {
+    /// Stable name, e.g. `"m07"`.
+    pub name: String,
+    /// CLB requirement the module was generated from.
+    pub clbs: i32,
+    /// Memory block requirement.
+    pub brams: i32,
+    /// The design alternatives (at least the base layout).
+    pub shapes: Vec<ShapeDef>,
+}
+
+impl GeneratedModule {
+    /// Tile count of the first shape (all alternatives share it).
+    pub fn area(&self) -> i64 {
+        self.shapes[0].area()
+    }
+}
+
+/// A generated batch of modules.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    pub spec: WorkloadSpec,
+    pub modules: Vec<GeneratedModule>,
+}
+
+impl Workload {
+    /// Total tiles over all modules (one shape each).
+    pub fn total_area(&self) -> i64 {
+        self.modules.iter().map(GeneratedModule::area).sum()
+    }
+
+    /// The same workload restricted to one alternative per module — the
+    /// paper's *without design alternatives* arm.
+    pub fn without_alternatives(&self) -> Workload {
+        Workload {
+            spec: WorkloadSpec {
+                alternatives: 1,
+                ..self.spec
+            },
+            modules: self
+                .modules
+                .iter()
+                .map(|m| GeneratedModule {
+                    name: m.name.clone(),
+                    clbs: m.clbs,
+                    brams: m.brams,
+                    shapes: vec![m.shapes[0].clone()],
+                })
+                .collect(),
+        }
+    }
+
+    /// Total number of shapes across modules (the paper: 30 modules → 120
+    /// shapes with alternatives).
+    pub fn total_shapes(&self) -> usize {
+        self.modules.iter().map(|m| m.shapes.len()).sum()
+    }
+}
+
+/// Generate one module from an explicit spec and RNG (exposed for tests and
+/// the figure binaries).
+pub fn generate_module(
+    name: String,
+    spec: &ModuleSpec,
+    alternatives: usize,
+    height_range: (i32, i32),
+    rng: &mut impl Rng,
+) -> GeneratedModule {
+    let params = LayoutParams {
+        // Vary the internal BRAM column position between modules — with
+        // offset 0 the memory column hugs the left edge; larger offsets put
+        // CLB columns left of it.
+        bram_offset: rng.gen_range(0..4),
+        ..LayoutParams::default()
+    };
+    // External relayout height: a different height from the same range.
+    let mut ext_h = rng.gen_range(height_range.0..=height_range.1);
+    if ext_h == spec.height {
+        ext_h = if spec.height < height_range.1 {
+            spec.height + 1
+        } else {
+            (spec.height - 1).max(2)
+        };
+    }
+    let shapes = derive_alternatives(spec, &params, alternatives, ext_h);
+    GeneratedModule {
+        name,
+        clbs: spec.clbs,
+        brams: spec.brams,
+        shapes,
+    }
+}
+
+/// Generate the full workload for `spec` (deterministic in `spec.seed`).
+pub fn generate_workload(spec: &WorkloadSpec) -> Workload {
+    spec.validate().expect("invalid workload spec");
+    let mut rng = ChaCha8Rng::seed_from_u64(spec.seed);
+    let modules = (0..spec.modules)
+        .map(|i| {
+            let m = ModuleSpec {
+                clbs: rng.gen_range(spec.clb_min..=spec.clb_max),
+                brams: rng.gen_range(spec.bram_min..=spec.bram_max),
+                height: rng.gen_range(spec.height_min..=spec.height_max),
+            };
+            generate_module(
+                format!("m{i:02}"),
+                &m,
+                spec.alternatives,
+                (spec.height_min, spec.height_max),
+                &mut rng,
+            )
+        })
+        .collect();
+    Workload {
+        spec: *spec,
+        modules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::ResourceKind;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let spec = WorkloadSpec::small(8, 3);
+        let a = generate_workload(&spec);
+        let b = generate_workload(&spec);
+        assert_eq!(a, b);
+        let c = generate_workload(&WorkloadSpec::small(8, 4));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn paper_spec_counts() {
+        let wl = generate_workload(&WorkloadSpec::paper(0));
+        assert_eq!(wl.modules.len(), 30);
+        for m in &wl.modules {
+            assert!((20..=100).contains(&m.clbs), "{}", m.clbs);
+            assert!((0..=4).contains(&m.brams), "{}", m.brams);
+            assert!(!m.shapes.is_empty() && m.shapes.len() <= 4);
+        }
+        // "30 modules yield 120 different shapes" — dedup may drop a few
+        // for symmetric modules, but the bulk must be there.
+        assert!(wl.total_shapes() > 100, "{}", wl.total_shapes());
+    }
+
+    #[test]
+    fn shapes_match_requirements() {
+        let wl = generate_workload(&WorkloadSpec::small(10, 7));
+        for m in &wl.modules {
+            for s in &m.shapes {
+                let ms = s.resource_multiset();
+                assert_eq!(ms[ResourceKind::Clb.index()], m.clbs as i64);
+                assert_eq!(
+                    ms[ResourceKind::Bram.index()],
+                    (m.brams * crate::spec::BRAM_BLOCK_TILES) as i64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_alternatives_strips_to_one() {
+        let wl = generate_workload(&WorkloadSpec::small(6, 1));
+        let solo = wl.without_alternatives();
+        assert_eq!(solo.modules.len(), wl.modules.len());
+        assert_eq!(solo.total_shapes(), 6);
+        for (a, b) in solo.modules.iter().zip(&wl.modules) {
+            assert_eq!(a.shapes[0], b.shapes[0]);
+        }
+        assert_eq!(solo.total_area(), wl.total_area());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        let wl = generate_workload(&WorkloadSpec::small(3, 0));
+        let names: Vec<&str> = wl.modules.iter().map(|m| m.name.as_str()).collect();
+        assert_eq!(names, vec!["m00", "m01", "m02"]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let wl = generate_workload(&WorkloadSpec::small(4, 9));
+        let json = serde_json::to_string(&wl).unwrap();
+        let back: Workload = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wl);
+    }
+}

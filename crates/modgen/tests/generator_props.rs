@@ -1,0 +1,77 @@
+//! Property tests of the workload generator: every generated module must
+//! respect its spec, stay placeable on the matching device family, and be
+//! reproducible from its seed.
+
+use proptest::prelude::*;
+use rrf_fabric::{device, Region, ResourceKind};
+use rrf_geost::allowed_anchors;
+use rrf_modgen::{base_layout, generate_workload, layout::LayoutParams, ModuleSpec, WorkloadSpec};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The layout delivers the exact resource counts of the spec.
+    #[test]
+    fn layout_matches_spec(clbs in 5i32..110, brams in 0i32..5, height in 2i32..10,
+                           offset in 0i32..4) {
+        let spec = ModuleSpec { clbs, brams, height };
+        let params = LayoutParams { bram_offset: offset, ..LayoutParams::default() };
+        let shape = base_layout(&spec, &params);
+        let ms = shape.resource_multiset();
+        prop_assert_eq!(ms[ResourceKind::Clb.index()], clbs as i64);
+        prop_assert_eq!(ms[ResourceKind::Bram.index()], (brams * 2) as i64);
+        // No other kinds ever appear.
+        prop_assert_eq!(ms[ResourceKind::Dsp.index()], 0);
+        prop_assert_eq!(ms[ResourceKind::Static.index()], 0);
+    }
+
+    /// Every generated layout is placeable on a big-enough device of the
+    /// family it was generated for — the generator's core guarantee.
+    #[test]
+    fn layout_is_placeable_on_family_device(clbs in 5i32..110, brams in 0i32..5,
+                                            height in 2i32..9, offset in 0i32..4) {
+        let spec = ModuleSpec { clbs, brams, height };
+        let params = LayoutParams { bram_offset: offset, ..LayoutParams::default() };
+        let shape = base_layout(&spec, &params);
+        let layout = device::ColumnLayout {
+            bram_period: 10,
+            bram_offset: 4,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        };
+        let region = Region::whole(device::columns(80, 24, layout));
+        prop_assert!(
+            !allowed_anchors(&region, &shape).is_empty(),
+            "unplaceable layout for {:?} offset {}",
+            spec,
+            offset
+        );
+    }
+
+    /// Workloads are a pure function of their spec.
+    #[test]
+    fn workload_reproducible(seed in 0u64..1000, modules in 1usize..8) {
+        let spec = WorkloadSpec { modules, seed, ..WorkloadSpec::small(modules, seed) };
+        prop_assert_eq!(generate_workload(&spec), generate_workload(&spec));
+    }
+
+    /// Within one workload, every module's alternatives share the module's
+    /// resource multiset, and total shapes are bounded by 4 per module.
+    #[test]
+    fn workload_invariants(seed in 0u64..300) {
+        let wl = generate_workload(&WorkloadSpec { modules: 6, seed, ..WorkloadSpec::default() });
+        for m in &wl.modules {
+            prop_assert!(!m.shapes.is_empty() && m.shapes.len() <= 4);
+            let base = m.shapes[0].resource_multiset();
+            for s in &m.shapes {
+                prop_assert_eq!(s.resource_multiset(), base);
+                // Shapes are normalized: bounding box at the origin.
+                let bb = s.bounding_box();
+                prop_assert_eq!((bb.x, bb.y), (0, 0));
+            }
+        }
+        prop_assert_eq!(wl.without_alternatives().total_shapes(), 6);
+    }
+}

@@ -1,0 +1,88 @@
+//! Primitive cells.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The primitive kinds a synthesized module is made of, at the
+//  granularity the packer cares about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum CellKind {
+    /// A look-up table (any width; the pack rules set CLB capacity).
+    Lut,
+    /// A flip-flop / register bit.
+    Ff,
+    /// An embedded memory block.
+    Bram,
+    /// A dedicated multiplier / DSP slice.
+    Dsp,
+    /// A top-level port (consumes no fabric tiles; terminates nets).
+    Port,
+}
+
+impl CellKind {
+    pub const ALL: [CellKind; 5] = [
+        CellKind::Lut,
+        CellKind::Ff,
+        CellKind::Bram,
+        CellKind::Dsp,
+        CellKind::Port,
+    ];
+
+    /// Keyword used by the text format.
+    pub const fn keyword(self) -> &'static str {
+        match self {
+            CellKind::Lut => "lut",
+            CellKind::Ff => "ff",
+            CellKind::Bram => "bram",
+            CellKind::Dsp => "dsp",
+            CellKind::Port => "port",
+        }
+    }
+
+    /// Inverse of [`CellKind::keyword`].
+    pub fn from_keyword(s: &str) -> Option<CellKind> {
+        CellKind::ALL.into_iter().find(|k| k.keyword() == s)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// Dense cell handle within one [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CellId(pub u32);
+
+impl CellId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named primitive instance.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Cell {
+    pub name: String,
+    pub kind: CellKind,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_roundtrip() {
+        for kind in CellKind::ALL {
+            assert_eq!(CellKind::from_keyword(kind.keyword()), Some(kind));
+        }
+        assert_eq!(CellKind::from_keyword("gate"), None);
+    }
+
+    #[test]
+    fn display_is_keyword() {
+        assert_eq!(CellKind::Bram.to_string(), "bram");
+    }
+}

@@ -1,0 +1,38 @@
+//! # rrf-netlist — module netlists and packing
+//!
+//! The paper's flow consumes modules "specified as unplaced and unrouted
+//! netlists" plus optional user bounding-box definitions (§I, Fig. 2).
+//! This crate is that front end: a primitive-cell netlist representation,
+//! a small text format, and a *packing* stage that maps cells onto tile
+//! resource demands (LUT/FF pairs into CLBs, memories into BRAM blocks,
+//! multipliers into DSP slices) — the numbers the layout generator turns
+//! into shapes.
+//!
+//! ```
+//! use rrf_netlist::{parse, pack, PackRules};
+//!
+//! let src = "
+//! cell lut0 lut
+//! cell lut1 lut
+//! cell ff0  ff
+//! cell ram0 bram
+//! net  n1   lut0 ff0
+//! net  n2   lut1 ram0
+//! ";
+//! let netlist = parse(src).unwrap();
+//! let demand = pack(&netlist, &PackRules::default());
+//! assert_eq!(demand.brams, 1);
+//! assert!(demand.clbs >= 1);
+//! ```
+
+pub mod cell;
+pub mod net;
+pub mod netlist;
+pub mod pack;
+pub mod parser;
+
+pub use cell::{Cell, CellId, CellKind};
+pub use net::{Net, NetId};
+pub use netlist::{Netlist, NetlistError, NetlistStats};
+pub use pack::{pack, PackRules, ResourceDemand};
+pub use parser::{parse, write as write_netlist, ParseError};

@@ -1,0 +1,49 @@
+//! Nets: hyperedges over cells.
+
+use crate::cell::CellId;
+use serde::{Deserialize, Serialize};
+
+/// Dense net handle within one [`crate::Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NetId(pub u32);
+
+impl NetId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A named hyperedge connecting two or more cell pins. Pin directions are
+/// not modelled — the packer and the flow only need connectivity.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    pub name: String,
+    pub pins: Vec<CellId>,
+}
+
+impl Net {
+    /// Number of pins minus one — the classic fanout measure.
+    pub fn fanout(&self) -> usize {
+        self.pins.len().saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fanout() {
+        let net = Net {
+            name: "n".into(),
+            pins: vec![CellId(0), CellId(1), CellId(2)],
+        };
+        assert_eq!(net.fanout(), 2);
+        let empty = Net {
+            name: "e".into(),
+            pins: vec![],
+        };
+        assert_eq!(empty.fanout(), 0);
+    }
+}

@@ -1,0 +1,243 @@
+//! The netlist container with validation and statistics.
+
+use crate::cell::{Cell, CellId, CellKind};
+use crate::net::{Net, NetId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors raised while building a netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    DuplicateCell(String),
+    DuplicateNet(String),
+    UnknownCell { net: String, cell: String },
+    /// A net with fewer than two pins connects nothing.
+    DegenerateNet(String),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateCell(n) => write!(f, "duplicate cell {n:?}"),
+            NetlistError::DuplicateNet(n) => write!(f, "duplicate net {n:?}"),
+            NetlistError::UnknownCell { net, cell } => {
+                write!(f, "net {net:?} references unknown cell {cell:?}")
+            }
+            NetlistError::DegenerateNet(n) => {
+                write!(f, "net {n:?} has fewer than two pins")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// An unplaced, unrouted module netlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Netlist {
+    cells: Vec<Cell>,
+    nets: Vec<Net>,
+    #[serde(skip)]
+    cell_index: HashMap<String, CellId>,
+}
+
+impl Netlist {
+    pub fn new() -> Netlist {
+        Netlist::default()
+    }
+
+    /// Add a cell; names must be unique.
+    pub fn add_cell(&mut self, name: impl Into<String>, kind: CellKind) -> Result<CellId, NetlistError> {
+        let name = name.into();
+        if self.cell_index.contains_key(&name) {
+            return Err(NetlistError::DuplicateCell(name));
+        }
+        let id = CellId(self.cells.len() as u32);
+        self.cell_index.insert(name.clone(), id);
+        self.cells.push(Cell { name, kind });
+        Ok(id)
+    }
+
+    /// Add a net over named cells; needs at least two pins, all known.
+    pub fn add_net<'a>(
+        &mut self,
+        name: impl Into<String>,
+        pin_names: impl IntoIterator<Item = &'a str>,
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.nets.iter().any(|n| n.name == name) {
+            return Err(NetlistError::DuplicateNet(name));
+        }
+        let mut pins = Vec::new();
+        for pin in pin_names {
+            match self.cell_index.get(pin) {
+                Some(&id) => pins.push(id),
+                None => {
+                    return Err(NetlistError::UnknownCell {
+                        net: name,
+                        cell: pin.to_string(),
+                    })
+                }
+            }
+        }
+        if pins.len() < 2 {
+            return Err(NetlistError::DegenerateNet(name));
+        }
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name, pins });
+        Ok(id)
+    }
+
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    pub fn cell(&self, id: CellId) -> &Cell {
+        &self.cells[id.index()]
+    }
+
+    /// Look up a cell by name.
+    pub fn find_cell(&self, name: &str) -> Option<CellId> {
+        self.cell_index.get(name).copied()
+    }
+
+    /// Number of cells of `kind`.
+    pub fn count(&self, kind: CellKind) -> usize {
+        self.cells.iter().filter(|c| c.kind == kind).count()
+    }
+
+    /// Rebuild the name index (used after deserialization, where the index
+    /// is skipped).
+    pub fn reindex(&mut self) {
+        self.cell_index = self
+            .cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c.name.clone(), CellId(i as u32)))
+            .collect();
+    }
+
+    /// Summary numbers.
+    pub fn stats(&self) -> NetlistStats {
+        let fanouts: Vec<usize> = self.nets.iter().map(Net::fanout).collect();
+        NetlistStats {
+            cells: self.cells.len(),
+            nets: self.nets.len(),
+            luts: self.count(CellKind::Lut),
+            ffs: self.count(CellKind::Ff),
+            brams: self.count(CellKind::Bram),
+            dsps: self.count(CellKind::Dsp),
+            ports: self.count(CellKind::Port),
+            max_fanout: fanouts.iter().copied().max().unwrap_or(0),
+            avg_fanout: if fanouts.is_empty() {
+                0.0
+            } else {
+                fanouts.iter().sum::<usize>() as f64 / fanouts.len() as f64
+            },
+        }
+    }
+}
+
+/// Summary of a netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetlistStats {
+    pub cells: usize,
+    pub nets: usize,
+    pub luts: usize,
+    pub ffs: usize,
+    pub brams: usize,
+    pub dsps: usize,
+    pub ports: usize,
+    pub max_fanout: usize,
+    pub avg_fanout: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Netlist {
+        let mut nl = Netlist::new();
+        nl.add_cell("l0", CellKind::Lut).unwrap();
+        nl.add_cell("l1", CellKind::Lut).unwrap();
+        nl.add_cell("f0", CellKind::Ff).unwrap();
+        nl.add_cell("p0", CellKind::Port).unwrap();
+        nl.add_net("n0", ["l0", "f0"]).unwrap();
+        nl.add_net("n1", ["l0", "l1", "p0"]).unwrap();
+        nl
+    }
+
+    #[test]
+    fn build_and_query() {
+        let nl = sample();
+        assert_eq!(nl.cells().len(), 4);
+        assert_eq!(nl.nets().len(), 2);
+        assert_eq!(nl.count(CellKind::Lut), 2);
+        let id = nl.find_cell("f0").unwrap();
+        assert_eq!(nl.cell(id).kind, CellKind::Ff);
+        assert_eq!(nl.find_cell("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let mut nl = sample();
+        assert!(matches!(
+            nl.add_cell("l0", CellKind::Ff),
+            Err(NetlistError::DuplicateCell(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_net_rejected() {
+        let mut nl = sample();
+        assert!(matches!(
+            nl.add_net("n0", ["l0", "l1"]),
+            Err(NetlistError::DuplicateNet(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_pin_rejected() {
+        let mut nl = sample();
+        assert!(matches!(
+            nl.add_net("n9", ["l0", "ghost"]),
+            Err(NetlistError::UnknownCell { .. })
+        ));
+    }
+
+    #[test]
+    fn degenerate_net_rejected() {
+        let mut nl = sample();
+        assert!(matches!(
+            nl.add_net("n9", ["l0"]),
+            Err(NetlistError::DegenerateNet(_))
+        ));
+    }
+
+    #[test]
+    fn stats_summary() {
+        let s = sample().stats();
+        assert_eq!(s.cells, 4);
+        assert_eq!(s.luts, 2);
+        assert_eq!(s.ffs, 1);
+        assert_eq!(s.ports, 1);
+        assert_eq!(s.max_fanout, 2);
+        assert!((s.avg_fanout - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn serde_roundtrip_with_reindex() {
+        let nl = sample();
+        let json = serde_json::to_string(&nl).unwrap();
+        let mut back: Netlist = serde_json::from_str(&json).unwrap();
+        back.reindex();
+        assert_eq!(back.cells(), nl.cells());
+        assert_eq!(back.nets(), nl.nets());
+        assert_eq!(back.find_cell("l1"), nl.find_cell("l1"));
+    }
+}

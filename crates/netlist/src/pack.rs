@@ -1,0 +1,134 @@
+//! Packing: from primitive cells to tile resource demands.
+//!
+//! A CLB tile hosts a fixed number of LUTs and FFs (rules configurable per
+//! device family); LUT/FF pairs share slices where possible, so the CLB
+//! demand is driven by the larger of the two populations, the way real
+//! packers behave to first order. BRAM/DSP cells map one-to-one onto
+//! their dedicated blocks; ports consume nothing.
+
+use crate::cell::CellKind;
+use crate::netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Device-family packing capacities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackRules {
+    /// LUTs per CLB tile.
+    pub luts_per_clb: usize,
+    /// FFs per CLB tile.
+    pub ffs_per_clb: usize,
+}
+
+impl Default for PackRules {
+    /// Four LUT/FF pairs per CLB — the classic Virtex-family slice count.
+    fn default() -> PackRules {
+        PackRules {
+            luts_per_clb: 4,
+            ffs_per_clb: 4,
+        }
+    }
+}
+
+/// Tile demand of a packed module — the numbers the layout generator
+/// (`rrf-modgen`) turns into shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceDemand {
+    pub clbs: i32,
+    pub brams: i32,
+    pub dsps: i32,
+}
+
+/// Pack a netlist under the given rules.
+///
+/// Panics on zero capacities — a misconfigured rule set, not a data
+/// condition.
+pub fn pack(netlist: &Netlist, rules: &PackRules) -> ResourceDemand {
+    assert!(
+        rules.luts_per_clb > 0 && rules.ffs_per_clb > 0,
+        "degenerate pack rules {rules:?}"
+    );
+    let luts = netlist.count(CellKind::Lut);
+    let ffs = netlist.count(CellKind::Ff);
+    let clbs_for_luts = luts.div_ceil(rules.luts_per_clb);
+    let clbs_for_ffs = ffs.div_ceil(rules.ffs_per_clb);
+    ResourceDemand {
+        clbs: clbs_for_luts.max(clbs_for_ffs) as i32,
+        brams: netlist.count(CellKind::Bram) as i32,
+        dsps: netlist.count(CellKind::Dsp) as i32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn netlist(luts: usize, ffs: usize, brams: usize, dsps: usize) -> Netlist {
+        let mut nl = Netlist::new();
+        for i in 0..luts {
+            nl.add_cell(format!("l{i}"), CellKind::Lut).unwrap();
+        }
+        for i in 0..ffs {
+            nl.add_cell(format!("f{i}"), CellKind::Ff).unwrap();
+        }
+        for i in 0..brams {
+            nl.add_cell(format!("b{i}"), CellKind::Bram).unwrap();
+        }
+        for i in 0..dsps {
+            nl.add_cell(format!("d{i}"), CellKind::Dsp).unwrap();
+        }
+        nl
+    }
+
+    #[test]
+    fn luts_and_ffs_share_clbs() {
+        // 8 LUTs + 8 FFs in 4-per-CLB rules → 2 CLBs, not 4.
+        let d = pack(&netlist(8, 8, 0, 0), &PackRules::default());
+        assert_eq!(d.clbs, 2);
+    }
+
+    #[test]
+    fn larger_population_dominates() {
+        let d = pack(&netlist(9, 2, 0, 0), &PackRules::default());
+        assert_eq!(d.clbs, 3); // ceil(9/4)
+        let d = pack(&netlist(2, 9, 0, 0), &PackRules::default());
+        assert_eq!(d.clbs, 3); // ceil(9/4)
+    }
+
+    #[test]
+    fn dedicated_blocks_map_one_to_one() {
+        let d = pack(&netlist(0, 0, 3, 2), &PackRules::default());
+        assert_eq!(d.clbs, 0);
+        assert_eq!(d.brams, 3);
+        assert_eq!(d.dsps, 2);
+    }
+
+    #[test]
+    fn ports_cost_nothing() {
+        let mut nl = netlist(4, 0, 0, 0);
+        nl.add_cell("io", CellKind::Port).unwrap();
+        let d = pack(&nl, &PackRules::default());
+        assert_eq!(d.clbs, 1);
+    }
+
+    #[test]
+    fn custom_rules() {
+        let rules = PackRules {
+            luts_per_clb: 8,
+            ffs_per_clb: 16,
+        };
+        let d = pack(&netlist(8, 17, 0, 0), &rules);
+        assert_eq!(d.clbs, 2); // ceil(17/16) = 2 > ceil(8/8) = 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = pack(
+            &netlist(1, 0, 0, 0),
+            &PackRules {
+                luts_per_clb: 0,
+                ffs_per_clb: 4,
+            },
+        );
+    }
+}

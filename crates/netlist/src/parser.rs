@@ -1,0 +1,161 @@
+//! The text format: one declaration per line.
+//!
+//! ```text
+//! # comment
+//! cell <name> <kind>          # kind ∈ lut | ff | bram | dsp | port
+//! net  <name> <cell> <cell>…  # at least two pins
+//! ```
+
+use crate::cell::CellKind;
+use crate::netlist::{Netlist, NetlistError};
+use std::fmt;
+
+/// Parse failures, with 1-based line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    Syntax { line: usize, message: String },
+    Semantic { line: usize, error: NetlistError },
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Semantic { line, error } => write!(f, "line {line}: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parse a netlist from the text format.
+pub fn parse(src: &str) -> Result<Netlist, ParseError> {
+    let mut netlist = Netlist::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        match tokens.next() {
+            Some("cell") => {
+                let name = tokens.next().ok_or_else(|| ParseError::Syntax {
+                    line: line_no,
+                    message: "cell needs a name".into(),
+                })?;
+                let kind_tok = tokens.next().ok_or_else(|| ParseError::Syntax {
+                    line: line_no,
+                    message: "cell needs a kind".into(),
+                })?;
+                let kind = CellKind::from_keyword(kind_tok).ok_or_else(|| ParseError::Syntax {
+                    line: line_no,
+                    message: format!("unknown cell kind {kind_tok:?}"),
+                })?;
+                if tokens.next().is_some() {
+                    return Err(ParseError::Syntax {
+                        line: line_no,
+                        message: "trailing tokens after cell declaration".into(),
+                    });
+                }
+                netlist
+                    .add_cell(name, kind)
+                    .map_err(|error| ParseError::Semantic { line: line_no, error })?;
+            }
+            Some("net") => {
+                let name = tokens.next().ok_or_else(|| ParseError::Syntax {
+                    line: line_no,
+                    message: "net needs a name".into(),
+                })?;
+                let pins: Vec<&str> = tokens.collect();
+                netlist
+                    .add_net(name, pins.iter().copied())
+                    .map_err(|error| ParseError::Semantic { line: line_no, error })?;
+            }
+            Some(other) => {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: format!("unknown directive {other:?}"),
+                })
+            }
+            None => unreachable!("blank lines filtered above"),
+        }
+    }
+    Ok(netlist)
+}
+
+/// Write a netlist back to the text format (the inverse of [`parse`]).
+pub fn write(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    for cell in netlist.cells() {
+        out.push_str(&format!("cell {} {}\n", cell.name, cell.kind.keyword()));
+    }
+    for net in netlist.nets() {
+        out.push_str(&format!("net {}", net.name));
+        for &pin in &net.pins {
+            out.push(' ');
+            out.push_str(&netlist.cell(pin).name);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# a sample module
+cell l0 lut
+cell f0 ff    # register
+cell m0 bram
+net  d  l0 f0
+net  q  f0 m0
+";
+
+    #[test]
+    fn parse_sample() {
+        let nl = parse(SAMPLE).unwrap();
+        assert_eq!(nl.cells().len(), 3);
+        assert_eq!(nl.nets().len(), 2);
+        assert_eq!(nl.count(CellKind::Bram), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let nl = parse(SAMPLE).unwrap();
+        let text = write(&nl);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.cells(), nl.cells());
+        assert_eq!(back.nets(), nl.nets());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse("cell a lut\nwire x a b").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+        let err = parse("cell a gate").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+        let err = parse("cell").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+        let err = parse("cell a lut extra").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn semantic_errors_carry_line_numbers() {
+        let err = parse("cell a lut\ncell a ff").unwrap_err();
+        assert!(matches!(err, ParseError::Semantic { line: 2, .. }));
+        let err = parse("cell a lut\nnet n a ghost").unwrap_err();
+        assert!(matches!(err, ParseError::Semantic { line: 2, .. }));
+        let err = parse("cell a lut\nnet n a").unwrap_err();
+        assert!(matches!(err, ParseError::Semantic { line: 2, .. }));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let nl = parse("\n   \n# only comments\n").unwrap();
+        assert_eq!(nl.cells().len(), 0);
+    }
+}

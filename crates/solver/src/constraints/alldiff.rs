@@ -1,0 +1,166 @@
+//! The `all_different` global constraint.
+//!
+//! Combines value propagation (a fixed variable's value is removed from all
+//! others) with Hall-interval bounds reasoning (a set of k variables whose
+//! domains fit inside an interval of width k saturates that interval, so it
+//! is pruned from everyone else). Not the full Régin filtering, but the
+//! classic bounds-consistency level used by most solvers by default.
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+pub struct AllDifferent {
+    vars: Vec<VarId>,
+}
+
+impl AllDifferent {
+    pub fn new(vars: Vec<VarId>) -> AllDifferent {
+        AllDifferent { vars }
+    }
+
+    /// Value propagation: remove every fixed value from the other domains.
+    fn prune_values(&self, space: &mut Space) -> Result<(), Conflict> {
+        // A fixed-point local to this propagator: removing a value may fix
+        // another variable.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in 0..self.vars.len() {
+                if !space.is_fixed(self.vars[i]) {
+                    continue;
+                }
+                let val = space.value(self.vars[i]);
+                for j in 0..self.vars.len() {
+                    if i != j && space.contains(self.vars[j], val) {
+                        if space.is_fixed(self.vars[j]) {
+                            return Err(Conflict);
+                        }
+                        space.remove(self.vars[j], val)?;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Hall-interval pruning on bounds. O(n²) over candidate intervals
+    /// formed by domain bounds — fine for the small cliques the placer
+    /// produces.
+    fn prune_hall(&self, space: &mut Space) -> Result<(), Conflict> {
+        let n = self.vars.len();
+        let mins: Vec<i32> = self.vars.iter().map(|&v| space.min(v)).collect();
+        let maxs: Vec<i32> = self.vars.iter().map(|&v| space.max(v)).collect();
+        for i in 0..n {
+            for j in 0..n {
+                let (lo, hi) = (mins[i], maxs[j]);
+                if lo > hi {
+                    continue;
+                }
+                let width = (hi - lo + 1) as usize;
+                let inside: Vec<usize> = (0..n)
+                    .filter(|&k| mins[k] >= lo && maxs[k] <= hi)
+                    .collect();
+                if inside.len() > width {
+                    return Err(Conflict);
+                }
+                if inside.len() == width {
+                    // Hall interval: prune [lo, hi] from everyone outside.
+                    for k in 0..n {
+                        if inside.contains(&k) {
+                            continue;
+                        }
+                        let var = self.vars[k];
+                        // Remove the interval from the variable's bounds
+                        // only (bounds consistency).
+                        if space.min(var) >= lo && space.min(var) <= hi {
+                            space.set_min(var, hi + 1)?;
+                        }
+                        if space.max(var) <= hi && space.max(var) >= lo {
+                            space.set_max(var, lo - 1)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Propagator for AllDifferent {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        self.prune_values(space)?;
+        self.prune_hall(space)?;
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "all_different"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn run(space: &mut Space, p: impl Propagator + 'static) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn value_propagation_chain() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(1));
+        let b = space.new_var(Domain::interval(1, 2));
+        let c = space.new_var(Domain::interval(1, 3));
+        run(&mut space, AllDifferent::new(vec![a, b, c])).unwrap();
+        assert_eq!(space.value(b), 2);
+        assert_eq!(space.value(c), 3);
+    }
+
+    #[test]
+    fn two_fixed_equal_fail() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(4));
+        let b = space.new_var(Domain::singleton(4));
+        assert!(run(&mut space, AllDifferent::new(vec![a, b])).is_err());
+    }
+
+    #[test]
+    fn hall_interval_prunes_outsiders() {
+        // x,y ∈ [1,2] saturate {1,2}; z ∈ [1,5] must be >= 3.
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(1, 2));
+        let y = space.new_var(Domain::interval(1, 2));
+        let z = space.new_var(Domain::interval(1, 5));
+        run(&mut space, AllDifferent::new(vec![x, y, z])).unwrap();
+        assert_eq!(space.min(z), 3);
+    }
+
+    #[test]
+    fn pigeonhole_infeasible() {
+        // 4 variables in [1,3]: impossible.
+        let mut space = Space::new();
+        let vars: Vec<VarId> = (0..4).map(|_| space.new_var(Domain::interval(1, 3))).collect();
+        assert!(run(&mut space, AllDifferent::new(vars)).is_err());
+    }
+
+    #[test]
+    fn feasible_left_alone() {
+        let mut space = Space::new();
+        let vars: Vec<VarId> = (0..3).map(|_| space.new_var(Domain::interval(0, 9))).collect();
+        run(&mut space, AllDifferent::new(vars.clone())).unwrap();
+        for v in vars {
+            assert_eq!(space.size(v), 10);
+        }
+    }
+}

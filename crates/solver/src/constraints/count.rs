@@ -1,0 +1,126 @@
+//! The counting constraint `|{i : xᵢ == value}| == c`.
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// `count(vars, value) == c`, where `c` is itself a variable.
+///
+/// Propagation: with `lb` = variables fixed to `value` and `ub` =
+/// variables whose domain still contains `value`, prune `c ∈ [lb, ub]`;
+/// when `c` is forced to `lb`, strip `value` from every unfixed variable;
+/// when `c` is forced to `ub`, fix every candidate to `value`.
+pub struct CountEq {
+    pub vars: Vec<VarId>,
+    pub value: i32,
+    pub c: VarId,
+}
+
+impl Propagator for CountEq {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        let mut fixed = 0i32;
+        let mut possible = 0i32;
+        for &v in &self.vars {
+            if space.contains(v, self.value) {
+                possible += 1;
+                if space.is_fixed(v) {
+                    fixed += 1;
+                }
+            }
+        }
+        space.set_min(self.c, fixed)?;
+        space.set_max(self.c, possible)?;
+        if space.is_fixed(self.c) {
+            let target = space.value(self.c);
+            if target == fixed {
+                // No more occurrences allowed: remove the value elsewhere.
+                for &v in &self.vars {
+                    if !space.is_fixed(v) && space.contains(v, self.value) {
+                        space.remove(v, self.value)?;
+                    }
+                }
+            } else if target == possible {
+                // Every candidate must take the value.
+                for &v in &self.vars {
+                    if space.contains(v, self.value) {
+                        space.assign(v, self.value)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        let mut deps = self.vars.clone();
+        deps.push(self.c);
+        deps
+    }
+
+    fn name(&self) -> &'static str {
+        "count_eq"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn run(space: &mut Space, p: CountEq) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn bounds_on_counter() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(3));
+        let b = space.new_var(Domain::interval(0, 5));
+        let x = space.new_var(Domain::interval(4, 9));
+        let c = space.new_var(Domain::interval(0, 10));
+        run(&mut space, CountEq { vars: vec![a, b, x], value: 3, c }).unwrap();
+        assert_eq!(space.min(c), 1); // a is fixed to 3
+        assert_eq!(space.max(c), 2); // x can never be 3
+    }
+
+    #[test]
+    fn saturated_count_strips_value() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(3));
+        let b = space.new_var(Domain::interval(0, 5));
+        let c = space.new_var(Domain::singleton(1));
+        run(&mut space, CountEq { vars: vec![a, b], value: 3, c }).unwrap();
+        assert!(!space.contains(b, 3));
+    }
+
+    #[test]
+    fn starving_count_forces_value() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::interval(2, 4));
+        let b = space.new_var(Domain::interval(3, 6));
+        let c = space.new_var(Domain::singleton(2));
+        run(&mut space, CountEq { vars: vec![a, b], value: 3, c }).unwrap();
+        assert_eq!(space.value(a), 3);
+        assert_eq!(space.value(b), 3);
+    }
+
+    #[test]
+    fn impossible_count_fails() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::interval(0, 2));
+        let c = space.new_var(Domain::singleton(2));
+        assert!(run(&mut space, CountEq { vars: vec![a], value: 1, c }).is_err());
+    }
+
+    #[test]
+    fn zero_count_with_no_candidates_ok() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::interval(5, 9));
+        let c = space.new_var(Domain::interval(0, 3));
+        run(&mut space, CountEq { vars: vec![a], value: 1, c }).unwrap();
+        assert_eq!(space.value(c), 0);
+    }
+}

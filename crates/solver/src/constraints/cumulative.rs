@@ -1,0 +1,288 @@
+//! The cumulative constraint: tasks with start variables, fixed durations
+//! and resource demands must never exceed a capacity.
+//!
+//! In the placer this is used as a *redundant* constraint over the x axis:
+//! projecting every module onto x gives a task (start = anchor x, duration =
+//! width, demand = height); the projection can never exceed the region
+//! height. Redundant constraints prune earlier than the geometric
+//! non-overlap alone — a classic packing trick the geost literature also
+//! recommends.
+//!
+//! Propagation is *time-table* filtering: build the mandatory-part profile,
+//! fail if it overflows capacity, then push tasks out of profile peaks they
+//! cannot share.
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// One task of the cumulative constraint.
+#[derive(Debug, Clone, Copy)]
+pub struct Task {
+    /// Start time variable.
+    pub start: VarId,
+    /// Fixed duration (>= 0).
+    pub duration: i32,
+    /// Fixed resource demand (>= 0).
+    pub demand: i32,
+}
+
+/// `∀t: Σ_{i: start_i <= t < start_i + dur_i} demand_i <= capacity`.
+pub struct Cumulative {
+    tasks: Vec<Task>,
+    capacity: i32,
+}
+
+impl Cumulative {
+    pub fn new(tasks: Vec<Task>, capacity: i32) -> Cumulative {
+        assert!(capacity >= 0, "negative capacity");
+        for t in &tasks {
+            assert!(t.duration >= 0 && t.demand >= 0, "negative task attribute");
+        }
+        Cumulative { tasks, capacity }
+    }
+
+    /// The mandatory part of task `i`: `[max_start, min_end)` where
+    /// `max_start = max(start)` and `min_end = min(start) + duration`.
+    /// Empty unless `max_start < min_end`.
+    fn mandatory_part(&self, space: &Space, i: usize) -> Option<(i32, i32)> {
+        let t = &self.tasks[i];
+        if t.duration == 0 || t.demand == 0 {
+            return None;
+        }
+        let ms = space.max(t.start);
+        let me = space.min(t.start) + t.duration;
+        if ms < me {
+            Some((ms, me))
+        } else {
+            None
+        }
+    }
+}
+
+impl Propagator for Cumulative {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        // Build the profile as sweep events over mandatory parts.
+        let mut events: Vec<(i32, i32)> = Vec::new(); // (time, +demand/-demand)
+        for i in 0..self.tasks.len() {
+            if let Some((s, e)) = self.mandatory_part(space, i) {
+                events.push((s, self.tasks[i].demand));
+                events.push((e, -self.tasks[i].demand));
+            }
+        }
+        if events.is_empty() {
+            return Ok(());
+        }
+        events.sort_unstable();
+        // Compress into maximal constant segments [t_k, t_{k+1}) with level.
+        let mut segments: Vec<(i32, i32, i32)> = Vec::new(); // (from, to, level)
+        let mut level = 0;
+        let mut idx = 0;
+        while idx < events.len() {
+            let t = events[idx].0;
+            while idx < events.len() && events[idx].0 == t {
+                level += events[idx].1;
+                idx += 1;
+            }
+            if level > self.capacity {
+                return Err(Conflict);
+            }
+            let next_t = events.get(idx).map(|e| e.0);
+            if let Some(nt) = next_t {
+                segments.push((t, nt, level));
+            }
+        }
+
+        // Time-table filtering: a task that cannot share a segment
+        // (demand + level > capacity, and the task is not itself the
+        // mandatory occupant) must not overlap it.
+        for (i, task) in self.tasks.iter().enumerate() {
+            if task.duration == 0 || task.demand == 0 {
+                continue;
+            }
+            let own = self.mandatory_part(space, i);
+            // Repeatedly push the earliest start right across blocking
+            // segments (monotone, terminates).
+            loop {
+                let est = space.min(task.start);
+                let ect = est + task.duration;
+                let mut pushed = false;
+                for &(from, to, lvl) in &segments {
+                    if to <= est || from >= ect {
+                        continue; // no overlap with [est, ect)
+                    }
+                    // Subtract our own mandatory contribution if this
+                    // segment lies inside it.
+                    let own_contrib = match own {
+                        Some((os, oe)) if os <= from && to <= oe => task.demand,
+                        _ => 0,
+                    };
+                    if lvl - own_contrib + task.demand > self.capacity {
+                        // Cannot start before `to` if that keeps us inside.
+                        if space.min(task.start) < to {
+                            space.set_min(task.start, to)?;
+                            pushed = true;
+                            break;
+                        }
+                    }
+                }
+                if !pushed {
+                    break;
+                }
+            }
+            // Mirror: push latest start left across blocking segments.
+            loop {
+                let lst = space.max(task.start);
+                let lct = lst + task.duration;
+                let mut pushed = false;
+                for &(from, to, lvl) in segments.iter().rev() {
+                    if to <= lst || from >= lct {
+                        continue;
+                    }
+                    let own_contrib = match own {
+                        Some((os, oe)) if os <= from && to <= oe => task.demand,
+                        _ => 0,
+                    };
+                    if lvl - own_contrib + task.demand > self.capacity {
+                        let new_max = from - task.duration;
+                        if space.max(task.start) > new_max {
+                            space.set_max(task.start, new_max)?;
+                            pushed = true;
+                            break;
+                        }
+                    }
+                }
+                if !pushed {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        self.tasks.iter().map(|t| t.start).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "cumulative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn run(space: &mut Space, p: impl Propagator + 'static) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn profile_overflow_fails() {
+        // Two fixed tasks of demand 2 overlapping, capacity 3.
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(0));
+        let b = space.new_var(Domain::singleton(1));
+        let tasks = vec![
+            Task { start: a, duration: 3, demand: 2 },
+            Task { start: b, duration: 3, demand: 2 },
+        ];
+        assert!(run(&mut space, Cumulative::new(tasks, 3)).is_err());
+    }
+
+    #[test]
+    fn disjoint_fixed_ok() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(0));
+        let b = space.new_var(Domain::singleton(3));
+        let tasks = vec![
+            Task { start: a, duration: 3, demand: 2 },
+            Task { start: b, duration: 3, demand: 2 },
+        ];
+        run(&mut space, Cumulative::new(tasks, 3)).unwrap();
+    }
+
+    #[test]
+    fn pushes_start_past_mandatory_block() {
+        // Task A fixed at [2,5) demand 3, capacity 3: task B (demand 1,
+        // duration 2) cannot overlap [2,5).
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(2));
+        let b = space.new_var(Domain::interval(1, 10));
+        let tasks = vec![
+            Task { start: a, duration: 3, demand: 3 },
+            Task { start: b, duration: 2, demand: 1 },
+        ];
+        run(&mut space, Cumulative::new(tasks, 3)).unwrap();
+        // B can start at 0? No — domain min is 1; starting at 1 overlaps
+        // [2,3). Earliest feasible start is 5.
+        assert_eq!(space.min(b), 5);
+    }
+
+    #[test]
+    fn pushes_latest_start_left() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(5));
+        let b = space.new_var(Domain::interval(0, 6));
+        let tasks = vec![
+            Task { start: a, duration: 3, demand: 3 },
+            Task { start: b, duration: 2, demand: 1 },
+        ];
+        run(&mut space, Cumulative::new(tasks, 3)).unwrap();
+        // B's latest start: [6,8) overlaps [5,8) → pushed to 3 so that
+        // [3,5) clears the block.
+        assert_eq!(space.max(b), 3);
+    }
+
+    #[test]
+    fn own_mandatory_part_not_double_counted() {
+        // Single task with a mandatory part must not push itself.
+        let mut space = Space::new();
+        let a = space.new_var(Domain::interval(2, 3));
+        let tasks = vec![Task { start: a, duration: 5, demand: 2 }];
+        run(&mut space, Cumulative::new(tasks, 2)).unwrap();
+        assert_eq!((space.min(a), space.max(a)), (2, 3));
+    }
+
+    #[test]
+    fn zero_demand_ignored() {
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(0));
+        let b = space.new_var(Domain::interval(0, 10));
+        let tasks = vec![
+            Task { start: a, duration: 100, demand: 0 },
+            Task { start: b, duration: 2, demand: 1 },
+        ];
+        run(&mut space, Cumulative::new(tasks, 1)).unwrap();
+        assert_eq!(space.min(b), 0);
+    }
+
+    #[test]
+    fn three_tasks_squeeze() {
+        // Capacity 2; two demand-1 tasks fixed overlapping at [0,4);
+        // a demand-1 third task of duration 2 must fit — at 4 earliest if it
+        // cannot share... it CAN share only where level + 1 <= 2, i.e. where
+        // at most one mandatory task runs.
+        let mut space = Space::new();
+        let a = space.new_var(Domain::singleton(0));
+        let b = space.new_var(Domain::singleton(2));
+        let c = space.new_var(Domain::interval(0, 10));
+        let tasks = vec![
+            Task { start: a, duration: 4, demand: 1 },
+            Task { start: b, duration: 4, demand: 1 },
+            Task { start: c, duration: 2, demand: 1 },
+        ];
+        run(&mut space, Cumulative::new(tasks, 2)).unwrap();
+        // Overlap zone [2,4) has level 2; c (needs 2 consecutive free-ish
+        // slots) can start at 0 ([0,2) level 1) — min stays 0.
+        assert_eq!(space.min(c), 0);
+        // But c cannot start at 2 or 3; those remain only excluded via
+        // search (time-table prunes bounds, not holes) — check bound logic
+        // left max untouched since start 10 is fine.
+        assert_eq!(space.max(c), 10);
+    }
+}

@@ -1,0 +1,150 @@
+//! The element constraint `array[idx] == value`.
+//!
+//! In the placement model, element channels per-shape data through the shape
+//! selector variable: e.g. `width = widths[shape]`, which the extent
+//! objective consumes.
+
+use crate::domain::Domain;
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// `array[idx] == value` over a constant array, domain-consistent:
+/// * `idx` keeps only indices whose array entry is still in `dom(value)`;
+/// * `value` keeps only entries reachable from `dom(idx)`.
+pub struct ElementConst {
+    pub array: Vec<i32>,
+    pub idx: VarId,
+    pub value: VarId,
+}
+
+impl Propagator for ElementConst {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        // Restrict idx to valid array positions first.
+        space.set_min(self.idx, 0)?;
+        space.set_max(self.idx, self.array.len() as i32 - 1)?;
+
+        // Supported values and supported indices in one pass over dom(idx).
+        let mut supported_values = Vec::new();
+        let mut dead_indices = Vec::new();
+        for i in space.domain(self.idx).iter() {
+            let entry = self.array[i as usize];
+            if space.contains(self.value, entry) {
+                supported_values.push(entry);
+            } else {
+                dead_indices.push(i);
+            }
+        }
+        let value_dom = Domain::from_values(&supported_values).ok_or(Conflict)?;
+        space.intersect(self.value, &value_dom)?;
+        for i in dead_indices {
+            space.remove(self.idx, i)?;
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        vec![self.idx, self.value]
+    }
+
+    fn name(&self) -> &'static str {
+        "element_const"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::propagator::Engine;
+
+    fn run(space: &mut Space, p: impl Propagator + 'static) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn value_follows_index() {
+        let mut space = Space::new();
+        let idx = space.new_var(Domain::interval(0, 3));
+        let value = space.new_var(Domain::interval(-100, 100));
+        run(
+            &mut space,
+            ElementConst {
+                array: vec![7, 3, 7, 9],
+                idx,
+                value,
+            },
+        )
+        .unwrap();
+        assert_eq!(space.domain(value).iter().collect::<Vec<_>>(), vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn index_follows_value() {
+        let mut space = Space::new();
+        let idx = space.new_var(Domain::interval(0, 3));
+        let value = space.new_var(Domain::singleton(7));
+        run(
+            &mut space,
+            ElementConst {
+                array: vec![7, 3, 7, 9],
+                idx,
+                value,
+            },
+        )
+        .unwrap();
+        assert_eq!(space.domain(idx).iter().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn index_clamped_to_array() {
+        let mut space = Space::new();
+        let idx = space.new_var(Domain::interval(-5, 50));
+        let value = space.new_var(Domain::interval(0, 10));
+        run(
+            &mut space,
+            ElementConst {
+                array: vec![1, 2],
+                idx,
+                value,
+            },
+        )
+        .unwrap();
+        assert_eq!(space.min(idx), 0);
+        assert_eq!(space.max(idx), 1);
+    }
+
+    #[test]
+    fn no_support_fails() {
+        let mut space = Space::new();
+        let idx = space.new_var(Domain::interval(0, 2));
+        let value = space.new_var(Domain::interval(100, 200));
+        assert!(run(
+            &mut space,
+            ElementConst {
+                array: vec![1, 2, 3],
+                idx,
+                value,
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn fixed_index_fixes_value() {
+        let mut space = Space::new();
+        let idx = space.new_var(Domain::singleton(1));
+        let value = space.new_var(Domain::interval(0, 10));
+        run(
+            &mut space,
+            ElementConst {
+                array: vec![4, 8, 2],
+                idx,
+                value,
+            },
+        )
+        .unwrap();
+        assert_eq!(space.value(value), 8);
+    }
+}

@@ -1,0 +1,111 @@
+//! Lexicographic ordering of coordinate pairs — symmetry breaking.
+//!
+//! Identical modules are interchangeable: any permutation of their
+//! placements is an equivalent floorplan, and an unbroken model explores
+//! every permutation. `LexLeqPair` orders the anchors of two identical
+//! objects, cutting that factorial factor.
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// `(x1, y1) <=_lex (x2, y2)`.
+///
+/// Propagation: `x1 <= x2` at bounds level, plus the tie case — once both
+/// x are fixed and equal, `y1 <= y2`. Sound everywhere and complete at
+/// leaves, which is all symmetry breaking needs.
+pub struct LexLeqPair {
+    pub x1: VarId,
+    pub y1: VarId,
+    pub x2: VarId,
+    pub y2: VarId,
+}
+
+impl Propagator for LexLeqPair {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        space.set_max(self.x1, space.max(self.x2))?;
+        space.set_min(self.x2, space.min(self.x1))?;
+        if space.is_fixed(self.x1)
+            && space.is_fixed(self.x2)
+            && space.value(self.x1) == space.value(self.x2)
+        {
+            space.set_max(self.y1, space.max(self.y2))?;
+            space.set_min(self.y2, space.min(self.y1))?;
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        vec![self.x1, self.y1, self.x2, self.y2]
+    }
+
+    fn name(&self) -> &'static str {
+        "lex_leq_pair"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn run(space: &mut Space, p: LexLeqPair) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn bounds_on_first_coordinate() {
+        let mut space = Space::new();
+        let x1 = space.new_var(Domain::interval(0, 9));
+        let y1 = space.new_var(Domain::interval(0, 9));
+        let x2 = space.new_var(Domain::interval(0, 4));
+        let y2 = space.new_var(Domain::interval(0, 9));
+        run(&mut space, LexLeqPair { x1, y1, x2, y2 }).unwrap();
+        assert_eq!(space.max(x1), 4);
+    }
+
+    #[test]
+    fn tie_breaks_on_second() {
+        let mut space = Space::new();
+        let x1 = space.new_var(Domain::singleton(3));
+        let y1 = space.new_var(Domain::interval(0, 9));
+        let x2 = space.new_var(Domain::singleton(3));
+        let y2 = space.new_var(Domain::interval(0, 4));
+        run(&mut space, LexLeqPair { x1, y1, x2, y2 }).unwrap();
+        assert_eq!(space.max(y1), 4);
+    }
+
+    #[test]
+    fn strict_first_leaves_second_alone() {
+        let mut space = Space::new();
+        let x1 = space.new_var(Domain::singleton(1));
+        let y1 = space.new_var(Domain::interval(0, 9));
+        let x2 = space.new_var(Domain::singleton(5));
+        let y2 = space.new_var(Domain::interval(0, 2));
+        run(&mut space, LexLeqPair { x1, y1, x2, y2 }).unwrap();
+        assert_eq!(space.max(y1), 9);
+    }
+
+    #[test]
+    fn conflict_when_reversed() {
+        let mut space = Space::new();
+        let x1 = space.new_var(Domain::singleton(5));
+        let y1 = space.new_var(Domain::interval(0, 9));
+        let x2 = space.new_var(Domain::singleton(2));
+        let y2 = space.new_var(Domain::interval(0, 9));
+        assert!(run(&mut space, LexLeqPair { x1, y1, x2, y2 }).is_err());
+    }
+
+    #[test]
+    fn conflict_on_tied_x_reversed_y() {
+        let mut space = Space::new();
+        let x1 = space.new_var(Domain::singleton(2));
+        let y1 = space.new_var(Domain::singleton(7));
+        let x2 = space.new_var(Domain::singleton(2));
+        let y2 = space.new_var(Domain::singleton(3));
+        assert!(run(&mut space, LexLeqPair { x1, y1, x2, y2 }).is_err());
+    }
+}

@@ -1,0 +1,276 @@
+//! Linear constraints `Σ aᵢ·xᵢ ⋈ c` with bounds-consistent propagation.
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinRel {
+    /// `Σ aᵢ·xᵢ <= c`
+    Le,
+    /// `Σ aᵢ·xᵢ == c`
+    Eq,
+    /// `Σ aᵢ·xᵢ >= c`
+    Ge,
+}
+
+/// `Σ aᵢ·xᵢ ⋈ c`. Standard bounds propagation: for each term, the residual
+/// slack of the other terms' extremal sums bounds it. All arithmetic is in
+/// `i64`, so `|aᵢ·xᵢ|` sums stay far from overflow for any realistic model.
+pub struct Linear {
+    coeffs: Vec<i64>,
+    vars: Vec<VarId>,
+    rel: LinRel,
+    c: i64,
+}
+
+impl Linear {
+    /// Build `Σ coeffs[i]·vars[i] ⋈ c`. Zero coefficients are dropped.
+    /// Panics if the two slices differ in length.
+    pub fn new(coeffs: &[i64], vars: &[VarId], rel: LinRel, c: i64) -> Linear {
+        assert_eq!(coeffs.len(), vars.len(), "coeffs/vars length mismatch");
+        let mut cs = Vec::with_capacity(coeffs.len());
+        let mut vs = Vec::with_capacity(vars.len());
+        for (&a, &v) in coeffs.iter().zip(vars) {
+            if a != 0 {
+                cs.push(a);
+                vs.push(v);
+            }
+        }
+        Linear {
+            coeffs: cs,
+            vars: vs,
+            rel,
+            c,
+        }
+    }
+
+    /// Minimal and maximal value of term `i` under current domains.
+    #[inline]
+    fn term_bounds(&self, space: &Space, i: usize) -> (i64, i64) {
+        let a = self.coeffs[i];
+        let lo = space.min(self.vars[i]) as i64;
+        let hi = space.max(self.vars[i]) as i64;
+        if a >= 0 {
+            (a * lo, a * hi)
+        } else {
+            (a * hi, a * lo)
+        }
+    }
+
+    /// Enforce `Σ aᵢ·xᵢ <= c` by pruning each variable against the residual
+    /// minimum of the others.
+    fn prune_le(&self, space: &mut Space, c: i64) -> Result<(), Conflict> {
+        let mut sum_min = 0i64;
+        for i in 0..self.vars.len() {
+            sum_min += self.term_bounds(space, i).0;
+        }
+        if sum_min > c {
+            return Err(Conflict);
+        }
+        for i in 0..self.vars.len() {
+            let (tmin, _) = self.term_bounds(space, i);
+            let slack = c - (sum_min - tmin); // budget available to term i
+            let a = self.coeffs[i];
+            if a > 0 {
+                // a*x <= slack → x <= floor(slack / a)
+                space.set_max(self.vars[i], slack.div_euclid(a).min(i32::MAX as i64) as i32)?;
+            } else {
+                // a*x <= slack with a < 0 → x >= ceil(slack / a), and
+                // ceil(p/q) = -floor(p / -q) for q < 0.
+                let bound = -(slack.div_euclid(-a));
+                space.set_min(self.vars[i], bound.max(i32::MIN as i64) as i32)?;
+            }
+            // Recompute the contribution after pruning (it may have shrunk).
+            sum_min = sum_min - tmin + self.term_bounds(space, i).0;
+        }
+        Ok(())
+    }
+
+    /// Enforce `Σ aᵢ·xᵢ >= c` by negating into a `<=` form.
+    fn prune_ge(&self, space: &mut Space, c: i64) -> Result<(), Conflict> {
+        let neg = Linear {
+            coeffs: self.coeffs.iter().map(|a| -a).collect(),
+            vars: self.vars.clone(),
+            rel: LinRel::Le,
+            c: -c,
+        };
+        neg.prune_le(space, -c)
+    }
+}
+
+impl Propagator for Linear {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        match self.rel {
+            LinRel::Le => self.prune_le(space, self.c),
+            LinRel::Ge => self.prune_ge(space, self.c),
+            LinRel::Eq => {
+                self.prune_le(space, self.c)?;
+                self.prune_ge(space, self.c)
+            }
+        }
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        self.vars.clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn setup(ranges: &[(i32, i32)]) -> (Space, Vec<VarId>) {
+        let mut space = Space::new();
+        let vars = ranges
+            .iter()
+            .map(|&(lo, hi)| space.new_var(Domain::interval(lo, hi)))
+            .collect();
+        (space, vars)
+    }
+
+    fn run(space: &mut Space, p: Linear) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn sum_le_prunes_max() {
+        let (mut space, v) = setup(&[(0, 10), (0, 10)]);
+        run(&mut space, Linear::new(&[1, 1], &v, LinRel::Le, 7)).unwrap();
+        assert_eq!(space.max(v[0]), 7);
+        assert_eq!(space.max(v[1]), 7);
+        space.set_min(v[0], 5).unwrap();
+        run(&mut space, Linear::new(&[1, 1], &v, LinRel::Le, 7)).unwrap();
+        assert_eq!(space.max(v[1]), 2);
+    }
+
+    #[test]
+    fn sum_le_conflict() {
+        let (mut space, v) = setup(&[(5, 10), (5, 10)]);
+        assert!(run(&mut space, Linear::new(&[1, 1], &v, LinRel::Le, 9)).is_err());
+    }
+
+    #[test]
+    fn sum_ge_prunes_min() {
+        let (mut space, v) = setup(&[(0, 10), (0, 3)]);
+        run(&mut space, Linear::new(&[1, 1], &v, LinRel::Ge, 11)).unwrap();
+        assert_eq!(space.min(v[0]), 8);
+    }
+
+    #[test]
+    fn eq_fixes_when_forced() {
+        let (mut space, v) = setup(&[(0, 4), (0, 4)]);
+        run(&mut space, Linear::new(&[1, 1], &v, LinRel::Eq, 8)).unwrap();
+        assert_eq!(space.value(v[0]), 4);
+        assert_eq!(space.value(v[1]), 4);
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // x - y <= -2  →  x + 2 <= y
+        let (mut space, v) = setup(&[(0, 10), (0, 10)]);
+        run(&mut space, Linear::new(&[1, -1], &v, LinRel::Le, -2)).unwrap();
+        assert_eq!(space.max(v[0]), 8);
+        assert_eq!(space.min(v[1]), 2);
+    }
+
+    #[test]
+    fn coefficients_scale() {
+        // 3x + 2y <= 12, x,y >= 0
+        let (mut space, v) = setup(&[(0, 100), (0, 100)]);
+        run(&mut space, Linear::new(&[3, 2], &v, LinRel::Le, 12)).unwrap();
+        assert_eq!(space.max(v[0]), 4);
+        assert_eq!(space.max(v[1]), 6);
+    }
+
+    #[test]
+    fn zero_coefficients_dropped() {
+        let (mut space, v) = setup(&[(0, 10), (0, 10)]);
+        let lin = Linear::new(&[0, 1], &v, LinRel::Le, 4);
+        assert_eq!(lin.dependencies(), vec![v[1]]);
+        run(&mut space, lin).unwrap();
+        assert_eq!(space.max(v[0]), 10); // untouched
+        assert_eq!(space.max(v[1]), 4);
+    }
+
+    #[test]
+    fn empty_sum_semantics() {
+        let (mut space, _) = setup(&[(0, 1)]);
+        // 0 <= -1 is false.
+        assert!(run(&mut space, Linear::new(&[], &[], LinRel::Le, -1)).is_err());
+        // 0 <= 0 is true.
+        run(&mut space, Linear::new(&[], &[], LinRel::Le, 0)).unwrap();
+    }
+
+    #[test]
+    fn matches_bruteforce_on_random_instances() {
+        // Bounds propagation must never remove a bound that participates in
+        // a solution: check min/max against brute force on small instances.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..4);
+            let ranges: Vec<(i32, i32)> = (0..n)
+                .map(|_| {
+                    let lo = rng.gen_range(-4..4);
+                    (lo, lo + rng.gen_range(0..5))
+                })
+                .collect();
+            let coeffs: Vec<i64> = (0..n).map(|_| rng.gen_range(-3..4)).collect();
+            let c = rng.gen_range(-10..10);
+            let (mut space, vars) = setup(&ranges);
+            let result = run(&mut space, Linear::new(&coeffs, &vars, LinRel::Le, c));
+
+            // Brute force all assignments.
+            let mut feasible: Vec<Vec<i32>> = Vec::new();
+            let mut assignment = vec![0i32; n];
+            fn enumerate(
+                i: usize,
+                ranges: &[(i32, i32)],
+                coeffs: &[i64],
+                c: i64,
+                assignment: &mut Vec<i32>,
+                feasible: &mut Vec<Vec<i32>>,
+            ) {
+                if i == ranges.len() {
+                    let sum: i64 = coeffs
+                        .iter()
+                        .zip(assignment.iter())
+                        .map(|(&a, &x)| a * x as i64)
+                        .sum();
+                    if sum <= c {
+                        feasible.push(assignment.clone());
+                    }
+                    return;
+                }
+                for v in ranges[i].0..=ranges[i].1 {
+                    assignment[i] = v;
+                    enumerate(i + 1, ranges, coeffs, c, assignment, feasible);
+                }
+            }
+            enumerate(0, &ranges, &coeffs, c, &mut assignment, &mut feasible);
+
+            if feasible.is_empty() {
+                assert!(result.is_err(), "solver missed infeasibility");
+            } else {
+                assert!(result.is_ok(), "solver failed a feasible instance");
+                for (i, &v) in vars.iter().enumerate() {
+                    let lo = feasible.iter().map(|a| a[i]).min().unwrap();
+                    let hi = feasible.iter().map(|a| a[i]).max().unwrap();
+                    // Soundness: true bounds survive propagation.
+                    assert!(space.min(v) <= lo, "over-pruned min");
+                    assert!(space.max(v) >= hi, "over-pruned max");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! Boolean logic over 0/1 integer variables.
+//!
+//! The solver has no separate boolean sort; a boolean is an integer variable
+//! with domain ⊆ {0, 1}. That keeps the variable story uniform (the
+//! placement model mixes shape selectors and coordinates freely).
+
+use crate::propagator::Propagator;
+use crate::space::{Conflict, Space, VarId};
+
+/// A literal: a 0/1 variable, possibly negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Literal {
+    pub var: VarId,
+    /// `true` → the literal is satisfied when `var == 1`.
+    pub positive: bool,
+}
+
+impl Literal {
+    pub fn pos(var: VarId) -> Literal {
+        Literal {
+            var,
+            positive: true,
+        }
+    }
+
+    pub fn neg(var: VarId) -> Literal {
+        Literal {
+            var,
+            positive: false,
+        }
+    }
+
+    /// The variable value satisfying this literal.
+    fn sat_value(self) -> i32 {
+        if self.positive {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Whether the literal is definitely true / false under `space`.
+    fn status(self, space: &Space) -> Option<bool> {
+        let d = space.domain(self.var);
+        if d.is_fixed() {
+            Some(d.value() == Some(self.sat_value()))
+        } else {
+            None
+        }
+    }
+}
+
+/// Disjunction `l₁ ∨ l₂ ∨ … ∨ lₙ` with unit propagation: when all but one
+/// literal are false, the survivor is forced true; when all are false, fail.
+pub struct Clause {
+    pub literals: Vec<Literal>,
+}
+
+impl Propagator for Clause {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        let mut unfixed = None;
+        for &lit in &self.literals {
+            match lit.status(space) {
+                Some(true) => return Ok(()), // satisfied
+                Some(false) => {}
+                None => {
+                    if unfixed.is_some() {
+                        return Ok(()); // two free literals: nothing to do
+                    }
+                    unfixed = Some(lit);
+                }
+            }
+        }
+        match unfixed {
+            Some(lit) => {
+                space.assign(lit.var, lit.sat_value())?;
+                Ok(())
+            }
+            None => Err(Conflict),
+        }
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        self.literals.iter().map(|l| l.var).collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "clause"
+    }
+}
+
+/// Reified bounds test: `b == 1 ⟺ x <= c` (so `b == 0 ⟺ x > c`).
+pub struct ReifiedLeConst {
+    pub b: VarId,
+    pub x: VarId,
+    pub c: i32,
+}
+
+impl Propagator for ReifiedLeConst {
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+        // Entailment in either direction.
+        if space.max(self.x) <= self.c {
+            space.assign(self.b, 1)?;
+            return Ok(());
+        }
+        if space.min(self.x) > self.c {
+            space.assign(self.b, 0)?;
+            return Ok(());
+        }
+        // Decomposition once b is known.
+        if space.is_fixed(self.b) {
+            if space.value(self.b) == 1 {
+                space.set_max(self.x, self.c)?;
+            } else {
+                space.set_min(self.x, self.c + 1)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn dependencies(&self) -> Vec<VarId> {
+        vec![self.b, self.x]
+    }
+
+    fn name(&self) -> &'static str {
+        "reified_le_const"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::propagator::Engine;
+
+    fn bool_space(n: usize) -> (Space, Vec<VarId>) {
+        let mut space = Space::new();
+        let vars = (0..n).map(|_| space.new_var(Domain::interval(0, 1))).collect();
+        (space, vars)
+    }
+
+    fn run(space: &mut Space, p: impl Propagator + 'static) -> Result<(), Conflict> {
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(p);
+        engine.schedule_all();
+        engine.propagate(space)
+    }
+
+    #[test]
+    fn clause_unit_propagates() {
+        let (mut space, v) = bool_space(3);
+        space.assign(v[0], 0).unwrap();
+        space.assign(v[1], 0).unwrap();
+        run(
+            &mut space,
+            Clause {
+                literals: vec![Literal::pos(v[0]), Literal::pos(v[1]), Literal::pos(v[2])],
+            },
+        )
+        .unwrap();
+        assert_eq!(space.value(v[2]), 1);
+    }
+
+    #[test]
+    fn clause_satisfied_is_noop() {
+        let (mut space, v) = bool_space(2);
+        space.assign(v[0], 1).unwrap();
+        run(
+            &mut space,
+            Clause {
+                literals: vec![Literal::pos(v[0]), Literal::pos(v[1])],
+            },
+        )
+        .unwrap();
+        assert!(!space.is_fixed(v[1]));
+    }
+
+    #[test]
+    fn clause_all_false_fails() {
+        let (mut space, v) = bool_space(2);
+        space.assign(v[0], 0).unwrap();
+        space.assign(v[1], 0).unwrap();
+        assert!(run(
+            &mut space,
+            Clause {
+                literals: vec![Literal::pos(v[0]), Literal::pos(v[1])],
+            },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn negated_literals() {
+        // (¬a ∨ ¬b) with a=1 forces b=0.
+        let (mut space, v) = bool_space(2);
+        space.assign(v[0], 1).unwrap();
+        run(
+            &mut space,
+            Clause {
+                literals: vec![Literal::neg(v[0]), Literal::neg(v[1])],
+            },
+        )
+        .unwrap();
+        assert_eq!(space.value(v[1]), 0);
+    }
+
+    #[test]
+    fn reified_le_entailment() {
+        let mut space = Space::new();
+        let b = space.new_var(Domain::interval(0, 1));
+        let x = space.new_var(Domain::interval(0, 3));
+        run(&mut space, ReifiedLeConst { b, x, c: 5 }).unwrap();
+        assert_eq!(space.value(b), 1); // x <= 3 <= 5 always
+    }
+
+    #[test]
+    fn reified_le_negative_entailment() {
+        let mut space = Space::new();
+        let b = space.new_var(Domain::interval(0, 1));
+        let x = space.new_var(Domain::interval(6, 9));
+        run(&mut space, ReifiedLeConst { b, x, c: 5 }).unwrap();
+        assert_eq!(space.value(b), 0);
+    }
+
+    #[test]
+    fn reified_le_decomposes_from_bool() {
+        let mut space = Space::new();
+        let b = space.new_var(Domain::singleton(1));
+        let x = space.new_var(Domain::interval(0, 9));
+        run(&mut space, ReifiedLeConst { b, x, c: 4 }).unwrap();
+        assert_eq!(space.max(x), 4);
+
+        let mut space2 = Space::new();
+        let b2 = space2.new_var(Domain::singleton(0));
+        let x2 = space2.new_var(Domain::interval(0, 9));
+        run(&mut space2, ReifiedLeConst { b: b2, x: x2, c: 4 }).unwrap();
+        assert_eq!(space2.min(x2), 5);
+    }
+}

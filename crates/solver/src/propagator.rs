@@ -1,0 +1,294 @@
+//! The propagator interface and the fixpoint propagation engine.
+
+use crate::domain::DomainEvent;
+use crate::space::{Conflict, Space, VarId};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// A propagator: a filtering algorithm for one constraint.
+///
+/// Propagators are **immutable after posting** — all search-time state lives
+/// in the [`Space`]. This is what lets search nodes and portfolio threads
+/// share the propagator set behind an `Arc` and restore state by cloning
+/// domains only.
+pub trait Propagator: Send + Sync {
+    /// Remove values that cannot appear in any solution of this constraint
+    /// given the current domains. Must be *sound* (never removes a value
+    /// that is part of a solution) and *contracting* (only ever narrows
+    /// domains). Returns `Err(Conflict)` when the constraint is unsatisfiable.
+    fn propagate(&self, space: &mut Space) -> Result<(), Conflict>;
+
+    /// The variables whose domain changes should re-schedule this
+    /// propagator.
+    fn dependencies(&self) -> Vec<VarId>;
+
+    /// Human-readable name for diagnostics.
+    fn name(&self) -> &'static str {
+        "propagator"
+    }
+}
+
+/// Index of a propagator within an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PropId(u32);
+
+/// Counters describing one engine's lifetime work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PropagationStats {
+    /// Individual propagator executions.
+    pub executions: u64,
+    /// Fixpoint rounds (calls to [`Engine::propagate`]).
+    pub fixpoints: u64,
+    /// Conflicts observed during propagation.
+    pub conflicts: u64,
+}
+
+/// The propagation engine: owns the propagators, their subscription lists,
+/// and the scheduling queue; drives domains to a fixpoint.
+///
+/// The engine itself is cheap to clone *logically*: search clones only the
+/// [`Space`], while one `Engine` per search (thread) is reused across all
+/// nodes — its queue is transient within [`Engine::propagate`].
+pub struct Engine {
+    props: Vec<Arc<dyn Propagator>>,
+    /// var index -> propagators subscribed to that variable.
+    subscriptions: Vec<Vec<PropId>>,
+    /// Scratch: queue of propagators awaiting execution.
+    queue: VecDeque<PropId>,
+    /// Scratch: whether a propagator is already queued.
+    queued: Vec<bool>,
+    /// Scratch: drained change log.
+    touched: Vec<(VarId, DomainEvent)>,
+    pub stats: PropagationStats,
+}
+
+impl Engine {
+    pub fn new(num_vars: usize) -> Engine {
+        Engine {
+            props: Vec::new(),
+            subscriptions: vec![Vec::new(); num_vars],
+            queue: VecDeque::new(),
+            queued: Vec::new(),
+            touched: Vec::new(),
+            stats: PropagationStats::default(),
+        }
+    }
+
+    /// Build an engine for `num_vars` variables from a shared propagator
+    /// set (used by portfolio threads: one engine per thread, one shared
+    /// propagator vector).
+    pub fn from_shared(num_vars: usize, props: Vec<Arc<dyn Propagator>>) -> Engine {
+        let mut engine = Engine::new(num_vars);
+        for p in props {
+            engine.post_shared(p);
+        }
+        engine
+    }
+
+    /// Number of posted propagators.
+    pub fn num_propagators(&self) -> usize {
+        self.props.len()
+    }
+
+    /// Shared handles to all posted propagators.
+    pub fn shared_propagators(&self) -> Vec<Arc<dyn Propagator>> {
+        self.props.clone()
+    }
+
+    /// Post a propagator, subscribing it to its dependencies.
+    pub fn post(&mut self, p: impl Propagator + 'static) -> PropId {
+        self.post_shared(Arc::new(p))
+    }
+
+    /// Post an already-shared propagator.
+    pub fn post_shared(&mut self, p: Arc<dyn Propagator>) -> PropId {
+        let id = PropId(self.props.len() as u32);
+        for dep in p.dependencies() {
+            if dep.index() >= self.subscriptions.len() {
+                // Variables may be created after the engine: grow lazily.
+                self.subscriptions.resize(dep.index() + 1, Vec::new());
+            }
+            self.subscriptions[dep.index()].push(id);
+        }
+        self.props.push(p);
+        self.queued.push(false);
+        id
+    }
+
+    fn schedule(&mut self, id: PropId) {
+        if !self.queued[id.0 as usize] {
+            self.queued[id.0 as usize] = true;
+            self.queue.push_back(id);
+        }
+    }
+
+    fn schedule_subscribers(&mut self, v: VarId) {
+        if v.index() >= self.subscriptions.len() {
+            return; // variable with no subscribers yet
+        }
+        // Split borrows: moving the subscription list out is too costly;
+        // index by position instead.
+        for i in 0..self.subscriptions[v.index()].len() {
+            let id = self.subscriptions[v.index()][i];
+            self.schedule(id);
+        }
+    }
+
+    /// Schedule every propagator (used for the initial root propagation).
+    pub fn schedule_all(&mut self) {
+        for i in 0..self.props.len() {
+            self.schedule(PropId(i as u32));
+        }
+    }
+
+    /// Run scheduled propagators to fixpoint, rescheduling subscribers of
+    /// every touched variable. Any changes already recorded in the space's
+    /// change log (e.g. branching decisions) are picked up first.
+    ///
+    /// On conflict the queue is cleared and `Err(Conflict)` returned; the
+    /// space must then be discarded (its domains are unspecified).
+    pub fn propagate(&mut self, space: &mut Space) -> Result<(), Conflict> {
+        self.stats.fixpoints += 1;
+        self.absorb_touched(space);
+        while let Some(id) = self.queue.pop_front() {
+            self.queued[id.0 as usize] = false;
+            self.stats.executions += 1;
+            let prop = Arc::clone(&self.props[id.0 as usize]);
+            match prop.propagate(space) {
+                Ok(()) => self.absorb_touched(space),
+                Err(Conflict) => {
+                    self.stats.conflicts += 1;
+                    self.queue.clear();
+                    self.queued.iter_mut().for_each(|q| *q = false);
+                    space.drain_touched(&mut self.touched);
+                    return Err(Conflict);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn absorb_touched(&mut self, space: &mut Space) {
+        if !space.has_touched() {
+            return;
+        }
+        let mut touched = std::mem::take(&mut self.touched);
+        space.drain_touched(&mut touched);
+        for &(v, _event) in touched.iter() {
+            self.schedule_subscribers(v);
+        }
+        self.touched = touched;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+
+    /// x < y test propagator (bounds consistent).
+    struct Less {
+        x: VarId,
+        y: VarId,
+    }
+
+    impl Propagator for Less {
+        fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
+            space.set_max(self.x, space.max(self.y) - 1)?;
+            space.set_min(self.y, space.min(self.x) + 1)?;
+            Ok(())
+        }
+
+        fn dependencies(&self) -> Vec<VarId> {
+            vec![self.x, self.y]
+        }
+
+        fn name(&self) -> &'static str {
+            "less"
+        }
+    }
+
+    #[test]
+    fn chain_reaches_fixpoint() {
+        // x0 < x1 < x2 < x3 with domains [0,3] forces xi = i.
+        let mut space = Space::new();
+        let vars: Vec<VarId> = (0..4).map(|_| space.new_var(Domain::interval(0, 3))).collect();
+        let mut engine = Engine::new(space.num_vars());
+        for w in vars.windows(2) {
+            engine.post(Less { x: w[0], y: w[1] });
+        }
+        engine.schedule_all();
+        engine.propagate(&mut space).unwrap();
+        for (i, &v) in vars.iter().enumerate() {
+            assert_eq!(space.value(v), i as i32);
+        }
+        assert!(engine.stats.executions >= 3);
+    }
+
+    #[test]
+    fn conflict_detected() {
+        // x < y and y < x is unsatisfiable.
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(0, 5));
+        let y = space.new_var(Domain::interval(0, 5));
+        let mut engine = Engine::new(2);
+        engine.post(Less { x, y });
+        engine.post(Less { x: y, y: x });
+        engine.schedule_all();
+        assert_eq!(engine.propagate(&mut space), Err(Conflict));
+        assert_eq!(engine.stats.conflicts, 1);
+        // Engine is reusable after a conflict with a fresh space.
+        let mut space2 = Space::new();
+        let _ = space2.new_var(Domain::interval(0, 5));
+        let _ = space2.new_var(Domain::interval(0, 5));
+        // No propagators scheduled: trivially succeeds.
+        engine.propagate(&mut space2).unwrap();
+    }
+
+    #[test]
+    fn branch_changes_trigger_propagation() {
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(0, 5));
+        let y = space.new_var(Domain::interval(0, 5));
+        let mut engine = Engine::new(2);
+        engine.post(Less { x, y });
+        engine.schedule_all();
+        engine.propagate(&mut space).unwrap();
+        assert_eq!(space.max(x), 4);
+        // A "branching decision" after the fixpoint...
+        space.assign(y, 2).unwrap();
+        // ...is absorbed by the next propagate call without explicit
+        // rescheduling.
+        engine.propagate(&mut space).unwrap();
+        assert_eq!(space.max(x), 1);
+    }
+
+    #[test]
+    fn subscriptions_grow_for_late_variables() {
+        // Posting a propagator over a variable the engine did not know at
+        // construction time must grow the subscription table.
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(0, 5));
+        let mut engine = Engine::new(0);
+        let y = space.new_var(Domain::interval(0, 5));
+        engine.post(Less { x, y });
+        engine.schedule_all();
+        engine.propagate(&mut space).unwrap();
+        assert_eq!(space.max(x), 4);
+    }
+
+    #[test]
+    fn shared_propagators_roundtrip() {
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(0, 5));
+        let y = space.new_var(Domain::interval(0, 5));
+        let mut engine = Engine::new(2);
+        engine.post(Less { x, y });
+        let shared = engine.shared_propagators();
+        assert_eq!(shared.len(), 1);
+        let mut engine2 = Engine::from_shared(2, shared);
+        engine2.schedule_all();
+        engine2.propagate(&mut space).unwrap();
+        assert_eq!(space.max(x), 4);
+    }
+}

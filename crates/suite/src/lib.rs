@@ -1,0 +1,36 @@
+//! # rrf-suite — workspace-level integration tests and examples
+//!
+//! This crate exists to host the repository's top-level `tests/` and
+//! `examples/` directories as cargo targets; its library surface is a
+//! small set of helpers those targets share.
+
+use rrf_core::{Module, PlacementProblem};
+use rrf_fabric::Region;
+use rrf_modgen::Workload;
+
+/// Convert a generated workload into a placement problem on `region`.
+pub fn problem_from_workload(region: Region, workload: &Workload) -> PlacementProblem {
+    let modules = workload
+        .modules
+        .iter()
+        .map(|m| Module::new(m.name.clone(), m.shapes.clone()))
+        .collect();
+    PlacementProblem::new(region, modules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_modgen::{generate_workload, WorkloadSpec};
+
+    #[test]
+    fn workload_conversion_preserves_counts() {
+        let wl = generate_workload(&WorkloadSpec::small(5, 0));
+        let p = problem_from_workload(
+            Region::whole(rrf_fabric::device::homogeneous(40, 8)),
+            &wl,
+        );
+        assert_eq!(p.modules.len(), 5);
+        assert_eq!(p.total_shapes(), wl.total_shapes());
+    }
+}

@@ -1,0 +1,165 @@
+//! ASCII rendering: regions as resource codes, floorplans as lettered
+//! module footprints over the region background.
+
+use rrf_core::{Floorplan, Module};
+use rrf_fabric::{Region, ResourceKind};
+
+/// Characters assigned to modules, cycling when there are many.
+const MODULE_CHARS: &[u8] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789";
+
+/// The character for module `i`.
+pub fn module_char(i: usize) -> char {
+    MODULE_CHARS[i % MODULE_CHARS.len()] as char
+}
+
+fn background_char(kind: ResourceKind) -> char {
+    match kind {
+        // Free tiles render faint/lowercase so placed modules (uppercase
+        // letters first) stand out and never collide with resource codes.
+        ResourceKind::Clb => '.',
+        ResourceKind::Bram => 'b',
+        ResourceKind::Dsp => 'd',
+        ResourceKind::Io => 'i',
+        ResourceKind::Clock => 'k',
+        ResourceKind::Static => '#',
+    }
+}
+
+/// Render a region's effective tiles (top row first).
+pub fn render_region(region: &Region) -> String {
+    let b = region.bounds();
+    let mut out = String::with_capacity(((b.w + 1) * b.h) as usize);
+    for y in (b.y..b.y_end()).rev() {
+        for x in b.x..b.x_end() {
+            out.push(background_char(region.kind_at(x, y)));
+        }
+        if y > b.y {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Render a floorplan over its region: occupied tiles show the owning
+/// module's letter (uniformly across its CLB and BRAM tiles); free tiles
+/// show the lowercase resource codes of the background.
+pub fn render_floorplan(region: &Region, modules: &[Module], plan: &Floorplan) -> String {
+    let b = region.bounds();
+    let mut grid: Vec<Vec<char>> = (0..b.h)
+        .map(|row| {
+            (0..b.w)
+                .map(|col| background_char(region.kind_at(b.x + col, b.y + row)))
+                .collect()
+        })
+        .collect();
+    for (tile, _kind, module) in plan.occupied_tiles(modules) {
+        if tile.x >= b.x && tile.x < b.x_end() && tile.y >= b.y && tile.y < b.y_end() {
+            grid[(tile.y - b.y) as usize][(tile.x - b.x) as usize] = module_char(module);
+        }
+    }
+    let mut out = String::with_capacity(((b.w + 1) * b.h) as usize);
+    for row in (0..b.h as usize).rev() {
+        out.extend(grid[row].iter());
+        if row > 0 {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Stack two renderings with titles, for with/without-alternative figures.
+pub fn side_by_side(title_a: &str, a: &str, title_b: &str, b: &str) -> String {
+    let mut out = String::new();
+    out.push_str(title_a);
+    out.push('\n');
+    out.push_str(a);
+    out.push_str("\n\n");
+    out.push_str(title_b);
+    out.push('\n');
+    out.push_str(b);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_core::PlacedModule;
+    use rrf_fabric::device;
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn module(name: &str, w: i32, h: i32) -> Module {
+        Module::new(
+            name,
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                w,
+                h,
+                ResourceKind::Clb,
+            )])],
+        )
+    }
+
+    #[test]
+    fn region_renders_codes() {
+        let region = Region::whole(rrf_fabric::Fabric::from_art("cBc\nckc").unwrap());
+        let art = render_region(&region);
+        assert_eq!(art, ".b.\n.k.");
+    }
+
+    #[test]
+    fn floorplan_overlays_letters() {
+        let region = Region::whole(device::homogeneous(4, 2));
+        let modules = vec![module("a", 2, 2), module("b", 1, 1)];
+        let plan = Floorplan::new(vec![
+            PlacedModule {
+                module: 0,
+                shape: 0,
+                x: 0,
+                y: 0,
+            },
+            PlacedModule {
+                module: 1,
+                shape: 0,
+                x: 3,
+                y: 1,
+            },
+        ]);
+        let art = render_floorplan(&region, &modules, &plan);
+        assert_eq!(art, "AA.B\nAA..");
+    }
+
+    #[test]
+    fn module_chars_cycle() {
+        assert_eq!(module_char(0), 'A');
+        assert_eq!(module_char(25), 'Z');
+        assert_eq!(module_char(26), 'a');
+        assert_eq!(module_char(62), 'A'); // wraps
+    }
+
+    #[test]
+    fn side_by_side_layout() {
+        let s = side_by_side("top", "XX", "bottom", "YY");
+        assert!(s.starts_with("top\nXX\n\nbottom\nYY"));
+    }
+
+    #[test]
+    fn mixed_resource_module_renders_uniformly() {
+        let region = Region::whole(rrf_fabric::Fabric::from_art("cBc").unwrap());
+        let m = Module::new(
+            "mix",
+            vec![ShapeDef::new(vec![
+                ShiftedBox::new(0, 0, 1, 1, ResourceKind::Clb),
+                ShiftedBox::new(1, 0, 1, 1, ResourceKind::Bram),
+            ])],
+        );
+        let plan = Floorplan::new(vec![PlacedModule {
+            module: 0,
+            shape: 0,
+            x: 0,
+            y: 0,
+        }]);
+        let art = render_floorplan(&region, &[m], &plan);
+        assert_eq!(art, "AA.");
+    }
+}

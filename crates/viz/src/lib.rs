@@ -1,0 +1,11 @@
+//! # rrf-viz — floorplan rendering
+//!
+//! ASCII and SVG renderings of fabrics, regions, and floorplans, used by
+//! the figure-reproduction binaries (Figures 1, 3, 4 and 5 of the paper)
+//! and handy for debugging placements interactively.
+
+pub mod ascii;
+pub mod svg;
+
+pub use ascii::{render_floorplan, render_region, side_by_side};
+pub use svg::floorplan_svg;

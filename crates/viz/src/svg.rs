@@ -1,0 +1,120 @@
+//! Minimal SVG export of floorplans (no external dependencies — the output
+//! is plain shapes and text).
+
+use rrf_core::{Floorplan, Module};
+use rrf_fabric::{Region, ResourceKind};
+use std::fmt::Write;
+
+/// Tile edge length in SVG user units.
+const CELL: i32 = 12;
+
+fn resource_fill(kind: ResourceKind) -> &'static str {
+    match kind {
+        ResourceKind::Clb => "#f4f4f4",
+        ResourceKind::Bram => "#c8dcf0",
+        ResourceKind::Dsp => "#d8f0c8",
+        ResourceKind::Io => "#f0e0c0",
+        ResourceKind::Clock => "#e8c8e8",
+        ResourceKind::Static => "#707070",
+    }
+}
+
+/// Distinct fills for module footprints (cycled).
+const MODULE_FILLS: [&str; 10] = [
+    "#e41a1c", "#377eb8", "#4daf4a", "#984ea3", "#ff7f00", "#a65628", "#f781bf", "#999999",
+    "#66c2a5", "#ffd92f",
+];
+
+/// Render a floorplan (or, with an empty plan, just the region) as an SVG
+/// document string. `y` grows upward in the model, downward in SVG, so rows
+/// are flipped.
+pub fn floorplan_svg(region: &Region, modules: &[Module], plan: &Floorplan) -> String {
+    let b = region.bounds();
+    let width = b.w * CELL;
+    let height = b.h * CELL;
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" width="{width}" height="{height}" viewBox="0 0 {width} {height}">"##
+    );
+    // Background tiles.
+    for y in b.y..b.y_end() {
+        for x in b.x..b.x_end() {
+            let fill = resource_fill(region.kind_at(x, y));
+            let px = (x - b.x) * CELL;
+            let py = (b.y_end() - 1 - y) * CELL;
+            let _ = write!(
+                svg,
+                r##"<rect x="{px}" y="{py}" width="{CELL}" height="{CELL}" fill="{fill}" stroke="#ffffff" stroke-width="0.5"/>"##
+            );
+        }
+    }
+    // Module tiles with 70% opacity so the resource map shows through.
+    for (tile, _kind, module) in plan.occupied_tiles(modules) {
+        let fill = MODULE_FILLS[module % MODULE_FILLS.len()];
+        let px = (tile.x - b.x) * CELL;
+        let py = (b.y_end() - 1 - tile.y) * CELL;
+        let _ = write!(
+            svg,
+            r##"<rect x="{px}" y="{py}" width="{CELL}" height="{CELL}" fill="{fill}" fill-opacity="0.7" stroke="#222222" stroke-width="0.5"/>"##
+        );
+    }
+    // Module name labels at each footprint's bounding-box corner.
+    for p in &plan.placements {
+        let shape_bb = modules[p.module].shapes()[p.shape]
+            .bounding_box()
+            .translated(p.x, p.y);
+        let px = (shape_bb.x - b.x) * CELL + 2;
+        let py = (b.y_end() - shape_bb.y - 1) * CELL - 2;
+        let name = &modules[p.module].name;
+        let _ = write!(
+            svg,
+            r##"<text x="{px}" y="{py}" font-size="8" font-family="monospace" fill="#000000">{name}</text>"##
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_core::PlacedModule;
+    use rrf_fabric::device;
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    #[test]
+    fn svg_structure() {
+        let region = Region::whole(device::virtex_like(8, 4));
+        let m = Module::new(
+            "alu",
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                2,
+                2,
+                ResourceKind::Clb,
+            )])],
+        );
+        let plan = Floorplan::new(vec![PlacedModule {
+            module: 0,
+            shape: 0,
+            x: 1,
+            y: 0,
+        }]);
+        let svg = floorplan_svg(&region, &[m], &plan);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("alu"));
+        // 8x4 background tiles + 4 module tiles + 1 label.
+        assert!(svg.matches("<rect").count() >= 36);
+    }
+
+    #[test]
+    fn empty_plan_renders_region_only() {
+        let region = Region::whole(device::homogeneous(3, 3));
+        let svg = floorplan_svg(&region, &[], &Floorplan::new(vec![]));
+        assert_eq!(svg.matches("<rect").count(), 9);
+        assert!(!svg.contains("<text"));
+    }
+}

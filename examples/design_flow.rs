@@ -1,0 +1,80 @@
+//! Scenario: the file-based design flow, end to end.
+//!
+//! A build system (or the ReCoBus-Builder-style GUI the paper plugs into)
+//! talks to the placer through JSON job files: write a job, run the flow,
+//! read the report. This example builds the job programmatically, round-
+//! trips it through disk, and prints the report — exactly what a CI step
+//! that floorplans every release would do.
+//!
+//! Run with: `cargo run --release --example design_flow`
+
+use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
+use rrf_fabric::{Rect, ResourceKind};
+use rrf_geost::{ShapeDef, ShiftedBox};
+
+fn clb(w: i32, h: i32) -> ShapeDef {
+    ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+}
+
+fn main() {
+    let spec = FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Columns {
+                width: 32,
+                height: 8,
+                bram_period: 10,
+                bram_offset: 4,
+                dsp_period: 0,
+                dsp_offset: 0,
+                io_ring: 0,
+                center_clock: false,
+            },
+            bounds: Some(Rect::new(0, 0, 32, 8)),
+            static_masks: vec![Rect::new(24, 0, 8, 8)],
+        },
+        modules: vec![
+            ModuleEntry {
+                name: "crypto".into(),
+                shapes: vec![clb(4, 4), clb(2, 8)],
+                netlist: None,
+            },
+            ModuleEntry {
+                name: "dma".into(),
+                shapes: vec![clb(3, 4), clb(4, 3)],
+                netlist: None,
+            },
+            ModuleEntry {
+                name: "uart".into(),
+                shapes: vec![clb(2, 2)],
+                netlist: None,
+            },
+        ],
+        placer: PlacerSettings {
+            time_limit_ms: Some(5_000),
+            ..PlacerSettings::default()
+        },
+    };
+
+    let dir = std::env::temp_dir();
+    let job = dir.join("rrf_design_flow_job.json");
+    let result = dir.join("rrf_design_flow_report.json");
+
+    io::save_spec(&job, &spec).expect("write job");
+    println!("wrote job file      {}", job.display());
+
+    let loaded = io::load_spec(&job).expect("load job");
+    let report = run(&loaded).expect("flow");
+    io::save_report(&result, &report).expect("write report");
+    println!("wrote report file   {}", result.display());
+    println!();
+    println!(
+        "feasible={} proven={} extent={:?}",
+        report.feasible, report.proven, report.extent
+    );
+    for p in &report.placements {
+        println!("  {:8} shape {} at ({}, {})", p.name, p.shape, p.x, p.y);
+    }
+    if let Some(m) = report.metrics {
+        println!("utilization {:.1}%", m.utilization * 100.0);
+    }
+}

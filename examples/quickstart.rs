@@ -1,0 +1,67 @@
+//! Quickstart: place three modules — one of them with two design
+//! alternatives — on a small heterogeneous region and print the floorplan.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use rrf_core::{cp, metrics, Module, PlacementProblem, PlacerConfig};
+use rrf_fabric::{Fabric, Region, ResourceKind};
+use rrf_geost::{ShapeDef, ShiftedBox};
+
+fn main() {
+    // A 12x4 fabric with a BRAM column at x=4 (string-art: top row first).
+    let fabric = Fabric::from_art(
+        "ccccBccccccc\n\
+         ccccBccccccc\n\
+         ccccBccccccc\n\
+         ccccBccccccc",
+    )
+    .expect("valid fabric art");
+    let region = Region::whole(fabric);
+
+    // A memory controller that must sit on the BRAM column plus logic
+    // around it; offered in two mirrored layouts (design alternatives).
+    let mem_left = ShapeDef::new(vec![
+        ShiftedBox::new(0, 0, 1, 2, ResourceKind::Bram),
+        ShiftedBox::new(1, 0, 2, 2, ResourceKind::Clb),
+    ]);
+    let mem_right = mem_left.rotated_180();
+    let mem = Module::new("mem", vec![mem_left, mem_right]);
+
+    // Two plain logic modules.
+    let alu = Module::new(
+        "alu",
+        vec![ShapeDef::new(vec![ShiftedBox::new(
+            0,
+            0,
+            3,
+            2,
+            ResourceKind::Clb,
+        )])],
+    );
+    let fir = Module::new(
+        "fir",
+        vec![ShapeDef::new(vec![ShiftedBox::new(
+            0,
+            0,
+            2,
+            4,
+            ResourceKind::Clb,
+        )])],
+    );
+
+    let problem = PlacementProblem::new(region, vec![mem, alu, fir]);
+    let outcome = cp::place(&problem, &PlacerConfig::exact());
+    let plan = outcome.plan.expect("feasible");
+
+    println!("optimal extent: {} columns (proven: {})", outcome.extent.unwrap(), outcome.proven);
+    for p in &plan.placements {
+        println!(
+            "  {}: alternative {} at ({}, {})",
+            problem.modules[p.module].name, p.shape, p.x, p.y
+        );
+    }
+    let m = metrics(&problem.region, &problem.modules, &plan);
+    println!("utilization: {:.1}%", m.utilization * 100.0);
+    println!();
+    println!("{}", rrf_viz::render_floorplan(&problem.region, &problem.modules, &plan));
+}

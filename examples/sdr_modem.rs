@@ -1,0 +1,90 @@
+//! Scenario: a runtime reconfigurable software-defined-radio modem.
+//!
+//! The motivating use case of runtime reconfiguration: a device hosts one
+//! of several air interfaces at a time, and the reconfigurable region must
+//! fit whichever set of processing modules the active waveform needs. We
+//! floorplan the *union* workload (all modules of the most demanding
+//! waveform) offline — the paper's in-advance placement for deterministic
+//! runtime reconfigurable systems — comparing the packing with and without
+//! design alternatives, on a device where half the fabric is reserved for
+//! the static design (Fig. 4c setup).
+//!
+//! Run with: `cargo run --release --example sdr_modem`
+
+use rrf_core::{cp, metrics, Module, PlacementProblem, PlacerConfig};
+use rrf_fabric::{device, Rect, Region, ResourceKind};
+use rrf_geost::{ShapeDef, ShiftedBox};
+
+/// A DSP-style block: a BRAM column of `brams` blocks with `w` CLB columns
+/// of height `h` beside it, plus its 180° rotation as the alternative.
+fn dsp_block(name: &str, w: i32, h: i32, brams: i32) -> Module {
+    let mut boxes = vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)];
+    if brams > 0 {
+        boxes.push(ShiftedBox::new(w, 0, 1, brams * 2, ResourceKind::Bram));
+    }
+    let base = ShapeDef::new(boxes);
+    let rot = base.rotated_180();
+    if rot == base {
+        Module::new(name, vec![base])
+    } else {
+        Module::new(name, vec![base, rot])
+    }
+}
+
+fn main() {
+    // Device: 60x8 reconfigurable strip, BRAM column every 10 (offset 4),
+    // right 40% reserved for the static system (bus macros, MAC layer).
+    let layout = device::ColumnLayout {
+        bram_period: 10,
+        bram_offset: 4,
+        dsp_period: 0,
+        dsp_offset: 0,
+        io_ring: 0,
+        center_clock: false,
+    };
+    let mut region = Region::whole(device::columns(60, 8, layout));
+    region.add_static_mask(Rect::new(36, 0, 24, 8));
+
+    let modules = vec![
+        dsp_block("fft", 4, 8, 4),      // channelizer FFT
+        dsp_block("viterbi", 3, 6, 2),  // channel decoder
+        dsp_block("equalizer", 3, 4, 1),
+        dsp_block("nco", 2, 4, 0),      // numerically controlled oscillator
+        dsp_block("fir_rx", 4, 4, 0),
+        dsp_block("agc", 2, 3, 0),
+    ];
+
+    let problem = PlacementProblem::new(region, modules);
+    let config = PlacerConfig::with_time_limit(std::time::Duration::from_secs(10));
+
+    let with = cp::place(&problem, &config);
+    let solo = problem.without_alternatives();
+    let without = cp::place(&solo, &config);
+
+    let plan = with.plan.expect("waveform fits");
+    let m = metrics(&problem.region, &problem.modules, &plan);
+    println!("SDR modem floorplan (static region masked with '#'):\n");
+    println!(
+        "{}",
+        rrf_viz::render_floorplan(&problem.region, &problem.modules, &plan)
+    );
+    println!();
+    println!(
+        "with alternatives:    extent {} cols, utilization {:.1}% (proven {})",
+        with.extent.unwrap(),
+        m.utilization * 100.0,
+        with.proven
+    );
+    match without.plan {
+        Some(p2) => {
+            let m2 = metrics(&solo.region, &solo.modules, &p2);
+            println!(
+                "without alternatives: extent {} cols, utilization {:.1}% (proven {})",
+                without.extent.unwrap(),
+                m2.utilization * 100.0,
+                without.proven
+            );
+        }
+        None => println!("without alternatives: INFEASIBLE in the masked region"),
+    }
+}

@@ -1,0 +1,233 @@
+//! Integration tests for the extensions beyond the paper: LNS polishing,
+//! service level, online placement, reconfiguration costs, and
+//! height-minimization — all driven by generated workloads.
+
+use rrf_core::{baseline, cp, lns, metrics, online, reconfig, service, verify, Module,
+    PlacementProblem, PlacerConfig};
+use rrf_fabric::{device, Region};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_suite::problem_from_workload;
+use std::time::Duration;
+
+fn region(width: i32, height: i32) -> Region {
+    let layout = device::ColumnLayout {
+        bram_period: 10,
+        bram_offset: 4,
+        dsp_period: 0,
+        dsp_offset: 0,
+        io_ring: 0,
+        center_clock: false,
+    };
+    Region::whole(device::columns(width, height, layout))
+}
+
+#[test]
+fn lns_improves_generated_workloads() {
+    for seed in [0u64, 1] {
+        let workload = generate_workload(&WorkloadSpec::small(8, seed));
+        let problem = problem_from_workload(region(60, 8), &workload);
+        let start = baseline::bottom_left(&problem).expect("greedy feasible");
+        let start_extent = start.x_extent(&problem.modules, 0) as i64;
+        let out = lns::improve(
+            &problem,
+            start,
+            &lns::LnsConfig {
+                time_limit: Duration::from_millis(800),
+                neighborhood: 4,
+                seed,
+                ..lns::LnsConfig::default()
+            },
+        );
+        assert!(out.extent <= start_extent, "seed {seed}");
+        assert!(verify::verify(&problem.region, &problem.modules, &out.plan).is_empty());
+        // The floorplan is for ALL modules, in order.
+        assert_eq!(out.plan.placements.len(), 8);
+    }
+}
+
+#[test]
+fn service_level_with_alternatives_at_least_without() {
+    let config = PlacerConfig {
+        time_limit: Some(Duration::from_millis(500)),
+        ..PlacerConfig::default()
+    };
+    for seed in [2u64, 3] {
+        let workload = generate_workload(&WorkloadSpec::small(12, seed));
+        let problem = problem_from_workload(region(40, 8), &workload);
+        let with = service::max_feasible_prefix(&problem, &config);
+        let without = service::max_feasible_prefix(&problem.without_alternatives(), &config);
+        // The with-alternatives prefix can only be at least as long when
+        // both sides are exact (shape supersets per module).
+        if with.exact && without.exact {
+            assert!(with.placed >= without.placed, "seed {seed}");
+        }
+        assert!(
+            verify::verify(&problem.region, &problem.modules[..with.placed], &with.plan)
+                .is_empty()
+        );
+    }
+}
+
+#[test]
+fn online_stream_stays_consistent_with_verifier() {
+    use rand::{Rng, SeedableRng};
+    let workload = generate_workload(&WorkloadSpec::small(6, 4));
+    let modules: Vec<Module> = workload
+        .modules
+        .iter()
+        .map(|m| Module::new(m.name.clone(), m.shapes.clone()))
+        .collect();
+    let mut placer = online::OnlinePlacer::new(region(50, 8));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+    let mut live: Vec<(u64, usize)> = Vec::new(); // (slot, module index)
+    for _ in 0..120 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            let mi = rng.gen_range(0..modules.len());
+            if let Some(slot) = placer.try_insert(&modules[mi]) {
+                live.push((slot, mi));
+            }
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let (slot, _) = live.swap_remove(i);
+            assert!(placer.remove(slot));
+        }
+        // Cross-check: the live set as a floorplan passes the verifier.
+        let plan = rrf_core::Floorplan::new(
+            live.iter()
+                .enumerate()
+                .map(|(i, &(slot, _))| {
+                    let p = placer.placement_of(slot).unwrap();
+                    rrf_core::PlacedModule {
+                        module: i,
+                        shape: p.shape,
+                        x: p.x,
+                        y: p.y,
+                    }
+                })
+                .collect(),
+        );
+        let live_modules: Vec<Module> =
+            live.iter().map(|&(_, mi)| modules[mi].clone()).collect();
+        let violations = verify::verify(&placer_region(), &live_modules, &plan);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+    assert!(placer.stats().requests > 0);
+
+    fn placer_region() -> Region {
+        region(50, 8)
+    }
+}
+
+#[test]
+fn reconfig_costs_track_utilization_tradeoff() {
+    let workload = generate_workload(&WorkloadSpec::small(6, 5));
+    let problem = problem_from_workload(region(60, 8), &workload);
+    let out = cp::place(
+        &problem,
+        &PlacerConfig {
+            time_limit: Some(Duration::from_secs(1)),
+            ..PlacerConfig::default()
+        },
+    );
+    let plan = out.plan.expect("feasible");
+    let model = reconfig::FrameCostModel::default();
+    let (total, per) = reconfig::floorplan_cost(&problem.region, &problem.modules, &plan, &model);
+    assert_eq!(per.len(), plan.placements.len());
+    assert_eq!(total.words, per.iter().map(|c| c.words).sum::<u64>());
+    // Every module costs at least one column at the cheapest frame rate.
+    for c in &per {
+        assert!(c.columns >= 1);
+        assert!(c.words >= model.clb_words_per_column);
+        assert_eq!(c.nanos, c.words * model.ns_per_word);
+    }
+}
+
+#[test]
+fn defragmentation_repack_never_worse() {
+    use rand::{Rng, SeedableRng};
+    let workload = generate_workload(&WorkloadSpec::small(8, 9));
+    let catalog: Vec<Module> = workload
+        .modules
+        .iter()
+        .map(|m| Module::new(m.name.clone(), m.shapes.clone()))
+        .collect();
+    let mut placer = online::OnlinePlacer::new(region(80, 8));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+    let mut live: Vec<(u64, usize)> = Vec::new();
+    for _ in 0..80 {
+        if live.is_empty() || rng.gen_bool(0.6) {
+            let mi = rng.gen_range(0..catalog.len());
+            if let Some(slot) = placer.try_insert(&catalog[mi]) {
+                live.push((slot, mi));
+            }
+        } else {
+            let i = rng.gen_range(0..live.len());
+            let (slot, _) = live.swap_remove(i);
+            placer.remove(slot);
+        }
+    }
+    let modules: Vec<Module> = live.iter().map(|&(_, mi)| catalog[mi].clone()).collect();
+    let fragmented = rrf_core::Floorplan::new(
+        live.iter()
+            .enumerate()
+            .map(|(i, &(slot, _))| {
+                let p = placer.placement_of(slot).unwrap();
+                rrf_core::PlacedModule { module: i, shape: p.shape, x: p.x, y: p.y }
+            })
+            .collect(),
+    );
+    let problem = PlacementProblem::new(region(80, 8), modules);
+    let frag_extent = fragmented.x_extent(&problem.modules, 0) as i64;
+    let out = cp::place(
+        &problem,
+        &PlacerConfig {
+            time_limit: Some(Duration::from_secs(2)),
+            ..PlacerConfig::default()
+        },
+    );
+    let repacked = out.plan.expect("live set is feasible");
+    assert!(verify::verify(&problem.region, &problem.modules, &repacked).is_empty());
+    assert!(out.extent.unwrap() <= frag_extent);
+}
+
+#[test]
+fn height_and_width_objectives_agree_on_transposed_instances() {
+    // Minimizing width on P equals minimizing height on transpose(P).
+    let workload = generate_workload(&WorkloadSpec::small(4, 6));
+    let problem = problem_from_workload(region(40, 8), &workload);
+    let width_out = cp::place(&problem, &PlacerConfig::exact());
+
+    let transposed = PlacementProblem::new(
+        problem.region.transposed(),
+        problem
+            .modules
+            .iter()
+            .map(|m| {
+                Module::new(
+                    m.name.clone(),
+                    m.shapes().iter().map(rrf_geost::ShapeDef::transposed).collect(),
+                )
+            })
+            .collect(),
+    );
+    let height_out = cp::place_minimize_height(&transposed, &PlacerConfig::exact());
+    assert_eq!(width_out.extent, height_out.extent);
+    assert_eq!(width_out.proven, height_out.proven);
+    if let (Some(a), Some(b)) = (&width_out.plan, &height_out.plan) {
+        let ma = metrics(&problem.region, &problem.modules, a);
+        // The height plan lives in the transposed world; mirror it back.
+        let mirrored = rrf_core::Floorplan::new(
+            b.placements
+                .iter()
+                .map(|p| rrf_core::PlacedModule {
+                    module: p.module,
+                    shape: p.shape,
+                    x: p.y,
+                    y: p.x,
+                })
+                .collect(),
+        );
+        let mb = metrics(&problem.region, &problem.modules, &mirrored);
+        assert_eq!(ma.occupied_tiles, mb.occupied_tiles);
+    }
+}

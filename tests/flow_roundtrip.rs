@@ -1,0 +1,177 @@
+//! The design flow end to end, through real files: spec JSON → driver →
+//! report JSON, with generated workloads and every device spec kind.
+
+use rrf_fabric::Rect;
+use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+
+fn workload_entries(modules: usize, seed: u64) -> Vec<ModuleEntry> {
+    generate_workload(&WorkloadSpec::small(modules, seed))
+        .modules
+        .into_iter()
+        .map(|m| ModuleEntry {
+            name: m.name,
+            shapes: m.shapes,
+            netlist: None,
+        })
+        .collect()
+}
+
+/// CLB-only entries, for homogeneous devices (BRAM modules cannot be
+/// placed there at all).
+fn clb_only_entries(modules: usize, seed: u64) -> Vec<ModuleEntry> {
+    generate_workload(&WorkloadSpec {
+        bram_min: 0,
+        bram_max: 0,
+        ..WorkloadSpec::small(modules, seed)
+    })
+    .modules
+    .into_iter()
+    .map(|m| ModuleEntry {
+        name: m.name,
+        shapes: m.shapes,
+        netlist: None,
+    })
+    .collect()
+}
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("rrf-it-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn columns_device_through_files() {
+    let spec = FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Columns {
+                width: 50,
+                height: 8,
+                bram_period: 10,
+                bram_offset: 4,
+                dsp_period: 0,
+                dsp_offset: 0,
+                io_ring: 0,
+                center_clock: false,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+        modules: workload_entries(4, 3),
+        placer: PlacerSettings {
+            time_limit_ms: Some(2_000),
+            ..PlacerSettings::default()
+        },
+    };
+    let job = tmp("job.json");
+    let out = tmp("report.json");
+    io::save_spec(&job, &spec).unwrap();
+    let loaded = io::load_spec(&job).unwrap();
+    assert_eq!(loaded, spec);
+    let report = run(&loaded).unwrap();
+    assert!(report.feasible);
+    assert_eq!(report.placements.len(), 4);
+    io::save_report(&out, &report).unwrap();
+    let back = io::load_report(&out).unwrap();
+    assert_eq!(back.extent, report.extent);
+    assert_eq!(back.placements, report.placements);
+    let _ = std::fs::remove_file(job);
+    let _ = std::fs::remove_file(out);
+}
+
+#[test]
+fn static_mask_spec_reduces_capacity() {
+    let make = |masks: Vec<Rect>| FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 30,
+                height: 6,
+            },
+            bounds: None,
+            static_masks: masks,
+        },
+        modules: clb_only_entries(3, 1),
+        placer: PlacerSettings {
+            time_limit_ms: Some(2_000),
+            ..PlacerSettings::default()
+        },
+    };
+    // Full region is feasible, a near-total mask is not.
+    let open = run(&make(vec![])).unwrap();
+    assert!(open.feasible);
+    let closed = run(&make(vec![Rect::new(0, 0, 29, 6)])).unwrap();
+    assert!(!closed.feasible);
+    assert!(closed.proven);
+}
+
+#[test]
+fn irregular_device_flow() {
+    let spec = FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Irregular {
+                width: 60,
+                height: 10,
+                seed: 8,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+        // CLB-only small modules so the irregular fabric likely fits them.
+        modules: generate_workload(&WorkloadSpec {
+            bram_min: 0,
+            bram_max: 0,
+            ..WorkloadSpec::small(3, 2)
+        })
+        .modules
+        .into_iter()
+        .map(|m| ModuleEntry {
+            name: m.name,
+            shapes: m.shapes,
+            netlist: None,
+        })
+        .collect(),
+        placer: PlacerSettings {
+            time_limit_ms: Some(3_000),
+            ..PlacerSettings::default()
+        },
+    };
+    let report = run(&spec).unwrap();
+    // Whether feasible depends on the irregular pattern; the invariant is
+    // that the flow answers decisively and consistently.
+    if report.feasible {
+        assert!(report.extent.is_some());
+        assert_eq!(report.placements.len(), 3);
+    } else {
+        assert!(report.placements.is_empty());
+    }
+}
+
+#[test]
+fn report_metrics_match_recomputation() {
+    let spec = FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 40,
+                height: 8,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+        modules: clb_only_entries(4, 5),
+        placer: PlacerSettings {
+            time_limit_ms: Some(2_000),
+            ..PlacerSettings::default()
+        },
+    };
+    let report = run(&spec).unwrap();
+    let region = spec.region.build().unwrap();
+    let modules: Vec<rrf_core::Module> = spec
+        .modules
+        .iter()
+        .map(|m| rrf_core::Module::new(m.name.clone(), m.shapes.clone()))
+        .collect();
+    let plan = report.floorplan.as_ref().expect("feasible");
+    let recomputed = rrf_core::metrics(&region, &modules, plan);
+    let reported = report.metrics.expect("metrics present");
+    assert!((recomputed.utilization - reported.utilization).abs() < 1e-12);
+    assert_eq!(recomputed.extent_cols, reported.extent_cols);
+}

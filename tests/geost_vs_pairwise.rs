@@ -1,0 +1,137 @@
+//! The geost non-overlap propagator against a naive O(n²·area) pairwise
+//! overlap check, over randomized fixed placements and randomized domains.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_fabric::{Point, Rect, ResourceKind};
+use rrf_geost::{GeostObject, NonOverlap, ShapeDef, ShiftedBox};
+use rrf_solver::{Domain, Engine, Space};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+fn random_shape(rng: &mut ChaCha8Rng) -> ShapeDef {
+    // 1 or 2 boxes, sometimes an L.
+    let w = rng.gen_range(1..4);
+    let h = rng.gen_range(1..4);
+    let mut boxes = vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)];
+    if rng.gen_bool(0.4) {
+        boxes.push(ShiftedBox::new(w, 0, rng.gen_range(1..3), 1, ResourceKind::Clb));
+    }
+    ShapeDef::new(boxes)
+}
+
+fn tiles_of(shape: &ShapeDef, x: i32, y: i32) -> HashSet<(i32, i32)> {
+    shape.tiles_at(x, y).map(|(p, _)| (p.x, p.y)).collect()
+}
+
+#[test]
+fn leaf_acceptance_matches_pairwise_check() {
+    let bounds = Rect::new(0, 0, 12, 8);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut accepted = 0;
+    let mut rejected = 0;
+    for _ in 0..200 {
+        let n = rng.gen_range(2..5);
+        let mut space = Space::new();
+        let mut objects = Vec::new();
+        let mut placements: Vec<(ShapeDef, Point)> = Vec::new();
+        for _ in 0..n {
+            let shape = random_shape(&mut rng);
+            let x = rng.gen_range(0..10);
+            let y = rng.gen_range(0..6);
+            let xv = space.new_var(Domain::singleton(x));
+            let yv = space.new_var(Domain::singleton(y));
+            let sv = space.new_var(Domain::singleton(0));
+            objects.push(GeostObject::new(
+                xv,
+                yv,
+                sv,
+                Arc::new(vec![shape.clone()]),
+            ));
+            placements.push((shape, Point::new(x, y)));
+        }
+        // Ground truth: pairwise tile intersection.
+        let mut overlap = false;
+        for i in 0..placements.len() {
+            for j in (i + 1)..placements.len() {
+                let a = tiles_of(&placements[i].0, placements[i].1.x, placements[i].1.y);
+                let b = tiles_of(&placements[j].0, placements[j].1.x, placements[j].1.y);
+                if !a.is_disjoint(&b) {
+                    overlap = true;
+                }
+            }
+        }
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(NonOverlap::new(objects, bounds));
+        engine.schedule_all();
+        let result = engine.propagate(&mut space);
+        assert_eq!(result.is_err(), overlap, "geost disagrees with pairwise");
+        if overlap {
+            rejected += 1;
+        } else {
+            accepted += 1;
+        }
+    }
+    // The generator must exercise both sides.
+    assert!(accepted > 20, "too few accepted cases: {accepted}");
+    assert!(rejected > 20, "too few rejected cases: {rejected}");
+}
+
+#[test]
+fn propagation_never_removes_supported_placements() {
+    // Soundness under loose domains: any placement that the pairwise check
+    // accepts must survive propagation of the other objects' fixed parts.
+    let bounds = Rect::new(0, 0, 14, 6);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    for _ in 0..100 {
+        // One fixed blocker, one free probe.
+        let blocker_shape = random_shape(&mut rng);
+        let bx = rng.gen_range(0..8);
+        let by = rng.gen_range(0..4);
+        let probe_shape = random_shape(&mut rng);
+
+        let mut space = Space::new();
+        let bxv = space.new_var(Domain::singleton(bx));
+        let byv = space.new_var(Domain::singleton(by));
+        let bsv = space.new_var(Domain::singleton(0));
+        let pxv = space.new_var(Domain::interval(0, 10));
+        let pyv = space.new_var(Domain::interval(0, 4));
+        let psv = space.new_var(Domain::singleton(0));
+        let objects = vec![
+            GeostObject::new(bxv, byv, bsv, Arc::new(vec![blocker_shape.clone()])),
+            GeostObject::new(pxv, pyv, psv, Arc::new(vec![probe_shape.clone()])),
+        ];
+        let mut engine = Engine::new(space.num_vars());
+        engine.post(NonOverlap::new(objects, bounds));
+        engine.schedule_all();
+        if engine.propagate(&mut space).is_err() {
+            // Propagation may only fail when NO probe position works.
+            let blocker = tiles_of(&blocker_shape, bx, by);
+            for x in 0..=10 {
+                for y in 0..=4 {
+                    assert!(
+                        !tiles_of(&probe_shape, x, y).is_disjoint(&blocker),
+                        "over-pruning: probe at ({x},{y}) was fine"
+                    );
+                }
+            }
+            continue;
+        }
+        // Surviving bounds must include every pairwise-feasible x and y.
+        let blocker = tiles_of(&blocker_shape, bx, by);
+        for x in 0..=10 {
+            for y in 0..=4 {
+                if tiles_of(&probe_shape, x, y).is_disjoint(&blocker) {
+                    assert!(
+                        space.min(pxv) <= x && x <= space.max(pxv),
+                        "x={x} pruned although feasible with y={y}"
+                    );
+                    assert!(
+                        space.min(pyv) <= y && y <= space.max(pyv),
+                        "y={y} pruned although feasible with x={x}"
+                    );
+                }
+            }
+        }
+    }
+}

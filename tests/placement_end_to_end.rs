@@ -1,0 +1,156 @@
+//! End-to-end integration: generated workloads through the CP placer,
+//! checked by the independent verifier, with the paper's headline
+//! comparisons asserted as invariants.
+
+use rrf_core::{anneal, baseline, cp, metrics, verify, PlacementProblem, PlacerConfig};
+use rrf_fabric::{device, Region};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_suite::problem_from_workload;
+use std::time::Duration;
+
+fn small_region(width: i32) -> Region {
+    let layout = device::ColumnLayout {
+        bram_period: 10,
+        bram_offset: 4,
+        dsp_period: 0,
+        dsp_offset: 0,
+        io_ring: 0,
+        center_clock: false,
+    };
+    Region::whole(device::columns(width, 8, layout))
+}
+
+fn small_problem(modules: usize, seed: u64, width: i32) -> PlacementProblem {
+    let workload = generate_workload(&WorkloadSpec::small(modules, seed));
+    problem_from_workload(small_region(width), &workload)
+}
+
+#[test]
+fn placements_are_always_valid_across_seeds() {
+    let config = PlacerConfig {
+        time_limit: Some(Duration::from_millis(800)),
+        ..PlacerConfig::default()
+    };
+    for seed in 0..6 {
+        let problem = small_problem(5, seed, 50);
+        let out = cp::place(&problem, &config);
+        let plan = out.plan.unwrap_or_else(|| panic!("seed {seed} feasible"));
+        let violations = verify::verify(&problem.region, &problem.modules, &plan);
+        assert!(violations.is_empty(), "seed {seed}: {violations:?}");
+        let m = metrics(&problem.region, &problem.modules, &plan);
+        assert!(m.utilization > 0.0 && m.utilization <= 1.0);
+        assert_eq!(m.occupied_tiles, problem.demand());
+    }
+}
+
+#[test]
+fn alternatives_never_hurt_proven_optima() {
+    // Metamorphic: the optimum over a superset of shapes is <= the optimum
+    // over the first shape alone.
+    let config = PlacerConfig::exact();
+    for seed in [0u64, 1, 2] {
+        let problem = small_problem(4, seed, 60);
+        let solo = problem.without_alternatives();
+        let with = cp::place(&problem, &config);
+        let without = cp::place(&solo, &config);
+        assert!(with.proven && without.proven, "seed {seed}");
+        assert!(
+            with.extent.unwrap() <= without.extent.unwrap(),
+            "seed {seed}: {:?} vs {:?}",
+            with.extent,
+            without.extent
+        );
+    }
+}
+
+#[test]
+fn optimal_never_worse_than_heuristics() {
+    let config = PlacerConfig::exact();
+    for seed in [3u64, 4] {
+        let problem = small_problem(4, seed, 60);
+        let out = cp::place(&problem, &config);
+        assert!(out.proven);
+        let optimal = out.extent.unwrap();
+        let greedy = baseline::bottom_left(&problem).expect("greedy feasible");
+        assert!(optimal <= greedy.x_extent(&problem.modules, 0) as i64);
+        let sa = anneal::anneal(
+            &problem,
+            &anneal::AnnealConfig {
+                iterations: 2_000,
+                seed,
+                ..anneal::AnnealConfig::default()
+            },
+        )
+        .expect("anneal feasible");
+        assert!(optimal <= sa.x_extent(&problem.modules, 0) as i64);
+    }
+}
+
+#[test]
+fn wider_region_never_increases_optimum() {
+    // Metamorphic: widening the region only adds placements.
+    let config = PlacerConfig::exact();
+    let workload = generate_workload(&WorkloadSpec::small(4, 9));
+    let narrow = problem_from_workload(small_region(40), &workload);
+    let wide = problem_from_workload(small_region(60), &workload);
+    let narrow_out = cp::place(&narrow, &config);
+    let wide_out = cp::place(&wide, &config);
+    assert!(narrow_out.proven && wide_out.proven);
+    if let (Some(n), Some(w)) = (narrow_out.extent, wide_out.extent) {
+        assert!(w <= n);
+    }
+}
+
+#[test]
+fn utilization_consistent_with_extent() {
+    // Same demand, shorter extent → higher utilization on a uniform strip
+    // (the link between eq. 6 and the paper's headline metric).
+    let config = PlacerConfig::exact();
+    let problem = small_problem(4, 5, 60);
+    let solo = problem.without_alternatives();
+    let with = cp::place(&problem, &config);
+    let without = cp::place(&solo, &config);
+    let (pw, pwo) = (with.plan.unwrap(), without.plan.unwrap());
+    let mw = metrics(&problem.region, &problem.modules, &pw);
+    let mwo = metrics(&solo.region, &solo.modules, &pwo);
+    if with.extent.unwrap() < without.extent.unwrap() {
+        assert!(mw.utilization > mwo.utilization);
+    } else {
+        assert!((mw.utilization - mwo.utilization).abs() < 1e-9);
+    }
+}
+
+#[test]
+fn portfolio_and_sequential_agree_on_optimum() {
+    let problem = small_problem(4, 6, 60);
+    let seq = cp::place(&problem, &PlacerConfig::exact());
+    let par = cp::place(
+        &problem,
+        &PlacerConfig {
+            strategy: rrf_core::SearchStrategy::Portfolio(3),
+            ..PlacerConfig::exact()
+        },
+    );
+    assert!(seq.proven && par.proven);
+    assert_eq!(seq.extent, par.extent);
+}
+
+#[test]
+fn static_mask_respected_end_to_end() {
+    let workload = generate_workload(&WorkloadSpec::small(3, 7));
+    let mut region = small_region(60);
+    region.add_static_mask(rrf_fabric::Rect::new(30, 0, 30, 8));
+    let problem = problem_from_workload(region, &workload);
+    let out = cp::place(
+        &problem,
+        &PlacerConfig {
+            time_limit: Some(Duration::from_secs(2)),
+            ..PlacerConfig::default()
+        },
+    );
+    let plan = out.plan.expect("fits in unmasked half");
+    assert!(verify::verify(&problem.region, &problem.modules, &plan).is_empty());
+    for (tile, _, _) in plan.occupied_tiles(&problem.modules) {
+        assert!(tile.x < 30, "tile {tile} inside the static mask");
+    }
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) over the cross-crate invariants:
+//! domain algebra, shape transforms, anchor filtering, generator
+//! guarantees, and placer validity.
+
+use proptest::prelude::*;
+use rrf_core::{cp, verify, Module, PlacementProblem, PlacerConfig};
+use rrf_fabric::{device, Point, Rect, Region, ResourceKind};
+use rrf_geost::{allowed_anchors, ShapeDef, ShiftedBox};
+use rrf_modgen::{derive_alternatives, layout::LayoutParams, ModuleSpec};
+use rrf_solver::Domain;
+use std::collections::BTreeSet;
+
+// ---------- domain algebra vs. BTreeSet ground truth ----------
+
+fn values_strategy() -> impl Strategy<Value = Vec<i32>> {
+    proptest::collection::vec(-30i32..30, 1..20)
+}
+
+proptest! {
+    #[test]
+    fn domain_from_values_is_setlike(values in values_strategy()) {
+        let set: BTreeSet<i32> = values.iter().copied().collect();
+        let dom = Domain::from_values(&values).unwrap();
+        prop_assert_eq!(dom.size(), set.len() as u64);
+        prop_assert_eq!(dom.min(), *set.first().unwrap());
+        prop_assert_eq!(dom.max(), *set.last().unwrap());
+        prop_assert_eq!(dom.iter().collect::<Vec<_>>(),
+                        set.iter().copied().collect::<Vec<_>>());
+        for v in -35..35 {
+            prop_assert_eq!(dom.contains(v), set.contains(&v));
+        }
+    }
+
+    #[test]
+    fn domain_intersect_matches_sets(a in values_strategy(), b in values_strategy()) {
+        let sa: BTreeSet<i32> = a.iter().copied().collect();
+        let sb: BTreeSet<i32> = b.iter().copied().collect();
+        let expected: Vec<i32> = sa.intersection(&sb).copied().collect();
+        let mut da = Domain::from_values(&a).unwrap();
+        let db = Domain::from_values(&b).unwrap();
+        match da.intersect(&db) {
+            Ok(_) => prop_assert_eq!(da.iter().collect::<Vec<_>>(), expected),
+            Err(_) => prop_assert!(expected.is_empty()),
+        }
+    }
+
+    #[test]
+    fn domain_subtract_matches_sets(a in values_strategy(), b in values_strategy()) {
+        let sa: BTreeSet<i32> = a.iter().copied().collect();
+        let sb: BTreeSet<i32> = b.iter().copied().collect();
+        let expected: Vec<i32> = sa.difference(&sb).copied().collect();
+        let mut da = Domain::from_values(&a).unwrap();
+        let db = Domain::from_values(&b).unwrap();
+        match da.subtract(&db) {
+            Ok(_) => prop_assert_eq!(da.iter().collect::<Vec<_>>(), expected),
+            Err(_) => prop_assert!(expected.is_empty()),
+        }
+    }
+
+    #[test]
+    fn domain_bounds_pruning_matches_sets(values in values_strategy(),
+                                          lo in -35i32..35, hi in -35i32..35) {
+        let set: BTreeSet<i32> = values.iter().copied().collect();
+        let expected: Vec<i32> =
+            set.iter().copied().filter(|&v| v >= lo && v <= hi).collect();
+        let mut dom = Domain::from_values(&values).unwrap();
+        let result = dom.set_min(lo).and_then(|_| dom.set_max(hi));
+        match result {
+            Ok(_) => prop_assert_eq!(dom.iter().collect::<Vec<_>>(), expected),
+            Err(_) => prop_assert!(expected.is_empty()),
+        }
+    }
+}
+
+// ---------- shape transforms ----------
+
+fn tile_set_strategy() -> impl Strategy<Value = Vec<(Point, ResourceKind)>> {
+    proptest::collection::btree_set((0i32..6, 0i32..6), 1..12).prop_map(|set| {
+        set.into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| {
+                let kind = if i % 3 == 0 {
+                    ResourceKind::Bram
+                } else {
+                    ResourceKind::Clb
+                };
+                (Point::new(x, y), kind)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn from_tiles_covers_exactly(tiles in tile_set_strategy()) {
+        let shape = ShapeDef::from_tiles(&tiles);
+        let mut covered: Vec<(Point, ResourceKind)> = shape.tiles().collect();
+        covered.sort_by_key(|(p, _)| (p.y, p.x));
+        let mut expected = tiles.clone();
+        expected.sort_by_key(|(p, _)| (p.y, p.x));
+        prop_assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn rotation_is_involution_and_preserves_area(tiles in tile_set_strategy()) {
+        let shape = ShapeDef::from_tiles(&tiles).normalized();
+        let rot = shape.rotated_180();
+        prop_assert_eq!(rot.area(), shape.area());
+        prop_assert_eq!(rot.resource_multiset(), shape.resource_multiset());
+        prop_assert_eq!(rot.width(), shape.width());
+        prop_assert_eq!(rot.height(), shape.height());
+        prop_assert_eq!(rot.rotated_180(), shape);
+    }
+}
+
+// ---------- anchor filtering ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn every_allowed_anchor_verifies(seed in 0u64..500, w in 1i32..4, h in 1i32..4) {
+        let fabric = device::irregular(16, 8, seed);
+        let region = Region::whole(fabric);
+        let shape = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+        for anchor in allowed_anchors(&region, &shape) {
+            for (tile, kind) in shape.tiles_at(anchor.x, anchor.y) {
+                prop_assert!(region.accepts(tile.x, tile.y, kind),
+                             "anchor {anchor} tile {tile}");
+            }
+        }
+        // Completeness on a sample: a brute-force accepted anchor is listed.
+        let anchors = allowed_anchors(&region, &shape);
+        for x in 0..16 {
+            for y in 0..8 {
+                let ok = shape
+                    .tiles_at(x, y)
+                    .all(|(t, k)| region.accepts(t.x, t.y, k));
+                prop_assert_eq!(ok, anchors.contains(&Point::new(x, y)),
+                                "anchor ({}, {})", x, y);
+            }
+        }
+    }
+}
+
+// ---------- generator guarantees ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn alternatives_preserve_resources(clbs in 10i32..60, brams in 0i32..4,
+                                       height in 3i32..8) {
+        let spec = ModuleSpec { clbs, brams, height };
+        let shapes = derive_alternatives(&spec, &LayoutParams::default(), 4, height + 1);
+        prop_assert!(!shapes.is_empty() && shapes.len() <= 4);
+        let base = shapes[0].resource_multiset();
+        prop_assert_eq!(base[ResourceKind::Clb.index()], clbs as i64);
+        prop_assert_eq!(base[ResourceKind::Bram.index()], (brams * 2) as i64);
+        for s in &shapes {
+            prop_assert_eq!(s.resource_multiset(), base);
+        }
+        // Alternatives are pairwise distinct.
+        for (i, a) in shapes.iter().enumerate() {
+            for b in &shapes[i + 1..] {
+                prop_assert_ne!(a, b);
+            }
+        }
+    }
+}
+
+// ---------- placer validity over random micro-instances ----------
+
+fn micro_modules() -> impl Strategy<Value = Vec<(i32, i32)>> {
+    proptest::collection::vec((1i32..4, 1i32..4), 1..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn placer_output_always_verifies(dims in micro_modules(), seed in 0u64..50) {
+        let fabric = device::irregular(14, 6, seed);
+        let region = Region::whole(fabric);
+        let modules: Vec<Module> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, h))| {
+                let base = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+                let alt = ShapeDef::new(vec![ShiftedBox::new(0, 0, h, w, ResourceKind::Clb)]);
+                let shapes = if base == alt { vec![base] } else { vec![base, alt] };
+                Module::new(format!("m{i}"), shapes)
+            })
+            .collect();
+        let problem = PlacementProblem::new(region, modules);
+        let out = cp::place(&problem, &PlacerConfig::exact());
+        prop_assert!(out.proven);
+        if let Some(plan) = out.plan {
+            let violations = verify::verify(&problem.region, &problem.modules, &plan);
+            prop_assert!(violations.is_empty(), "{violations:?}");
+        }
+    }
+}
+
+// ---------- region algebra ----------
+
+proptest! {
+    #[test]
+    fn masked_region_is_subset(mask_x in 0i32..10, mask_w in 0i32..10) {
+        let fabric = device::virtex_like(12, 6);
+        let open = Region::whole(fabric.clone());
+        let mut masked = Region::whole(fabric);
+        masked.add_static_mask(Rect::new(mask_x, 0, mask_w, 6));
+        prop_assert!(masked.placeable_count() <= open.placeable_count());
+        for x in 0..12 {
+            for y in 0..6 {
+                if masked.kind_at(x, y) != ResourceKind::Static {
+                    prop_assert_eq!(masked.kind_at(x, y), open.kind_at(x, y));
+                }
+            }
+        }
+    }
+}
