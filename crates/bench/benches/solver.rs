@@ -68,5 +68,10 @@ fn bench_linear_minimize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_queens, bench_queens_exhaust, bench_linear_minimize);
+criterion_group!(
+    benches,
+    bench_queens,
+    bench_queens_exhaust,
+    bench_linear_minimize
+);
 criterion_main!(benches);

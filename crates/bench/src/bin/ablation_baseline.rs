@@ -42,8 +42,8 @@ fn main() {
         let greedy_s = t.elapsed().as_secs_f64();
 
         let t = Instant::now();
-        let sa = anneal::anneal(&problem, &anneal::AnnealConfig::default())
-            .expect("anneal feasible");
+        let sa =
+            anneal::anneal(&problem, &anneal::AnnealConfig::default()).expect("anneal feasible");
         let sa_s = t.elapsed().as_secs_f64();
 
         let cp_cfg = PlacerConfig {

@@ -13,8 +13,9 @@
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rrf_bench::experiment::{workload_modules, ExperimentSetup};
-use rrf_core::{cp, verify, Floorplan, Module, OnlinePlacer, PlacedModule, PlacementProblem,
-    PlacerConfig};
+use rrf_core::{
+    cp, verify, Floorplan, Module, OnlinePlacer, PlacedModule, PlacementProblem, PlacerConfig,
+};
 use rrf_modgen::{generate_workload, WorkloadSpec};
 use std::time::Duration;
 
@@ -88,7 +89,16 @@ fn main() {
     let n = runs as f64;
     println!();
     println!("Defragmentation (means of {runs} runs):");
-    println!("  fragmented extent after churn: {:.1} columns", frag_ext / n);
-    println!("  optimal repacked extent:       {:.1} columns", packed_ext / n);
-    println!("  recovered by defragmentation:  {:.1} columns", recovered / n);
+    println!(
+        "  fragmented extent after churn: {:.1} columns",
+        frag_ext / n
+    );
+    println!(
+        "  optimal repacked extent:       {:.1} columns",
+        packed_ext / n
+    );
+    println!(
+        "  recovered by defragmentation:  {:.1} columns",
+        recovered / n
+    );
 }

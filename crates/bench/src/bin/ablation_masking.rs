@@ -29,9 +29,7 @@ fn main() {
         ..PlacerConfig::default()
     };
 
-    eprintln!(
-        "A6: masking ablation, {runs} runs x {modules} modules, soft factor {soft_factor}x"
-    );
+    eprintln!("A6: masking ablation, {runs} runs x {modules} modules, soft factor {soft_factor}x");
     let mut dedicated = Vec::with_capacity(runs);
     let mut masked = Vec::with_capacity(runs);
     let mut dedicated_demand = 0i64;
@@ -60,8 +58,7 @@ fn main() {
         // Re-derive each module with the soft-logic area added, preserving
         // the pairing between arms.
         for (m, original) in masked_wl.modules.iter_mut().zip(&workload.modules) {
-            let soft_clbs =
-                original.clbs + original.brams * BRAM_BLOCK_TILES * soft_factor;
+            let soft_clbs = original.clbs + original.brams * BRAM_BLOCK_TILES * soft_factor;
             let mspec = rrf_modgen::ModuleSpec {
                 clbs: soft_clbs,
                 brams: 0,
@@ -75,8 +72,7 @@ fn main() {
                 &mut rand::rngs::mock::StepRng::new(seed, 1),
             );
         }
-        let masked_problem =
-            PlacementProblem::new(paper_region(), workload_modules(&masked_wl));
+        let masked_problem = PlacementProblem::new(paper_region(), workload_modules(&masked_wl));
         masked_demand += masked_problem.demand();
         masked.push(run_arm(&masked_problem, &config));
     }

@@ -24,7 +24,8 @@ fn simulate(modules: &[Module], width: i32, events: usize, seed: u64) -> (f64, f
     let mut util_sum = 0.0;
     for _ in 0..events {
         // 60% arrivals while below half load, else 50/50.
-        let arrive = live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
+        let arrive =
+            live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
         if arrive {
             let m = &modules[rng.gen_range(0..modules.len())];
             if let Some(slot) = placer.try_insert(m) {

@@ -59,6 +59,10 @@ fn main() {
         "  gain:                 {:+.1} requests ({:.0}%){}",
         (with_total as f64 - without_total as f64) / n,
         (with_total as f64 / without_total.max(1) as f64 - 1.0) * 100.0,
-        if exact { "" } else { "  [some probes hit the budget]" }
+        if exact {
+            ""
+        } else {
+            "  [some probes hit the budget]"
+        }
     );
 }

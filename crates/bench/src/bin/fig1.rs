@@ -43,9 +43,17 @@ fn main() {
         brams: 0,
         height: 6,
     };
-    shapes.extend(derive_alternatives(&logic_only, &LayoutParams::default(), 1, 6));
+    shapes.extend(derive_alternatives(
+        &logic_only,
+        &LayoutParams::default(),
+        1,
+        6,
+    ));
 
-    println!("Figure 1 — one module, {} design alternatives", shapes.len());
+    println!(
+        "Figure 1 — one module, {} design alternatives",
+        shapes.len()
+    );
     println!("(codes: c = CLB, B = BRAM; blank = unused within the bounding box)");
     for (i, shape) in shapes.iter().enumerate() {
         let ms = shape.resource_multiset();

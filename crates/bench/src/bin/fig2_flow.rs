@@ -6,9 +6,7 @@
 //! report JSON, and prints both paths plus a summary (the file formats are
 //! the ReCoBus-Builder-style interface of the flow crate).
 
-use rrf_flow::{
-    io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec,
-};
+use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
 use rrf_modgen::{generate_workload, WorkloadSpec};
 use std::path::PathBuf;
 

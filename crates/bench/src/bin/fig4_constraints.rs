@@ -8,9 +8,9 @@
 //!     design;
 //! (d) non-overlap — a placed module blocks its footprint for others.
 
+use rrf_bench::experiment::ExperimentSetup;
 use rrf_fabric::{Rect, Region, ResourceKind};
 use rrf_geost::{allowed_anchors, ShapeDef, ShiftedBox};
-use rrf_bench::experiment::ExperimentSetup;
 
 /// Render the anchor mask of a shape on a region: '+' where the anchor may
 /// go, background codes elsewhere.
@@ -75,8 +75,5 @@ fn main() {
         y: 2,
     }]);
     println!("(d) a placed module (A) excludes its tiles from every other module:");
-    println!(
-        "{}",
-        rrf_viz::render_floorplan(&region, &[module], &plan)
-    );
+    println!("{}", rrf_viz::render_floorplan(&region, &[module], &plan));
 }

@@ -1,0 +1,325 @@
+//! `serve_load` — replay seeded `rrf-modgen` workloads against the
+//! placement daemon and report throughput and latency percentiles.
+//!
+//! Each client thread drives its own connection with a deterministic mix
+//! of requests: one-shot `place` jobs (a handful of distinct seeded specs,
+//! shared across clients so the placement cache sees both misses and
+//! hits), plus an online session it inserts into, removes from, and
+//! defragments. Every response is checked — an unexpected `error` or a
+//! mismatched correlation id counts as a protocol error and fails the run.
+//!
+//! Usage: `serve_load [clients] [requests_per_client] [seed]
+//!         [--addr HOST:PORT] [--deadline-ms MS]`
+//! (defaults 4, 30, 0; without `--addr` an in-process daemon is started).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use rrf_flow::{DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_server::{start, Request, Response, ServerConfig};
+
+/// Distinct place specs in rotation; small enough that a miss solves well
+/// inside the deadline, few enough that most requests are cache hits.
+const PLACE_SPECS: u64 = 5;
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> std::io::Result<Response> {
+        let mut line = serde_json::to_string(request).expect("serialize request");
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply)?;
+        serde_json::from_str(reply.trim())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+/// The region the small workloads are generated for (BRAM column period
+/// matching `rrf-modgen`'s layout parameters).
+fn small_region() -> RegionSpec {
+    RegionSpec {
+        device: DeviceSpec::Columns {
+            width: 60,
+            height: 8,
+            bram_period: 10,
+            bram_offset: 4,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        },
+        bounds: None,
+        static_masks: vec![],
+    }
+}
+
+fn place_spec(seed: u64) -> FlowSpec {
+    let workload = generate_workload(&WorkloadSpec::small(4, seed));
+    FlowSpec {
+        region: small_region(),
+        modules: workload
+            .modules
+            .into_iter()
+            .map(|m| ModuleEntry {
+                name: m.name,
+                shapes: m.shapes,
+                netlist: None,
+            })
+            .collect(),
+        placer: PlacerSettings::default(),
+    }
+}
+
+/// One module entry for the online session, cycled by index.
+fn online_module(i: u64) -> ModuleEntry {
+    let workload = generate_workload(&WorkloadSpec::small(1, 100 + i % 7));
+    let m = workload.modules.into_iter().next().expect("one module");
+    ModuleEntry {
+        name: m.name,
+        shapes: m.shapes,
+        netlist: None,
+    }
+}
+
+struct ClientOutcome {
+    latencies_us: Vec<u64>,
+    protocol_errors: Vec<String>,
+    place_hits: u64,
+    place_misses: u64,
+    inserts_rejected: u64,
+}
+
+fn run_client(
+    addr: &str,
+    client_idx: u64,
+    requests: u64,
+    base_seed: u64,
+    deadline_ms: u64,
+) -> ClientOutcome {
+    let mut out = ClientOutcome {
+        latencies_us: Vec::with_capacity(requests as usize + 2),
+        protocol_errors: Vec::new(),
+        place_hits: 0,
+        place_misses: 0,
+        inserts_rejected: 0,
+    };
+    let mut client = match Client::connect(addr) {
+        Ok(client) => client,
+        Err(e) => {
+            out.protocol_errors.push(format!("connect: {e}"));
+            return out;
+        }
+    };
+    let mut next_id: u64 = client_idx * 1_000_000;
+    let mut slots: Vec<u64> = Vec::new();
+
+    let issue = |client: &mut Client, request: Request, out: &mut ClientOutcome| {
+        let id = request.id();
+        let started = Instant::now();
+        match client.roundtrip(&request) {
+            Ok(response) => {
+                out.latencies_us.push(started.elapsed().as_micros() as u64);
+                if response.id() != id {
+                    out.protocol_errors
+                        .push(format!("id mismatch: sent {id}, got {}", response.id()));
+                    return None;
+                }
+                Some(response)
+            }
+            Err(e) => {
+                out.protocol_errors.push(format!("request {id}: {e}"));
+                None
+            }
+        }
+    };
+
+    // A session for the online part of the mix.
+    next_id += 1;
+    let session = match issue(
+        &mut client,
+        Request::OpenSession {
+            id: next_id,
+            region: small_region(),
+        },
+        &mut out,
+    ) {
+        Some(Response::SessionOpened { session, .. }) => Some(session),
+        Some(other) => {
+            out.protocol_errors
+                .push(format!("open_session: unexpected {other:?}"));
+            None
+        }
+        None => None,
+    };
+
+    for i in 0..requests {
+        next_id += 1;
+        let id = next_id;
+        let request = match (i % 6, session) {
+            (0 | 3, _) => Request::Place {
+                id,
+                spec: place_spec(base_seed + (client_idx + i) % PLACE_SPECS),
+                deadline_ms: Some(deadline_ms),
+            },
+            (1 | 4, Some(session)) => Request::Insert {
+                id,
+                session,
+                module: online_module(client_idx + i),
+            },
+            (2, Some(session)) if !slots.is_empty() => Request::Remove {
+                id,
+                session,
+                slot: slots.remove(0),
+            },
+            (5, Some(session)) => Request::Defrag { id, session },
+            _ => Request::Ping { id },
+        };
+        match issue(&mut client, request, &mut out) {
+            Some(Response::Placed { cache_hit, .. }) => {
+                if cache_hit {
+                    out.place_hits += 1;
+                } else {
+                    out.place_misses += 1;
+                }
+            }
+            Some(Response::Inserted { slot, .. }) => match slot {
+                Some(slot) => slots.push(slot),
+                None => out.inserts_rejected += 1,
+            },
+            Some(Response::Error { message, .. }) => {
+                out.protocol_errors.push(format!("request {id}: {message}"));
+            }
+            Some(_) | None => {}
+        }
+    }
+
+    if let Some(session) = session {
+        next_id += 1;
+        issue(
+            &mut client,
+            Request::CloseSession {
+                id: next_id,
+                session,
+            },
+            &mut out,
+        );
+    }
+    out
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut addr: Option<String> = None;
+    let mut deadline_ms: u64 = 2_000;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().expect("--addr needs a value").clone()),
+            "--deadline-ms" => {
+                deadline_ms = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--deadline-ms needs a number")
+            }
+            other => positional.push(other),
+        }
+    }
+    let clients: u64 = positional.first().and_then(|s| s.parse().ok()).unwrap_or(4);
+    let requests: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let base_seed: u64 = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    // Spawn an in-process daemon unless pointed at a running one.
+    let handle = if addr.is_none() {
+        Some(start(ServerConfig::default()).expect("start daemon"))
+    } else {
+        None
+    };
+    let addr = addr.unwrap_or_else(|| handle.as_ref().unwrap().addr().to_string());
+
+    eprintln!(
+        "serve_load: {clients} clients x {requests} requests (+session open/close) \
+         against {addr}, deadline {deadline_ms}ms"
+    );
+    let started = Instant::now();
+    let outcomes: Vec<ClientOutcome> = std::thread::scope(|scope| {
+        let addr = &addr;
+        let threads: Vec<_> = (0..clients)
+            .map(|c| scope.spawn(move || run_client(addr, c, requests, base_seed, deadline_ms)))
+            .collect();
+        threads.into_iter().map(|t| t.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let errors: Vec<&String> = outcomes.iter().flat_map(|o| &o.protocol_errors).collect();
+    let hits: u64 = outcomes.iter().map(|o| o.place_hits).sum();
+    let misses: u64 = outcomes.iter().map(|o| o.place_misses).sum();
+    let rejected: u64 = outcomes.iter().map(|o| o.inserts_rejected).sum();
+
+    println!("requests:    {total} in {:.2}s", elapsed.as_secs_f64());
+    println!(
+        "throughput:  {:.1} req/s",
+        total as f64 / elapsed.as_secs_f64()
+    );
+    println!(
+        "latency ms:  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+        percentile(&latencies, 100.0),
+    );
+    println!("place cache: {hits} hits / {misses} misses");
+    println!("online:      {rejected} inserts rejected (region full — not errors)");
+
+    if let Ok(mut client) = Client::connect(&addr) {
+        if let Ok(Response::Stats { stats, .. }) = client.roundtrip(&Request::Stats { id: 1 }) {
+            println!(
+                "server:      {} requests, {} fallbacks, {} backpressure rejections, \
+                 histogram {:?}",
+                stats.requests,
+                stats.fallbacks(),
+                stats.rejected_backpressure,
+                stats.solve_ms_histogram
+            );
+        }
+    }
+
+    if !errors.is_empty() {
+        eprintln!("{} protocol errors:", errors.len());
+        for e in errors.iter().take(10) {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    println!("protocol errors: 0");
+}

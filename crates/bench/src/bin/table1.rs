@@ -30,9 +30,7 @@ fn main() {
         ..PlacerConfig::default()
     };
 
-    eprintln!(
-        "table1: {runs} runs x {modules} modules, {budget}s budget per arm (paper: 50x30)"
-    );
+    eprintln!("table1: {runs} runs x {modules} modules, {budget}s budget per arm (paper: 50x30)");
 
     let mut with = Vec::with_capacity(runs);
     let mut without = Vec::with_capacity(runs);
@@ -59,7 +57,10 @@ fn main() {
 
     println!();
     println!("Table I — impact of module design alternatives (ours vs paper)");
-    println!("{:<24} {:>11} {:>11} {:>12} {:>8} {:>9} {:>9}", "Type", "Mean Util.", "Mean Time", "Time-to-best", "Proven", "CLB", "BRAM");
+    println!(
+        "{:<24} {:>11} {:>11} {:>12} {:>8} {:>9} {:>9}",
+        "Type", "Mean Util.", "Mean Time", "Time-to-best", "Proven", "CLB", "BRAM"
+    );
     for row in [&row_without, &row_with] {
         println!(
             "{:<24} {:>10.1}% {:>10.2}s {:>11.2}s {:>7.0}% {:>9.1} {:>9.1}",

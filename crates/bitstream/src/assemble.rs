@@ -41,7 +41,10 @@ impl PartialBitstream {
 }
 
 fn compute_crc(frames: &[Frame]) -> u32 {
-    let all: Vec<u32> = frames.iter().flat_map(|f| f.words.iter().copied()).collect();
+    let all: Vec<u32> = frames
+        .iter()
+        .flat_map(|f| f.words.iter().copied())
+        .collect();
     crc32(&all)
 }
 
@@ -82,8 +85,7 @@ pub fn assemble_module(
         }
         let per_tile = geometry.words_per_tile(region.kind_at(tile.x, tile.y)) as usize;
         for slot in 0..per_tile {
-            words[offset + slot] =
-                payload_word(&module.name, kind.index(), tile.y, slot as u32);
+            words[offset + slot] = payload_word(&module.name, kind.index(), tile.y, slot as u32);
         }
     }
     let frames: Vec<Frame> = frames

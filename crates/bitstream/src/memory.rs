@@ -85,7 +85,9 @@ impl ConfigMemory {
         }
         // Validate sizes first so a failed load leaves memory untouched.
         for frame in &bitstream.frames {
-            let expected = self.geometry.column_words(&self.region, frame.address.column) as usize;
+            let expected =
+                self.geometry
+                    .column_words(&self.region, frame.address.column) as usize;
             if frame.words.len() != expected {
                 return Err(LoadError::FrameSizeMismatch {
                     name: bitstream.name.clone(),

@@ -151,8 +151,7 @@ mod tests {
 
     #[test]
     fn empty_problem_is_empty_plan() {
-        let problem =
-            PlacementProblem::new(Region::whole(device::homogeneous(4, 4)), vec![]);
+        let problem = PlacementProblem::new(Region::whole(device::homogeneous(4, 4)), vec![]);
         let plan = bottom_left(&problem).unwrap();
         assert!(plan.placements.is_empty());
     }

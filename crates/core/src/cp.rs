@@ -21,8 +21,7 @@ use crate::problem::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};
 use rrf_geost::{anchor_rows, GeostObject, NonOverlap};
 use rrf_solver::constraints::{LinRel, Task};
 use rrf_solver::{
-    solve, solve_portfolio, Limits, Model, SearchConfig, SearchOutcome, ValSelect, VarId,
-    VarSelect,
+    solve, solve_portfolio, Limits, Model, SearchConfig, SearchOutcome, ValSelect, VarId, VarSelect,
 };
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -244,7 +243,10 @@ pub fn place_minimize_height(
             .map(|m| {
                 crate::model::Module::new(
                     m.name.clone(),
-                    m.shapes().iter().map(rrf_geost::ShapeDef::transposed).collect(),
+                    m.shapes()
+                        .iter()
+                        .map(rrf_geost::ShapeDef::transposed)
+                        .collect(),
                 )
             })
             .collect(),
@@ -316,7 +318,7 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
         decision_vars: Some(built.decision_vars.clone()),
         stop_after: None,
         shared_bound: None,
-        stop_flag: None,
+        stop_flag: config.stop.clone(),
     };
 
     let outcome = match config.strategy {
@@ -489,6 +491,53 @@ mod tests {
     }
 
     #[test]
+    fn preset_stop_flag_aborts_with_greedy_incumbent() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        // A non-trivial instance: with the stop flag already set the search
+        // must abort at its first step, fall back to the greedy warm-start
+        // plan, and never claim the result proven.
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(20, 4)),
+            vec![
+                Module::new("a", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+                Module::new("b", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+                Module::new("c", vec![clb_shape(3, 2), clb_shape(2, 3)]),
+                Module::new("d", vec![clb_shape(3, 2), clb_shape(2, 3)]),
+                Module::new("e", vec![clb_shape(2, 2)]),
+            ],
+        );
+        let flag = Arc::new(AtomicBool::new(true));
+        let config = PlacerConfig::exact().with_stop(Arc::clone(&flag));
+        assert!(config.stop_requested());
+        let started = std::time::Instant::now();
+        let out = place(&problem, &config);
+        assert!(started.elapsed() < Duration::from_secs(5));
+        assert!(!out.proven);
+        let plan = out.plan.expect("greedy incumbent survives cancellation");
+        assert!(is_valid(&problem.region, &problem.modules, &plan));
+    }
+
+    #[test]
+    fn unset_stop_flag_does_not_disturb_search() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(8, 4)),
+            vec![
+                Module::new("a", vec![clb_shape(3, 2)]),
+                Module::new("b", vec![clb_shape(3, 2)]),
+            ],
+        );
+        let config = PlacerConfig::exact().with_stop(Arc::new(AtomicBool::new(false)));
+        let out = place(&problem, &config);
+        assert!(out.proven);
+        assert_eq!(out.extent, Some(3));
+    }
+
+    #[test]
     fn optimal_beats_or_matches_greedy() {
         // A mix the greedy packs suboptimally or equally; CP must never be
         // worse.
@@ -592,10 +641,13 @@ mod tests {
     #[test]
     fn minimize_height_respects_heterogeneity() {
         // BRAM row in the transposed world = BRAM column here.
-        let fabric = Fabric::from_art("ccc
+        let fabric = Fabric::from_art(
+            "ccc
 BBB
 ccc
-ccc").unwrap();
+ccc",
+        )
+        .unwrap();
         let problem = PlacementProblem::new(
             Region::whole(fabric),
             vec![Module::new(
@@ -628,8 +680,7 @@ ccc").unwrap();
                 )
             })
             .collect();
-        let problem =
-            PlacementProblem::new(Region::whole(device::homogeneous(24, 6)), modules);
+        let problem = PlacementProblem::new(Region::whole(device::homogeneous(24, 6)), modules);
         let cfg = PlacerConfig {
             time_limit: Some(Duration::from_millis(1)),
             ..PlacerConfig::default()

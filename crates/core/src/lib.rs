@@ -48,11 +48,13 @@ pub mod service;
 pub mod verify;
 
 pub use cp::{place, place_minimize_height, PlacementOutcome, SolveStats};
-pub use lns::{improve as lns_improve, LnsConfig, LnsOutcome};
-pub use online::{OnlinePlacer, OnlineStats};
-pub use service::{max_feasible_prefix, ServiceOutcome};
+pub use lns::{
+    improve as lns_improve, improve_with_stop as lns_improve_with_stop, LnsConfig, LnsOutcome,
+};
 pub use metrics::{metrics, PlacementMetrics};
 pub use model::Module;
+pub use online::{OnlinePlacer, OnlineStats};
 pub use placement::{Floorplan, PlacedModule};
-pub use reconfig::{FrameCostModel, ReconfigCost};
 pub use problem::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};
+pub use reconfig::{FrameCostModel, ReconfigCost};
+pub use service::{max_feasible_prefix, ServiceOutcome};

@@ -17,6 +17,8 @@ use rand_chacha::ChaCha8Rng;
 use rrf_solver::constraints::LinRel;
 use rrf_solver::{solve, Limits, Objective, SearchConfig, ValSelect, VarSelect};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// LNS schedule parameters.
@@ -55,7 +57,25 @@ pub struct LnsOutcome {
 /// Improve `start` (which must be a valid floorplan for `problem`) within
 /// the budget. Returns the best floorplan seen — never worse than `start`.
 pub fn improve(problem: &PlacementProblem, start: Floorplan, config: &LnsConfig) -> LnsOutcome {
+    improve_with_stop(problem, start, config, None)
+}
+
+/// [`improve`] answering to an external stop flag: when another thread
+/// sets `stop`, the loop exits at the next iteration boundary (and the
+/// inner solve aborts at its next search step), returning the incumbent.
+/// The flag lives outside [`LnsConfig`] because the config is `Copy` and
+/// serializable — a shared handle belongs to the call, not the schedule.
+pub fn improve_with_stop(
+    problem: &PlacementProblem,
+    start: Floorplan,
+    config: &LnsConfig,
+    stop: Option<Arc<AtomicBool>>,
+) -> LnsOutcome {
     let deadline = Instant::now() + config.time_limit;
+    let stopped = || {
+        stop.as_ref()
+            .is_some_and(|flag| flag.load(Ordering::Relaxed))
+    };
     let n = problem.modules.len();
     let left = problem.region.bounds().x;
     let mut best = start;
@@ -77,17 +97,19 @@ pub fn improve(problem: &PlacementProblem, start: Floorplan, config: &LnsConfig)
         ..PlacerConfig::default()
     };
 
-    while Instant::now() < deadline {
+    while Instant::now() < deadline && !stopped() {
         iterations += 1;
         order.shuffle(&mut rng);
-        let mut relaxed: std::collections::HashSet<usize> =
-            order[..config.neighborhood.clamp(2, n)].iter().copied().collect();
+        let mut relaxed: std::collections::HashSet<usize> = order
+            [..config.neighborhood.clamp(2, n)]
+            .iter()
+            .copied()
+            .collect();
         // The extent only drops if every module pinning the current extent
         // is free to move: relax all extent-critical modules (there are
         // usually one or two).
         for (i, p) in best.placements.iter().enumerate() {
-            let right =
-                p.x + problem.modules[i].shapes()[p.shape].bounding_box().x_end();
+            let right = p.x + problem.modules[i].shapes()[p.shape].bounding_box().x_end();
             if right as i64 == best_extent {
                 relaxed.insert(i);
             }
@@ -122,7 +144,7 @@ pub fn improve(problem: &PlacementProblem, start: Floorplan, config: &LnsConfig)
             decision_vars: Some(built.decision_vars.clone()),
             stop_after: Some(1), // take the first improvement, iterate again
             shared_bound: None,
-            stop_flag: None,
+            stop_flag: stop.clone(),
         };
         let outcome = solve(built.model, search);
         if let Some(plan) = extract_plan(&outcome, &built.module_vars) {
@@ -206,6 +228,56 @@ mod tests {
             },
         );
         assert_eq!(out.extent, exact.extent.unwrap());
+    }
+
+    #[test]
+    fn preset_stop_flag_exits_before_first_iteration() {
+        let p = problem();
+        let start = bottom_left(&p).unwrap();
+        let start_extent = start.x_extent(&p.modules, 0) as i64;
+        let flag = Arc::new(AtomicBool::new(true));
+        let out = improve_with_stop(
+            &p,
+            start.clone(),
+            &LnsConfig {
+                time_limit: Duration::from_secs(60), // the flag, not the clock, must end this
+                seed: 2,
+                ..LnsConfig::default()
+            },
+            Some(flag),
+        );
+        assert_eq!(out.iterations, 0);
+        assert_eq!(out.plan, start);
+        assert_eq!(out.extent, start_extent);
+    }
+
+    #[test]
+    fn stop_flag_set_mid_run_halts_promptly() {
+        let p = problem();
+        let start = bottom_left(&p).unwrap();
+        let flag = Arc::new(AtomicBool::new(false));
+        let setter = Arc::clone(&flag);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            setter.store(true, Ordering::Relaxed);
+        });
+        let started = Instant::now();
+        let out = improve_with_stop(
+            &p,
+            start,
+            &LnsConfig {
+                time_limit: Duration::from_secs(60),
+                seed: 4,
+                ..LnsConfig::default()
+            },
+            Some(flag),
+        );
+        handle.join().unwrap();
+        // Generous bound: the flag lands after ~50ms and each iteration is
+        // failure-capped, so the whole run must finish far before the 60s
+        // time limit would.
+        assert!(started.elapsed() < Duration::from_secs(30));
+        assert!(is_valid(&p.region, &p.modules, &out.plan));
     }
 
     #[test]

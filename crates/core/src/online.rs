@@ -25,6 +25,8 @@ pub struct OnlineStats {
     pub accepted: u64,
     pub rejected: u64,
     pub removals: u64,
+    /// Committed defragmentation passes (see [`OnlinePlacer::defrag`]).
+    pub defrags: u64,
 }
 
 impl OnlineStats {
@@ -70,10 +72,7 @@ impl OnlinePlacer {
 
     /// Tiles currently occupied.
     pub fn occupied_tiles(&self) -> i64 {
-        self.active
-            .values()
-            .map(|(m, p)| m.area_of(p.shape))
-            .sum()
+        self.active.values().map(|(m, p)| m.area_of(p.shape)).sum()
     }
 
     /// Occupied tiles over the region's placeable tiles — the *live
@@ -91,36 +90,14 @@ impl OnlinePlacer {
         self.stats
     }
 
-    fn fits(&self, shape: &ShapeDef, anchor: Point) -> bool {
-        shape.boxes().iter().all(|b| {
-            let r = b.placed(anchor.x, anchor.y);
-            (r.y..r.y_end())
-                .all(|y| (r.x..r.x_end()).all(|x| self.grid.get(x, y) == 0))
-        })
-    }
-
     /// Try to place `module` now. First fit in (x, y, shape) order over
     /// compatible anchors — leftmost column first, matching the offline
     /// objective's leftward bias so departures open contiguous space on
     /// the right. Returns the slot on success.
     pub fn try_insert(&mut self, module: &Module) -> Option<SlotId> {
         self.stats.requests += 1;
-        // Gather (x, y, shape, anchor) candidates and take the smallest.
-        let mut best: Option<(i32, i32, usize, Point)> = None;
-        for (si, shape) in module.shapes().iter().enumerate() {
-            for anchor in allowed_anchors(&self.region, shape) {
-                let key = (anchor.x, anchor.y);
-                if let Some((bx, by, _, _)) = best {
-                    if (key.0, key.1) >= (bx, by) {
-                        continue;
-                    }
-                }
-                if self.fits(shape, anchor) {
-                    best = Some((anchor.x, anchor.y, si, anchor));
-                }
-            }
-        }
-        let Some((_, _, shape, anchor)) = best else {
+        let best = first_fit(&self.region, &self.grid, module);
+        let Some((shape, anchor)) = best else {
             self.stats.rejected += 1;
             return None;
         };
@@ -164,6 +141,74 @@ impl OnlinePlacer {
     pub fn placement_of(&self, slot: SlotId) -> Option<&PlacedModule> {
         self.active.get(&slot).map(|(_, p)| p)
     }
+
+    /// Repack every live module onto an empty grid, biggest first, with
+    /// the same first-fit rule as [`OnlinePlacer::try_insert`] — the
+    /// *no-break* defragmentation move of Fekete et al.: the new layout is
+    /// computed on the side and committed only if every module still fits,
+    /// so a failed repack leaves the current layout untouched. Slot ids
+    /// are stable across the move. Returns the number of modules whose
+    /// placement changed (0 on a failed or no-op repack).
+    pub fn defrag(&mut self) -> usize {
+        let mut order: Vec<SlotId> = self.active.keys().copied().collect();
+        // Deterministic: biggest current footprint first, slot as the tie
+        // break.
+        order.sort_by_key(|slot| {
+            let (module, placed) = &self.active[slot];
+            (std::cmp::Reverse(module.area_of(placed.shape)), *slot)
+        });
+        let mut scratch = OccupancyGrid::new(self.region.bounds());
+        let mut repacked: Vec<(SlotId, usize, Point)> = Vec::with_capacity(order.len());
+        for slot in order {
+            let (module, _) = &self.active[&slot];
+            let Some((shape, anchor)) = first_fit(&self.region, &scratch, module) else {
+                return 0; // keep the current layout intact
+            };
+            for b in module.shapes()[shape].boxes() {
+                scratch.add_rect(b.placed(anchor.x, anchor.y), 1);
+            }
+            repacked.push((slot, shape, anchor));
+        }
+        let mut moved = 0;
+        for (slot, shape, anchor) in repacked {
+            let (_, placed) = self.active.get_mut(&slot).expect("live slot");
+            if placed.shape != shape || placed.x != anchor.x || placed.y != anchor.y {
+                moved += 1;
+            }
+            placed.shape = shape;
+            placed.x = anchor.x;
+            placed.y = anchor.y;
+        }
+        self.grid = scratch;
+        self.stats.defrags += 1;
+        moved
+    }
+}
+
+fn fits_on(grid: &OccupancyGrid, shape: &ShapeDef, anchor: Point) -> bool {
+    shape.boxes().iter().all(|b| {
+        let r = b.placed(anchor.x, anchor.y);
+        (r.y..r.y_end()).all(|y| (r.x..r.x_end()).all(|x| grid.get(x, y) == 0))
+    })
+}
+
+/// First fit of `module` on `grid` in (x, y, shape) order over compatible
+/// anchors: the smallest (x, y) across all design alternatives wins.
+fn first_fit(region: &Region, grid: &OccupancyGrid, module: &Module) -> Option<(usize, Point)> {
+    let mut best: Option<(i32, i32, usize, Point)> = None;
+    for (si, shape) in module.shapes().iter().enumerate() {
+        for anchor in allowed_anchors(region, shape) {
+            if let Some((bx, by, _, _)) = best {
+                if (anchor.x, anchor.y) >= (bx, by) {
+                    continue;
+                }
+            }
+            if fits_on(grid, shape, anchor) {
+                best = Some((anchor.x, anchor.y, si, anchor));
+            }
+        }
+    }
+    best.map(|(_, _, shape, anchor)| (shape, anchor))
 }
 
 #[cfg(test)]
@@ -263,6 +308,47 @@ mod tests {
         assert_eq!(placer.placement_of(s1).unwrap().x, 0);
         assert_eq!(placer.placement_of(s2).unwrap().x, 3);
         assert!(placer.try_insert(&m).is_none());
+    }
+
+    #[test]
+    fn defrag_consolidates_holes() {
+        // 8x2 strip, four 2x2 modules, remove the second and fourth: the
+        // free space is split 2+2. A 4x2 module cannot fit until defrag
+        // slides the third module left and reopens a contiguous 4.
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        let slots: Vec<_> = (0..4).map(|_| placer.try_insert(&m).unwrap()).collect();
+        placer.remove(slots[1]);
+        placer.remove(slots[3]);
+        let wide = clb_module("wide", 4, 2);
+        assert!(placer.try_insert(&wide).is_none(), "fragmented: no fit");
+
+        let moved = placer.defrag();
+        assert_eq!(moved, 1, "only the third module needs to move");
+        assert_eq!(placer.stats().defrags, 1);
+        // Slots stayed valid and the survivors are flush left.
+        assert_eq!(placer.placement_of(slots[0]).unwrap().x, 0);
+        assert_eq!(placer.placement_of(slots[2]).unwrap().x, 2);
+        let slot = placer.try_insert(&wide).expect("contiguous space reopened");
+        assert_eq!(placer.placement_of(slot).unwrap().x, 4);
+    }
+
+    #[test]
+    fn defrag_never_breaks_a_full_layout() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(4, 4)));
+        let m = clb_module("m", 2, 2);
+        for _ in 0..4 {
+            placer.try_insert(&m).unwrap();
+        }
+        let before: Vec<_> = (0..4)
+            .map(|s| *placer.placement_of(s as SlotId).unwrap())
+            .collect();
+        placer.defrag();
+        // A full grid repacks to an equivalent full grid; every module is
+        // still live and the occupancy is unchanged.
+        assert_eq!(placer.active_count(), 4);
+        assert!((placer.utilization() - 1.0).abs() < 1e-12);
+        let _ = before;
     }
 
     #[test]

@@ -3,6 +3,8 @@
 use crate::model::Module;
 use rrf_fabric::Region;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// A placement instance: a reconfigurable region and the modules to place.
@@ -83,6 +85,12 @@ pub struct PlacerConfig {
     /// Branching heuristic (sequential strategy only; the portfolio assigns
     /// its own mix per worker).
     pub heuristic: Heuristic,
+    /// External cancellation: when another thread sets this flag the
+    /// search stops at its next step and the placer returns the best
+    /// incumbent found so far (never marked proven). Not serialized — a
+    /// config read from a job file starts without a stop handle.
+    #[serde(skip)]
+    pub stop: Option<Arc<AtomicBool>>,
 }
 
 impl Default for PlacerConfig {
@@ -94,6 +102,7 @@ impl Default for PlacerConfig {
             warm_start: true,
             strategy: SearchStrategy::Sequential,
             heuristic: Heuristic::InputOrderMin,
+            stop: None,
         }
     }
 }
@@ -114,6 +123,21 @@ impl PlacerConfig {
             time_limit: Some(limit),
             ..PlacerConfig::default()
         }
+    }
+
+    /// The same configuration answering to an external stop flag.
+    pub fn with_stop(self, stop: Arc<AtomicBool>) -> PlacerConfig {
+        PlacerConfig {
+            stop: Some(stop),
+            ..self
+        }
+    }
+
+    /// Whether an external stop has been requested.
+    pub fn stop_requested(&self) -> bool {
+        self.stop
+            .as_ref()
+            .is_some_and(|flag| flag.load(std::sync::atomic::Ordering::Relaxed))
     }
 }
 

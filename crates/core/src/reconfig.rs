@@ -175,11 +175,23 @@ mod tests {
         let region = Region::whole(Fabric::homogeneous(8, 8).unwrap());
         let short = Module::new(
             "s",
-            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)])],
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                2,
+                2,
+                ResourceKind::Clb,
+            )])],
         );
         let tall = Module::new(
             "t",
-            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 8, ResourceKind::Clb)])],
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                2,
+                8,
+                ResourceKind::Clb,
+            )])],
         );
         let model = FrameCostModel::default();
         let c1 = module_cost(&region, &[short], &place(0, 0, 0), &model);
@@ -192,7 +204,13 @@ mod tests {
         let region = Region::whole(Fabric::homogeneous(10, 4).unwrap());
         let m = Module::new(
             "m",
-            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 2, ResourceKind::Clb)])],
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                2,
+                2,
+                ResourceKind::Clb,
+            )])],
         );
         let modules = vec![m.clone(), m];
         let plan = Floorplan::new(vec![place(0, 0, 0), place(1, 4, 0)]);
@@ -210,11 +228,23 @@ mod tests {
         let region = Region::whole(Fabric::homogeneous(8, 4).unwrap());
         let wide = Module::new(
             "w",
-            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 4, 2, ResourceKind::Clb)])],
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                4,
+                2,
+                ResourceKind::Clb,
+            )])],
         );
         let tall = Module::new(
             "t",
-            vec![ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 4, ResourceKind::Clb)])],
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                2,
+                4,
+                ResourceKind::Clb,
+            )])],
         );
         let model = FrameCostModel::default();
         let cw = module_cost(&region, &[wide], &place(0, 0, 0), &model);

@@ -33,10 +33,7 @@ fn prefix_feasible(
     k: usize,
     config: &PlacerConfig,
 ) -> (Option<Floorplan>, bool) {
-    let prefix = PlacementProblem::new(
-        problem.region.clone(),
-        problem.modules[..k].to_vec(),
-    );
+    let prefix = PlacementProblem::new(problem.region.clone(), problem.modules[..k].to_vec());
     if let Some(plan) = bottom_left(&prefix) {
         debug_assert!(verify::verify(&prefix.region, &prefix.modules, &plan).is_empty());
         return (Some(plan), true);
@@ -102,10 +99,8 @@ mod tests {
     #[test]
     fn exact_capacity_boundary() {
         // 8x4 region, 2x4 modules: exactly 4 fit.
-        let problem = PlacementProblem::new(
-            Region::whole(device::homogeneous(8, 4)),
-            modules(6, 2, 4),
-        );
+        let problem =
+            PlacementProblem::new(Region::whole(device::homogeneous(8, 4)), modules(6, 2, 4));
         let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
         assert_eq!(out.placed, 4);
         assert!(out.exact);
@@ -114,20 +109,16 @@ mod tests {
 
     #[test]
     fn all_fit() {
-        let problem = PlacementProblem::new(
-            Region::whole(device::homogeneous(10, 4)),
-            modules(3, 2, 2),
-        );
+        let problem =
+            PlacementProblem::new(Region::whole(device::homogeneous(10, 4)), modules(3, 2, 2));
         let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
         assert_eq!(out.placed, 3);
     }
 
     #[test]
     fn none_fit() {
-        let problem = PlacementProblem::new(
-            Region::whole(device::homogeneous(3, 3)),
-            modules(2, 4, 4),
-        );
+        let problem =
+            PlacementProblem::new(Region::whole(device::homogeneous(3, 3)), modules(2, 4, 4));
         let out = max_feasible_prefix(&problem, &PlacerConfig::exact());
         assert_eq!(out.placed, 0);
         assert!(out.plan.placements.is_empty());

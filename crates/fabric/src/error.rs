@@ -8,7 +8,11 @@ pub enum FabricError {
     /// A string-art character did not name a resource kind.
     UnknownResourceCode(char),
     /// String-art rows had differing lengths.
-    RaggedRows { expected: usize, got: usize, row: usize },
+    RaggedRows {
+        expected: usize,
+        got: usize,
+        row: usize,
+    },
     /// A fabric dimension was zero or exceeded the supported maximum.
     BadDimensions { width: i32, height: i32 },
     /// A region's bounds do not fit inside its fabric.

@@ -185,9 +185,7 @@ impl Fabric {
 
     /// All tile coordinates holding `kind`.
     pub fn tiles_of(&self, kind: ResourceKind) -> impl Iterator<Item = Point> + '_ {
-        self.iter()
-            .filter(move |&(_, k)| k == kind)
-            .map(|(p, _)| p)
+        self.iter().filter(move |&(_, k)| k == kind).map(|(p, _)| p)
     }
 
     /// Number of tiles holding `kind`.

@@ -117,7 +117,9 @@ impl Region {
 
     /// Iterate `(point, effective kind)` over the bounding box.
     pub fn iter(&self) -> impl Iterator<Item = (Point, ResourceKind)> + '_ {
-        self.bounds.tiles().map(move |p| (p, self.kind_at(p.x, p.y)))
+        self.bounds
+            .tiles()
+            .map(move |p| (p, self.kind_at(p.x, p.y)))
     }
 
     /// Count tiles of an effective kind within the bounds.
@@ -278,8 +280,8 @@ mod tests {
 
     #[test]
     fn transposed_region_mirrors_kinds() {
-        let mut r = Region::with_bounds(device::virtex_like(12, 6), Rect::new(1, 1, 10, 4))
-            .unwrap();
+        let mut r =
+            Region::with_bounds(device::virtex_like(12, 6), Rect::new(1, 1, 10, 4)).unwrap();
         r.add_static_mask(Rect::new(5, 1, 3, 2));
         let t = r.transposed();
         for x in 0..12 {

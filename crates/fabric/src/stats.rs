@@ -45,10 +45,7 @@ impl ResourceCensus {
 
     /// Tiles a module could occupy (CLB+BRAM+DSP).
     pub fn placeable(&self) -> usize {
-        ResourceKind::PLACEABLE
-            .iter()
-            .map(|&k| self.get(k))
-            .sum()
+        ResourceKind::PLACEABLE.iter().map(|&k| self.get(k)).sum()
     }
 
     /// Fraction of counted tiles of the given kind (0 if nothing counted).

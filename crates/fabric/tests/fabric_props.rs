@@ -16,17 +16,15 @@ fn kind_strategy() -> impl Strategy<Value = ResourceKind> {
 }
 
 fn fabric_strategy() -> impl Strategy<Value = Fabric> {
-    (1i32..8, 1i32..8)
-        .prop_flat_map(|(w, h)| {
-            proptest::collection::vec(kind_strategy(), (w * h) as usize)
-                .prop_map(move |kinds| {
-                    let mut f = Fabric::filled(w, h, ResourceKind::Clb).unwrap();
-                    for (i, k) in kinds.into_iter().enumerate() {
-                        f.set(i as i32 % w, i as i32 / w, k).unwrap();
-                    }
-                    f
-                })
+    (1i32..8, 1i32..8).prop_flat_map(|(w, h)| {
+        proptest::collection::vec(kind_strategy(), (w * h) as usize).prop_map(move |kinds| {
+            let mut f = Fabric::filled(w, h, ResourceKind::Clb).unwrap();
+            for (i, k) in kinds.into_iter().enumerate() {
+                f.set(i as i32 % w, i as i32 / w, k).unwrap();
+            }
+            f
         })
+    })
 }
 
 proptest! {

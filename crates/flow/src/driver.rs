@@ -36,7 +36,9 @@ impl std::error::Error for FlowError {}
 
 /// Resolve one module entry to concrete design alternatives: either the
 /// explicit shapes, or the netlist packed and laid out by the generator.
-fn resolve_module(entry: &ModuleEntry) -> Result<Module, FlowError> {
+/// Public so services embedding the flow (e.g. `rrf-server`) resolve
+/// modules exactly the way the batch driver does.
+pub fn resolve_module(entry: &ModuleEntry) -> Result<Module, FlowError> {
     let err = |message: String| FlowError::Module {
         name: entry.name.clone(),
         message,
@@ -49,7 +51,7 @@ fn resolve_module(entry: &ModuleEntry) -> Result<Module, FlowError> {
         let demand = rrf_netlist::pack(&netlist, &rrf_netlist::PackRules::default());
         if demand.dsps > 0 {
             return Err(err(
-                "DSP cells are not supported by the layout generator".into(),
+                "DSP cells are not supported by the layout generator".into()
             ));
         }
         if demand.clbs == 0 {

@@ -18,6 +18,6 @@ pub mod io;
 pub mod report;
 pub mod spec;
 
-pub use driver::run;
+pub use driver::{resolve_module, run, FlowError};
 pub use report::{FlowReport, PlacedModuleReport};
 pub use spec::{DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};

@@ -163,9 +163,7 @@ impl PlacerSettings {
     /// Convert to the core placer configuration.
     pub fn to_config(&self) -> rrf_core::PlacerConfig {
         rrf_core::PlacerConfig {
-            time_limit: self
-                .time_limit_ms
-                .map(std::time::Duration::from_millis),
+            time_limit: self.time_limit_ms.map(std::time::Duration::from_millis),
             fail_limit: None,
             warm_start: self.warm_start,
             redundant_cumulative: self.redundant_cumulative,
@@ -175,7 +173,18 @@ impl PlacerSettings {
                 rrf_core::SearchStrategy::Sequential
             },
             heuristic: rrf_core::Heuristic::InputOrderMin,
+            stop: None,
         }
+    }
+
+    /// Like [`PlacerSettings::to_config`], but wired to an external stop
+    /// flag so a caller (e.g. the placement server) can cancel the solve
+    /// from another thread.
+    pub fn to_config_with_stop(
+        &self,
+        stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> rrf_core::PlacerConfig {
+        self.to_config().with_stop(stop)
     }
 }
 
@@ -254,14 +263,8 @@ mod tests {
             ..PlacerSettings::default()
         };
         let c = s.to_config();
-        assert_eq!(
-            c.time_limit,
-            Some(std::time::Duration::from_millis(500))
-        );
-        assert!(matches!(
-            c.strategy,
-            rrf_core::SearchStrategy::Portfolio(4)
-        ));
+        assert_eq!(c.time_limit, Some(std::time::Duration::from_millis(500)));
+        assert!(matches!(c.strategy, rrf_core::SearchStrategy::Portfolio(4)));
         let seq = PlacerSettings::default().to_config();
         assert!(matches!(seq.strategy, rrf_core::SearchStrategy::Sequential));
     }

@@ -255,8 +255,8 @@ impl Propagator for NonOverlap {
 mod tests {
     use super::*;
     use crate::shape::{ShapeDef, ShiftedBox};
-    use rrf_solver::{Domain, Engine};
     use rrf_fabric::ResourceKind;
+    use rrf_solver::{Domain, Engine};
     use std::sync::Arc;
 
     fn rect_shape(w: i32, h: i32) -> Arc<Vec<ShapeDef>> {

@@ -18,7 +18,12 @@ pub struct GeostObject {
 impl GeostObject {
     pub fn new(x: VarId, y: VarId, shape: VarId, shapes: Arc<Vec<ShapeDef>>) -> GeostObject {
         assert!(!shapes.is_empty(), "object with no shapes");
-        GeostObject { x, y, shape, shapes }
+        GeostObject {
+            x,
+            y,
+            shape,
+            shapes,
+        }
     }
 
     /// Shape indices still in the selector's domain.
@@ -96,7 +101,13 @@ mod tests {
         let y = space.new_var(Domain::singleton(0));
         let shape = space.new_var(Domain::interval(0, 2));
         let shapes = Arc::new(vec![
-            ShapeDef::new(vec![ShiftedBox::new(0, 0, 1, 1, ResourceKind::Clb)]);
+            ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                1,
+                1,
+                ResourceKind::Clb
+            )]);
             3
         ]);
         let obj = GeostObject::new(x, y, shape, shapes);

@@ -287,10 +287,8 @@ mod tests {
 
     #[test]
     fn from_tiles_rectangle() {
-        let tiles: Vec<(Point, ResourceKind)> = Rect::new(0, 0, 3, 2)
-            .tiles()
-            .map(|p| (p, clb()))
-            .collect();
+        let tiles: Vec<(Point, ResourceKind)> =
+            Rect::new(0, 0, 3, 2).tiles().map(|p| (p, clb())).collect();
         let s = ShapeDef::from_tiles(&tiles);
         assert_eq!(s.boxes().len(), 1);
         assert_eq!(s.boxes()[0], ShiftedBox::new(0, 0, 3, 2, clb()));

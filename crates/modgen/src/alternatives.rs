@@ -125,8 +125,7 @@ mod tests {
     #[test]
     fn external_alternative_changes_bbox() {
         let shapes = derive_alternatives(&spec(36, 0, 4), &LayoutParams::default(), 4, 6);
-        let heights: std::collections::BTreeSet<i32> =
-            shapes.iter().map(|s| s.height()).collect();
+        let heights: std::collections::BTreeSet<i32> = shapes.iter().map(|s| s.height()).collect();
         assert!(heights.len() >= 2, "external relayout missing: {heights:?}");
     }
 

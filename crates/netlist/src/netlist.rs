@@ -11,7 +11,10 @@ use std::fmt;
 pub enum NetlistError {
     DuplicateCell(String),
     DuplicateNet(String),
-    UnknownCell { net: String, cell: String },
+    UnknownCell {
+        net: String,
+        cell: String,
+    },
     /// A net with fewer than two pins connects nothing.
     DegenerateNet(String),
 }
@@ -48,7 +51,11 @@ impl Netlist {
     }
 
     /// Add a cell; names must be unique.
-    pub fn add_cell(&mut self, name: impl Into<String>, kind: CellKind) -> Result<CellId, NetlistError> {
+    pub fn add_cell(
+        &mut self,
+        name: impl Into<String>,
+        kind: CellKind,
+    ) -> Result<CellId, NetlistError> {
         let name = name.into();
         if self.cell_index.contains_key(&name) {
             return Err(NetlistError::DuplicateCell(name));

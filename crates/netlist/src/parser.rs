@@ -60,7 +60,10 @@ pub fn parse(src: &str) -> Result<Netlist, ParseError> {
                 }
                 netlist
                     .add_cell(name, kind)
-                    .map_err(|error| ParseError::Semantic { line: line_no, error })?;
+                    .map_err(|error| ParseError::Semantic {
+                        line: line_no,
+                        error,
+                    })?;
             }
             Some("net") => {
                 let name = tokens.next().ok_or_else(|| ParseError::Syntax {
@@ -70,7 +73,10 @@ pub fn parse(src: &str) -> Result<Netlist, ParseError> {
                 let pins: Vec<&str> = tokens.collect();
                 netlist
                     .add_net(name, pins.iter().copied())
-                    .map_err(|error| ParseError::Semantic { line: line_no, error })?;
+                    .map_err(|error| ParseError::Semantic {
+                        line: line_no,
+                        error,
+                    })?;
             }
             Some(other) => {
                 return Err(ParseError::Syntax {

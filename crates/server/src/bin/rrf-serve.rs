@@ -1,0 +1,54 @@
+//! `rrf-serve` — run the placement daemon.
+//!
+//! ```text
+//! rrf-serve [--addr HOST:PORT] [--workers N] [--queue N]
+//!           [--deadline-ms MS] [--cache N]
+//! ```
+//!
+//! Speaks newline-delimited JSON (see `rrf_server::protocol`); try it with
+//! `printf '{"type":"ping","id":1}\n' | nc HOST PORT`.
+
+use rrf_server::{start, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+         [--deadline-ms MS] [--cache N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7171".to_string(),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => config.addr = value(),
+            "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue" => config.queue_depth = value().parse().unwrap_or_else(|_| usage()),
+            "--deadline-ms" => {
+                config.default_deadline_ms = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    match start(config) {
+        Ok(handle) => {
+            println!("rrf-serve listening on {}", handle.addr());
+            // Serve until killed; the handle's Drop shuts the daemon down.
+            loop {
+                std::thread::sleep(std::time::Duration::from_secs(3600));
+            }
+        }
+        Err(e) => {
+            eprintln!("rrf-serve: bind failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

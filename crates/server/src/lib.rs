@@ -1,0 +1,38 @@
+//! # rrf-server — a concurrent placement service
+//!
+//! The paper's placer is meant to live inside a runtime reconfigurable
+//! system manager (the ReCoBus-Builder flow, Fig. 2). This crate wraps the
+//! whole stack — CP placer, LNS improver, greedy baseline, online
+//! first-fit, verifier — into a long-running daemon speaking
+//! newline-delimited JSON over TCP:
+//!
+//! * **Deadlines.** Every `place` request has a wall-clock deadline
+//!   (queue wait included), enforced twice: as the solver's time limit
+//!   and as a stop flag tripped by a watchdog thread, so an in-flight
+//!   search aborts mid-branch.
+//! * **Graceful degradation.** The handler walks a ladder — optimal CP
+//!   within the deadline, then LNS over a `bottom_left` greedy seed, then
+//!   the raw seed — and always returns a floorplan that passed
+//!   [`rrf_core::verify`], tagged with the [`protocol::PlaceMethod`] that
+//!   produced it. A tight deadline degrades the answer, never the
+//!   contract.
+//! * **Caching.** Results are cached under a canonical key — shapes and
+//!   modules sorted before hashing — so logically identical requests hit
+//!   regardless of JSON element order ([`cache`]).
+//! * **Online sessions.** A session owns a live region backed by
+//!   [`rrf_core::OnlinePlacer`]: insert, remove, and no-break defrag
+//!   against accumulated fragmentation.
+//! * **Stats.** Counters plus a solve-time histogram ([`stats`]).
+//!
+//! Start a daemon with [`start`]; the `rrf-serve` binary is a thin CLI
+//! over it. The protocol types reuse [`rrf_flow::spec`] and
+//! [`rrf_flow::report`], so a batch job file is a valid `place` payload.
+
+pub mod cache;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use protocol::{PlaceMethod, Request, Response};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use stats::{ServerStats, HISTOGRAM_BOUNDS_MS};

@@ -1,0 +1,213 @@
+//! The daemon's wire protocol: newline-delimited JSON, one request or
+//! response object per line.
+//!
+//! Every request carries a client-chosen `id` echoed in the response, so
+//! clients may correlate replies however they like (the daemon itself
+//! answers each connection's requests in order). The payload types are the
+//! flow's own job/result types ([`rrf_flow::spec`], [`rrf_flow::report`]),
+//! so a job file accepted by the `rrf-flow` batch CLI is exactly the
+//! `spec` of a `place` request.
+
+use rrf_flow::{FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
+use serde::{Deserialize, Serialize};
+
+use crate::stats::ServerStats;
+
+/// A client request. On the wire: `{"type": "place", "id": 1, ...}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Request {
+    /// One-shot placement of a full job spec, subject to a deadline.
+    Place {
+        id: u64,
+        spec: FlowSpec,
+        /// Wall-clock deadline in milliseconds, measured from the moment
+        /// the daemon accepts the request (queue wait counts). `None` =
+        /// the daemon's default.
+        #[serde(default)]
+        deadline_ms: Option<u64>,
+    },
+    /// Open a stateful online session over a live region.
+    OpenSession { id: u64, region: RegionSpec },
+    /// Insert a module into a session (online first fit).
+    Insert {
+        id: u64,
+        session: u64,
+        module: ModuleEntry,
+    },
+    /// Remove a live module from a session.
+    Remove { id: u64, session: u64, slot: u64 },
+    /// Defragment a session's region (no-break repack).
+    Defrag { id: u64, session: u64 },
+    /// Close a session and free its region state.
+    CloseSession { id: u64, session: u64 },
+    /// Fetch the daemon's counters and latency summary.
+    Stats { id: u64 },
+    /// Liveness check.
+    Ping { id: u64 },
+}
+
+impl Request {
+    /// The client-chosen correlation id.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Request::Place { id, .. }
+            | Request::OpenSession { id, .. }
+            | Request::Insert { id, .. }
+            | Request::Remove { id, .. }
+            | Request::Defrag { id, .. }
+            | Request::CloseSession { id, .. }
+            | Request::Stats { id }
+            | Request::Ping { id } => id,
+        }
+    }
+}
+
+/// How a returned floorplan was produced — the degradation ladder's rungs,
+/// best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum PlaceMethod {
+    /// CP search finished and proved optimality within the deadline.
+    Optimal,
+    /// CP search hit the deadline; its best incumbent is returned.
+    CpIncumbent,
+    /// Budget was tight: LNS-improved greedy seed.
+    Lns,
+    /// Budget was exhausted: raw bottom-left greedy floorplan.
+    BottomLeft,
+    /// No floorplan exists (or none was found): `report.feasible` is
+    /// false, and `report.proven` says whether infeasibility was proved.
+    Infeasible,
+}
+
+/// A daemon response. On the wire: `{"type": "placed", "id": 1, ...}`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "type", rename_all = "snake_case")]
+pub enum Response {
+    /// Answer to [`Request::Place`]: always a verified floorplan (or an
+    /// infeasibility report) — deadline pressure degrades the method, not
+    /// the contract.
+    Placed {
+        id: u64,
+        method: PlaceMethod,
+        /// Whether the result came from the placement cache.
+        cache_hit: bool,
+        report: FlowReport,
+        /// Wall-clock latency of this request, queue wait included.
+        elapsed_ms: u64,
+    },
+    SessionOpened {
+        id: u64,
+        session: u64,
+    },
+    /// Answer to [`Request::Insert`]; `slot` is `None` when the region
+    /// cannot currently fit the module (a rejection, not an error).
+    Inserted {
+        id: u64,
+        session: u64,
+        slot: Option<u64>,
+        placement: Option<PlacedModuleReport>,
+        /// Live utilization of the session's region after the operation.
+        utilization: f64,
+    },
+    Removed {
+        id: u64,
+        session: u64,
+        removed: bool,
+        utilization: f64,
+    },
+    Defragged {
+        id: u64,
+        session: u64,
+        /// Modules whose placement changed (0 = repack failed or no-op).
+        moved: u64,
+        utilization: f64,
+    },
+    SessionClosed {
+        id: u64,
+        session: u64,
+        closed: bool,
+    },
+    Stats {
+        id: u64,
+        stats: ServerStats,
+    },
+    Pong {
+        id: u64,
+    },
+    /// The request could not be served: malformed input, unknown session,
+    /// or backpressure (`message` says which).
+    Error {
+        id: u64,
+        message: String,
+    },
+}
+
+impl Response {
+    /// The correlation id echoed from the request.
+    pub fn id(&self) -> u64 {
+        match *self {
+            Response::Placed { id, .. }
+            | Response::SessionOpened { id, .. }
+            | Response::Inserted { id, .. }
+            | Response::Removed { id, .. }
+            | Response::Defragged { id, .. }
+            | Response::SessionClosed { id, .. }
+            | Response::Stats { id, .. }
+            | Response::Pong { id }
+            | Response::Error { id, .. } => id,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_flow::DeviceSpec;
+
+    #[test]
+    fn request_wire_format_is_internally_tagged() {
+        let req = Request::Stats { id: 7 };
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(json, r#"{"type":"stats","id":7}"#);
+        let back: Request = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, req);
+    }
+
+    #[test]
+    fn place_request_roundtrips_with_default_deadline() {
+        let json = r#"{"type":"place","id":3,"spec":{"region":{"device":
+            {"kind":"homogeneous","width":8,"height":4}},"modules":[]}}"#
+            .replace('\n', "");
+        let req: Request = serde_json::from_str(&json).unwrap();
+        match &req {
+            Request::Place {
+                id,
+                spec,
+                deadline_ms,
+            } => {
+                assert_eq!(*id, 3);
+                assert_eq!(*deadline_ms, None);
+                assert!(matches!(
+                    spec.region.device,
+                    DeviceSpec::Homogeneous {
+                        width: 8,
+                        height: 4
+                    }
+                ));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn method_serializes_as_snake_case_string() {
+        assert_eq!(
+            serde_json::to_string(&PlaceMethod::BottomLeft).unwrap(),
+            r#""bottom_left""#
+        );
+        let m: PlaceMethod = serde_json::from_str(r#""cp_incumbent""#).unwrap();
+        assert_eq!(m, PlaceMethod::CpIncumbent);
+    }
+}

@@ -1,0 +1,653 @@
+//! The daemon: TCP listener, bounded queue, worker pool, deadline
+//! watchdog, and the request handlers.
+//!
+//! Threading model: one reader thread per connection parses NDJSON lines
+//! and submits each request to a bounded MPMC queue (`try_send`, so a
+//! full queue turns into an immediate backpressure error instead of an
+//! unbounded backlog), then waits for that request's response and writes
+//! it back — connections are served in order, parallelism comes from
+//! serving many connections over `workers` pool threads. A watchdog
+//! thread turns wall-clock deadlines into solver stop-flag trips, so an
+//! in-flight search aborts mid-branch instead of overshooting; shutdown
+//! trips every registered flag the same way.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
+use parking_lot::Mutex;
+use rrf_core::{
+    baseline, cp, lns_improve_with_stop, metrics, verify, Floorplan, LnsConfig, OnlinePlacer,
+    PlacementProblem, SolveStats,
+};
+use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
+
+use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
+use crate::protocol::{PlaceMethod, Request, Response};
+use crate::stats::ServerStats;
+
+/// Below this remaining budget the CP attempt is skipped entirely and the
+/// ladder starts at the greedy seed.
+const TIGHT_BUDGET: Duration = Duration::from_millis(200);
+/// Minimum remaining budget worth spending on LNS over the greedy seed.
+const LNS_WORTHWHILE: Duration = Duration::from_millis(20);
+/// Poll interval of the connection reader loops and the watchdog.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Bounded request-queue depth; a full queue rejects with an error.
+    pub queue_depth: usize,
+    /// Deadline applied to `place` requests that do not carry their own.
+    pub default_deadline_ms: u64,
+    /// Placement-cache capacity (entries).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            default_deadline_ms: 10_000,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// A deadline paired with the stop flag to trip when it passes.
+type DeadlineEntry = (Instant, Arc<AtomicBool>);
+
+/// Deadline → stop-flag bridge shared by workers and the watchdog thread.
+#[derive(Clone, Default)]
+struct Watchdog {
+    entries: Arc<Mutex<Vec<DeadlineEntry>>>,
+}
+
+impl Watchdog {
+    fn register(&self, deadline: Instant, flag: Arc<AtomicBool>) {
+        self.entries.lock().push((deadline, flag));
+    }
+
+    /// Trip expired flags, drop finished entries (their solve released the
+    /// only other handle).
+    fn tick(&self) {
+        let now = Instant::now();
+        self.entries.lock().retain(|(deadline, flag)| {
+            if now >= *deadline {
+                flag.store(true, Ordering::Relaxed);
+                return false;
+            }
+            Arc::strong_count(flag) > 1
+        });
+    }
+
+    /// Trip everything (shutdown): in-flight solves abort promptly.
+    fn fire_all(&self) {
+        for (_, flag) in self.entries.lock().drain(..) {
+            flag.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One stateful online session.
+struct Session {
+    placer: OnlinePlacer,
+    /// Resolved module per live slot, for reporting names.
+    names: HashMap<u64, String>,
+}
+
+/// State shared by every worker and connection thread.
+struct Shared {
+    config: ServerConfig,
+    stats: Mutex<ServerStats>,
+    cache: Mutex<PlacementCache>,
+    sessions: Mutex<HashMap<u64, Session>>,
+    next_session: AtomicU64,
+    watchdog: Watchdog,
+    shutdown: AtomicBool,
+}
+
+/// One queued request and the channel its response goes back on.
+struct Job {
+    request: Request,
+    accepted_at: Instant,
+    reply: Sender<Response>,
+}
+
+/// A running daemon; dropping the handle shuts it down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the daemon: trip all in-flight stop flags, stop accepting,
+    /// join every thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.watchdog.fire_all();
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Bind and start the daemon.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let cache_capacity = config.cache_capacity;
+    let shared = Arc::new(Shared {
+        config,
+        stats: Mutex::new(ServerStats::default()),
+        cache: Mutex::new(PlacementCache::new(cache_capacity)),
+        sessions: Mutex::new(HashMap::new()),
+        next_session: AtomicU64::new(1),
+        watchdog: Watchdog::default(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let (jobs_tx, jobs_rx) = channel::bounded::<Job>(shared.config.queue_depth.max(1));
+    let mut threads = Vec::new();
+
+    for _ in 0..shared.config.workers.max(1) {
+        let shared = Arc::clone(&shared);
+        let rx = jobs_rx.clone();
+        threads.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+    }
+    drop(jobs_rx);
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            while !shared.shutdown.load(Ordering::SeqCst) {
+                shared.watchdog.tick();
+                std::thread::sleep(POLL);
+            }
+            shared.watchdog.fire_all();
+        }));
+    }
+
+    {
+        let shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&listener, &shared, &jobs_tx)
+        }));
+    }
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        threads,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) {
+    // Connection threads are detached: they exit on client disconnect or
+    // on the shutdown flag (their reads time out every POLL interval).
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let shared = Arc::clone(shared);
+                let jobs_tx = jobs_tx.clone();
+                std::thread::spawn(move || {
+                    let _ = serve_connection(stream, &shared, &jobs_tx);
+                });
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => break,
+        }
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Arc<Shared>,
+    jobs_tx: &Sender<Job>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL))?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => return Ok(()), // client closed
+            Ok(_) => {
+                let response = dispatch(line.trim(), shared, jobs_tx);
+                line.clear();
+                if let Some(response) = response {
+                    let mut out = serde_json::to_string(&response)
+                        .expect("protocol types serialize infallibly");
+                    out.push('\n');
+                    writer.write_all(out.as_bytes())?;
+                }
+            }
+            // Timeout mid-wait: partial bytes (if any) stay in `line`
+            // (read_line appends what it read before the error).
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parse one request line, run it through the queue, return its response
+/// (`None` for blank lines).
+fn dispatch(line: &str, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) -> Option<Response> {
+    if line.is_empty() {
+        return None;
+    }
+    shared.stats.lock().requests += 1;
+    let request = match serde_json::from_str::<Request>(line) {
+        Ok(request) => request,
+        Err(e) => {
+            shared.stats.lock().protocol_errors += 1;
+            return Some(Response::Error {
+                id: 0,
+                message: format!("unparseable request: {e}"),
+            });
+        }
+    };
+    let id = request.id();
+    let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
+    let job = Job {
+        request,
+        accepted_at: Instant::now(),
+        reply: reply_tx,
+    };
+    match jobs_tx.try_send(job) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.stats.lock().rejected_backpressure += 1;
+            return Some(Response::Error {
+                id,
+                message: "server overloaded: request queue full".to_string(),
+            });
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            return Some(Response::Error {
+                id,
+                message: "server shutting down".to_string(),
+            });
+        }
+    }
+    match reply_rx.recv() {
+        Ok(response) => Some(response),
+        Err(_) => Some(Response::Error {
+            id,
+            message: "server shutting down".to_string(),
+        }),
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>) {
+    loop {
+        match jobs.recv_timeout(POLL) {
+            Ok(job) => {
+                let response = handle(shared, &job);
+                let _ = job.reply.send(response);
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
+    match &job.request {
+        Request::Place {
+            id,
+            spec,
+            deadline_ms,
+        } => handle_place(shared, *id, spec, *deadline_ms, job.accepted_at),
+        Request::OpenSession { id, region } => handle_open_session(shared, *id, region),
+        Request::Insert {
+            id,
+            session,
+            module,
+        } => handle_insert(shared, *id, *session, module),
+        Request::Remove { id, session, slot } => with_session(shared, *id, *session, |s| {
+            let removed = s.placer.remove(*slot);
+            if removed {
+                s.names.remove(slot);
+                shared.stats.lock().online_removals += 1;
+            }
+            Response::Removed {
+                id: *id,
+                session: *session,
+                removed,
+                utilization: s.placer.utilization(),
+            }
+        }),
+        Request::Defrag { id, session } => with_session(shared, *id, *session, |s| {
+            let moved = s.placer.defrag() as u64;
+            shared.stats.lock().online_defrags += 1;
+            Response::Defragged {
+                id: *id,
+                session: *session,
+                moved,
+                utilization: s.placer.utilization(),
+            }
+        }),
+        Request::CloseSession { id, session } => {
+            let closed = shared.sessions.lock().remove(session).is_some();
+            if closed {
+                shared.stats.lock().sessions_closed += 1;
+            }
+            Response::SessionClosed {
+                id: *id,
+                session: *session,
+                closed,
+            }
+        }
+        Request::Stats { id } => Response::Stats {
+            id: *id,
+            stats: shared.stats.lock().clone(),
+        },
+        Request::Ping { id } => Response::Pong { id: *id },
+    }
+}
+
+fn with_session(
+    shared: &Arc<Shared>,
+    id: u64,
+    session: u64,
+    f: impl FnOnce(&mut Session) -> Response,
+) -> Response {
+    let mut sessions = shared.sessions.lock();
+    match sessions.get_mut(&session) {
+        Some(s) => f(s),
+        None => Response::Error {
+            id,
+            message: format!("unknown session {session}"),
+        },
+    }
+}
+
+fn handle_open_session(shared: &Arc<Shared>, id: u64, region: &RegionSpec) -> Response {
+    let region = match region.build() {
+        Ok(region) => region,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: format!("region spec error: {e}"),
+            }
+        }
+    };
+    let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
+    shared.sessions.lock().insert(
+        session,
+        Session {
+            placer: OnlinePlacer::new(region),
+            names: HashMap::new(),
+        },
+    );
+    shared.stats.lock().sessions_opened += 1;
+    Response::SessionOpened { id, session }
+}
+
+fn handle_insert(shared: &Arc<Shared>, id: u64, session: u64, entry: &ModuleEntry) -> Response {
+    let module = match resolve_module(entry) {
+        Ok(module) => module,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: e.to_string(),
+            }
+        }
+    };
+    with_session(shared, id, session, |s| {
+        let slot = s.placer.try_insert(&module);
+        {
+            let mut stats = shared.stats.lock();
+            stats.online_inserts += 1;
+            match slot {
+                Some(_) => stats.online_accepted += 1,
+                None => stats.online_rejected += 1,
+            }
+        }
+        let placement = slot.and_then(|slot| {
+            s.names.insert(slot, entry.name.clone());
+            s.placer.placement_of(slot).map(|p| PlacedModuleReport {
+                name: entry.name.clone(),
+                shape: p.shape,
+                x: p.x,
+                y: p.y,
+            })
+        });
+        Response::Inserted {
+            id,
+            session,
+            slot,
+            placement,
+            utilization: s.placer.utilization(),
+        }
+    })
+}
+
+/// The degradation ladder (see the crate docs): optimal CP within the
+/// deadline → LNS over a greedy seed → raw greedy — always returning a
+/// verified floorplan when one exists.
+fn handle_place(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &FlowSpec,
+    deadline_ms: Option<u64>,
+    accepted_at: Instant,
+) -> Response {
+    shared.stats.lock().place_requests += 1;
+    let deadline = accepted_at
+        + Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
+    let (canonical, map) = canonicalize(spec);
+    let key = cache_key(&canonical);
+
+    if let Some(entry) = shared.cache.lock().get(&key) {
+        shared.stats.lock().cache_hits += 1;
+        return Response::Placed {
+            id,
+            method: entry.method,
+            cache_hit: true,
+            report: remap_report(&entry.report, &map),
+            elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+        };
+    }
+    shared.stats.lock().cache_misses += 1;
+
+    let region = match canonical.region.build() {
+        Ok(region) => region,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: format!("region spec error: {e}"),
+            }
+        }
+    };
+    let modules: Result<Vec<_>, _> = canonical.modules.iter().map(resolve_module).collect();
+    let modules = match modules {
+        Ok(modules) => modules,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: e.to_string(),
+            }
+        }
+    };
+    let problem = PlacementProblem::new(region, modules);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    shared.watchdog.register(deadline, Arc::clone(&stop));
+    let solve_started = Instant::now();
+    let remaining = deadline.saturating_duration_since(solve_started);
+
+    // Rung 1: the CP placer, unless the budget is already tight.
+    let mut picked: Option<(Floorplan, PlaceMethod, bool, SolveStats)> = None;
+    let mut proven_infeasible = false;
+    if remaining >= TIGHT_BUDGET {
+        let mut config = canonical.placer.to_config_with_stop(Arc::clone(&stop));
+        config.time_limit = Some(match config.time_limit {
+            Some(limit) => limit.min(remaining),
+            None => remaining,
+        });
+        let outcome = cp::place(&problem, &config);
+        if let Some(plan) = outcome.plan {
+            let method = if outcome.proven {
+                PlaceMethod::Optimal
+            } else {
+                PlaceMethod::CpIncumbent
+            };
+            picked = Some((plan, method, outcome.proven, outcome.stats));
+        } else {
+            proven_infeasible = outcome.proven;
+        }
+    }
+
+    // Rungs 2 and 3: greedy seed, LNS-polished if time remains.
+    if picked.is_none() && !proven_infeasible {
+        if let Some(seed) = baseline::bottom_left(&problem) {
+            let rest = deadline.saturating_duration_since(Instant::now());
+            if rest >= LNS_WORTHWHILE {
+                let improved = lns_improve_with_stop(
+                    &problem,
+                    seed,
+                    &LnsConfig {
+                        time_limit: rest,
+                        ..LnsConfig::default()
+                    },
+                    Some(Arc::clone(&stop)),
+                );
+                picked = Some((
+                    improved.plan,
+                    PlaceMethod::Lns,
+                    false,
+                    SolveStats::default(),
+                ));
+            } else {
+                picked = Some((seed, PlaceMethod::BottomLeft, false, SolveStats::default()));
+            }
+        }
+    }
+
+    let solve_ms = solve_started.elapsed().as_millis() as u64;
+    shared.stats.lock().record_solve_ms(solve_ms);
+
+    let Some((plan, method, proven, mut solve_stats)) = picked else {
+        shared.stats.lock().infeasible += 1;
+        let report = FlowReport {
+            feasible: false,
+            proven: proven_infeasible,
+            extent: None,
+            placements: vec![],
+            metrics: None,
+            stats: SolveStats::default(),
+            floorplan: None,
+        };
+        shared.cache.lock().insert(
+            key,
+            CacheEntry {
+                method: PlaceMethod::Infeasible,
+                report: report.clone(),
+            },
+        );
+        return Response::Placed {
+            id,
+            method: PlaceMethod::Infeasible,
+            cache_hit: false,
+            report,
+            elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+        };
+    };
+
+    // The contract: every returned floorplan is independently verified.
+    let violations = verify::verify(&problem.region, &problem.modules, &plan);
+    if !violations.is_empty() {
+        return Response::Error {
+            id,
+            message: format!("placer produced {} constraint violations", violations.len()),
+        };
+    }
+
+    solve_stats.duration = solve_started.elapsed();
+    let placements = plan
+        .placements
+        .iter()
+        .map(|p| PlacedModuleReport {
+            name: problem.modules[p.module].name.clone(),
+            shape: p.shape,
+            x: p.x,
+            y: p.y,
+        })
+        .collect();
+    let extent = plan.x_extent(&problem.modules, problem.region.bounds().x) as i64;
+    let report = FlowReport {
+        feasible: true,
+        proven,
+        extent: Some(extent),
+        placements,
+        metrics: Some(metrics(&problem.region, &problem.modules, &plan)),
+        stats: solve_stats,
+        floorplan: Some(plan),
+    };
+
+    {
+        let mut stats = shared.stats.lock();
+        match method {
+            PlaceMethod::Optimal => stats.placed_optimal += 1,
+            PlaceMethod::CpIncumbent => stats.placed_cp_incumbent += 1,
+            PlaceMethod::Lns => stats.placed_lns += 1,
+            PlaceMethod::BottomLeft => stats.placed_bottom_left += 1,
+            PlaceMethod::Infeasible => unreachable!("picked implies a floorplan"),
+        }
+    }
+    shared.cache.lock().insert(
+        key,
+        CacheEntry {
+            method,
+            report: report.clone(),
+        },
+    );
+    Response::Placed {
+        id,
+        method,
+        cache_hit: false,
+        report: remap_report(&report, &map),
+        elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+    }
+}

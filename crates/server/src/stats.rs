@@ -1,0 +1,134 @@
+//! Daemon counters and the solve-time histogram, snapshotted by the
+//! `stats` request.
+
+use serde::{Deserialize, Serialize};
+
+/// Upper bucket bounds (exclusive) of the solve-time histogram, in
+/// milliseconds; a final unbounded bucket catches everything slower, so
+/// the histogram has `HISTOGRAM_BOUNDS_MS.len() + 1` buckets.
+pub const HISTOGRAM_BOUNDS_MS: [u64; 8] = [1, 3, 10, 30, 100, 300, 1000, 3000];
+
+/// Counters over the daemon's lifetime. Invariants the daemon maintains
+/// (and the end-to-end tests assert):
+///
+/// * `place_requests == cache_hits + cache_misses`;
+/// * `placed_optimal + placed_cp_incumbent + placed_lns +
+///   placed_bottom_left + infeasible <= cache_misses` (spec errors make
+///   up the difference);
+/// * `online_inserts == online_accepted + online_rejected`;
+/// * the histogram counts one entry per cache-missing place request that
+///   reached the solver.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Every request line received, parseable or not.
+    pub requests: u64,
+    pub place_requests: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    /// Proven-optimal placements within deadline.
+    pub placed_optimal: u64,
+    /// CP incumbents returned at the deadline (degraded).
+    pub placed_cp_incumbent: u64,
+    /// LNS-over-greedy fallbacks (degraded).
+    pub placed_lns: u64,
+    /// Raw greedy fallbacks (most degraded).
+    pub placed_bottom_left: u64,
+    /// Place requests with no floorplan (proven or budget-exhausted).
+    pub infeasible: u64,
+    /// Requests refused because the bounded queue was full.
+    pub rejected_backpressure: u64,
+    /// Unparseable request lines.
+    pub protocol_errors: u64,
+    pub sessions_opened: u64,
+    pub sessions_closed: u64,
+    pub online_inserts: u64,
+    pub online_accepted: u64,
+    pub online_rejected: u64,
+    pub online_removals: u64,
+    pub online_defrags: u64,
+    /// Solve-time histogram: bucket `i` counts solves faster than
+    /// [`HISTOGRAM_BOUNDS_MS`]`[i]` ms (and at least the previous bound);
+    /// the last bucket is unbounded.
+    pub solve_ms_histogram: Vec<u64>,
+}
+
+impl Default for ServerStats {
+    fn default() -> ServerStats {
+        ServerStats {
+            requests: 0,
+            place_requests: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            placed_optimal: 0,
+            placed_cp_incumbent: 0,
+            placed_lns: 0,
+            placed_bottom_left: 0,
+            infeasible: 0,
+            rejected_backpressure: 0,
+            protocol_errors: 0,
+            sessions_opened: 0,
+            sessions_closed: 0,
+            online_inserts: 0,
+            online_accepted: 0,
+            online_rejected: 0,
+            online_removals: 0,
+            online_defrags: 0,
+            solve_ms_histogram: vec![0; HISTOGRAM_BOUNDS_MS.len() + 1],
+        }
+    }
+}
+
+impl ServerStats {
+    /// Count one solve of the given duration into the histogram.
+    pub fn record_solve_ms(&mut self, ms: u64) {
+        let bucket = HISTOGRAM_BOUNDS_MS
+            .iter()
+            .position(|&bound| ms < bound)
+            .unwrap_or(HISTOGRAM_BOUNDS_MS.len());
+        self.solve_ms_histogram[bucket] += 1;
+    }
+
+    /// Degraded placements: everything below the top rung of the ladder.
+    pub fn fallbacks(&self) -> u64 {
+        self.placed_cp_incumbent + self.placed_lns + self.placed_bottom_left
+    }
+
+    /// Total solves recorded in the histogram.
+    pub fn solves(&self) -> u64 {
+        self.solve_ms_histogram.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bucketing() {
+        let mut s = ServerStats::default();
+        s.record_solve_ms(0);
+        s.record_solve_ms(2);
+        s.record_solve_ms(2999);
+        s.record_solve_ms(3000);
+        s.record_solve_ms(u64::MAX);
+        assert_eq!(s.solve_ms_histogram[0], 1);
+        assert_eq!(s.solve_ms_histogram[1], 1);
+        assert_eq!(s.solve_ms_histogram[7], 1);
+        assert_eq!(s.solve_ms_histogram[8], 2);
+        assert_eq!(s.solves(), 5);
+    }
+
+    #[test]
+    fn stats_json_roundtrip() {
+        let mut s = ServerStats {
+            requests: 10,
+            placed_lns: 2,
+            ..ServerStats::default()
+        };
+        s.record_solve_ms(50);
+        let json = serde_json::to_string(&s).unwrap();
+        let back: ServerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.fallbacks(), 2);
+    }
+}

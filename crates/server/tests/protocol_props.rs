@@ -1,0 +1,434 @@
+//! Property tests: every protocol type survives a JSON round trip.
+//!
+//! `Request` and its payloads have `PartialEq`, so those compare
+//! structurally; `Response` embeds solver statistics and float metrics
+//! without `PartialEq`, so those compare at the JSON level —
+//! `to_string(parse(to_string(x))) == to_string(x)`, which also pins the
+//! wire format itself as the equivalence.
+
+use proptest::prelude::*;
+use rrf_core::{Floorplan, PlacedModule, PlacementMetrics, SolveStats};
+use rrf_fabric::{Rect, ResourceKind};
+use rrf_flow::{
+    DeviceSpec, FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, PlacerSettings, RegionSpec,
+};
+use rrf_geost::{ShapeDef, ShiftedBox};
+use rrf_server::{PlaceMethod, Request, Response, ServerStats};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+fn json_roundtrip<T: Serialize + Deserialize>(value: &T) -> Result<String, TestCaseError> {
+    let json =
+        serde_json::to_string(value).map_err(|e| TestCaseError::Fail(format!("serialize: {e}")))?;
+    let back: T = serde_json::from_str(&json)
+        .map_err(|e| TestCaseError::Fail(format!("parse back {json}: {e}")))?;
+    let json2 = serde_json::to_string(&back)
+        .map_err(|e| TestCaseError::Fail(format!("re-serialize: {e}")))?;
+    prop_assert_eq!(&json, &json2);
+    Ok(json)
+}
+
+fn name_strat() -> BoxedStrategy<String> {
+    proptest::collection::vec(0u8..26, 1..8)
+        .prop_map(|letters| letters.into_iter().map(|c| (b'a' + c) as char).collect())
+        .boxed()
+}
+
+fn kind_strat() -> BoxedStrategy<ResourceKind> {
+    prop_oneof![
+        Just(ResourceKind::Clb),
+        Just(ResourceKind::Bram),
+        Just(ResourceKind::Dsp),
+    ]
+    .boxed()
+}
+
+fn shape_strat() -> BoxedStrategy<ShapeDef> {
+    // Boxes are spread along x so they never overlap (ShapeDef::new
+    // rejects internal overlap).
+    proptest::collection::vec((1i32..5, 1i32..5, kind_strat()), 1..3)
+        .prop_map(|boxes| {
+            ShapeDef::new(
+                boxes
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (w, h, kind))| ShiftedBox::new(i as i32 * 8, 0, w, h, kind))
+                    .collect(),
+            )
+        })
+        .boxed()
+}
+
+fn rect_strat() -> BoxedStrategy<Rect> {
+    (0i32..10, 0i32..10, 0i32..6, 0i32..6)
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+        .boxed()
+}
+
+fn device_strat() -> BoxedStrategy<DeviceSpec> {
+    prop_oneof![
+        (1i32..40, 1i32..12).prop_map(|(width, height)| DeviceSpec::Homogeneous { width, height }),
+        (4i32..40, 2i32..10, 2i32..8, 0i32..4).prop_map(
+            |(width, height, bram_period, bram_offset)| DeviceSpec::Columns {
+                width,
+                height,
+                bram_period,
+                bram_offset,
+                dsp_period: 0,
+                dsp_offset: 0,
+                io_ring: 0,
+                center_clock: false,
+            }
+        ),
+        (1i32..20, 1i32..8, 0u64..1000).prop_map(|(width, height, seed)| {
+            DeviceSpec::Irregular {
+                width,
+                height,
+                seed,
+            }
+        }),
+        name_strat().prop_map(|art| DeviceSpec::Art { art }),
+    ]
+    .boxed()
+}
+
+fn region_strat() -> BoxedStrategy<RegionSpec> {
+    (
+        device_strat(),
+        prop_oneof![Just(None), rect_strat().prop_map(Some)],
+        proptest::collection::vec(rect_strat(), 0..3),
+    )
+        .prop_map(|(device, bounds, static_masks)| RegionSpec {
+            device,
+            bounds,
+            static_masks,
+        })
+        .boxed()
+}
+
+fn module_entry_strat() -> BoxedStrategy<ModuleEntry> {
+    (name_strat(), proptest::collection::vec(shape_strat(), 1..4))
+        .prop_map(|(name, shapes)| ModuleEntry {
+            name,
+            shapes,
+            netlist: None,
+        })
+        .boxed()
+}
+
+fn settings_strat() -> BoxedStrategy<PlacerSettings> {
+    (
+        prop_oneof![Just(None), (1u64..100_000).prop_map(Some)],
+        prop_oneof![Just(false), Just(true)],
+        prop_oneof![Just(false), Just(true)],
+        0usize..5,
+    )
+        .prop_map(
+            |(time_limit_ms, warm_start, redundant_cumulative, workers)| PlacerSettings {
+                time_limit_ms,
+                warm_start,
+                redundant_cumulative,
+                workers,
+            },
+        )
+        .boxed()
+}
+
+fn spec_strat() -> BoxedStrategy<FlowSpec> {
+    (
+        region_strat(),
+        proptest::collection::vec(module_entry_strat(), 0..4),
+        settings_strat(),
+    )
+        .prop_map(|(region, modules, placer)| FlowSpec {
+            region,
+            modules,
+            placer,
+        })
+        .boxed()
+}
+
+fn request_strat() -> BoxedStrategy<Request> {
+    let id = || 0u64..1000;
+    prop_oneof![
+        (
+            id(),
+            spec_strat(),
+            prop_oneof![Just(None), (0u64..60_000).prop_map(Some)]
+        )
+            .prop_map(|(id, spec, deadline_ms)| Request::Place {
+                id,
+                spec,
+                deadline_ms
+            }),
+        (id(), region_strat()).prop_map(|(id, region)| Request::OpenSession { id, region }),
+        (id(), id(), module_entry_strat()).prop_map(|(id, session, module)| Request::Insert {
+            id,
+            session,
+            module
+        }),
+        (id(), id(), id()).prop_map(|(id, session, slot)| Request::Remove { id, session, slot }),
+        (id(), id()).prop_map(|(id, session)| Request::Defrag { id, session }),
+        (id(), id()).prop_map(|(id, session)| Request::CloseSession { id, session }),
+        id().prop_map(|id| Request::Stats { id }),
+        id().prop_map(|id| Request::Ping { id }),
+    ]
+    .boxed()
+}
+
+fn duration_strat() -> BoxedStrategy<Duration> {
+    (0u64..120, 0u32..1_000_000_000)
+        .prop_map(|(secs, nanos)| Duration::new(secs, nanos))
+        .boxed()
+}
+
+fn solve_stats_strat() -> BoxedStrategy<SolveStats> {
+    (
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..100),
+        0usize..10_000,
+        duration_strat(),
+        duration_strat(),
+    )
+        .prop_map(
+            |((nodes, failures, propagations, solutions), table_rows, duration, time_to_best)| {
+                SolveStats {
+                    nodes,
+                    failures,
+                    propagations,
+                    solutions,
+                    table_rows,
+                    duration,
+                    time_to_best,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn metrics_strat() -> BoxedStrategy<PlacementMetrics> {
+    (
+        (0i64..1000, 0i64..1000, 0i32..100),
+        0.0..1.0f64,
+        (0i64..1000, 0i64..100),
+    )
+        .prop_map(
+            |((occupied_tiles, window_placeable_tiles, extent_cols), utilization, (clb, bram))| {
+                PlacementMetrics {
+                    occupied_tiles,
+                    window_placeable_tiles,
+                    extent_cols,
+                    utilization,
+                    fragmentation: 1.0 - utilization,
+                    clb_tiles: clb,
+                    bram_tiles: bram,
+                }
+            },
+        )
+        .boxed()
+}
+
+fn placed_report_strat() -> BoxedStrategy<PlacedModuleReport> {
+    (name_strat(), 0usize..4, 0i32..40, 0i32..16)
+        .prop_map(|(name, shape, x, y)| PlacedModuleReport { name, shape, x, y })
+        .boxed()
+}
+
+fn floorplan_strat() -> BoxedStrategy<Floorplan> {
+    proptest::collection::vec((0usize..8, 0usize..4, 0i32..40, 0i32..16), 0..6)
+        .prop_map(|placements| {
+            Floorplan::new(
+                placements
+                    .into_iter()
+                    .map(|(module, shape, x, y)| PlacedModule {
+                        module,
+                        shape,
+                        x,
+                        y,
+                    })
+                    .collect(),
+            )
+        })
+        .boxed()
+}
+
+fn report_strat() -> BoxedStrategy<FlowReport> {
+    (
+        (
+            prop_oneof![Just(false), Just(true)],
+            prop_oneof![Just(false), Just(true)],
+            prop_oneof![Just(None), (0i64..1000).prop_map(Some)],
+        ),
+        proptest::collection::vec(placed_report_strat(), 0..4),
+        prop_oneof![Just(None), metrics_strat().prop_map(Some)],
+        solve_stats_strat(),
+        prop_oneof![Just(None), floorplan_strat().prop_map(Some)],
+    )
+        .prop_map(
+            |((feasible, proven, extent), placements, metrics, stats, floorplan)| FlowReport {
+                feasible,
+                proven,
+                extent,
+                placements,
+                metrics,
+                stats,
+                floorplan,
+            },
+        )
+        .boxed()
+}
+
+fn method_strat() -> BoxedStrategy<PlaceMethod> {
+    prop_oneof![
+        Just(PlaceMethod::Optimal),
+        Just(PlaceMethod::CpIncumbent),
+        Just(PlaceMethod::Lns),
+        Just(PlaceMethod::BottomLeft),
+        Just(PlaceMethod::Infeasible),
+    ]
+    .boxed()
+}
+
+fn server_stats_strat() -> BoxedStrategy<ServerStats> {
+    (
+        (0u64..100, 0u64..100, 0u64..100, 0u64..100),
+        (0u64..100, 0u64..100, 0u64..100, 0u64..100),
+        proptest::collection::vec(0u64..50, 9..10),
+    )
+        .prop_map(
+            |(
+                (requests, place_requests, cache_hits, cache_misses),
+                (placed_optimal, placed_lns, rejected_backpressure, online_inserts),
+                solve_ms_histogram,
+            )| {
+                ServerStats {
+                    requests,
+                    place_requests,
+                    cache_hits,
+                    cache_misses,
+                    placed_optimal,
+                    placed_lns,
+                    rejected_backpressure,
+                    online_inserts,
+                    solve_ms_histogram,
+                    ..ServerStats::default()
+                }
+            },
+        )
+        .boxed()
+}
+
+fn response_strat() -> BoxedStrategy<Response> {
+    let id = || 0u64..1000;
+    let util = || 0.0..1.0f64;
+    prop_oneof![
+        (
+            id(),
+            method_strat(),
+            prop_oneof![Just(false), Just(true)],
+            report_strat(),
+            0u64..10_000
+        )
+            .prop_map(|(id, method, cache_hit, report, elapsed_ms)| {
+                Response::Placed {
+                    id,
+                    method,
+                    cache_hit,
+                    report,
+                    elapsed_ms,
+                }
+            }),
+        (id(), id()).prop_map(|(id, session)| Response::SessionOpened { id, session }),
+        (
+            id(),
+            id(),
+            prop_oneof![Just(None), id().prop_map(Some)],
+            prop_oneof![Just(None), placed_report_strat().prop_map(Some)],
+            util()
+        )
+            .prop_map(|(id, session, slot, placement, utilization)| {
+                Response::Inserted {
+                    id,
+                    session,
+                    slot,
+                    placement,
+                    utilization,
+                }
+            }),
+        (id(), id(), prop_oneof![Just(false), Just(true)], util()).prop_map(
+            |(id, session, removed, utilization)| Response::Removed {
+                id,
+                session,
+                removed,
+                utilization
+            }
+        ),
+        (id(), id(), 0u64..20, util()).prop_map(|(id, session, moved, utilization)| {
+            Response::Defragged {
+                id,
+                session,
+                moved,
+                utilization,
+            }
+        }),
+        (id(), id(), prop_oneof![Just(false), Just(true)]).prop_map(|(id, session, closed)| {
+            Response::SessionClosed {
+                id,
+                session,
+                closed,
+            }
+        }),
+        (id(), server_stats_strat()).prop_map(|(id, stats)| Response::Stats { id, stats }),
+        id().prop_map(|id| Response::Pong { id }),
+        (id(), name_strat()).prop_map(|(id, message)| Response::Error { id, message }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #[test]
+    fn request_roundtrips(request in request_strat()) {
+        let json = json_roundtrip(&request)?;
+        let back: Request = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+        prop_assert_eq!(back, request);
+    }
+
+    #[test]
+    fn response_roundtrips(response in response_strat()) {
+        json_roundtrip(&response)?;
+    }
+
+    #[test]
+    fn spec_roundtrips_structurally(spec in spec_strat()) {
+        let json = json_roundtrip(&spec)?;
+        let back: FlowSpec = serde_json::from_str(&json)
+            .map_err(|e| TestCaseError::Fail(format!("parse: {e}")))?;
+        prop_assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn canonical_cache_key_is_order_invariant(
+        spec in spec_strat(),
+        seed in 0u64..1000,
+    ) {
+        // Shuffle modules and each module's shape list with a cheap LCG;
+        // the canonical cache key must not move.
+        let mut shuffled = spec.clone();
+        let mut state = seed.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let mut next = move |n: usize| {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            (state >> 33) as usize % n.max(1)
+        };
+        for entry in &mut shuffled.modules {
+            for i in (1..entry.shapes.len()).rev() {
+                entry.shapes.swap(i, next(i + 1));
+            }
+        }
+        for i in (1..shuffled.modules.len()).rev() {
+            shuffled.modules.swap(i, next(i + 1));
+        }
+        let key_a = rrf_server::cache::cache_key(&rrf_server::cache::canonicalize(&spec).0);
+        let key_b = rrf_server::cache::cache_key(&rrf_server::cache::canonicalize(&shuffled).0);
+        prop_assert_eq!(key_a, key_b);
+    }
+}

@@ -58,9 +58,8 @@ impl AllDifferent {
                     continue;
                 }
                 let width = (hi - lo + 1) as usize;
-                let inside: Vec<usize> = (0..n)
-                    .filter(|&k| mins[k] >= lo && maxs[k] <= hi)
-                    .collect();
+                let inside: Vec<usize> =
+                    (0..n).filter(|&k| mins[k] >= lo && maxs[k] <= hi).collect();
                 if inside.len() > width {
                     return Err(Conflict);
                 }
@@ -150,14 +149,18 @@ mod tests {
     fn pigeonhole_infeasible() {
         // 4 variables in [1,3]: impossible.
         let mut space = Space::new();
-        let vars: Vec<VarId> = (0..4).map(|_| space.new_var(Domain::interval(1, 3))).collect();
+        let vars: Vec<VarId> = (0..4)
+            .map(|_| space.new_var(Domain::interval(1, 3)))
+            .collect();
         assert!(run(&mut space, AllDifferent::new(vars)).is_err());
     }
 
     #[test]
     fn feasible_left_alone() {
         let mut space = Space::new();
-        let vars: Vec<VarId> = (0..3).map(|_| space.new_var(Domain::interval(0, 9))).collect();
+        let vars: Vec<VarId> = (0..3)
+            .map(|_| space.new_var(Domain::interval(0, 9)))
+            .collect();
         run(&mut space, AllDifferent::new(vars.clone())).unwrap();
         for v in vars {
             assert_eq!(space.size(v), 10);

@@ -146,7 +146,15 @@ mod tests {
     #[test]
     fn eq_offset_prunes_both_sides() {
         let (mut space, v) = setup(&[(0, 10), (5, 20)]);
-        run(&mut space, EqOffset { x: v[0], y: v[1], c: 3 }).unwrap();
+        run(
+            &mut space,
+            EqOffset {
+                x: v[0],
+                y: v[1],
+                c: 3,
+            },
+        )
+        .unwrap();
         // y = x + 3, x ∈ [0,10], y ∈ [5,20] → x ∈ [2,10], y ∈ [5,13]
         assert_eq!((space.min(v[0]), space.max(v[0])), (2, 10));
         assert_eq!((space.min(v[1]), space.max(v[1])), (5, 13));
@@ -165,13 +173,29 @@ mod tests {
     #[test]
     fn eq_offset_conflict() {
         let (mut space, v) = setup(&[(0, 2), (10, 12)]);
-        assert!(run(&mut space, EqOffset { x: v[0], y: v[1], c: 0 }).is_err());
+        assert!(run(
+            &mut space,
+            EqOffset {
+                x: v[0],
+                y: v[1],
+                c: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn leq_offset_prunes_bounds() {
         let (mut space, v) = setup(&[(0, 10), (0, 10)]);
-        run(&mut space, LeqOffset { x: v[0], y: v[1], c: 4 }).unwrap();
+        run(
+            &mut space,
+            LeqOffset {
+                x: v[0],
+                y: v[1],
+                c: 4,
+            },
+        )
+        .unwrap();
         // x + 4 <= y → x <= 6, y >= 4
         assert_eq!(space.max(v[0]), 6);
         assert_eq!(space.min(v[1]), 4);
@@ -180,16 +204,40 @@ mod tests {
     #[test]
     fn leq_offset_conflict() {
         let (mut space, v) = setup(&[(5, 10), (0, 4)]);
-        assert!(run(&mut space, LeqOffset { x: v[0], y: v[1], c: 0 }).is_err());
+        assert!(run(
+            &mut space,
+            LeqOffset {
+                x: v[0],
+                y: v[1],
+                c: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn not_equal_waits_until_fixed() {
         let (mut space, v) = setup(&[(0, 5), (0, 5)]);
-        run(&mut space, NotEqualOffset { x: v[0], y: v[1], c: 0 }).unwrap();
+        run(
+            &mut space,
+            NotEqualOffset {
+                x: v[0],
+                y: v[1],
+                c: 0,
+            },
+        )
+        .unwrap();
         assert_eq!(space.size(v[0]), 6); // nothing pruned yet
         space.assign(v[0], 3).unwrap();
-        run(&mut space, NotEqualOffset { x: v[0], y: v[1], c: 0 }).unwrap();
+        run(
+            &mut space,
+            NotEqualOffset {
+                x: v[0],
+                y: v[1],
+                c: 0,
+            },
+        )
+        .unwrap();
         assert!(!space.contains(v[1], 3));
     }
 
@@ -197,7 +245,15 @@ mod tests {
     fn not_equal_offset_semantics() {
         // x != y + 2 with y fixed at 1 removes 3 from x.
         let (mut space, v) = setup(&[(0, 5), (1, 1)]);
-        run(&mut space, NotEqualOffset { x: v[0], y: v[1], c: 2 }).unwrap();
+        run(
+            &mut space,
+            NotEqualOffset {
+                x: v[0],
+                y: v[1],
+                c: 2,
+            },
+        )
+        .unwrap();
         assert!(!space.contains(v[0], 3));
         assert_eq!(space.size(v[0]), 5);
     }
@@ -205,26 +261,58 @@ mod tests {
     #[test]
     fn not_equal_conflict_when_both_fixed_equal() {
         let (mut space, v) = setup(&[(2, 2), (2, 2)]);
-        assert!(run(&mut space, NotEqualOffset { x: v[0], y: v[1], c: 0 }).is_err());
+        assert!(run(
+            &mut space,
+            NotEqualOffset {
+                x: v[0],
+                y: v[1],
+                c: 0
+            }
+        )
+        .is_err());
     }
 
     #[test]
     fn scaled_eq_forward_and_back() {
         let (mut space, v) = setup(&[(0, 5), (0, 20)]);
-        run(&mut space, ScaledEq { a: 3, x: v[0], y: v[1] }).unwrap();
+        run(
+            &mut space,
+            ScaledEq {
+                a: 3,
+                x: v[0],
+                y: v[1],
+            },
+        )
+        .unwrap();
         assert_eq!(
             space.domain(v[1]).iter().collect::<Vec<_>>(),
             vec![0, 3, 6, 9, 12, 15]
         );
         space.set_min(v[1], 7).unwrap();
-        run(&mut space, ScaledEq { a: 3, x: v[0], y: v[1] }).unwrap();
+        run(
+            &mut space,
+            ScaledEq {
+                a: 3,
+                x: v[0],
+                y: v[1],
+            },
+        )
+        .unwrap();
         assert_eq!(space.domain(v[0]).iter().collect::<Vec<_>>(), vec![3, 4, 5]);
     }
 
     #[test]
     fn scaled_eq_negative_coefficient() {
         let (mut space, v) = setup(&[(1, 3), (-10, 10)]);
-        run(&mut space, ScaledEq { a: -2, x: v[0], y: v[1] }).unwrap();
+        run(
+            &mut space,
+            ScaledEq {
+                a: -2,
+                x: v[0],
+                y: v[1],
+            },
+        )
+        .unwrap();
         assert_eq!(
             space.domain(v[1]).iter().collect::<Vec<_>>(),
             vec![-6, -4, -2]

@@ -81,7 +81,15 @@ mod tests {
         let b = space.new_var(Domain::interval(0, 5));
         let x = space.new_var(Domain::interval(4, 9));
         let c = space.new_var(Domain::interval(0, 10));
-        run(&mut space, CountEq { vars: vec![a, b, x], value: 3, c }).unwrap();
+        run(
+            &mut space,
+            CountEq {
+                vars: vec![a, b, x],
+                value: 3,
+                c,
+            },
+        )
+        .unwrap();
         assert_eq!(space.min(c), 1); // a is fixed to 3
         assert_eq!(space.max(c), 2); // x can never be 3
     }
@@ -92,7 +100,15 @@ mod tests {
         let a = space.new_var(Domain::singleton(3));
         let b = space.new_var(Domain::interval(0, 5));
         let c = space.new_var(Domain::singleton(1));
-        run(&mut space, CountEq { vars: vec![a, b], value: 3, c }).unwrap();
+        run(
+            &mut space,
+            CountEq {
+                vars: vec![a, b],
+                value: 3,
+                c,
+            },
+        )
+        .unwrap();
         assert!(!space.contains(b, 3));
     }
 
@@ -102,7 +118,15 @@ mod tests {
         let a = space.new_var(Domain::interval(2, 4));
         let b = space.new_var(Domain::interval(3, 6));
         let c = space.new_var(Domain::singleton(2));
-        run(&mut space, CountEq { vars: vec![a, b], value: 3, c }).unwrap();
+        run(
+            &mut space,
+            CountEq {
+                vars: vec![a, b],
+                value: 3,
+                c,
+            },
+        )
+        .unwrap();
         assert_eq!(space.value(a), 3);
         assert_eq!(space.value(b), 3);
     }
@@ -112,7 +136,15 @@ mod tests {
         let mut space = Space::new();
         let a = space.new_var(Domain::interval(0, 2));
         let c = space.new_var(Domain::singleton(2));
-        assert!(run(&mut space, CountEq { vars: vec![a], value: 1, c }).is_err());
+        assert!(run(
+            &mut space,
+            CountEq {
+                vars: vec![a],
+                value: 1,
+                c
+            }
+        )
+        .is_err());
     }
 
     #[test]
@@ -120,7 +152,15 @@ mod tests {
         let mut space = Space::new();
         let a = space.new_var(Domain::interval(5, 9));
         let c = space.new_var(Domain::interval(0, 3));
-        run(&mut space, CountEq { vars: vec![a], value: 1, c }).unwrap();
+        run(
+            &mut space,
+            CountEq {
+                vars: vec![a],
+                value: 1,
+                c,
+            },
+        )
+        .unwrap();
         assert_eq!(space.value(c), 0);
     }
 }

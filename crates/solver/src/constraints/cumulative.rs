@@ -188,8 +188,16 @@ mod tests {
         let a = space.new_var(Domain::singleton(0));
         let b = space.new_var(Domain::singleton(1));
         let tasks = vec![
-            Task { start: a, duration: 3, demand: 2 },
-            Task { start: b, duration: 3, demand: 2 },
+            Task {
+                start: a,
+                duration: 3,
+                demand: 2,
+            },
+            Task {
+                start: b,
+                duration: 3,
+                demand: 2,
+            },
         ];
         assert!(run(&mut space, Cumulative::new(tasks, 3)).is_err());
     }
@@ -200,8 +208,16 @@ mod tests {
         let a = space.new_var(Domain::singleton(0));
         let b = space.new_var(Domain::singleton(3));
         let tasks = vec![
-            Task { start: a, duration: 3, demand: 2 },
-            Task { start: b, duration: 3, demand: 2 },
+            Task {
+                start: a,
+                duration: 3,
+                demand: 2,
+            },
+            Task {
+                start: b,
+                duration: 3,
+                demand: 2,
+            },
         ];
         run(&mut space, Cumulative::new(tasks, 3)).unwrap();
     }
@@ -214,8 +230,16 @@ mod tests {
         let a = space.new_var(Domain::singleton(2));
         let b = space.new_var(Domain::interval(1, 10));
         let tasks = vec![
-            Task { start: a, duration: 3, demand: 3 },
-            Task { start: b, duration: 2, demand: 1 },
+            Task {
+                start: a,
+                duration: 3,
+                demand: 3,
+            },
+            Task {
+                start: b,
+                duration: 2,
+                demand: 1,
+            },
         ];
         run(&mut space, Cumulative::new(tasks, 3)).unwrap();
         // B can start at 0? No — domain min is 1; starting at 1 overlaps
@@ -229,8 +253,16 @@ mod tests {
         let a = space.new_var(Domain::singleton(5));
         let b = space.new_var(Domain::interval(0, 6));
         let tasks = vec![
-            Task { start: a, duration: 3, demand: 3 },
-            Task { start: b, duration: 2, demand: 1 },
+            Task {
+                start: a,
+                duration: 3,
+                demand: 3,
+            },
+            Task {
+                start: b,
+                duration: 2,
+                demand: 1,
+            },
         ];
         run(&mut space, Cumulative::new(tasks, 3)).unwrap();
         // B's latest start: [6,8) overlaps [5,8) → pushed to 3 so that
@@ -243,7 +275,11 @@ mod tests {
         // Single task with a mandatory part must not push itself.
         let mut space = Space::new();
         let a = space.new_var(Domain::interval(2, 3));
-        let tasks = vec![Task { start: a, duration: 5, demand: 2 }];
+        let tasks = vec![Task {
+            start: a,
+            duration: 5,
+            demand: 2,
+        }];
         run(&mut space, Cumulative::new(tasks, 2)).unwrap();
         assert_eq!((space.min(a), space.max(a)), (2, 3));
     }
@@ -254,8 +290,16 @@ mod tests {
         let a = space.new_var(Domain::singleton(0));
         let b = space.new_var(Domain::interval(0, 10));
         let tasks = vec![
-            Task { start: a, duration: 100, demand: 0 },
-            Task { start: b, duration: 2, demand: 1 },
+            Task {
+                start: a,
+                duration: 100,
+                demand: 0,
+            },
+            Task {
+                start: b,
+                duration: 2,
+                demand: 1,
+            },
         ];
         run(&mut space, Cumulative::new(tasks, 1)).unwrap();
         assert_eq!(space.min(b), 0);
@@ -272,9 +316,21 @@ mod tests {
         let b = space.new_var(Domain::singleton(2));
         let c = space.new_var(Domain::interval(0, 10));
         let tasks = vec![
-            Task { start: a, duration: 4, demand: 1 },
-            Task { start: b, duration: 4, demand: 1 },
-            Task { start: c, duration: 2, demand: 1 },
+            Task {
+                start: a,
+                duration: 4,
+                demand: 1,
+            },
+            Task {
+                start: b,
+                duration: 4,
+                demand: 1,
+            },
+            Task {
+                start: c,
+                duration: 2,
+                demand: 1,
+            },
         ];
         run(&mut space, Cumulative::new(tasks, 2)).unwrap();
         // Overlap zone [2,4) has level 2; c (needs 2 consecutive free-ish

@@ -77,7 +77,10 @@ mod tests {
             },
         )
         .unwrap();
-        assert_eq!(space.domain(value).iter().collect::<Vec<_>>(), vec![3, 7, 9]);
+        assert_eq!(
+            space.domain(value).iter().collect::<Vec<_>>(),
+            vec![3, 7, 9]
+        );
     }
 
     #[test]

@@ -74,7 +74,10 @@ impl Linear {
             let a = self.coeffs[i];
             if a > 0 {
                 // a*x <= slack → x <= floor(slack / a)
-                space.set_max(self.vars[i], slack.div_euclid(a).min(i32::MAX as i64) as i32)?;
+                space.set_max(
+                    self.vars[i],
+                    slack.div_euclid(a).min(i32::MAX as i64) as i32,
+                )?;
             } else {
                 // a*x <= slack with a < 0 → x >= ceil(slack / a), and
                 // ceil(p/q) = -floor(p / -q) for q < 0.

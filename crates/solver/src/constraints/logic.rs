@@ -135,7 +135,9 @@ mod tests {
 
     fn bool_space(n: usize) -> (Space, Vec<VarId>) {
         let mut space = Space::new();
-        let vars = (0..n).map(|_| space.new_var(Domain::interval(0, 1))).collect();
+        let vars = (0..n)
+            .map(|_| space.new_var(Domain::interval(0, 1)))
+            .collect();
         (space, vars)
     }
 

@@ -116,7 +116,14 @@ mod tests {
         let a = space.new_var(Domain::interval(0, 5));
         let b = space.new_var(Domain::interval(3, 8));
         let y = space.new_var(Domain::interval(-100, 100));
-        run(&mut space, Maximum { vars: vec![a, b], y }).unwrap();
+        run(
+            &mut space,
+            Maximum {
+                vars: vec![a, b],
+                y,
+            },
+        )
+        .unwrap();
         assert_eq!(space.min(y), 3);
         assert_eq!(space.max(y), 8);
     }
@@ -127,7 +134,14 @@ mod tests {
         let a = space.new_var(Domain::interval(0, 50));
         let b = space.new_var(Domain::interval(0, 50));
         let y = space.new_var(Domain::interval(0, 7));
-        run(&mut space, Maximum { vars: vec![a, b], y }).unwrap();
+        run(
+            &mut space,
+            Maximum {
+                vars: vec![a, b],
+                y,
+            },
+        )
+        .unwrap();
         assert_eq!(space.max(a), 7);
         assert_eq!(space.max(b), 7);
     }
@@ -138,7 +152,14 @@ mod tests {
         let a = space.new_var(Domain::interval(0, 3));
         let b = space.new_var(Domain::interval(0, 10));
         let y = space.new_var(Domain::interval(8, 10));
-        run(&mut space, Maximum { vars: vec![a, b], y }).unwrap();
+        run(
+            &mut space,
+            Maximum {
+                vars: vec![a, b],
+                y,
+            },
+        )
+        .unwrap();
         assert_eq!(space.min(b), 8);
     }
 
@@ -156,11 +177,25 @@ mod tests {
         let a = space.new_var(Domain::interval(2, 5));
         let b = space.new_var(Domain::interval(4, 9));
         let y = space.new_var(Domain::interval(-100, 100));
-        run(&mut space, Minimum { vars: vec![a, b], y }).unwrap();
+        run(
+            &mut space,
+            Minimum {
+                vars: vec![a, b],
+                y,
+            },
+        )
+        .unwrap();
         assert_eq!(space.min(y), 2);
         assert_eq!(space.max(y), 5);
         space.set_min(y, 4).unwrap();
-        run(&mut space, Minimum { vars: vec![a, b], y }).unwrap();
+        run(
+            &mut space,
+            Minimum {
+                vars: vec![a, b],
+                y,
+            },
+        )
+        .unwrap();
         assert_eq!(space.min(a), 4);
         assert_eq!(space.min(b), 4);
     }

@@ -224,7 +224,11 @@ impl Domain {
         }
         let (old_min, old_max, old_size) = (self.min(), self.max(), self.size());
         // Drop whole ranges below lo, then trim the first survivor.
-        let keep_from = self.ranges.iter().position(|&(_, hi)| hi >= lo).ok_or(Emptied)?;
+        let keep_from = self
+            .ranges
+            .iter()
+            .position(|&(_, hi)| hi >= lo)
+            .ok_or(Emptied)?;
         self.ranges.drain(..keep_from);
         if self.ranges[0].0 < lo {
             self.ranges[0].0 = lo;

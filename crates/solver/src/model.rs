@@ -30,9 +30,8 @@ impl Model {
 
     /// New variable with an explicit (non-empty) value set.
     pub fn new_var_values(&mut self, values: &[i32]) -> VarId {
-        self.space.new_var(
-            Domain::from_values(values).expect("variable created with empty domain"),
-        )
+        self.space
+            .new_var(Domain::from_values(values).expect("variable created with empty domain"))
     }
 
     /// New variable with a prepared domain.
@@ -162,7 +161,10 @@ impl Model {
     /// portfolio workers that each build their own engine.
     pub(crate) fn into_shared_parts(
         self,
-    ) -> (Space, Vec<std::sync::Arc<dyn crate::propagator::Propagator>>) {
+    ) -> (
+        Space,
+        Vec<std::sync::Arc<dyn crate::propagator::Propagator>>,
+    ) {
         let shared = self.engine.shared_propagators();
         (self.space, shared)
     }

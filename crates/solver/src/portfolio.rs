@@ -60,9 +60,10 @@ pub fn solve_portfolio(model: Model, base: SearchConfig, workers: usize) -> Port
             config.val_select = val_select;
             if matches!(config.objective, Objective::Minimize(_)) {
                 config.shared_bound = Some(Arc::clone(&shared_bound));
-            } else if config.stop_after.is_some() {
+            } else if config.stop_after.is_some() && config.stop_flag.is_none() {
                 // Satisfaction race: the first worker to hit its solution
-                // quota cancels the rest.
+                // quota cancels the rest. An externally supplied stop flag
+                // takes precedence (it already cancels every worker).
                 config.stop_flag = Some(Arc::clone(&stop_flag));
             }
             let engine = Engine::from_shared(num_vars, props.clone());

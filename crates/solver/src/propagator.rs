@@ -212,7 +212,9 @@ mod tests {
     fn chain_reaches_fixpoint() {
         // x0 < x1 < x2 < x3 with domains [0,3] forces xi = i.
         let mut space = Space::new();
-        let vars: Vec<VarId> = (0..4).map(|_| space.new_var(Domain::interval(0, 3))).collect();
+        let vars: Vec<VarId> = (0..4)
+            .map(|_| space.new_var(Domain::interval(0, 3)))
+            .collect();
         let mut engine = Engine::new(space.num_vars());
         for w in vars.windows(2) {
             engine.post(Less { x: w[0], y: w[1] });

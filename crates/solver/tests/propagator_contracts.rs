@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use rrf_solver::constraints::{
-    AllDifferent, CountEq, Cumulative, ElementConst, EqOffset, LeqOffset, LinRel, Linear,
-    Maximum, NotEqualOffset, Task,
+    AllDifferent, CountEq, Cumulative, ElementConst, EqOffset, LeqOffset, LinRel, Linear, Maximum,
+    NotEqualOffset, Task,
 };
 use rrf_solver::{Conflict, Domain, Engine, Propagator, Space, VarId};
 
@@ -54,7 +54,12 @@ fn bruteforce_supports(
         break;
     }
     if any {
-        Some(supports.into_iter().map(|s| s.into_iter().collect()).collect())
+        Some(
+            supports
+                .into_iter()
+                .map(|s| s.into_iter().collect())
+                .collect(),
+        )
     } else {
         None
     }

@@ -4,9 +4,7 @@
 
 use proptest::prelude::*;
 use rrf_solver::constraints::{LinRel, NotEqualOffset};
-use rrf_solver::{
-    solve, solve_portfolio, Model, SearchConfig, ValSelect, VarId, VarSelect,
-};
+use rrf_solver::{solve, solve_portfolio, Model, SearchConfig, ValSelect, VarId, VarSelect};
 
 /// A reproducible random model: bounded vars, a few disequalities, one
 /// linear cap. Returns the pieces needed for brute-force checking.
@@ -20,16 +18,16 @@ struct Instance {
 fn instance_strategy() -> impl Strategy<Value = Instance> {
     (2usize..4)
         .prop_flat_map(|n| {
-            let ranges = proptest::collection::vec((-2i32..2, 1i32..4), n..=n)
-                .prop_map(|v| v.into_iter().map(|(lo, w)| (lo, lo + w)).collect::<Vec<_>>());
+            let ranges = proptest::collection::vec((-2i32..2, 1i32..4), n..=n).prop_map(|v| {
+                v.into_iter()
+                    .map(|(lo, w)| (lo, lo + w))
+                    .collect::<Vec<_>>()
+            });
             let diseqs = proptest::collection::vec((0usize..n, 0usize..n), 0..3);
             (ranges, diseqs, -4i64..8)
         })
         .prop_map(|(ranges, diseqs, cap)| Instance {
-            diseqs: diseqs
-                .into_iter()
-                .filter(|&(a, b)| a != b)
-                .collect(),
+            diseqs: diseqs.into_iter().filter(|&(a, b)| a != b).collect(),
             ranges,
             cap,
         })

@@ -26,10 +26,7 @@ mod tests {
     #[test]
     fn workload_conversion_preserves_counts() {
         let wl = generate_workload(&WorkloadSpec::small(5, 0));
-        let p = problem_from_workload(
-            Region::whole(rrf_fabric::device::homogeneous(40, 8)),
-            &wl,
-        );
+        let p = problem_from_workload(Region::whole(rrf_fabric::device::homogeneous(40, 8)), &wl);
         assert_eq!(p.modules.len(), 5);
         assert_eq!(p.total_shapes(), wl.total_shapes());
     }

@@ -8,8 +8,8 @@
 //!
 //! Run with: `cargo run --release --example design_flow`
 
-use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
 use rrf_fabric::{Rect, ResourceKind};
+use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
 use rrf_geost::{ShapeDef, ShiftedBox};
 
 fn clb(w: i32, h: i32) -> ShapeDef {

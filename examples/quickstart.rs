@@ -53,7 +53,11 @@ fn main() {
     let outcome = cp::place(&problem, &PlacerConfig::exact());
     let plan = outcome.plan.expect("feasible");
 
-    println!("optimal extent: {} columns (proven: {})", outcome.extent.unwrap(), outcome.proven);
+    println!(
+        "optimal extent: {} columns (proven: {})",
+        outcome.extent.unwrap(),
+        outcome.proven
+    );
     for p in &plan.placements {
         println!(
             "  {}: alternative {} at ({}, {})",
@@ -63,5 +67,8 @@ fn main() {
     let m = metrics(&problem.region, &problem.modules, &plan);
     println!("utilization: {:.1}%", m.utilization * 100.0);
     println!();
-    println!("{}", rrf_viz::render_floorplan(&problem.region, &problem.modules, &plan));
+    println!(
+        "{}",
+        rrf_viz::render_floorplan(&problem.region, &problem.modules, &plan)
+    );
 }

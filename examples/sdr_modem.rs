@@ -46,10 +46,10 @@ fn main() {
     region.add_static_mask(Rect::new(36, 0, 24, 8));
 
     let modules = vec![
-        dsp_block("fft", 4, 8, 4),      // channelizer FFT
-        dsp_block("viterbi", 3, 6, 2),  // channel decoder
+        dsp_block("fft", 4, 8, 4),     // channelizer FFT
+        dsp_block("viterbi", 3, 6, 2), // channel decoder
         dsp_block("equalizer", 3, 4, 1),
-        dsp_block("nco", 2, 4, 0),      // numerically controlled oscillator
+        dsp_block("nco", 2, 4, 0), // numerically controlled oscillator
         dsp_block("fir_rx", 4, 4, 0),
         dsp_block("agc", 2, 3, 0),
     ];

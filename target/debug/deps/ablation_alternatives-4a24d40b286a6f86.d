@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_alternatives-4a24d40b286a6f86.d: crates/bench/src/bin/ablation_alternatives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_alternatives-4a24d40b286a6f86.rmeta: crates/bench/src/bin/ablation_alternatives.rs Cargo.toml
+
+crates/bench/src/bin/ablation_alternatives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alternatives-784fb4677e39b9d1.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/debug/deps/ablation_alternatives-784fb4677e39b9d1: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_alternatives-bf549a34c4a251ee.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/debug/deps/ablation_alternatives-bf549a34c4a251ee: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_baseline-45458bb841ad10a9.d: crates/bench/src/bin/ablation_baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_baseline-45458bb841ad10a9.rmeta: crates/bench/src/bin/ablation_baseline.rs Cargo.toml
+
+crates/bench/src/bin/ablation_baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

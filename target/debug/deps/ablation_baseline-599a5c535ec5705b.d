@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_baseline-599a5c535ec5705b.d: crates/bench/src/bin/ablation_baseline.rs
+
+/root/repo/target/debug/deps/ablation_baseline-599a5c535ec5705b: crates/bench/src/bin/ablation_baseline.rs
+
+crates/bench/src/bin/ablation_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_baseline-e393f3503f44a21d.d: crates/bench/src/bin/ablation_baseline.rs
+
+/root/repo/target/debug/deps/ablation_baseline-e393f3503f44a21d: crates/bench/src/bin/ablation_baseline.rs
+
+crates/bench/src/bin/ablation_baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_defrag-23529c13fb557270.d: crates/bench/src/bin/ablation_defrag.rs
+
+/root/repo/target/debug/deps/ablation_defrag-23529c13fb557270: crates/bench/src/bin/ablation_defrag.rs
+
+crates/bench/src/bin/ablation_defrag.rs:

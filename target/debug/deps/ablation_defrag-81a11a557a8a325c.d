@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_defrag-81a11a557a8a325c.d: crates/bench/src/bin/ablation_defrag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_defrag-81a11a557a8a325c.rmeta: crates/bench/src/bin/ablation_defrag.rs Cargo.toml
+
+crates/bench/src/bin/ablation_defrag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_defrag-b24ec9dac0254aa1.d: crates/bench/src/bin/ablation_defrag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_defrag-b24ec9dac0254aa1.rmeta: crates/bench/src/bin/ablation_defrag.rs Cargo.toml
+
+crates/bench/src/bin/ablation_defrag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

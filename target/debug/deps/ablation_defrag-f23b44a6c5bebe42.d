@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_defrag-f23b44a6c5bebe42.d: crates/bench/src/bin/ablation_defrag.rs
+
+/root/repo/target/debug/deps/ablation_defrag-f23b44a6c5bebe42: crates/bench/src/bin/ablation_defrag.rs
+
+crates/bench/src/bin/ablation_defrag.rs:

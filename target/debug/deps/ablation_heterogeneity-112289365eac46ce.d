@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_heterogeneity-112289365eac46ce.d: crates/bench/src/bin/ablation_heterogeneity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_heterogeneity-112289365eac46ce.rmeta: crates/bench/src/bin/ablation_heterogeneity.rs Cargo.toml
+
+crates/bench/src/bin/ablation_heterogeneity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_heterogeneity-49855b689cacf7ba.d: crates/bench/src/bin/ablation_heterogeneity.rs
+
+/root/repo/target/debug/deps/ablation_heterogeneity-49855b689cacf7ba: crates/bench/src/bin/ablation_heterogeneity.rs
+
+crates/bench/src/bin/ablation_heterogeneity.rs:

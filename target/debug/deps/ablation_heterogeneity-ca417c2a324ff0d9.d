@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_heterogeneity-ca417c2a324ff0d9.d: crates/bench/src/bin/ablation_heterogeneity.rs
+
+/root/repo/target/debug/deps/ablation_heterogeneity-ca417c2a324ff0d9: crates/bench/src/bin/ablation_heterogeneity.rs
+
+crates/bench/src/bin/ablation_heterogeneity.rs:

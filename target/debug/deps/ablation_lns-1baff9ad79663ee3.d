@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lns-1baff9ad79663ee3.d: crates/bench/src/bin/ablation_lns.rs
+
+/root/repo/target/debug/deps/ablation_lns-1baff9ad79663ee3: crates/bench/src/bin/ablation_lns.rs
+
+crates/bench/src/bin/ablation_lns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lns-2cf5faa3a35975a9.d: crates/bench/src/bin/ablation_lns.rs
+
+/root/repo/target/debug/deps/ablation_lns-2cf5faa3a35975a9: crates/bench/src/bin/ablation_lns.rs
+
+crates/bench/src/bin/ablation_lns.rs:

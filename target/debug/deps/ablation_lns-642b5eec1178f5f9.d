@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lns-642b5eec1178f5f9.d: crates/bench/src/bin/ablation_lns.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lns-642b5eec1178f5f9.rmeta: crates/bench/src/bin/ablation_lns.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lns.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

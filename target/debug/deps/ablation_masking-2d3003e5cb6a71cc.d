@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_masking-2d3003e5cb6a71cc.d: crates/bench/src/bin/ablation_masking.rs
+
+/root/repo/target/debug/deps/ablation_masking-2d3003e5cb6a71cc: crates/bench/src/bin/ablation_masking.rs
+
+crates/bench/src/bin/ablation_masking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_masking-40a57e4387887332.d: crates/bench/src/bin/ablation_masking.rs
+
+/root/repo/target/debug/deps/ablation_masking-40a57e4387887332: crates/bench/src/bin/ablation_masking.rs
+
+crates/bench/src/bin/ablation_masking.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_masking-617e6244711bc617.d: crates/bench/src/bin/ablation_masking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_masking-617e6244711bc617.rmeta: crates/bench/src/bin/ablation_masking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_masking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

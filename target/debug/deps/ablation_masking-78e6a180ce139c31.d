@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_masking-78e6a180ce139c31.d: crates/bench/src/bin/ablation_masking.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_masking-78e6a180ce139c31.rmeta: crates/bench/src/bin/ablation_masking.rs Cargo.toml
+
+crates/bench/src/bin/ablation_masking.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

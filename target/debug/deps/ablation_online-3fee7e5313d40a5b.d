@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_online-3fee7e5313d40a5b.d: crates/bench/src/bin/ablation_online.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_online-3fee7e5313d40a5b.rmeta: crates/bench/src/bin/ablation_online.rs Cargo.toml
+
+crates/bench/src/bin/ablation_online.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_online-9016bd11b6a07143.d: crates/bench/src/bin/ablation_online.rs
+
+/root/repo/target/debug/deps/ablation_online-9016bd11b6a07143: crates/bench/src/bin/ablation_online.rs
+
+crates/bench/src/bin/ablation_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_online-e665948205e8c2a6.d: crates/bench/src/bin/ablation_online.rs
+
+/root/repo/target/debug/deps/ablation_online-e665948205e8c2a6: crates/bench/src/bin/ablation_online.rs
+
+crates/bench/src/bin/ablation_online.rs:

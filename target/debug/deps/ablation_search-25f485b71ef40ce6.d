@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_search-25f485b71ef40ce6.d: crates/bench/src/bin/ablation_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_search-25f485b71ef40ce6.rmeta: crates/bench/src/bin/ablation_search.rs Cargo.toml
+
+crates/bench/src/bin/ablation_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_search-26fb66f1c59671e4.d: crates/bench/src/bin/ablation_search.rs
+
+/root/repo/target/debug/deps/ablation_search-26fb66f1c59671e4: crates/bench/src/bin/ablation_search.rs
+
+crates/bench/src/bin/ablation_search.rs:

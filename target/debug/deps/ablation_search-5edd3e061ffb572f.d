@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_search-5edd3e061ffb572f.d: crates/bench/src/bin/ablation_search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_search-5edd3e061ffb572f.rmeta: crates/bench/src/bin/ablation_search.rs Cargo.toml
+
+crates/bench/src/bin/ablation_search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

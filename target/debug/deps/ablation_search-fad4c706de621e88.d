@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_search-fad4c706de621e88.d: crates/bench/src/bin/ablation_search.rs
+
+/root/repo/target/debug/deps/ablation_search-fad4c706de621e88: crates/bench/src/bin/ablation_search.rs
+
+crates/bench/src/bin/ablation_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-32dd902954e145af.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-32dd902954e145af: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

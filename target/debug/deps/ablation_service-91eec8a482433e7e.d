@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_service-91eec8a482433e7e.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/debug/deps/ablation_service-91eec8a482433e7e: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

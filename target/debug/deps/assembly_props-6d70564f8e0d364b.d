@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/assembly_props-6d70564f8e0d364b.d: crates/bitstream/tests/assembly_props.rs
+
+/root/repo/target/debug/deps/assembly_props-6d70564f8e0d364b: crates/bitstream/tests/assembly_props.rs
+
+crates/bitstream/tests/assembly_props.rs:

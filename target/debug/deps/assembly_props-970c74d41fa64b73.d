@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/assembly_props-970c74d41fa64b73.d: crates/bitstream/tests/assembly_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libassembly_props-970c74d41fa64b73.rmeta: crates/bitstream/tests/assembly_props.rs Cargo.toml
+
+crates/bitstream/tests/assembly_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

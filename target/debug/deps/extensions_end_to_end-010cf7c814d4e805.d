@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/extensions_end_to_end-010cf7c814d4e805.d: crates/suite/../../tests/extensions_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libextensions_end_to_end-010cf7c814d4e805.rmeta: crates/suite/../../tests/extensions_end_to_end.rs Cargo.toml
+
+crates/suite/../../tests/extensions_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

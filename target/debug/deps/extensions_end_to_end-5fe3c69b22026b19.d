@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/extensions_end_to_end-5fe3c69b22026b19.d: crates/suite/../../tests/extensions_end_to_end.rs
+
+/root/repo/target/debug/deps/extensions_end_to_end-5fe3c69b22026b19: crates/suite/../../tests/extensions_end_to_end.rs
+
+crates/suite/../../tests/extensions_end_to_end.rs:

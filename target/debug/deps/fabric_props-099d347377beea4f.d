@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fabric_props-099d347377beea4f.d: crates/fabric/tests/fabric_props.rs
+
+/root/repo/target/debug/deps/fabric_props-099d347377beea4f: crates/fabric/tests/fabric_props.rs
+
+crates/fabric/tests/fabric_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fabric_props-c2041155e73a6d66.d: crates/fabric/tests/fabric_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfabric_props-c2041155e73a6d66.rmeta: crates/fabric/tests/fabric_props.rs Cargo.toml
+
+crates/fabric/tests/fabric_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-0ead87baa78fd6ea.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-0ead87baa78fd6ea: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

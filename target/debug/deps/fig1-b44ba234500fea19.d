@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1-b44ba234500fea19.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/debug/deps/fig1-b44ba234500fea19: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

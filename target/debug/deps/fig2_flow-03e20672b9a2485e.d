@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_flow-03e20672b9a2485e.d: crates/bench/src/bin/fig2_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_flow-03e20672b9a2485e.rmeta: crates/bench/src/bin/fig2_flow.rs Cargo.toml
+
+crates/bench/src/bin/fig2_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_flow-d4a974f49244fc33.d: crates/bench/src/bin/fig2_flow.rs
+
+/root/repo/target/debug/deps/fig2_flow-d4a974f49244fc33: crates/bench/src/bin/fig2_flow.rs
+
+crates/bench/src/bin/fig2_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_flow-f584223c779156b8.d: crates/bench/src/bin/fig2_flow.rs
+
+/root/repo/target/debug/deps/fig2_flow-f584223c779156b8: crates/bench/src/bin/fig2_flow.rs
+
+crates/bench/src/bin/fig2_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-21b0aec65deadc10.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-21b0aec65deadc10: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

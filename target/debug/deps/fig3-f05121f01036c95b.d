@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-f05121f01036c95b.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-f05121f01036c95b: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_constraints-0a0629083bc0be68.d: crates/bench/src/bin/fig4_constraints.rs
+
+/root/repo/target/debug/deps/fig4_constraints-0a0629083bc0be68: crates/bench/src/bin/fig4_constraints.rs
+
+crates/bench/src/bin/fig4_constraints.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_constraints-67599c635b589f46.d: crates/bench/src/bin/fig4_constraints.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_constraints-67599c635b589f46.rmeta: crates/bench/src/bin/fig4_constraints.rs Cargo.toml
+
+crates/bench/src/bin/fig4_constraints.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_constraints-a47f26e1ab1b763a.d: crates/bench/src/bin/fig4_constraints.rs
+
+/root/repo/target/debug/deps/fig4_constraints-a47f26e1ab1b763a: crates/bench/src/bin/fig4_constraints.rs
+
+crates/bench/src/bin/fig4_constraints.rs:

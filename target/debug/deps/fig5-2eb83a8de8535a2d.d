@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-2eb83a8de8535a2d.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-2eb83a8de8535a2d: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-669a92f88ba9d2df.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-669a92f88ba9d2df: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

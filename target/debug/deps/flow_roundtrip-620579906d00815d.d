@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_roundtrip-620579906d00815d.d: crates/suite/../../tests/flow_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_roundtrip-620579906d00815d.rmeta: crates/suite/../../tests/flow_roundtrip.rs Cargo.toml
+
+crates/suite/../../tests/flow_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

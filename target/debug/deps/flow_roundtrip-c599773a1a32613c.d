@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flow_roundtrip-c599773a1a32613c.d: crates/suite/../../tests/flow_roundtrip.rs
+
+/root/repo/target/debug/deps/flow_roundtrip-c599773a1a32613c: crates/suite/../../tests/flow_roundtrip.rs
+
+crates/suite/../../tests/flow_roundtrip.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/generator_props-2ba836a5a10104f2.d: crates/modgen/tests/generator_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgenerator_props-2ba836a5a10104f2.rmeta: crates/modgen/tests/generator_props.rs Cargo.toml
+
+crates/modgen/tests/generator_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

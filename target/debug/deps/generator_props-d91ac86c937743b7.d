@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/generator_props-d91ac86c937743b7.d: crates/modgen/tests/generator_props.rs
+
+/root/repo/target/debug/deps/generator_props-d91ac86c937743b7: crates/modgen/tests/generator_props.rs
+
+crates/modgen/tests/generator_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geost-4c0cadc7f7a0f14b.d: crates/bench/benches/geost.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeost-4c0cadc7f7a0f14b.rmeta: crates/bench/benches/geost.rs Cargo.toml
+
+crates/bench/benches/geost.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

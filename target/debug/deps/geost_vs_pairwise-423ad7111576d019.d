@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/geost_vs_pairwise-423ad7111576d019.d: crates/suite/../../tests/geost_vs_pairwise.rs
+
+/root/repo/target/debug/deps/geost_vs_pairwise-423ad7111576d019: crates/suite/../../tests/geost_vs_pairwise.rs
+
+crates/suite/../../tests/geost_vs_pairwise.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/geost_vs_pairwise-88f832fee12ed7e3.d: crates/suite/../../tests/geost_vs_pairwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgeost_vs_pairwise-88f832fee12ed7e3.rmeta: crates/suite/../../tests/geost_vs_pairwise.rs Cargo.toml
+
+crates/suite/../../tests/geost_vs_pairwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernel_props-05524eade9bd64c9.d: crates/geost/tests/kernel_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernel_props-05524eade9bd64c9.rmeta: crates/geost/tests/kernel_props.rs Cargo.toml
+
+crates/geost/tests/kernel_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

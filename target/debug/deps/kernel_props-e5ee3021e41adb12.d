@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/kernel_props-e5ee3021e41adb12.d: crates/geost/tests/kernel_props.rs
+
+/root/repo/target/debug/deps/kernel_props-e5ee3021e41adb12: crates/geost/tests/kernel_props.rs
+
+crates/geost/tests/kernel_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placement_end_to_end-96487f7d0d45b131.d: crates/suite/../../tests/placement_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacement_end_to_end-96487f7d0d45b131.rmeta: crates/suite/../../tests/placement_end_to_end.rs Cargo.toml
+
+crates/suite/../../tests/placement_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

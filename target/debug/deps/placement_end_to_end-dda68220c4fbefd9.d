@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/placement_end_to_end-dda68220c4fbefd9.d: crates/suite/../../tests/placement_end_to_end.rs
+
+/root/repo/target/debug/deps/placement_end_to_end-dda68220c4fbefd9: crates/suite/../../tests/placement_end_to_end.rs
+
+crates/suite/../../tests/placement_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/placer-c201f51ccb307d8b.d: crates/bench/benches/placer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libplacer-c201f51ccb307d8b.rmeta: crates/bench/benches/placer.rs Cargo.toml
+
+crates/bench/benches/placer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/propagator_contracts-574deb36aaefd2d8.d: crates/solver/tests/propagator_contracts.rs
+
+/root/repo/target/debug/deps/propagator_contracts-574deb36aaefd2d8: crates/solver/tests/propagator_contracts.rs
+
+crates/solver/tests/propagator_contracts.rs:

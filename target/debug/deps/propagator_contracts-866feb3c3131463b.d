@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/propagator_contracts-866feb3c3131463b.d: crates/solver/tests/propagator_contracts.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpropagator_contracts-866feb3c3131463b.rmeta: crates/solver/tests/propagator_contracts.rs Cargo.toml
+
+crates/solver/tests/propagator_contracts.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

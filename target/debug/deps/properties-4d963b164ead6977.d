@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-4d963b164ead6977.d: crates/suite/../../tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-4d963b164ead6977.rmeta: crates/suite/../../tests/properties.rs Cargo.toml
+
+crates/suite/../../tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-911f15d34fe2ee4e.d: crates/suite/../../tests/properties.rs
+
+/root/repo/target/debug/deps/properties-911f15d34fe2ee4e: crates/suite/../../tests/properties.rs
+
+crates/suite/../../tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-38cac28f8c5aaaa9.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-38cac28f8c5aaaa9: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-a29b312def771238.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a29b312def771238.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-a29b312def771238.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/protocol_props-3259d7744ee42ed5.d: crates/server/tests/protocol_props.rs
+
+/root/repo/target/debug/deps/protocol_props-3259d7744ee42ed5: crates/server/tests/protocol_props.rs
+
+crates/server/tests/protocol_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/protocol_props-d0e048f9db583937.d: crates/server/tests/protocol_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprotocol_props-d0e048f9db583937.rmeta: crates/server/tests/protocol_props.rs Cargo.toml
+
+crates/server/tests/protocol_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

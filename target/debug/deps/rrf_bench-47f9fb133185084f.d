@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rrf_bench-47f9fb133185084f.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/librrf_bench-47f9fb133185084f.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/librrf_bench-47f9fb133185084f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

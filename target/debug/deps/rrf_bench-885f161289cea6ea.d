@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rrf_bench-885f161289cea6ea.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_bench-885f161289cea6ea.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

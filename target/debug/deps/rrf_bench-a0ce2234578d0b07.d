@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rrf_bench-a0ce2234578d0b07.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/rrf_bench-a0ce2234578d0b07: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

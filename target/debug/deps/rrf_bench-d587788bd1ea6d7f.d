@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/rrf_bench-d587788bd1ea6d7f.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/librrf_bench-d587788bd1ea6d7f.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/librrf_bench-d587788bd1ea6d7f.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

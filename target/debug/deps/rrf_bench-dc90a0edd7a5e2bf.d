@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/rrf_bench-dc90a0edd7a5e2bf.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/debug/deps/rrf_bench-dc90a0edd7a5e2bf: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

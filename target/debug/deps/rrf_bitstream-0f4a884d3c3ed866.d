@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rrf_bitstream-0f4a884d3c3ed866.d: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_bitstream-0f4a884d3c3ed866.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs Cargo.toml
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/assemble.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/memory.rs:
+crates/bitstream/src/relocate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

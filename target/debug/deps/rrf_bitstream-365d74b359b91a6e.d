@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rrf_bitstream-365d74b359b91a6e.d: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/debug/deps/librrf_bitstream-365d74b359b91a6e.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/debug/deps/librrf_bitstream-365d74b359b91a6e.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/assemble.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/memory.rs:
+crates/bitstream/src/relocate.rs:

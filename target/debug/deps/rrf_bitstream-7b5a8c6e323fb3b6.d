@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rrf_bitstream-7b5a8c6e323fb3b6.d: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/debug/deps/rrf_bitstream-7b5a8c6e323fb3b6: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/assemble.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/memory.rs:
+crates/bitstream/src/relocate.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/rrf_core-2dab5387b3f0f20c.d: crates/core/src/lib.rs crates/core/src/anneal.rs crates/core/src/baseline.rs crates/core/src/cp.rs crates/core/src/lns.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/placement.rs crates/core/src/problem.rs crates/core/src/reconfig.rs crates/core/src/service.rs crates/core/src/verify.rs
+
+/root/repo/target/debug/deps/rrf_core-2dab5387b3f0f20c: crates/core/src/lib.rs crates/core/src/anneal.rs crates/core/src/baseline.rs crates/core/src/cp.rs crates/core/src/lns.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/placement.rs crates/core/src/problem.rs crates/core/src/reconfig.rs crates/core/src/service.rs crates/core/src/verify.rs
+
+crates/core/src/lib.rs:
+crates/core/src/anneal.rs:
+crates/core/src/baseline.rs:
+crates/core/src/cp.rs:
+crates/core/src/lns.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/placement.rs:
+crates/core/src/problem.rs:
+crates/core/src/reconfig.rs:
+crates/core/src/service.rs:
+crates/core/src/verify.rs:

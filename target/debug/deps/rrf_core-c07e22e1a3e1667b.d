@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/rrf_core-c07e22e1a3e1667b.d: crates/core/src/lib.rs crates/core/src/anneal.rs crates/core/src/baseline.rs crates/core/src/cp.rs crates/core/src/lns.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/placement.rs crates/core/src/problem.rs crates/core/src/reconfig.rs crates/core/src/service.rs crates/core/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_core-c07e22e1a3e1667b.rmeta: crates/core/src/lib.rs crates/core/src/anneal.rs crates/core/src/baseline.rs crates/core/src/cp.rs crates/core/src/lns.rs crates/core/src/metrics.rs crates/core/src/model.rs crates/core/src/online.rs crates/core/src/placement.rs crates/core/src/problem.rs crates/core/src/reconfig.rs crates/core/src/service.rs crates/core/src/verify.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/anneal.rs:
+crates/core/src/baseline.rs:
+crates/core/src/cp.rs:
+crates/core/src/lns.rs:
+crates/core/src/metrics.rs:
+crates/core/src/model.rs:
+crates/core/src/online.rs:
+crates/core/src/placement.rs:
+crates/core/src/problem.rs:
+crates/core/src/reconfig.rs:
+crates/core/src/service.rs:
+crates/core/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

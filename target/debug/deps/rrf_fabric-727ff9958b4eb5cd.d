@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rrf_fabric-727ff9958b4eb5cd.d: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/rrf_fabric-727ff9958b4eb5cd: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/grid.rs:
+crates/fabric/src/region.rs:
+crates/fabric/src/resource.rs:
+crates/fabric/src/stats.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rrf_fabric-935ced37f51e19b4.d: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/librrf_fabric-935ced37f51e19b4.rlib: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/debug/deps/librrf_fabric-935ced37f51e19b4.rmeta: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/grid.rs:
+crates/fabric/src/region.rs:
+crates/fabric/src/resource.rs:
+crates/fabric/src/stats.rs:

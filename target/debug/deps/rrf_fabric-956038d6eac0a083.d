@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/rrf_fabric-956038d6eac0a083.d: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_fabric-956038d6eac0a083.rmeta: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs Cargo.toml
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/grid.rs:
+crates/fabric/src/region.rs:
+crates/fabric/src/resource.rs:
+crates/fabric/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rrf_flow-2024c4a5ffcdab57.d: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_flow-2024c4a5ffcdab57.rmeta: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs Cargo.toml
+
+crates/flow/src/lib.rs:
+crates/flow/src/driver.rs:
+crates/flow/src/io.rs:
+crates/flow/src/report.rs:
+crates/flow/src/spec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_flow-2a1f92145d4618aa.d: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/debug/deps/rrf_flow-2a1f92145d4618aa: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/driver.rs:
+crates/flow/src/io.rs:
+crates/flow/src/report.rs:
+crates/flow/src/spec.rs:

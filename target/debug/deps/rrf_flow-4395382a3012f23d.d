@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_flow-4395382a3012f23d.d: crates/flow/src/bin/rrf-flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_flow-4395382a3012f23d.rmeta: crates/flow/src/bin/rrf-flow.rs Cargo.toml
+
+crates/flow/src/bin/rrf-flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rrf_flow-4d45c61867d2af8c.d: crates/flow/src/bin/rrf-flow.rs
+
+/root/repo/target/debug/deps/rrf_flow-4d45c61867d2af8c: crates/flow/src/bin/rrf-flow.rs
+
+crates/flow/src/bin/rrf-flow.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rrf_flow-f74da05c30f91715.d: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/debug/deps/librrf_flow-f74da05c30f91715.rlib: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/debug/deps/librrf_flow-f74da05c30f91715.rmeta: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/driver.rs:
+crates/flow/src/io.rs:
+crates/flow/src/report.rs:
+crates/flow/src/spec.rs:

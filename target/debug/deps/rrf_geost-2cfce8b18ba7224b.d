@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rrf_geost-2cfce8b18ba7224b.d: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/debug/deps/librrf_geost-2cfce8b18ba7224b.rlib: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/debug/deps/librrf_geost-2cfce8b18ba7224b.rmeta: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+crates/geost/src/lib.rs:
+crates/geost/src/compat.rs:
+crates/geost/src/grid.rs:
+crates/geost/src/nonoverlap.rs:
+crates/geost/src/object.rs:
+crates/geost/src/shape.rs:

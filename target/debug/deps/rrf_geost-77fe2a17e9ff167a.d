@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rrf_geost-77fe2a17e9ff167a.d: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/debug/deps/rrf_geost-77fe2a17e9ff167a: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+crates/geost/src/lib.rs:
+crates/geost/src/compat.rs:
+crates/geost/src/grid.rs:
+crates/geost/src/nonoverlap.rs:
+crates/geost/src/object.rs:
+crates/geost/src/shape.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rrf_geost-965219a079a03960.d: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_geost-965219a079a03960.rmeta: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs Cargo.toml
+
+crates/geost/src/lib.rs:
+crates/geost/src/compat.rs:
+crates/geost/src/grid.rs:
+crates/geost/src/nonoverlap.rs:
+crates/geost/src/object.rs:
+crates/geost/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/rrf_modgen-8218335a9a3444f6.d: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_modgen-8218335a9a3444f6.rmeta: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs Cargo.toml
+
+crates/modgen/src/lib.rs:
+crates/modgen/src/alternatives.rs:
+crates/modgen/src/layout.rs:
+crates/modgen/src/spec.rs:
+crates/modgen/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

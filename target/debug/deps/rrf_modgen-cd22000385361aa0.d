@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_modgen-cd22000385361aa0.d: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/debug/deps/rrf_modgen-cd22000385361aa0: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+crates/modgen/src/lib.rs:
+crates/modgen/src/alternatives.rs:
+crates/modgen/src/layout.rs:
+crates/modgen/src/spec.rs:
+crates/modgen/src/workload.rs:

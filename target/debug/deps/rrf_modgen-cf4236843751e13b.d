@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rrf_modgen-cf4236843751e13b.d: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/debug/deps/librrf_modgen-cf4236843751e13b.rlib: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/debug/deps/librrf_modgen-cf4236843751e13b.rmeta: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+crates/modgen/src/lib.rs:
+crates/modgen/src/alternatives.rs:
+crates/modgen/src/layout.rs:
+crates/modgen/src/spec.rs:
+crates/modgen/src/workload.rs:

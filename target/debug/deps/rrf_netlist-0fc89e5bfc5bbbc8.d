@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/rrf_netlist-0fc89e5bfc5bbbc8.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/debug/deps/librrf_netlist-0fc89e5bfc5bbbc8.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/debug/deps/librrf_netlist-0fc89e5bfc5bbbc8.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/pack.rs:
+crates/netlist/src/parser.rs:

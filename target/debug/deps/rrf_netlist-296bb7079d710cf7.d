@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/rrf_netlist-296bb7079d710cf7.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/debug/deps/rrf_netlist-296bb7079d710cf7: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/pack.rs:
+crates/netlist/src/parser.rs:

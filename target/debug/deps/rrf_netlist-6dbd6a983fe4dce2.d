@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/rrf_netlist-6dbd6a983fe4dce2.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_netlist-6dbd6a983fe4dce2.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs Cargo.toml
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/pack.rs:
+crates/netlist/src/parser.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

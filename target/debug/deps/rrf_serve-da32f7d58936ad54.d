@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rrf_serve-da32f7d58936ad54.d: crates/server/src/bin/rrf-serve.rs
+
+/root/repo/target/debug/deps/rrf_serve-da32f7d58936ad54: crates/server/src/bin/rrf-serve.rs
+
+crates/server/src/bin/rrf-serve.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_serve-da44715453bc2202.d: crates/server/src/bin/rrf-serve.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_serve-da44715453bc2202.rmeta: crates/server/src/bin/rrf-serve.rs Cargo.toml
+
+crates/server/src/bin/rrf-serve.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rrf_serve-fa7cfad800aad645.d: crates/server/src/bin/rrf-serve.rs
+
+/root/repo/target/debug/deps/rrf_serve-fa7cfad800aad645: crates/server/src/bin/rrf-serve.rs
+
+crates/server/src/bin/rrf-serve.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rrf_server-29fbe66f263834ca.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/librrf_server-29fbe66f263834ca.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/librrf_server-29fbe66f263834ca.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_server-f8e6fbd562ecf6ae.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/debug/deps/rrf_server-f8e6fbd562ecf6ae: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

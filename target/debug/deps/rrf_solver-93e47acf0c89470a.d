@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/rrf_solver-93e47acf0c89470a.d: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+/root/repo/target/debug/deps/rrf_solver-93e47acf0c89470a: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraints/mod.rs:
+crates/solver/src/constraints/alldiff.rs:
+crates/solver/src/constraints/arith.rs:
+crates/solver/src/constraints/count.rs:
+crates/solver/src/constraints/cumulative.rs:
+crates/solver/src/constraints/element.rs:
+crates/solver/src/constraints/lex.rs:
+crates/solver/src/constraints/linear.rs:
+crates/solver/src/constraints/logic.rs:
+crates/solver/src/constraints/minmax.rs:
+crates/solver/src/constraints/table.rs:
+crates/solver/src/domain.rs:
+crates/solver/src/model.rs:
+crates/solver/src/portfolio.rs:
+crates/solver/src/propagator.rs:
+crates/solver/src/search.rs:
+crates/solver/src/space.rs:

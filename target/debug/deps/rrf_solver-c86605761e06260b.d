@@ -1,0 +1,26 @@
+/root/repo/target/debug/deps/rrf_solver-c86605761e06260b.d: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_solver-c86605761e06260b.rmeta: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs Cargo.toml
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraints/mod.rs:
+crates/solver/src/constraints/alldiff.rs:
+crates/solver/src/constraints/arith.rs:
+crates/solver/src/constraints/count.rs:
+crates/solver/src/constraints/cumulative.rs:
+crates/solver/src/constraints/element.rs:
+crates/solver/src/constraints/lex.rs:
+crates/solver/src/constraints/linear.rs:
+crates/solver/src/constraints/logic.rs:
+crates/solver/src/constraints/minmax.rs:
+crates/solver/src/constraints/table.rs:
+crates/solver/src/domain.rs:
+crates/solver/src/model.rs:
+crates/solver/src/portfolio.rs:
+crates/solver/src/propagator.rs:
+crates/solver/src/search.rs:
+crates/solver/src/space.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

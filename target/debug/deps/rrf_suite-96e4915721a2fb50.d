@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_suite-96e4915721a2fb50.d: crates/suite/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_suite-96e4915721a2fb50.rmeta: crates/suite/src/lib.rs Cargo.toml
+
+crates/suite/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rrf_suite-9f740c287079ce3c.d: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/librrf_suite-9f740c287079ce3c.rlib: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/librrf_suite-9f740c287079ce3c.rmeta: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rrf_suite-af63e0377d01cf1c.d: crates/suite/src/lib.rs
+
+/root/repo/target/debug/deps/rrf_suite-af63e0377d01cf1c: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/rrf_viz-06305f968880e5d7.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs Cargo.toml
+
+/root/repo/target/debug/deps/librrf_viz-06305f968880e5d7.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs Cargo.toml
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/svg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rrf_viz-421280cbd037d178.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/librrf_viz-421280cbd037d178.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/librrf_viz-421280cbd037d178.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rrf_viz-f4a78b49e6dbac07.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/debug/deps/rrf_viz-f4a78b49e6dbac07: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/svg.rs:

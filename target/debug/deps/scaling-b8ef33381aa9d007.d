@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scaling-b8ef33381aa9d007.d: crates/bench/benches/scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscaling-b8ef33381aa9d007.rmeta: crates/bench/benches/scaling.rs Cargo.toml
+
+crates/bench/benches/scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

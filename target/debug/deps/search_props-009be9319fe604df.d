@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/search_props-009be9319fe604df.d: crates/solver/tests/search_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsearch_props-009be9319fe604df.rmeta: crates/solver/tests/search_props.rs Cargo.toml
+
+crates/solver/tests/search_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

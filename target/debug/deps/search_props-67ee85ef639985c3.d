@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/search_props-67ee85ef639985c3.d: crates/solver/tests/search_props.rs
+
+/root/repo/target/debug/deps/search_props-67ee85ef639985c3: crates/solver/tests/search_props.rs
+
+crates/solver/tests/search_props.rs:

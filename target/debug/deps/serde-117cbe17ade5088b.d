@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-117cbe17ade5088b.d: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+/root/repo/target/debug/deps/serde-117cbe17ade5088b: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/impls.rs:
+vendor/serde/src/value.rs:

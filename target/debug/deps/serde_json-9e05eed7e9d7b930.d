@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-9e05eed7e9d7b930.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9e05eed7e9d7b930.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-9e05eed7e9d7b930.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-c9a887200ed49a9a.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-c9a887200ed49a9a: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

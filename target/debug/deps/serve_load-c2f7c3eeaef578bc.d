@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_load-c2f7c3eeaef578bc.d: crates/bench/src/bin/serve_load.rs
+
+/root/repo/target/debug/deps/serve_load-c2f7c3eeaef578bc: crates/bench/src/bin/serve_load.rs
+
+crates/bench/src/bin/serve_load.rs:

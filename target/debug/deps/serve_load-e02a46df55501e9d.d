@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_load-e02a46df55501e9d.d: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_load-e02a46df55501e9d.rmeta: crates/bench/src/bin/serve_load.rs Cargo.toml
+
+crates/bench/src/bin/serve_load.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

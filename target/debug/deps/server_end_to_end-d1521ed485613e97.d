@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/server_end_to_end-d1521ed485613e97.d: crates/server/tests/server_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserver_end_to_end-d1521ed485613e97.rmeta: crates/server/tests/server_end_to_end.rs Cargo.toml
+
+crates/server/tests/server_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

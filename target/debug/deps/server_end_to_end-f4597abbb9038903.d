@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/server_end_to_end-f4597abbb9038903.d: crates/server/tests/server_end_to_end.rs
+
+/root/repo/target/debug/deps/server_end_to_end-f4597abbb9038903: crates/server/tests/server_end_to_end.rs
+
+crates/server/tests/server_end_to_end.rs:

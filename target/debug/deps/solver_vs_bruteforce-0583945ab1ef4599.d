@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/solver_vs_bruteforce-0583945ab1ef4599.d: crates/suite/../../tests/solver_vs_bruteforce.rs
+
+/root/repo/target/debug/deps/solver_vs_bruteforce-0583945ab1ef4599: crates/suite/../../tests/solver_vs_bruteforce.rs
+
+crates/suite/../../tests/solver_vs_bruteforce.rs:

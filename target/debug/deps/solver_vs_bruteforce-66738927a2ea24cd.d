@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver_vs_bruteforce-66738927a2ea24cd.d: crates/suite/../../tests/solver_vs_bruteforce.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver_vs_bruteforce-66738927a2ea24cd.rmeta: crates/suite/../../tests/solver_vs_bruteforce.rs Cargo.toml
+
+crates/suite/../../tests/solver_vs_bruteforce.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-a5bacf9ebfd9abad.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-a5bacf9ebfd9abad: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

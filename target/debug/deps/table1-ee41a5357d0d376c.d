@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ee41a5357d0d376c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ee41a5357d0d376c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/design_flow-221ebef27057f08a.d: crates/suite/../../examples/design_flow.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdesign_flow-221ebef27057f08a.rmeta: crates/suite/../../examples/design_flow.rs Cargo.toml
+
+crates/suite/../../examples/design_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_flow-2ad7637ef1a42834.d: crates/suite/../../examples/design_flow.rs
+
+/root/repo/target/debug/examples/design_flow-2ad7637ef1a42834: crates/suite/../../examples/design_flow.rs
+
+crates/suite/../../examples/design_flow.rs:

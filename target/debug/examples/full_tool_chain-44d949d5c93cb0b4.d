@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_tool_chain-44d949d5c93cb0b4.d: crates/suite/../../examples/full_tool_chain.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_tool_chain-44d949d5c93cb0b4.rmeta: crates/suite/../../examples/full_tool_chain.rs Cargo.toml
+
+crates/suite/../../examples/full_tool_chain.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

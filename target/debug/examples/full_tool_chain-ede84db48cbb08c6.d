@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_tool_chain-ede84db48cbb08c6.d: crates/suite/../../examples/full_tool_chain.rs
+
+/root/repo/target/debug/examples/full_tool_chain-ede84db48cbb08c6: crates/suite/../../examples/full_tool_chain.rs
+
+crates/suite/../../examples/full_tool_chain.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_pipeline-17eb98c96a4f638e.d: crates/suite/../../examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_pipeline-17eb98c96a4f638e.rmeta: crates/suite/../../examples/image_pipeline.rs Cargo.toml
+
+crates/suite/../../examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

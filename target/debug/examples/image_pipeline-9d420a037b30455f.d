@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-9d420a037b30455f.d: crates/suite/../../examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-9d420a037b30455f: crates/suite/../../examples/image_pipeline.rs
+
+crates/suite/../../examples/image_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-1d87d3c998518964.d: crates/suite/../../examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-1d87d3c998518964.rmeta: crates/suite/../../examples/quickstart.rs Cargo.toml
+
+crates/suite/../../examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7871923029928499.d: crates/suite/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7871923029928499: crates/suite/../../examples/quickstart.rs
+
+crates/suite/../../examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sdr_modem-813bdef09ce343f2.d: crates/suite/../../examples/sdr_modem.rs
+
+/root/repo/target/debug/examples/sdr_modem-813bdef09ce343f2: crates/suite/../../examples/sdr_modem.rs
+
+crates/suite/../../examples/sdr_modem.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sdr_modem-82d72f346c41fd43.d: crates/suite/../../examples/sdr_modem.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsdr_modem-82d72f346c41fd43.rmeta: crates/suite/../../examples/sdr_modem.rs Cargo.toml
+
+crates/suite/../../examples/sdr_modem.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alternatives-623d4c7edc265bd2.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/release/deps/ablation_alternatives-623d4c7edc265bd2: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

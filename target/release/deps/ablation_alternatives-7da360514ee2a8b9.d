@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alternatives-7da360514ee2a8b9.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/release/deps/ablation_alternatives-7da360514ee2a8b9: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_alternatives-fb82ca0865f3db5f.d: crates/bench/src/bin/ablation_alternatives.rs
+
+/root/repo/target/release/deps/ablation_alternatives-fb82ca0865f3db5f: crates/bench/src/bin/ablation_alternatives.rs
+
+crates/bench/src/bin/ablation_alternatives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_baseline-270f2aaf05c1ccac.d: crates/bench/src/bin/ablation_baseline.rs
+
+/root/repo/target/release/deps/ablation_baseline-270f2aaf05c1ccac: crates/bench/src/bin/ablation_baseline.rs
+
+crates/bench/src/bin/ablation_baseline.rs:

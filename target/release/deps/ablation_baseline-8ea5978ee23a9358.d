@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_baseline-8ea5978ee23a9358.d: crates/bench/src/bin/ablation_baseline.rs
+
+/root/repo/target/release/deps/ablation_baseline-8ea5978ee23a9358: crates/bench/src/bin/ablation_baseline.rs
+
+crates/bench/src/bin/ablation_baseline.rs:

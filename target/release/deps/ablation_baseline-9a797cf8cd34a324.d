@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_baseline-9a797cf8cd34a324.d: crates/bench/src/bin/ablation_baseline.rs
+
+/root/repo/target/release/deps/ablation_baseline-9a797cf8cd34a324: crates/bench/src/bin/ablation_baseline.rs
+
+crates/bench/src/bin/ablation_baseline.rs:

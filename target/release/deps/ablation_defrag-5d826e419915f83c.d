@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_defrag-5d826e419915f83c.d: crates/bench/src/bin/ablation_defrag.rs
+
+/root/repo/target/release/deps/ablation_defrag-5d826e419915f83c: crates/bench/src/bin/ablation_defrag.rs
+
+crates/bench/src/bin/ablation_defrag.rs:

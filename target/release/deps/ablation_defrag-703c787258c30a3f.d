@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_defrag-703c787258c30a3f.d: crates/bench/src/bin/ablation_defrag.rs
+
+/root/repo/target/release/deps/ablation_defrag-703c787258c30a3f: crates/bench/src/bin/ablation_defrag.rs
+
+crates/bench/src/bin/ablation_defrag.rs:

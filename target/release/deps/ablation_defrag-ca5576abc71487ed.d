@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_defrag-ca5576abc71487ed.d: crates/bench/src/bin/ablation_defrag.rs
+
+/root/repo/target/release/deps/ablation_defrag-ca5576abc71487ed: crates/bench/src/bin/ablation_defrag.rs
+
+crates/bench/src/bin/ablation_defrag.rs:

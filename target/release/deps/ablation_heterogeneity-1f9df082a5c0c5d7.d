@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_heterogeneity-1f9df082a5c0c5d7.d: crates/bench/src/bin/ablation_heterogeneity.rs
+
+/root/repo/target/release/deps/ablation_heterogeneity-1f9df082a5c0c5d7: crates/bench/src/bin/ablation_heterogeneity.rs
+
+crates/bench/src/bin/ablation_heterogeneity.rs:

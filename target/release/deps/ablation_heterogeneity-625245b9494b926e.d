@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_heterogeneity-625245b9494b926e.d: crates/bench/src/bin/ablation_heterogeneity.rs
+
+/root/repo/target/release/deps/ablation_heterogeneity-625245b9494b926e: crates/bench/src/bin/ablation_heterogeneity.rs
+
+crates/bench/src/bin/ablation_heterogeneity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_heterogeneity-98e932c99c936f68.d: crates/bench/src/bin/ablation_heterogeneity.rs
+
+/root/repo/target/release/deps/ablation_heterogeneity-98e932c99c936f68: crates/bench/src/bin/ablation_heterogeneity.rs
+
+crates/bench/src/bin/ablation_heterogeneity.rs:

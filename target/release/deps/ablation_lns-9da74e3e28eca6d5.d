@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lns-9da74e3e28eca6d5.d: crates/bench/src/bin/ablation_lns.rs
+
+/root/repo/target/release/deps/ablation_lns-9da74e3e28eca6d5: crates/bench/src/bin/ablation_lns.rs
+
+crates/bench/src/bin/ablation_lns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lns-b5d70dbd0a1763fd.d: crates/bench/src/bin/ablation_lns.rs
+
+/root/repo/target/release/deps/ablation_lns-b5d70dbd0a1763fd: crates/bench/src/bin/ablation_lns.rs
+
+crates/bench/src/bin/ablation_lns.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lns-e7515f70ffa800b6.d: crates/bench/src/bin/ablation_lns.rs
+
+/root/repo/target/release/deps/ablation_lns-e7515f70ffa800b6: crates/bench/src/bin/ablation_lns.rs
+
+crates/bench/src/bin/ablation_lns.rs:

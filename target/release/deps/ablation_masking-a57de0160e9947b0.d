@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_masking-a57de0160e9947b0.d: crates/bench/src/bin/ablation_masking.rs
+
+/root/repo/target/release/deps/ablation_masking-a57de0160e9947b0: crates/bench/src/bin/ablation_masking.rs
+
+crates/bench/src/bin/ablation_masking.rs:

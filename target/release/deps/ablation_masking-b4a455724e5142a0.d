@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_masking-b4a455724e5142a0.d: crates/bench/src/bin/ablation_masking.rs
+
+/root/repo/target/release/deps/ablation_masking-b4a455724e5142a0: crates/bench/src/bin/ablation_masking.rs
+
+crates/bench/src/bin/ablation_masking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_masking-ec0b5beb301907e3.d: crates/bench/src/bin/ablation_masking.rs
+
+/root/repo/target/release/deps/ablation_masking-ec0b5beb301907e3: crates/bench/src/bin/ablation_masking.rs
+
+crates/bench/src/bin/ablation_masking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_online-244de1a61ce3676e.d: crates/bench/src/bin/ablation_online.rs
+
+/root/repo/target/release/deps/ablation_online-244de1a61ce3676e: crates/bench/src/bin/ablation_online.rs
+
+crates/bench/src/bin/ablation_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_online-d020611746f3b732.d: crates/bench/src/bin/ablation_online.rs
+
+/root/repo/target/release/deps/ablation_online-d020611746f3b732: crates/bench/src/bin/ablation_online.rs
+
+crates/bench/src/bin/ablation_online.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_online-ed6217d9d939030a.d: crates/bench/src/bin/ablation_online.rs
+
+/root/repo/target/release/deps/ablation_online-ed6217d9d939030a: crates/bench/src/bin/ablation_online.rs
+
+crates/bench/src/bin/ablation_online.rs:

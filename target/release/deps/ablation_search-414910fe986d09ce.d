@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_search-414910fe986d09ce.d: crates/bench/src/bin/ablation_search.rs
+
+/root/repo/target/release/deps/ablation_search-414910fe986d09ce: crates/bench/src/bin/ablation_search.rs
+
+crates/bench/src/bin/ablation_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_search-51a3a834a4117b37.d: crates/bench/src/bin/ablation_search.rs
+
+/root/repo/target/release/deps/ablation_search-51a3a834a4117b37: crates/bench/src/bin/ablation_search.rs
+
+crates/bench/src/bin/ablation_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_search-beb877ab2a1bef19.d: crates/bench/src/bin/ablation_search.rs
+
+/root/repo/target/release/deps/ablation_search-beb877ab2a1bef19: crates/bench/src/bin/ablation_search.rs
+
+crates/bench/src/bin/ablation_search.rs:

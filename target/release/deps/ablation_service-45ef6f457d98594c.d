@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-45ef6f457d98594c.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-45ef6f457d98594c: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

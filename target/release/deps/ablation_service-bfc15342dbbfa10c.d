@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-bfc15342dbbfa10c.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-bfc15342dbbfa10c: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

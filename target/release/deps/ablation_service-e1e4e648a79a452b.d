@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_service-e1e4e648a79a452b.d: crates/bench/src/bin/ablation_service.rs
+
+/root/repo/target/release/deps/ablation_service-e1e4e648a79a452b: crates/bench/src/bin/ablation_service.rs
+
+crates/bench/src/bin/ablation_service.rs:

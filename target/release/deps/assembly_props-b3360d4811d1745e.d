@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/assembly_props-b3360d4811d1745e.d: crates/bitstream/tests/assembly_props.rs
+
+/root/repo/target/release/deps/assembly_props-b3360d4811d1745e: crates/bitstream/tests/assembly_props.rs
+
+crates/bitstream/tests/assembly_props.rs:

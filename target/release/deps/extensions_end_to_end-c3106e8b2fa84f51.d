@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/extensions_end_to_end-c3106e8b2fa84f51.d: crates/suite/../../tests/extensions_end_to_end.rs
+
+/root/repo/target/release/deps/extensions_end_to_end-c3106e8b2fa84f51: crates/suite/../../tests/extensions_end_to_end.rs
+
+crates/suite/../../tests/extensions_end_to_end.rs:

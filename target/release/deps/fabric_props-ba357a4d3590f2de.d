@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fabric_props-ba357a4d3590f2de.d: crates/fabric/tests/fabric_props.rs
+
+/root/repo/target/release/deps/fabric_props-ba357a4d3590f2de: crates/fabric/tests/fabric_props.rs
+
+crates/fabric/tests/fabric_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-51c9553d3cf2563f.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-51c9553d3cf2563f: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-69c495805ffa3378.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-69c495805ffa3378: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1-aecae078b824043e.d: crates/bench/src/bin/fig1.rs
+
+/root/repo/target/release/deps/fig1-aecae078b824043e: crates/bench/src/bin/fig1.rs
+
+crates/bench/src/bin/fig1.rs:

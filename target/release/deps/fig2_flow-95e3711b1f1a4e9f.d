@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_flow-95e3711b1f1a4e9f.d: crates/bench/src/bin/fig2_flow.rs
+
+/root/repo/target/release/deps/fig2_flow-95e3711b1f1a4e9f: crates/bench/src/bin/fig2_flow.rs
+
+crates/bench/src/bin/fig2_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_flow-c29efab8046e4db2.d: crates/bench/src/bin/fig2_flow.rs
+
+/root/repo/target/release/deps/fig2_flow-c29efab8046e4db2: crates/bench/src/bin/fig2_flow.rs
+
+crates/bench/src/bin/fig2_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_flow-dd7aa54966b45454.d: crates/bench/src/bin/fig2_flow.rs
+
+/root/repo/target/release/deps/fig2_flow-dd7aa54966b45454: crates/bench/src/bin/fig2_flow.rs
+
+crates/bench/src/bin/fig2_flow.rs:

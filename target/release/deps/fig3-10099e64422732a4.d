@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-10099e64422732a4.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-10099e64422732a4: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

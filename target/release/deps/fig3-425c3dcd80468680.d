@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-425c3dcd80468680.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-425c3dcd80468680: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-86a2fc9662e3f36c.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-86a2fc9662e3f36c: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

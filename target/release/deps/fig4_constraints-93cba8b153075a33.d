@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_constraints-93cba8b153075a33.d: crates/bench/src/bin/fig4_constraints.rs
+
+/root/repo/target/release/deps/fig4_constraints-93cba8b153075a33: crates/bench/src/bin/fig4_constraints.rs
+
+crates/bench/src/bin/fig4_constraints.rs:

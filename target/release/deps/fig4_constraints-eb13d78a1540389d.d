@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_constraints-eb13d78a1540389d.d: crates/bench/src/bin/fig4_constraints.rs
+
+/root/repo/target/release/deps/fig4_constraints-eb13d78a1540389d: crates/bench/src/bin/fig4_constraints.rs
+
+crates/bench/src/bin/fig4_constraints.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_constraints-ef5c03b88ebf9c7d.d: crates/bench/src/bin/fig4_constraints.rs
+
+/root/repo/target/release/deps/fig4_constraints-ef5c03b88ebf9c7d: crates/bench/src/bin/fig4_constraints.rs
+
+crates/bench/src/bin/fig4_constraints.rs:

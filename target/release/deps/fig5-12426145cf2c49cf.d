@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-12426145cf2c49cf.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-12426145cf2c49cf: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

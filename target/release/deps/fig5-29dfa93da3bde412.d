@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-29dfa93da3bde412.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-29dfa93da3bde412: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

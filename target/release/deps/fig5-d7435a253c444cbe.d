@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-d7435a253c444cbe.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-d7435a253c444cbe: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

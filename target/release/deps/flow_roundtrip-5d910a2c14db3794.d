@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_roundtrip-5d910a2c14db3794.d: crates/suite/../../tests/flow_roundtrip.rs
+
+/root/repo/target/release/deps/flow_roundtrip-5d910a2c14db3794: crates/suite/../../tests/flow_roundtrip.rs
+
+crates/suite/../../tests/flow_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/generator_props-a2281ea183e3c2eb.d: crates/modgen/tests/generator_props.rs
+
+/root/repo/target/release/deps/generator_props-a2281ea183e3c2eb: crates/modgen/tests/generator_props.rs
+
+crates/modgen/tests/generator_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/geost_vs_pairwise-e62d88ddbbb6f8f7.d: crates/suite/../../tests/geost_vs_pairwise.rs
+
+/root/repo/target/release/deps/geost_vs_pairwise-e62d88ddbbb6f8f7: crates/suite/../../tests/geost_vs_pairwise.rs
+
+crates/suite/../../tests/geost_vs_pairwise.rs:

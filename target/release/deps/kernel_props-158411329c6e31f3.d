@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernel_props-158411329c6e31f3.d: crates/geost/tests/kernel_props.rs
+
+/root/repo/target/release/deps/kernel_props-158411329c6e31f3: crates/geost/tests/kernel_props.rs
+
+crates/geost/tests/kernel_props.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/placement_end_to_end-6d3cb718f41167e5.d: crates/suite/../../tests/placement_end_to_end.rs
+
+/root/repo/target/release/deps/placement_end_to_end-6d3cb718f41167e5: crates/suite/../../tests/placement_end_to_end.rs
+
+crates/suite/../../tests/placement_end_to_end.rs:

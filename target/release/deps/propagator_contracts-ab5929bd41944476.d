@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/propagator_contracts-ab5929bd41944476.d: crates/solver/tests/propagator_contracts.rs
+
+/root/repo/target/release/deps/propagator_contracts-ab5929bd41944476: crates/solver/tests/propagator_contracts.rs
+
+crates/solver/tests/propagator_contracts.rs:

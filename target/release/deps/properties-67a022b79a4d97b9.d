@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-67a022b79a4d97b9.d: crates/suite/../../tests/properties.rs
+
+/root/repo/target/release/deps/properties-67a022b79a4d97b9: crates/suite/../../tests/properties.rs
+
+crates/suite/../../tests/properties.rs:

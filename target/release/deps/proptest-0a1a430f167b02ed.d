@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-0a1a430f167b02ed.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0a1a430f167b02ed.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-0a1a430f167b02ed.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-982f8cad3f4ffdf2.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-982f8cad3f4ffdf2: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/protocol_props-8cb1b17eb54ba650.d: crates/server/tests/protocol_props.rs
+
+/root/repo/target/release/deps/protocol_props-8cb1b17eb54ba650: crates/server/tests/protocol_props.rs
+
+crates/server/tests/protocol_props.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rrf_bench-021f492d3f467329.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/release/deps/librrf_bench-021f492d3f467329.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/release/deps/librrf_bench-021f492d3f467329.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

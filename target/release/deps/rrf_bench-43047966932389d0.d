@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/rrf_bench-43047966932389d0.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/release/deps/rrf_bench-43047966932389d0: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/rrf_bench-a201e9a7ac675033.d: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/release/deps/librrf_bench-a201e9a7ac675033.rlib: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+/root/repo/target/release/deps/librrf_bench-a201e9a7ac675033.rmeta: crates/bench/src/lib.rs crates/bench/src/experiment.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiment.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rrf_bitstream-81abac41d0a3043e.d: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/release/deps/rrf_bitstream-81abac41d0a3043e: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/assemble.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/memory.rs:
+crates/bitstream/src/relocate.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rrf_bitstream-d928da5fd79114ad.d: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/release/deps/librrf_bitstream-d928da5fd79114ad.rlib: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+/root/repo/target/release/deps/librrf_bitstream-d928da5fd79114ad.rmeta: crates/bitstream/src/lib.rs crates/bitstream/src/assemble.rs crates/bitstream/src/crc.rs crates/bitstream/src/frame.rs crates/bitstream/src/memory.rs crates/bitstream/src/relocate.rs
+
+crates/bitstream/src/lib.rs:
+crates/bitstream/src/assemble.rs:
+crates/bitstream/src/crc.rs:
+crates/bitstream/src/frame.rs:
+crates/bitstream/src/memory.rs:
+crates/bitstream/src/relocate.rs:

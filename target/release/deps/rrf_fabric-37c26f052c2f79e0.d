@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/rrf_fabric-37c26f052c2f79e0.d: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/librrf_fabric-37c26f052c2f79e0.rlib: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/librrf_fabric-37c26f052c2f79e0.rmeta: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/grid.rs:
+crates/fabric/src/region.rs:
+crates/fabric/src/resource.rs:
+crates/fabric/src/stats.rs:

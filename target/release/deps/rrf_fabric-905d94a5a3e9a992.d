@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rrf_fabric-905d94a5a3e9a992.d: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+/root/repo/target/release/deps/rrf_fabric-905d94a5a3e9a992: crates/fabric/src/lib.rs crates/fabric/src/device.rs crates/fabric/src/error.rs crates/fabric/src/geometry.rs crates/fabric/src/grid.rs crates/fabric/src/region.rs crates/fabric/src/resource.rs crates/fabric/src/stats.rs
+
+crates/fabric/src/lib.rs:
+crates/fabric/src/device.rs:
+crates/fabric/src/error.rs:
+crates/fabric/src/geometry.rs:
+crates/fabric/src/grid.rs:
+crates/fabric/src/region.rs:
+crates/fabric/src/resource.rs:
+crates/fabric/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rrf_flow-225225b14d5afdec.d: crates/flow/src/bin/rrf-flow.rs
+
+/root/repo/target/release/deps/rrf_flow-225225b14d5afdec: crates/flow/src/bin/rrf-flow.rs
+
+crates/flow/src/bin/rrf-flow.rs:

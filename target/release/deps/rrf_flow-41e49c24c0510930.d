@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rrf_flow-41e49c24c0510930.d: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/release/deps/librrf_flow-41e49c24c0510930.rlib: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/release/deps/librrf_flow-41e49c24c0510930.rmeta: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/driver.rs:
+crates/flow/src/io.rs:
+crates/flow/src/report.rs:
+crates/flow/src/spec.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rrf_flow-94706cddabc3f890.d: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+/root/repo/target/release/deps/rrf_flow-94706cddabc3f890: crates/flow/src/lib.rs crates/flow/src/driver.rs crates/flow/src/io.rs crates/flow/src/report.rs crates/flow/src/spec.rs
+
+crates/flow/src/lib.rs:
+crates/flow/src/driver.rs:
+crates/flow/src/io.rs:
+crates/flow/src/report.rs:
+crates/flow/src/spec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rrf_flow-c7fc17c8d504849c.d: crates/flow/src/bin/rrf-flow.rs
+
+/root/repo/target/release/deps/rrf_flow-c7fc17c8d504849c: crates/flow/src/bin/rrf-flow.rs
+
+crates/flow/src/bin/rrf-flow.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rrf_geost-a8804a4d659015da.d: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/release/deps/rrf_geost-a8804a4d659015da: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+crates/geost/src/lib.rs:
+crates/geost/src/compat.rs:
+crates/geost/src/grid.rs:
+crates/geost/src/nonoverlap.rs:
+crates/geost/src/object.rs:
+crates/geost/src/shape.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rrf_geost-ff76989155070be6.d: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/release/deps/librrf_geost-ff76989155070be6.rlib: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+/root/repo/target/release/deps/librrf_geost-ff76989155070be6.rmeta: crates/geost/src/lib.rs crates/geost/src/compat.rs crates/geost/src/grid.rs crates/geost/src/nonoverlap.rs crates/geost/src/object.rs crates/geost/src/shape.rs
+
+crates/geost/src/lib.rs:
+crates/geost/src/compat.rs:
+crates/geost/src/grid.rs:
+crates/geost/src/nonoverlap.rs:
+crates/geost/src/object.rs:
+crates/geost/src/shape.rs:

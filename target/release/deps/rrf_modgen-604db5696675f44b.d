@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rrf_modgen-604db5696675f44b.d: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/release/deps/rrf_modgen-604db5696675f44b: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+crates/modgen/src/lib.rs:
+crates/modgen/src/alternatives.rs:
+crates/modgen/src/layout.rs:
+crates/modgen/src/spec.rs:
+crates/modgen/src/workload.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rrf_modgen-b70e04e3b6718761.d: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/release/deps/librrf_modgen-b70e04e3b6718761.rlib: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+/root/repo/target/release/deps/librrf_modgen-b70e04e3b6718761.rmeta: crates/modgen/src/lib.rs crates/modgen/src/alternatives.rs crates/modgen/src/layout.rs crates/modgen/src/spec.rs crates/modgen/src/workload.rs
+
+crates/modgen/src/lib.rs:
+crates/modgen/src/alternatives.rs:
+crates/modgen/src/layout.rs:
+crates/modgen/src/spec.rs:
+crates/modgen/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/rrf_netlist-53c73ac410c561f9.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/release/deps/rrf_netlist-53c73ac410c561f9: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/pack.rs:
+crates/netlist/src/parser.rs:

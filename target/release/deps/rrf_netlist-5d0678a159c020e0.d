@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/rrf_netlist-5d0678a159c020e0.d: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/release/deps/librrf_netlist-5d0678a159c020e0.rlib: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+/root/repo/target/release/deps/librrf_netlist-5d0678a159c020e0.rmeta: crates/netlist/src/lib.rs crates/netlist/src/cell.rs crates/netlist/src/net.rs crates/netlist/src/netlist.rs crates/netlist/src/pack.rs crates/netlist/src/parser.rs
+
+crates/netlist/src/lib.rs:
+crates/netlist/src/cell.rs:
+crates/netlist/src/net.rs:
+crates/netlist/src/netlist.rs:
+crates/netlist/src/pack.rs:
+crates/netlist/src/parser.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rrf_serve-1b42cfda7d042bbb.d: crates/server/src/bin/rrf-serve.rs
+
+/root/repo/target/release/deps/rrf_serve-1b42cfda7d042bbb: crates/server/src/bin/rrf-serve.rs
+
+crates/server/src/bin/rrf-serve.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rrf_serve-af9b2781ddf04d4e.d: crates/server/src/bin/rrf-serve.rs
+
+/root/repo/target/release/deps/rrf_serve-af9b2781ddf04d4e: crates/server/src/bin/rrf-serve.rs
+
+crates/server/src/bin/rrf-serve.rs:

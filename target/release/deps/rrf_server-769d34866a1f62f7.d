@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/rrf_server-769d34866a1f62f7.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/release/deps/librrf_server-769d34866a1f62f7.rlib: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/release/deps/librrf_server-769d34866a1f62f7.rmeta: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

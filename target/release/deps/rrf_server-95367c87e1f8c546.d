@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rrf_server-95367c87e1f8c546.d: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+/root/repo/target/release/deps/rrf_server-95367c87e1f8c546: crates/server/src/lib.rs crates/server/src/cache.rs crates/server/src/protocol.rs crates/server/src/server.rs crates/server/src/stats.rs
+
+crates/server/src/lib.rs:
+crates/server/src/cache.rs:
+crates/server/src/protocol.rs:
+crates/server/src/server.rs:
+crates/server/src/stats.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/release/deps/rrf_solver-8b0038bfae5e24a8.d: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+/root/repo/target/release/deps/rrf_solver-8b0038bfae5e24a8: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraints/mod.rs:
+crates/solver/src/constraints/alldiff.rs:
+crates/solver/src/constraints/arith.rs:
+crates/solver/src/constraints/count.rs:
+crates/solver/src/constraints/cumulative.rs:
+crates/solver/src/constraints/element.rs:
+crates/solver/src/constraints/lex.rs:
+crates/solver/src/constraints/linear.rs:
+crates/solver/src/constraints/logic.rs:
+crates/solver/src/constraints/minmax.rs:
+crates/solver/src/constraints/table.rs:
+crates/solver/src/domain.rs:
+crates/solver/src/model.rs:
+crates/solver/src/portfolio.rs:
+crates/solver/src/propagator.rs:
+crates/solver/src/search.rs:
+crates/solver/src/space.rs:

@@ -1,0 +1,24 @@
+/root/repo/target/release/deps/rrf_solver-eb62b1d914c0fe1f.d: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+/root/repo/target/release/deps/librrf_solver-eb62b1d914c0fe1f.rlib: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+/root/repo/target/release/deps/librrf_solver-eb62b1d914c0fe1f.rmeta: crates/solver/src/lib.rs crates/solver/src/constraints/mod.rs crates/solver/src/constraints/alldiff.rs crates/solver/src/constraints/arith.rs crates/solver/src/constraints/count.rs crates/solver/src/constraints/cumulative.rs crates/solver/src/constraints/element.rs crates/solver/src/constraints/lex.rs crates/solver/src/constraints/linear.rs crates/solver/src/constraints/logic.rs crates/solver/src/constraints/minmax.rs crates/solver/src/constraints/table.rs crates/solver/src/domain.rs crates/solver/src/model.rs crates/solver/src/portfolio.rs crates/solver/src/propagator.rs crates/solver/src/search.rs crates/solver/src/space.rs
+
+crates/solver/src/lib.rs:
+crates/solver/src/constraints/mod.rs:
+crates/solver/src/constraints/alldiff.rs:
+crates/solver/src/constraints/arith.rs:
+crates/solver/src/constraints/count.rs:
+crates/solver/src/constraints/cumulative.rs:
+crates/solver/src/constraints/element.rs:
+crates/solver/src/constraints/lex.rs:
+crates/solver/src/constraints/linear.rs:
+crates/solver/src/constraints/logic.rs:
+crates/solver/src/constraints/minmax.rs:
+crates/solver/src/constraints/table.rs:
+crates/solver/src/domain.rs:
+crates/solver/src/model.rs:
+crates/solver/src/portfolio.rs:
+crates/solver/src/propagator.rs:
+crates/solver/src/search.rs:
+crates/solver/src/space.rs:

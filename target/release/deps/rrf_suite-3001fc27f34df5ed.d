@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rrf_suite-3001fc27f34df5ed.d: crates/suite/src/lib.rs
+
+/root/repo/target/release/deps/librrf_suite-3001fc27f34df5ed.rlib: crates/suite/src/lib.rs
+
+/root/repo/target/release/deps/librrf_suite-3001fc27f34df5ed.rmeta: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

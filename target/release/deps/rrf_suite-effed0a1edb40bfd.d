@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rrf_suite-effed0a1edb40bfd.d: crates/suite/src/lib.rs
+
+/root/repo/target/release/deps/rrf_suite-effed0a1edb40bfd: crates/suite/src/lib.rs
+
+crates/suite/src/lib.rs:

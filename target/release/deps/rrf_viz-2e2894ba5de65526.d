@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rrf_viz-2e2894ba5de65526.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/librrf_viz-2e2894ba5de65526.rlib: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/librrf_viz-2e2894ba5de65526.rmeta: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/svg.rs:

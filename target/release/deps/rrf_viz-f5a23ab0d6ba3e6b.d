@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rrf_viz-f5a23ab0d6ba3e6b.d: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+/root/repo/target/release/deps/rrf_viz-f5a23ab0d6ba3e6b: crates/viz/src/lib.rs crates/viz/src/ascii.rs crates/viz/src/svg.rs
+
+crates/viz/src/lib.rs:
+crates/viz/src/ascii.rs:
+crates/viz/src/svg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/search_props-27212c8df0dd0164.d: crates/solver/tests/search_props.rs
+
+/root/repo/target/release/deps/search_props-27212c8df0dd0164: crates/solver/tests/search_props.rs
+
+crates/solver/tests/search_props.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/serde-3830cd8931177efc.d: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-3830cd8931177efc.rlib: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/libserde-3830cd8931177efc.rmeta: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/impls.rs:
+vendor/serde/src/value.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-faecd0f0e53d9be0.d: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+/root/repo/target/release/deps/serde-faecd0f0e53d9be0: vendor/serde/src/lib.rs vendor/serde/src/impls.rs vendor/serde/src/value.rs
+
+vendor/serde/src/lib.rs:
+vendor/serde/src/impls.rs:
+vendor/serde/src/value.rs:

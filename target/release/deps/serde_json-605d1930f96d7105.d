@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-605d1930f96d7105.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-605d1930f96d7105.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-605d1930f96d7105.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-e561a8be10452910.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-e561a8be10452910: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_load-a19f884515c2c79c.d: crates/bench/src/bin/serve_load.rs
+
+/root/repo/target/release/deps/serve_load-a19f884515c2c79c: crates/bench/src/bin/serve_load.rs
+
+crates/bench/src/bin/serve_load.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/server_end_to_end-7078e79afc35af44.d: crates/server/tests/server_end_to_end.rs
+
+/root/repo/target/release/deps/server_end_to_end-7078e79afc35af44: crates/server/tests/server_end_to_end.rs
+
+crates/server/tests/server_end_to_end.rs:

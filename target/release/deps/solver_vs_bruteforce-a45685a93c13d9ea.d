@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver_vs_bruteforce-a45685a93c13d9ea.d: crates/suite/../../tests/solver_vs_bruteforce.rs
+
+/root/repo/target/release/deps/solver_vs_bruteforce-a45685a93c13d9ea: crates/suite/../../tests/solver_vs_bruteforce.rs
+
+crates/suite/../../tests/solver_vs_bruteforce.rs:

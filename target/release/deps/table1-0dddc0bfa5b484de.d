@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-0dddc0bfa5b484de.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-0dddc0bfa5b484de: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-9372f78f6eb76826.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-9372f78f6eb76826: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

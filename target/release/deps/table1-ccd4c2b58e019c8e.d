@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-ccd4c2b58e019c8e.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-ccd4c2b58e019c8e: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

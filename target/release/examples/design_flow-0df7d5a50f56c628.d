@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_flow-0df7d5a50f56c628.d: crates/suite/../../examples/design_flow.rs
+
+/root/repo/target/release/examples/design_flow-0df7d5a50f56c628: crates/suite/../../examples/design_flow.rs
+
+crates/suite/../../examples/design_flow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_tool_chain-8d07faf08d3e4db9.d: crates/suite/../../examples/full_tool_chain.rs
+
+/root/repo/target/release/examples/full_tool_chain-8d07faf08d3e4db9: crates/suite/../../examples/full_tool_chain.rs
+
+crates/suite/../../examples/full_tool_chain.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/image_pipeline-f7830dad6aec9b12.d: crates/suite/../../examples/image_pipeline.rs
+
+/root/repo/target/release/examples/image_pipeline-f7830dad6aec9b12: crates/suite/../../examples/image_pipeline.rs
+
+crates/suite/../../examples/image_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-9e687a9fd54c81a1.d: crates/suite/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-9e687a9fd54c81a1: crates/suite/../../examples/quickstart.rs
+
+crates/suite/../../examples/quickstart.rs:

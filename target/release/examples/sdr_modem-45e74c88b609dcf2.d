@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sdr_modem-45e74c88b609dcf2.d: crates/suite/../../examples/sdr_modem.rs
+
+/root/repo/target/release/examples/sdr_modem-45e74c88b609dcf2: crates/suite/../../examples/sdr_modem.rs
+
+crates/suite/../../examples/sdr_modem.rs:

@@ -2,8 +2,10 @@
 //! service level, online placement, reconfiguration costs, and
 //! height-minimization — all driven by generated workloads.
 
-use rrf_core::{baseline, cp, lns, metrics, online, reconfig, service, verify, Module,
-    PlacementProblem, PlacerConfig};
+use rrf_core::{
+    baseline, cp, lns, metrics, online, reconfig, service, verify, Module, PlacementProblem,
+    PlacerConfig,
+};
 use rrf_fabric::{device, Region};
 use rrf_modgen::{generate_workload, WorkloadSpec};
 use rrf_suite::problem_from_workload;
@@ -62,8 +64,7 @@ fn service_level_with_alternatives_at_least_without() {
             assert!(with.placed >= without.placed, "seed {seed}");
         }
         assert!(
-            verify::verify(&problem.region, &problem.modules[..with.placed], &with.plan)
-                .is_empty()
+            verify::verify(&problem.region, &problem.modules[..with.placed], &with.plan).is_empty()
         );
     }
 }
@@ -106,8 +107,7 @@ fn online_stream_stays_consistent_with_verifier() {
                 })
                 .collect(),
         );
-        let live_modules: Vec<Module> =
-            live.iter().map(|&(_, mi)| modules[mi].clone()).collect();
+        let live_modules: Vec<Module> = live.iter().map(|&(_, mi)| modules[mi].clone()).collect();
         let violations = verify::verify(&placer_region(), &live_modules, &plan);
         assert!(violations.is_empty(), "{violations:?}");
     }
@@ -172,7 +172,12 @@ fn defragmentation_repack_never_worse() {
             .enumerate()
             .map(|(i, &(slot, _))| {
                 let p = placer.placement_of(slot).unwrap();
-                rrf_core::PlacedModule { module: i, shape: p.shape, x: p.x, y: p.y }
+                rrf_core::PlacedModule {
+                    module: i,
+                    shape: p.shape,
+                    x: p.x,
+                    y: p.y,
+                }
             })
             .collect(),
     );
@@ -205,7 +210,10 @@ fn height_and_width_objectives_agree_on_transposed_instances() {
             .map(|m| {
                 Module::new(
                     m.name.clone(),
-                    m.shapes().iter().map(rrf_geost::ShapeDef::transposed).collect(),
+                    m.shapes()
+                        .iter()
+                        .map(rrf_geost::ShapeDef::transposed)
+                        .collect(),
                 )
             })
             .collect(),

@@ -15,7 +15,13 @@ fn random_shape(rng: &mut ChaCha8Rng) -> ShapeDef {
     let h = rng.gen_range(1..4);
     let mut boxes = vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)];
     if rng.gen_bool(0.4) {
-        boxes.push(ShiftedBox::new(w, 0, rng.gen_range(1..3), 1, ResourceKind::Clb));
+        boxes.push(ShiftedBox::new(
+            w,
+            0,
+            rng.gen_range(1..3),
+            1,
+            ResourceKind::Clb,
+        ));
     }
     ShapeDef::new(boxes)
 }
@@ -42,12 +48,7 @@ fn leaf_acceptance_matches_pairwise_check() {
             let xv = space.new_var(Domain::singleton(x));
             let yv = space.new_var(Domain::singleton(y));
             let sv = space.new_var(Domain::singleton(0));
-            objects.push(GeostObject::new(
-                xv,
-                yv,
-                sv,
-                Arc::new(vec![shape.clone()]),
-            ));
+            objects.push(GeostObject::new(xv, yv, sv, Arc::new(vec![shape.clone()])));
             placements.push((shape, Point::new(x, y)));
         }
         // Ground truth: pairwise tile intersection.

@@ -1,0 +1,410 @@
+//! Offline stand-in for the `rand` crate (0.8 API surface used by this
+//! workspace): [`RngCore`] / [`Rng`] / [`SeedableRng`], integer and float
+//! range sampling, Bernoulli draws, slice shuffling, and the deterministic
+//! [`rngs::mock::StepRng`].
+//!
+//! The sampling algorithms are implemented to match upstream rand 0.8
+//! bit-for-bit — Lemire's widening-multiply rejection for integer ranges
+//! (32-bit wide for types up to `u32`, 64-bit above), the `[1, 2)`
+//! mantissa trick for float ranges, the PCG32-based `seed_from_u64`
+//! expansion — so seeded sequences reproduce what the real crate would
+//! generate. Seed-derived test expectations in this workspace rely on
+//! that.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+}
+
+/// Types uniformly sampleable over a range. A single blanket impl of
+/// [`SampleRange`] over this trait (mirroring upstream rand) keeps integer
+/// literal inference working: `rng.gen_range(3..6).min(x)` unifies with
+/// `x`'s type instead of hitting per-type impl ambiguity.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Sample from `[lo, hi]` (both inclusive; callers convert).
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// A range that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    fn is_empty_range(&self) -> bool;
+}
+
+impl<T: SampleUniform + HalfOpen> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_inclusive(rng, self.start, T::just_below(self.end))
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(rng, start, end)
+    }
+    fn is_empty_range(&self) -> bool {
+        self.start() > self.end()
+    }
+}
+
+/// Conversion of an exclusive upper bound to an inclusive one. For floats
+/// the bound is kept as-is (upstream rand samples `[low, high)` directly).
+pub trait HalfOpen: Sized {
+    fn just_below(end: Self) -> Self;
+}
+
+/// Types with a "natural" uniform distribution for [`Rng::gen`]:
+/// floats in `[0, 1)`, integers over their full range, fair bools.
+pub trait Standard: Sized {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+#[inline]
+fn wmul32(a: u32, b: u32) -> (u32, u32) {
+    let t = (a as u64) * (b as u64);
+    ((t >> 32) as u32, t as u32)
+}
+
+#[inline]
+fn wmul64(a: u64, b: u64) -> (u64, u64) {
+    let t = (a as u128) * (b as u128);
+    ((t >> 64) as u64, t as u64)
+}
+
+// Integer uniform sampling, following upstream rand 0.8's
+// `UniformInt::sample_single_inclusive`: widen the draw, multiply by the
+// range, reject draws whose low half falls past the unbiased zone. Types
+// up to 32 bits draw a `u32`; wider types draw a `u64`. i8/i16 use the
+// exact modulus zone, wider types the leading-zeros approximation —
+// matching upstream's draw sequence exactly.
+macro_rules! impl_int_uniform {
+    ($($t:ty, $unsigned:ty, $u_large:ty, $wmul:ident, $draw:ident;)*) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: $t, hi: $t) -> $t {
+                let range =
+                    (hi as $unsigned).wrapping_sub(lo as $unsigned).wrapping_add(1) as $u_large;
+                if range == 0 {
+                    // Full type range: any draw is uniform.
+                    return rng.$draw() as $t;
+                }
+                let zone = if (<$unsigned>::MAX as u64) <= (u16::MAX as u64) {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.$draw() as $u_large;
+                    let (hi_part, lo_part) = $wmul(v, range);
+                    if lo_part <= zone {
+                        return lo.wrapping_add(hi_part as $t);
+                    }
+                }
+            }
+        }
+        impl HalfOpen for $t {
+            fn just_below(end: $t) -> $t {
+                end - 1
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(
+    i8, u8, u32, wmul32, next_u32;
+    u8, u8, u32, wmul32, next_u32;
+    i16, u16, u32, wmul32, next_u32;
+    u16, u16, u32, wmul32, next_u32;
+    i32, u32, u32, wmul32, next_u32;
+    u32, u32, u32, wmul32, next_u32;
+    i64, u64, u64, wmul64, next_u64;
+    u64, u64, u64, wmul64, next_u64;
+    isize, usize, u64, wmul64, next_u64;
+    usize, usize, u64, wmul64, next_u64;
+);
+
+macro_rules! impl_int_standard {
+    ($($t:ty => $draw:ident;)*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.$draw() as $t
+            }
+        }
+    )*};
+}
+
+impl_int_standard!(
+    i8 => next_u32; u8 => next_u32;
+    i16 => next_u32; u16 => next_u32;
+    i32 => next_u32; u32 => next_u32;
+    i64 => next_u64; u64 => next_u64;
+    isize => next_u64; usize => next_u64;
+);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+        // Upstream `UniformFloat::sample_single`: a mantissa draw in
+        // [1, 2) rescaled so the result covers [lo, hi).
+        let scale = hi - lo;
+        let offset = lo - scale;
+        let value1_2 = f64::from_bits((rng.next_u64() >> 12) | (1023u64 << 52));
+        value1_2 * scale + offset
+    }
+}
+
+impl HalfOpen for f64 {
+    fn just_below(end: f64) -> f64 {
+        end
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        // Compare against the most significant bit (upstream rationale:
+        // low bits of weak generators can have simple patterns).
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform draw from a range (`a..b` or `a..=b`).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Draw from the type's standard distribution.
+    #[allow(clippy::should_implement_trait)]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0, 1]");
+        if p >= 1.0 {
+            // Upstream's ALWAYS_TRUE shortcut consumes no randomness.
+            return true;
+        }
+        let p_int = (p * 2.0f64.powi(64)) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable deterministic generators.
+pub trait SeedableRng: Sized {
+    type Seed: AsMut<[u8]> + Default;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Seed expansion from a bare `u64` — upstream rand_core 0.6's PCG32
+    /// stream, one `u32` per seed chunk.
+    fn seed_from_u64(mut state: u64) -> Self {
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            let bytes = x.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    pub mod mock {
+        //! Deterministic counting generator for tests.
+
+        use crate::RngCore;
+
+        /// Yields `start`, `start + inc`, `start + 2·inc`, … (wrapping).
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            inc: u64,
+        }
+
+        impl StepRng {
+            pub fn new(start: u64, inc: u64) -> StepRng {
+                StepRng { value: start, inc }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.inc);
+                v
+            }
+        }
+    }
+}
+
+pub mod seq {
+    //! Sequence helpers (`SliceRandom`).
+
+    use crate::{Rng, RngCore};
+
+    /// Index draw matching upstream's `gen_index`: lengths that fit a
+    /// `u32` use the 32-bit sampler (affects the draw sequence).
+    fn gen_index<R: RngCore>(rng: &mut R, ubound: usize) -> usize {
+        if ubound <= u32::MAX as usize {
+            rng.gen_range(0..ubound as u32) as usize
+        } else {
+            rng.gen_range(0..ubound)
+        }
+    }
+
+    pub trait SliceRandom {
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+
+        /// A uniformly random element (`None` when empty).
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = gen_index(rng, i + 1);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[gen_index(rng, self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn step_rng_counts() {
+        let mut rng = StepRng::new(0, 1);
+        assert_eq!(rng.next_u64(), 0);
+        assert_eq!(rng.next_u64(), 1);
+        assert_eq!(rng.next_u32(), 2);
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StepRng::new(0, 0x9E37_79B9_7F4A_7C15);
+        for _ in 0..200 {
+            let x: i32 = rng.gen_range(-7..13);
+            assert!((-7..13).contains(&x));
+            let y: usize = rng.gen_range(3..=9);
+            assert!((3..=9).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_f64_unit_interval() {
+        let mut rng = StepRng::new(1, 0xD1B5_4A32_D192_ED03);
+        for _ in 0..100 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StepRng::new(7, 11);
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StepRng::new(3, 0x9E37_79B9_7F4A_7C15);
+        let mut v: Vec<i32> = (0..20).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<i32>>());
+        assert!([1, 2, 3].choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        struct Capture([u8; 16]);
+        impl SeedableRng for Capture {
+            type Seed = [u8; 16];
+            fn from_seed(seed: [u8; 16]) -> Capture {
+                Capture(seed)
+            }
+        }
+        let a = Capture::seed_from_u64(42).0;
+        let b = Capture::seed_from_u64(42).0;
+        assert_eq!(a, b);
+        assert_ne!(a, Capture::seed_from_u64(43).0);
+    }
+}

@@ -1,0 +1,330 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::{DeError, Deserialize, Serialize, Value};
+use std::collections::{BTreeMap, HashMap};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+// ---------- primitives ----------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<bool, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("boolean", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                let n: i64 = match v {
+                    Value::Int(n) => *n,
+                    Value::UInt(n) => i64::try_from(*n)
+                        .map_err(|_| DeError::expected("integer in range", stringify!($t)))?,
+                    _ => return Err(DeError::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(n).map_err(|_| DeError::expected("integer in range", stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Int(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected("unsigned integer", stringify!($t))),
+                    Value::UInt(n) => <$t>::try_from(*n)
+                        .map_err(|_| DeError::expected("unsigned integer in range", stringify!($t))),
+                    _ => Err(DeError::expected("integer", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Float(f) => Ok(*f as $t),
+                    Value::Int(n) => Ok(*n as $t),
+                    Value::UInt(n) => Ok(*n as $t),
+                    _ => Err(DeError::expected("number", stringify!($t))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_float!(f32, f64);
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<String, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<char, DeError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+// ---------- references & smart pointers ----------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+macro_rules! impl_smart_ptr {
+    ($($p:ident),*) => {$(
+        impl<T: Serialize + ?Sized> Serialize for $p<T> {
+            fn to_value(&self) -> Value {
+                (**self).to_value()
+            }
+        }
+        impl<T: Deserialize> Deserialize for $p<T> {
+            fn from_value(v: &Value) -> Result<$p<T>, DeError> {
+                T::from_value(v).map($p::new)
+            }
+        }
+    )*};
+}
+
+impl_smart_ptr!(Box, Arc, Rc);
+
+// ---------- containers ----------
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array()
+            .ok_or_else(|| DeError::expected("array", "Vec"))?
+            .iter()
+            .map(T::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn to_value(&self) -> Value {
+        // Sort keys for deterministic output.
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Value::Object(
+            keys.into_iter()
+                .map(|k| (k.clone(), self[k].to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<HashMap<String, V>, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "HashMap"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, val)| (k.clone(), val.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<BTreeMap<String, V>, DeError> {
+        v.as_object()
+            .ok_or_else(|| DeError::expected("object", "BTreeMap"))?
+            .iter()
+            .map(|(k, val)| Ok((k.clone(), V::from_value(val)?)))
+            .collect()
+    }
+}
+
+// ---------- tuples ----------
+
+macro_rules! impl_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(v: &Value) -> Result<($($name,)+), DeError> {
+                let items = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if items.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected array of length {expected} for tuple, got {}",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple!((A.0), (A.0, B.1), (A.0, B.1, C.2), (A.0, B.1, C.2, D.3));
+
+// ---------- std::time ----------
+
+impl Serialize for Duration {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("secs".to_string(), Value::Int(self.as_secs() as i64)),
+            ("nanos".to_string(), Value::Int(self.subsec_nanos() as i64)),
+        ])
+    }
+}
+
+impl Deserialize for Duration {
+    fn from_value(v: &Value) -> Result<Duration, DeError> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| DeError::expected("object", "Duration"))?;
+        let secs = crate::value::get(obj, "secs")
+            .ok_or_else(|| DeError::missing_field("secs", "Duration"))?;
+        let nanos = crate::value::get(obj, "nanos")
+            .ok_or_else(|| DeError::missing_field("nanos", "Duration"))?;
+        Ok(Duration::new(
+            u64::from_value(secs)?,
+            u32::from_value(nanos)?,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn option_null_roundtrip() {
+        assert_eq!(None::<i32>.to_value(), Value::Null);
+        assert_eq!(Option::<i32>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<i32>::from_value(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn int_range_checks() {
+        assert!(i8::from_value(&Value::Int(200)).is_err());
+        assert_eq!(u64::from_value(&Value::UInt(u64::MAX)).unwrap(), u64::MAX);
+        assert!(u32::from_value(&Value::Int(-1)).is_err());
+    }
+
+    #[test]
+    fn duration_roundtrip() {
+        let d = Duration::new(3, 500);
+        assert_eq!(Duration::from_value(&d.to_value()).unwrap(), d);
+    }
+
+    #[test]
+    fn tuple_roundtrip() {
+        let t = (1i32, -2i32);
+        assert_eq!(<(i32, i32)>::from_value(&t.to_value()).unwrap(), t);
+    }
+}

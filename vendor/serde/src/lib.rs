@@ -1,0 +1,69 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this crate provides the
+//! slice of serde the workspace uses, specialized to a JSON-shaped data
+//! model: [`Serialize`] maps a value to a [`Value`] tree, [`Deserialize`]
+//! maps a [`Value`] tree back. The companion `serde_json` crate handles
+//! text; the companion `serde_derive` proc-macro derives both traits with
+//! support for the `#[serde(...)]` attributes used in this workspace
+//! (`default`, `default = "path"`, `skip`, `tag`, `rename_all`).
+
+mod impls;
+pub mod value;
+
+pub use value::Value;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Deserialization error: a human-readable message with a path-ish context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    pub fn expected(what: &str, context: &str) -> DeError {
+        DeError {
+            message: format!("expected {what} for {context}"),
+        }
+    }
+
+    pub fn missing_field(field: &str, context: &str) -> DeError {
+        DeError {
+            message: format!("missing field `{field}` in {context}"),
+        }
+    }
+
+    pub fn unknown_variant(variant: &str, context: &str) -> DeError {
+        DeError {
+            message: format!("unknown variant `{variant}` for {context}"),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Map a value into the JSON-shaped [`Value`] data model.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+/// Build a value back from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}

@@ -1,0 +1,667 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the vendored `serde` crate's
+//! value-tree data model. Implemented directly on `proc_macro` token
+//! streams (no `syn`/`quote` available offline), covering the shapes this
+//! workspace uses:
+//!
+//! * named-field structs, newtype/tuple structs, unit structs;
+//! * enums with unit, tuple, and struct variants (externally tagged), plus
+//!   internally tagged enums via `#[serde(tag = "...")]`;
+//! * field attributes `#[serde(default)]`, `#[serde(default = "path")]`,
+//!   `#[serde(skip)]`, and container `#[serde(rename_all = "snake_case")]`.
+//!
+//! Unknown object fields are ignored on deserialize (serde's default).
+//! Generics are not supported (the workspace derives only concrete types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------- model ----------
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    default: Option<DefaultKind>,
+    skip: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    rename: Option<String>,
+}
+
+#[derive(Clone)]
+enum DefaultKind {
+    Std,
+    Path(String),
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: VariantKind,
+}
+
+enum ItemKind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(Vec<SerdeAttrs>),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: ItemKind,
+}
+
+// ---------- parsing ----------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Cursor {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected {what}, got {other:?}"),
+        }
+    }
+}
+
+fn string_literal(tree: &TokenTree) -> String {
+    let text = tree.to_string();
+    let inner = text
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or_else(|| panic!("serde derive: expected string literal, got {text}"));
+    inner.to_string()
+}
+
+/// Consume leading attributes, returning the merged `#[serde(...)]` data.
+fn parse_attrs(cur: &mut Cursor) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    loop {
+        let is_pound = matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#');
+        if !is_pound {
+            break;
+        }
+        cur.next();
+        let group = match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+            other => panic!("serde derive: malformed attribute: {other:?}"),
+        };
+        let mut inner = Cursor::new(group.stream());
+        let Some(TokenTree::Ident(head)) = inner.peek().cloned() else {
+            continue;
+        };
+        if head.to_string() != "serde" {
+            continue; // doc comment or foreign attribute
+        }
+        inner.next();
+        let args = match inner.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+            other => panic!("serde derive: malformed #[serde(...)]: {other:?}"),
+        };
+        let mut items = Cursor::new(args.stream());
+        while !items.at_end() {
+            let key = items.expect_ident("serde attribute name");
+            let value = if items.eat_punct('=') {
+                Some(
+                    items
+                        .next()
+                        .unwrap_or_else(|| panic!("serde derive: missing value for `{key}`")),
+                )
+            } else {
+                None
+            };
+            match (key.as_str(), &value) {
+                ("default", None) => attrs.default = Some(DefaultKind::Std),
+                ("default", Some(v)) => attrs.default = Some(DefaultKind::Path(string_literal(v))),
+                ("skip", None) | ("skip_serializing", None) | ("skip_deserializing", None) => {
+                    attrs.skip = true
+                }
+                ("tag", Some(v)) => attrs.tag = Some(string_literal(v)),
+                ("rename_all", Some(v)) => attrs.rename_all = Some(string_literal(v)),
+                ("rename", Some(v)) => attrs.rename = Some(string_literal(v)),
+                _ => panic!("serde derive: unsupported attribute `{key}`"),
+            }
+            items.eat_punct(',');
+        }
+    }
+    attrs
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, …).
+fn skip_visibility(cur: &mut Cursor) {
+    if cur.eat_ident("pub") {
+        if let Some(TokenTree::Group(g)) = cur.peek() {
+            if g.delimiter() == Delimiter::Parenthesis {
+                cur.next();
+            }
+        }
+    }
+}
+
+/// Skip a type, stopping at a `,` outside any `<...>` nesting.
+fn skip_type(cur: &mut Cursor) {
+    let mut depth = 0i32;
+    while let Some(t) = cur.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        cur.next();
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = parse_attrs(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        skip_visibility(&mut cur);
+        let name = cur.expect_ident("field name");
+        assert!(cur.eat_punct(':'), "serde derive: expected `:` after field");
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        fields.push(Field { name, attrs });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<SerdeAttrs> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while !cur.at_end() {
+        let attrs = parse_attrs(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        skip_visibility(&mut cur);
+        skip_type(&mut cur);
+        cur.eat_punct(',');
+        fields.push(attrs);
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while !cur.at_end() {
+        let attrs = parse_attrs(&mut cur);
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let kind = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = parse_tuple_fields(g.stream()).len();
+                cur.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                cur.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        cur.eat_punct(',');
+        variants.push(Variant { name, attrs, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    let attrs = parse_attrs(&mut cur);
+    skip_visibility(&mut cur);
+    let is_enum = if cur.eat_ident("struct") {
+        false
+    } else if cur.eat_ident("enum") {
+        true
+    } else {
+        panic!("serde derive: expected `struct` or `enum`");
+    };
+    let name = cur.expect_ident("type name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde derive: generic types are not supported by the vendored derive");
+    }
+    let kind = if is_enum {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                ItemKind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                ItemKind::TupleStruct(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => ItemKind::UnitStruct,
+            other => panic!("serde derive: expected struct body, got {other:?}"),
+        }
+    };
+    Item { name, attrs, kind }
+}
+
+// ---------- name casing ----------
+
+fn apply_rename(variant: &Variant, container: &SerdeAttrs) -> String {
+    if let Some(rename) = &variant.attrs.rename {
+        return rename.clone();
+    }
+    match container.rename_all.as_deref() {
+        Some("snake_case") => to_snake_case(&variant.name),
+        Some("lowercase") => variant.name.to_lowercase(),
+        Some(other) => panic!("serde derive: unsupported rename_all = \"{other}\""),
+        None => variant.name.clone(),
+    }
+}
+
+fn to_snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, ch) in name.chars().enumerate() {
+        if ch.is_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.extend(ch.to_lowercase());
+        } else {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+// ---------- codegen ----------
+
+/// The expression used when a field is absent from the input object.
+fn missing_expr(field: &Field, context: &str) -> String {
+    match &field.attrs.default {
+        Some(DefaultKind::Std) => "::std::default::Default::default()".to_string(),
+        Some(DefaultKind::Path(path)) => format!("{path}()"),
+        None => format!(
+            "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\", \"{}\"))",
+            field.name, context
+        ),
+    }
+}
+
+/// `field: <expr>` deserializing from the object slice `__obj`.
+fn field_de(field: &Field, context: &str) -> String {
+    if field.attrs.skip {
+        return format!("{}: ::std::default::Default::default()", field.name);
+    }
+    format!(
+        "{name}: match ::serde::value::get(__obj, \"{name}\") {{\n\
+         ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+         ::std::option::Option::None => {missing},\n\
+         }}",
+        name = field.name,
+        missing = missing_expr(field, context)
+    )
+}
+
+fn push_field_ser(out: &mut String, field: &Field, access: &str) {
+    if field.attrs.skip {
+        return;
+    }
+    out.push_str(&format!(
+        "__fields.push((\"{}\".to_string(), ::serde::Serialize::to_value({access})));\n",
+        field.name
+    ));
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let mut b = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                push_field_ser(&mut b, f, &format!("&self.{}", f.name));
+            }
+            b.push_str("::serde::Value::Object(__fields)\n");
+            b
+        }
+        ItemKind::TupleStruct(fields) if fields.len() == 1 => {
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        ItemKind::TupleStruct(fields) => {
+            let items: Vec<String> = (0..fields.len())
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::UnitStruct => "::serde::Value::Null".to_string(),
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = apply_rename(v, &item.attrs);
+                let arm = match (&item.attrs.tag, &v.kind) {
+                    (None, VariantKind::Unit) => format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{wire}\".to_string()),\n",
+                        v = v.name
+                    ),
+                    (None, VariantKind::Tuple(1)) => format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                         ::serde::Serialize::to_value(__f0))]),\n",
+                        v = v.name
+                    ),
+                    (None, VariantKind::Tuple(n)) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => ::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                             ::serde::Value::Array(vec![{vals}]))]),\n",
+                            v = v.name,
+                            binds = binds.join(", "),
+                            vals = vals.join(", ")
+                        )
+                    }
+                    (None, VariantKind::Struct(fields)) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: __b_{n}", n = f.name))
+                            .collect();
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        for f in fields {
+                            push_field_ser(&mut inner, f, &format!("__b_{}", f.name));
+                        }
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             ::serde::Value::Object(vec![(\"{wire}\".to_string(), \
+                             ::serde::Value::Object(__fields))])\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (Some(tag), VariantKind::Unit) => format!(
+                        "{name}::{v} => ::serde::Value::Object(vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::Str(\"{wire}\".to_string()))]),\n",
+                        v = v.name
+                    ),
+                    (Some(tag), VariantKind::Struct(fields)) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{n}: __b_{n}", n = f.name))
+                            .collect();
+                        let mut inner = format!(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = vec![(\"{tag}\".to_string(), \
+                             ::serde::Value::Str(\"{wire}\".to_string()))];\n"
+                        );
+                        for f in fields {
+                            push_field_ser(&mut inner, f, &format!("__b_{}", f.name));
+                        }
+                        format!(
+                            "{name}::{v} {{ {binds} }} => {{\n{inner}\
+                             ::serde::Value::Object(__fields)\n}}\n",
+                            v = v.name,
+                            binds = binds.join(", ")
+                        )
+                    }
+                    (Some(_), VariantKind::Tuple(_)) => {
+                        panic!("serde derive: tuple variants are not supported with #[serde(tag)]")
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::NamedStruct(fields) => {
+            let field_exprs: Vec<String> = fields.iter().map(|f| field_de(f, name)).collect();
+            format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})\n",
+                fields = field_exprs.join(",\n")
+            )
+        }
+        ItemKind::TupleStruct(fields) if fields.len() == 1 => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))\n")
+        }
+        ItemKind::TupleStruct(fields) => {
+            let n = fields.len();
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __v.as_array().ok_or_else(|| \
+                 ::serde::DeError::expected(\"array\", \"{name}\"))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::DeError::expected(\
+                 \"array of length {n}\", \"{name}\"));\n}}\n\
+                 ::std::result::Result::Ok({name}({items}))\n",
+                items = items.join(", ")
+            )
+        }
+        ItemKind::UnitStruct => format!("::std::result::Result::Ok({name})\n"),
+        ItemKind::Enum(variants) => {
+            if let Some(tag) = &item.attrs.tag {
+                let mut arms = String::new();
+                for v in variants {
+                    let wire = apply_rename(v, &item.attrs);
+                    match &v.kind {
+                        VariantKind::Unit => arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Struct(fields) => {
+                            let field_exprs: Vec<String> =
+                                fields.iter().map(|f| field_de(f, name)).collect();
+                            arms.push_str(&format!(
+                                "\"{wire}\" => ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}}),\n",
+                                v = v.name,
+                                fields = field_exprs.join(",\n")
+                            ));
+                        }
+                        VariantKind::Tuple(_) => panic!(
+                            "serde derive: tuple variants are not supported with #[serde(tag)]"
+                        ),
+                    }
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::DeError::expected(\"object\", \"{name}\"))?;\n\
+                     let __tag = ::serde::value::get(__obj, \"{tag}\")\
+                     .and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::DeError::missing_field(\"{tag}\", \"{name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n"
+                )
+            } else {
+                let unit_arms: String = variants
+                    .iter()
+                    .filter(|v| matches!(v.kind, VariantKind::Unit))
+                    .map(|v| {
+                        format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                            wire = apply_rename(v, &item.attrs),
+                            v = v.name
+                        )
+                    })
+                    .collect();
+                let mut keyed_arms = String::new();
+                for v in variants {
+                    let wire = apply_rename(v, &item.attrs);
+                    match &v.kind {
+                        VariantKind::Unit => {}
+                        VariantKind::Tuple(1) => keyed_arms.push_str(&format!(
+                            "\"{wire}\" => ::std::result::Result::Ok({name}::{v}(\
+                             ::serde::Deserialize::from_value(__val)?)),\n",
+                            v = v.name
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            keyed_arms.push_str(&format!(
+                                "\"{wire}\" => {{\n\
+                                 let __items = __val.as_array().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"array\", \"{name}::{v}\"))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::DeError::expected(\
+                                 \"array of length {n}\", \"{name}::{v}\"));\n}}\n\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\n}}\n",
+                                v = v.name,
+                                items = items.join(", ")
+                            ));
+                        }
+                        VariantKind::Struct(fields) => {
+                            let field_exprs: Vec<String> =
+                                fields.iter().map(|f| field_de(f, name)).collect();
+                            keyed_arms.push_str(&format!(
+                                "\"{wire}\" => {{\n\
+                                 let __obj = __val.as_object().ok_or_else(|| \
+                                 ::serde::DeError::expected(\"object\", \"{name}::{v}\"))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}})\n}}\n",
+                                v = v.name,
+                                fields = field_exprs.join(",\n")
+                            ));
+                        }
+                    }
+                }
+                // Only emit match arms for variant classes that exist, so the
+                // generated code has no unreachable arms or unused bindings.
+                let str_arm = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                         __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}},\n"
+                    )
+                };
+                let obj_arm = if keyed_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                         let (__key, __val) = &__fields[0];\n\
+                         match __key.as_str() {{\n{keyed_arms}\
+                         __other => ::std::result::Result::Err(\
+                         ::serde::DeError::unknown_variant(__other, \"{name}\")),\n}}\n}},\n"
+                    )
+                };
+                format!(
+                    "match __v {{\n{str_arm}{obj_arm}\
+                     _ => ::std::result::Result::Err(\
+                     ::serde::DeError::expected(\"variant string or single-key object\", \"{name}\")),\n\
+                     }}\n"
+                )
+            }
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::DeError> {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+// ---------- entry points ----------
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde derive: generated invalid Deserialize impl")
+}
