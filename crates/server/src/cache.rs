@@ -9,6 +9,7 @@
 //! and shape indices back to the request's own ordering on the way out.
 
 use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
 
 use rrf_core::{Floorplan, PlacedModule};
 use rrf_flow::{FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport};
@@ -125,11 +126,41 @@ pub fn remap_report(canon: &FlowReport, map: &CanonMap) -> FlowReport {
     }
 }
 
-/// One cached placement: the canonical report plus how it was produced.
+/// One cached placement: the canonical report, how it was produced, and
+/// how much solve budget produced it.
+///
+/// Results depend on the deadline that was in force when they were
+/// computed: a tight-deadline solve may return a degraded floorplan (or
+/// even miss a feasible one entirely) that a roomier request could beat.
+/// Entries therefore record their solve budget, and a cached answer is
+/// only served when it is *proven* (deadline-independent) or when the new
+/// request's remaining budget is no larger than the one that produced it
+/// — otherwise the daemon recomputes and overwrites the entry.
 #[derive(Debug, Clone)]
 pub struct CacheEntry {
     pub method: PlaceMethod,
     pub report: FlowReport,
+    /// Remaining wall-clock budget at the moment the solve started.
+    pub budget: Duration,
+}
+
+impl CacheEntry {
+    /// Whether the result is deadline-independent: a proven-optimal
+    /// floorplan or a proven infeasibility.
+    pub fn is_proven(&self) -> bool {
+        match self.method {
+            PlaceMethod::Optimal => true,
+            PlaceMethod::Infeasible => self.report.proven,
+            _ => false,
+        }
+    }
+
+    /// Whether this entry may answer a request with `remaining` budget:
+    /// proven results always can; degraded/unproven results only when the
+    /// new request could not have climbed higher on the ladder anyway.
+    pub fn servable_within(&self, remaining: Duration) -> bool {
+        self.is_proven() || remaining <= self.budget
+    }
 }
 
 /// A bounded FIFO cache over canonical cache keys.
@@ -317,11 +348,52 @@ mod tests {
                 CacheEntry {
                     method: PlaceMethod::Optimal,
                     report: report.clone(),
+                    budget: Duration::from_secs(1),
                 },
             );
         }
         assert_eq!(cache.len(), 2);
         assert!(cache.get("a").is_none(), "oldest entry evicted");
         assert!(cache.get("b").is_some() && cache.get("c").is_some());
+    }
+
+    #[test]
+    fn degraded_entries_only_serve_equal_or_tighter_budgets() {
+        let entry = |method: PlaceMethod, proven: bool| CacheEntry {
+            method,
+            report: FlowReport {
+                feasible: method != PlaceMethod::Infeasible,
+                proven,
+                extent: None,
+                placements: vec![],
+                metrics: None,
+                stats: rrf_core::SolveStats::default(),
+                floorplan: None,
+            },
+            budget: Duration::from_millis(100),
+        };
+
+        // Proven results are deadline-independent: servable at any budget.
+        for proven in [
+            entry(PlaceMethod::Optimal, true),
+            entry(PlaceMethod::Infeasible, true),
+        ] {
+            assert!(proven.servable_within(Duration::from_secs(10)));
+            assert!(proven.servable_within(Duration::ZERO));
+        }
+
+        // Degraded/unproven results only answer requests that could not
+        // have done better — a larger budget must recompute.
+        for degraded in [
+            entry(PlaceMethod::CpIncumbent, false),
+            entry(PlaceMethod::Lns, false),
+            entry(PlaceMethod::BottomLeft, false),
+            entry(PlaceMethod::Infeasible, false),
+        ] {
+            assert!(!degraded.is_proven());
+            assert!(degraded.servable_within(Duration::from_millis(100)));
+            assert!(degraded.servable_within(Duration::from_millis(50)));
+            assert!(!degraded.servable_within(Duration::from_millis(101)));
+        }
     }
 }

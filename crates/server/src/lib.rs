@@ -18,7 +18,12 @@
 //!   contract.
 //! * **Caching.** Results are cached under a canonical key — shapes and
 //!   modules sorted before hashing — so logically identical requests hit
-//!   regardless of JSON element order ([`cache`]).
+//!   regardless of JSON element order ([`cache`]). Entries remember the
+//!   solve budget that produced them: proven results (optimal, or proven
+//!   infeasible) are served to anyone, but a deadline-degraded result is
+//!   only served to requests at least as deadline-starved — a roomier
+//!   request recomputes and upgrades the entry instead of inheriting a
+//!   possibly-wrong degraded answer.
 //! * **Online sessions.** A session owns a live region backed by
 //!   [`rrf_core::OnlinePlacer`]: insert, remove, and no-break defrag
 //!   against accumulated fragmentation.

@@ -3,7 +3,12 @@
 //!
 //! Every request carries a client-chosen `id` echoed in the response, so
 //! clients may correlate replies however they like (the daemon itself
-//! answers each connection's requests in order). The payload types are the
+//! answers each connection's requests in order). **Id 0 is reserved**:
+//! when a line is so malformed that no id can be recovered from it, the
+//! error response carries id 0 — clients that correlate by id must number
+//! their requests from 1. For lines that parse as JSON but not as a
+//! request, the daemon extracts the `id` field best-effort and echoes it
+//! in the error. The payload types are the
 //! flow's own job/result types ([`rrf_flow::spec`], [`rrf_flow::report`]),
 //! so a job file accepted by the `rrf-flow` batch CLI is exactly the
 //! `spec` of a `place` request.
@@ -137,7 +142,9 @@ pub enum Response {
         id: u64,
     },
     /// The request could not be served: malformed input, unknown session,
-    /// or backpressure (`message` says which).
+    /// or backpressure (`message` says which). `id` is the request's own
+    /// id when it could be recovered, or the reserved sentinel 0 for
+    /// lines too malformed to carry one (see the module docs).
     Error {
         id: u64,
         message: String,

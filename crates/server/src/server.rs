@@ -109,11 +109,16 @@ struct Session {
 }
 
 /// State shared by every worker and connection thread.
+///
+/// Sessions are individually locked (`Arc<Mutex<Session>>` behind the
+/// map): a long-running defrag in one session must not block inserts,
+/// removes, or opens in any other — the map lock is only held long enough
+/// to clone the session's `Arc` out.
 struct Shared {
     config: ServerConfig,
     stats: Mutex<ServerStats>,
     cache: Mutex<PlacementCache>,
-    sessions: Mutex<HashMap<u64, Session>>,
+    sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
     next_session: AtomicU64,
     watchdog: Watchdog,
     shutdown: AtomicBool,
@@ -276,8 +281,18 @@ fn dispatch(line: &str, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) -> Option<R
         Ok(request) => request,
         Err(e) => {
             shared.stats.lock().protocol_errors += 1;
+            // Best effort: a line that is valid JSON but not a valid
+            // request (wrong shape, unknown type) still gets its own
+            // correlation id echoed back, so pipelining clients can tell
+            // which request failed. Only when the id itself is
+            // unrecoverable does the reserved sentinel 0 appear — see the
+            // protocol docs; clients must use ids >= 1.
+            let id = serde_json::from_str::<serde_json::Value>(line)
+                .ok()
+                .and_then(|v| v.get("id")?.as_u64())
+                .unwrap_or(0);
             return Some(Response::Error {
-                id: 0,
+                id,
                 message: format!("unparseable request: {e}"),
             });
         }
@@ -392,9 +407,11 @@ fn with_session(
     session: u64,
     f: impl FnOnce(&mut Session) -> Response,
 ) -> Response {
-    let mut sessions = shared.sessions.lock();
-    match sessions.get_mut(&session) {
-        Some(s) => f(s),
+    // Clone the Arc out and release the map lock before the (possibly
+    // slow) placer operation, so other sessions stay responsive.
+    let entry = shared.sessions.lock().get(&session).cloned();
+    match entry {
+        Some(s) => f(&mut s.lock()),
         None => Response::Error {
             id,
             message: format!("unknown session {session}"),
@@ -415,10 +432,10 @@ fn handle_open_session(shared: &Arc<Shared>, id: u64, region: &RegionSpec) -> Re
     let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
     shared.sessions.lock().insert(
         session,
-        Session {
+        Arc::new(Mutex::new(Session {
             placer: OnlinePlacer::new(region),
             names: HashMap::new(),
-        },
+        })),
     );
     shared.stats.lock().sessions_opened += 1;
     Response::SessionOpened { id, session }
@@ -478,8 +495,26 @@ fn handle_place(
         + Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
     let (canonical, map) = canonicalize(spec);
     let key = cache_key(&canonical);
+    let remaining = deadline.saturating_duration_since(Instant::now());
 
-    if let Some(entry) = shared.cache.lock().get(&key) {
+    // Cached results are only reused when they cannot be beaten by this
+    // request's budget: proven outcomes always, degraded/unproven ones
+    // only for requests at least as deadline-starved as the one that
+    // produced them (see [`CacheEntry::servable_within`]). Anything else
+    // is recomputed with the bigger budget and the entry overwritten.
+    let mut bypassed_degraded = false;
+    let served = {
+        let cache = shared.cache.lock();
+        match cache.get(&key) {
+            Some(entry) if entry.servable_within(remaining) => Some(entry.clone()),
+            Some(_) => {
+                bypassed_degraded = true;
+                None
+            }
+            None => None,
+        }
+    };
+    if let Some(entry) = served {
         shared.stats.lock().cache_hits += 1;
         return Response::Placed {
             id,
@@ -489,7 +524,13 @@ fn handle_place(
             elapsed_ms: accepted_at.elapsed().as_millis() as u64,
         };
     }
-    shared.stats.lock().cache_misses += 1;
+    {
+        let mut stats = shared.stats.lock();
+        stats.cache_misses += 1;
+        if bypassed_degraded {
+            stats.cache_bypass_degraded += 1;
+        }
+    }
 
     let region = match canonical.region.build() {
         Ok(region) => region,
@@ -515,16 +556,19 @@ fn handle_place(
     let stop = Arc::new(AtomicBool::new(false));
     shared.watchdog.register(deadline, Arc::clone(&stop));
     let solve_started = Instant::now();
-    let remaining = deadline.saturating_duration_since(solve_started);
+    // The budget that produced the result is cached alongside it, so a
+    // later, roomier request knows to recompute rather than trust a
+    // deadline-degraded answer.
+    let solve_budget = deadline.saturating_duration_since(solve_started);
 
     // Rung 1: the CP placer, unless the budget is already tight.
     let mut picked: Option<(Floorplan, PlaceMethod, bool, SolveStats)> = None;
     let mut proven_infeasible = false;
-    if remaining >= TIGHT_BUDGET {
+    if solve_budget >= TIGHT_BUDGET {
         let mut config = canonical.placer.to_config_with_stop(Arc::clone(&stop));
         config.time_limit = Some(match config.time_limit {
-            Some(limit) => limit.min(remaining),
-            None => remaining,
+            Some(limit) => limit.min(solve_budget),
+            None => solve_budget,
         });
         let outcome = cp::place(&problem, &config);
         if let Some(plan) = outcome.plan {
@@ -584,6 +628,7 @@ fn handle_place(
             CacheEntry {
                 method: PlaceMethod::Infeasible,
                 report: report.clone(),
+                budget: solve_budget,
             },
         );
         return Response::Placed {
@@ -641,6 +686,7 @@ fn handle_place(
         CacheEntry {
             method,
             report: report.clone(),
+            budget: solve_budget,
         },
     );
     Response::Placed {

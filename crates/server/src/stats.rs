@@ -11,7 +11,8 @@ pub const HISTOGRAM_BOUNDS_MS: [u64; 8] = [1, 3, 10, 30, 100, 300, 1000, 3000];
 /// Counters over the daemon's lifetime. Invariants the daemon maintains
 /// (and the end-to-end tests assert):
 ///
-/// * `place_requests == cache_hits + cache_misses`;
+/// * `place_requests == cache_hits + cache_misses` (a bypassed degraded
+///   entry counts as a miss, and additionally as `cache_bypass_degraded`);
 /// * `placed_optimal + placed_cp_incumbent + placed_lns +
 ///   placed_bottom_left + infeasible <= cache_misses` (spec errors make
 ///   up the difference);
@@ -25,6 +26,10 @@ pub struct ServerStats {
     pub place_requests: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
+    /// Cache lookups that found a degraded/unproven entry but recomputed
+    /// because the request's deadline allowed a better answer (these also
+    /// count as `cache_misses`).
+    pub cache_bypass_degraded: u64,
     /// Proven-optimal placements within deadline.
     pub placed_optimal: u64,
     /// CP incumbents returned at the deadline (degraded).
@@ -59,6 +64,7 @@ impl Default for ServerStats {
             place_requests: 0,
             cache_hits: 0,
             cache_misses: 0,
+            cache_bypass_degraded: 0,
             placed_optimal: 0,
             placed_cp_incumbent: 0,
             placed_lns: 0,

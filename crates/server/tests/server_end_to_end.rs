@@ -231,6 +231,58 @@ fn expired_deadline_degrades_to_verified_greedy_floorplan() {
 }
 
 #[test]
+fn degraded_cache_entries_upgrade_when_budget_allows() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    let spec = small_spec(vec![
+        entry("a", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+        entry("b", vec![clb_shape(3, 2)]),
+        entry("c", vec![clb_shape(2, 2)]),
+    ]);
+    let place = |client: &mut Client, id: u64, deadline_ms: Option<u64>| match client.roundtrip(
+        &Request::Place {
+            id,
+            spec: spec.clone(),
+            deadline_ms,
+        },
+    ) {
+        Response::Placed {
+            method, cache_hit, ..
+        } => (method, cache_hit),
+        other => panic!("expected placed, got {other:?}"),
+    };
+
+    // An expired deadline produces (and caches) a degraded greedy result.
+    assert_eq!(
+        place(&mut client, 1, Some(0)),
+        (PlaceMethod::BottomLeft, false)
+    );
+    // An equally deadline-starved request may reuse it...
+    assert_eq!(
+        place(&mut client, 2, Some(0)),
+        (PlaceMethod::BottomLeft, true)
+    );
+    // ...but a request with real budget must NOT inherit the degraded
+    // answer: it recomputes at the top of the ladder and upgrades the
+    // entry.
+    assert_eq!(place(&mut client, 3, None), (PlaceMethod::Optimal, false));
+    // The upgraded (proven) entry now serves everyone — even tight
+    // deadlines, since a proven result is deadline-independent.
+    assert_eq!(place(&mut client, 4, None), (PlaceMethod::Optimal, true));
+    assert_eq!(place(&mut client, 5, Some(0)), (PlaceMethod::Optimal, true));
+
+    let stats = fetch_stats(&mut client, 6);
+    assert_eq!(stats.place_requests, 5);
+    assert_eq!(stats.cache_hits, 3);
+    assert_eq!(stats.cache_misses, 2);
+    assert_eq!(stats.cache_bypass_degraded, 1);
+    assert_eq!(stats.place_requests, stats.cache_hits + stats.cache_misses);
+
+    handle.shutdown();
+}
+
+#[test]
 fn online_session_lifecycle_over_the_wire() {
     let handle = start(ServerConfig::default()).unwrap();
     let mut client = Client::connect(handle.addr());
@@ -352,7 +404,18 @@ fn malformed_lines_report_protocol_errors_without_killing_the_connection() {
     client.send_raw("this is not json\n");
     match client.recv() {
         Response::Error { id, message } => {
-            assert_eq!(id, 0, "unparseable lines have no correlation id");
+            assert_eq!(id, 0, "unrecoverable lines use the reserved id 0");
+            assert!(message.contains("unparseable"), "message: {message}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+
+    // Valid JSON that is not a valid request still gets its own id echoed
+    // back, so pipelining clients can tell which request failed.
+    client.send_raw("{\"type\":\"place\",\"id\":42}\n");
+    match client.recv() {
+        Response::Error { id, message } => {
+            assert_eq!(id, 42, "id recovered best-effort from malformed request");
             assert!(message.contains("unparseable"), "message: {message}");
         }
         other => panic!("expected error, got {other:?}"),
@@ -365,7 +428,7 @@ fn malformed_lines_report_protocol_errors_without_killing_the_connection() {
     }
 
     let stats = fetch_stats(&mut client, 8);
-    assert_eq!(stats.protocol_errors, 1);
+    assert_eq!(stats.protocol_errors, 2);
 
     handle.shutdown();
 }

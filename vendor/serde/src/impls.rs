@@ -8,6 +8,20 @@ use std::time::Duration;
 
 // ---------- primitives ----------
 
+// `Value` round-trips through itself, so `serde_json::from_str::<Value>`
+// works for schemaless inspection (like the real serde_json::Value).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_value(&self) -> Value {
         Value::Bool(*self)

@@ -39,6 +39,14 @@ impl Value {
         }
     }
 
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) => u64::try_from(n).ok(),
+            Value::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
     /// Object field lookup (first match).
     pub fn get(&self, key: &str) -> Option<&Value> {
         self.as_object().and_then(|fields| get(fields, key))

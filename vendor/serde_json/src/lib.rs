@@ -4,8 +4,12 @@
 //! [`Value`] data model. Covers the workspace's usage: [`from_str`],
 //! [`to_string`], and [`to_string_pretty`].
 
-use serde::{Deserialize, Serialize, Value};
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Schemaless JSON tree, mirroring `serde_json::Value` (shared with the
+/// vendored `serde` crate's data model).
+pub use serde::Value;
 
 /// Parse or conversion error.
 #[derive(Debug, Clone, PartialEq, Eq)]
