@@ -1,0 +1,189 @@
+//! Ablation A9 (extension): acceptance and survival under a fault storm —
+//! with vs. without design alternatives.
+//!
+//! The paper argues design alternatives raise utilization by giving the
+//! placer freedom (§IV); the same freedom is what lets a *repair* find a
+//! new home for a module displaced by a fabric fault. This binary drives
+//! the online placer with a seeded insert/remove stream, injects random
+//! tile/column faults at a fixed cadence, repairs after each one, and
+//! reports how many displaced modules survive (are relocated) rather than
+//! being evicted — once with each module's full shape set, once with every
+//! module frozen to its first shape.
+//!
+//! Usage: `fault_storm [runs] [events] [region_width] [fault_every]`
+//! (defaults 10, 300, 40, 20 — a region tight enough that a displaced
+//! module cannot always be saved, which is where shape freedom shows).
+
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{FrameCostModel, Module, OnlinePlacer};
+use rrf_fabric::Fault;
+use rrf_modgen::{generate_workload, WorkloadSpec};
+
+/// Per-run outcome of one storm.
+struct StormOutcome {
+    acceptance: f64,
+    displaced: u64,
+    relocated: u64,
+    evicted: u64,
+    repair_words: u64,
+    mean_util: f64,
+}
+
+/// Drive one insert/remove stream with a fault every `fault_every` events.
+/// Faults accumulate for a while and then get cleared, like field repairs.
+fn simulate(
+    modules: &[Module],
+    width: i32,
+    events: usize,
+    fault_every: usize,
+    seed: u64,
+) -> StormOutcome {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SEED_MIX);
+    let setup = ExperimentSetup::with_width(width);
+    let mut placer = OnlinePlacer::new(setup.region());
+    let model = FrameCostModel::default();
+    let mut live: Vec<u64> = Vec::new();
+    let mut active_faults: Vec<Fault> = Vec::new();
+    let mut out = StormOutcome {
+        acceptance: 0.0,
+        displaced: 0,
+        relocated: 0,
+        evicted: 0,
+        repair_words: 0,
+        mean_util: 0.0,
+    };
+    for event in 0..events {
+        if event > 0 && event % fault_every == 0 {
+            // Two live faults at most: inject a fresh one, and past two,
+            // clear the oldest (the field-service visit).
+            if active_faults.len() >= 2 {
+                placer.clear_fault(active_faults.remove(0));
+            }
+            let fault = if rng.gen_bool(0.3) {
+                Fault::Column {
+                    x: rng.gen_range(0..width),
+                }
+            } else {
+                Fault::Tile {
+                    x: rng.gen_range(0..width),
+                    y: rng.gen_range(0..setup.height),
+                }
+            };
+            active_faults.push(fault);
+            let impact = placer.inject_fault(fault);
+            out.displaced += impact.displaced.len() as u64;
+            let report = placer.repair(Duration::from_millis(20), &model);
+            out.relocated += report.relocated_count() as u64;
+            out.evicted += report.evicted_count() as u64;
+            for m in &report.moved {
+                out.repair_words += placer
+                    .slots()
+                    .iter()
+                    .find(|(slot, _, _)| *slot == m.slot)
+                    .map(|(_, module, placed)| {
+                        rrf_core::reconfig::module_cost(
+                            placer.region(),
+                            std::slice::from_ref(*module),
+                            placed,
+                            &model,
+                        )
+                        .words
+                    })
+                    .unwrap_or(0);
+            }
+            live.retain(|slot| !report.evicted.contains(slot));
+        }
+        let arrive =
+            live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
+        if arrive {
+            let m = &modules[rng.gen_range(0..modules.len())];
+            if let Some(slot) = placer.try_insert(m) {
+                live.push(slot);
+            }
+        } else {
+            let idx = rng.gen_range(0..live.len());
+            let slot = live.swap_remove(idx);
+            assert!(placer.remove(slot));
+        }
+        out.mean_util += placer.utilization();
+    }
+    out.acceptance = placer.stats().acceptance_rate();
+    out.mean_util /= events as f64;
+    out
+}
+
+/// Decorrelates stream seeds from workload seeds.
+const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn survival(o: &StormOutcome) -> f64 {
+    if o.displaced == 0 {
+        1.0
+    } else {
+        o.relocated as f64 / o.displaced as f64
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let events: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let width: i32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let fault_every: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    eprintln!(
+        "A9: fault storm, {runs} runs x {events} events, {width}-col region, \
+         fault every {fault_every} events"
+    );
+    let mut with_acc = Vec::new();
+    let mut without_acc = Vec::new();
+    for seed in 0..runs as u64 {
+        let workload = generate_workload(&WorkloadSpec {
+            modules: 12,
+            seed,
+            ..WorkloadSpec::default()
+        });
+        let with = workload_modules(&workload);
+        let without: Vec<Module> = with.iter().map(Module::without_alternatives).collect();
+        let a = simulate(&with, width, events, fault_every, seed);
+        let b = simulate(&without, width, events, fault_every, seed);
+        eprintln!(
+            "  run {seed:02}: survival with {:.2} ({} displaced) / without {:.2} ({} displaced)",
+            survival(&a),
+            a.displaced,
+            survival(&b),
+            b.displaced,
+        );
+        with_acc.push(a);
+        without_acc.push(b);
+    }
+
+    let mean = |xs: &[StormOutcome], f: &dyn Fn(&StormOutcome) -> f64| {
+        xs.iter().map(f).sum::<f64>() / xs.len() as f64
+    };
+    let report = |label: &str, xs: &[StormOutcome]| {
+        let displaced: u64 = xs.iter().map(|o| o.displaced).sum();
+        let relocated: u64 = xs.iter().map(|o| o.relocated).sum();
+        let evicted: u64 = xs.iter().map(|o| o.evicted).sum();
+        let words: u64 = xs.iter().map(|o| o.repair_words).sum();
+        println!(
+            "  {label}: acceptance {:.1}%, survival {:.1}% \
+             ({relocated}/{displaced} relocated, {evicted} evicted), \
+             utilization {:.1}%, repair traffic {words} words",
+            mean(xs, &|o| o.acceptance) * 100.0,
+            mean(xs, &survival) * 100.0,
+            mean(xs, &|o| o.mean_util) * 100.0,
+        );
+    };
+    println!();
+    println!("Fault storm over {events} events (means of {runs} runs):");
+    report("without alternatives", &without_acc);
+    report("with alternatives:  ", &with_acc);
+    println!(
+        "  survival gain with alternatives: {:+.1}pp",
+        (mean(&with_acc, &survival) - mean(&without_acc, &survival)) * 100.0
+    );
+}

@@ -53,7 +53,10 @@ pub use lns::{
 };
 pub use metrics::{metrics, PlacementMetrics};
 pub use model::Module;
-pub use online::{OnlinePlacer, OnlineStats};
+pub use online::{
+    FaultImpact, OnlinePlacer, OnlineStats, RepairOutcome, RepairReport, SlotId, SlotMove,
+    SlotRepair,
+};
 pub use placement::{Floorplan, PlacedModule};
 pub use problem::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};
 pub use reconfig::{FrameCostModel, ReconfigCost};

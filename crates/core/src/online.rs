@@ -11,15 +11,18 @@
 
 use crate::model::Module;
 use crate::placement::PlacedModule;
-use rrf_fabric::{Point, Region};
+use crate::reconfig::{module_cost, FrameCostModel, ReconfigCost};
+use rrf_fabric::{Fault, Point, Region};
 use rrf_geost::{allowed_anchors, OccupancyGrid, ShapeDef};
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 /// Handle to a live module instance inside an [`OnlinePlacer`].
 pub type SlotId = u64;
 
 /// Counters over the lifetime of an online placer.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct OnlineStats {
     pub requests: u64,
     pub accepted: u64,
@@ -27,6 +30,22 @@ pub struct OnlineStats {
     pub removals: u64,
     /// Committed defragmentation passes (see [`OnlinePlacer::defrag`]).
     pub defrags: u64,
+    /// Fault injections applied to the region (see
+    /// [`OnlinePlacer::inject_fault`]).
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Fault clears applied to the region.
+    #[serde(default)]
+    pub faults_cleared: u64,
+    /// Repair passes run (see [`OnlinePlacer::repair`]).
+    #[serde(default)]
+    pub repairs: u64,
+    /// Displaced modules repair relocated to a healthy placement.
+    #[serde(default)]
+    pub repaired_relocated: u64,
+    /// Displaced modules repair had to evict.
+    #[serde(default)]
+    pub repaired_evicted: u64,
 }
 
 impl OnlineStats {
@@ -37,6 +56,88 @@ impl OnlineStats {
         } else {
             self.accepted as f64 / self.requests as f64
         }
+    }
+}
+
+/// Immediate effect of a fault injection on a live placer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultImpact {
+    /// Tiles that newly lost a placeable resource.
+    pub tiles: Vec<Point>,
+    /// Live slots whose current placement overlaps a faulted tile. They
+    /// stay resident (and keep their tiles occupied) until
+    /// [`OnlinePlacer::repair`] relocates or evicts them.
+    pub displaced: Vec<SlotId>,
+}
+
+/// What happened to one displaced module during a repair pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "outcome", rename_all = "snake_case")]
+pub enum RepairOutcome {
+    /// The module did not overlap any faulted tile.
+    Unaffected,
+    /// Moved to a healthy placement; `cost` is the reconfiguration cost of
+    /// loading the module at its new position (the price of the repair).
+    Relocated {
+        shape: usize,
+        x: i32,
+        y: i32,
+        cost: ReconfigCost,
+    },
+    /// No healthy placement was found before the deadline; the module was
+    /// removed and its caller must re-submit it.
+    Evicted,
+}
+
+/// One displaced slot together with its repair outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotRepair {
+    pub slot: SlotId,
+    pub outcome: RepairOutcome,
+}
+
+/// One slot whose placement changed — the replayable unit of a repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlotMove {
+    pub slot: SlotId,
+    pub placed: PlacedModule,
+}
+
+/// Result of a [`OnlinePlacer::repair`] pass.
+///
+/// `moved` and `evicted` record the *complete* state delta (including
+/// healthy modules shuffled by the escalation repack), so a journal can
+/// replay the repair deterministically with
+/// [`OnlinePlacer::apply_repair`] even though the pass itself is
+/// deadline-dependent.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RepairReport {
+    /// Per-displaced-module outcomes.
+    pub outcomes: Vec<SlotRepair>,
+    /// Every slot whose placement changed, displaced or not, with its
+    /// final placement.
+    pub moved: Vec<SlotMove>,
+    /// Slots evicted by this pass.
+    pub evicted: Vec<SlotId>,
+    /// Live modules that never overlapped a fault.
+    pub unaffected: u64,
+    /// Whether the pass escalated from greedy relocation to a full
+    /// ruin-and-recreate repack.
+    pub escalated: bool,
+}
+
+impl RepairReport {
+    /// Displaced modules that found a new home.
+    pub fn relocated_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| matches!(o.outcome, RepairOutcome::Relocated { .. }))
+            .count()
+    }
+
+    /// Displaced modules that were dropped.
+    pub fn evicted_count(&self) -> usize {
+        self.evicted.len()
     }
 }
 
@@ -182,6 +283,273 @@ impl OnlinePlacer {
         self.grid = scratch;
         self.stats.defrags += 1;
         moved
+    }
+
+    /// The region (including its live fault set).
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    /// A cheap fingerprint of the occupancy grid — equal digests mean
+    /// bit-identical per-tile occupation (used by crash-recovery tests).
+    pub fn grid_digest(&self) -> u64 {
+        self.grid.digest()
+    }
+
+    /// The next slot id that [`OnlinePlacer::try_insert`] would hand out.
+    pub fn next_slot(&self) -> SlotId {
+        self.next_slot
+    }
+
+    /// Every live slot with its module and placement, sorted by slot id.
+    pub fn slots(&self) -> Vec<(SlotId, &Module, &PlacedModule)> {
+        let mut v: Vec<_> = self.active.iter().map(|(s, (m, p))| (*s, m, p)).collect();
+        v.sort_by_key(|(s, _, _)| *s);
+        v
+    }
+
+    /// Rebuild a placer from snapshotted state: the region (carrying its
+    /// fault set), the live slots, and the counters. The occupancy grid is
+    /// reconstructed from the placements, so a snapshot needs to store
+    /// neither the grid nor any history.
+    pub fn restore(
+        region: Region,
+        slots: Vec<(SlotId, Module, PlacedModule)>,
+        next_slot: SlotId,
+        stats: OnlineStats,
+    ) -> OnlinePlacer {
+        let mut grid = OccupancyGrid::new(region.bounds());
+        let mut active = HashMap::with_capacity(slots.len());
+        for (slot, module, placed) in slots {
+            for b in module.shapes()[placed.shape].boxes() {
+                grid.add_rect(b.placed(placed.x, placed.y), 1);
+            }
+            active.insert(slot, (module, placed));
+        }
+        OnlinePlacer {
+            region,
+            grid,
+            active,
+            next_slot,
+            stats,
+        }
+    }
+
+    /// Live slots whose placement overlaps a faulted tile, sorted.
+    fn displaced_slots(&self) -> Vec<SlotId> {
+        let mut v: Vec<SlotId> = self
+            .active
+            .iter()
+            .filter(|(_, (m, p))| {
+                m.shapes()[p.shape]
+                    .tiles_at(p.x, p.y)
+                    .any(|(t, _)| self.region.is_faulted(t.x, t.y))
+            })
+            .map(|(s, _)| *s)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mark the tiles of `fault` defective. Displaced modules stay
+    /// resident — their configured state is not lost by a neighbouring
+    /// tile dying — but they are broken and keep their tiles busy until
+    /// [`OnlinePlacer::repair`] relocates or evicts them. The impact lists
+    /// *all* currently displaced slots (not only newly displaced ones), so
+    /// a caller that skipped a repair still sees the full backlog.
+    pub fn inject_fault(&mut self, fault: Fault) -> FaultImpact {
+        let tiles = self.region.inject_fault(fault);
+        self.stats.faults_injected += 1;
+        FaultImpact {
+            tiles,
+            displaced: self.displaced_slots(),
+        }
+    }
+
+    /// Clear the tiles of `fault`, restoring their healthy resource kinds.
+    /// Returns the tiles that actually changed back.
+    pub fn clear_fault(&mut self, fault: Fault) -> Vec<Point> {
+        self.stats.faults_cleared += 1;
+        self.region.clear_fault(fault)
+    }
+
+    /// Relocate every displaced module to a healthy placement, evicting
+    /// the ones that cannot be saved. Two escalation levels, both driven
+    /// by design alternatives:
+    ///
+    /// 1. **Greedy**: lift all displaced modules off the grid and first-fit
+    ///    them back (biggest first) around the survivors — cheap, moves
+    ///    only broken modules.
+    /// 2. **Ruin-and-recreate** (while `budget` lasts): if any module is
+    ///    still homeless, repack *everything* onto an empty grid under a
+    ///    sequence of deterministic orderings, committing the first
+    ///    ordering where every module fits (the no-break rule of
+    ///    [`OnlinePlacer::defrag`]: a failed repack changes nothing).
+    ///
+    /// Whatever is still homeless afterwards is evicted. The report's
+    /// `moved`/`evicted` lists are the complete state delta for journal
+    /// replay via [`OnlinePlacer::apply_repair`] — the pass itself is
+    /// deadline-dependent and must not be recomputed from the log.
+    pub fn repair(&mut self, budget: Duration, model: &FrameCostModel) -> RepairReport {
+        let deadline = Instant::now() + budget;
+        self.stats.repairs += 1;
+        let displaced = self.displaced_slots();
+        let mut report = RepairReport {
+            unaffected: (self.active.len() - displaced.len()) as u64,
+            ..RepairReport::default()
+        };
+        if displaced.is_empty() {
+            return report;
+        }
+        let before: HashMap<SlotId, PlacedModule> =
+            self.active.iter().map(|(s, (_, p))| (*s, *p)).collect();
+
+        // Level 1: lift the broken modules, greedy-refit biggest first.
+        for &slot in &displaced {
+            let (module, placed) = &self.active[&slot];
+            for b in module.shapes()[placed.shape].boxes() {
+                self.grid.add_rect(b.placed(placed.x, placed.y), -1);
+            }
+        }
+        let mut order = displaced.clone();
+        order.sort_by_key(|slot| (std::cmp::Reverse(self.active[slot].0.max_area()), *slot));
+        let mut homeless: Vec<SlotId> = Vec::new();
+        for slot in order {
+            let (module, _) = &self.active[&slot];
+            match first_fit(&self.region, &self.grid, module) {
+                Some((shape, anchor)) => {
+                    for b in module.shapes()[shape].boxes() {
+                        self.grid.add_rect(b.placed(anchor.x, anchor.y), 1);
+                    }
+                    let (_, placed) = self.active.get_mut(&slot).expect("live slot");
+                    placed.shape = shape;
+                    placed.x = anchor.x;
+                    placed.y = anchor.y;
+                }
+                None => homeless.push(slot),
+            }
+        }
+
+        // Level 2: ruin-and-recreate over deterministic orderings. Each
+        // ordering is a full no-break repack of every live module (the
+        // homeless ones included); the first one that fits everything wins.
+        if !homeless.is_empty() {
+            report.escalated = true;
+            let mut slots: Vec<SlotId> = self.active.keys().copied().collect();
+            slots.sort_unstable();
+            let orderings: [fn(&OnlinePlacer, &mut Vec<SlotId>); 3] = [
+                |p, v| v.sort_by_key(|s| (std::cmp::Reverse(p.active[s].0.max_area()), *s)),
+                |p, v| v.sort_by_key(|s| (p.active[s].0.max_area(), *s)),
+                |_, v| v.sort_unstable(),
+            ];
+            for order_fn in orderings {
+                if Instant::now() >= deadline {
+                    break;
+                }
+                let mut order = slots.clone();
+                order_fn(self, &mut order);
+                let Some(repacked) = self.try_full_repack(&order) else {
+                    continue;
+                };
+                let mut grid = OccupancyGrid::new(self.region.bounds());
+                for &(slot, shape, anchor) in &repacked {
+                    let (module, placed) = self.active.get_mut(&slot).expect("live slot");
+                    for b in module.shapes()[shape].boxes() {
+                        grid.add_rect(b.placed(anchor.x, anchor.y), 1);
+                    }
+                    placed.shape = shape;
+                    placed.x = anchor.x;
+                    placed.y = anchor.y;
+                }
+                self.grid = grid;
+                homeless.clear();
+                break;
+            }
+        }
+
+        // Evict what is still homeless (their tiles are already free).
+        for &slot in &homeless {
+            self.active.remove(&slot);
+            self.stats.repaired_evicted += 1;
+        }
+        report.evicted = homeless.clone();
+
+        // Assemble the delta and the per-displaced-module outcomes from
+        // the final placements.
+        for (&slot, (module, placed)) in &self.active {
+            if before.get(&slot) != Some(placed) {
+                report.moved.push(SlotMove {
+                    slot,
+                    placed: *placed,
+                });
+                if !displaced.contains(&slot) {
+                    continue; // healthy module shuffled by the repack
+                }
+                self.stats.repaired_relocated += 1;
+                let cost = module_cost(&self.region, std::slice::from_ref(module), placed, model);
+                report.outcomes.push(SlotRepair {
+                    slot,
+                    outcome: RepairOutcome::Relocated {
+                        shape: placed.shape,
+                        x: placed.x,
+                        y: placed.y,
+                        cost,
+                    },
+                });
+            }
+        }
+        for &slot in &homeless {
+            report.outcomes.push(SlotRepair {
+                slot,
+                outcome: RepairOutcome::Evicted,
+            });
+        }
+        report.moved.sort_by_key(|m| m.slot);
+        report.outcomes.sort_by_key(|o| o.slot);
+        report
+    }
+
+    /// Replay a repair's state delta without re-running the (deadline-
+    /// dependent) search: apply the report's `moved`/`evicted` lists and
+    /// bump exactly the counters [`OnlinePlacer::repair`] bumped when it
+    /// produced the report.
+    pub fn apply_repair(&mut self, report: &RepairReport) {
+        self.stats.repairs += 1;
+        for m in &report.moved {
+            let (module, placed) = self.active.get_mut(&m.slot).expect("replayed live slot");
+            for b in module.shapes()[placed.shape].boxes() {
+                self.grid.add_rect(b.placed(placed.x, placed.y), -1);
+            }
+            *placed = m.placed;
+            for b in module.shapes()[placed.shape].boxes() {
+                self.grid.add_rect(b.placed(placed.x, placed.y), 1);
+            }
+        }
+        for slot in &report.evicted {
+            if let Some((module, placed)) = self.active.remove(slot) {
+                for b in module.shapes()[placed.shape].boxes() {
+                    self.grid.add_rect(b.placed(placed.x, placed.y), -1);
+                }
+            }
+        }
+        self.stats.repaired_relocated += report.relocated_count() as u64;
+        self.stats.repaired_evicted += report.evicted.len() as u64;
+    }
+
+    /// A full no-break repack of `order` onto an empty grid; `None` if any
+    /// module fails to fit (in which case nothing was changed).
+    fn try_full_repack(&self, order: &[SlotId]) -> Option<Vec<(SlotId, usize, Point)>> {
+        let mut scratch = OccupancyGrid::new(self.region.bounds());
+        let mut repacked = Vec::with_capacity(order.len());
+        for &slot in order {
+            let (module, _) = &self.active[&slot];
+            let (shape, anchor) = first_fit(&self.region, &scratch, module)?;
+            for b in module.shapes()[shape].boxes() {
+                scratch.add_rect(b.placed(anchor.x, anchor.y), 1);
+            }
+            repacked.push((slot, shape, anchor));
+        }
+        Some(repacked)
     }
 }
 
@@ -349,6 +717,215 @@ mod tests {
         assert_eq!(placer.active_count(), 4);
         assert!((placer.utilization() - 1.0).abs() < 1e-12);
         let _ = before;
+    }
+
+    #[test]
+    fn fault_displaces_only_overlapping_modules() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        let a = placer.try_insert(&m).unwrap();
+        let b = placer.try_insert(&m).unwrap();
+        let impact = placer.inject_fault(Fault::Tile { x: 0, y: 0 });
+        assert_eq!(impact.tiles, vec![Point::new(0, 0)]);
+        assert_eq!(impact.displaced, vec![a]);
+        assert_eq!(placer.active_count(), 2, "displaced modules stay resident");
+        let _ = b;
+        // Clearing heals the region; nothing is displaced any more.
+        assert_eq!(placer.clear_fault(Fault::Tile { x: 0, y: 0 }).len(), 1);
+        let impact = placer.inject_fault(Fault::Tile { x: 7, y: 1 });
+        assert!(impact.displaced.is_empty());
+        assert_eq!(placer.stats().faults_injected, 2);
+        assert_eq!(placer.stats().faults_cleared, 1);
+    }
+
+    #[test]
+    fn repair_relocates_into_free_space() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        let a = placer.try_insert(&m).unwrap();
+        let _b = placer.try_insert(&m).unwrap();
+        let impact = placer.inject_fault(Fault::Column { x: 0 });
+        assert_eq!(impact.displaced, vec![a]);
+        let report = placer.repair(Duration::from_millis(100), &FrameCostModel::default());
+        assert_eq!(report.relocated_count(), 1);
+        assert!(report.evicted.is_empty());
+        assert_eq!(report.unaffected, 1);
+        let p = placer.placement_of(a).unwrap();
+        assert_eq!((p.x, p.y), (4, 0), "first free healthy anchor");
+        assert!(rrf_fabric::Rect::new(p.x, p.y, 2, 2)
+            .tiles()
+            .all(|t| { !placer.region().is_faulted(t.x, t.y) }));
+        // The relocation was costed like any reconfiguration.
+        let RepairOutcome::Relocated { cost, .. } = report.outcomes[0].outcome else {
+            panic!("expected relocation");
+        };
+        assert_eq!(cost.columns, 2);
+    }
+
+    #[test]
+    fn repair_escalates_to_full_repack() {
+        // 10x2 strip, four 2x2 modules at x=0,2,4,6. Faulting columns 8
+        // and 0 displaces the first module and leaves no healthy 2x2 hole
+        // (only the 1-wide columns 1 and 9 are free), so greedy refit
+        // fails and repair escalates. Even a full repack cannot fit four
+        // 2-wide modules into the healthy x=1..=7 window, so the
+        // displaced module is evicted — and the no-break rule keeps the
+        // three survivors intact.
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(10, 2)));
+        let m = clb_module("m", 2, 2);
+        let slots: Vec<_> = (0..4).map(|_| placer.try_insert(&m).unwrap()).collect();
+        placer.inject_fault(Fault::Column { x: 8 });
+        let impact = placer.inject_fault(Fault::Column { x: 0 });
+        assert_eq!(impact.displaced, vec![slots[0]]);
+        let report = placer.repair(Duration::from_secs(5), &FrameCostModel::default());
+        assert_eq!(report.evicted, vec![slots[0]]);
+        assert!(report.escalated);
+        assert_eq!(placer.active_count(), 3);
+        assert_eq!(placer.stats().repaired_evicted, 1);
+    }
+
+    #[test]
+    fn failed_escalation_never_breaks_survivors() {
+        // 6x2 strip: a 4x2 at x=0 and a 2x2 at x=4. Killing column 5
+        // displaces the small module; the only free healthy column (x=4,
+        // after lifting it) is 1 wide, and no repack ordering can fit
+        // both modules into the healthy 5-column window. The eviction
+        // must leave the survivor exactly where it was.
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(6, 2)));
+        let wide = clb_module("wide", 4, 2);
+        let small = clb_module("small", 2, 2);
+        let w = placer.try_insert(&wide).unwrap();
+        let s = placer.try_insert(&small).unwrap();
+        let impact = placer.inject_fault(Fault::Column { x: 5 });
+        assert_eq!(impact.displaced, vec![s]);
+        let report = placer.repair(Duration::from_secs(5), &FrameCostModel::default());
+        assert!(report.escalated);
+        assert_eq!(report.evicted, vec![s]);
+        assert_eq!(placer.placement_of(w).unwrap().x, 0);
+        assert_eq!(placer.active_count(), 1);
+        assert_eq!(placer.occupied_tiles(), 8);
+    }
+
+    #[test]
+    fn repair_uses_design_alternatives() {
+        // 6x4 region: the flexible module (4x2 with a 2x4 alternative) at
+        // (0,0), a rigid 4x2 filler at (0,2); free space is the 2-wide
+        // strip at x=4. Faulting (2,1) displaces the flexible module and
+        // rules out every 4x2 anchor (rows 0..2 anchors all cover the
+        // fault, rows 2..4 are the filler's), but the 2x4 alternative
+        // fits the free strip exactly.
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(6, 4)));
+        let flex = flexible_module("flex", 4, 2);
+        let filler = clb_module("filler", 4, 2);
+        let f = placer.try_insert(&flex).unwrap();
+        let _filler = placer.try_insert(&filler).unwrap(); // at (0,2)
+        assert_eq!(placer.placement_of(f).unwrap().shape, 0);
+        placer.inject_fault(Fault::Tile { x: 2, y: 1 });
+        let report = placer.repair(Duration::from_secs(5), &FrameCostModel::default());
+        assert_eq!(report.relocated_count(), 1);
+        let p = placer.placement_of(f).unwrap();
+        assert_eq!(p.shape, 1, "repair switched to the rotated alternative");
+        assert_eq!((p.x, p.y), (4, 0));
+        // The same scenario without alternatives ends in eviction.
+        let mut rigid_placer = OnlinePlacer::new(Region::whole(device::homogeneous(6, 4)));
+        let r = rigid_placer
+            .try_insert(&flex.without_alternatives())
+            .unwrap();
+        rigid_placer.try_insert(&filler).unwrap();
+        rigid_placer.inject_fault(Fault::Tile { x: 2, y: 1 });
+        let report = rigid_placer.repair(Duration::from_secs(5), &FrameCostModel::default());
+        assert_eq!(report.evicted, vec![r]);
+    }
+
+    #[test]
+    fn apply_repair_replays_to_identical_state() {
+        let mut live = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        for _ in 0..3 {
+            live.try_insert(&m).unwrap();
+        }
+        let mut replayed = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        for _ in 0..3 {
+            replayed.try_insert(&m).unwrap();
+        }
+        live.inject_fault(Fault::Column { x: 2 });
+        replayed.inject_fault(Fault::Column { x: 2 });
+        let report = live.repair(Duration::from_secs(5), &FrameCostModel::default());
+        assert!(!report.moved.is_empty() || !report.evicted.is_empty());
+        replayed.apply_repair(&report);
+        assert_eq!(live.grid_digest(), replayed.grid_digest());
+        assert_eq!(live.stats(), replayed.stats());
+        let live_slots: Vec<_> = live.slots().iter().map(|(s, _, p)| (*s, **p)).collect();
+        let replayed_slots: Vec<_> = replayed.slots().iter().map(|(s, _, p)| (*s, **p)).collect();
+        assert_eq!(live_slots, replayed_slots);
+    }
+
+    #[test]
+    fn restore_rebuilds_grid_and_faults() {
+        let mut placer = OnlinePlacer::new(Region::whole(device::homogeneous(8, 2)));
+        let m = clb_module("m", 2, 2);
+        placer.try_insert(&m).unwrap();
+        placer.try_insert(&m).unwrap();
+        placer.inject_fault(Fault::Column { x: 6 });
+        let snapshot: Vec<_> = placer
+            .slots()
+            .into_iter()
+            .map(|(s, module, p)| (s, module.clone(), *p))
+            .collect();
+        let restored = OnlinePlacer::restore(
+            placer.region().clone(),
+            snapshot,
+            placer.next_slot(),
+            placer.stats(),
+        );
+        assert_eq!(restored.grid_digest(), placer.grid_digest());
+        assert_eq!(restored.stats(), placer.stats());
+        assert_eq!(restored.next_slot(), placer.next_slot());
+        assert!(restored.region().is_faulted(6, 0));
+        // The restored placer keeps rejecting what the original would.
+        let mut a = placer;
+        let mut b = restored;
+        assert_eq!(a.try_insert(&m).is_some(), b.try_insert(&m).is_some());
+    }
+
+    #[test]
+    fn repair_report_serde_roundtrip() {
+        let report = RepairReport {
+            outcomes: vec![
+                SlotRepair {
+                    slot: 3,
+                    outcome: RepairOutcome::Relocated {
+                        shape: 1,
+                        x: 4,
+                        y: 0,
+                        cost: ReconfigCost {
+                            columns: 2,
+                            words: 800,
+                            nanos: 16_000,
+                        },
+                    },
+                },
+                SlotRepair {
+                    slot: 5,
+                    outcome: RepairOutcome::Evicted,
+                },
+            ],
+            moved: vec![SlotMove {
+                slot: 3,
+                placed: PlacedModule {
+                    module: 0,
+                    shape: 1,
+                    x: 4,
+                    y: 0,
+                },
+            }],
+            evicted: vec![5],
+            unaffected: 2,
+            escalated: true,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: RepairReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

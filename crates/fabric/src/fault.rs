@@ -1,0 +1,213 @@
+//! Fabric fault model: defective tiles as resource-typed forbidden regions.
+//!
+//! The paper's partial region model already expresses *unavailable*
+//! resources: the static design is a set of tiles whose resource type may
+//! not be consumed (§III-B), realized in the geost kernel as forbidden
+//! regions carrying a resource property (§IV). A defective tile is exactly
+//! the same object — a tile whose resource can no longer be used — so
+//! fault tolerance composes into the existing model with **no solver
+//! changes**: a [`FaultSet`] layered onto a [`crate::Region`] demotes the
+//! faulted tiles to `Static`, and every consumer of `Region::kind_at`
+//! (anchor filtering, the CP table constraint, the verifier, the online
+//! placer) excludes them automatically.
+//!
+//! Each faulted tile remembers the [`ResourceKind`] it had when healthy,
+//! so repair logic and reports can say *what* was lost (a dead BRAM column
+//! is a very different event from a dead CLB tile), and so clearing a
+//! fault restores the original fabric view.
+
+use crate::{Point, Rect, ResourceKind};
+use serde::{Deserialize, Serialize};
+
+/// A fault descriptor, as injected by an operator or a fault generator.
+///
+/// `Column` models the common column-level failure of column-oriented
+/// devices (a configuration frame spans a full column, so a frame-level
+/// defect takes the column down); `Tile` models a single defective tile;
+/// `Rect` models a larger damaged area (e.g. radiation events spanning
+/// neighbouring tiles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum Fault {
+    /// One defective tile.
+    Tile { x: i32, y: i32 },
+    /// A whole defective column (every tile with this x).
+    Column { x: i32 },
+    /// A rectangular damaged area.
+    Rect { x: i32, y: i32, w: i32, h: i32 },
+}
+
+impl Fault {
+    /// Whether the fault covers `(x, y)`.
+    pub fn covers(&self, x: i32, y: i32) -> bool {
+        match *self {
+            Fault::Tile { x: fx, y: fy } => fx == x && fy == y,
+            Fault::Column { x: fx } => fx == x,
+            Fault::Rect { x: fx, y: fy, w, h } => x >= fx && x < fx + w && y >= fy && y < fy + h,
+        }
+    }
+
+    /// The tiles of `within` covered by this fault.
+    pub fn tiles_in(&self, within: Rect) -> Vec<Point> {
+        within.tiles().filter(|p| self.covers(p.x, p.y)).collect()
+    }
+}
+
+/// One defective tile together with the resource kind it had when healthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultedTile {
+    pub x: i32,
+    pub y: i32,
+    /// The resource the fabric loses at this tile.
+    pub kind: ResourceKind,
+}
+
+/// The set of currently defective tiles of a region.
+///
+/// Kept sorted by `(x, y)` so lookups are a binary search and two fault
+/// sets with the same tiles compare equal regardless of injection order.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultSet {
+    tiles: Vec<FaultedTile>,
+}
+
+impl FaultSet {
+    /// An empty (all-healthy) fault set.
+    pub fn new() -> FaultSet {
+        FaultSet::default()
+    }
+
+    fn position(&self, x: i32, y: i32) -> Result<usize, usize> {
+        self.tiles.binary_search_by_key(&(x, y), |t| (t.x, t.y))
+    }
+
+    /// Mark `(x, y)` (of healthy kind `kind`) defective. Returns `false`
+    /// if the tile was already faulted.
+    pub fn inject(&mut self, x: i32, y: i32, kind: ResourceKind) -> bool {
+        match self.position(x, y) {
+            Ok(_) => false,
+            Err(i) => {
+                self.tiles.insert(i, FaultedTile { x, y, kind });
+                true
+            }
+        }
+    }
+
+    /// Clear the fault at `(x, y)`. Returns the healthy kind it had, or
+    /// `None` if the tile was not faulted.
+    pub fn clear(&mut self, x: i32, y: i32) -> Option<ResourceKind> {
+        match self.position(x, y) {
+            Ok(i) => Some(self.tiles.remove(i).kind),
+            Err(_) => None,
+        }
+    }
+
+    /// Whether `(x, y)` is defective.
+    #[inline]
+    pub fn contains(&self, x: i32, y: i32) -> bool {
+        self.position(x, y).is_ok()
+    }
+
+    /// Number of defective tiles.
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the fabric is fully healthy.
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The defective tiles, sorted by `(x, y)`.
+    pub fn iter(&self) -> impl Iterator<Item = &FaultedTile> + '_ {
+        self.tiles.iter()
+    }
+
+    /// The fault set mirrored across the x=y diagonal.
+    pub fn transposed(&self) -> FaultSet {
+        let mut tiles: Vec<FaultedTile> = self
+            .tiles
+            .iter()
+            .map(|t| FaultedTile {
+                x: t.y,
+                y: t.x,
+                kind: t.kind,
+            })
+            .collect();
+        tiles.sort_by_key(|t| (t.x, t.y));
+        FaultSet { tiles }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_coverage() {
+        let t = Fault::Tile { x: 2, y: 3 };
+        assert!(t.covers(2, 3));
+        assert!(!t.covers(3, 2));
+        let c = Fault::Column { x: 5 };
+        assert!(c.covers(5, 0) && c.covers(5, 99));
+        assert!(!c.covers(4, 0));
+        let r = Fault::Rect {
+            x: 1,
+            y: 1,
+            w: 2,
+            h: 2,
+        };
+        assert!(r.covers(1, 1) && r.covers(2, 2));
+        assert!(!r.covers(3, 1));
+        assert_eq!(c.tiles_in(Rect::new(0, 0, 8, 2)).len(), 2);
+    }
+
+    #[test]
+    fn inject_clear_contains() {
+        let mut f = FaultSet::new();
+        assert!(f.inject(3, 1, ResourceKind::Clb));
+        assert!(!f.inject(3, 1, ResourceKind::Clb), "double inject");
+        assert!(f.inject(0, 0, ResourceKind::Bram));
+        assert!(f.contains(3, 1));
+        assert!(!f.contains(1, 3));
+        assert_eq!(f.len(), 2);
+        assert_eq!(f.clear(3, 1), Some(ResourceKind::Clb));
+        assert_eq!(f.clear(3, 1), None);
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn order_independent_equality() {
+        let mut a = FaultSet::new();
+        a.inject(1, 0, ResourceKind::Clb);
+        a.inject(0, 1, ResourceKind::Clb);
+        let mut b = FaultSet::new();
+        b.inject(0, 1, ResourceKind::Clb);
+        b.inject(1, 0, ResourceKind::Clb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn transposed_mirrors_tiles() {
+        let mut f = FaultSet::new();
+        f.inject(2, 5, ResourceKind::Bram);
+        f.inject(0, 1, ResourceKind::Clb);
+        let t = f.transposed();
+        assert!(t.contains(5, 2));
+        assert!(t.contains(1, 0));
+        assert_eq!(t.transposed(), f);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut f = FaultSet::new();
+        f.inject(4, 2, ResourceKind::Dsp);
+        let json = serde_json::to_string(&f).unwrap();
+        let back: FaultSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, f);
+        let fault = Fault::Column { x: 7 };
+        let json = serde_json::to_string(&fault).unwrap();
+        let back: Fault = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fault);
+    }
+}

@@ -17,6 +17,9 @@
 //!   layouts, irregular-heterogeneity models, homogeneous references);
 //! * [`Region`] — a reconfigurable region carved out of a fabric, with a
 //!   static-region mask (Fig. 4c of the paper);
+//! * [`Fault`] / [`FaultSet`] — defective tiles and columns, composed into
+//!   a region as resource-typed forbidden tiles (the paper's own extension
+//!   mechanism reused for fault tolerance);
 //! * [`Rect`] / [`Point`] — shared integer geometry.
 //!
 //! ```
@@ -30,6 +33,7 @@
 
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod grid;
 pub mod region;
@@ -37,6 +41,7 @@ pub mod resource;
 pub mod stats;
 
 pub use error::FabricError;
+pub use fault::{Fault, FaultSet, FaultedTile};
 pub use geometry::{Point, Rect};
 pub use grid::Fabric;
 pub use region::Region;

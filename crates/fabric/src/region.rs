@@ -6,20 +6,26 @@
 //! whose resource type is *not available*. [`Region`] is that view: a fabric
 //! plus a reconfigurable bounding box plus static-region masks.
 
-use crate::{Fabric, FabricError, Point, Rect, ResourceKind};
+use crate::{Fabric, FabricError, Fault, FaultSet, Point, Rect, ResourceKind};
 use serde::{Deserialize, Serialize};
 
 /// A reconfigurable region carved out of a [`Fabric`].
 ///
 /// All placement constraint generation consumes a `Region`: its
 /// [`Region::kind_at`] reports `Static` for every tile outside the bounding
-/// box, inside a static mask, or outside the device — so downstream code has
-/// a single uniform "what can live here" query.
+/// box, inside a static mask, outside the device, or marked defective in
+/// the fault set — so downstream code has a single uniform "what can live
+/// here" query, and a faulted tile is excluded from placement exactly the
+/// way a static tile is (see [`crate::fault`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Region {
     fabric: Fabric,
     bounds: Rect,
     static_masks: Vec<Rect>,
+    /// Currently defective tiles. `default` keeps pre-fault serialized
+    /// regions loadable.
+    #[serde(default)]
+    faults: FaultSet,
 }
 
 impl Region {
@@ -30,6 +36,7 @@ impl Region {
             fabric,
             bounds,
             static_masks: Vec::new(),
+            faults: FaultSet::new(),
         }
     }
 
@@ -42,6 +49,7 @@ impl Region {
             fabric,
             bounds,
             static_masks: Vec::new(),
+            faults: FaultSet::new(),
         })
     }
 
@@ -97,14 +105,60 @@ impl Region {
     }
 
     /// The effective resource kind at `(x, y)`: the fabric's kind, demoted to
-    /// `Static` outside the bounds or under a mask.
+    /// `Static` outside the bounds, under a mask, or on a defective tile.
     #[inline]
     pub fn kind_at(&self, x: i32, y: i32) -> ResourceKind {
-        if !self.bounds.contains(Point::new(x, y)) || self.is_masked(x, y) {
+        if !self.bounds.contains(Point::new(x, y))
+            || self.is_masked(x, y)
+            || self.faults.contains(x, y)
+        {
             ResourceKind::Static
         } else {
             self.fabric.kind_at(x, y)
         }
+    }
+
+    /// Currently defective tiles.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Whether the tile at `(x, y)` is marked defective.
+    #[inline]
+    pub fn is_faulted(&self, x: i32, y: i32) -> bool {
+        self.faults.contains(x, y)
+    }
+
+    /// Mark every tile covered by `fault` defective. Returns the tiles
+    /// that *newly* lost a placeable resource — tiles that were already
+    /// static, masked, out of bounds, or faulted do not change the
+    /// region's capacity and are not reported (injecting a fault into the
+    /// static half of a device is a no-op for placement). The healthy kind
+    /// of each tile is recorded so [`Region::clear_fault`] can restore it.
+    pub fn inject_fault(&mut self, fault: Fault) -> Vec<Point> {
+        let mut lost = Vec::new();
+        for p in fault.tiles_in(self.bounds) {
+            let kind = self.kind_at(p.x, p.y);
+            if kind.is_placeable() && self.faults.inject(p.x, p.y, kind) {
+                lost.push(p);
+            }
+        }
+        lost
+    }
+
+    /// Clear every faulted tile covered by `fault`; their healthy resource
+    /// kinds become available again. Returns the restored tiles.
+    pub fn clear_fault(&mut self, fault: Fault) -> Vec<Point> {
+        let cleared: Vec<Point> = self
+            .faults
+            .iter()
+            .filter(|t| fault.covers(t.x, t.y))
+            .map(|t| Point::new(t.x, t.y))
+            .collect();
+        for p in &cleared {
+            self.faults.clear(p.x, p.y);
+        }
+        cleared
     }
 
     /// Whether a module tile of kind `kind` may sit at `(x, y)` (eq. 3:
@@ -152,6 +206,7 @@ impl Region {
             fabric: self.fabric.transposed(),
             bounds: self.bounds.transposed(),
             static_masks: self.static_masks.iter().map(Rect::transposed).collect(),
+            faults: self.faults.transposed(),
         }
     }
 
@@ -296,8 +351,73 @@ mod tests {
     fn serde_roundtrip() {
         let mut r = Region::whole(device::virtex_like(16, 6));
         r.add_static_mask(Rect::new(8, 0, 8, 6));
+        r.inject_fault(Fault::Column { x: 3 });
         let json = serde_json::to_string(&r).unwrap();
         let back: Region = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn pre_fault_region_json_still_loads() {
+        let r = Region::whole(device::homogeneous(4, 2));
+        let json = serde_json::to_string(&r).unwrap();
+        // A serialized region from before the fault model has no `faults`
+        // field; `serde(default)` must accept it.
+        let stripped = json.replace(",\"faults\":{\"tiles\":[]}", "");
+        assert!(stripped.len() < json.len(), "field not found to strip");
+        let back: Region = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn faulted_tile_reads_static_and_restores() {
+        let mut r = Region::whole(device::homogeneous(6, 3));
+        assert_eq!(r.placeable_count(), 18);
+        let lost = r.inject_fault(Fault::Tile { x: 2, y: 1 });
+        assert_eq!(lost, vec![Point::new(2, 1)]);
+        assert!(r.is_faulted(2, 1));
+        assert_eq!(r.kind_at(2, 1), ResourceKind::Static);
+        assert!(!r.accepts(2, 1, ResourceKind::Clb));
+        assert_eq!(r.placeable_count(), 17);
+        // Double injection is a no-op.
+        assert!(r.inject_fault(Fault::Tile { x: 2, y: 1 }).is_empty());
+        let cleared = r.clear_fault(Fault::Tile { x: 2, y: 1 });
+        assert_eq!(cleared, vec![Point::new(2, 1)]);
+        assert_eq!(r.kind_at(2, 1), ResourceKind::Clb);
+        assert_eq!(r.placeable_count(), 18);
+    }
+
+    #[test]
+    fn column_fault_records_healthy_kinds() {
+        let mut r = Region::whole(Fabric::from_art("ccBc\nccBc").unwrap());
+        let lost = r.inject_fault(Fault::Column { x: 2 });
+        assert_eq!(lost.len(), 2);
+        for t in r.faults().iter() {
+            assert_eq!(t.kind, ResourceKind::Bram);
+        }
+        assert_eq!(r.count(ResourceKind::Bram), 0);
+        r.clear_fault(Fault::Column { x: 2 });
+        assert_eq!(r.count(ResourceKind::Bram), 2);
+    }
+
+    #[test]
+    fn fault_on_masked_or_static_tiles_is_noop() {
+        let mut r = Region::whole(device::homogeneous(4, 2));
+        r.add_static_mask(Rect::new(2, 0, 2, 2));
+        // Masked half: no placeable resource is lost.
+        assert!(r.inject_fault(Fault::Tile { x: 3, y: 0 }).is_empty());
+        // Out of bounds: no-op, too.
+        assert!(r.inject_fault(Fault::Tile { x: 99, y: 0 }).is_empty());
+        assert!(r.faults().is_empty());
+    }
+
+    #[test]
+    fn transposed_region_transposes_faults() {
+        let mut r = Region::whole(device::homogeneous(5, 3));
+        r.inject_fault(Fault::Tile { x: 4, y: 1 });
+        let t = r.transposed();
+        assert!(t.is_faulted(1, 4));
+        assert_eq!(t.kind_at(1, 4), ResourceKind::Static);
+        assert_eq!(t.transposed(), r);
     }
 }

@@ -140,6 +140,42 @@ mod tests {
     }
 
     #[test]
+    fn faulted_tiles_are_forbidden_regions() {
+        // The fault path needs no geost changes: a faulted tile reads as
+        // `Static` from the region, so the same resource-typed forbidden
+        // region machinery that models the static design excludes it.
+        let mut region = Region::whole(device::homogeneous(4, 2));
+        let before = allowed_anchors(&region, &clb_box(2, 2));
+        assert_eq!(before.len(), 3);
+        region.inject_fault(rrf_fabric::Fault::Tile { x: 1, y: 0 });
+        let anchors = allowed_anchors(&region, &clb_box(2, 2));
+        assert_eq!(anchors, vec![Point::new(2, 0)]);
+        for p in &anchors {
+            for (tile, _) in clb_box(2, 2).tiles_at(p.x, p.y) {
+                assert!(!region.is_faulted(tile.x, tile.y));
+            }
+        }
+        region.clear_fault(rrf_fabric::Fault::Tile { x: 1, y: 0 });
+        assert_eq!(allowed_anchors(&region, &clb_box(2, 2)), before);
+    }
+
+    #[test]
+    fn column_fault_splits_anchor_space_like_bram_column() {
+        // A dead column behaves exactly like a resource-mismatched column:
+        // shapes cannot straddle it (cf. `bram_column_blocks_clb_shape`).
+        let mut region = Region::whole(device::homogeneous(5, 2));
+        region.inject_fault(rrf_fabric::Fault::Column { x: 2 });
+        let anchors = allowed_anchors(&region, &clb_box(2, 1));
+        let xs: Vec<i32> = anchors.iter().map(|p| p.x).collect();
+        assert!(xs.contains(&0) && xs.contains(&3));
+        assert!(!xs.contains(&1) && !xs.contains(&2));
+        // The table constraint shrinks accordingly — the solver sees the
+        // fault purely through the anchor rows.
+        let rows = anchor_rows(&region, &[clb_box(2, 1)]);
+        assert_eq!(rows.len(), 4);
+    }
+
+    #[test]
     fn oversized_shape_has_no_anchor() {
         let region = Region::whole(device::homogeneous(3, 3));
         assert!(allowed_anchors(&region, &clb_box(4, 1)).is_empty());

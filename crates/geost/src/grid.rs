@@ -69,6 +69,29 @@ impl OccupancyGrid {
     pub fn clear(&mut self) {
         self.counts.iter_mut().for_each(|c| *c = 0);
     }
+
+    /// FNV-1a digest over the bounds and every per-tile count — a cheap
+    /// fingerprint for "bit-identical occupancy" assertions (crash-recovery
+    /// tests compare grids across process restarts by this digest).
+    pub fn digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut hash = OFFSET;
+        let mut mix = |v: i64| {
+            for b in v.to_le_bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.bounds.x as i64);
+        mix(self.bounds.y as i64);
+        mix(self.bounds.w as i64);
+        mix(self.bounds.h as i64);
+        for &c in &self.counts {
+            mix(c as i64);
+        }
+        hash
+    }
 }
 
 #[cfg(test)]
@@ -114,6 +137,22 @@ mod tests {
         g.add_rect(Rect::new(10, 20, 1, 1), 1);
         assert_eq!(g.get(10, 20), 1);
         assert_eq!(g.get(0, 0), 0);
+    }
+
+    #[test]
+    fn digest_tracks_content_not_history() {
+        let mut a = OccupancyGrid::new(Rect::new(0, 0, 4, 4));
+        let mut b = OccupancyGrid::new(Rect::new(0, 0, 4, 4));
+        a.add_rect(Rect::new(0, 0, 2, 2), 1);
+        b.add_rect(Rect::new(0, 0, 2, 2), 2);
+        b.add_rect(Rect::new(0, 0, 2, 2), -1);
+        assert_eq!(a.digest(), b.digest(), "same counts, same digest");
+        b.add_rect(Rect::new(3, 3, 1, 1), 1);
+        assert_ne!(a.digest(), b.digest());
+        // Same counts over different bounds must not collide trivially.
+        let c = OccupancyGrid::new(Rect::new(1, 0, 4, 4));
+        let d = OccupancyGrid::new(Rect::new(0, 0, 4, 4));
+        assert_ne!(c.digest(), d.digest());
     }
 
     #[test]

@@ -3,17 +3,49 @@
 //! ```text
 //! rrf-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!           [--deadline-ms MS] [--cache N]
+//!           [--journal PATH] [--journal-fsync-every N]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `rrf_server::protocol`); try it with
 //! `printf '{"type":"ping","id":1}\n' | nc HOST PORT`.
+//!
+//! With `--journal PATH`, sessions are durable: every state-changing
+//! operation is logged before it is answered, an existing journal is
+//! replayed at startup (crash recovery), and SIGINT/SIGTERM trigger a
+//! graceful shutdown that compacts the journal to a single snapshot line.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
 
 use rrf_server::{start, ServerConfig};
+
+/// Set by the signal handler; the main loop polls it. (Only
+/// async-signal-safe work happens in the handler itself.)
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Install `on_signal` for SIGINT and SIGTERM via the libc `signal(2)`
+/// entry point (declared directly — no bindings crate needed).
+fn install_signal_handlers() {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--deadline-ms MS] [--cache N]"
+         [--deadline-ms MS] [--cache N] [--journal PATH] \
+         [--journal-fsync-every N]"
     );
     std::process::exit(2);
 }
@@ -34,20 +66,28 @@ fn main() {
                 config.default_deadline_ms = value().parse().unwrap_or_else(|_| usage())
             }
             "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--journal" => config.journal_path = Some(value()),
+            "--journal-fsync-every" => {
+                config.journal_fsync_every = value().parse().unwrap_or_else(|_| usage())
+            }
             _ => usage(),
         }
     }
 
+    install_signal_handlers();
     match start(config) {
         Ok(handle) => {
             println!("rrf-serve listening on {}", handle.addr());
-            // Serve until killed; the handle's Drop shuts the daemon down.
-            loop {
-                std::thread::sleep(std::time::Duration::from_secs(3600));
+            // Serve until signalled; then shut down gracefully — joining
+            // the pool and (when journaling) snapshotting session state.
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(50));
             }
+            eprintln!("rrf-serve: shutting down");
+            handle.shutdown();
         }
         Err(e) => {
-            eprintln!("rrf-serve: bind failed: {e}");
+            eprintln!("rrf-serve: failed to start: {e}");
             std::process::exit(1);
         }
     }

@@ -27,6 +27,18 @@
 //! * **Online sessions.** A session owns a live region backed by
 //!   [`rrf_core::OnlinePlacer`]: insert, remove, and no-break defrag
 //!   against accumulated fragmentation.
+//! * **Fault tolerance.** `inject_fault` marks fabric tiles defective
+//!   (they become resource-typed forbidden regions, the paper's own
+//!   static-design mechanism); `repair` relocates displaced modules using
+//!   their design alternatives, escalating from greedy refit to a full
+//!   repack under a budget, and evicts what cannot be saved.
+//! * **Crash safety.** With `--journal`, every state-changing session
+//!   operation is appended to an NDJSON log before it is answered;
+//!   restart replays the log into bit-identical sessions ([`journal`]).
+//!   Defrag and graceful shutdown compact the log to one snapshot line.
+//! * **Panic isolation.** A panicking handler costs one response (an
+//!   internal error), never a worker: the pool catches unwinds and keeps
+//!   serving.
 //! * **Stats.** Counters plus a solve-time histogram ([`stats`]).
 //!
 //! Start a daemon with [`start`]; the `rrf-serve` binary is a thin CLI
@@ -34,10 +46,12 @@
 //! [`rrf_flow::report`], so a batch job file is a valid `place` payload.
 
 pub mod cache;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use protocol::{PlaceMethod, Request, Response};
+pub use journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
+pub use protocol::{PlaceMethod, Request, Response, SlotState};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use stats::{ServerStats, HISTOGRAM_BOUNDS_MS};

@@ -13,6 +13,8 @@
 //! so a job file accepted by the `rrf-flow` batch CLI is exactly the
 //! `spec` of a `place` request.
 
+use rrf_core::RepairReport;
+use rrf_fabric::Fault;
 use rrf_flow::{FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
 use serde::{Deserialize, Serialize};
 
@@ -46,6 +48,28 @@ pub enum Request {
     Defrag { id: u64, session: u64 },
     /// Close a session and free its region state.
     CloseSession { id: u64, session: u64 },
+    /// Mark fabric tiles of a session's region defective. Modules whose
+    /// placement overlaps the fault stay resident (broken) until a
+    /// `repair` relocates or evicts them.
+    InjectFault { id: u64, session: u64, fault: Fault },
+    /// Restore previously faulted tiles to their healthy resource kinds.
+    ClearFault { id: u64, session: u64, fault: Fault },
+    /// Relocate every fault-displaced module (greedy first, then a full
+    /// repack under the budget), evicting whatever cannot be saved.
+    Repair {
+        id: u64,
+        session: u64,
+        /// Wall-clock budget for the escalation phase; `None` = the
+        /// daemon's default deadline.
+        #[serde(default)]
+        budget_ms: Option<u64>,
+    },
+    /// Dump a session's durable state — slots, placements, and an
+    /// occupancy-grid digest — for operators and recovery tests.
+    DumpSession { id: u64, session: u64 },
+    /// Deliberately panic the handling worker (panic-isolation testing;
+    /// the worker must survive and answer with an internal error).
+    DebugPanic { id: u64 },
     /// Fetch the daemon's counters and latency summary.
     Stats { id: u64 },
     /// Liveness check.
@@ -62,6 +86,11 @@ impl Request {
             | Request::Remove { id, .. }
             | Request::Defrag { id, .. }
             | Request::CloseSession { id, .. }
+            | Request::InjectFault { id, .. }
+            | Request::ClearFault { id, .. }
+            | Request::Repair { id, .. }
+            | Request::DumpSession { id, .. }
+            | Request::DebugPanic { id }
             | Request::Stats { id }
             | Request::Ping { id } => id,
         }
@@ -84,6 +113,16 @@ pub enum PlaceMethod {
     /// No floorplan exists (or none was found): `report.feasible` is
     /// false, and `report.proven` says whether infeasibility was proved.
     Infeasible,
+}
+
+/// One live slot in a [`Response::SessionState`] dump.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotState {
+    pub slot: u64,
+    pub name: String,
+    pub shape: usize,
+    pub x: i32,
+    pub y: i32,
 }
 
 /// A daemon response. On the wire: `{"type": "placed", "id": 1, ...}`.
@@ -134,6 +173,46 @@ pub enum Response {
         session: u64,
         closed: bool,
     },
+    /// Answer to [`Request::InjectFault`].
+    FaultInjected {
+        id: u64,
+        session: u64,
+        /// Tiles that newly lost a placeable resource.
+        tiles: u64,
+        /// Live slots whose placement now overlaps a faulted tile; they
+        /// need a `repair` to become healthy again.
+        displaced: Vec<u64>,
+        /// Total defective tiles in the session's region.
+        total_faults: u64,
+    },
+    /// Answer to [`Request::ClearFault`].
+    FaultCleared {
+        id: u64,
+        session: u64,
+        /// Tiles restored to their healthy resource kinds.
+        tiles: u64,
+        total_faults: u64,
+    },
+    /// Answer to [`Request::Repair`]: the full per-module outcome.
+    Repaired {
+        id: u64,
+        session: u64,
+        report: RepairReport,
+        utilization: f64,
+    },
+    /// Answer to [`Request::DumpSession`].
+    SessionState {
+        id: u64,
+        session: u64,
+        next_slot: u64,
+        /// Hex digest of the occupancy grid — equal digests mean
+        /// bit-identical per-tile occupation (hex, because JSON numbers
+        /// cannot carry a full u64).
+        grid_digest: String,
+        /// Defective tiles currently in the region.
+        total_faults: u64,
+        slots: Vec<SlotState>,
+    },
     Stats {
         id: u64,
         stats: ServerStats,
@@ -161,6 +240,10 @@ impl Response {
             | Response::Removed { id, .. }
             | Response::Defragged { id, .. }
             | Response::SessionClosed { id, .. }
+            | Response::FaultInjected { id, .. }
+            | Response::FaultCleared { id, .. }
+            | Response::Repaired { id, .. }
+            | Response::SessionState { id, .. }
             | Response::Stats { id, .. }
             | Response::Pong { id }
             | Response::Error { id, .. } => id,
@@ -206,6 +289,32 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn fault_requests_roundtrip() {
+        let req = Request::InjectFault {
+            id: 9,
+            session: 2,
+            fault: Fault::Column { x: 5 },
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(
+            json,
+            r#"{"type":"inject_fault","id":9,"session":2,"fault":{"kind":"column","x":5}}"#
+        );
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+
+        // A repair without a budget picks up the daemon default.
+        let req: Request = serde_json::from_str(r#"{"type":"repair","id":1,"session":2}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Repair {
+                id: 1,
+                session: 2,
+                budget_ms: None
+            }
+        );
     }
 
     #[test]

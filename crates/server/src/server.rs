@@ -14,6 +14,7 @@
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,13 +23,15 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rrf_core::{
-    baseline, cp, lns_improve_with_stop, metrics, verify, Floorplan, LnsConfig, OnlinePlacer,
-    PlacementProblem, SolveStats,
+    baseline, cp, lns_improve_with_stop, metrics, verify, Floorplan, FrameCostModel, LnsConfig,
+    OnlinePlacer, PlacementProblem, SolveStats,
 };
+use rrf_fabric::Region;
 use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
 
 use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
-use crate::protocol::{PlaceMethod, Request, Response};
+use crate::journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
+use crate::protocol::{PlaceMethod, Request, Response, SlotState};
 use crate::stats::ServerStats;
 
 /// Below this remaining budget the CP attempt is skipped entirely and the
@@ -52,6 +55,13 @@ pub struct ServerConfig {
     pub default_deadline_ms: u64,
     /// Placement-cache capacity (entries).
     pub cache_capacity: usize,
+    /// Session journal path. `None` disables durability; with a path, the
+    /// daemon replays the journal at startup (crash recovery) and logs
+    /// every state-changing session operation before answering it.
+    pub journal_path: Option<String>,
+    /// fsync the journal after every N appended records (1 = every
+    /// record; larger batches trade the log's tail for throughput).
+    pub journal_fsync_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +72,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             default_deadline_ms: 10_000,
             cache_capacity: 256,
+            journal_path: None,
+            journal_fsync_every: 1,
         }
     }
 }
@@ -108,6 +120,57 @@ struct Session {
     names: HashMap<u64, String>,
 }
 
+impl Session {
+    fn new(region: Region) -> Session {
+        Session {
+            placer: OnlinePlacer::new(region),
+            names: HashMap::new(),
+        }
+    }
+
+    /// The session's full durable state (see [`crate::journal`]).
+    fn snapshot(&self, session: u64) -> SessionSnapshot {
+        SessionSnapshot {
+            session,
+            region: self.placer.region().clone(),
+            next_slot: self.placer.next_slot(),
+            stats: self.placer.stats(),
+            slots: self
+                .placer
+                .slots()
+                .into_iter()
+                .map(|(slot, module, placed)| SlotSnapshot {
+                    slot,
+                    name: self.names.get(&slot).cloned().unwrap_or_default(),
+                    module: module.clone(),
+                    placed: *placed,
+                })
+                .collect(),
+        }
+    }
+
+    fn restore(snapshot: SessionSnapshot) -> Session {
+        let mut names = HashMap::new();
+        let slots = snapshot
+            .slots
+            .into_iter()
+            .map(|s| {
+                names.insert(s.slot, s.name);
+                (s.slot, s.module, s.placed)
+            })
+            .collect();
+        Session {
+            placer: OnlinePlacer::restore(
+                snapshot.region,
+                slots,
+                snapshot.next_slot,
+                snapshot.stats,
+            ),
+            names,
+        }
+    }
+}
+
 /// State shared by every worker and connection thread.
 ///
 /// Sessions are individually locked (`Arc<Mutex<Session>>` behind the
@@ -122,6 +185,14 @@ struct Shared {
     next_session: AtomicU64,
     watchdog: Watchdog,
     shutdown: AtomicBool,
+    /// Session durability log (`None` when journaling is disabled). Lock
+    /// order everywhere: sessions map → one session → journal; only the
+    /// compactor holds more than one session at a time, ascending by id,
+    /// with the map lock held throughout — so the order is acyclic.
+    journal: Option<Mutex<Journal>>,
+    /// Live worker-thread gauge; stays at the configured pool size even
+    /// across caught handler panics.
+    workers_alive: AtomicU64,
 }
 
 /// One queued request and the channel its response goes back on.
@@ -156,6 +227,10 @@ impl ServerHandle {
         for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        // Snapshot-on-shutdown: with all workers joined, no session can
+        // change any more; compact the journal down to one snapshot line
+        // so the next start replays in O(sessions) instead of O(history).
+        compact_journal(&self.shared);
     }
 }
 
@@ -165,21 +240,44 @@ impl Drop for ServerHandle {
     }
 }
 
-/// Bind and start the daemon.
+/// Bind and start the daemon. With a configured journal path, any
+/// existing journal is replayed first — sessions from a previous (possibly
+/// crashed) run come back with bit-identical placements — and a torn tail
+/// left by a crash mid-append is truncated before appending resumes.
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    let mut stats = ServerStats::default();
+    let mut sessions = HashMap::new();
+    let mut next_session = 1u64;
+    let mut journal = None;
+    if let Some(path) = &config.journal_path {
+        let loaded = Journal::load(path)?;
+        let replayed = replay_records(&loaded.records);
+        sessions = replayed.sessions;
+        next_session = replayed.next_session;
+        stats.recovered_sessions = sessions.len() as u64;
+        stats.recovery_errors = replayed.errors + u64::from(loaded.truncated);
+        journal = Some(Mutex::new(Journal::open(
+            path,
+            config.journal_fsync_every,
+            Some(loaded.valid_len),
+        )?));
+    }
+
     let cache_capacity = config.cache_capacity;
     let shared = Arc::new(Shared {
         config,
-        stats: Mutex::new(ServerStats::default()),
+        stats: Mutex::new(stats),
         cache: Mutex::new(PlacementCache::new(cache_capacity)),
-        sessions: Mutex::new(HashMap::new()),
-        next_session: AtomicU64::new(1),
+        sessions: Mutex::new(sessions),
+        next_session: AtomicU64::new(next_session),
         watchdog: Watchdog::default(),
         shutdown: AtomicBool::new(false),
+        journal,
+        workers_alive: AtomicU64::new(0),
     });
 
     let (jobs_tx, jobs_rx) = channel::bounded::<Job>(shared.config.queue_depth.max(1));
@@ -188,7 +286,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     for _ in 0..shared.config.workers.max(1) {
         let shared = Arc::clone(&shared);
         let rx = jobs_rx.clone();
-        threads.push(std::thread::spawn(move || worker_loop(&shared, &rx)));
+        threads.push(std::thread::spawn(move || {
+            shared.workers_alive.fetch_add(1, Ordering::SeqCst);
+            worker_loop(&shared, &rx);
+            shared.workers_alive.fetch_sub(1, Ordering::SeqCst);
+        }));
     }
     drop(jobs_rx);
 
@@ -333,7 +435,18 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>) {
     loop {
         match jobs.recv_timeout(POLL) {
             Ok(job) => {
-                let response = handle(shared, &job);
+                // A panicking handler must cost one response, not one
+                // worker: catch the unwind, answer with an internal
+                // error, and keep serving. parking_lot mutexes release on
+                // unwind (no poisoning), so shared state stays usable.
+                let response = catch_unwind(AssertUnwindSafe(|| handle(shared, &job)))
+                    .unwrap_or_else(|_| {
+                        shared.stats.lock().worker_panics += 1;
+                        Response::Error {
+                            id: job.request.id(),
+                            message: "internal error: request handler panicked".to_string(),
+                        }
+                    });
                 let _ = job.reply.send(response);
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -363,6 +476,13 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
             let removed = s.placer.remove(*slot);
             if removed {
                 s.names.remove(slot);
+                journal_append(
+                    shared,
+                    &JournalRecord::Remove {
+                        session: *session,
+                        slot: *slot,
+                    },
+                );
                 shared.stats.lock().online_removals += 1;
             }
             Response::Removed {
@@ -372,19 +492,29 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
                 utilization: s.placer.utilization(),
             }
         }),
-        Request::Defrag { id, session } => with_session(shared, *id, *session, |s| {
-            let moved = s.placer.defrag() as u64;
-            shared.stats.lock().online_defrags += 1;
-            Response::Defragged {
-                id: *id,
-                session: *session,
-                moved,
-                utilization: s.placer.utilization(),
+        Request::Defrag { id, session } => {
+            let response = with_session(shared, *id, *session, |s| {
+                let moved = s.placer.defrag() as u64;
+                journal_append(shared, &JournalRecord::Defrag { session: *session });
+                shared.stats.lock().online_defrags += 1;
+                Response::Defragged {
+                    id: *id,
+                    session: *session,
+                    moved,
+                    utilization: s.placer.utilization(),
+                }
+            });
+            // A defrag is the natural compaction point: the layout was
+            // just repacked, so fold the whole history into one snapshot.
+            if matches!(response, Response::Defragged { .. }) {
+                compact_journal(shared);
             }
-        }),
+            response
+        }
         Request::CloseSession { id, session } => {
             let closed = shared.sessions.lock().remove(session).is_some();
             if closed {
+                journal_append(shared, &JournalRecord::Close { session: *session });
                 shared.stats.lock().sessions_closed += 1;
             }
             Response::SessionClosed {
@@ -393,11 +523,258 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
                 closed,
             }
         }
-        Request::Stats { id } => Response::Stats {
-            id: *id,
-            stats: shared.stats.lock().clone(),
-        },
+        Request::InjectFault { id, session, fault } => with_session(shared, *id, *session, |s| {
+            let impact = s.placer.inject_fault(*fault);
+            journal_append(
+                shared,
+                &JournalRecord::Fault {
+                    session: *session,
+                    fault: *fault,
+                },
+            );
+            shared.stats.lock().faults_injected += 1;
+            Response::FaultInjected {
+                id: *id,
+                session: *session,
+                tiles: impact.tiles.len() as u64,
+                displaced: impact.displaced,
+                total_faults: s.placer.region().faults().len() as u64,
+            }
+        }),
+        Request::ClearFault { id, session, fault } => with_session(shared, *id, *session, |s| {
+            let tiles = s.placer.clear_fault(*fault);
+            journal_append(
+                shared,
+                &JournalRecord::ClearFault {
+                    session: *session,
+                    fault: *fault,
+                },
+            );
+            shared.stats.lock().faults_cleared += 1;
+            Response::FaultCleared {
+                id: *id,
+                session: *session,
+                tiles: tiles.len() as u64,
+                total_faults: s.placer.region().faults().len() as u64,
+            }
+        }),
+        Request::Repair {
+            id,
+            session,
+            budget_ms,
+        } => with_session(shared, *id, *session, |s| {
+            let budget =
+                Duration::from_millis(budget_ms.unwrap_or(shared.config.default_deadline_ms));
+            let report = s.placer.repair(budget, &FrameCostModel::default());
+            for slot in &report.evicted {
+                s.names.remove(slot);
+            }
+            // Repair is deadline-dependent, so it is journaled by outcome
+            // (the report's state delta), never recomputed on replay.
+            journal_append(
+                shared,
+                &JournalRecord::Repair {
+                    session: *session,
+                    report: report.clone(),
+                },
+            );
+            {
+                let mut stats = shared.stats.lock();
+                stats.repairs += 1;
+                stats.repaired_relocated += report.relocated_count() as u64;
+                stats.repaired_evicted += report.evicted.len() as u64;
+            }
+            Response::Repaired {
+                id: *id,
+                session: *session,
+                report,
+                utilization: s.placer.utilization(),
+            }
+        }),
+        Request::DumpSession { id, session } => with_session(shared, *id, *session, |s| {
+            let slots = s
+                .placer
+                .slots()
+                .into_iter()
+                .map(|(slot, _, p)| SlotState {
+                    slot,
+                    name: s.names.get(&slot).cloned().unwrap_or_default(),
+                    shape: p.shape,
+                    x: p.x,
+                    y: p.y,
+                })
+                .collect();
+            Response::SessionState {
+                id: *id,
+                session: *session,
+                next_slot: s.placer.next_slot(),
+                grid_digest: format!("{:016x}", s.placer.grid_digest()),
+                total_faults: s.placer.region().faults().len() as u64,
+                slots,
+            }
+        }),
+        Request::DebugPanic { .. } => panic!("debug_panic requested by client"),
+        Request::Stats { id } => {
+            let mut stats = shared.stats.lock().clone();
+            stats.workers_alive = shared.workers_alive.load(Ordering::SeqCst);
+            Response::Stats { id: *id, stats }
+        }
         Request::Ping { id } => Response::Pong { id: *id },
+    }
+}
+
+/// Append one record to the journal, if journaling is on. Called while
+/// holding the affected session's lock, so the journal's per-session
+/// order matches the order operations were applied in.
+fn journal_append(shared: &Shared, record: &JournalRecord) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    match journal.lock().append(record) {
+        Ok(()) => shared.stats.lock().journal_records += 1,
+        Err(_) => shared.stats.lock().journal_errors += 1,
+    }
+}
+
+/// Fold the whole journal into a single snapshot record (temp file +
+/// fsync + atomic rename). Freezes the world first — the sessions map
+/// plus every session lock, ascending by id — so no operation can slip
+/// its record between the snapshot and the rewrite. Must not be called
+/// while holding any session lock.
+fn compact_journal(shared: &Shared) {
+    let Some(journal) = &shared.journal else {
+        return;
+    };
+    let map = shared.sessions.lock();
+    let mut entries: Vec<(u64, Arc<Mutex<Session>>)> =
+        map.iter().map(|(k, v)| (*k, Arc::clone(v))).collect();
+    entries.sort_by_key(|(k, _)| *k);
+    let guards: Vec<_> = entries.iter().map(|(k, v)| (*k, v.lock())).collect();
+    let snapshot = JournalRecord::Snapshot {
+        next_session: shared.next_session.load(Ordering::SeqCst),
+        sessions: guards.iter().map(|(k, g)| g.snapshot(*k)).collect(),
+    };
+    match journal.lock().rewrite(std::slice::from_ref(&snapshot)) {
+        Ok(()) => {
+            let mut stats = shared.stats.lock();
+            stats.journal_compactions += 1;
+            stats.journal_records += 1;
+        }
+        Err(_) => shared.stats.lock().journal_errors += 1,
+    }
+}
+
+/// Sessions rebuilt from a journal, plus replay bookkeeping.
+struct Replayed {
+    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    next_session: u64,
+    /// Records that could not be applied, or whose deterministic replay
+    /// diverged from the journaled outcome.
+    errors: u64,
+}
+
+/// Rebuild session state from journal records. Deterministic operations
+/// re-execute through the live code paths; repairs apply their journaled
+/// state delta; a snapshot record resets everything to its contents.
+fn replay_records(records: &[JournalRecord]) -> Replayed {
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut next_session = 1u64;
+    let mut errors = 0u64;
+    for record in records {
+        match record {
+            JournalRecord::Snapshot {
+                next_session: ns,
+                sessions: snaps,
+            } => {
+                sessions.clear();
+                next_session = *ns;
+                for snap in snaps {
+                    sessions.insert(snap.session, Session::restore(snap.clone()));
+                }
+            }
+            JournalRecord::Open { session, region } => {
+                next_session = next_session.max(session + 1);
+                if sessions.contains_key(session) {
+                    continue; // snapshot already covered this open
+                }
+                match region.build() {
+                    Ok(r) => {
+                        sessions.insert(*session, Session::new(r));
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            JournalRecord::Insert {
+                session,
+                slot,
+                module,
+            } => {
+                let Some(s) = sessions.get_mut(session) else {
+                    errors += 1;
+                    continue;
+                };
+                match resolve_module(module) {
+                    Ok(m) => {
+                        let got = s.placer.try_insert(&m);
+                        if got != *slot {
+                            errors += 1;
+                        }
+                        if let Some(slot) = got {
+                            s.names.insert(slot, module.name.clone());
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            JournalRecord::Remove { session, slot } => match sessions.get_mut(session) {
+                Some(s) => {
+                    if s.placer.remove(*slot) {
+                        s.names.remove(slot);
+                    } else {
+                        errors += 1;
+                    }
+                }
+                None => errors += 1,
+            },
+            JournalRecord::Defrag { session } => match sessions.get_mut(session) {
+                Some(s) => {
+                    s.placer.defrag();
+                }
+                None => errors += 1,
+            },
+            JournalRecord::Fault { session, fault } => match sessions.get_mut(session) {
+                Some(s) => {
+                    s.placer.inject_fault(*fault);
+                }
+                None => errors += 1,
+            },
+            JournalRecord::ClearFault { session, fault } => match sessions.get_mut(session) {
+                Some(s) => {
+                    s.placer.clear_fault(*fault);
+                }
+                None => errors += 1,
+            },
+            JournalRecord::Repair { session, report } => match sessions.get_mut(session) {
+                Some(s) => {
+                    s.placer.apply_repair(report);
+                    for slot in &report.evicted {
+                        s.names.remove(slot);
+                    }
+                }
+                None => errors += 1,
+            },
+            JournalRecord::Close { session } => {
+                sessions.remove(session);
+            }
+        }
+    }
+    Replayed {
+        sessions: sessions
+            .into_iter()
+            .map(|(k, v)| (k, Arc::new(Mutex::new(v))))
+            .collect(),
+        next_session,
+        errors,
     }
 }
 
@@ -419,8 +796,8 @@ fn with_session(
     }
 }
 
-fn handle_open_session(shared: &Arc<Shared>, id: u64, region: &RegionSpec) -> Response {
-    let region = match region.build() {
+fn handle_open_session(shared: &Arc<Shared>, id: u64, spec: &RegionSpec) -> Response {
+    let region = match spec.build() {
         Ok(region) => region,
         Err(e) => {
             return Response::Error {
@@ -430,12 +807,19 @@ fn handle_open_session(shared: &Arc<Shared>, id: u64, region: &RegionSpec) -> Re
         }
     };
     let session = shared.next_session.fetch_add(1, Ordering::Relaxed);
-    shared.sessions.lock().insert(
-        session,
-        Arc::new(Mutex::new(Session {
-            placer: OnlinePlacer::new(region),
-            names: HashMap::new(),
-        })),
+    shared
+        .sessions
+        .lock()
+        .insert(session, Arc::new(Mutex::new(Session::new(region))));
+    // Journaled after the map insert: a compaction racing in between
+    // snapshots the (empty) session, and replay treats an `Open` for an
+    // already-live session as a no-op.
+    journal_append(
+        shared,
+        &JournalRecord::Open {
+            session,
+            region: spec.clone(),
+        },
     );
     shared.stats.lock().sessions_opened += 1;
     Response::SessionOpened { id, session }
@@ -453,6 +837,17 @@ fn handle_insert(shared: &Arc<Shared>, id: u64, session: u64, entry: &ModuleEntr
     };
     with_session(shared, id, session, |s| {
         let slot = s.placer.try_insert(&module);
+        // Rejections are journaled too: the placer's acceptance counters
+        // are part of the durable session state, and replaying the same
+        // deterministic insert yields the same rejection.
+        journal_append(
+            shared,
+            &JournalRecord::Insert {
+                session,
+                slot,
+                module: entry.clone(),
+            },
+        );
         {
             let mut stats = shared.stats.lock();
             stats.online_inserts += 1;

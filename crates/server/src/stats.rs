@@ -51,6 +51,45 @@ pub struct ServerStats {
     pub online_rejected: u64,
     pub online_removals: u64,
     pub online_defrags: u64,
+    /// Faults injected into session regions.
+    #[serde(default)]
+    pub faults_injected: u64,
+    /// Faults cleared from session regions.
+    #[serde(default)]
+    pub faults_cleared: u64,
+    /// Repair passes run.
+    #[serde(default)]
+    pub repairs: u64,
+    /// Displaced modules relocated by repair.
+    #[serde(default)]
+    pub repaired_relocated: u64,
+    /// Displaced modules evicted by repair.
+    #[serde(default)]
+    pub repaired_evicted: u64,
+    /// Handler panics caught by the worker pool (the worker survives and
+    /// answers with an internal error).
+    #[serde(default)]
+    pub worker_panics: u64,
+    /// Workers currently alive — stays equal to the configured pool size
+    /// even across handler panics.
+    #[serde(default)]
+    pub workers_alive: u64,
+    /// Records appended to the journal over the daemon's lifetime.
+    #[serde(default)]
+    pub journal_records: u64,
+    /// Journal appends that failed (the daemon keeps serving; durability
+    /// of the failed record is lost).
+    #[serde(default)]
+    pub journal_errors: u64,
+    /// Journal compactions (snapshot rewrites).
+    #[serde(default)]
+    pub journal_compactions: u64,
+    /// Sessions rebuilt from the journal at startup.
+    #[serde(default)]
+    pub recovered_sessions: u64,
+    /// Replay divergences and torn tails observed during recovery.
+    #[serde(default)]
+    pub recovery_errors: u64,
     /// Solve-time histogram: bucket `i` counts solves faster than
     /// [`HISTOGRAM_BOUNDS_MS`]`[i]` ms (and at least the previous bound);
     /// the last bucket is unbounded.
@@ -79,6 +118,18 @@ impl Default for ServerStats {
             online_rejected: 0,
             online_removals: 0,
             online_defrags: 0,
+            faults_injected: 0,
+            faults_cleared: 0,
+            repairs: 0,
+            repaired_relocated: 0,
+            repaired_evicted: 0,
+            worker_panics: 0,
+            workers_alive: 0,
+            journal_records: 0,
+            journal_errors: 0,
+            journal_compactions: 0,
+            recovered_sessions: 0,
+            recovery_errors: 0,
             solve_ms_histogram: vec![0; HISTOGRAM_BOUNDS_MS.len() + 1],
         }
     }

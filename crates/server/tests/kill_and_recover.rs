@@ -1,0 +1,237 @@
+//! Crash-recovery test against the real `rrf-serve` binary: build up
+//! journaled session state, SIGKILL the daemon mid-session (no shutdown,
+//! no snapshot), restart it on the same journal, and demand bit-identical
+//! state. A second phase SIGTERMs the recovered daemon and checks the
+//! graceful path compacts the journal to a single snapshot line.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rrf_fabric::{Fault, ResourceKind};
+use rrf_flow::{DeviceSpec, ModuleEntry, RegionSpec};
+use rrf_geost::{ShapeDef, ShiftedBox};
+use rrf_server::{Request, Response};
+
+struct Daemon {
+    child: Child,
+    addr: std::net::SocketAddr,
+}
+
+/// Spawn `rrf-serve --journal <path>` on an ephemeral port and parse the
+/// bound address from its startup line.
+fn spawn_daemon(journal: &std::path::Path) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rrf-serve"))
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--journal-fsync-every",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rrf-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("rrf-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .parse()
+        .expect("parse bound address");
+    Daemon { child, addr }
+}
+
+fn wait_for_exit(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        Client {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> Response {
+        let mut line = serde_json::to_string(request).unwrap();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read response");
+        serde_json::from_str(reply.trim()).expect("parse response")
+    }
+}
+
+fn clb_module(name: &str, w: i32, h: i32) -> ModuleEntry {
+    ModuleEntry {
+        name: name.into(),
+        shapes: vec![ShapeDef::new(vec![ShiftedBox::new(
+            0,
+            0,
+            w,
+            h,
+            ResourceKind::Clb,
+        )])],
+        netlist: None,
+    }
+}
+
+fn dump(client: &mut Client, id: u64, session: u64) -> String {
+    match client.roundtrip(&Request::DumpSession { id, session }) {
+        Response::SessionState {
+            next_slot,
+            grid_digest,
+            total_faults,
+            slots,
+            ..
+        } => format!("next={next_slot} digest={grid_digest} faults={total_faults} slots={slots:?}"),
+        other => panic!("expected session state, got {other:?}"),
+    }
+}
+
+#[test]
+fn sigkill_then_restart_replays_bit_identical_sessions() {
+    let journal =
+        std::env::temp_dir().join(format!("rrf_kill_recover_{}.journal", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+
+    // Life 1: two sessions with inserts, a removal, a fault, and a repair —
+    // then SIGKILL with no warning. fsync-every=1 makes each answered
+    // request durable.
+    let mut daemon = spawn_daemon(&journal);
+    let mut client = Client::connect(daemon.addr);
+    let open = |client: &mut Client, id: u64| match client.roundtrip(&Request::OpenSession {
+        id,
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 10,
+                height: 4,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+    }) {
+        Response::SessionOpened { session, .. } => session,
+        other => panic!("expected session, got {other:?}"),
+    };
+    let s1 = open(&mut client, 1);
+    let s2 = open(&mut client, 2);
+    let mut slots = Vec::new();
+    for (i, (w, h)) in [(4, 2), (2, 2), (3, 2), (2, 4)].into_iter().enumerate() {
+        match client.roundtrip(&Request::Insert {
+            id: 10 + i as u64,
+            session: s1,
+            module: clb_module(&format!("m{i}"), w, h),
+        }) {
+            Response::Inserted {
+                slot: Some(slot), ..
+            } => slots.push(slot),
+            other => panic!("expected accepted insert, got {other:?}"),
+        }
+    }
+    match client.roundtrip(&Request::Insert {
+        id: 20,
+        session: s2,
+        module: clb_module("other", 3, 3),
+    }) {
+        Response::Inserted { slot: Some(_), .. } => {}
+        other => panic!("expected accepted insert, got {other:?}"),
+    }
+    match client.roundtrip(&Request::Remove {
+        id: 21,
+        session: s1,
+        slot: slots[1],
+    }) {
+        Response::Removed { removed: true, .. } => {}
+        other => panic!("expected removed, got {other:?}"),
+    }
+    match client.roundtrip(&Request::InjectFault {
+        id: 22,
+        session: s1,
+        fault: Fault::Rect {
+            x: 0,
+            y: 0,
+            w: 1,
+            h: 2,
+        },
+    }) {
+        Response::FaultInjected { .. } => {}
+        other => panic!("expected fault injected, got {other:?}"),
+    }
+    match client.roundtrip(&Request::Repair {
+        id: 23,
+        session: s1,
+        budget_ms: Some(200),
+    }) {
+        Response::Repaired { .. } => {}
+        other => panic!("expected repaired, got {other:?}"),
+    }
+    let before_s1 = dump(&mut client, 24, s1);
+    let before_s2 = dump(&mut client, 25, s2);
+
+    daemon.child.kill().expect("SIGKILL the daemon");
+    wait_for_exit(&mut daemon.child);
+
+    // Life 2: replay must rebuild both sessions exactly — same slots, same
+    // occupancy digest, same live faults.
+    let mut daemon = spawn_daemon(&journal);
+    let mut client = Client::connect(daemon.addr);
+    assert_eq!(dump(&mut client, 30, s1), before_s1);
+    assert_eq!(dump(&mut client, 31, s2), before_s2);
+    match client.roundtrip(&Request::Stats { id: 32 }) {
+        Response::Stats { stats, .. } => {
+            assert_eq!(stats.recovered_sessions, 2);
+            assert_eq!(stats.recovery_errors, 0);
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+
+    // Phase 2: SIGTERM the recovered daemon — the graceful path must
+    // compact the journal to exactly one snapshot line...
+    let pid = daemon.child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .expect("send SIGTERM");
+    assert!(status.success());
+    wait_for_exit(&mut daemon.child);
+    let text = std::fs::read_to_string(&journal).unwrap();
+    assert_eq!(text.lines().count(), 1, "journal: {text}");
+    assert!(text.starts_with(r#"{"op":"snapshot""#));
+
+    // ...and a third life recovers from that snapshot alone.
+    let mut daemon = spawn_daemon(&journal);
+    let mut client = Client::connect(daemon.addr);
+    assert_eq!(dump(&mut client, 40, s1), before_s1);
+    assert_eq!(dump(&mut client, 41, s2), before_s2);
+    daemon.child.kill().expect("kill final daemon");
+    wait_for_exit(&mut daemon.child);
+    let _ = std::fs::remove_file(&journal);
+}

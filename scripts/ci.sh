@@ -16,4 +16,10 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> fault-tolerance e2e (inject/repair/clear, panic isolation, recovery)"
+cargo test -q -p rrf-server --test fault_e2e
+
+echo "==> kill-and-recover smoke test (SIGKILL mid-session, journal replay)"
+cargo test -q -p rrf-server --test kill_and_recover
+
 echo "ci: all green"

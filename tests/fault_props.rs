@@ -1,0 +1,138 @@
+//! Property-based tests over the fault model: faulted tiles are never
+//! placeable, fault injection/clearing is an exact inverse on the anchor
+//! space, and whatever `repair` leaves behind always passes the
+//! independent verifier.
+
+use proptest::prelude::*;
+use rrf_core::{verify, FrameCostModel, Module, OnlinePlacer};
+use rrf_fabric::{device, Fault, Point, Region, ResourceKind};
+use rrf_geost::{allowed_anchors, ShapeDef, ShiftedBox};
+use std::time::Duration;
+
+fn fault_strategy() -> impl Strategy<Value = Fault> {
+    prop_oneof![
+        (0i32..16, 0i32..8).prop_map(|(x, y)| Fault::Tile { x, y }),
+        (0i32..16).prop_map(|x| Fault::Column { x }),
+        (0i32..14, 0i32..6, 1i32..4, 1i32..4).prop_map(|(x, y, w, h)| Fault::Rect { x, y, w, h }),
+    ]
+}
+
+fn faults_strategy() -> impl Strategy<Value = Vec<Fault>> {
+    proptest::collection::vec(fault_strategy(), 0..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// No allowed anchor's footprint ever touches a faulted tile, and the
+    /// anchor list stays exactly the brute-force acceptable set.
+    #[test]
+    fn anchors_never_overlap_faulted_tiles(seed in 0u64..200,
+                                           faults in faults_strategy(),
+                                           w in 1i32..4, h in 1i32..4) {
+        let mut region = Region::whole(device::irregular(16, 8, seed));
+        for f in &faults {
+            region.inject_fault(*f);
+        }
+        let shape = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+        let anchors = allowed_anchors(&region, &shape);
+        for &anchor in &anchors {
+            for (tile, kind) in shape.tiles_at(anchor.x, anchor.y) {
+                prop_assert!(!region.is_faulted(tile.x, tile.y),
+                             "anchor {anchor} footprint covers faulted {tile}");
+                prop_assert!(region.accepts(tile.x, tile.y, kind));
+            }
+        }
+        // Exactness: brute force over the fabric agrees with the filter.
+        for x in 0..16 {
+            for y in 0..8 {
+                let ok = shape
+                    .tiles_at(x, y)
+                    .all(|(t, k)| region.accepts(t.x, t.y, k));
+                prop_assert_eq!(ok, anchors.contains(&Point::new(x, y)),
+                                "anchor ({}, {})", x, y);
+            }
+        }
+    }
+
+    /// Clearing every injected fault restores the pristine anchor space —
+    /// faults never leave residue.
+    #[test]
+    fn clearing_faults_restores_anchor_space(seed in 0u64..200,
+                                             faults in faults_strategy(),
+                                             w in 1i32..4, h in 1i32..4) {
+        let pristine = Region::whole(device::irregular(16, 8, seed));
+        let shape = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+        let before = allowed_anchors(&pristine, &shape);
+        let mut region = pristine;
+        for f in &faults {
+            region.inject_fault(*f);
+        }
+        for f in &faults {
+            region.clear_fault(*f);
+        }
+        prop_assert!(region.faults().is_empty());
+        prop_assert_eq!(allowed_anchors(&region, &shape), before);
+    }
+}
+
+fn rotatable(name: &str, w: i32, h: i32) -> Module {
+    let base = ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)]);
+    let alt = ShapeDef::new(vec![ShiftedBox::new(0, 0, h, w, ResourceKind::Clb)]);
+    let shapes = if base == alt {
+        vec![base]
+    } else {
+        vec![base, alt]
+    };
+    Module::new(name, shapes)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever `repair` decides — relocation, escalated repack, or
+    /// eviction — the surviving placement always passes the independent
+    /// verifier (which also proves nothing sits on a faulted tile, since
+    /// faulted tiles read as `Static`).
+    #[test]
+    fn repair_output_always_verifies(dims in proptest::collection::vec((1i32..5, 1i32..4), 1..6),
+                                     fault in fault_strategy(),
+                                     seed in 0u64..50) {
+        let region = Region::whole(device::irregular(16, 8, seed));
+        let mut placer = OnlinePlacer::new(region);
+        let mut live = 0usize;
+        for (i, &(w, h)) in dims.iter().enumerate() {
+            if placer.try_insert(&rotatable(&format!("m{i}"), w, h)).is_some() {
+                live += 1;
+            }
+        }
+        let impact = placer.inject_fault(fault);
+        let report = placer.repair(Duration::from_millis(100), &FrameCostModel::default());
+
+        // Accounting: every displaced module was either relocated or
+        // evicted, and the untouched rest is reported unaffected.
+        prop_assert_eq!(report.relocated_count() + report.evicted_count(),
+                        impact.displaced.len());
+        prop_assert_eq!(report.unaffected, (live - impact.displaced.len()) as u64);
+
+        // The survivors form a verifier-clean floorplan on the faulted
+        // region.
+        let slots = placer.slots();
+        let modules: Vec<Module> = slots.iter().map(|(_, m, _)| (*m).clone()).collect();
+        let plan = rrf_core::Floorplan::new(
+            slots
+                .iter()
+                .enumerate()
+                .map(|(i, (_, _, p))| rrf_core::PlacedModule {
+                    module: i,
+                    shape: p.shape,
+                    x: p.x,
+                    y: p.y,
+                })
+                .collect(),
+        );
+        let violations = verify::verify(placer.region(), &modules, &plan);
+        prop_assert!(violations.is_empty(), "{violations:?}");
+        prop_assert_eq!(slots.len(), live - report.evicted_count());
+    }
+}
