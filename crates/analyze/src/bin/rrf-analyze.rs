@@ -1,0 +1,245 @@
+//! Exit-code CLI over the static analyzer.
+//!
+//! ```text
+//! rrf-analyze --spec job.json
+//! rrf-analyze --workload paper:42 --fault column:17 --format ndjson
+//! ```
+//!
+//! Exit codes: 0 = clean or info-only findings, 1 = warnings,
+//! 2 = errors (including proven infeasibility), 3 = usage or I/O error.
+//! NDJSON goes to stdout (byte-deterministic for a given input); the
+//! human summary goes to stderr so piped output stays machine-clean.
+
+#![forbid(unsafe_code)]
+
+use rrf_analyze::Severity;
+use rrf_core::Module;
+use rrf_fabric::{device, Fabric, Fault, Region};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+rrf-analyze: static model analysis (dead/duplicate/dominated alternatives,
+capacity bounds, well-formedness) with zero solving.
+
+USAGE:
+    rrf-analyze --spec FILE [OPTIONS]
+    rrf-analyze --workload paper:SEED [OPTIONS]
+    rrf-analyze --workload small:MODULES:SEED [OPTIONS]
+
+OPTIONS:
+    --spec FILE          analyze a flow job file (JSON, see rrf-flow)
+    --workload KIND      analyze a generated workload on a columns region
+    --width N            region width for --workload (default 240)
+    --height N           region height for --workload (default 16)
+    --bram-period N      BRAM column period (default 10)
+    --bram-offset N      BRAM column offset (default 4)
+    --fault SPEC         inject a fault first; repeatable.
+                         SPEC = column:X | tile:X,Y | rect:X,Y,W,H
+    --format FMT         text (default) or ndjson
+    -h, --help           print this help
+
+EXIT CODES:
+    0  clean, or info-level findings only
+    1  warnings (dead/duplicate alternatives)
+    2  errors (malformed input or proven infeasibility)
+    3  usage or I/O error
+";
+
+struct Options {
+    spec: Option<String>,
+    workload: Option<String>,
+    width: i32,
+    height: i32,
+    bram_period: i32,
+    bram_offset: i32,
+    faults: Vec<Fault>,
+    ndjson: bool,
+}
+
+fn usage_error(message: &str) -> String {
+    format!("rrf-analyze: {message}\n\n{USAGE}")
+}
+
+fn parse_fault(spec: &str) -> Result<Fault, String> {
+    let bad = || format!("bad --fault `{spec}` (column:X | tile:X,Y | rect:X,Y,W,H)");
+    let (kind, rest) = spec.split_once(':').ok_or_else(bad)?;
+    let nums: Vec<i32> = rest
+        .split(',')
+        .map(|s| s.trim().parse::<i32>())
+        .collect::<Result<_, _>>()
+        .map_err(|_| bad())?;
+    match (kind, nums.as_slice()) {
+        ("column", [x]) => Ok(Fault::Column { x: *x }),
+        ("tile", [x, y]) => Ok(Fault::Tile { x: *x, y: *y }),
+        ("rect", [x, y, w, h]) => Ok(Fault::Rect {
+            x: *x,
+            y: *y,
+            w: *w,
+            h: *h,
+        }),
+        _ => Err(bad()),
+    }
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        spec: None,
+        workload: None,
+        width: 240,
+        height: 16,
+        bram_period: 10,
+        bram_offset: 4,
+        faults: Vec::new(),
+        ndjson: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--spec" => opts.spec = Some(value("--spec")?),
+            "--workload" => opts.workload = Some(value("--workload")?),
+            "--width" => opts.width = parse_i32(&value("--width")?, "--width")?,
+            "--height" => opts.height = parse_i32(&value("--height")?, "--height")?,
+            "--bram-period" => {
+                opts.bram_period = parse_i32(&value("--bram-period")?, "--bram-period")?
+            }
+            "--bram-offset" => {
+                opts.bram_offset = parse_i32(&value("--bram-offset")?, "--bram-offset")?
+            }
+            "--fault" => opts
+                .faults
+                .push(parse_fault(&value("--fault")?).map_err(|e| usage_error(&e))?),
+            "--format" => match value("--format")?.as_str() {
+                "text" => opts.ndjson = false,
+                "ndjson" => opts.ndjson = true,
+                other => return Err(usage_error(&format!("unknown --format `{other}`"))),
+            },
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => return Err(usage_error(&format!("unknown argument `{other}`"))),
+        }
+    }
+    match (&opts.spec, &opts.workload) {
+        (Some(_), Some(_)) => Err(usage_error("give either --spec or --workload, not both")),
+        (None, None) => Err(usage_error("one of --spec or --workload is required")),
+        _ => Ok(opts),
+    }
+}
+
+fn parse_i32(s: &str, name: &str) -> Result<i32, String> {
+    s.parse::<i32>()
+        .map_err(|_| usage_error(&format!("{name} expects an integer, got `{s}`")))
+}
+
+/// Build a generated workload's modules (mirrors the bench harness).
+fn workload_modules(kind: &str) -> Result<Vec<Module>, String> {
+    let parts: Vec<&str> = kind.split(':').collect();
+    let spec = match parts.as_slice() {
+        ["paper", seed] => rrf_modgen::WorkloadSpec::paper(
+            seed.parse().map_err(|_| usage_error("bad paper seed"))?,
+        ),
+        ["small", modules, seed] => rrf_modgen::WorkloadSpec::small(
+            modules
+                .parse()
+                .map_err(|_| usage_error("bad small module count"))?,
+            seed.parse().map_err(|_| usage_error("bad small seed"))?,
+        ),
+        _ => {
+            return Err(usage_error(&format!(
+                "unknown --workload `{kind}` (paper:SEED | small:MODULES:SEED)"
+            )))
+        }
+    };
+    let workload = rrf_modgen::generate_workload(&spec);
+    Ok(workload
+        .modules
+        .iter()
+        .map(|m| Module::new(m.name.clone(), m.shapes.clone()))
+        .collect())
+}
+
+fn columns_region(opts: &Options) -> Region {
+    let fabric: Fabric = device::columns(
+        opts.width,
+        opts.height,
+        device::ColumnLayout {
+            bram_period: opts.bram_period,
+            bram_offset: opts.bram_offset,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        },
+    );
+    Region::whole(fabric)
+}
+
+fn build_instance(opts: &Options) -> Result<(Region, Vec<Module>), String> {
+    let (mut region, modules) = if let Some(path) = &opts.spec {
+        let spec = rrf_flow::io::load_spec(std::path::Path::new(path))
+            .map_err(|e| format!("rrf-analyze: cannot read `{path}`: {e}"))?;
+        let region = spec
+            .region
+            .build()
+            .map_err(|e| format!("rrf-analyze: bad region in `{path}`: {e}"))?;
+        let modules = spec
+            .modules
+            .iter()
+            .map(rrf_flow::resolve_module)
+            .collect::<Result<Vec<_>, _>>()
+            .map_err(|e| format!("rrf-analyze: `{path}`: {e}"))?;
+        (region, modules)
+    } else {
+        let kind = opts.workload.as_ref().expect("parse_args guarantees one");
+        (columns_region(opts), workload_modules(kind)?)
+    };
+    for &fault in &opts.faults {
+        region.inject_fault(fault);
+    }
+    Ok((region, modules))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(3);
+        }
+    };
+    let (region, modules) = match build_instance(&opts) {
+        Ok(pair) => pair,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(3);
+        }
+    };
+
+    let analysis = rrf_analyze::analyze(&region, &modules);
+    if opts.ndjson {
+        print!("{}", analysis.to_ndjson());
+        eprintln!(
+            "{} diagnostic(s); {}/{} alternatives prunable; {}",
+            analysis.diagnostics.len(),
+            analysis.shapes_prunable,
+            analysis.shapes_total,
+            if analysis.proven_infeasible {
+                "proven infeasible"
+            } else {
+                "not proven infeasible"
+            }
+        );
+    } else {
+        print!("{analysis}");
+    }
+
+    match analysis.max_severity() {
+        None | Some(Severity::Info) => ExitCode::SUCCESS,
+        Some(Severity::Warn) => ExitCode::from(1),
+        Some(Severity::Error) => ExitCode::from(2),
+    }
+}

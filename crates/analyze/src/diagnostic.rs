@@ -1,0 +1,269 @@
+//! Stable machine-readable diagnostics.
+//!
+//! Every finding the analyzer can make has a fixed code (`RRF001`…), a
+//! fixed severity, and a span naming the module/shape it is about. The
+//! set of codes is append-only: codes are never renumbered or reused, so
+//! committed expected-diagnostic files (the CI regression gate) and any
+//! client switching on `code` stay valid across releases.
+
+use rrf_fabric::ResourceKind;
+use serde::value::Value;
+use serde::{DeError, Deserialize, Serialize};
+use std::fmt;
+
+/// Diagnostic severity. `Error` findings make the instance unusable as
+/// given (malformed input or a proof of infeasibility); `Warn` findings
+/// mean wasted model size the solver prune removes; `Info` findings are
+/// advisory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The analyzer's diagnostic codes (append-only; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// A shape is structurally invalid: no boxes, a degenerate box
+    /// (non-positive width/height), or internally overlapping boxes.
+    /// Such shapes reach us through deserialized job files, which bypass
+    /// `ShapeDef::new`'s assertions.
+    MalformedShape,
+    /// A box requests a resource kind modules can never occupy
+    /// (`Static`, `Io`, `Clock`).
+    UnplaceableResource,
+    /// A design alternative with no valid anchor anywhere in the region
+    /// (its eq. 2–3 anchor set is empty, faults included).
+    DeadAlternative,
+    /// Every alternative of a module is dead or malformed: the instance
+    /// is proven infeasible.
+    DeadModule,
+    /// A per-resource-kind counting bound proves the workload cannot
+    /// fit: summed minimum demand exceeds the region's capacity.
+    CapacityExceeded,
+    /// Two alternatives of a module cover identical anchor-relative tile
+    /// sets (e.g. the 180° rotation of a symmetric layout).
+    DuplicateAlternative,
+    /// An alternative whose tiles are a strict superset of a sibling's
+    /// that reaches no further right — the sibling always serves.
+    DominatedAlternative,
+}
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::MalformedShape => "RRF001",
+            Code::UnplaceableResource => "RRF002",
+            Code::DeadAlternative => "RRF003",
+            Code::DeadModule => "RRF004",
+            Code::CapacityExceeded => "RRF005",
+            Code::DuplicateAlternative => "RRF006",
+            Code::DominatedAlternative => "RRF007",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Code> {
+        Some(match s {
+            "RRF001" => Code::MalformedShape,
+            "RRF002" => Code::UnplaceableResource,
+            "RRF003" => Code::DeadAlternative,
+            "RRF004" => Code::DeadModule,
+            "RRF005" => Code::CapacityExceeded,
+            "RRF006" => Code::DuplicateAlternative,
+            "RRF007" => Code::DominatedAlternative,
+            _ => return None,
+        })
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::MalformedShape
+            | Code::UnplaceableResource
+            | Code::DeadModule
+            | Code::CapacityExceeded => Severity::Error,
+            Code::DeadAlternative | Code::DuplicateAlternative => Severity::Warn,
+            Code::DominatedAlternative => Severity::Info,
+        }
+    }
+
+    /// Whether this code constitutes a proof that no floorplan exists.
+    pub fn proves_infeasible(self) -> bool {
+        matches!(self, Code::DeadModule | Code::CapacityExceeded)
+    }
+}
+
+// The vendored serde derive cannot rename variants to "RRF001"-style
+// strings, so code and severity serialize by hand.
+impl Serialize for Code {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Code {
+    fn from_value(v: &Value) -> Result<Code, DeError> {
+        match v {
+            Value::Str(s) => {
+                Code::parse(s).ok_or_else(|| DeError::unknown_variant(s, "diagnostic code"))
+            }
+            _ => Err(DeError::expected("string", "diagnostic code")),
+        }
+    }
+}
+
+impl Serialize for Severity {
+    fn to_value(&self) -> Value {
+        Value::Str(self.as_str().to_string())
+    }
+}
+
+impl Deserialize for Severity {
+    fn from_value(v: &Value) -> Result<Severity, DeError> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "info" => Ok(Severity::Info),
+                "warn" => Ok(Severity::Warn),
+                "error" => Ok(Severity::Error),
+                other => Err(DeError::unknown_variant(other, "severity")),
+            },
+            _ => Err(DeError::expected("string", "severity")),
+        }
+    }
+}
+
+/// One analyzer finding. The span fields are `None` when the finding is
+/// not about a specific module/shape (e.g. a workload-level capacity
+/// bound names only a resource kind).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    pub code: Code,
+    pub severity: Severity,
+    /// Module index in the input order.
+    #[serde(default)]
+    pub module: Option<usize>,
+    /// The module's name, for human consumption.
+    #[serde(default)]
+    pub module_name: Option<String>,
+    /// Shape (design-alternative) index within the module.
+    #[serde(default)]
+    pub shape: Option<usize>,
+    /// A second shape index the finding relates to (the kept duplicate,
+    /// the dominating sibling).
+    #[serde(default)]
+    pub other_shape: Option<usize>,
+    /// Resource kind a capacity/well-formedness finding is about.
+    #[serde(default)]
+    pub resource: Option<ResourceKind>,
+    pub message: String,
+}
+
+impl Diagnostic {
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            module: None,
+            module_name: None,
+            shape: None,
+            other_shape: None,
+            resource: None,
+            message: message.into(),
+        }
+    }
+
+    pub fn for_module(mut self, module: usize, name: &str) -> Diagnostic {
+        self.module = Some(module);
+        self.module_name = Some(name.to_string());
+        self
+    }
+
+    pub fn for_shape(mut self, shape: usize) -> Diagnostic {
+        self.shape = Some(shape);
+        self
+    }
+
+    pub fn with_other_shape(mut self, other: usize) -> Diagnostic {
+        self.other_shape = Some(other);
+        self
+    }
+
+    pub fn with_resource(mut self, kind: ResourceKind) -> Diagnostic {
+        self.resource = Some(kind);
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    /// Human-readable one-liner:
+    /// `RRF003 warn m07[2]: dead alternative: no valid anchor`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.code.as_str(), self.severity.as_str())?;
+        match (&self.module_name, self.module) {
+            (Some(name), _) => write!(f, " {name}")?,
+            (None, Some(i)) => write!(f, " module#{i}")?,
+            (None, None) => {}
+        }
+        if let Some(s) = self.shape {
+            write!(f, "[{s}]")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_keep_severity() {
+        for code in [
+            Code::MalformedShape,
+            Code::UnplaceableResource,
+            Code::DeadAlternative,
+            Code::DeadModule,
+            Code::CapacityExceeded,
+            Code::DuplicateAlternative,
+            Code::DominatedAlternative,
+        ] {
+            assert_eq!(Code::parse(code.as_str()), Some(code));
+            assert_eq!(
+                code.proves_infeasible(),
+                matches!(code, Code::DeadModule | Code::CapacityExceeded)
+            );
+        }
+        assert_eq!(Code::parse("RRF999"), None);
+    }
+
+    #[test]
+    fn diagnostic_json_roundtrip() {
+        let d = Diagnostic::new(Code::DuplicateAlternative, "same tiles as shape 0")
+            .for_module(3, "m03")
+            .for_shape(1)
+            .with_other_shape(0);
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(json.contains(r#""code":"RRF006""#), "{json}");
+        assert!(json.contains(r#""severity":"warn""#), "{json}");
+        let back: Diagnostic = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let d = Diagnostic::new(Code::DeadAlternative, "no valid anchor")
+            .for_module(7, "m07")
+            .for_shape(2);
+        assert_eq!(d.to_string(), "RRF003 warn m07[2]: no valid anchor");
+    }
+}

@@ -1,0 +1,34 @@
+//! # rrf-analyze — static model analysis
+//!
+//! Inspects a placement instance — the problem spec plus the materialized
+//! [`rrf_fabric::Region`] (optionally with injected faults) — **without
+//! solving anything**, and emits stable machine-readable diagnostics:
+//!
+//! | code   | severity | finding |
+//! |--------|----------|---------|
+//! | RRF001 | error    | malformed shape (no/degenerate/overlapping tilesets) |
+//! | RRF002 | error    | tileset requests an unplaceable resource kind |
+//! | RRF003 | warn     | dead alternative: empty eq. 2–3 anchor set |
+//! | RRF004 | error    | dead module: every alternative dead or malformed |
+//! | RRF005 | error    | counting bound proves the workload cannot fit |
+//! | RRF006 | warn     | duplicate alternative (identical tile cover) |
+//! | RRF007 | info     | dominated alternative (strict superset, no reach) |
+//!
+//! RRF004 and RRF005 are *proofs* of infeasibility: the placement server's
+//! preflight rejects such requests before spending any solver budget, and
+//! `rrf_core::place` strips RRF003/RRF006/RRF007 shapes from the model
+//! when `PlacerConfig::analyze_prune` is set (never changing the optimal
+//! extent — see `rrf_geost::classify_shapes` for the soundness argument).
+//!
+//! Output is deterministic: the same instance produces byte-identical
+//! NDJSON, which `ci.sh` exploits as a regression gate over the bench
+//! workloads. The `rrf-analyze` CLI exposes everything with exit codes
+//! (0 clean/info, 1 warnings, 2 errors, 3 usage).
+
+#![forbid(unsafe_code)]
+
+pub mod diagnostic;
+pub mod passes;
+
+pub use diagnostic::{Code, Diagnostic, Severity};
+pub use passes::{analyze, preflight, Analysis};

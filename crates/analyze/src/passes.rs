@@ -1,0 +1,562 @@
+//! The analysis passes.
+//!
+//! [`analyze`] inspects a placement instance — a [`Region`] plus a module
+//! list — without solving anything, and reports findings as
+//! [`Diagnostic`]s in a deterministic order: per module (input order),
+//! well-formedness first, then dead alternatives, then the dead-module
+//! verdict, then duplicates and dominated alternatives; workload-level
+//! capacity bounds come last. Running the same input twice yields
+//! byte-identical NDJSON.
+//!
+//! [`preflight`] is the cheap error-only subset the placement server runs
+//! on every request before spending solver budget.
+
+use crate::diagnostic::{Code, Diagnostic, Severity};
+use rrf_core::Module;
+use rrf_fabric::{Region, ResourceKind};
+use rrf_geost::{first_anchor, ShapeDef, ShapeFate};
+use std::fmt;
+
+/// The result of a full analysis run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Analysis {
+    /// All findings, in the deterministic order documented on the module.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Whether any finding proves no floorplan exists (RRF004/RRF005).
+    pub proven_infeasible: bool,
+    /// Total design alternatives across the workload.
+    pub shapes_total: usize,
+    /// Alternatives the solver prune would strip (dead + duplicate +
+    /// dominated, counting malformed ones too — they never reach the
+    /// model).
+    pub shapes_prunable: usize,
+}
+
+impl Analysis {
+    /// Highest severity present, `None` when the instance is clean.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// One JSON object per line, trailing newline, byte-deterministic.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&serde_json::to_string(d).expect("diagnostic serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Analysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.diagnostics {
+            writeln!(f, "{d}")?;
+        }
+        writeln!(
+            f,
+            "{} diagnostic(s); {}/{} alternatives prunable; {}",
+            self.diagnostics.len(),
+            self.shapes_prunable,
+            self.shapes_total,
+            if self.proven_infeasible {
+                "proven infeasible"
+            } else {
+                "not proven infeasible"
+            }
+        )
+    }
+}
+
+/// Structural soundness of one shape, checked before any geometry pass.
+/// Shapes arrive through deserialized job files, which bypass the
+/// assertions in `ShapeDef::new`, so nothing here may assume invariants.
+fn well_formedness(shape: &ShapeDef) -> Option<Diagnostic> {
+    if shape.boxes().is_empty() {
+        return Some(Diagnostic::new(
+            Code::MalformedShape,
+            "shape has no tilesets",
+        ));
+    }
+    for (i, b) in shape.boxes().iter().enumerate() {
+        if b.w <= 0 || b.h <= 0 {
+            return Some(Diagnostic::new(
+                Code::MalformedShape,
+                format!("tileset {i} is degenerate ({}x{})", b.w, b.h),
+            ));
+        }
+    }
+    for (i, a) in shape.boxes().iter().enumerate() {
+        for (j, b) in shape.boxes().iter().enumerate().skip(i + 1) {
+            if a.local().intersects(&b.local()) {
+                return Some(Diagnostic::new(
+                    Code::MalformedShape,
+                    format!("tilesets {i} and {j} overlap"),
+                ));
+            }
+        }
+    }
+    for (i, b) in shape.boxes().iter().enumerate() {
+        if !b.resource.is_placeable() {
+            return Some(
+                Diagnostic::new(
+                    Code::UnplaceableResource,
+                    format!(
+                        "tileset {i} requests {:?} tiles, which modules can never occupy",
+                        b.resource
+                    ),
+                )
+                .with_resource(b.resource),
+            );
+        }
+    }
+    None
+}
+
+/// Run every pass over the instance. Pure inspection: no model is built
+/// and no search happens; cost is dominated by one anchor scan per shape.
+pub fn analyze(region: &Region, modules: &[Module]) -> Analysis {
+    let mut diagnostics = Vec::new();
+    let mut shapes_total = 0;
+    let mut shapes_prunable = 0;
+    // Per module: the elementwise-minimum resource demand over its live
+    // alternatives, for the capacity bound. `None` once a module is dead
+    // (its RRF004 already proves infeasibility; it must not weaken the
+    // bound for the others).
+    let mut min_demand: Vec<Option<[i64; 6]>> = Vec::with_capacity(modules.len());
+
+    for (mi, module) in modules.iter().enumerate() {
+        shapes_total += module.num_shapes();
+
+        // Pass 1: well-formedness. Malformed shapes are excluded from the
+        // geometry passes — `bounding_box()` and the anchor scan assume
+        // the `ShapeDef::new` invariants they violate.
+        let mut sound: Vec<usize> = Vec::new();
+        for (si, shape) in module.shapes().iter().enumerate() {
+            match well_formedness(shape) {
+                Some(d) => {
+                    shapes_prunable += 1;
+                    diagnostics.push(d.for_module(mi, &module.name).for_shape(si));
+                }
+                None => sound.push(si),
+            }
+        }
+
+        // Pass 2: dead / duplicate / dominated, on the sound shapes only.
+        // `classify_shapes` indices are positions in `sound`; map back.
+        let shapes: Vec<ShapeDef> = sound
+            .iter()
+            .map(|&si| module.shapes()[si].clone())
+            .collect();
+        let fates = rrf_geost::classify_shapes(region, &shapes);
+
+        for (k, fate) in fates.iter().enumerate() {
+            if *fate == ShapeFate::Dead {
+                shapes_prunable += 1;
+                diagnostics.push(
+                    Diagnostic::new(
+                        Code::DeadAlternative,
+                        "no valid anchor anywhere in the region (eq. 2-3 anchor set is empty)",
+                    )
+                    .for_module(mi, &module.name)
+                    .for_shape(sound[k]),
+                );
+            }
+        }
+
+        let live: Vec<usize> = fates
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f != ShapeFate::Dead)
+            .map(|(k, _)| k)
+            .collect();
+
+        if live.is_empty() {
+            diagnostics.push(
+                Diagnostic::new(
+                    Code::DeadModule,
+                    format!(
+                        "all {} design alternative(s) are dead or malformed: instance is infeasible",
+                        module.num_shapes()
+                    ),
+                )
+                .for_module(mi, &module.name),
+            );
+            min_demand.push(None);
+            continue;
+        }
+
+        for &k in &live {
+            match fates[k] {
+                ShapeFate::DuplicateOf(j) => {
+                    shapes_prunable += 1;
+                    diagnostics.push(
+                        Diagnostic::new(
+                            Code::DuplicateAlternative,
+                            format!(
+                                "covers the same tiles as alternative {} (e.g. a 180-degree \
+                                 rotation of a symmetric layout)",
+                                sound[j]
+                            ),
+                        )
+                        .for_module(mi, &module.name)
+                        .for_shape(sound[k])
+                        .with_other_shape(sound[j]),
+                    );
+                }
+                ShapeFate::DominatedBy(j) => {
+                    shapes_prunable += 1;
+                    diagnostics.push(
+                        Diagnostic::new(
+                            Code::DominatedAlternative,
+                            format!(
+                                "strict superset of alternative {} with no greater rightward \
+                                 extent; the subset always serves",
+                                sound[j]
+                            ),
+                        )
+                        .for_module(mi, &module.name)
+                        .for_shape(sound[k])
+                        .with_other_shape(sound[j]),
+                    );
+                }
+                ShapeFate::Keep | ShapeFate::Dead => {}
+            }
+        }
+
+        let mut min = [i64::MAX; 6];
+        for &k in &live {
+            let ms = shapes[k].resource_multiset();
+            for r in 0..6 {
+                min[r] = min[r].min(ms[r]);
+            }
+        }
+        min_demand.push(Some(min));
+    }
+
+    // Pass 3: per-resource-kind counting bound over the whole workload.
+    // Whatever alternative each module ends up using, it needs at least
+    // its minimum demand of every kind; if the sums exceed what the
+    // region offers, no floorplan exists (faults and masks included,
+    // since `Region::kind_at` reports those tiles as `Static`).
+    for kind in ResourceKind::PLACEABLE {
+        let demand: i64 = min_demand.iter().flatten().map(|m| m[kind.index()]).sum();
+        let capacity = region.count(kind) as i64;
+        if demand > capacity {
+            diagnostics.push(
+                Diagnostic::new(
+                    Code::CapacityExceeded,
+                    format!(
+                        "workload needs at least {demand} {kind:?} tile(s) but the region \
+                         has {capacity}"
+                    ),
+                )
+                .with_resource(kind),
+            );
+        }
+    }
+    let total_demand: i64 = min_demand
+        .iter()
+        .flatten()
+        .map(|m| {
+            ResourceKind::PLACEABLE
+                .iter()
+                .map(|k| m[k.index()])
+                .sum::<i64>()
+        })
+        .sum();
+    let total_capacity = region.placeable_count() as i64;
+    if total_demand > total_capacity {
+        diagnostics.push(Diagnostic::new(
+            Code::CapacityExceeded,
+            format!(
+                "workload needs at least {total_demand} placeable tile(s) but the region \
+                 has {total_capacity}"
+            ),
+        ));
+    }
+
+    let proven_infeasible = diagnostics.iter().any(|d| d.code.proves_infeasible());
+    Analysis {
+        diagnostics,
+        proven_infeasible,
+        shapes_total,
+        shapes_prunable,
+    }
+}
+
+/// The cheap error-only subset: well-formedness, dead modules, and the
+/// capacity bound — exactly the findings that prove a request can never
+/// succeed. Returns the first such finding, or `None` when the request
+/// deserves solver time. Skips the duplicate/dominance set computations,
+/// and the per-shape anchor scans early-exit on the first valid anchor.
+pub fn preflight(region: &Region, modules: &[Module]) -> Option<Diagnostic> {
+    let mut min_demand: Vec<[i64; 6]> = Vec::with_capacity(modules.len());
+    for (mi, module) in modules.iter().enumerate() {
+        let mut live_min: Option<[i64; 6]> = None;
+        let mut first_error: Option<Diagnostic> = None;
+        for (si, shape) in module.shapes().iter().enumerate() {
+            if let Some(d) = well_formedness(shape) {
+                if first_error.is_none() {
+                    first_error = Some(d.for_module(mi, &module.name).for_shape(si));
+                }
+                continue;
+            }
+            if first_anchor(region, shape).is_none() {
+                continue;
+            }
+            let ms = shape.resource_multiset();
+            let min = live_min.get_or_insert([i64::MAX; 6]);
+            for r in 0..6 {
+                min[r] = min[r].min(ms[r]);
+            }
+        }
+        match live_min {
+            Some(min) => min_demand.push(min),
+            None => {
+                // A malformed shape is the more actionable report when
+                // one caused the module to die.
+                return Some(first_error.unwrap_or_else(|| {
+                    Diagnostic::new(
+                        Code::DeadModule,
+                        format!(
+                            "all {} design alternative(s) are dead or malformed: instance \
+                             is infeasible",
+                            module.num_shapes()
+                        ),
+                    )
+                    .for_module(mi, &module.name)
+                }));
+            }
+        }
+    }
+
+    for kind in ResourceKind::PLACEABLE {
+        let demand: i64 = min_demand.iter().map(|m| m[kind.index()]).sum();
+        let capacity = region.count(kind) as i64;
+        if demand > capacity {
+            return Some(
+                Diagnostic::new(
+                    Code::CapacityExceeded,
+                    format!(
+                        "workload needs at least {demand} {kind:?} tile(s) but the region \
+                         has {capacity}"
+                    ),
+                )
+                .with_resource(kind),
+            );
+        }
+    }
+    let total_demand: i64 = min_demand
+        .iter()
+        .map(|m| {
+            ResourceKind::PLACEABLE
+                .iter()
+                .map(|k| m[k.index()])
+                .sum::<i64>()
+        })
+        .sum();
+    let total_capacity = region.placeable_count() as i64;
+    if total_demand > total_capacity {
+        return Some(Diagnostic::new(
+            Code::CapacityExceeded,
+            format!(
+                "workload needs at least {total_demand} placeable tile(s) but the region \
+                 has {total_capacity}"
+            ),
+        ));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_fabric::Fabric;
+    use rrf_geost::ShiftedBox;
+
+    fn region(w: i32, h: i32) -> Region {
+        Region::whole(Fabric::homogeneous(w, h).unwrap())
+    }
+
+    fn clb_bar(w: i32, h: i32) -> ShapeDef {
+        ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+    }
+
+    /// Build a shape that violates `ShapeDef::new` invariants the way a
+    /// deserialized job file can.
+    fn malformed(json: &str) -> ShapeDef {
+        serde_json::from_str(json).unwrap()
+    }
+
+    #[test]
+    fn clean_instance_is_clean() {
+        let r = region(8, 4);
+        let modules = vec![
+            Module::new("a", vec![clb_bar(2, 2), clb_bar(4, 1)]),
+            Module::new("b", vec![clb_bar(3, 2)]),
+        ];
+        let a = analyze(&r, &modules);
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+        assert!(!a.proven_infeasible);
+        assert_eq!(a.shapes_total, 3);
+        assert_eq!(a.shapes_prunable, 0);
+        assert_eq!(a.max_severity(), None);
+        assert!(preflight(&r, &modules).is_none());
+    }
+
+    #[test]
+    fn malformed_shapes_are_reported_not_crashed_on() {
+        let r = region(8, 4);
+        let empty = malformed(r#"{"boxes": []}"#);
+        let degenerate = malformed(r#"{"boxes": [{"dx":0,"dy":0,"w":0,"h":2,"resource":"Clb"}]}"#);
+        let overlapping = malformed(
+            r#"{"boxes": [{"dx":0,"dy":0,"w":2,"h":2,"resource":"Clb"},
+                          {"dx":1,"dy":0,"w":2,"h":2,"resource":"Clb"}]}"#,
+        );
+        let unplaceable = malformed(r#"{"boxes": [{"dx":0,"dy":0,"w":2,"h":2,"resource":"Io"}]}"#);
+        let modules = vec![Module::new(
+            "m",
+            vec![empty, degenerate, overlapping, unplaceable, clb_bar(2, 2)],
+        )];
+        let a = analyze(&r, &modules);
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::MalformedShape,
+                Code::MalformedShape,
+                Code::MalformedShape,
+                Code::UnplaceableResource,
+            ]
+        );
+        assert_eq!(a.shapes_prunable, 4);
+        // One sound live shape remains, so not a dead module.
+        assert!(!a.proven_infeasible);
+        // Preflight reports the malformed shape only when the module dies;
+        // here it survives on the last alternative.
+        assert!(preflight(&r, &modules).is_none());
+    }
+
+    #[test]
+    fn dead_alternative_and_dead_module() {
+        let r = region(8, 3);
+        let m_live = Module::new("live", vec![clb_bar(2, 2), clb_bar(1, 6)]);
+        let m_dead = Module::new("dead", vec![clb_bar(1, 5), clb_bar(9, 1)]);
+        let a = analyze(&r, &[m_live.clone(), m_dead.clone()]);
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::DeadAlternative, // live[1], too tall
+                Code::DeadAlternative, // dead[0]
+                Code::DeadAlternative, // dead[1]
+                Code::DeadModule,
+            ]
+        );
+        assert!(a.proven_infeasible);
+        assert_eq!(a.shapes_prunable, 3);
+        assert_eq!(a.diagnostics[0].module, Some(0));
+        assert_eq!(a.diagnostics[0].shape, Some(1));
+        assert_eq!(a.diagnostics[3].module, Some(1));
+        assert_eq!(a.diagnostics[3].shape, None);
+
+        let p = preflight(&r, &[m_live, m_dead]).expect("preflight rejects");
+        assert_eq!(p.code, Code::DeadModule);
+        assert_eq!(p.module, Some(1));
+    }
+
+    #[test]
+    fn duplicate_and_dominated_are_flagged() {
+        let r = region(10, 4);
+        // Shape 1 duplicates shape 0 via a different box decomposition;
+        // shape 2 is a strict superset of shape 0 reaching no further
+        // right (taller, same width) — dominated.
+        let split = ShapeDef::new(vec![
+            ShiftedBox::new(0, 0, 1, 2, ResourceKind::Clb),
+            ShiftedBox::new(1, 0, 2, 2, ResourceKind::Clb),
+        ]);
+        let superset = clb_bar(3, 3);
+        let m = Module::new("m", vec![clb_bar(3, 2), split, superset]);
+        let a = analyze(&r, &[m]);
+        let codes: Vec<Code> = a.diagnostics.iter().map(|d| d.code).collect();
+        assert_eq!(
+            codes,
+            vec![Code::DuplicateAlternative, Code::DominatedAlternative]
+        );
+        assert_eq!(a.diagnostics[0].shape, Some(1));
+        assert_eq!(a.diagnostics[0].other_shape, Some(0));
+        assert_eq!(a.diagnostics[1].shape, Some(2));
+        assert_eq!(a.diagnostics[1].other_shape, Some(0));
+        assert_eq!(a.shapes_prunable, 2);
+        assert!(!a.proven_infeasible);
+    }
+
+    #[test]
+    fn capacity_bound_per_kind_and_total() {
+        // 10x2 columns-free homogeneous region: 20 CLBs, 0 BRAMs.
+        let r = region(10, 2);
+        let bram = ShapeDef::new(vec![ShiftedBox::new(0, 0, 1, 1, ResourceKind::Bram)]);
+        let m_bram = Module::new("needs-bram", vec![bram]);
+        let a = analyze(&r, &[m_bram]);
+        // The BRAM shape is dead (no BRAM tile exists) so the module dies
+        // before the capacity pass sees it.
+        assert!(a.proven_infeasible);
+        assert!(a.diagnostics.iter().any(|d| d.code == Code::DeadModule));
+
+        // Capacity without any dead module: three 3x2 modules = 18 tiles
+        // minimum in a 4x4 region of 16.
+        let r = region(4, 4);
+        let mods: Vec<Module> = (0..3)
+            .map(|i| Module::new(format!("m{i}"), vec![clb_bar(3, 2), clb_bar(2, 3)]))
+            .collect();
+        let a = analyze(&r, &mods);
+        assert!(a.proven_infeasible);
+        let caps: Vec<&Diagnostic> = a
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::CapacityExceeded)
+            .collect();
+        assert_eq!(caps.len(), 2, "{:?}", a.diagnostics);
+        assert_eq!(caps[0].resource, Some(ResourceKind::Clb));
+        assert_eq!(caps[1].resource, None);
+        let p = preflight(&r, &mods).expect("preflight rejects");
+        assert_eq!(p.code, Code::CapacityExceeded);
+    }
+
+    #[test]
+    fn ndjson_is_byte_deterministic() {
+        let r = region(8, 3);
+        let modules = vec![
+            Module::new("a", vec![clb_bar(2, 2), clb_bar(2, 2), clb_bar(1, 6)]),
+            Module::new("b", vec![clb_bar(1, 5)]),
+        ];
+        let first = analyze(&r, &modules);
+        let second = analyze(&r, &modules);
+        assert_eq!(first, second);
+        assert_eq!(first.to_ndjson(), second.to_ndjson());
+        assert!(!first.to_ndjson().is_empty());
+        for line in first.to_ndjson().lines() {
+            let d: Diagnostic = serde_json::from_str(line).unwrap();
+            assert!(first.diagnostics.contains(&d));
+        }
+    }
+
+    #[test]
+    fn faults_kill_alternatives() {
+        use rrf_fabric::Fault;
+        let mut r = region(4, 2);
+        let m = Module::new("m", vec![clb_bar(4, 1)]);
+        assert!(analyze(&r, std::slice::from_ref(&m)).diagnostics.is_empty());
+        // A fault in every row of column 2 leaves no 4-wide span.
+        r.inject_fault(Fault::Column { x: 2 });
+        let a = analyze(&r, std::slice::from_ref(&m));
+        assert!(a.proven_infeasible, "{:?}", a.diagnostics);
+        assert!(a
+            .diagnostics
+            .iter()
+            .any(|d| d.code == Code::DeadAlternative));
+        assert!(preflight(&r, &[m]).is_some());
+    }
+}

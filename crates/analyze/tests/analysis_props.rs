@@ -1,0 +1,198 @@
+//! Property tests pinning the analyzer to independent oracles:
+//!
+//! * a *proven infeasible* verdict is checked against an exhaustive
+//!   brute-force placement search — the proof must never be wrong;
+//! * a *dead alternative* finding is checked against a naive full anchor
+//!   scan written without the geost kernel;
+//! * the solver's `analyze_prune` must never change the proven-optimal
+//!   extent or the resulting utilization (on equal-area alternatives,
+//!   the generated-workload norm).
+
+use proptest::prelude::*;
+use rrf_analyze::{analyze, Code};
+use rrf_core::{cp, metrics, Module, PlacementProblem, PlacerConfig};
+use rrf_fabric::{Fabric, Region, ResourceKind};
+use rrf_geost::{ShapeDef, ShiftedBox};
+use std::collections::BTreeSet;
+
+fn region(w: i32, h: i32) -> Region {
+    Region::whole(Fabric::homogeneous(w, h).unwrap())
+}
+
+fn clb_bar(w: i32, h: i32) -> ShapeDef {
+    ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+}
+
+/// Every anchor of `shape` in `region`, by scanning the full bounds and
+/// checking each tile directly — no geost involved.
+fn anchors_naive(region: &Region, shape: &ShapeDef) -> Vec<(i32, i32)> {
+    let b = region.bounds();
+    let mut out = Vec::new();
+    for y in b.y..b.y + b.h {
+        for x in b.x..b.x + b.w {
+            if shape
+                .tiles_at(x, y)
+                .all(|(p, k)| region.accepts(p.x, p.y, k))
+            {
+                out.push((x, y));
+            }
+        }
+    }
+    out
+}
+
+/// Exhaustive search: does ANY complete non-overlapping placement exist?
+fn brute_force(
+    region: &Region,
+    modules: &[Module],
+    idx: usize,
+    occupied: &mut BTreeSet<(i32, i32)>,
+) -> bool {
+    if idx == modules.len() {
+        return true;
+    }
+    for shape in modules[idx].shapes() {
+        for (x, y) in anchors_naive(region, shape) {
+            let tiles: Vec<(i32, i32)> = shape.tiles_at(x, y).map(|(p, _)| (p.x, p.y)).collect();
+            if tiles.iter().any(|t| occupied.contains(t)) {
+                continue;
+            }
+            occupied.extend(tiles.iter().copied());
+            if brute_force(region, modules, idx + 1, occupied) {
+                return true;
+            }
+            for t in &tiles {
+                occupied.remove(t);
+            }
+        }
+    }
+    false
+}
+
+/// 1–3 modules of 1–2 rectangular CLB alternatives each, sized so that
+/// on a 5x3 region a healthy share of instances is infeasible.
+fn modules_strategy() -> impl Strategy<Value = Vec<Module>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1i32..=4, 1i32..=4), 1..=2),
+        1..=3,
+    )
+    .prop_map(|mods| {
+        mods.into_iter()
+            .enumerate()
+            .map(|(i, rects)| {
+                let shapes = rects.into_iter().map(|(w, h)| clb_bar(w, h)).collect();
+                Module::new(format!("m{i}"), shapes)
+            })
+            .collect()
+    })
+}
+
+/// 1–2 modules whose alternatives all cover the same area (a rectangle,
+/// its transpose, and a duplicate), so any two optimal-extent plans have
+/// identical utilization.
+fn equal_area_modules_strategy() -> impl Strategy<Value = Vec<Module>> {
+    proptest::collection::vec((1i32..=3, 1i32..=2), 1..=2).prop_map(|rects| {
+        rects
+            .into_iter()
+            .enumerate()
+            .map(|(i, (w, h))| {
+                Module::new(
+                    format!("m{i}"),
+                    vec![clb_bar(w, h), clb_bar(h, w), clb_bar(w, h)],
+                )
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RRF004/RRF005 are *proofs*: whenever the analyzer claims proven
+    /// infeasibility, exhaustive search must agree that no placement
+    /// exists.
+    #[test]
+    fn proven_infeasible_means_brute_force_finds_nothing(
+        modules in modules_strategy()
+    ) {
+        let r = region(5, 3);
+        let analysis = analyze(&r, &modules);
+        if analysis.proven_infeasible {
+            let mut occupied = BTreeSet::new();
+            prop_assert!(
+                !brute_force(&r, &modules, 0, &mut occupied),
+                "analyzer proved infeasible but a placement exists: {:?}",
+                analysis.diagnostics
+            );
+        }
+    }
+
+    /// RRF003 means the eq. 2-3 anchor set is empty — confirmed by an
+    /// independent full scan; and every unflagged alternative has at
+    /// least one anchor.
+    #[test]
+    fn dead_alternative_means_no_anchor_anywhere(
+        modules in modules_strategy()
+    ) {
+        let r = region(5, 3);
+        let analysis = analyze(&r, &modules);
+        let dead: BTreeSet<(usize, usize)> = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.code == Code::DeadAlternative)
+            .map(|d| (d.module.unwrap(), d.shape.unwrap()))
+            .collect();
+        for (mi, module) in modules.iter().enumerate() {
+            for (si, shape) in module.shapes().iter().enumerate() {
+                let anchors = anchors_naive(&r, shape);
+                if dead.contains(&(mi, si)) {
+                    prop_assert!(
+                        anchors.is_empty(),
+                        "m{mi}[{si}] flagged dead but anchors at {anchors:?}"
+                    );
+                } else {
+                    prop_assert!(
+                        !anchors.is_empty(),
+                        "m{mi}[{si}] not flagged dead yet has no anchor"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The static prune never changes the proven-optimal extent, and on
+    /// equal-area alternatives it never changes utilization either.
+    #[test]
+    fn prune_preserves_optimum_and_utilization(
+        modules in equal_area_modules_strategy()
+    ) {
+        let r = region(8, 4);
+        let problem = PlacementProblem::new(r, modules);
+        let run = |analyze_prune: bool| {
+            let config = PlacerConfig {
+                analyze_prune,
+                ..PlacerConfig::exact()
+            };
+            cp::place(&problem, &config)
+        };
+        let pruned = run(true);
+        let full = run(false);
+        prop_assert!(pruned.proven && full.proven);
+        prop_assert_eq!(pruned.extent, full.extent);
+        // Every generated module has a duplicate alternative, so the
+        // prune must actually have fired.
+        prop_assert!(pruned.stats.shapes_pruned >= problem.modules.len());
+        prop_assert_eq!(full.stats.shapes_pruned, 0);
+        match (&pruned.plan, &full.plan) {
+            (Some(a), Some(b)) => {
+                let ma = metrics(&problem.region, &problem.modules, a);
+                let mb = metrics(&problem.region, &problem.modules, b);
+                prop_assert_eq!(ma.utilization, mb.utilization);
+                prop_assert_eq!(ma.occupied_tiles, mb.occupied_tiles);
+                prop_assert_eq!(ma.extent_cols, mb.extent_cols);
+            }
+            (None, None) => {}
+            other => prop_assert!(false, "prune changed feasibility: {other:?}"),
+        }
+    }
+}

@@ -5,6 +5,8 @@
 //! regenerate the paper's Table I and Figures 1–5 plus the ablations;
 //! the criterion benches in `benches/` time the hot paths.
 
+#![forbid(unsafe_code)]
+
 pub mod experiment;
 
 pub use experiment::{

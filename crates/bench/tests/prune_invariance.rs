@@ -1,0 +1,104 @@
+//! The solver's static prune (`PlacerConfig::analyze_prune`) must be
+//! invisible in the results on the bench workload family: identical
+//! proven extent and identical utilization, with and without it. On a
+//! workload carrying redundant alternatives (as specs from older
+//! generators or sloppy clients do), it must also measurably shrink the
+//! model.
+
+use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rrf_core::{cp, metrics, Module, PlacementOutcome, PlacementProblem, PlacerConfig};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+
+fn solve(problem: &PlacementProblem, analyze_prune: bool) -> PlacementOutcome {
+    let config = PlacerConfig {
+        analyze_prune,
+        ..PlacerConfig::exact()
+    };
+    cp::place(problem, &config)
+}
+
+fn assert_invariant(problem: &PlacementProblem) -> (PlacementOutcome, PlacementOutcome) {
+    let pruned = solve(problem, true);
+    let full = solve(problem, false);
+    assert!(pruned.proven && full.proven, "exact solves must prove");
+    assert_eq!(pruned.extent, full.extent, "prune changed the optimum");
+    assert_eq!(full.stats.shapes_pruned, 0);
+    let (Some(a), Some(b)) = (&pruned.plan, &full.plan) else {
+        panic!("bench workloads are feasible");
+    };
+    let ma = metrics(&problem.region, &problem.modules, a);
+    let mb = metrics(&problem.region, &problem.modules, b);
+    assert_eq!(ma.utilization, mb.utilization, "prune changed utilization");
+    assert_eq!(ma.occupied_tiles, mb.occupied_tiles);
+    assert_eq!(ma.extent_cols, mb.extent_cols);
+    (pruned, full)
+}
+
+#[test]
+fn prune_is_invisible_on_clean_bench_workloads() {
+    for seed in [1u64, 2] {
+        let workload = generate_workload(&WorkloadSpec::small(3, seed));
+        let modules = workload_modules(&workload);
+        let problem = PlacementProblem::new(ExperimentSetup::with_width(40).region(), modules);
+        let (pruned, _) = assert_invariant(&problem);
+        // Since the generator dedupes by tile cover, a clean workload
+        // gives the prune nothing to do.
+        assert_eq!(pruned.stats.shapes_pruned, 0, "seed {seed}");
+    }
+}
+
+#[test]
+fn prune_shrinks_model_on_redundant_alternatives() {
+    let workload = generate_workload(&WorkloadSpec::small(3, 5));
+    let modules: Vec<Module> = workload_modules(&workload)
+        .iter()
+        .map(|m| {
+            // Re-add each module's base layout, the duplicate the
+            // pre-dedup generator used to emit for symmetric modules.
+            let mut shapes = m.shapes().to_vec();
+            shapes.push(shapes[0].clone());
+            Module::new(m.name.clone(), shapes)
+        })
+        .collect();
+    let n = modules.len();
+    let problem = PlacementProblem::new(ExperimentSetup::with_width(40).region(), modules);
+    let (pruned, full) = assert_invariant(&problem);
+    assert_eq!(pruned.stats.shapes_pruned, n, "one duplicate per module");
+    assert!(
+        pruned.stats.table_rows < full.stats.table_rows,
+        "pruning must shrink the anchor tables: {} !< {}",
+        pruned.stats.table_rows,
+        full.stats.table_rows
+    );
+}
+
+#[test]
+fn analyzer_finds_bench_workloads_clean() {
+    for seed in [1u64, 2, 3] {
+        let workload = generate_workload(&WorkloadSpec::small(4, seed));
+        let modules = workload_modules(&workload);
+        let region = ExperimentSetup::with_width(60).region();
+        let analysis = rrf_analyze::analyze(&region, &modules);
+        assert!(
+            analysis.diagnostics.is_empty(),
+            "seed {seed}: {:?}",
+            analysis.diagnostics
+        );
+        assert!(!analysis.proven_infeasible);
+    }
+    // And the paper-scale workload on the canonical region.
+    let workload = generate_workload(&WorkloadSpec::paper(1));
+    let modules = workload_modules(&workload);
+    let region = ExperimentSetup::default().region();
+    let analysis = rrf_analyze::analyze(&region, &modules);
+    assert!(
+        analysis.diagnostics.is_empty(),
+        "{:?}",
+        analysis.diagnostics
+    );
+
+    // Overloading the region must be caught by the capacity bound alone.
+    let narrow = ExperimentSetup::with_width(20).region();
+    let analysis = rrf_analyze::analyze(&narrow, &modules);
+    assert!(analysis.proven_infeasible);
+}

@@ -18,6 +18,8 @@
 //!   when the target columns carry the same resource kinds (the
 //!   relocatability constraint of Becker et al. that the paper discusses).
 
+#![forbid(unsafe_code)]
+
 pub mod assemble;
 pub mod crc;
 pub mod frame;

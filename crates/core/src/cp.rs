@@ -35,6 +35,10 @@ pub struct SolveStats {
     pub solutions: u64,
     /// Total placement-table rows across modules (model size indicator).
     pub table_rows: usize,
+    /// Design alternatives stripped by the pre-solve static analysis
+    /// (dead, duplicate, or dominated shapes; 0 when pruning is off).
+    #[serde(default)]
+    pub shapes_pruned: usize,
     pub duration: Duration,
     /// When the final best incumbent was found (≤ `duration`).
     pub time_to_best: Duration,
@@ -207,6 +211,64 @@ pub(crate) fn build_model(problem: &PlacementProblem, config: &PlacerConfig) -> 
     })
 }
 
+/// Outcome of the pre-solve static prune.
+enum Pruned {
+    /// Every shape survived; solve the original problem.
+    Unchanged,
+    /// Some shapes were stripped: the shrunk problem, plus per-module
+    /// maps from surviving shape index back to the original index.
+    Shrunk {
+        problem: PlacementProblem,
+        keep: Vec<Vec<usize>>,
+        removed: usize,
+    },
+    /// A module lost every alternative (all dead): proven infeasible
+    /// without building a model.
+    Infeasible { removed: usize },
+}
+
+/// Strip dead, duplicate, and dominated design alternatives (see
+/// `rrf_geost::classify_shapes` for the soundness argument). Module order
+/// and indices are preserved; only shape indices shift, and the returned
+/// maps undo that shift on extracted floorplans.
+fn prune_problem(problem: &PlacementProblem) -> Pruned {
+    let mut keep: Vec<Vec<usize>> = Vec::with_capacity(problem.modules.len());
+    let mut removed = 0usize;
+    for module in &problem.modules {
+        let fates = rrf_geost::classify_shapes(&problem.region, module.shapes());
+        let kept: Vec<usize> = fates
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| **f == rrf_geost::ShapeFate::Keep)
+            .map(|(i, _)| i)
+            .collect();
+        removed += module.num_shapes() - kept.len();
+        if kept.is_empty() {
+            return Pruned::Infeasible { removed };
+        }
+        keep.push(kept);
+    }
+    if removed == 0 {
+        return Pruned::Unchanged;
+    }
+    let modules = problem
+        .modules
+        .iter()
+        .zip(&keep)
+        .map(|(m, kept)| {
+            crate::model::Module::new(
+                m.name.clone(),
+                kept.iter().map(|&s| m.shapes()[s].clone()).collect(),
+            )
+        })
+        .collect();
+    Pruned::Shrunk {
+        problem: PlacementProblem::new(problem.region.clone(), modules),
+        keep,
+        removed,
+    }
+}
+
 pub(crate) fn extract_plan(
     outcome: &SearchOutcome,
     module_vars: &[(VarId, VarId, VarId)],
@@ -275,12 +337,47 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
         };
     }
 
+    // Pre-solve static prune: solve the shrunk problem, then map shape
+    // indices back so the returned floorplan indexes the caller's module
+    // shape lists.
+    let mut shapes_pruned = 0usize;
+    let mut keep_maps: Option<Vec<Vec<usize>>> = None;
+    let mut shrunk: Option<PlacementProblem> = None;
+    if config.analyze_prune {
+        match prune_problem(problem) {
+            Pruned::Unchanged => {}
+            Pruned::Shrunk {
+                problem,
+                keep,
+                removed,
+            } => {
+                shapes_pruned = removed;
+                keep_maps = Some(keep);
+                shrunk = Some(problem);
+            }
+            Pruned::Infeasible { removed } => {
+                return PlacementOutcome {
+                    plan: None,
+                    extent: None,
+                    proven: true,
+                    stats: SolveStats {
+                        shapes_pruned: removed,
+                        duration: started.elapsed(),
+                        ..SolveStats::default()
+                    },
+                };
+            }
+        }
+    }
+    let problem = shrunk.as_ref().unwrap_or(problem);
+
     let Some(mut built) = build_model(problem, config) else {
         return PlacementOutcome {
             plan: None,
             extent: None,
             proven: true,
             stats: SolveStats {
+                shapes_pruned,
                 duration: started.elapsed(),
                 ..SolveStats::default()
             },
@@ -346,6 +443,14 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
         }
     }
 
+    // Undo the prune's shape-index shift so placements index the
+    // caller's original shape lists.
+    if let (Some(plan), Some(maps)) = (plan.as_mut(), keep_maps.as_ref()) {
+        for p in &mut plan.placements {
+            p.shape = maps[p.module][p.shape];
+        }
+    }
+
     PlacementOutcome {
         plan,
         extent,
@@ -356,6 +461,7 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
             propagations: outcome.stats.propagations,
             solutions: outcome.stats.solutions,
             table_rows: built.table_rows,
+            shapes_pruned,
             duration: started.elapsed(),
             time_to_best: outcome.stats.time_to_best,
         },
@@ -666,6 +772,70 @@ ccc",
         assert!(is_valid(&problem.region, &problem.modules, &plan));
         assert_eq!(plan.placements[0].y, 2); // the BRAM row
         assert_eq!(out.extent, Some(3));
+    }
+
+    #[test]
+    fn prune_strips_dead_and_duplicate_shapes() {
+        // Shape 1 is a byte-level duplicate of shape 0, shape 2 is too
+        // tall for the region: both pruned, and the returned placement
+        // still indexes the original three-shape list.
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(8, 3)),
+            vec![
+                Module::new("a", vec![clb_shape(2, 3)]),
+                Module::new("b", vec![clb_shape(3, 2), clb_shape(3, 2), clb_shape(1, 6)]),
+            ],
+        );
+        let out = place(&problem, &exact());
+        assert_eq!(out.stats.shapes_pruned, 2);
+        let plan = out.plan.unwrap();
+        assert!(is_valid(&problem.region, &problem.modules, &plan));
+        assert_eq!(plan.placements[1].shape, 0);
+    }
+
+    #[test]
+    fn prune_does_not_change_optimum() {
+        // A mix with a dead alternative (too tall), a duplicate, and two
+        // live rotations: pruned and unpruned solves agree on the proven
+        // optimal extent.
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(12, 4)),
+            vec![
+                Module::new("a", vec![clb_shape(3, 2), clb_shape(2, 3), clb_shape(1, 6)]),
+                Module::new("b", vec![clb_shape(4, 2), clb_shape(4, 2), clb_shape(2, 4)]),
+                Module::new("c", vec![clb_shape(2, 2)]),
+            ],
+        );
+        let mut cfg = exact();
+        cfg.analyze_prune = true;
+        let pruned = place(&problem, &cfg);
+        cfg.analyze_prune = false;
+        let full = place(&problem, &cfg);
+        assert!(pruned.proven && full.proven);
+        assert_eq!(pruned.extent, full.extent);
+        assert!(pruned.stats.shapes_pruned > 0);
+        assert_eq!(full.stats.shapes_pruned, 0);
+        assert!(pruned.stats.table_rows < full.stats.table_rows);
+        let plan = pruned.plan.unwrap();
+        assert!(is_valid(&problem.region, &problem.modules, &plan));
+    }
+
+    #[test]
+    fn prune_proves_dead_module_infeasible() {
+        // Every alternative of "b" is too tall: infeasibility is proven
+        // by analysis alone, without a search.
+        let problem = PlacementProblem::new(
+            Region::whole(device::homogeneous(8, 3)),
+            vec![
+                Module::new("a", vec![clb_shape(2, 2)]),
+                Module::new("b", vec![clb_shape(1, 4), clb_shape(2, 5)]),
+            ],
+        );
+        let out = place(&problem, &exact());
+        assert!(out.plan.is_none());
+        assert!(out.proven);
+        assert_eq!(out.stats.shapes_pruned, 2);
+        assert_eq!(out.stats.nodes, 0);
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //!     &problem.region, &problem.modules, &out.plan.unwrap()));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod anneal;
 pub mod baseline;
 pub mod cp;

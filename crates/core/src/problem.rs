@@ -85,12 +85,23 @@ pub struct PlacerConfig {
     /// Branching heuristic (sequential strategy only; the portfolio assigns
     /// its own mix per worker).
     pub heuristic: Heuristic,
+    /// Run the static shape analysis before building the model and strip
+    /// dead, duplicate, and dominated design alternatives (see
+    /// `rrf_geost::classify_shapes`). Sound for the extent objective:
+    /// the optimal extent (and, for equal-area alternatives, the achieved
+    /// utilization) is unchanged; only the model shrinks.
+    #[serde(default = "default_analyze_prune")]
+    pub analyze_prune: bool,
     /// External cancellation: when another thread sets this flag the
     /// search stops at its next step and the placer returns the best
     /// incumbent found so far (never marked proven). Not serialized — a
     /// config read from a job file starts without a stop handle.
     #[serde(skip)]
     pub stop: Option<Arc<AtomicBool>>,
+}
+
+fn default_analyze_prune() -> bool {
+    true
 }
 
 impl Default for PlacerConfig {
@@ -102,6 +113,7 @@ impl Default for PlacerConfig {
             warm_start: true,
             strategy: SearchStrategy::Sequential,
             heuristic: Heuristic::InputOrderMin,
+            analyze_prune: true,
             stop: None,
         }
     }

@@ -31,6 +31,8 @@
 //! assert!(fabric.count(ResourceKind::Clb) > fabric.count(ResourceKind::Dsp));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod error;
 pub mod fault;

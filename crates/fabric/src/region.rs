@@ -108,6 +108,10 @@ impl Region {
     /// `Static` outside the bounds, under a mask, or on a defective tile.
     #[inline]
     pub fn kind_at(&self, x: i32, y: i32) -> ResourceKind {
+        debug_assert!(
+            self.fabric.bounds().contains_rect(&self.bounds),
+            "region bounds escaped the fabric"
+        );
         if !self.bounds.contains(Point::new(x, y))
             || self.is_masked(x, y)
             || self.faults.contains(x, y)

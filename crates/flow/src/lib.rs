@@ -13,6 +13,8 @@
 //! * [`report::FlowReport`] — the JSON result (floorplan, metrics, solver
 //!   statistics, per-module positions).
 
+#![forbid(unsafe_code)]
+
 pub mod driver;
 pub mod io;
 pub mod report;

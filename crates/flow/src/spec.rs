@@ -142,6 +142,10 @@ pub struct PlacerSettings {
     /// Portfolio workers; 0 or 1 = sequential.
     #[serde(default)]
     pub workers: usize,
+    /// Strip dead/duplicate/dominated design alternatives before the
+    /// solve (static analysis prune; never changes the optimal extent).
+    #[serde(default = "default_true")]
+    pub analyze_prune: bool,
 }
 
 fn default_true() -> bool {
@@ -155,6 +159,7 @@ impl Default for PlacerSettings {
             warm_start: true,
             redundant_cumulative: true,
             workers: 0,
+            analyze_prune: true,
         }
     }
 }
@@ -173,6 +178,7 @@ impl PlacerSettings {
                 rrf_core::SearchStrategy::Sequential
             },
             heuristic: rrf_core::Heuristic::InputOrderMin,
+            analyze_prune: self.analyze_prune,
             stop: None,
         }
     }

@@ -11,8 +11,9 @@
 //! consistency over exactly the paper's two constraint families.
 
 use crate::shape::ShapeDef;
-use rrf_fabric::{Point, Region};
+use rrf_fabric::{Point, Region, ResourceKind};
 use rrf_solver::{Model, VarId};
+use std::collections::BTreeSet;
 
 /// All anchor positions where every tile of `shape` lies inside the
 /// region's bounds and on a fabric tile of its own resource kind.
@@ -20,6 +21,10 @@ use rrf_solver::{Model, VarId};
 /// The scan is restricted to anchors that keep the shape's bounding box
 /// inside the region's bounding box — anything else violates eq. 2 anyway.
 pub fn allowed_anchors(region: &Region, shape: &ShapeDef) -> Vec<Point> {
+    debug_assert!(
+        shape.boxes().iter().all(|b| b.w > 0 && b.h > 0),
+        "degenerate box reached anchor enumeration"
+    );
     let bounds = region.bounds();
     let bb = shape.bounding_box();
     let mut anchors = Vec::new();
@@ -40,10 +45,132 @@ pub fn allowed_anchors(region: &Region, shape: &ShapeDef) -> Vec<Point> {
                     }
                 }
             }
+            debug_assert!(
+                bounds.contains_rect(&rrf_fabric::Rect::new(x + bb.x, y + bb.y, bb.w, bb.h)),
+                "anchor admits a bounding box escaping the region"
+            );
             anchors.push(Point::new(x, y));
         }
     }
     anchors
+}
+
+/// The first valid anchor for `shape` on `region`, scanning the same
+/// order as [`allowed_anchors`] but returning at the first hit — the
+/// cheap "is this alternative dead?" query used by pre-solve analysis
+/// and the server's submit-time preflight.
+pub fn first_anchor(region: &Region, shape: &ShapeDef) -> Option<Point> {
+    let bounds = region.bounds();
+    let bb = shape.bounding_box();
+    let x_lo = bounds.x - bb.x;
+    let x_hi = bounds.x_end() - bb.x_end();
+    let y_lo = bounds.y - bb.y;
+    let y_hi = bounds.y_end() - bb.y_end();
+    for y in y_lo..=y_hi {
+        'anchor: for x in x_lo..=x_hi {
+            for b in shape.boxes() {
+                let r = b.placed(x, y);
+                for ty in r.y..r.y_end() {
+                    for tx in r.x..r.x_end() {
+                        if !region.accepts(tx, ty, b.resource) {
+                            continue 'anchor;
+                        }
+                    }
+                }
+            }
+            return Some(Point::new(x, y));
+        }
+    }
+    None
+}
+
+/// What pre-solve analysis concluded about one design alternative of a
+/// module, relative to its siblings on a concrete region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeFate {
+    /// No reason to drop this shape.
+    Keep,
+    /// No valid anchor anywhere in the region (eq. 2–3 empty).
+    Dead,
+    /// Identical anchor-relative tile set as the (kept) shape at this
+    /// index — e.g. the 180° rotation of a symmetric layout.
+    DuplicateOf(usize),
+    /// The (kept) shape at this index covers a strict subset of this
+    /// shape's tiles and extends no further right, so every placement of
+    /// this shape can be replaced by one of the dominating shape without
+    /// increasing the extent objective.
+    DominatedBy(usize),
+}
+
+/// The canonical anchor-relative tile set of a shape — box-decomposition
+/// independent, so two `ShapeDef`s covering the same tiles with different
+/// box splits compare equal.
+pub fn canonical_tiles(shape: &ShapeDef) -> BTreeSet<(i32, i32, ResourceKind)> {
+    shape.tiles().map(|(p, k)| (p.y, p.x, k)).collect()
+}
+
+/// Classify a module's design alternatives on `region`: dead shapes,
+/// duplicates (first occurrence kept), and dominated shapes. The returned
+/// vector is index-aligned with `shapes`; referenced indices always point
+/// at a `Keep` entry, and classification is deterministic (earlier index
+/// wins among duplicates, smallest dominating index is recorded).
+///
+/// Dropping every non-`Keep` shape is sound for the extent-minimizing
+/// objective: dead shapes admit no placement, duplicates admit exactly
+/// the same placements as their keeper, and a dominated shape's placement
+/// can always be replaced by its dominator's (a tile subset at the same
+/// anchor, reaching no further right).
+pub fn classify_shapes(region: &Region, shapes: &[ShapeDef]) -> Vec<ShapeFate> {
+    let mut fates = vec![ShapeFate::Keep; shapes.len()];
+    let tiles: Vec<BTreeSet<(i32, i32, ResourceKind)>> =
+        shapes.iter().map(canonical_tiles).collect();
+
+    for (i, shape) in shapes.iter().enumerate() {
+        if first_anchor(region, shape).is_none() {
+            fates[i] = ShapeFate::Dead;
+        }
+    }
+    // Duplicates: identical tile sets collapse onto the smallest live
+    // index (a duplicate of a dead shape is itself dead).
+    for i in 0..shapes.len() {
+        if fates[i] != ShapeFate::Keep {
+            continue;
+        }
+        for j in 0..i {
+            if fates[j] == ShapeFate::Keep && tiles[j] == tiles[i] {
+                fates[i] = ShapeFate::DuplicateOf(j);
+                break;
+            }
+        }
+    }
+    // Dominance: strict tile-subset with no larger right extent. Strict
+    // subset is a strict partial order, so the minimal elements survive
+    // and the keep set can never empty out from mutual elimination. Two
+    // phases: mark everything dominated by any live sibling, then point
+    // each dominated shape at a surviving (minimal) dominator — one
+    // exists by transitivity of the subset order.
+    let dominates = |j: usize, i: usize| {
+        tiles[j].len() < tiles[i].len()
+            && shapes[j].bounding_box().x_end() <= shapes[i].bounding_box().x_end()
+            && tiles[j].is_subset(&tiles[i])
+    };
+    let live: Vec<usize> = (0..shapes.len())
+        .filter(|&i| fates[i] == ShapeFate::Keep)
+        .collect();
+    let dominated: Vec<usize> = live
+        .iter()
+        .copied()
+        .filter(|&i| live.iter().any(|&j| j != i && dominates(j, i)))
+        .collect();
+    for &i in &dominated {
+        let keeper = live
+            .iter()
+            .copied()
+            .find(|&j| !dominated.contains(&j) && dominates(j, i))
+            .expect("a minimal dominator survives");
+        fates[i] = ShapeFate::DominatedBy(keeper);
+    }
+    fates
 }
 
 /// The `(shape, x, y)` rows valid for an object with the given design
@@ -191,6 +318,79 @@ mod tests {
         assert!(rows.contains(&vec![0, 2, 0]));
         assert!(rows.contains(&vec![1, 1, 0]));
         assert!(!rows.contains(&vec![1, 2, 0]));
+    }
+
+    #[test]
+    fn first_anchor_agrees_with_full_scan() {
+        let fabric = Fabric::from_art("ccBcc\nccBcc").unwrap();
+        let region = Region::whole(fabric);
+        for shape in [clb_box(2, 1), clb_box(2, 2), clb_box(5, 1), clb_box(6, 1)] {
+            let all = allowed_anchors(&region, &shape);
+            assert_eq!(first_anchor(&region, &shape), all.first().copied());
+        }
+    }
+
+    #[test]
+    fn classify_marks_dead_and_keeps_live() {
+        let region = Region::whole(device::homogeneous(4, 3));
+        let fates = classify_shapes(&region, &[clb_box(2, 2), clb_box(5, 1), clb_box(1, 4)]);
+        assert_eq!(
+            fates,
+            vec![ShapeFate::Keep, ShapeFate::Dead, ShapeFate::Dead]
+        );
+    }
+
+    #[test]
+    fn classify_collapses_duplicates_onto_first() {
+        // Same tiles, different box decomposition: still a duplicate.
+        let region = Region::whole(device::homogeneous(6, 4));
+        let split = ShapeDef::new(vec![
+            ShiftedBox::new(0, 0, 2, 1, ResourceKind::Clb),
+            ShiftedBox::new(0, 1, 2, 1, ResourceKind::Clb),
+        ]);
+        let fates = classify_shapes(&region, &[clb_box(2, 2), split, clb_box(2, 2)]);
+        assert_eq!(
+            fates,
+            vec![
+                ShapeFate::Keep,
+                ShapeFate::DuplicateOf(0),
+                ShapeFate::DuplicateOf(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn classify_prunes_dominated_superset() {
+        // The L-shape strictly contains the bar's tiles and reaches no
+        // further right, so the bar dominates it.
+        let region = Region::whole(device::homogeneous(8, 4));
+        let bar = clb_box(2, 1);
+        let ell = ShapeDef::new(vec![
+            ShiftedBox::new(0, 0, 2, 1, ResourceKind::Clb),
+            ShiftedBox::new(0, 1, 1, 1, ResourceKind::Clb),
+        ]);
+        let fates = classify_shapes(&region, &[ell.clone(), bar.clone()]);
+        assert_eq!(fates, vec![ShapeFate::DominatedBy(1), ShapeFate::Keep]);
+        // A dominance chain keeps only the minimal element and every
+        // reference points at a kept shape.
+        let single = clb_box(1, 1);
+        let fates = classify_shapes(&region, &[ell, bar, single]);
+        assert_eq!(
+            fates,
+            vec![
+                ShapeFate::DominatedBy(2),
+                ShapeFate::DominatedBy(2),
+                ShapeFate::Keep
+            ]
+        );
+    }
+
+    #[test]
+    fn classify_keeps_equal_area_alternatives() {
+        // Rotated/transposed equal-area shapes never dominate each other.
+        let region = Region::whole(device::homogeneous(8, 8));
+        let fates = classify_shapes(&region, &[clb_box(3, 2), clb_box(2, 3)]);
+        assert_eq!(fates, vec![ShapeFate::Keep, ShapeFate::Keep]);
     }
 
     #[test]

@@ -18,13 +18,18 @@
 //! anchor bounds against the *mandatory parts* of all other objects and
 //! fails as soon as two mandatory parts collide.
 
+#![forbid(unsafe_code)]
+
 pub mod compat;
 pub mod grid;
 pub mod nonoverlap;
 pub mod object;
 pub mod shape;
 
-pub use compat::{allowed_anchors, anchor_rows, post_placement_table};
+pub use compat::{
+    allowed_anchors, anchor_rows, canonical_tiles, classify_shapes, first_anchor,
+    post_placement_table, ShapeFate,
+};
 pub use grid::OccupancyGrid;
 pub use nonoverlap::NonOverlap;
 pub use object::GeostObject;

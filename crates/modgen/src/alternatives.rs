@@ -17,7 +17,7 @@
 
 use crate::layout::{base_layout, LayoutParams};
 use crate::spec::ModuleSpec;
-use rrf_geost::ShapeDef;
+use rrf_geost::{canonical_tiles, ShapeDef};
 
 /// Derive up to `count` distinct design alternatives (including the base
 /// layout itself) for `spec`. `count` is clamped to `1..=4`.
@@ -35,9 +35,17 @@ pub fn derive_alternatives(
     let base = base_layout(spec, params);
     let mut shapes: Vec<ShapeDef> = vec![base.clone()];
 
+    // Compare canonical tile sets, not `ShapeDef` equality: rotating a
+    // 180°-symmetric multi-column layout yields the same tiles decomposed
+    // into the same boxes in a *different order*, which `==` on the box
+    // list would treat as a new shape and emit twice.
     let push_unique = |shapes: &mut Vec<ShapeDef>, s: ShapeDef| {
         let s = s.normalized();
-        if !shapes.contains(&s) {
+        let tiles = canonical_tiles(&s);
+        if !shapes
+            .iter()
+            .any(|existing| canonical_tiles(existing) == tiles)
+        {
             shapes.push(s);
         }
     };
@@ -120,6 +128,40 @@ mod tests {
         // identical and must be dropped, not duplicated.
         let shapes = derive_alternatives(&spec(24, 0, 4), &LayoutParams::default(), 2, 6);
         assert_eq!(shapes.len(), 1);
+    }
+
+    #[test]
+    fn rotation_symmetric_multicolumn_layout_dedupes() {
+        // 16 CLBs + 2 memory blocks at height 4 with the BRAM column in
+        // the middle (offset 2) lays out as clb|clb|bram|clb|clb — a
+        // 180°-symmetric footprint whose rotation covers identical tiles
+        // but lists its boxes in a different order. Tile-set comparison
+        // must collapse it; box-list equality used to let it through.
+        let params = LayoutParams {
+            bram_offset: 2,
+            ..LayoutParams::default()
+        };
+        let shapes = derive_alternatives(&spec(16, 2, 4), &params, 2, 6);
+        let base = &shapes[0];
+        let rotated = base.rotated_180().normalized();
+        assert_eq!(
+            rrf_geost::canonical_tiles(base),
+            rrf_geost::canonical_tiles(&rotated),
+            "test premise: the layout is 180-degree symmetric"
+        );
+        assert_eq!(shapes.len(), 1, "symmetric rotation emitted twice");
+    }
+
+    #[test]
+    fn workload_generation_stays_seeded_deterministic() {
+        let spec = crate::spec::WorkloadSpec {
+            modules: 8,
+            seed: 7,
+            ..crate::spec::WorkloadSpec::default()
+        };
+        let a = crate::workload::generate_workload(&spec);
+        let b = crate::workload::generate_workload(&spec);
+        assert_eq!(a.modules, b.modules);
     }
 
     #[test]

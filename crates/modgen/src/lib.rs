@@ -21,6 +21,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod alternatives;
 pub mod layout;
 pub mod spec;

@@ -25,6 +25,8 @@
 //! assert!(demand.clbs >= 1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cell;
 pub mod net;
 pub mod netlist;

@@ -14,6 +14,11 @@
 //! replayed at startup (crash recovery), and SIGINT/SIGTERM trigger a
 //! graceful shutdown that compacts the journal to a single snapshot line.
 
+// The one place in the workspace that needs `unsafe`: the FFI signal
+// registration below. Denied crate-wide so any new use must carry its own
+// scoped, justified `allow`.
+#![deny(unsafe_code)]
+
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
@@ -29,6 +34,10 @@ extern "C" fn on_signal(_signum: i32) {
 
 /// Install `on_signal` for SIGINT and SIGTERM via the libc `signal(2)`
 /// entry point (declared directly — no bindings crate needed).
+// `unsafe` is unavoidable here: calling a foreign function (and declaring
+// it) cannot be checked by the compiler. The handler it installs only
+// stores to an atomic, which is async-signal-safe.
+#[allow(unsafe_code)]
 fn install_signal_handlers() {
     const SIGINT: i32 = 2;
     const SIGTERM: i32 = 15;

@@ -45,6 +45,8 @@
 //! over it. The protocol types reuse [`rrf_flow::spec`] and
 //! [`rrf_flow::report`], so a batch job file is a valid `place` payload.
 
+#![forbid(unsafe_code)]
+
 pub mod cache;
 pub mod journal;
 pub mod protocol;

@@ -34,6 +34,10 @@ pub enum Request {
         #[serde(default)]
         deadline_ms: Option<u64>,
     },
+    /// Static analysis of a full job spec — dead/duplicate/dominated
+    /// alternatives, capacity bounds, well-formedness — with zero solving
+    /// (see `rrf-analyze`). Never consumes solver budget.
+    Analyze { id: u64, spec: FlowSpec },
     /// Open a stateful online session over a live region.
     OpenSession { id: u64, region: RegionSpec },
     /// Insert a module into a session (online first fit).
@@ -81,6 +85,7 @@ impl Request {
     pub fn id(&self) -> u64 {
         match *self {
             Request::Place { id, .. }
+            | Request::Analyze { id, .. }
             | Request::OpenSession { id, .. }
             | Request::Insert { id, .. }
             | Request::Remove { id, .. }
@@ -139,6 +144,18 @@ pub enum Response {
         cache_hit: bool,
         report: FlowReport,
         /// Wall-clock latency of this request, queue wait included.
+        elapsed_ms: u64,
+    },
+    /// Answer to [`Request::Analyze`]: every diagnostic the static
+    /// analyzer found, in its deterministic order, plus the summary
+    /// counts. `proven_infeasible` means a `place` of the same spec would
+    /// be rejected by the preflight.
+    Analysis {
+        id: u64,
+        diagnostics: Vec<rrf_analyze::Diagnostic>,
+        proven_infeasible: bool,
+        shapes_total: u64,
+        shapes_prunable: u64,
         elapsed_ms: u64,
     },
     SessionOpened {
@@ -235,6 +252,7 @@ impl Response {
     pub fn id(&self) -> u64 {
         match *self {
             Response::Placed { id, .. }
+            | Response::Analysis { id, .. }
             | Response::SessionOpened { id, .. }
             | Response::Inserted { id, .. }
             | Response::Removed { id, .. }

@@ -466,6 +466,7 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
             spec,
             deadline_ms,
         } => handle_place(shared, *id, spec, *deadline_ms, job.accepted_at),
+        Request::Analyze { id, spec } => handle_analyze(shared, *id, spec, job.accepted_at),
         Request::OpenSession { id, region } => handle_open_session(shared, *id, region),
         Request::Insert {
             id,
@@ -875,6 +876,52 @@ fn handle_insert(shared: &Arc<Shared>, id: u64, session: u64, entry: &ModuleEntr
     })
 }
 
+/// Run the static analyzer over a full job spec: zero solving, never
+/// subject to the deadline machinery, and cheap enough to skip the cache.
+fn handle_analyze(
+    shared: &Arc<Shared>,
+    id: u64,
+    spec: &FlowSpec,
+    accepted_at: Instant,
+) -> Response {
+    let region = match spec.region.build() {
+        Ok(region) => region,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: format!("region spec error: {e}"),
+            }
+        }
+    };
+    let modules: Result<Vec<_>, _> = spec.modules.iter().map(resolve_module).collect();
+    let modules = match modules {
+        Ok(modules) => modules,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: e.to_string(),
+            }
+        }
+    };
+    let started = Instant::now();
+    let analysis = rrf_analyze::analyze(&region, &modules);
+    {
+        let mut stats = shared.stats.lock();
+        stats.analyze_requests += 1;
+        // `max(1)` keeps the counter observable even when one run is
+        // faster than the clock's granularity.
+        stats.analyze_us_total += (started.elapsed().as_micros() as u64).max(1);
+    }
+    Response::Analysis {
+        id,
+        proven_infeasible: analysis.proven_infeasible,
+        shapes_total: analysis.shapes_total as u64,
+        shapes_prunable: analysis.shapes_prunable as u64,
+        diagnostics: analysis.diagnostics,
+        elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+    }
+}
+
 /// The degradation ladder (see the crate docs): optimal CP within the
 /// deadline → LNS over a greedy seed → raw greedy — always returning a
 /// verified floorplan when one exists.
@@ -946,6 +993,24 @@ fn handle_place(
             }
         }
     };
+    // Preflight: the analyzer's error-only subset. A request it rejects
+    // is *proven* unplaceable — fail fast before registering with the
+    // watchdog or spending any of the deadline on search. (Runs after
+    // the cache check, so repeated feasible requests never pay for it.)
+    let preflight_started = Instant::now();
+    let rejection = rrf_analyze::preflight(&region, &modules);
+    {
+        let mut stats = shared.stats.lock();
+        stats.analyze_us_total += (preflight_started.elapsed().as_micros() as u64).max(1);
+    }
+    if let Some(diagnostic) = rejection {
+        shared.stats.lock().preflight_rejects += 1;
+        return Response::Error {
+            id,
+            message: format!("preflight: proven infeasible: {diagnostic}"),
+        };
+    }
+
     let problem = PlacementProblem::new(region, modules);
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -966,6 +1031,9 @@ fn handle_place(
             None => solve_budget,
         });
         let outcome = cp::place(&problem, &config);
+        if outcome.stats.shapes_pruned > 0 {
+            shared.stats.lock().shapes_pruned += outcome.stats.shapes_pruned as u64;
+        }
         if let Some(plan) = outcome.plan {
             let method = if outcome.proven {
                 PlaceMethod::Optimal

@@ -18,7 +18,10 @@ pub const HISTOGRAM_BOUNDS_MS: [u64; 8] = [1, 3, 10, 30, 100, 300, 1000, 3000];
 ///   up the difference);
 /// * `online_inserts == online_accepted + online_rejected`;
 /// * the histogram counts one entry per cache-missing place request that
-///   reached the solver.
+///   reached the solver — preflight-rejected requests never reach it, so
+///   `preflight_rejects` adds nothing to the histogram;
+/// * `analyze_us_total` grows whenever the analyzer runs: on every
+///   `analyze` request and on every cache-missing `place` preflight.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
     /// Every request line received, parseable or not.
@@ -40,6 +43,20 @@ pub struct ServerStats {
     pub placed_bottom_left: u64,
     /// Place requests with no floorplan (proven or budget-exhausted).
     pub infeasible: u64,
+    /// Place requests rejected by the static-analysis preflight (proven
+    /// infeasible before any solver budget was spent).
+    #[serde(default)]
+    pub preflight_rejects: u64,
+    /// Design alternatives stripped from solver models by the static
+    /// prune (`PlacerConfig::analyze_prune`), cumulative.
+    #[serde(default)]
+    pub shapes_pruned: u64,
+    /// `analyze` protocol requests served.
+    #[serde(default)]
+    pub analyze_requests: u64,
+    /// Cumulative analyzer wall time, microseconds (preflights included).
+    #[serde(default)]
+    pub analyze_us_total: u64,
     /// Requests refused because the bounded queue was full.
     pub rejected_backpressure: u64,
     /// Unparseable request lines.
@@ -109,6 +126,10 @@ impl Default for ServerStats {
             placed_lns: 0,
             placed_bottom_left: 0,
             infeasible: 0,
+            preflight_rejects: 0,
+            shapes_pruned: 0,
+            analyze_requests: 0,
+            analyze_us_total: 0,
             rejected_backpressure: 0,
             protocol_errors: 0,
             sessions_opened: 0,

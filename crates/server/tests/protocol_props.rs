@@ -122,13 +122,17 @@ fn settings_strat() -> BoxedStrategy<PlacerSettings> {
         prop_oneof![Just(false), Just(true)],
         prop_oneof![Just(false), Just(true)],
         0usize..5,
+        prop_oneof![Just(false), Just(true)],
     )
         .prop_map(
-            |(time_limit_ms, warm_start, redundant_cumulative, workers)| PlacerSettings {
-                time_limit_ms,
-                warm_start,
-                redundant_cumulative,
-                workers,
+            |(time_limit_ms, warm_start, redundant_cumulative, workers, analyze_prune)| {
+                PlacerSettings {
+                    time_limit_ms,
+                    warm_start,
+                    redundant_cumulative,
+                    workers,
+                    analyze_prune,
+                }
             },
         )
         .boxed()
@@ -161,6 +165,7 @@ fn request_strat() -> BoxedStrategy<Request> {
                 spec,
                 deadline_ms
             }),
+        (id(), spec_strat()).prop_map(|(id, spec)| Request::Analyze { id, spec }),
         (id(), region_strat()).prop_map(|(id, region)| Request::OpenSession { id, region }),
         (id(), id(), module_entry_strat()).prop_map(|(id, session, module)| Request::Insert {
             id,
@@ -186,17 +191,25 @@ fn solve_stats_strat() -> BoxedStrategy<SolveStats> {
     (
         (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000, 0u64..100),
         0usize..10_000,
+        0usize..100,
         duration_strat(),
         duration_strat(),
     )
         .prop_map(
-            |((nodes, failures, propagations, solutions), table_rows, duration, time_to_best)| {
+            |(
+                (nodes, failures, propagations, solutions),
+                table_rows,
+                shapes_pruned,
+                duration,
+                time_to_best,
+            )| {
                 SolveStats {
                     nodes,
                     failures,
                     propagations,
                     solutions,
                     table_rows,
+                    shapes_pruned,
                     duration,
                     time_to_best,
                 }

@@ -538,3 +538,101 @@ fn full_queue_rejects_with_backpressure_and_queued_work_still_verifies() {
 
     handle.shutdown();
 }
+
+#[test]
+fn analyze_request_and_preflight_rejection() {
+    let handle = start(ServerConfig::default()).unwrap();
+    let mut client = Client::connect(handle.addr());
+
+    // A clean spec analyzes clean.
+    let clean = small_spec(vec![
+        entry("alu", vec![clb_shape(4, 2), clb_shape(2, 4)]),
+        entry("fir", vec![clb_shape(3, 2)]),
+    ]);
+    match client.roundtrip(&Request::Analyze {
+        id: 1,
+        spec: clean.clone(),
+    }) {
+        Response::Analysis {
+            id,
+            diagnostics,
+            proven_infeasible,
+            shapes_total,
+            shapes_prunable,
+            ..
+        } => {
+            assert_eq!(id, 1);
+            assert!(diagnostics.is_empty(), "{diagnostics:?}");
+            assert!(!proven_infeasible);
+            assert_eq!(shapes_total, 3);
+            assert_eq!(shapes_prunable, 0);
+        }
+        other => panic!("expected analysis, got {other:?}"),
+    }
+
+    // A module too wide for the 10x4 region is a dead module: the
+    // analyzer proves it, and the preflight rejects the place request
+    // without consuming any solver budget.
+    let doomed = small_spec(vec![
+        entry("alu", vec![clb_shape(4, 2)]),
+        entry("wide", vec![clb_shape(20, 1)]),
+    ]);
+    match client.roundtrip(&Request::Analyze {
+        id: 2,
+        spec: doomed.clone(),
+    }) {
+        Response::Analysis {
+            diagnostics,
+            proven_infeasible,
+            ..
+        } => {
+            assert!(proven_infeasible);
+            assert!(!diagnostics.is_empty());
+        }
+        other => panic!("expected analysis, got {other:?}"),
+    }
+
+    let solves_before = fetch_stats(&mut client, 3).solves();
+    match client.roundtrip(&Request::Place {
+        id: 4,
+        spec: doomed,
+        deadline_ms: Some(30_000),
+    }) {
+        Response::Error { id, message } => {
+            assert_eq!(id, 4);
+            assert!(message.contains("preflight"), "message: {message}");
+            assert!(message.contains("RRF004"), "message: {message}");
+        }
+        other => panic!("expected preflight error, got {other:?}"),
+    }
+
+    // A spec whose module carries duplicate alternatives places fine,
+    // with the duplicates stripped from the model by the solver prune.
+    let dupes = small_spec(vec![entry(
+        "twin",
+        vec![clb_shape(4, 2), clb_shape(4, 2), clb_shape(2, 4)],
+    )]);
+    match client.roundtrip(&Request::Place {
+        id: 5,
+        spec: dupes.clone(),
+        deadline_ms: None,
+    }) {
+        Response::Placed { report, .. } => {
+            assert_verified(&dupes, &report);
+            assert_eq!(report.stats.shapes_pruned, 1);
+        }
+        other => panic!("expected placed, got {other:?}"),
+    }
+
+    let stats = fetch_stats(&mut client, 6);
+    assert_eq!(stats.analyze_requests, 2);
+    assert!(stats.analyze_us_total >= 1, "analyzer wall time recorded");
+    assert_eq!(stats.preflight_rejects, 1);
+    assert_eq!(stats.shapes_pruned, 1);
+    // The rejected request never reached the solver: only the duplicate
+    // place added a histogram entry.
+    assert_eq!(stats.solves(), solves_before + 1);
+    assert_eq!(stats.infeasible, 0);
+
+    handle.shutdown();
+}

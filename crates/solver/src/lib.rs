@@ -30,6 +30,8 @@
 //! assert_eq!(out.objective, Some(5));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod constraints;
 pub mod domain;
 pub mod model;

@@ -4,6 +4,8 @@
 //! `examples/` directories as cargo targets; its library surface is a
 //! small set of helpers those targets share.
 
+#![forbid(unsafe_code)]
+
 use rrf_core::{Module, PlacementProblem};
 use rrf_fabric::Region;
 use rrf_modgen::Workload;

@@ -4,6 +4,8 @@
 //! the figure-reproduction binaries (Figures 1, 3, 4 and 5 of the paper)
 //! and handy for debugging placements interactively.
 
+#![forbid(unsafe_code)]
+
 pub mod ascii;
 pub mod svg;
 

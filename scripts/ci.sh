@@ -16,6 +16,25 @@ cargo build --release --workspace
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+echo "==> analyzer regression gate (diagnostic drift over bench workloads)"
+# rrf-analyze output is byte-deterministic, so any drift against the
+# committed expected files is a behavior change that must be reviewed
+# (and the files regenerated deliberately).
+ANALYZE=target/release/rrf-analyze
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+"$ANALYZE" --workload paper:1 --format ndjson > "$tmp/paper1_clean.ndjson" 2>/dev/null
+set +e
+"$ANALYZE" --workload paper:1 --width 24 --format ndjson > "$tmp/paper1_width24.ndjson" 2>/dev/null
+status=$?
+set -e
+if [ "$status" -ne 2 ]; then
+    echo "rrf-analyze: expected exit 2 (errors) for the overloaded workload, got $status"
+    exit 1
+fi
+diff -u tests/expected/analyze/paper1_clean.ndjson "$tmp/paper1_clean.ndjson"
+diff -u tests/expected/analyze/paper1_width24.ndjson "$tmp/paper1_width24.ndjson"
+
 echo "==> fault-tolerance e2e (inject/repair/clear, panic isolation, recovery)"
 cargo test -q -p rrf-server --test fault_e2e
 
