@@ -47,6 +47,17 @@ impl Analysis {
         }
         out
     }
+
+    /// Diagnostics per code, `(code string, count)`, sorted by code and
+    /// omitting zero counts. Stable shape for trace sinks and stats.
+    pub fn code_counts(&self) -> Vec<(&'static str, u64)> {
+        let mut counts: std::collections::BTreeMap<&'static str, u64> =
+            std::collections::BTreeMap::new();
+        for d in &self.diagnostics {
+            *counts.entry(d.code.as_str()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
 }
 
 impl fmt::Display for Analysis {
@@ -541,6 +552,25 @@ mod tests {
             let d: Diagnostic = serde_json::from_str(line).unwrap();
             assert!(first.diagnostics.contains(&d));
         }
+    }
+
+    #[test]
+    fn code_counts_aggregate_and_sort() {
+        let r = region(5, 3);
+        // "b" is entirely unplaceable (too tall twice over): RRF003 x2 +
+        // RRF004; the clean module contributes nothing.
+        let modules = vec![
+            Module::new("a", vec![clb_bar(2, 2)]),
+            Module::new("b", vec![clb_bar(1, 5), clb_bar(1, 6)]),
+        ];
+        let a = analyze(&r, &modules);
+        let counts = a.code_counts();
+        assert!(counts.iter().all(|&(_, n)| n > 0));
+        assert!(counts.windows(2).all(|w| w[0].0 < w[1].0));
+        let total: u64 = counts.iter().map(|&(_, n)| n).sum();
+        assert_eq!(total, a.diagnostics.len() as u64);
+        assert!(counts.iter().any(|&(c, n)| c == "RRF003" && n == 2));
+        assert!(counts.iter().any(|&(c, _)| c == "RRF004"));
     }
 
     #[test]

@@ -1,0 +1,94 @@
+//! `trace_workload` — run a seeded placement under tracing and dump the
+//! NDJSON stream.
+//!
+//! ```text
+//! trace_workload --workload paper:1 [--width N] [--fail-limit N]
+//!                [--out PATH] [--wall]
+//! ```
+//!
+//! By default only the **logical** stream is written (no wall-clock
+//! records), so the output is byte-deterministic for a given workload:
+//! running the same command twice yields identical files. That property
+//! is what the golden traces under `tests/expected/trace/` pin down —
+//! regenerate them with this binary after a deliberate trace-schema or
+//! search-order change:
+//!
+//! ```text
+//! cargo run --release -p rrf-bench --bin trace_workload -- \
+//!     --workload paper:1 --fail-limit 4000 \
+//!     --out tests/expected/trace/paper1_w240.ndjson
+//! ```
+//!
+//! `--wall` adds the wall-clock records back (useful for feeding the
+//! `rrf-trace` CLI's `--phases` view; not reproducible byte-for-byte).
+
+use std::io::Write;
+use std::sync::Arc;
+
+use rrf_bench::{parse_workload, run_traced, trace_problem};
+use rrf_trace::{NdjsonSink, Tracer};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_workload --workload paper:SEED|small:MODULES:SEED \
+         [--width N] [--fail-limit N] [--out PATH] [--wall]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workload = None;
+    let mut width = 240;
+    let mut fail_limit = 4_000u64;
+    let mut out: Option<String> = None;
+    let mut wall = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--workload" => workload = Some(value()),
+            "--width" => width = value().parse().unwrap_or_else(|_| usage()),
+            "--fail-limit" => fail_limit = value().parse().unwrap_or_else(|_| usage()),
+            "--out" => out = Some(value()),
+            "--wall" => wall = true,
+            _ => usage(),
+        }
+    }
+    let Some(workload) = workload else { usage() };
+    let spec = match parse_workload(&workload) {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("trace_workload: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let sink = match &out {
+        Some(path) => match NdjsonSink::create(path) {
+            Ok(sink) => sink,
+            Err(e) => {
+                eprintln!("trace_workload: cannot create {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => NdjsonSink::new(Box::new(std::io::BufWriter::new(std::io::stdout()))),
+    };
+    let sink = if wall { sink } else { sink.logical_only() };
+    let tracer = Tracer::new(Arc::new(sink));
+
+    let problem = trace_problem(&spec, width);
+    let outcome = run_traced(&problem, fail_limit, tracer.clone());
+    tracer.flush();
+
+    let mut err = std::io::stderr();
+    let _ = writeln!(
+        err,
+        "trace_workload: {} modules, placed={}, proven={}, extent={:?}, {:.3}s",
+        problem.modules.len(),
+        outcome.plan.is_some(),
+        outcome.proven,
+        outcome.extent,
+        outcome.stats.duration.as_secs_f64(),
+    );
+}

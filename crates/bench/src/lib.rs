@@ -8,7 +8,9 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod traceload;
 
 pub use experiment::{
     paper_problem, paper_region, workload_modules, ArmResult, ExperimentSetup, TableOneRow,
 };
+pub use traceload::{deterministic_config, parse_workload, run_traced, trace_problem};

@@ -1,0 +1,97 @@
+//! Seeded, deterministic trace workloads.
+//!
+//! Shared by the `trace_workload` binary (which regenerates the golden
+//! logical traces under `tests/expected/trace/`), the replay test
+//! (`tests/trace_replay.rs`), and the `trace_overhead` bench — one
+//! definition of "the workload", three consumers, so the goldens can
+//! never drift from what the tests run.
+//!
+//! Determinism contract: the placer runs the **sequential** strategy
+//! under a **failure budget** (never a clock), so the logical trace
+//! stream (`open`/`close`/`point`/`count` — no wall readings) is
+//! byte-identical across runs and machines. See DESIGN.md §10.
+
+use rrf_core::{cp, PlacementProblem, PlacerConfig, SearchStrategy};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_trace::Tracer;
+
+use crate::experiment::{workload_modules, ExperimentSetup};
+
+/// Parse a workload name: `paper:SEED` or `small:MODULES:SEED`
+/// (the same grammar as `rrf-analyze --workload`).
+pub fn parse_workload(kind: &str) -> Result<WorkloadSpec, String> {
+    let parts: Vec<&str> = kind.split(':').collect();
+    match parts.as_slice() {
+        ["paper", seed] => {
+            let seed = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+            Ok(WorkloadSpec::paper(seed))
+        }
+        ["small", modules, seed] => {
+            let modules = modules
+                .parse()
+                .map_err(|_| format!("bad module count `{modules}`"))?;
+            let seed = seed.parse().map_err(|_| format!("bad seed `{seed}`"))?;
+            Ok(WorkloadSpec::small(modules, seed))
+        }
+        _ => Err(format!(
+            "unknown workload `{kind}` (paper:SEED | small:MODULES:SEED)"
+        )),
+    }
+}
+
+/// Materialize the placement problem for a workload on the canonical
+/// column-structured region at `width`.
+pub fn trace_problem(spec: &WorkloadSpec, width: i32) -> PlacementProblem {
+    let workload = generate_workload(spec);
+    PlacementProblem::new(
+        ExperimentSetup::with_width(width).region(),
+        workload_modules(&workload),
+    )
+}
+
+/// The deterministic placer configuration for trace workloads: a
+/// failure budget instead of a wall clock, sequential search (a
+/// portfolio's cross-thread improvement races would reorder the
+/// logical stream), everything else at its defaults.
+pub fn deterministic_config(fail_limit: u64, tracer: Tracer) -> PlacerConfig {
+    PlacerConfig {
+        time_limit: None,
+        fail_limit: Some(fail_limit),
+        strategy: SearchStrategy::Sequential,
+        tracer,
+        ..PlacerConfig::default()
+    }
+}
+
+/// Run one traced placement of `problem` under `tracer`.
+pub fn run_traced(
+    problem: &PlacementProblem,
+    fail_limit: u64,
+    tracer: Tracer,
+) -> cp::PlacementOutcome {
+    cp::place(problem, &deterministic_config(fail_limit, tracer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_grammar() {
+        assert_eq!(parse_workload("paper:7").unwrap().seed, 7);
+        let small = parse_workload("small:8:3").unwrap();
+        assert_eq!(small.modules, 8);
+        assert_eq!(small.seed, 3);
+        assert!(parse_workload("paper").is_err());
+        assert!(parse_workload("small:x:1").is_err());
+        assert!(parse_workload("big:1").is_err());
+    }
+
+    #[test]
+    fn config_is_clock_free() {
+        let cfg = deterministic_config(100, Tracer::default());
+        assert!(cfg.time_limit.is_none());
+        assert_eq!(cfg.fail_limit, Some(100));
+        assert!(matches!(cfg.strategy, SearchStrategy::Sequential));
+    }
+}

@@ -42,6 +42,29 @@ impl Default for AnnealConfig {
 /// Anneal from the greedy bottom-left start. Returns `None` when even the
 /// greedy start fails (some module unplaceable).
 pub fn anneal(problem: &PlacementProblem, config: &AnnealConfig) -> Option<Floorplan> {
+    anneal_traced(problem, config, &rrf_trace::Tracer::default())
+}
+
+/// [`anneal`] with a trace destination: wraps the run in an `anneal`
+/// span and reports accept/reject counts and the final extent.
+pub fn anneal_traced(
+    problem: &PlacementProblem,
+    config: &AnnealConfig,
+    tracer: &rrf_trace::Tracer,
+) -> Option<Floorplan> {
+    let span = rrf_trace::tspan!(tracer, "anneal",
+        "iterations" => config.iterations,
+        "seed" => config.seed);
+    let result = anneal_inner(problem, config, tracer);
+    span.close();
+    result
+}
+
+fn anneal_inner(
+    problem: &PlacementProblem,
+    config: &AnnealConfig,
+    tracer: &rrf_trace::Tracer,
+) -> Option<Floorplan> {
     let start = crate::baseline::bottom_left(problem)?;
     if problem.modules.is_empty() {
         return Some(start);
@@ -70,6 +93,8 @@ pub fn anneal(problem: &PlacementProblem, config: &AnnealConfig) -> Option<Floor
     let mut best = current.clone();
     let mut best_extent = cur_extent;
     let mut temp = config.t0;
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
 
     for _ in 0..config.iterations {
         let mi = rng.gen_range(0..modules.len());
@@ -97,6 +122,7 @@ pub fn anneal(problem: &PlacementProblem, config: &AnnealConfig) -> Option<Floor
             if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-9)).exp() {
                 stamp(&mut grid, modules, &candidate, 1);
                 cur_extent = new_extent;
+                accepted += 1;
                 if cur_extent < best_extent {
                     best_extent = cur_extent;
                     best = current.clone();
@@ -104,12 +130,18 @@ pub fn anneal(problem: &PlacementProblem, config: &AnnealConfig) -> Option<Floor
             } else {
                 current[mi] = old;
                 stamp(&mut grid, modules, &old, 1);
+                rejected += 1;
             }
         } else {
             stamp(&mut grid, modules, &old, 1);
+            rejected += 1;
         }
         temp *= config.alpha;
     }
+    rrf_trace::tpoint!(tracer, "anneal.result",
+        "accepted" => accepted,
+        "rejected" => rejected,
+        "extent" => best_extent);
     Some(Floorplan::new(best))
 }
 

@@ -325,7 +325,10 @@ pub fn place_minimize_height(
 /// Place `problem` optimally (within the configured budget).
 pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutcome {
     let started = Instant::now();
+    let tracer = &config.tracer;
+    let place_span = rrf_trace::tspan!(tracer, "place", "modules" => problem.modules.len());
     if problem.modules.is_empty() {
+        place_span.close();
         return PlacementOutcome {
             plan: Some(Floorplan::new(vec![])),
             extent: Some(problem.region.bounds().x as i64),
@@ -344,7 +347,10 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
     let mut keep_maps: Option<Vec<Vec<usize>>> = None;
     let mut shrunk: Option<PlacementProblem> = None;
     if config.analyze_prune {
-        match prune_problem(problem) {
+        let prune_span = rrf_trace::tspan!(tracer, "place.prune");
+        let pruned = prune_problem(problem);
+        prune_span.close();
+        match pruned {
             Pruned::Unchanged => {}
             Pruned::Shrunk {
                 problem,
@@ -356,6 +362,10 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
                 shrunk = Some(problem);
             }
             Pruned::Infeasible { removed } => {
+                rrf_trace::tpoint!(tracer, "place.result",
+                    "found" => false, "proven" => true, "pruned_infeasible" => true,
+                    "shapes_pruned" => removed);
+                place_span.close();
                 return PlacementOutcome {
                     plan: None,
                     extent: None,
@@ -369,9 +379,17 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
             }
         }
     }
+    rrf_trace::tcount!(tracer, "place.shapes_pruned", shapes_pruned);
     let problem = shrunk.as_ref().unwrap_or(problem);
 
-    let Some(mut built) = build_model(problem, config) else {
+    let build_span = rrf_trace::tspan!(tracer, "place.build");
+    let built = build_model(problem, config);
+    build_span.close();
+    let Some(mut built) = built else {
+        rrf_trace::tpoint!(tracer, "place.result",
+            "found" => false, "proven" => true, "pruned_infeasible" => false,
+            "shapes_pruned" => shapes_pruned);
+        place_span.close();
         return PlacementOutcome {
             plan: None,
             extent: None,
@@ -383,11 +401,13 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
             },
         };
     };
+    rrf_trace::tcount!(tracer, "place.table_rows", built.table_rows);
 
     // Greedy warm start bounds the objective from above; keep the greedy
     // plan as the fallback incumbent.
     let mut warm: Option<(Floorplan, i64)> = None;
     if config.warm_start {
+        let warm_span = rrf_trace::tspan!(tracer, "place.warm_start");
         if let Some(plan) = bottom_left(problem) {
             let extent = plan.x_extent(&problem.modules, problem.region.bounds().x) as i64;
             built
@@ -395,6 +415,7 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
                 .linear(&[1], &[built.objective], LinRel::Le, extent);
             warm = Some((plan, extent));
         }
+        warm_span.close();
     }
 
     let (var_select, val_select) = match config.heuristic {
@@ -416,14 +437,17 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
         stop_after: None,
         shared_bound: None,
         stop_flag: config.stop.clone(),
+        tracer: tracer.clone(),
     };
 
+    let search_span = rrf_trace::tspan!(tracer, "place.search");
     let outcome = match config.strategy {
         SearchStrategy::Sequential => solve(built.model, search),
         SearchStrategy::Portfolio(workers) => {
             solve_portfolio(built.model, search, workers.max(1)).best
         }
     };
+    search_span.close();
 
     let mut plan = extract_plan(&outcome, &built.module_vars);
     let mut extent = outcome.objective;
@@ -450,6 +474,13 @@ pub fn place(problem: &PlacementProblem, config: &PlacerConfig) -> PlacementOutc
             p.shape = maps[p.module][p.shape];
         }
     }
+
+    rrf_trace::tpoint!(tracer, "place.result",
+        "found" => plan.is_some(),
+        "proven" => proven,
+        "extent" => extent.unwrap_or(-1),
+        "shapes_pruned" => shapes_pruned);
+    place_span.close();
 
     PlacementOutcome {
         plan,

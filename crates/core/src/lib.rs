@@ -51,7 +51,8 @@ pub mod verify;
 
 pub use cp::{place, place_minimize_height, PlacementOutcome, SolveStats};
 pub use lns::{
-    improve as lns_improve, improve_with_stop as lns_improve_with_stop, LnsConfig, LnsOutcome,
+    improve as lns_improve, improve_traced as lns_improve_traced,
+    improve_with_stop as lns_improve_with_stop, LnsConfig, LnsOutcome,
 };
 pub use metrics::{metrics, PlacementMetrics};
 pub use model::Module;

@@ -71,6 +71,22 @@ pub fn improve_with_stop(
     config: &LnsConfig,
     stop: Option<Arc<AtomicBool>>,
 ) -> LnsOutcome {
+    improve_traced(problem, start, config, stop, &rrf_trace::Tracer::default())
+}
+
+/// [`improve_with_stop`] with a trace destination. The tracer lives
+/// outside [`LnsConfig`] for the same reason the stop flag does: the
+/// config is `Copy` and serializable, the handle belongs to the call.
+pub fn improve_traced(
+    problem: &PlacementProblem,
+    start: Floorplan,
+    config: &LnsConfig,
+    stop: Option<Arc<AtomicBool>>,
+    tracer: &rrf_trace::Tracer,
+) -> LnsOutcome {
+    let lns_span = rrf_trace::tspan!(tracer, "lns",
+        "neighborhood" => config.neighborhood,
+        "seed" => config.seed);
     let deadline = Instant::now() + config.time_limit;
     let stopped = || {
         stop.as_ref()
@@ -83,6 +99,7 @@ pub fn improve_with_stop(
     let mut iterations = 0;
     let mut improvements = 0;
     if n < 2 {
+        lns_span.close();
         return LnsOutcome {
             plan: best,
             extent: best_extent,
@@ -145,6 +162,7 @@ pub fn improve_with_stop(
             stop_after: Some(1), // take the first improvement, iterate again
             shared_bound: None,
             stop_flag: stop.clone(),
+            tracer: tracer.clone(),
         };
         let outcome = solve(built.model, search);
         if let Some(plan) = extract_plan(&outcome, &built.module_vars) {
@@ -155,6 +173,11 @@ pub fn improve_with_stop(
             improvements += 1;
         }
     }
+    rrf_trace::tpoint!(tracer, "lns.result",
+        "iterations" => iterations,
+        "improvements" => improvements,
+        "extent" => best_extent);
+    lns_span.close();
     LnsOutcome {
         plan: best,
         extent: best_extent,

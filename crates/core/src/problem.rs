@@ -98,6 +98,11 @@ pub struct PlacerConfig {
     /// config read from a job file starts without a stop handle.
     #[serde(skip)]
     pub stop: Option<Arc<AtomicBool>>,
+    /// Trace destination for phase spans, ladder decisions, and solver
+    /// events (see `rrf_trace`). Not serialized — the default tracer is
+    /// disabled and costs one branch per instrumentation point.
+    #[serde(skip)]
+    pub tracer: rrf_trace::Tracer,
 }
 
 fn default_analyze_prune() -> bool {
@@ -115,6 +120,7 @@ impl Default for PlacerConfig {
             heuristic: Heuristic::InputOrderMin,
             analyze_prune: true,
             stop: None,
+            tracer: rrf_trace::Tracer::default(),
         }
     }
 }

@@ -180,6 +180,7 @@ impl PlacerSettings {
             heuristic: rrf_core::Heuristic::InputOrderMin,
             analyze_prune: self.analyze_prune,
             stop: None,
+            tracer: Default::default(),
         }
     }
 

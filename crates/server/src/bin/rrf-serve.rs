@@ -4,6 +4,7 @@
 //! rrf-serve [--addr HOST:PORT] [--workers N] [--queue N]
 //!           [--deadline-ms MS] [--cache N]
 //!           [--journal PATH] [--journal-fsync-every N]
+//!           [--trace PATH]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `rrf_server::protocol`); try it with
@@ -13,6 +14,10 @@
 //! operation is logged before it is answered, an existing journal is
 //! replayed at startup (crash recovery), and SIGINT/SIGTERM trigger a
 //! graceful shutdown that compacts the journal to a single snapshot line.
+//!
+//! With `--trace PATH`, every `place` request appends structured NDJSON
+//! trace records (spans, counters, wall timings) to PATH; render the file
+//! with the `rrf-trace` CLI (`rrf-trace --phases --props PATH`).
 
 // The one place in the workspace that needs `unsafe`: the FFI signal
 // registration below. Denied crate-wide so any new use must carry its own
@@ -54,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
          [--deadline-ms MS] [--cache N] [--journal PATH] \
-         [--journal-fsync-every N]"
+         [--journal-fsync-every N] [--trace PATH]"
     );
     std::process::exit(2);
 }
@@ -76,6 +81,7 @@ fn main() {
             }
             "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
             "--journal" => config.journal_path = Some(value()),
+            "--trace" => config.trace_path = Some(value()),
             "--journal-fsync-every" => {
                 config.journal_fsync_every = value().parse().unwrap_or_else(|_| usage())
             }

@@ -39,7 +39,14 @@
 //! * **Panic isolation.** A panicking handler costs one response (an
 //!   internal error), never a worker: the pool catches unwinds and keeps
 //!   serving.
-//! * **Stats.** Counters plus a solve-time histogram ([`stats`]).
+//! * **Stats.** Counters plus a solve-time histogram ([`stats`]), and a
+//!   `stats_detail` request exposing per-phase latency histograms of the
+//!   place pipeline, degradation-ladder outcomes, and analyzer
+//!   diagnostic counts.
+//! * **Tracing.** With a `trace_path` (`rrf-serve --trace PATH`), every
+//!   `place` request emits a `solve` span whose `solve.*` phase spans
+//!   tile its wall time exactly, with the solver's own `place`/`search`
+//!   spans nested inside; render the file with the `rrf-trace` CLI.
 //!
 //! Start a daemon with [`start`]; the `rrf-serve` binary is a thin CLI
 //! over it. The protocol types reuse [`rrf_flow::spec`] and
@@ -56,4 +63,4 @@ pub mod stats;
 pub use journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
 pub use protocol::{PlaceMethod, Request, Response, SlotState};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use stats::{ServerStats, HISTOGRAM_BOUNDS_MS};
+pub use stats::{DetailStats, LadderStats, ServerStats, StageStats, HISTOGRAM_BOUNDS_MS};

@@ -18,7 +18,7 @@ use rrf_fabric::Fault;
 use rrf_flow::{FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
 use serde::{Deserialize, Serialize};
 
-use crate::stats::ServerStats;
+use crate::stats::{DetailStats, ServerStats};
 
 /// A client request. On the wire: `{"type": "place", "id": 1, ...}`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +76,10 @@ pub enum Request {
     DebugPanic { id: u64 },
     /// Fetch the daemon's counters and latency summary.
     Stats { id: u64 },
+    /// Fetch the place pipeline's per-phase latency histograms, ladder
+    /// outcomes, and analyzer diagnostic counts (see
+    /// [`crate::stats::DetailStats`]).
+    StatsDetail { id: u64 },
     /// Liveness check.
     Ping { id: u64 },
 }
@@ -97,6 +101,7 @@ impl Request {
             | Request::DumpSession { id, .. }
             | Request::DebugPanic { id }
             | Request::Stats { id }
+            | Request::StatsDetail { id }
             | Request::Ping { id } => id,
         }
     }
@@ -234,6 +239,11 @@ pub enum Response {
         id: u64,
         stats: ServerStats,
     },
+    /// Answer to [`Request::StatsDetail`].
+    StatsDetail {
+        id: u64,
+        detail: DetailStats,
+    },
     Pong {
         id: u64,
     },
@@ -263,6 +273,7 @@ impl Response {
             | Response::Repaired { id, .. }
             | Response::SessionState { id, .. }
             | Response::Stats { id, .. }
+            | Response::StatsDetail { id, .. }
             | Response::Pong { id }
             | Response::Error { id, .. } => id,
         }
@@ -307,6 +318,21 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn stats_detail_wire_format() {
+        let req = Request::StatsDetail { id: 12 };
+        let json = serde_json::to_string(&req).unwrap();
+        assert_eq!(json, r#"{"type":"stats_detail","id":12}"#);
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        let resp = Response::StatsDetail {
+            id: 12,
+            detail: DetailStats::default(),
+        };
+        assert_eq!(resp.id(), 12);
+        let json = serde_json::to_string(&resp).unwrap();
+        assert!(json.starts_with(r#"{"type":"stats_detail","id":12"#));
     }
 
     #[test]

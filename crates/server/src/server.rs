@@ -23,7 +23,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{self, Receiver, RecvTimeoutError, Sender, TrySendError};
 use parking_lot::Mutex;
 use rrf_core::{
-    baseline, cp, lns_improve_with_stop, metrics, verify, Floorplan, FrameCostModel, LnsConfig,
+    baseline, cp, lns_improve_traced, metrics, verify, Floorplan, FrameCostModel, LnsConfig,
     OnlinePlacer, PlacementProblem, SolveStats,
 };
 use rrf_fabric::Region;
@@ -32,7 +32,7 @@ use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleRe
 use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
 use crate::journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
 use crate::protocol::{PlaceMethod, Request, Response, SlotState};
-use crate::stats::ServerStats;
+use crate::stats::{DetailCollector, ServerStats};
 
 /// Below this remaining budget the CP attempt is skipped entirely and the
 /// ladder starts at the greedy seed.
@@ -62,6 +62,11 @@ pub struct ServerConfig {
     /// fsync the journal after every N appended records (1 = every
     /// record; larger batches trade the log's tail for throughput).
     pub journal_fsync_every: u64,
+    /// Trace output path (NDJSON, see `rrf-trace`). `None` disables
+    /// tracing; with a path, every `place` request emits a `solve` span
+    /// whose `solve.*` phase spans tile its wall time exactly, plus the
+    /// solver's own `place`/`search` spans nested within.
+    pub trace_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +79,7 @@ impl Default for ServerConfig {
             cache_capacity: 256,
             journal_path: None,
             journal_fsync_every: 1,
+            trace_path: None,
         }
     }
 }
@@ -193,6 +199,10 @@ struct Shared {
     /// Live worker-thread gauge; stays at the configured pool size even
     /// across caught handler panics.
     workers_alive: AtomicU64,
+    /// Trace destination; disabled (free) unless `trace_path` is set.
+    tracer: rrf_trace::Tracer,
+    /// Per-phase latency aggregation behind the `stats_detail` request.
+    detail: Mutex<DetailCollector>,
 }
 
 /// One queued request and the channel its response goes back on.
@@ -231,6 +241,7 @@ impl ServerHandle {
         // change any more; compact the journal down to one snapshot line
         // so the next start replays in O(sessions) instead of O(history).
         compact_journal(&self.shared);
+        self.shared.tracer.flush();
     }
 }
 
@@ -267,6 +278,11 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         )?));
     }
 
+    let tracer = match &config.trace_path {
+        Some(path) => rrf_trace::Tracer::new(Arc::new(rrf_trace::NdjsonSink::create(path)?)),
+        None => rrf_trace::Tracer::default(),
+    };
+
     let cache_capacity = config.cache_capacity;
     let shared = Arc::new(Shared {
         config,
@@ -278,6 +294,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         shutdown: AtomicBool::new(false),
         journal,
         workers_alive: AtomicU64::new(0),
+        tracer,
+        detail: Mutex::new(DetailCollector::default()),
     });
 
     let (jobs_tx, jobs_rx) = channel::bounded::<Job>(shared.config.queue_depth.max(1));
@@ -620,6 +638,10 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
             stats.workers_alive = shared.workers_alive.load(Ordering::SeqCst);
             Response::Stats { id: *id, stats }
         }
+        Request::StatsDetail { id } => Response::StatsDetail {
+            id: *id,
+            detail: shared.detail.lock().snapshot(),
+        },
         Request::Ping { id } => Response::Pong { id: *id },
     }
 }
@@ -912,6 +934,12 @@ fn handle_analyze(
         // faster than the clock's granularity.
         stats.analyze_us_total += (started.elapsed().as_micros() as u64).max(1);
     }
+    {
+        let mut detail = shared.detail.lock();
+        for d in &analysis.diagnostics {
+            detail.record_diagnostic_code(d.code.as_str());
+        }
+    }
     Response::Analysis {
         id,
         proven_infeasible: analysis.proven_infeasible,
@@ -920,6 +948,85 @@ fn handle_analyze(
         diagnostics: analysis.diagnostics,
         elapsed_ms: accepted_at.elapsed().as_millis() as u64,
     }
+}
+
+/// Phase timing of one `place` request. Laps are measured between
+/// consecutive `lap` calls; `finish` appends an `other` phase holding the
+/// untimed remainder, so the reported phases tile the end-to-end total
+/// *exactly* — the trace's `solve.*` wall records and the `stats_detail`
+/// phase sums agree with the `solve` total to the microsecond by
+/// construction.
+struct PhaseClock {
+    accepted_at: Instant,
+    mark: Instant,
+    phases: Vec<(&'static str, u64)>,
+}
+
+impl PhaseClock {
+    fn start(accepted_at: Instant) -> PhaseClock {
+        let now = Instant::now();
+        PhaseClock {
+            accepted_at,
+            mark: now,
+            phases: vec![(
+                "solve.queue_wait",
+                now.duration_since(accepted_at).as_micros() as u64,
+            )],
+        }
+    }
+
+    fn lap(&mut self, name: &'static str) {
+        let now = Instant::now();
+        self.phases
+            .push((name, now.duration_since(self.mark).as_micros() as u64));
+        self.mark = now;
+    }
+
+    fn finish(mut self) -> (Vec<(&'static str, u64)>, u64) {
+        // Each lap truncates down, so the spent sum never exceeds the
+        // elapsed total; `other` absorbs the difference.
+        let total = self.accepted_at.elapsed().as_micros() as u64;
+        let spent: u64 = self.phases.iter().map(|(_, us)| us).sum();
+        self.phases
+            .push(("solve.other", total.saturating_sub(spent)));
+        let total = self.phases.iter().map(|(_, us)| us).sum();
+        (self.phases, total)
+    }
+}
+
+/// The snake_case rung name, as carried by the trace's `solve.result`
+/// point (matches [`PlaceMethod`]'s wire encoding).
+fn method_name(method: PlaceMethod) -> &'static str {
+    match method {
+        PlaceMethod::Optimal => "optimal",
+        PlaceMethod::CpIncumbent => "cp_incumbent",
+        PlaceMethod::Lns => "lns",
+        PlaceMethod::BottomLeft => "bottom_left",
+        PlaceMethod::Infeasible => "infeasible",
+    }
+}
+
+/// Close out one `place` request's observability: emit the request's
+/// `solve` span (its `solve.*` phase spans tiling the total) into the
+/// trace stream, and fold the same microsecond values into the
+/// `stats_detail` collector — one measurement, two destinations.
+fn finish_place_trace(shared: &Shared, id: u64, clock: PhaseClock, method: &'static str) {
+    let (phases, total) = clock.finish();
+    if shared.tracer.enabled() {
+        let root = rrf_trace::tspan!(shared.tracer, "solve", "req" => id);
+        for &(name, us) in &phases {
+            shared.tracer.span(name, &[]).close_with_us(us);
+        }
+        rrf_trace::tpoint!(shared.tracer, "solve.result",
+            "req" => id,
+            "method" => method);
+        root.close_with_us(total);
+    }
+    let mut detail = shared.detail.lock();
+    for &(name, us) in &phases {
+        detail.record_phase(name, us);
+    }
+    detail.record_total(total);
 }
 
 /// The degradation ladder (see the crate docs): optimal CP within the
@@ -933,6 +1040,7 @@ fn handle_place(
     accepted_at: Instant,
 ) -> Response {
     shared.stats.lock().place_requests += 1;
+    let mut clock = PhaseClock::start(accepted_at);
     let deadline = accepted_at
         + Duration::from_millis(deadline_ms.unwrap_or(shared.config.default_deadline_ms));
     let (canonical, map) = canonicalize(spec);
@@ -956,8 +1064,10 @@ fn handle_place(
             None => None,
         }
     };
+    clock.lap("solve.cache_probe");
     if let Some(entry) = served {
         shared.stats.lock().cache_hits += 1;
+        finish_place_trace(shared, id, clock, "cache_hit");
         return Response::Placed {
             id,
             method: entry.method,
@@ -1003,8 +1113,14 @@ fn handle_place(
         let mut stats = shared.stats.lock();
         stats.analyze_us_total += (preflight_started.elapsed().as_micros() as u64).max(1);
     }
+    clock.lap("solve.preflight");
     if let Some(diagnostic) = rejection {
         shared.stats.lock().preflight_rejects += 1;
+        shared
+            .detail
+            .lock()
+            .record_diagnostic_code(diagnostic.code.as_str());
+        finish_place_trace(shared, id, clock, "preflight_reject");
         return Response::Error {
             id,
             message: format!("preflight: proven infeasible: {diagnostic}"),
@@ -1026,11 +1142,13 @@ fn handle_place(
     let mut proven_infeasible = false;
     if solve_budget >= TIGHT_BUDGET {
         let mut config = canonical.placer.to_config_with_stop(Arc::clone(&stop));
+        config.tracer = shared.tracer.clone();
         config.time_limit = Some(match config.time_limit {
             Some(limit) => limit.min(solve_budget),
             None => solve_budget,
         });
         let outcome = cp::place(&problem, &config);
+        clock.lap("solve.cp");
         if outcome.stats.shapes_pruned > 0 {
             shared.stats.lock().shapes_pruned += outcome.stats.shapes_pruned as u64;
         }
@@ -1044,6 +1162,8 @@ fn handle_place(
         } else {
             proven_infeasible = outcome.proven;
         }
+    } else {
+        shared.detail.lock().record_cp_skipped();
     }
 
     // Rungs 2 and 3: greedy seed, LNS-polished if time remains.
@@ -1051,7 +1171,7 @@ fn handle_place(
         if let Some(seed) = baseline::bottom_left(&problem) {
             let rest = deadline.saturating_duration_since(Instant::now());
             if rest >= LNS_WORTHWHILE {
-                let improved = lns_improve_with_stop(
+                let improved = lns_improve_traced(
                     &problem,
                     seed,
                     &LnsConfig {
@@ -1059,7 +1179,9 @@ fn handle_place(
                         ..LnsConfig::default()
                     },
                     Some(Arc::clone(&stop)),
+                    &shared.tracer,
                 );
+                clock.lap("solve.lns");
                 picked = Some((
                     improved.plan,
                     PlaceMethod::Lns,
@@ -1067,6 +1189,7 @@ fn handle_place(
                     SolveStats::default(),
                 ));
             } else {
+                clock.lap("solve.bottom_left");
                 picked = Some((seed, PlaceMethod::BottomLeft, false, SolveStats::default()));
             }
         }
@@ -1094,6 +1217,8 @@ fn handle_place(
                 budget: solve_budget,
             },
         );
+        shared.detail.lock().record_method(PlaceMethod::Infeasible);
+        finish_place_trace(shared, id, clock, "infeasible");
         return Response::Placed {
             id,
             method: PlaceMethod::Infeasible,
@@ -1105,6 +1230,7 @@ fn handle_place(
 
     // The contract: every returned floorplan is independently verified.
     let violations = verify::verify(&problem.region, &problem.modules, &plan);
+    clock.lap("solve.verify");
     if !violations.is_empty() {
         return Response::Error {
             id,
@@ -1152,6 +1278,8 @@ fn handle_place(
             budget: solve_budget,
         },
     );
+    shared.detail.lock().record_method(method);
+    finish_place_trace(shared, id, clock, method_name(method));
     Response::Placed {
         id,
         method,

@@ -1,7 +1,13 @@
 //! Daemon counters and the solve-time histogram, snapshotted by the
-//! `stats` request.
+//! `stats` request — plus the per-phase latency detail behind the
+//! `stats_detail` request.
 
+use std::collections::BTreeMap;
+
+use rrf_trace::{Histogram, WALL_US_BOUNDS};
 use serde::{Deserialize, Serialize};
+
+use crate::protocol::PlaceMethod;
 
 /// Upper bucket bounds (exclusive) of the solve-time histogram, in
 /// milliseconds; a final unbounded bucket catches everything slower, so
@@ -157,12 +163,13 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
-    /// Count one solve of the given duration into the histogram.
+    /// Count one solve of the given duration into the histogram. The
+    /// bucketing delegates to the shared [`rrf_trace::Histogram`] rule,
+    /// which has the same semantics the inline code here used to: first
+    /// bucket with `ms < bound`, else the unbounded overflow bucket — so
+    /// the `stats` wire format is unchanged.
     pub fn record_solve_ms(&mut self, ms: u64) {
-        let bucket = HISTOGRAM_BOUNDS_MS
-            .iter()
-            .position(|&bound| ms < bound)
-            .unwrap_or(HISTOGRAM_BOUNDS_MS.len());
+        let bucket = Histogram::bucket_index(&HISTOGRAM_BOUNDS_MS, ms);
         self.solve_ms_histogram[bucket] += 1;
     }
 
@@ -174,6 +181,136 @@ impl ServerStats {
     /// Total solves recorded in the histogram.
     pub fn solves(&self) -> u64 {
         self.solve_ms_histogram.iter().sum()
+    }
+}
+
+/// One pipeline stage's latency summary in a `stats_detail` reply, in
+/// microseconds. `buckets` are counts over [`rrf_trace::WALL_US_BOUNDS`]
+/// plus one unbounded overflow bucket; the quantiles are the histogram's
+/// bracketing estimates (upper bounds, capped at `max_us`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+    pub p50_us: u64,
+    pub p99_us: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl StageStats {
+    fn from_histogram(h: &Histogram) -> StageStats {
+        StageStats {
+            count: h.count(),
+            total_us: h.sum(),
+            max_us: h.max(),
+            p50_us: h.quantile(0.5).unwrap_or(0),
+            p99_us: h.quantile(0.99).unwrap_or(0),
+            buckets: h.counts().to_vec(),
+        }
+    }
+}
+
+/// How often each rung of the degradation ladder answered a
+/// cache-missing `place` request.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LadderStats {
+    pub optimal: u64,
+    pub cp_incumbent: u64,
+    pub lns: u64,
+    pub bottom_left: u64,
+    pub infeasible: u64,
+    /// Requests whose remaining budget was already below the CP
+    /// threshold, so rung 1 (exact search) was skipped outright.
+    pub cp_skipped_tight_budget: u64,
+}
+
+/// The `stats_detail` reply: per-phase latency histograms of the place
+/// pipeline, ladder outcomes, and analyzer diagnostic counts.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct DetailStats {
+    /// Per-phase latency summaries (µs), keyed by the same phase names
+    /// the trace stream uses for its `solve.*` wall spans (minus the
+    /// `solve.` prefix): `queue_wait`, `cache_probe`, `preflight`, `cp`,
+    /// `lns`, `bottom_left`, `verify`, `other`.
+    pub phases: BTreeMap<String, StageStats>,
+    /// End-to-end `place` handling (µs). The phases tile this exactly:
+    /// `sum(phases[*].total_us) == total.total_us`.
+    pub total: StageStats,
+    pub ladder: LadderStats,
+    /// Analyzer diagnostics observed, by code — `analyze` requests and
+    /// cache-missing `place` preflights both count.
+    pub diagnostics_by_code: BTreeMap<String, u64>,
+}
+
+/// Internal aggregation behind [`DetailStats`]; lives in the daemon's
+/// shared state under its own lock and is snapshotted per request.
+#[derive(Default)]
+pub struct DetailCollector {
+    phases: BTreeMap<&'static str, Histogram>,
+    total: Option<Histogram>,
+    ladder: LadderStats,
+    diagnostics_by_code: BTreeMap<String, u64>,
+}
+
+impl DetailCollector {
+    /// Record one phase of one `place` request. `phase` may carry the
+    /// trace stream's `solve.` span prefix; it is stripped for the key.
+    pub fn record_phase(&mut self, phase: &'static str, us: u64) {
+        let key = phase.strip_prefix("solve.").unwrap_or(phase);
+        self.phases
+            .entry(key)
+            .or_insert_with(|| Histogram::new(WALL_US_BOUNDS))
+            .record(us);
+    }
+
+    /// Record one request's end-to-end handling time.
+    pub fn record_total(&mut self, us: u64) {
+        self.total
+            .get_or_insert_with(|| Histogram::new(WALL_US_BOUNDS))
+            .record(us);
+    }
+
+    /// Record which ladder rung produced the answer.
+    pub fn record_method(&mut self, method: PlaceMethod) {
+        match method {
+            PlaceMethod::Optimal => self.ladder.optimal += 1,
+            PlaceMethod::CpIncumbent => self.ladder.cp_incumbent += 1,
+            PlaceMethod::Lns => self.ladder.lns += 1,
+            PlaceMethod::BottomLeft => self.ladder.bottom_left += 1,
+            PlaceMethod::Infeasible => self.ladder.infeasible += 1,
+        }
+    }
+
+    /// Record that the CP rung was skipped for lack of budget.
+    pub fn record_cp_skipped(&mut self) {
+        self.ladder.cp_skipped_tight_budget += 1;
+    }
+
+    /// Count one analyzer diagnostic by its code.
+    pub fn record_diagnostic_code(&mut self, code: &str) {
+        *self
+            .diagnostics_by_code
+            .entry(code.to_string())
+            .or_insert(0) += 1;
+    }
+
+    /// Snapshot into the serializable reply shape.
+    pub fn snapshot(&self) -> DetailStats {
+        DetailStats {
+            phases: self
+                .phases
+                .iter()
+                .map(|(k, h)| ((*k).to_string(), StageStats::from_histogram(h)))
+                .collect(),
+            total: self
+                .total
+                .as_ref()
+                .map(StageStats::from_histogram)
+                .unwrap_or_default(),
+            ladder: self.ladder,
+            diagnostics_by_code: self.diagnostics_by_code.clone(),
+        }
     }
 }
 
@@ -194,6 +331,62 @@ mod tests {
         assert_eq!(s.solve_ms_histogram[7], 1);
         assert_eq!(s.solve_ms_histogram[8], 2);
         assert_eq!(s.solves(), 5);
+    }
+
+    /// The migration guard: bucketing via the shared histogram type must
+    /// reproduce the old inline `position(|&bound| ms < bound)` logic for
+    /// every boundary, so the `stats` reply's `solve_ms_histogram` wire
+    /// format is bit-compatible with pre-migration daemons.
+    #[test]
+    fn histogram_migration_is_backward_compatible() {
+        let old_bucket = |ms: u64| {
+            HISTOGRAM_BOUNDS_MS
+                .iter()
+                .position(|&bound| ms < bound)
+                .unwrap_or(HISTOGRAM_BOUNDS_MS.len())
+        };
+        let mut samples = vec![0, u64::MAX];
+        for &bound in &HISTOGRAM_BOUNDS_MS {
+            samples.extend([bound - 1, bound, bound + 1]);
+        }
+        for ms in samples {
+            let mut s = ServerStats::default();
+            s.record_solve_ms(ms);
+            let mut expected = vec![0u64; HISTOGRAM_BOUNDS_MS.len() + 1];
+            expected[old_bucket(ms)] = 1;
+            assert_eq!(s.solve_ms_histogram, expected, "ms={ms}");
+        }
+    }
+
+    #[test]
+    fn detail_collector_snapshot() {
+        let mut c = DetailCollector::default();
+        c.record_phase("solve.queue_wait", 50);
+        c.record_phase("solve.queue_wait", 150);
+        c.record_phase("cp", 5_000);
+        c.record_total(5_200);
+        c.record_method(PlaceMethod::Optimal);
+        c.record_method(PlaceMethod::BottomLeft);
+        c.record_cp_skipped();
+        c.record_diagnostic_code("RRF003");
+        c.record_diagnostic_code("RRF003");
+        let d = c.snapshot();
+        let qw = &d.phases["queue_wait"]; // prefix stripped
+        assert_eq!(qw.count, 2);
+        assert_eq!(qw.total_us, 200);
+        assert_eq!(qw.max_us, 150);
+        assert!(qw.p50_us >= 50 && qw.p50_us <= 150);
+        assert_eq!(d.phases["cp"].count, 1);
+        assert_eq!(d.total.count, 1);
+        assert_eq!(d.total.total_us, 5_200);
+        assert_eq!(d.ladder.optimal, 1);
+        assert_eq!(d.ladder.bottom_left, 1);
+        assert_eq!(d.ladder.cp_skipped_tight_budget, 1);
+        assert_eq!(d.diagnostics_by_code["RRF003"], 2);
+        // The reply roundtrips on the wire.
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DetailStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
     }
 
     #[test]

@@ -11,12 +11,18 @@
 use crate::domain::Domain;
 use crate::propagator::Propagator;
 use crate::space::{Conflict, Space, VarId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// `(x₁, …, xₖ) ∈ rows`. Rows with arity differing from `vars` are a
 /// construction error.
 pub struct Table {
     vars: Vec<VarId>,
     rows: Vec<Vec<i32>>,
+    /// Lifetime count of rows examined by `propagate`. Propagators are
+    /// immutable after posting (shared across portfolio threads), so
+    /// this is the one piece of mutable state — a relaxed counter read
+    /// back through [`Propagator::scanned`].
+    rows_scanned: AtomicU64,
 }
 
 impl Table {
@@ -25,7 +31,11 @@ impl Table {
         for row in &rows {
             assert_eq!(row.len(), vars.len(), "table row arity mismatch");
         }
-        Table { vars, rows }
+        Table {
+            vars,
+            rows,
+            rows_scanned: AtomicU64::new(0),
+        }
     }
 
     /// Number of allowed rows.
@@ -37,6 +47,8 @@ impl Table {
 impl Propagator for Table {
     fn propagate(&self, space: &mut Space) -> Result<(), Conflict> {
         let arity = self.vars.len();
+        self.rows_scanned
+            .fetch_add(self.rows.len() as u64, Ordering::Relaxed);
         // Collect the values supported by at least one live row, per column.
         let mut supported: Vec<Vec<i32>> = vec![Vec::new(); arity];
         let mut any_live = false;
@@ -67,6 +79,10 @@ impl Propagator for Table {
 
     fn name(&self) -> &'static str {
         "table"
+    }
+
+    fn scanned(&self) -> u64 {
+        self.rows_scanned.load(Ordering::Relaxed)
     }
 }
 
@@ -132,6 +148,17 @@ mod tests {
         run(&mut space, Table::new(v.clone(), rows)).unwrap();
         assert_eq!(space.domain(v[0]).iter().collect::<Vec<_>>(), vec![1, 7]);
         assert_eq!(space.domain(v[1]).iter().collect::<Vec<_>>(), vec![2, 5]);
+    }
+
+    #[test]
+    fn rows_scanned_counts_every_pass() {
+        let (mut space, v) = space_with(&[(0, 5), (0, 5)]);
+        let table = Table::new(v, vec![vec![0, 1], vec![2, 3], vec![4, 1]]);
+        assert_eq!(table.scanned(), 0);
+        table.propagate(&mut space).unwrap();
+        assert_eq!(table.scanned(), 3);
+        table.propagate(&mut space).unwrap();
+        assert_eq!(table.scanned(), 6);
     }
 
     #[test]

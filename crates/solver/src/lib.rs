@@ -43,7 +43,7 @@ pub mod space;
 pub use domain::{Domain, DomainEvent};
 pub use model::Model;
 pub use portfolio::{solve_portfolio, PortfolioOutcome};
-pub use propagator::{Engine, PropagationStats, Propagator};
+pub use propagator::{Engine, PropKindStats, PropagationStats, Propagator};
 pub use search::{
     solve, Limits, Objective, SearchConfig, SearchOutcome, SearchStats, Solution, ValSelect,
     VarSelect,

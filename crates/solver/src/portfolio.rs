@@ -102,6 +102,11 @@ pub fn solve_portfolio(model: Model, base: SearchConfig, workers: usize) -> Port
             winner = i;
         }
     }
+    rrf_trace::tpoint!(base.tracer, "portfolio",
+        "workers" => workers,
+        "winner" => winner,
+        "winner_complete" => workers_outcomes[winner].complete,
+        "winner_nodes" => workers_outcomes[winner].stats.nodes);
     PortfolioOutcome {
         best: workers_outcomes[winner].clone(),
         winner,

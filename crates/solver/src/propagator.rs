@@ -26,6 +26,14 @@ pub trait Propagator: Send + Sync {
     fn name(&self) -> &'static str {
         "propagator"
     }
+
+    /// Internal work units scanned so far (e.g. anchor-table rows for
+    /// [`crate::constraints::Table`]). Propagators are immutable after
+    /// posting, so implementations that track this use a relaxed atomic.
+    /// Default: no notion of scanning.
+    fn scanned(&self) -> u64 {
+        0
+    }
 }
 
 /// Index of a propagator within an [`Engine`].
@@ -41,6 +49,22 @@ pub struct PropagationStats {
     pub fixpoints: u64,
     /// Conflicts observed during propagation.
     pub conflicts: u64,
+}
+
+/// Aggregated per-constraint-kind counters (grouped by
+/// [`Propagator::name`]), for the trace's top-propagator table.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropKindStats {
+    /// Propagator kind ([`Propagator::name`]).
+    pub kind: &'static str,
+    /// Posted propagators of this kind.
+    pub posted: u64,
+    /// Executions across all propagators of this kind.
+    pub executions: u64,
+    /// Conflicts raised by this kind.
+    pub conflicts: u64,
+    /// Work units scanned by this kind ([`Propagator::scanned`]).
+    pub scanned: u64,
 }
 
 /// The propagation engine: owns the propagators, their subscription lists,
@@ -60,6 +84,10 @@ pub struct Engine {
     /// Scratch: drained change log.
     touched: Vec<(VarId, DomainEvent)>,
     pub stats: PropagationStats,
+    /// Per-propagator execution counts, indexed like `props`.
+    executions_by_prop: Vec<u64>,
+    /// Per-propagator conflict counts, indexed like `props`.
+    conflicts_by_prop: Vec<u64>,
 }
 
 impl Engine {
@@ -71,6 +99,8 @@ impl Engine {
             queued: Vec::new(),
             touched: Vec::new(),
             stats: PropagationStats::default(),
+            executions_by_prop: Vec::new(),
+            conflicts_by_prop: Vec::new(),
         }
     }
 
@@ -112,7 +142,25 @@ impl Engine {
         }
         self.props.push(p);
         self.queued.push(false);
+        self.executions_by_prop.push(0);
+        self.conflicts_by_prop.push(0);
         id
+    }
+
+    /// Per-kind counters, aggregated by [`Propagator::name`] and sorted
+    /// by kind name (deterministic).
+    pub fn kind_stats(&self) -> Vec<PropKindStats> {
+        let mut by_kind: std::collections::BTreeMap<&'static str, PropKindStats> =
+            std::collections::BTreeMap::new();
+        for (i, p) in self.props.iter().enumerate() {
+            let entry = by_kind.entry(p.name()).or_default();
+            entry.kind = p.name();
+            entry.posted += 1;
+            entry.executions += self.executions_by_prop[i];
+            entry.conflicts += self.conflicts_by_prop[i];
+            entry.scanned += p.scanned();
+        }
+        by_kind.into_values().collect()
     }
 
     fn schedule(&mut self, id: PropId) {
@@ -153,11 +201,13 @@ impl Engine {
         while let Some(id) = self.queue.pop_front() {
             self.queued[id.0 as usize] = false;
             self.stats.executions += 1;
+            self.executions_by_prop[id.0 as usize] += 1;
             let prop = Arc::clone(&self.props[id.0 as usize]);
             match prop.propagate(space) {
                 Ok(()) => self.absorb_touched(space),
                 Err(Conflict) => {
                     self.stats.conflicts += 1;
+                    self.conflicts_by_prop[id.0 as usize] += 1;
                     self.queue.clear();
                     self.queued.iter_mut().for_each(|q| *q = false);
                     space.drain_touched(&mut self.touched);
@@ -277,6 +327,25 @@ mod tests {
         engine.schedule_all();
         engine.propagate(&mut space).unwrap();
         assert_eq!(space.max(x), 4);
+    }
+
+    #[test]
+    fn kind_stats_aggregate_by_name() {
+        let mut space = Space::new();
+        let x = space.new_var(Domain::interval(0, 5));
+        let y = space.new_var(Domain::interval(0, 5));
+        let mut engine = Engine::new(2);
+        engine.post(Less { x, y });
+        engine.post(Less { x: y, y: x });
+        engine.schedule_all();
+        assert_eq!(engine.propagate(&mut space), Err(Conflict));
+        let kinds = engine.kind_stats();
+        assert_eq!(kinds.len(), 1);
+        assert_eq!(kinds[0].kind, "less");
+        assert_eq!(kinds[0].posted, 2);
+        assert_eq!(kinds[0].executions, engine.stats.executions);
+        assert_eq!(kinds[0].conflicts, 1);
+        assert_eq!(kinds[0].scanned, 0);
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::model::Model;
 use crate::propagator::Engine;
 use crate::space::{Space, VarId};
+use rrf_trace::{tcount, thot, tpoint, Tracer};
 use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +71,9 @@ pub struct SearchConfig {
     /// Cooperative cancellation: when set to `true` (by another worker or a
     /// caller), the search unwinds as if a limit were hit.
     pub stop_flag: Option<Arc<AtomicBool>>,
+    /// Trace destination. The default (disabled) tracer costs one branch
+    /// per instrumentation point; see `rrf_trace` for the event schema.
+    pub tracer: Tracer,
 }
 
 impl Default for SearchConfig {
@@ -83,6 +87,7 @@ impl Default for SearchConfig {
             stop_after: None,
             shared_bound: None,
             stop_flag: None,
+            tracer: Tracer::default(),
         }
     }
 }
@@ -288,6 +293,10 @@ impl Ctx {
             Some(v) => v,
         };
         self.stats.nodes += 1;
+        thot!(self.config.tracer, "node",
+            "depth" => depth,
+            "nodes" => self.stats.nodes,
+            "failures" => self.stats.failures);
 
         match self.config.val_select {
             ValSelect::Min | ValSelect::Max => {
@@ -336,6 +345,9 @@ pub fn solve(model: Model, config: SearchConfig) -> SearchOutcome {
 /// portfolio, where threads share the propagator set but own their engine.
 pub(crate) fn solve_with(space: Space, mut engine: Engine, config: SearchConfig) -> SearchOutcome {
     engine.schedule_all();
+    let span = rrf_trace::tspan!(config.tracer, "search",
+        "vars" => space.num_vars(),
+        "props" => engine.num_propagators());
     let mut ctx = Ctx {
         engine,
         config,
@@ -361,10 +373,38 @@ pub(crate) fn solve_with(space: Space, mut engine: Engine, config: SearchConfig)
         .config
         .stop_after
         .is_some_and(|stop| stats.solutions >= stop);
+    let complete = !ctx.aborted && !stopped_by_request;
+    let tracer = &ctx.config.tracer;
+    if tracer.enabled() {
+        // Counters first (cheap aggregation), then one summary point and
+        // one point per propagator kind — all logical-stream records, so
+        // a fail-limited sequential search traces deterministically.
+        tcount!(tracer, "search.nodes", stats.nodes);
+        tcount!(tracer, "search.backtracks", stats.failures);
+        tcount!(tracer, "search.solutions", stats.solutions);
+        tpoint!(tracer, "search",
+            "nodes" => stats.nodes,
+            "failures" => stats.failures,
+            "solutions" => stats.solutions,
+            "max_depth" => stats.max_depth,
+            "propagations" => ctx.engine.stats.executions,
+            "fixpoints" => ctx.engine.stats.fixpoints,
+            "conflicts" => ctx.engine.stats.conflicts,
+            "complete" => complete);
+        for kind in ctx.engine.kind_stats() {
+            tpoint!(tracer, "prop",
+                "kind" => kind.kind,
+                "posted" => kind.posted,
+                "execs" => kind.executions,
+                "conflicts" => kind.conflicts,
+                "scanned" => kind.scanned);
+        }
+    }
+    span.close();
     SearchOutcome {
         best: ctx.best,
         objective,
-        complete: !ctx.aborted && !stopped_by_request,
+        complete,
         stats,
     }
 }

@@ -1,0 +1,102 @@
+//! rrf-trace: read an NDJSON trace file and render summaries.
+//!
+//! Usage:
+//!   rrf-trace [--phases] [--props [N]] [--counters] [--check] FILE
+//!
+//! With no mode flags, renders all sections. `--check` additionally
+//! validates span structure (exit 1 on imbalance). `FILE` of `-` reads
+//! stdin.
+
+use std::io::Read;
+use std::process::ExitCode;
+
+use rrf_trace::{
+    check_balanced, parse_text, render_counters, render_phases, render_props, Summary,
+};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] FILE");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut phases = false;
+    let mut props: Option<usize> = None;
+    let mut counters = false;
+    let mut check = false;
+    let mut file: Option<String> = None;
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--phases" => phases = true,
+            "--props" => {
+                let n = match args.peek().and_then(|a| a.parse::<usize>().ok()) {
+                    Some(n) => {
+                        args.next();
+                        n
+                    }
+                    None => 10,
+                };
+                props = Some(n);
+            }
+            "--counters" => counters = true,
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] FILE");
+                return ExitCode::SUCCESS;
+            }
+            _ if file.is_none() && !arg.starts_with('-') || arg == "-" => file = Some(arg),
+            _ => return usage(),
+        }
+    }
+    let Some(file) = file else {
+        return usage();
+    };
+
+    let text = if file == "-" {
+        let mut buf = String::new();
+        if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+            eprintln!("rrf-trace: stdin: {e}");
+            return ExitCode::FAILURE;
+        }
+        buf
+    } else {
+        match std::fs::read_to_string(&file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rrf-trace: {file}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let lines = match parse_text(&text) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("rrf-trace: parse error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if check {
+        if let Err(e) = check_balanced(&lines) {
+            eprintln!("rrf-trace: unbalanced trace: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let all = !phases && props.is_none() && !counters;
+    let summary = Summary::from_lines(&lines);
+    println!("records: {}", summary.records);
+    if all || phases {
+        print!("{}", render_phases(&summary));
+    }
+    if all || props.is_some() {
+        print!("{}", render_props(&summary, props.unwrap_or(10)));
+    }
+    if all || counters {
+        print!("{}", render_counters(&summary));
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,163 @@
+//! A fixed-bound counting histogram.
+//!
+//! Buckets are defined by a slice of exclusive upper bounds plus one
+//! implicit unbounded overflow bucket, matching the semantics of the
+//! server's `HISTOGRAM_BOUNDS_MS` wire format: a value `v` lands in the
+//! first bucket whose bound satisfies `v < bound`, else in the overflow
+//! bucket. The type is deliberately plain (no atomics, no interior
+//! mutability) so it can live behind whatever locking its owner already
+//! has, and `counts` round-trips directly to the `Vec<u64>` the server
+//! serializes.
+
+/// Counting histogram over `bounds.len() + 1` buckets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: &'static [u64],
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// A histogram with exclusive upper `bounds` (must be strictly
+    /// increasing) plus an unbounded overflow bucket.
+    pub fn new(bounds: &'static [u64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        Histogram {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Index of the bucket `value` falls into: first `i` with
+    /// `value < bounds[i]`, else the overflow bucket `bounds.len()`.
+    pub fn bucket_index(bounds: &[u64], value: u64) -> usize {
+        bounds
+            .iter()
+            .position(|&bound| value < bound)
+            .unwrap_or(bounds.len())
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.counts[Self::bucket_index(self.bounds, value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram (over the same bounds) into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "merge over differing bounds");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Upper bound (inclusive) on the `q`-quantile, `q` in `[0, 1]`:
+    /// the exclusive bound of the bucket containing that rank, minus
+    /// one — or `max()` for the overflow bucket. `None` when empty.
+    ///
+    /// The estimate brackets the true quantile: it is `>=` the true
+    /// value (every observation in the bucket is below the bound) and
+    /// `<= max()`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the target observation, 1-based.
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(if i < self.bounds.len() {
+                    // Bounds are exclusive; values in the first bucket
+                    // can still be 0, so saturate.
+                    (self.bounds[i] - 1).min(self.max)
+                } else {
+                    self.max
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation, 0 when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of observations, 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// The exclusive upper bounds.
+    pub fn bounds(&self) -> &'static [u64] {
+        self.bounds
+    }
+
+    /// Per-bucket counts (`bounds.len() + 1` entries, overflow last).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BOUNDS: &[u64] = &[1, 3, 10, 30, 100, 300, 1000, 3000];
+
+    #[test]
+    fn bucket_index_matches_server_semantics() {
+        assert_eq!(Histogram::bucket_index(BOUNDS, 0), 0);
+        assert_eq!(Histogram::bucket_index(BOUNDS, 1), 1);
+        assert_eq!(Histogram::bucket_index(BOUNDS, 2), 1);
+        assert_eq!(Histogram::bucket_index(BOUNDS, 3), 2);
+        assert_eq!(Histogram::bucket_index(BOUNDS, 2999), 7);
+        assert_eq!(Histogram::bucket_index(BOUNDS, 3000), 8);
+        assert_eq!(Histogram::bucket_index(&[], 42), 0);
+    }
+
+    #[test]
+    fn record_merge_quantile() {
+        let mut a = Histogram::new(BOUNDS);
+        let mut b = Histogram::new(BOUNDS);
+        for v in [0, 2, 5, 50, 500] {
+            a.record(v);
+        }
+        for v in [5000, 7] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.sum(), 5564);
+        assert_eq!(a.max(), 5000);
+        assert_eq!(a.quantile(0.0), Some(0));
+        assert_eq!(a.quantile(1.0), Some(5000));
+        assert!(a.quantile(0.5).unwrap() >= 5);
+        let empty = Histogram::new(BOUNDS);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.mean(), 0);
+    }
+}

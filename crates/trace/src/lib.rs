@@ -1,0 +1,106 @@
+//! rrf-trace: structured tracing and metrics for the placement stack.
+//!
+//! Design (see DESIGN.md §10):
+//!
+//! - Records form two streams written to the same sink: the **logical
+//!   stream** (`open`/`close`/`point`/`count`) carries no clock readings
+//!   and is byte-deterministic under a fixed seed; the **wall stream**
+//!   (`wall` records, one per span) carries every duration. Golden-trace
+//!   tests compare only the logical stream.
+//! - The schema is append-only: new record kinds and fields may appear,
+//!   existing ones never change meaning. Readers ignore what they don't
+//!   know.
+//! - A disabled [`Tracer`] (the `Default`) costs one branch per call
+//!   site, so instrumentation stays compiled into hot paths. Per-event
+//!   hot spots use [`thot!`], which additionally samples 1-in-N and can
+//!   be compiled out by disabling the `sampling` feature.
+//! - Zero dependencies: this crate sits under the solver's innermost
+//!   loops and must not widen that dependency cone.
+
+#![forbid(unsafe_code)]
+
+mod event;
+mod hist;
+mod reader;
+mod sink;
+mod tracer;
+
+pub use event::{parse_line, Line, Parsed, Record, Value};
+pub use hist::Histogram;
+pub use reader::{
+    check_balanced, parse_text, render_counters, render_phases, render_props, PropAgg, Summary,
+    WallAgg,
+};
+pub use sink::{CountingSink, CountingSnapshot, MemorySink, NdjsonSink, TraceSink, WALL_US_BOUNDS};
+pub use tracer::{Span, Tracer, DEFAULT_SAMPLE_EVERY, SAMPLING};
+
+/// Open a span: `tspan!(tracer, "name", "key" => value, ...)`.
+/// Returns a [`Span`] guard; bind it or the span closes immediately.
+#[macro_export]
+macro_rules! tspan {
+    ($tracer:expr, $name:literal $(, $k:literal => $v:expr)* $(,)?) => {
+        $tracer.span($name, &[$(($k, $crate::Value::from($v))),*])
+    };
+}
+
+/// Emit a point event: `tpoint!(tracer, "name", "key" => value, ...)`.
+#[macro_export]
+macro_rules! tpoint {
+    ($tracer:expr, $name:literal $(, $k:literal => $v:expr)* $(,)?) => {
+        $tracer.point($name, &[$(($k, $crate::Value::from($v))),*])
+    };
+}
+
+/// Increment a named counter: `tcount!(tracer, "name", n)`.
+#[macro_export]
+macro_rules! tcount {
+    ($tracer:expr, $name:literal, $n:expr) => {
+        $tracer.count($name, $n as u64)
+    };
+}
+
+/// Emit a point event from a hot loop, sampled 1-in-N (see
+/// [`Tracer::with_sample_every`]). Compiled out entirely when the
+/// `sampling` feature of `rrf-trace` is disabled: the gate below folds
+/// to `false` at compile time.
+#[macro_export]
+macro_rules! thot {
+    ($tracer:expr, $name:literal $(, $k:literal => $v:expr)* $(,)?) => {
+        if $crate::SAMPLING && $tracer.hot_tick() {
+            $tracer.point($name, &[$(($k, $crate::Value::from($v))),*]);
+        }
+    };
+}
+
+#[cfg(test)]
+mod macro_tests {
+    use crate::{MemorySink, Tracer};
+    use std::sync::Arc;
+
+    #[test]
+    fn macros_expand_and_emit() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::with_sample_every(sink.clone(), 1);
+        let span = tspan!(t, "place", "modules" => 3usize);
+        tpoint!(t, "ladder", "step" => "lns", "improved" => true);
+        tcount!(t, "backtracks", 17u64);
+        thot!(t, "node", "depth" => 2i32);
+        span.close_with_us(1);
+        let lines = sink.lines();
+        assert_eq!(
+            lines[0],
+            r#"{"ev":"open","seq":0,"name":"place","modules":3}"#
+        );
+        assert_eq!(
+            lines[1],
+            r#"{"ev":"point","name":"ladder","step":"lns","improved":1}"#
+        );
+        assert_eq!(lines[2], r#"{"ev":"count","name":"backtracks","n":17}"#);
+        if crate::SAMPLING {
+            assert_eq!(lines[3], r#"{"ev":"point","name":"node","depth":2}"#);
+        }
+        let text = sink.text();
+        let parsed = crate::parse_text(&text).unwrap();
+        crate::check_balanced(&parsed).unwrap();
+    }
+}

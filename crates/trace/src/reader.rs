@@ -1,0 +1,306 @@
+//! Reading side: parse a trace, validate span structure, aggregate.
+
+use std::collections::BTreeMap;
+
+use crate::event::{parse_line, Line};
+
+/// Parse every non-empty line of an NDJSON trace.
+pub fn parse_text(text: &str) -> Result<Vec<Line>, String> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let line = parse_line(raw).map_err(|e| format!("line {}: {e}", i + 1))?;
+        out.push(line);
+    }
+    Ok(out)
+}
+
+/// Validate span structure: every `close`/`wall` names a previously
+/// opened `(seq, name)`, no seq opens or closes twice, and nothing is
+/// left open at the end. Spans from concurrent emitters may interleave,
+/// so this checks matching, not strict stack nesting.
+pub fn check_balanced(lines: &[Line]) -> Result<(), String> {
+    let mut open: BTreeMap<u64, String> = BTreeMap::new();
+    let mut seen: BTreeMap<u64, String> = BTreeMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        let at = |msg: String| format!("record {}: {msg}", i + 1);
+        let seq_of = |line: &Line| {
+            line.get("seq")
+                .and_then(crate::Parsed::as_u64)
+                .ok_or_else(|| "missing seq".to_string())
+        };
+        match line.ev() {
+            Some("open") => {
+                let seq = seq_of(line).map_err(at)?;
+                let name = line.name().unwrap_or("").to_string();
+                if seen.contains_key(&seq) {
+                    return Err(at(format!("seq {seq} opened twice")));
+                }
+                seen.insert(seq, name.clone());
+                open.insert(seq, name);
+            }
+            Some("close") => {
+                let seq = seq_of(line).map_err(at)?;
+                let name = line.name().unwrap_or("");
+                match open.remove(&seq) {
+                    None => return Err(at(format!("close of unopened seq {seq}"))),
+                    Some(opened) if opened != name => {
+                        return Err(at(format!(
+                            "close name {name:?} does not match open {opened:?}"
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+            Some("wall") => {
+                let seq = seq_of(line).map_err(at)?;
+                let name = line.name().unwrap_or("");
+                match seen.get(&seq) {
+                    None => return Err(at(format!("wall for unknown seq {seq}"))),
+                    Some(opened) if opened != name => {
+                        return Err(at(format!(
+                            "wall name {name:?} does not match open {opened:?}"
+                        )))
+                    }
+                    Some(_) => {}
+                }
+            }
+            Some("point") | Some("count") => {}
+            other => return Err(at(format!("unknown ev {other:?}"))),
+        }
+    }
+    if let Some((seq, name)) = open.iter().next() {
+        return Err(format!("span {name:?} (seq {seq}) never closed"));
+    }
+    Ok(())
+}
+
+/// Wall-clock aggregate for one span name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WallAgg {
+    pub count: u64,
+    pub total_us: u64,
+    pub max_us: u64,
+}
+
+/// Aggregate for one propagator kind (from `prop` points).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PropAgg {
+    pub execs: u64,
+    pub conflicts: u64,
+    pub scanned: u64,
+}
+
+/// Aggregated view of a whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct Summary {
+    pub records: usize,
+    pub opens: u64,
+    pub points: u64,
+    pub counters: BTreeMap<String, u64>,
+    pub wall: BTreeMap<String, WallAgg>,
+    pub props: BTreeMap<String, PropAgg>,
+}
+
+impl Summary {
+    pub fn from_lines(lines: &[Line]) -> Summary {
+        let mut s = Summary {
+            records: lines.len(),
+            ..Summary::default()
+        };
+        let u = |line: &Line, key: &str| line.get(key).and_then(crate::Parsed::as_u64);
+        for line in lines {
+            match line.ev() {
+                Some("open") => s.opens += 1,
+                Some("point") => {
+                    s.points += 1;
+                    if line.name() == Some("prop") {
+                        if let Some(kind) = line.get("kind").and_then(crate::Parsed::as_str) {
+                            let agg = s.props.entry(kind.to_string()).or_default();
+                            agg.execs += u(line, "execs").unwrap_or(0);
+                            agg.conflicts += u(line, "conflicts").unwrap_or(0);
+                            agg.scanned += u(line, "scanned").unwrap_or(0);
+                        }
+                    }
+                }
+                Some("count") => {
+                    if let (Some(name), Some(n)) = (line.name(), u(line, "n")) {
+                        *s.counters.entry(name.to_string()).or_insert(0) += n;
+                    }
+                }
+                Some("wall") => {
+                    if let (Some(name), Some(us)) = (line.name(), u(line, "us")) {
+                        let agg = s.wall.entry(name.to_string()).or_default();
+                        agg.count += 1;
+                        agg.total_us += us;
+                        agg.max_us = agg.max_us.max(us);
+                    }
+                }
+                _ => {}
+            }
+        }
+        s
+    }
+
+    /// Phase breakdown rooted at the span named `total`: all wall
+    /// aggregates named `<total>.*` (one level, by convention), plus the
+    /// root itself. Returns `(phase name, agg)` pairs and the root agg,
+    /// or `None` when the root never appears.
+    pub fn phases_of(&self, total: &str) -> Option<(WallAgg, Vec<(String, WallAgg)>)> {
+        let root = self.wall.get(total)?.clone();
+        let prefix = format!("{total}.");
+        let phases = self
+            .wall
+            .iter()
+            .filter(|(name, _)| name.starts_with(&prefix))
+            .map(|(name, agg)| (name.clone(), agg.clone()))
+            .collect();
+        Some((root, phases))
+    }
+}
+
+fn fmt_us(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{:.2}s", us as f64 / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.2}ms", us as f64 / 1e3)
+    } else {
+        format!("{us}us")
+    }
+}
+
+/// Render the per-phase time breakdown for every root span (by
+/// convention `place` from the core placer and `solve` from the server)
+/// that appears in the trace.
+pub fn render_phases(summary: &Summary) -> String {
+    let mut out = String::new();
+    for root in ["solve", "place"] {
+        let Some((total, phases)) = summary.phases_of(root) else {
+            continue;
+        };
+        out.push_str(&format!(
+            "{root}: {} span(s), total {}, max {}\n",
+            total.count,
+            fmt_us(total.total_us),
+            fmt_us(total.max_us)
+        ));
+        let mut phases = phases;
+        phases.sort_by(|a, b| b.1.total_us.cmp(&a.1.total_us).then(a.0.cmp(&b.0)));
+        let mut phase_sum = 0u64;
+        for (name, agg) in &phases {
+            phase_sum += agg.total_us;
+            let pct = if total.total_us > 0 {
+                100.0 * agg.total_us as f64 / total.total_us as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "  {:<18} {:>10}  {:>5.1}%  x{}\n",
+                name.strip_prefix(&format!("{root}.")).unwrap_or(name),
+                fmt_us(agg.total_us),
+                pct,
+                agg.count
+            ));
+        }
+        if !phases.is_empty() {
+            out.push_str(&format!(
+                "  phase sum {} / total {}\n",
+                fmt_us(phase_sum),
+                fmt_us(total.total_us)
+            ));
+        }
+    }
+    if out.is_empty() {
+        out.push_str("no solve/place spans in trace\n");
+    }
+    out
+}
+
+/// Render the top-`n` propagator table (by executions).
+pub fn render_props(summary: &Summary, n: usize) -> String {
+    if summary.props.is_empty() {
+        return "no propagator records in trace\n".to_string();
+    }
+    let mut rows: Vec<(&String, &PropAgg)> = summary.props.iter().collect();
+    rows.sort_by(|a, b| b.1.execs.cmp(&a.1.execs).then(a.0.cmp(b.0)));
+    let mut out = format!(
+        "{:<22} {:>12} {:>10} {:>14}\n",
+        "propagator", "executions", "conflicts", "rows scanned"
+    );
+    for (kind, agg) in rows.into_iter().take(n) {
+        out.push_str(&format!(
+            "{:<22} {:>12} {:>10} {:>14}\n",
+            kind, agg.execs, agg.conflicts, agg.scanned
+        ));
+    }
+    out
+}
+
+/// Render the counter totals.
+pub fn render_counters(summary: &Summary) -> String {
+    if summary.counters.is_empty() {
+        return "no counters in trace\n".to_string();
+    }
+    let mut out = String::new();
+    for (name, n) in &summary.counters {
+        out.push_str(&format!("{name:<28} {n:>12}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_accepts_interleaved_spans() {
+        let text = concat!(
+            "{\"ev\":\"open\",\"seq\":0,\"name\":\"a\"}\n",
+            "{\"ev\":\"open\",\"seq\":1,\"name\":\"b\"}\n",
+            "{\"ev\":\"close\",\"seq\":0,\"name\":\"a\"}\n",
+            "{\"ev\":\"wall\",\"seq\":0,\"name\":\"a\",\"us\":5}\n",
+            "{\"ev\":\"close\",\"seq\":1,\"name\":\"b\"}\n",
+        );
+        let lines = parse_text(text).unwrap();
+        check_balanced(&lines).unwrap();
+    }
+
+    #[test]
+    fn balanced_rejects_bad_structure() {
+        let unclosed = parse_text("{\"ev\":\"open\",\"seq\":0,\"name\":\"a\"}\n").unwrap();
+        assert!(check_balanced(&unclosed).is_err());
+        let stray = parse_text("{\"ev\":\"close\",\"seq\":3,\"name\":\"a\"}\n").unwrap();
+        assert!(check_balanced(&stray).is_err());
+        let wrong_name = parse_text(concat!(
+            "{\"ev\":\"open\",\"seq\":0,\"name\":\"a\"}\n",
+            "{\"ev\":\"close\",\"seq\":0,\"name\":\"b\"}\n",
+        ))
+        .unwrap();
+        assert!(check_balanced(&wrong_name).is_err());
+    }
+
+    #[test]
+    fn summary_aggregates_phases_and_props() {
+        let text = concat!(
+            "{\"ev\":\"count\",\"name\":\"nodes\",\"n\":4}\n",
+            "{\"ev\":\"count\",\"name\":\"nodes\",\"n\":6}\n",
+            "{\"ev\":\"point\",\"name\":\"prop\",\"kind\":\"table\",\"execs\":9,\"conflicts\":1,\"scanned\":400}\n",
+            "{\"ev\":\"wall\",\"seq\":0,\"name\":\"solve\",\"us\":100}\n",
+            "{\"ev\":\"wall\",\"seq\":1,\"name\":\"solve.cp\",\"us\":70}\n",
+            "{\"ev\":\"wall\",\"seq\":2,\"name\":\"solve.other\",\"us\":30}\n",
+        );
+        let s = Summary::from_lines(&parse_text(text).unwrap());
+        assert_eq!(s.counters["nodes"], 10);
+        assert_eq!(s.props["table"].scanned, 400);
+        let (total, phases) = s.phases_of("solve").unwrap();
+        assert_eq!(total.total_us, 100);
+        assert_eq!(phases.iter().map(|(_, a)| a.total_us).sum::<u64>(), 100);
+        let rendered = render_phases(&s);
+        assert!(rendered.contains("solve"));
+        assert!(rendered.contains("cp"));
+        assert!(render_props(&s, 5).contains("table"));
+        assert!(render_counters(&s).contains("nodes"));
+    }
+}

@@ -1,0 +1,258 @@
+//! The `Tracer` handle: the one object instrumented code holds.
+//!
+//! A disabled tracer (the default) is a `None` — every emit path is a
+//! single branch on that option, cheap enough to leave compiled into hot
+//! code. An enabled tracer wraps an `Arc<dyn TraceSink>`, so cloning is
+//! cheap and all clones share one sequence counter, keeping span `seq`
+//! values unique across the whole program.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::event::{Record, Value};
+use crate::sink::TraceSink;
+
+/// Default sampling period for `thot!` events: one in this many.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 4096;
+
+/// Whether hot-event sampling is compiled in (`sampling` feature).
+pub const SAMPLING: bool = cfg!(feature = "sampling");
+
+struct Inner {
+    sink: Arc<dyn TraceSink>,
+    seq: AtomicU64,
+    hot: AtomicU64,
+    sample_every: u64,
+}
+
+/// Shareable tracing handle. `Default` is disabled (all emits are
+/// no-ops); see [`Tracer::new`] for an enabled one.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tracer")
+            .field("enabled", &self.inner.is_some())
+            .finish()
+    }
+}
+
+impl Tracer {
+    /// Tracer feeding `sink`, with the default hot-event sampling period.
+    pub fn new(sink: Arc<dyn TraceSink>) -> Tracer {
+        Tracer::with_sample_every(sink, DEFAULT_SAMPLE_EVERY)
+    }
+
+    /// Tracer with an explicit `thot!` sampling period (`1` = keep all).
+    pub fn with_sample_every(sink: Arc<dyn TraceSink>, sample_every: u64) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                sink,
+                seq: AtomicU64::new(0),
+                hot: AtomicU64::new(0),
+                sample_every: sample_every.max(1),
+            })),
+        }
+    }
+
+    /// The disabled tracer (same as `Default`).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Whether records go anywhere.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Open a span. Emits an `open` record now; the returned guard
+    /// emits matching `close` + `wall` records when closed or dropped.
+    pub fn span(&self, name: &'static str, fields: &[(&'static str, Value)]) -> Span {
+        match &self.inner {
+            None => Span {
+                tracer: Tracer::default(),
+                seq: 0,
+                name,
+                start: None,
+                done: true,
+            },
+            Some(inner) => {
+                let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+                inner.sink.emit(&Record::Open { seq, name, fields });
+                Span {
+                    tracer: self.clone(),
+                    seq,
+                    name,
+                    start: Some(Instant::now()),
+                    done: false,
+                }
+            }
+        }
+    }
+
+    /// Emit a standalone `point` record.
+    #[inline]
+    pub fn point(&self, name: &'static str, fields: &[(&'static str, Value)]) {
+        if let Some(inner) = &self.inner {
+            inner.sink.emit(&Record::Point { name, fields });
+        }
+    }
+
+    /// Emit a `count` record (counter increment by `n`).
+    #[inline]
+    pub fn count(&self, name: &'static str, n: u64) {
+        if let Some(inner) = &self.inner {
+            if n > 0 {
+                inner.sink.emit(&Record::Count { name, n });
+            }
+        }
+    }
+
+    /// Sampling gate for hot events: true for one call in
+    /// `sample_every`. Always false when disabled.
+    #[inline]
+    pub fn hot_tick(&self) -> bool {
+        match &self.inner {
+            None => false,
+            Some(inner) => inner.hot.fetch_add(1, Ordering::Relaxed) % inner.sample_every == 0,
+        }
+    }
+
+    /// Flush the underlying sink.
+    pub fn flush(&self) {
+        if let Some(inner) = &self.inner {
+            inner.sink.flush();
+        }
+    }
+
+    fn emit(&self, record: &Record<'_>) {
+        if let Some(inner) = &self.inner {
+            inner.sink.emit(record);
+        }
+    }
+}
+
+/// Open-span guard. Dropping (or calling [`Span::close`]) emits the
+/// `close` record into the logical stream and a `wall` record with the
+/// measured duration into the wall stream.
+#[must_use = "dropping immediately closes the span"]
+pub struct Span {
+    tracer: Tracer,
+    seq: u64,
+    name: &'static str,
+    start: Option<Instant>,
+    done: bool,
+}
+
+impl Span {
+    /// Close now, measuring the duration. Returns the measured
+    /// microseconds (0 when the tracer is disabled).
+    pub fn close(mut self) -> u64 {
+        self.finish(None)
+    }
+
+    /// Close now, but report `us` in the wall record instead of the
+    /// measured duration. Used where the caller has already measured the
+    /// phase (so its own stats and the trace agree to the microsecond).
+    pub fn close_with_us(mut self, us: u64) -> u64 {
+        self.finish(Some(us))
+    }
+
+    /// The span's sequence number (0 when disabled).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn finish(&mut self, us_override: Option<u64>) -> u64 {
+        if self.done {
+            return 0;
+        }
+        self.done = true;
+        let us = us_override.unwrap_or_else(|| {
+            self.start
+                .map(|s| s.elapsed().as_micros() as u64)
+                .unwrap_or(0)
+        });
+        self.tracer.emit(&Record::Close {
+            seq: self.seq,
+            name: self.name,
+        });
+        self.tracer.emit(&Record::Wall {
+            seq: self.seq,
+            name: self.name,
+            us,
+        });
+        us
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.finish(None);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::default();
+        assert!(!t.enabled());
+        let s = t.span("x", &[]);
+        assert_eq!(s.seq(), 0);
+        assert_eq!(s.close(), 0);
+        t.point("p", &[("k", Value::U(1))]);
+        t.count("c", 3);
+        assert!(!t.hot_tick());
+    }
+
+    #[test]
+    fn span_emits_open_close_wall() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        let s = t.span("solve", &[("req", Value::U(9))]);
+        t.count("nodes", 2);
+        t.count("nodes", 0); // zero increments are suppressed
+        s.close_with_us(123);
+        let lines = sink.lines();
+        assert_eq!(
+            lines,
+            vec![
+                r#"{"ev":"open","seq":0,"name":"solve","req":9}"#,
+                r#"{"ev":"count","name":"nodes","n":2}"#,
+                r#"{"ev":"close","seq":0,"name":"solve"}"#,
+                r#"{"ev":"wall","seq":0,"name":"solve","us":123}"#,
+            ]
+        );
+    }
+
+    #[test]
+    fn seq_is_shared_across_clones() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::new(sink.clone());
+        let t2 = t.clone();
+        let a = t.span("a", &[]);
+        let b = t2.span("b", &[]);
+        assert_eq!(a.seq(), 0);
+        assert_eq!(b.seq(), 1);
+    }
+
+    #[test]
+    fn hot_tick_samples_one_in_n() {
+        let sink = Arc::new(MemorySink::new());
+        let t = Tracer::with_sample_every(sink, 4);
+        let hits: Vec<bool> = (0..8).map(|_| t.hot_tick()).collect();
+        assert_eq!(
+            hits,
+            vec![true, false, false, false, true, false, false, false]
+        );
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for the histogram type and the span/record stream.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use rrf_trace::{check_balanced, parse_text, Histogram, MemorySink, Tracer};
+
+const BOUNDS: &[u64] = &[1, 3, 10, 30, 100, 300, 1000, 3000];
+const SINGLE: &[u64] = &[];
+
+fn hist_of(values: &[u64], bounds: &'static [u64]) -> Histogram {
+    let mut h = Histogram::new(bounds);
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// merge is associative and agrees with recording everything into
+    /// one histogram, for both the real bounds and the degenerate
+    /// single-bucket (empty bounds) case.
+    #[test]
+    fn merge_associative_and_equals_bulk_record(
+        a in vec(0u64..5000, 0..20),
+        b in vec(0u64..5000, 0..20),
+        c in vec(0u64..5000, 0..20),
+    ) {
+        for bounds in [BOUNDS, SINGLE] {
+            let (ha, hb, hc) = (hist_of(&a, bounds), hist_of(&b, bounds), hist_of(&c, bounds));
+
+            // (a ⊕ b) ⊕ c
+            let mut left = ha.clone();
+            left.merge(&hb);
+            left.merge(&hc);
+
+            // a ⊕ (b ⊕ c)
+            let mut right_tail = hb.clone();
+            right_tail.merge(&hc);
+            let mut right = ha.clone();
+            right.merge(&right_tail);
+
+            prop_assert_eq!(&left, &right);
+
+            let mut all: Vec<u64> = a.clone();
+            all.extend(&b);
+            all.extend(&c);
+            prop_assert_eq!(&left, &hist_of(&all, bounds));
+        }
+    }
+
+    /// Quantile estimates bracket the true quantile: for every q the
+    /// estimate is >= the exact order statistic and <= the observed max.
+    /// Empty histograms return None for every q without panicking.
+    #[test]
+    fn quantile_brackets_true_value(
+        values in vec(0u64..5000, 0..40),
+        qs in vec(0u64..=100, 1..6),
+    ) {
+        for bounds in [BOUNDS, SINGLE] {
+            let h = hist_of(&values, bounds);
+            let mut sorted = values.clone();
+            sorted.sort_unstable();
+            for &qi in &qs {
+                let q = qi as f64 / 100.0;
+                match h.quantile(q) {
+                    None => prop_assert!(values.is_empty()),
+                    Some(est) => {
+                        prop_assert!(!values.is_empty());
+                        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+                        let exact = sorted[rank - 1];
+                        prop_assert!(
+                            est >= exact && est <= h.max(),
+                            "q={q}: estimate {est} outside [{exact}, {}]",
+                            h.max()
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(h.count(), values.len() as u64);
+            prop_assert_eq!(h.sum(), values.iter().sum::<u64>());
+        }
+    }
+
+    /// Any program of span opens/closes and point/count emissions
+    /// produces a stream that parses back and passes the balance check,
+    /// as long as every opened span is eventually closed — which the
+    /// guard type enforces by construction (drop closes).
+    #[test]
+    fn arbitrary_span_programs_are_well_parenthesized(
+        program in vec(0u8..5, 0..60),
+        sample_every in 1u64..8,
+    ) {
+        let sink = Arc::new(MemorySink::new());
+        let tracer = Tracer::with_sample_every(sink.clone(), sample_every);
+        let mut stack = Vec::new();
+        for op in program {
+            match op {
+                0 | 1 => stack.push(tracer.span("s", &[("d", stack.len().into())])),
+                2 => {
+                    if let Some(span) = stack.pop() {
+                        span.close();
+                    }
+                }
+                3 => tracer.point("p", &[("k", 1u64.into())]),
+                _ => {
+                    tracer.count("c", 1);
+                    rrf_trace::thot!(tracer, "hot", "x" => 1u64);
+                }
+            }
+        }
+        // Close the rest out of order to exercise interleaving.
+        for span in stack.drain(..) {
+            span.close();
+        }
+        let lines = parse_text(&sink.text()).map_err(TestCaseError::Fail)?;
+        check_balanced(&lines).map_err(TestCaseError::Fail)?;
+    }
+}

@@ -35,6 +35,34 @@ fi
 diff -u tests/expected/analyze/paper1_clean.ndjson "$tmp/paper1_clean.ndjson"
 diff -u tests/expected/analyze/paper1_width24.ndjson "$tmp/paper1_width24.ndjson"
 
+echo "==> trace unit + property tests"
+cargo test -q -p rrf-trace
+
+echo "==> trace determinism gate (logical stream, byte-exact goldens)"
+# The logical trace stream (no wall-clock records) of a seeded workload
+# is byte-deterministic: two runs must agree with each other AND with
+# the committed goldens. Drift means the search explored a different
+# tree or the trace schema changed — review, then regenerate with the
+# trace_workload binary (see its --help for the command).
+TRACE_WORKLOAD=target/release/trace_workload
+for w in "paper1_w240 --workload paper:1" "paper1_w120 --workload paper:1 --width 120"; do
+    name="${w%% *}"
+    args="${w#* }"
+    # shellcheck disable=SC2086
+    "$TRACE_WORKLOAD" $args --fail-limit 4000 --out "$tmp/$name.a.ndjson" 2>/dev/null
+    # shellcheck disable=SC2086
+    "$TRACE_WORKLOAD" $args --fail-limit 4000 --out "$tmp/$name.b.ndjson" 2>/dev/null
+    diff -u "$tmp/$name.a.ndjson" "$tmp/$name.b.ndjson"
+    diff -u "tests/expected/trace/$name.ndjson" "$tmp/$name.a.ndjson"
+done
+cargo test --release -q -p rrf-bench --test trace_replay -- --include-ignored
+
+echo "==> trace overhead budget (counting sink < 5%)"
+cargo bench -p rrf-bench --bench trace_overhead
+
+echo "==> server observability e2e (stats_detail ladder + --trace stream)"
+cargo test -q -p rrf-server --test trace_e2e
+
 echo "==> fault-tolerance e2e (inject/repair/clear, panic isolation, recovery)"
 cargo test -q -p rrf-server --test fault_e2e
 
