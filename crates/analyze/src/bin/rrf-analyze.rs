@@ -37,6 +37,7 @@ OPTIONS:
                          SPEC = column:X | tile:X,Y | rect:X,Y,W,H
     --format FMT         text (default) or ndjson
     -h, --help           print this help
+    -V, --version        print the tool version
 
 EXIT CODES:
     0  clean, or info-level findings only
@@ -118,7 +119,14 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 "ndjson" => opts.ndjson = true,
                 other => return Err(usage_error(&format!("unknown --format `{other}`"))),
             },
-            "-h" | "--help" => return Err(USAGE.to_string()),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "-V" | "--version" => {
+                println!("rrf-analyze {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             other => return Err(usage_error(&format!("unknown argument `{other}`"))),
         }
     }

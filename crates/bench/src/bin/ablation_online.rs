@@ -9,23 +9,20 @@
 //! Usage: `ablation_online [runs] [events] [region_width]`
 //! (defaults 10, 300, 120).
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rand::Rng;
+use rrf_bench::experiment::ExperimentSetup;
+use rrf_bench::workload::{arrive_next, stream_rng, workload_arms};
 use rrf_core::{Module, OnlinePlacer};
-use rrf_modgen::{generate_workload, WorkloadSpec};
 
 /// Drive one insert/remove stream; returns (acceptance rate, mean live
 /// utilization sampled after every event).
 fn simulate(modules: &[Module], width: i32, events: usize, seed: u64) -> (f64, f64) {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SEED_MIX);
+    let mut rng = stream_rng(seed);
     let mut placer = OnlinePlacer::new(ExperimentSetup::with_width(width).region());
     let mut live: Vec<u64> = Vec::new();
     let mut util_sum = 0.0;
     for _ in 0..events {
-        // 60% arrivals while below half load, else 50/50.
-        let arrive =
-            live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
+        let arrive = arrive_next(&mut rng, live.is_empty(), placer.utilization());
         if arrive {
             let m = &modules[rng.gen_range(0..modules.len())];
             if let Some(slot) = placer.try_insert(m) {
@@ -41,9 +38,6 @@ fn simulate(modules: &[Module], width: i32, events: usize, seed: u64) -> (f64, f
     (placer.stats().acceptance_rate(), util_sum / events as f64)
 }
 
-/// Decorrelates stream seeds from workload seeds.
-const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
-
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let runs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
@@ -53,13 +47,7 @@ fn main() {
     eprintln!("A8: online stream, {runs} runs x {events} events, {width}-col region");
     let (mut acc_w, mut acc_wo, mut util_w, mut util_wo) = (0.0, 0.0, 0.0, 0.0);
     for seed in 0..runs as u64 {
-        let workload = generate_workload(&WorkloadSpec {
-            modules: 12,
-            seed,
-            ..WorkloadSpec::default()
-        });
-        let with = workload_modules(&workload);
-        let without: Vec<Module> = with.iter().map(Module::without_alternatives).collect();
+        let (with, without) = workload_arms(12, seed);
         let (a, u) = simulate(&with, width, events, seed);
         let (a2, u2) = simulate(&without, width, events, seed);
         eprintln!(

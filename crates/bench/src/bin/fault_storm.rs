@@ -16,12 +16,11 @@
 
 use std::time::Duration;
 
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
-use rrf_bench::experiment::{workload_modules, ExperimentSetup};
+use rand::Rng;
+use rrf_bench::experiment::ExperimentSetup;
+use rrf_bench::workload::{arrive_next, stream_rng, workload_arms};
 use rrf_core::{FrameCostModel, Module, OnlinePlacer};
 use rrf_fabric::Fault;
-use rrf_modgen::{generate_workload, WorkloadSpec};
 
 /// Per-run outcome of one storm.
 struct StormOutcome {
@@ -42,7 +41,7 @@ fn simulate(
     fault_every: usize,
     seed: u64,
 ) -> StormOutcome {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ SEED_MIX);
+    let mut rng = stream_rng(seed);
     let setup = ExperimentSetup::with_width(width);
     let mut placer = OnlinePlacer::new(setup.region());
     let model = FrameCostModel::default();
@@ -97,8 +96,7 @@ fn simulate(
             }
             live.retain(|slot| !report.evicted.contains(slot));
         }
-        let arrive =
-            live.is_empty() || rng.gen_bool(if placer.utilization() < 0.5 { 0.7 } else { 0.5 });
+        let arrive = arrive_next(&mut rng, live.is_empty(), placer.utilization());
         if arrive {
             let m = &modules[rng.gen_range(0..modules.len())];
             if let Some(slot) = placer.try_insert(m) {
@@ -115,9 +113,6 @@ fn simulate(
     out.mean_util /= events as f64;
     out
 }
-
-/// Decorrelates stream seeds from workload seeds.
-const SEED_MIX: u64 = 0x9e37_79b9_7f4a_7c15;
 
 fn survival(o: &StormOutcome) -> f64 {
     if o.displaced == 0 {
@@ -141,13 +136,7 @@ fn main() {
     let mut with_acc = Vec::new();
     let mut without_acc = Vec::new();
     for seed in 0..runs as u64 {
-        let workload = generate_workload(&WorkloadSpec {
-            modules: 12,
-            seed,
-            ..WorkloadSpec::default()
-        });
-        let with = workload_modules(&workload);
-        let without: Vec<Module> = with.iter().map(Module::without_alternatives).collect();
+        let (with, without) = workload_arms(12, seed);
         let a = simulate(&with, width, events, fault_every, seed);
         let b = simulate(&without, width, events, fault_every, seed);
         eprintln!(

@@ -1,0 +1,233 @@
+//! `sched_load` — open-loop Poisson task stream against the `rrf-sched`
+//! reservation scheduler, with vs. without design alternatives.
+//!
+//! This is the scheduling arm of the paper's tradeoff: a module with
+//! several footprints gives the admission controller a *latency* lever
+//! (narrow shapes reconfigure in fewer frames and fit tighter gaps), so
+//! at equal offered load the alternatives arm should convert the same
+//! arrivals into more completed work and fewer deadline misses. Arrivals
+//! are open-loop — the stream does not slow down when the fabric is
+//! full — and both arms replay the identical arrival/deadline sequence.
+//!
+//! Reports goodput (useful tile·ticks of completed work), the
+//! deadline-miss rate, and wall-clock admission latency percentiles, and
+//! writes the result as a [`rrf_bench::BenchRecord`] artifact
+//! (`BENCH_sched.json` in CI).
+//!
+//! Usage: `sched_load [tasks] [seeds] [mean_gap] [--out FILE]`
+//! (defaults 120, 3, 40).
+
+use std::time::Instant;
+
+use rand::Rng;
+use rrf_bench::workload::{percentile_us, stream_rng, PoissonArrivals};
+use rrf_bench::{write_records, BenchRecord};
+use rrf_fabric::device::{self, ColumnLayout};
+use rrf_fabric::Region;
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_sched::{SchedConfig, Scheduler, TaskSpec};
+
+/// One arm's aggregate over all seeds.
+#[derive(Default)]
+struct ArmTotals {
+    submitted: u64,
+    admitted: u64,
+    rejected: u64,
+    completed: u64,
+    deadline_misses: u64,
+    goodput: u64,
+    admit_us: Vec<u64>,
+}
+
+/// The scheduling fabric: a narrow column-structured region (BRAM column
+/// every 8 columns, like the paper's device) — tight enough that footprint
+/// choice decides what fits next to what, and BRAM-bearing modules have
+/// only a few legal anchors per shape.
+fn sched_region() -> Region {
+    Region::whole(device::columns(
+        24,
+        8,
+        ColumnLayout {
+            bram_period: 8,
+            bram_offset: 4,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        },
+    ))
+}
+
+/// Drive one seeded stream through one scheduler arm. `single_shape`
+/// freezes every module to its first footprint (the no-alternatives arm);
+/// everything else — arrivals, durations, deadlines, priorities — draws
+/// from the same seed and is bit-identical across arms.
+fn run_arm(tasks: u64, seed: u64, mean_gap: f64, single_shape: bool, totals: &mut ArmTotals) {
+    let workload = generate_workload(&WorkloadSpec::small(8, seed));
+    let modules: Vec<_> = workload
+        .modules
+        .into_iter()
+        .map(|mut m| {
+            if single_shape {
+                m.shapes.truncate(1);
+            }
+            rrf_flow::ModuleEntry {
+                name: m.name,
+                shapes: m.shapes,
+                netlist: None,
+            }
+        })
+        .collect();
+
+    let mut sched = Scheduler::new(
+        sched_region(),
+        SchedConfig {
+            cp_fail_limit: 300,
+            ..SchedConfig::default()
+        },
+    );
+    let arrivals = PoissonArrivals { mean_gap };
+    let mut rng = stream_rng(seed);
+    let mut at = 0u64;
+    for i in 0..tasks {
+        at += arrivals.next_gap(&mut rng);
+        let duration = 50 + rng.gen_range(0..400);
+        // Three in four tasks carry a deadline a small multiple of their
+        // run time away — tight enough that configuration frames matter.
+        let deadline = if rng.gen_bool(0.75) {
+            Some(at + duration * rng.gen_range(2..4) + 64)
+        } else {
+            None
+        };
+        let priority = rng.gen_range(0..3);
+        sched.advance_to(at);
+        let spec = TaskSpec {
+            module: modules[(i as usize) % modules.len()].clone(),
+            arrival: at,
+            duration,
+            deadline,
+            priority,
+        };
+        let task = spec.resolve().expect("generated modules resolve");
+        let started = Instant::now();
+        let (admitted, _) = sched.submit(task);
+        totals.admit_us.push(started.elapsed().as_micros() as u64);
+        totals.submitted += 1;
+        match admitted {
+            Some(_) => totals.admitted += 1,
+            None => totals.rejected += 1,
+        }
+    }
+    // Drain: run the clock far enough that every reservation finishes.
+    sched.advance_to(at + 1_000_000);
+    let s = sched.stats();
+    totals.completed += s.completed;
+    totals.deadline_misses += s.deadline_misses;
+    totals.goodput += s.useful_area_ticks;
+}
+
+fn record(arm: &str, tasks: u64, seeds: u64, mean_gap: f64, t: &mut ArmTotals) -> BenchRecord {
+    t.admit_us.sort_unstable();
+    // Misses are rejections *and* expiries: an arrival turned away at
+    // admission missed its deadline as surely as one that expired in
+    // queue. Open-loop load makes the denominator the same for both arms.
+    let offered = t.submitted.max(1);
+    let miss_rate = (t.rejected + t.deadline_misses) as f64 / offered as f64;
+    BenchRecord::new("sched_load")
+        .param_str("arm", arm)
+        .param_u64("tasks_per_seed", tasks)
+        .param_u64("seeds", seeds)
+        .param_f64("mean_gap_ticks", mean_gap)
+        .metric_u64("submitted", t.submitted)
+        .metric_u64("admitted", t.admitted)
+        .metric_u64("rejected", t.rejected)
+        .metric_u64("completed", t.completed)
+        .metric_u64("deadline_misses", t.deadline_misses)
+        .metric_f64("miss_rate", miss_rate)
+        .metric_u64("goodput_area_ticks", t.goodput)
+        .metric_u64("admit_p50_us", percentile_us(&t.admit_us, 50.0))
+        .metric_u64("admit_p99_us", percentile_us(&t.admit_us, 99.0))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut out: Option<String> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--out" => out = Some(it.next().expect("--out needs a path").clone()),
+            other => positional.push(other),
+        }
+    }
+    let tasks: u64 = positional
+        .first()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let seeds: u64 = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let mean_gap: f64 = positional
+        .get(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+
+    eprintln!(
+        "sched_load: {seeds} seeds x {tasks} tasks, Poisson mean gap {mean_gap} ticks, \
+         24x8 column fabric"
+    );
+    let mut with = ArmTotals::default();
+    let mut without = ArmTotals::default();
+    for seed in 0..seeds {
+        run_arm(tasks, seed, mean_gap, false, &mut with);
+        run_arm(tasks, seed, mean_gap, true, &mut without);
+    }
+
+    let rec_with = record("with_alternatives", tasks, seeds, mean_gap, &mut with);
+    let rec_without = record("without_alternatives", tasks, seeds, mean_gap, &mut without);
+
+    let report = |label: &str, t: &ArmTotals| {
+        let offered = t.submitted.max(1);
+        println!(
+            "  {label}: {}/{} admitted, {} completed, {} misses \
+             (miss rate {:.1}%), goodput {} tile·ticks, admit p50 {}us p99 {}us",
+            t.admitted,
+            t.submitted,
+            t.completed,
+            t.deadline_misses,
+            (t.rejected + t.deadline_misses) as f64 / offered as f64 * 100.0,
+            t.goodput,
+            percentile_us(&t.admit_us, 50.0),
+            percentile_us(&t.admit_us, 99.0),
+        );
+    };
+    println!(
+        "Open-loop schedule load ({} tasks offered per arm):",
+        with.submitted
+    );
+    report("without alternatives", &without);
+    report("with alternatives:  ", &with);
+    let goodput_gain = with.goodput as f64 / without.goodput.max(1) as f64 * 100.0 - 100.0;
+    println!("  goodput gain with alternatives: {goodput_gain:+.1}%");
+
+    if let Some(path) = out {
+        write_records(&path, &[rec_with, rec_without]).expect("write bench record");
+        eprintln!("wrote {path}");
+    }
+
+    // The ablation's point, enforced: at equal offered load the
+    // alternatives arm must do at least as well on both headline metrics
+    // and strictly better on one.
+    let with_miss = (with.rejected + with.deadline_misses) as f64 / with.submitted.max(1) as f64;
+    let wo_miss =
+        (without.rejected + without.deadline_misses) as f64 / without.submitted.max(1) as f64;
+    if with.goodput < without.goodput || with_miss > wo_miss {
+        eprintln!(
+            "FAIL: alternatives did not help (goodput {} vs {}, miss {:.3} vs {:.3})",
+            with.goodput, without.goodput, with_miss, wo_miss
+        );
+        std::process::exit(1);
+    }
+    if with.goodput == without.goodput && (with_miss - wo_miss).abs() < f64::EPSILON {
+        eprintln!("FAIL: arms are indistinguishable — ablation shows nothing");
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,8 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
-use rrf_flow::{DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
+use rrf_bench::workload::{percentile_ms, small_online_module, small_region_spec};
+use rrf_flow::{FlowSpec, ModuleEntry, PlacerSettings};
 use rrf_modgen::{generate_workload, WorkloadSpec};
 use rrf_server::{start, Request, Response, ServerConfig};
 
@@ -50,29 +51,10 @@ impl Client {
     }
 }
 
-/// The region the small workloads are generated for (BRAM column period
-/// matching `rrf-modgen`'s layout parameters).
-fn small_region() -> RegionSpec {
-    RegionSpec {
-        device: DeviceSpec::Columns {
-            width: 60,
-            height: 8,
-            bram_period: 10,
-            bram_offset: 4,
-            dsp_period: 0,
-            dsp_offset: 0,
-            io_ring: 0,
-            center_clock: false,
-        },
-        bounds: None,
-        static_masks: vec![],
-    }
-}
-
 fn place_spec(seed: u64) -> FlowSpec {
     let workload = generate_workload(&WorkloadSpec::small(4, seed));
     FlowSpec {
-        region: small_region(),
+        region: small_region_spec(),
         modules: workload
             .modules
             .into_iter()
@@ -83,17 +65,6 @@ fn place_spec(seed: u64) -> FlowSpec {
             })
             .collect(),
         placer: PlacerSettings::default(),
-    }
-}
-
-/// One module entry for the online session, cycled by index.
-fn online_module(i: u64) -> ModuleEntry {
-    let workload = generate_workload(&WorkloadSpec::small(1, 100 + i % 7));
-    let m = workload.modules.into_iter().next().expect("one module");
-    ModuleEntry {
-        name: m.name,
-        shapes: m.shapes,
-        netlist: None,
     }
 }
 
@@ -155,7 +126,7 @@ fn run_client(
         &mut client,
         Request::OpenSession {
             id: next_id,
-            region: small_region(),
+            region: small_region_spec(),
         },
         &mut out,
     ) {
@@ -180,7 +151,7 @@ fn run_client(
             (1 | 4, Some(session)) => Request::Insert {
                 id,
                 session,
-                module: online_module(client_idx + i),
+                module: small_online_module(client_idx + i),
             },
             (2, Some(session)) if !slots.is_empty() => Request::Remove {
                 id,
@@ -221,14 +192,6 @@ fn run_client(
         );
     }
     out
-}
-
-fn percentile(sorted_us: &[u64], p: f64) -> f64 {
-    if sorted_us.is_empty() {
-        return 0.0;
-    }
-    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
-    sorted_us[rank.min(sorted_us.len() - 1)] as f64 / 1000.0
 }
 
 fn main() {
@@ -293,10 +256,10 @@ fn main() {
     );
     println!(
         "latency ms:  p50 {:.2}  p90 {:.2}  p99 {:.2}  max {:.2}",
-        percentile(&latencies, 50.0),
-        percentile(&latencies, 90.0),
-        percentile(&latencies, 99.0),
-        percentile(&latencies, 100.0),
+        percentile_ms(&latencies, 50.0),
+        percentile_ms(&latencies, 90.0),
+        percentile_ms(&latencies, 99.0),
+        percentile_ms(&latencies, 100.0),
     );
     println!("place cache: {hits} hits / {misses} misses");
     println!("online:      {rejected} inserts rejected (region full — not errors)");

@@ -8,9 +8,16 @@
 #![forbid(unsafe_code)]
 
 pub mod experiment;
+pub mod record;
 pub mod traceload;
+pub mod workload;
 
 pub use experiment::{
     paper_problem, paper_region, workload_modules, ArmResult, ExperimentSetup, TableOneRow,
 };
+pub use record::{render, write_records, BenchRecord};
 pub use traceload::{deterministic_config, parse_workload, run_traced, trace_problem};
+pub use workload::{
+    arrive_next, percentile_ms, percentile_us, small_online_module, small_region_spec, stream_rng,
+    workload_arms, PoissonArrivals, SEED_MIX,
+};

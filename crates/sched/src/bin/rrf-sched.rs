@@ -1,0 +1,387 @@
+//! rrf-sched: replay a task trace against a region and print the
+//! schedule as deterministic NDJSON events plus a final summary line.
+//!
+//! The input is an op script (NDJSON, one op per line, tagged by `op`):
+//!
+//! ```text
+//! {"op":"submit","at":0,"task":{"module":{"name":"a","shapes":[...]},"duration":100}}
+//! {"op":"cancel","at":40,"task":1}
+//! {"op":"fault","at":50,"fault":{"kind":"column","x":3}}
+//! {"op":"clear_fault","at":80,"fault":{"kind":"column","x":3}}
+//! {"op":"advance","to":500}
+//! ```
+//!
+//! `at` advances the logical clock before the op applies; `task` in
+//! `cancel` is the scheduler-assigned id (1-based admission order).
+//! Because the scheduler is purely logical-time, the full output —
+//! admission outcomes, every commit/evict/finish event, the final ledger
+//! digest — is byte-identical across runs, which is what the golden
+//! schedule test in CI diffs against.
+
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use rrf_fabric::Fault;
+use rrf_flow::{DeviceSpec, RegionSpec};
+use rrf_modgen::{generate_workload, WorkloadSpec};
+use rrf_sched::{SchedConfig, Scheduler, TaskSpec, Tick};
+use serde::{Deserialize, Serialize};
+
+const USAGE: &str = "\
+rrf-sched: spatio-temporal schedule replay
+
+USAGE:
+    rrf-sched (--tasks FILE | --gen poisson:COUNT:SEED) [OPTIONS]
+
+INPUT:
+    --tasks FILE          NDJSON op script (see module docs for the format)
+    --gen poisson:N:SEED  generate N tasks with Poisson-ish arrivals instead
+
+REGION (default: 24x8 columns device, BRAM every 10th column):
+    --region FILE         full RegionSpec JSON (overrides the flags below)
+    --width W, --height H
+    --bram-period N       0 = homogeneous CLB fabric
+    --bram-offset N
+
+SCHEDULER:
+    --ns-per-tick N       logical tick length in ns (default 1000)
+    --lookahead N         future start times tried per task (default 4)
+    --no-cp               disable the CP batch rung
+    --cp-fail-limit N     CP failure budget per batch (default 800)
+    --advance-to T        advance the clock to T after the last op
+
+OUTPUT:
+    --stats-only          suppress per-event lines, print only the summary
+    --help, --version
+";
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+enum ScriptOp {
+    Submit {
+        #[serde(default)]
+        at: Option<Tick>,
+        task: TaskSpec,
+    },
+    Cancel {
+        #[serde(default)]
+        at: Option<Tick>,
+        task: u64,
+    },
+    Fault {
+        #[serde(default)]
+        at: Option<Tick>,
+        fault: Fault,
+    },
+    ClearFault {
+        #[serde(default)]
+        at: Option<Tick>,
+        fault: Fault,
+    },
+    Advance {
+        to: Tick,
+    },
+}
+
+struct Options {
+    tasks: Option<String>,
+    gen: Option<String>,
+    region: Option<String>,
+    width: i32,
+    height: i32,
+    bram_period: i32,
+    bram_offset: i32,
+    ns_per_tick: u64,
+    lookahead: usize,
+    use_cp: bool,
+    cp_fail_limit: u64,
+    advance_to: Option<Tick>,
+    stats_only: bool,
+}
+
+impl Default for Options {
+    fn default() -> Options {
+        Options {
+            tasks: None,
+            gen: None,
+            region: None,
+            width: 24,
+            height: 8,
+            bram_period: 10,
+            bram_offset: 4,
+            ns_per_tick: 1_000,
+            lookahead: 4,
+            use_cp: true,
+            cp_fail_limit: 800,
+            advance_to: None,
+            stats_only: false,
+        }
+    }
+}
+
+fn usage_exit() -> ! {
+    eprint!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> String {
+            args.next().unwrap_or_else(|| {
+                eprintln!("rrf-sched: {name} needs a value");
+                usage_exit()
+            })
+        };
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--version" | "-V" => {
+                println!("rrf-sched {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--tasks" => opts.tasks = Some(value("--tasks")),
+            "--gen" => opts.gen = Some(value("--gen")),
+            "--region" => opts.region = Some(value("--region")),
+            "--width" => opts.width = value("--width").parse().unwrap_or_else(|_| usage_exit()),
+            "--height" => opts.height = value("--height").parse().unwrap_or_else(|_| usage_exit()),
+            "--bram-period" => {
+                opts.bram_period = value("--bram-period")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit())
+            }
+            "--bram-offset" => {
+                opts.bram_offset = value("--bram-offset")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit())
+            }
+            "--ns-per-tick" => {
+                opts.ns_per_tick = value("--ns-per-tick")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit())
+            }
+            "--lookahead" => {
+                opts.lookahead = value("--lookahead")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit())
+            }
+            "--no-cp" => opts.use_cp = false,
+            "--cp-fail-limit" => {
+                opts.cp_fail_limit = value("--cp-fail-limit")
+                    .parse()
+                    .unwrap_or_else(|_| usage_exit())
+            }
+            "--advance-to" => {
+                opts.advance_to = Some(
+                    value("--advance-to")
+                        .parse()
+                        .unwrap_or_else(|_| usage_exit()),
+                )
+            }
+            "--stats-only" => opts.stats_only = true,
+            other => {
+                eprintln!("rrf-sched: unknown flag {other}");
+                usage_exit();
+            }
+        }
+    }
+    if opts.tasks.is_none() == opts.gen.is_none() {
+        eprintln!("rrf-sched: exactly one of --tasks or --gen is required");
+        usage_exit();
+    }
+    opts
+}
+
+fn build_region(opts: &Options) -> Result<rrf_fabric::Region, String> {
+    let spec = match &opts.region {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("reading region spec {path}: {e}"))?;
+            serde_json::from_str::<RegionSpec>(&text)
+                .map_err(|e| format!("parsing region spec {path}: {e}"))?
+        }
+        None => RegionSpec {
+            device: if opts.bram_period > 0 {
+                DeviceSpec::Columns {
+                    width: opts.width,
+                    height: opts.height,
+                    bram_period: opts.bram_period,
+                    bram_offset: opts.bram_offset,
+                    dsp_period: 0,
+                    dsp_offset: 0,
+                    io_ring: 0,
+                    center_clock: false,
+                }
+            } else {
+                DeviceSpec::Homogeneous {
+                    width: opts.width,
+                    height: opts.height,
+                }
+            },
+            bounds: None,
+            static_masks: Vec::new(),
+        },
+    };
+    spec.build().map_err(|e| format!("building region: {e}"))
+}
+
+fn load_ops(opts: &Options) -> Result<Vec<ScriptOp>, String> {
+    if let Some(path) = &opts.tasks {
+        let text =
+            std::fs::read_to_string(path).map_err(|e| format!("reading op script {path}: {e}"))?;
+        let mut ops = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let op = serde_json::from_str::<ScriptOp>(line)
+                .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+            ops.push(op);
+        }
+        Ok(ops)
+    } else {
+        generate_ops(opts.gen.as_deref().expect("gen or tasks"))
+    }
+}
+
+/// `poisson:COUNT:SEED` — COUNT submits over modgen's small workload with
+/// integer pseudo-exponential gaps, deterministic under the seed.
+fn generate_ops(spec: &str) -> Result<Vec<ScriptOp>, String> {
+    use rand::{Rng, SeedableRng};
+    let parts: Vec<&str> = spec.split(':').collect();
+    let (count, seed) = match parts.as_slice() {
+        ["poisson", c, s] => (
+            c.parse::<usize>()
+                .map_err(|e| format!("--gen count: {e}"))?,
+            s.parse::<u64>().map_err(|e| format!("--gen seed: {e}"))?,
+        ),
+        _ => return Err(format!("--gen: expected poisson:COUNT:SEED, got {spec}")),
+    };
+    let workload = generate_workload(&WorkloadSpec::small(count.max(1), seed));
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed ^ 0x5ced_u64);
+    let mut ops = Vec::new();
+    let mut at: Tick = 0;
+    const MEAN_GAP: u64 = 60;
+    for (i, m) in workload.modules.iter().cycle().take(count).enumerate() {
+        // Sum of two uniforms approximates the exponential's variance
+        // without floats; the exact law only matters for the bench's
+        // generator, which uses the real thing.
+        let gap = (rng.gen_range(0..MEAN_GAP) + rng.gen_range(0..MEAN_GAP)) / 2 + 1;
+        at += gap;
+        let duration = 50 + rng.gen_range(0..400);
+        let deadline = if rng.gen_range(0..4u32) < 3 {
+            Some(at + duration * rng.gen_range(2..5) + 100)
+        } else {
+            None
+        };
+        ops.push(ScriptOp::Submit {
+            at: Some(at),
+            task: TaskSpec {
+                module: rrf_flow::ModuleEntry {
+                    name: format!("{}#{i}", m.name),
+                    shapes: m.shapes.clone(),
+                    netlist: None,
+                },
+                arrival: at,
+                duration,
+                deadline,
+                priority: rng.gen_range(0..3),
+            },
+        });
+    }
+    Ok(ops)
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args();
+    let region = build_region(&opts)?;
+    let ops = load_ops(&opts)?;
+    let mut sched = Scheduler::new(
+        region,
+        SchedConfig {
+            ns_per_tick: opts.ns_per_tick,
+            lookahead: opts.lookahead,
+            use_cp: opts.use_cp,
+            cp_fail_limit: opts.cp_fail_limit,
+            keep_log: true,
+            ..SchedConfig::default()
+        },
+    );
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut emit = |sched: &mut Scheduler| -> Result<(), String> {
+        for ev in sched.take_log() {
+            if !opts.stats_only {
+                let line = serde_json::to_string(&ev).map_err(|e| e.to_string())?;
+                writeln!(out, "{line}").map_err(|e| e.to_string())?;
+            }
+        }
+        Ok(())
+    };
+    for op in ops {
+        let at = match &op {
+            ScriptOp::Submit { at, .. }
+            | ScriptOp::Cancel { at, .. }
+            | ScriptOp::Fault { at, .. }
+            | ScriptOp::ClearFault { at, .. } => *at,
+            ScriptOp::Advance { to } => Some(*to),
+        };
+        if let Some(at) = at {
+            sched.advance_to(at);
+        }
+        match op {
+            ScriptOp::Submit { task, .. } => {
+                let task = task.resolve()?;
+                sched.submit(task);
+            }
+            ScriptOp::Cancel { task, .. } => {
+                sched.cancel(task);
+            }
+            ScriptOp::Fault { fault, .. } => {
+                sched.inject_fault(fault);
+            }
+            ScriptOp::ClearFault { fault, .. } => {
+                sched.clear_fault(fault);
+            }
+            ScriptOp::Advance { .. } => {}
+        }
+        emit(&mut sched)?;
+    }
+    if let Some(t) = opts.advance_to {
+        sched.advance_to(t);
+        emit(&mut sched)?;
+    }
+    let summary = serde::Value::Object(vec![
+        ("now".into(), sched.now().to_value()),
+        (
+            "digest".into(),
+            serde::Value::Str(format!("{:016x}", sched.digest())),
+        ),
+        (
+            "queue_depth".into(),
+            (sched.queue_depth() as u64).to_value(),
+        ),
+        (
+            "reservations".into(),
+            (sched.reservations().len() as u64).to_value(),
+        ),
+        ("stats".into(), sched.stats().to_value()),
+    ]);
+    let line = serde_json::to_string(&summary).map_err(|e| e.to_string())?;
+    writeln!(std::io::stdout(), "{line}").map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("rrf-sched: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! rrf-sched: spatio-temporal scheduling of reconfigurable modules.
+//!
+//! The fabric is treated as a 3-D packing volume — the region's (x, y)
+//! plane extruded along logical time t — and every admitted task books a
+//! box of that volume through a [`ReservationLedger`] that enforces the
+//! schedule's invariants (no spatio-temporal overlap, no faulted tiles)
+//! at the commit boundary.
+//!
+//! The crate splits into three layers:
+//!
+//! - [`task`]: what is scheduled — a module with design alternatives plus
+//!   arrival/duration/deadline/priority, and the shape-intrinsic
+//!   reconfiguration-cost bound that admission charges each alternative.
+//! - [`ledger`]: where and when — committed reservations over the
+//!   region, with the invariant checks and the determinism digest.
+//! - [`sched`]: who and why — deadline-aware admission, the EDF (+
+//!   priority aging) queue, the CP/greedy/lookahead planning ladder, and
+//!   eviction under deadline pressure.
+//!
+//! Everything is driven by a logical clock, so the same op sequence
+//! always produces the same schedule — the property the proptests, the
+//! golden-schedule CI gate, and the server's journal replay all lean on.
+
+#![forbid(unsafe_code)]
+
+pub mod ledger;
+pub mod sched;
+pub mod task;
+
+pub use ledger::{CommitError, Reservation, ReservationLedger};
+pub use sched::{
+    AdmitOutcome, CancelOutcome, FaultSummary, SchedConfig, SchedEvent, SchedStats, Scheduler,
+};
+pub use task::{best_config_ticks, shape_config_ticks, Task, TaskId, TaskSpec, Tick};

@@ -1,0 +1,1030 @@
+//! The spatio-temporal scheduler: deadline-aware admission, an EDF (+
+//! priority aging) queue, and a lookahead planner over the reservation
+//! ledger.
+//!
+//! Time is logical (see [`Tick`]): the clock only moves when the caller
+//! says so ([`Scheduler::advance_to`]), and every decision — admission,
+//! placement, eviction — is a deterministic function of the op sequence.
+//! That is what makes journal replay reproduce the ledger bit-identically
+//! and golden-schedule tests byte-exact.
+//!
+//! **Admission** (at submit): a task is rejected outright when no
+//! alternative has a single valid anchor on the region
+//! (`rejected_unplaceable`), or when even its cheapest-to-load
+//! alternative cannot finish by the deadline starting immediately
+//! (`rejected_deadline`) — `arrival + best_config + duration > deadline`
+//! is unschedulable no matter what the planner does. Everything else is
+//! queued; admission never looks at current occupancy, because occupancy
+//! drains.
+//!
+//! **Planning** (after every submit, cancel, fault, and clock event):
+//! ready tasks are ordered by EDF with priority aging and offered to a
+//! degradation ladder per time-slice — a joint CP placement of the head
+//! batch on the fault- and reservation-masked region first (the paper's
+//! exact placer, deterministic via a fail limit), then per-task
+//! first-fit over `allowed_anchors`. A task that does not fit *now* may
+//! be booked at a future reservation-end time (lookahead); a
+//! deadline-pressed task that still does not fit may evict future
+//! (not-yet-started) bookings of strictly less urgent tasks, which are
+//! requeued. Reservations whose load has begun are never preempted —
+//! the paper's own argument against runtime migration.
+//!
+//! A committed reservation always meets its deadline by construction;
+//! misses therefore only happen in the queue (`deadline_misses`) or
+//! through faults killing loaded reservations (`fault_killed`).
+
+use std::cmp::Reverse;
+
+use rrf_core::{cp, FrameCostModel, PlacementProblem, PlacerConfig, SearchStrategy};
+use rrf_fabric::{Fault, Rect, Region};
+use rrf_geost::allowed_anchors;
+use rrf_trace::{tpoint, tspan, Tracer};
+use serde::{Deserialize, Serialize};
+
+use crate::ledger::{Reservation, ReservationLedger};
+use crate::task::{best_config_ticks, shape_config_ticks, Task, TaskId, Tick};
+
+/// Scheduler tuning. The defaults keep every knob deterministic: the CP
+/// rung runs under a fail limit (never a clock), and one tick is 1 µs of
+/// modeled reconfiguration time.
+#[derive(Clone)]
+pub struct SchedConfig {
+    pub model: FrameCostModel,
+    /// Nanoseconds of modeled time per tick (reconfiguration costs are
+    /// converted with ceiling division; default 1000 = 1 µs/tick).
+    pub ns_per_tick: u64,
+    /// Admission bound on queued (admitted, unreserved) tasks.
+    pub queue_cap: usize,
+    /// Head-of-queue batch size offered to the CP rung.
+    pub batch_cap: usize,
+    /// Future reservation-end times tried per task when it does not fit
+    /// at the current tick.
+    pub lookahead: usize,
+    /// Whether the CP rung runs at all (the greedy rung always does).
+    pub use_cp: bool,
+    /// CP failure budget per batch attempt (deterministic stand-in for a
+    /// time limit; see `rrf_bench::deterministic_config`).
+    pub cp_fail_limit: u64,
+    /// Minimum ready batch worth a joint CP attempt.
+    pub cp_min_batch: usize,
+    /// Ticks of waiting per step of effective priority gained.
+    pub aging_period: Tick,
+    /// Record [`SchedEvent`]s for replay/golden output.
+    pub keep_log: bool,
+    pub tracer: Tracer,
+}
+
+impl Default for SchedConfig {
+    fn default() -> SchedConfig {
+        SchedConfig {
+            model: FrameCostModel::default(),
+            ns_per_tick: 1_000,
+            queue_cap: 1_024,
+            batch_cap: 16,
+            lookahead: 4,
+            use_cp: true,
+            cp_fail_limit: 800,
+            cp_min_batch: 2,
+            aging_period: 1_000,
+            keep_log: false,
+            tracer: Tracer::default(),
+        }
+    }
+}
+
+/// Admission verdict for one submitted task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum AdmitOutcome {
+    Admitted,
+    /// No design alternative has a single valid anchor on the region.
+    RejectedUnplaceable,
+    /// Even the cheapest-loading alternative misses the deadline when
+    /// started immediately on arrival.
+    RejectedDeadline,
+    /// The admitted-but-unreserved queue is at `queue_cap`.
+    RejectedQueueFull,
+}
+
+impl AdmitOutcome {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            AdmitOutcome::Admitted => "admitted",
+            AdmitOutcome::RejectedUnplaceable => "rejected_unplaceable",
+            AdmitOutcome::RejectedDeadline => "rejected_deadline",
+            AdmitOutcome::RejectedQueueFull => "rejected_queue_full",
+        }
+    }
+}
+
+/// What a cancel hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum CancelOutcome {
+    /// Still queued; removed before any fabric was booked.
+    Queued,
+    /// Had a future reservation; the booking was released.
+    Reserved,
+    /// Its reservation had started (loading or running); unloaded.
+    Active,
+    /// Not a live task id (finished, expired, or never admitted).
+    Unknown,
+}
+
+impl CancelOutcome {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            CancelOutcome::Queued => "queued",
+            CancelOutcome::Reserved => "reserved",
+            CancelOutcome::Active => "active",
+            CancelOutcome::Unknown => "unknown",
+        }
+    }
+}
+
+/// Impact of one fault injection on the schedule.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultSummary {
+    /// Tiles newly marked defective.
+    pub tiles: u64,
+    /// Future reservations released and requeued.
+    pub evicted: Vec<TaskId>,
+    /// Started reservations killed outright.
+    pub killed: Vec<TaskId>,
+}
+
+/// Cumulative counters (serde: additive-only, `#[serde(default)]` on
+/// anything added later).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedStats {
+    pub submitted: u64,
+    pub admitted: u64,
+    pub rejected_unplaceable: u64,
+    pub rejected_deadline: u64,
+    pub rejected_queue_full: u64,
+    /// Reservations committed, by rung.
+    pub committed_cp: u64,
+    pub committed_greedy: u64,
+    /// Commits whose start lies in the future (lookahead bookings).
+    pub booked_ahead: u64,
+    /// Future reservations released to make room for a more urgent task.
+    pub evicted: u64,
+    /// Tasks whose reservation ran to completion.
+    pub completed: u64,
+    /// Queued tasks dropped because their deadline became unreachable.
+    pub deadline_misses: u64,
+    /// Future reservations released by a fault (requeued).
+    pub fault_evicted: u64,
+    /// Started reservations killed by a fault.
+    pub fault_killed: u64,
+    pub cancelled: u64,
+    /// CP batch attempts (committed or not).
+    pub cp_batches: u64,
+    /// Tile·ticks of useful (post-configuration) fabric occupation by
+    /// completed tasks — the goodput numerator.
+    pub useful_area_ticks: u64,
+}
+
+/// One schedule event, recorded when [`SchedConfig::keep_log`] is on.
+/// Serialized as NDJSON by the `rrf-sched` CLI; the stream is
+/// byte-deterministic under a fixed op sequence.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum SchedEvent {
+    Admit {
+        task: TaskId,
+        at: Tick,
+    },
+    Reject {
+        at: Tick,
+        outcome: String,
+    },
+    Commit {
+        task: TaskId,
+        shape: usize,
+        x: i32,
+        y: i32,
+        start: Tick,
+        active: Tick,
+        end: Tick,
+    },
+    Finish {
+        task: TaskId,
+        at: Tick,
+    },
+    Expire {
+        task: TaskId,
+        at: Tick,
+    },
+    Evict {
+        task: TaskId,
+        at: Tick,
+        by_fault: bool,
+    },
+    FaultKill {
+        task: TaskId,
+        at: Tick,
+    },
+    Cancel {
+        task: TaskId,
+        at: Tick,
+        outcome: String,
+    },
+}
+
+/// An admitted task plus its admission-time derived bounds.
+#[derive(Debug, Clone)]
+struct TaskRec {
+    task: Task,
+    /// Latest start tick that can still meet the deadline (via the
+    /// cheapest alternative); `None` = best effort, never expires.
+    latest_start: Option<Tick>,
+}
+
+/// EDF-with-aging urgency key: smaller is more urgent. Deadline first,
+/// then aged priority (higher breaks the tie), then task id for total
+/// determinism.
+type UrgencyKey = (Tick, Reverse<u64>, TaskId);
+
+pub struct Scheduler {
+    region: Region,
+    config: SchedConfig,
+    now: Tick,
+    next_task: TaskId,
+    tasks: std::collections::BTreeMap<TaskId, TaskRec>,
+    queue: Vec<TaskId>,
+    ledger: ReservationLedger,
+    stats: SchedStats,
+    log: Vec<SchedEvent>,
+}
+
+impl Scheduler {
+    /// A scheduler over `region` at tick 0. The region is the packing
+    /// volume's spatial cross-section; its static masks and faults are
+    /// honored from the first plan.
+    pub fn new(region: Region, config: SchedConfig) -> Scheduler {
+        Scheduler {
+            region,
+            config,
+            now: 0,
+            next_task: 1,
+            tasks: Default::default(),
+            queue: Vec::new(),
+            ledger: ReservationLedger::default(),
+            stats: SchedStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    pub fn region(&self) -> &Region {
+        &self.region
+    }
+
+    pub fn stats(&self) -> &SchedStats {
+        &self.stats
+    }
+
+    /// Admitted tasks not yet holding a reservation.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Unfinished reservations, ascending by task id.
+    pub fn reservations(&self) -> Vec<&Reservation> {
+        self.ledger.iter().collect()
+    }
+
+    /// Recorded events so far (empty unless `keep_log`); draining resets.
+    pub fn take_log(&mut self) -> Vec<SchedEvent> {
+        std::mem::take(&mut self.log)
+    }
+
+    /// FNV-1a over clock, queue, and ledger — equal digests mean the
+    /// schedules are bit-identical (stats are compared separately).
+    pub fn digest(&self) -> u64 {
+        let mut h = self.ledger.digest() ^ 0x9e37_79b9_7f4a_7c15;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        mix(self.now);
+        mix(self.next_task);
+        for id in &self.queue {
+            mix(*id);
+            mix(self.tasks[id].task.arrival);
+        }
+        h
+    }
+
+    fn record(&mut self, ev: SchedEvent) {
+        if self.config.keep_log {
+            self.log.push(ev);
+        }
+    }
+
+    /// Submit one task. Admission is a pure function of the task and the
+    /// region (never of current occupancy); an admitted task is planned
+    /// immediately. Returns the assigned id on admission.
+    pub fn submit(&mut self, mut task: Task) -> (Option<TaskId>, AdmitOutcome) {
+        let tracer = self.config.tracer.clone();
+        let _span = tspan!(tracer, "sched.admit", "now" => self.now);
+        self.stats.submitted += 1;
+        task.arrival = task.arrival.max(self.now);
+        let outcome = self.admit_check(&task);
+        if outcome != AdmitOutcome::Admitted {
+            match outcome {
+                AdmitOutcome::RejectedUnplaceable => self.stats.rejected_unplaceable += 1,
+                AdmitOutcome::RejectedDeadline => self.stats.rejected_deadline += 1,
+                AdmitOutcome::RejectedQueueFull => self.stats.rejected_queue_full += 1,
+                AdmitOutcome::Admitted => unreachable!(),
+            }
+            tpoint!(tracer, "sched.admit.result", "outcome" => outcome.as_str());
+            self.record(SchedEvent::Reject {
+                at: self.now,
+                outcome: outcome.as_str().to_string(),
+            });
+            return (None, outcome);
+        }
+        let best_config =
+            best_config_ticks(&task.module, &self.config.model, self.config.ns_per_tick);
+        let latest_start = task
+            .deadline
+            .map(|d| d.saturating_sub(task.duration + best_config));
+        let id = self.next_task;
+        self.next_task += 1;
+        self.stats.admitted += 1;
+        tpoint!(tracer, "sched.admit.result", "outcome" => "admitted", "task" => id);
+        self.record(SchedEvent::Admit {
+            task: id,
+            at: self.now,
+        });
+        self.tasks.insert(id, TaskRec { task, latest_start });
+        self.queue.push(id);
+        self.replan();
+        (Some(id), AdmitOutcome::Admitted)
+    }
+
+    fn admit_check(&self, task: &Task) -> AdmitOutcome {
+        if self.queue.len() >= self.config.queue_cap {
+            return AdmitOutcome::RejectedQueueFull;
+        }
+        // Shapes with at least one valid anchor (bounds, resource match,
+        // static masks, faults) — and among those, the cheapest load.
+        let mut best: Option<Tick> = None;
+        for shape in task.module.shapes() {
+            if rrf_geost::first_anchor(&self.region, shape).is_some() {
+                let cfg = shape_config_ticks(shape, &self.config.model, self.config.ns_per_tick);
+                best = Some(best.map_or(cfg, |b: Tick| b.min(cfg)));
+            }
+        }
+        let Some(best) = best else {
+            return AdmitOutcome::RejectedUnplaceable;
+        };
+        if let Some(deadline) = task.deadline {
+            if task.arrival + best + task.duration > deadline {
+                return AdmitOutcome::RejectedDeadline;
+            }
+        }
+        AdmitOutcome::Admitted
+    }
+
+    /// Cancel a task wherever it currently lives.
+    pub fn cancel(&mut self, id: TaskId) -> CancelOutcome {
+        let outcome = if let Some(pos) = self.queue.iter().position(|q| *q == id) {
+            self.queue.remove(pos);
+            self.tasks.remove(&id);
+            CancelOutcome::Queued
+        } else if let Some(r) = self.ledger.remove(id) {
+            self.tasks.remove(&id);
+            // A reservation has *begun* only strictly after its start
+            // tick; at `start == now` no frame has been written yet.
+            if r.start >= self.now {
+                CancelOutcome::Reserved
+            } else {
+                CancelOutcome::Active
+            }
+        } else {
+            CancelOutcome::Unknown
+        };
+        if outcome != CancelOutcome::Unknown {
+            self.stats.cancelled += 1;
+            self.record(SchedEvent::Cancel {
+                task: id,
+                at: self.now,
+                outcome: outcome.as_str().to_string(),
+            });
+            // Freed volume may unblock a queued task.
+            self.replan();
+        }
+        outcome
+    }
+
+    /// Advance the logical clock to `t`, processing every event in order
+    /// (reservation completions, arrivals, queue expirations) and
+    /// replanning after each. `t <= now` is a no-op.
+    pub fn advance_to(&mut self, t: Tick) {
+        while self.now < t {
+            let mut next = t;
+            if let Some(e) = self.ledger.next_end_after(self.now) {
+                next = next.min(e);
+            }
+            for id in &self.queue {
+                let rec = &self.tasks[id];
+                if rec.task.arrival > self.now {
+                    next = next.min(rec.task.arrival);
+                }
+                if let Some(ls) = rec.latest_start {
+                    if ls + 1 > self.now {
+                        next = next.min(ls + 1);
+                    }
+                }
+            }
+            self.now = next;
+            self.finish_completed();
+            self.expire_queued();
+            self.replan();
+        }
+    }
+
+    /// Mark fabric tiles defective. Future reservations covering them are
+    /// released and requeued; started ones are killed (no migration).
+    pub fn inject_fault(&mut self, fault: Fault) -> FaultSummary {
+        let tiles = self.region.inject_fault(fault);
+        let mut summary = FaultSummary {
+            tiles: tiles.len() as u64,
+            ..FaultSummary::default()
+        };
+        for id in self.ledger.faulted_tasks(&self.region) {
+            let r = self
+                .ledger
+                .remove(id)
+                .expect("listed task has a reservation");
+            if r.start >= self.now {
+                self.stats.fault_evicted += 1;
+                self.record(SchedEvent::Evict {
+                    task: id,
+                    at: self.now,
+                    by_fault: true,
+                });
+                self.queue.push(id);
+                summary.evicted.push(id);
+            } else {
+                self.stats.fault_killed += 1;
+                self.record(SchedEvent::FaultKill {
+                    task: id,
+                    at: self.now,
+                });
+                self.tasks.remove(&id);
+                summary.killed.push(id);
+            }
+        }
+        self.expire_queued();
+        self.replan();
+        summary
+    }
+
+    /// Restore previously faulted tiles; freed volume is replanned.
+    pub fn clear_fault(&mut self, fault: Fault) -> u64 {
+        let tiles = self.region.clear_fault(fault);
+        self.replan();
+        tiles.len() as u64
+    }
+
+    /// Pop completed reservations and credit goodput.
+    fn finish_completed(&mut self) {
+        for r in self.ledger.pop_finished(self.now) {
+            self.stats.completed += 1;
+            self.stats.useful_area_ticks += r.area() * (r.end - r.active);
+            self.record(SchedEvent::Finish {
+                task: r.task,
+                at: self.now,
+            });
+            self.tasks.remove(&r.task);
+        }
+    }
+
+    /// Drop queued tasks whose deadline became unreachable.
+    fn expire_queued(&mut self) {
+        let now = self.now;
+        let mut expired: Vec<TaskId> = Vec::new();
+        self.queue.retain(|id| {
+            let late = matches!(self.tasks[id].latest_start, Some(ls) if now > ls);
+            if late {
+                expired.push(*id);
+            }
+            !late
+        });
+        for id in expired {
+            self.stats.deadline_misses += 1;
+            self.record(SchedEvent::Expire { task: id, at: now });
+            self.tasks.remove(&id);
+        }
+    }
+
+    fn urgency(&self, id: TaskId) -> UrgencyKey {
+        let rec = &self.tasks[&id];
+        let aged = rec.task.priority as u64
+            + self.now.saturating_sub(rec.task.arrival) / self.config.aging_period.max(1);
+        (rec.task.deadline.unwrap_or(Tick::MAX), Reverse(aged), id)
+    }
+
+    /// Queued tasks that have arrived, most urgent first.
+    fn ready(&self) -> Vec<TaskId> {
+        let mut ready: Vec<TaskId> = self
+            .queue
+            .iter()
+            .copied()
+            .filter(|id| self.tasks[id].task.arrival <= self.now)
+            .collect();
+        ready.sort_by_key(|id| self.urgency(*id));
+        ready
+    }
+
+    /// Plan until a fixpoint: each round may commit reservations or evict
+    /// less urgent future bookings, which can unblock further commits.
+    fn replan(&mut self) {
+        let tracer = self.config.tracer.clone();
+        let span = tspan!(tracer, "sched.plan",
+            "now" => self.now,
+            "queued" => self.queue.len(),
+            "reserved" => self.ledger.len());
+        let rounds = self.queue.len() + 1;
+        for round in 0..rounds {
+            if !self.plan_round(round == 0) {
+                break;
+            }
+        }
+        tpoint!(tracer, "sched.queue", "depth" => self.queue.len());
+        drop(span);
+    }
+
+    /// One planning pass; returns whether anything was committed.
+    fn plan_round(&mut self, try_cp: bool) -> bool {
+        let ready = self.ready();
+        if ready.is_empty() {
+            return false;
+        }
+        let mut progress = false;
+        if try_cp && self.config.use_cp && ready.len() >= self.config.cp_min_batch {
+            progress |= self.plan_cp_batch(&ready);
+        }
+        for id in ready {
+            if !self.queue.contains(&id) {
+                continue; // the CP rung already committed it
+            }
+            progress |= self.try_place_task(id);
+        }
+        progress
+    }
+
+    /// Rung 1: joint CP placement of the head batch at the current tick,
+    /// on the region with every unfinished reservation masked static —
+    /// conservative (a reservation blocks its tiles for the whole batch
+    /// interval) but exact within that volume, and deterministic under
+    /// the fail limit.
+    fn plan_cp_batch(&mut self, ready: &[TaskId]) -> bool {
+        let batch: Vec<TaskId> = ready.iter().copied().take(self.config.batch_cap).collect();
+        let mut masked = self.region.clone();
+        for r in self.ledger.iter() {
+            for rect in &r.rects {
+                masked.add_static_mask(*rect);
+            }
+        }
+        let modules = batch
+            .iter()
+            .map(|id| self.tasks[id].task.module.clone())
+            .collect();
+        let problem = PlacementProblem::new(masked, modules);
+        let config = PlacerConfig {
+            time_limit: None,
+            fail_limit: Some(self.config.cp_fail_limit),
+            strategy: SearchStrategy::Sequential,
+            tracer: self.config.tracer.clone(),
+            ..PlacerConfig::default()
+        };
+        self.stats.cp_batches += 1;
+        let outcome = cp::place(&problem, &config);
+        let Some(plan) = outcome.plan else {
+            return false;
+        };
+        let mut placements = plan.placements.clone();
+        placements.sort_by_key(|p| p.module);
+        let mut progress = false;
+        for p in placements {
+            let id = batch[p.module];
+            let rec = &self.tasks[&id];
+            let shape = &rec.task.module.shapes()[p.shape];
+            let cfg = shape_config_ticks(shape, &self.config.model, self.config.ns_per_tick);
+            let end = self.now + cfg + rec.task.duration;
+            if rec.task.deadline.is_some_and(|d| end > d) {
+                continue; // this shape loads too slowly; rung 2 retries
+            }
+            let rects: Vec<Rect> = shape.boxes().iter().map(|b| b.placed(p.x, p.y)).collect();
+            if self.commit(id, p.shape, p.x, p.y, self.now, cfg, rects) {
+                self.stats.committed_cp += 1;
+                progress = true;
+            }
+        }
+        progress
+    }
+
+    /// Rung 2 for one task: first-fit over shapes × anchors at the
+    /// current tick, then at up to `lookahead` future reservation-end
+    /// times, then (deadline-pressed only) after evicting strictly less
+    /// urgent future bookings.
+    fn try_place_task(&mut self, id: TaskId) -> bool {
+        let mut starts = vec![self.now];
+        starts.extend(self.ledger.ends_after(self.now, self.config.lookahead));
+        for t0 in starts {
+            if let Some((shape, x, y, cfg, rects)) = self.find_fit(id, t0) {
+                let booked_ahead = t0 > self.now;
+                if self.commit(id, shape, x, y, t0, cfg, rects) {
+                    self.stats.committed_greedy += 1;
+                    if booked_ahead {
+                        self.stats.booked_ahead += 1;
+                    }
+                    return true;
+                }
+            }
+        }
+        self.try_evict_for(id)
+    }
+
+    /// The cheapest-position fit of `id` starting at `t0`: shapes in
+    /// declaration order (module authors list preferred layouts first),
+    /// anchors bottom-left; alternatives whose load time blows the
+    /// deadline are pruned — under deadline pressure only the
+    /// fast-loading alternatives remain, the latency arm of the paper's
+    /// tradeoff.
+    #[allow(clippy::type_complexity)]
+    fn find_fit(&self, id: TaskId, t0: Tick) -> Option<(usize, i32, i32, Tick, Vec<Rect>)> {
+        let rec = &self.tasks[&id];
+        for (si, shape) in rec.task.module.shapes().iter().enumerate() {
+            let cfg = shape_config_ticks(shape, &self.config.model, self.config.ns_per_tick);
+            let end = t0 + cfg + rec.task.duration;
+            if rec.task.deadline.is_some_and(|d| end > d) {
+                continue;
+            }
+            for anchor in allowed_anchors(&self.region, shape) {
+                let rects: Vec<Rect> = shape
+                    .boxes()
+                    .iter()
+                    .map(|b| b.placed(anchor.x, anchor.y))
+                    .collect();
+                if !self.ledger.conflicts(&rects, t0, end) {
+                    return Some((si, anchor.x, anchor.y, cfg, rects));
+                }
+            }
+        }
+        None
+    }
+
+    /// Last resort for a task that must start by now to meet its
+    /// deadline: release future (not-yet-started) bookings of strictly
+    /// less urgent tasks, least urgent first, until the task fits at the
+    /// current tick. Released tasks are requeued; if the task still does
+    /// not fit, every release is rolled back.
+    fn try_evict_for(&mut self, id: TaskId) -> bool {
+        let rec = &self.tasks[&id];
+        if rec.task.deadline.is_none() || rec.latest_start.is_none_or(|ls| ls > self.now) {
+            return false;
+        }
+        let my_key = self.urgency(id);
+        let mut victims: Vec<TaskId> = self
+            .ledger
+            .iter()
+            .filter(|r| r.start >= self.now && self.tasks.contains_key(&r.task))
+            .map(|r| r.task)
+            .filter(|v| self.urgency(*v) > my_key)
+            .collect();
+        if victims.is_empty() {
+            return false;
+        }
+        victims.sort_by_key(|v| Reverse(self.urgency(*v)));
+        let mut released: Vec<Reservation> = Vec::new();
+        let mut fit = None;
+        for v in victims {
+            released.push(self.ledger.remove(v).expect("victim holds a reservation"));
+            if let Some(found) = self.find_fit(id, self.now) {
+                fit = Some(found);
+                break;
+            }
+        }
+        match fit {
+            Some((shape, x, y, cfg, rects)) => {
+                for r in &released {
+                    self.stats.evicted += 1;
+                    self.record(SchedEvent::Evict {
+                        task: r.task,
+                        at: self.now,
+                        by_fault: false,
+                    });
+                    self.queue.push(r.task);
+                }
+                let ok = self.commit(id, shape, x, y, self.now, cfg, rects);
+                debug_assert!(ok, "fit found after eviction must commit");
+                if ok {
+                    self.stats.committed_greedy += 1;
+                }
+                ok
+            }
+            None => {
+                for r in released {
+                    self.ledger
+                        .commit(&self.region, r)
+                        .expect("rolling back a previously valid reservation");
+                }
+                false
+            }
+        }
+    }
+
+    /// Book one reservation and dequeue its task. Ledger commit failure
+    /// is a planner bug; it is counted nowhere and simply refused.
+    #[allow(clippy::too_many_arguments)]
+    fn commit(
+        &mut self,
+        id: TaskId,
+        shape: usize,
+        x: i32,
+        y: i32,
+        start: Tick,
+        cfg: Tick,
+        rects: Vec<Rect>,
+    ) -> bool {
+        let rec = &self.tasks[&id];
+        let r = Reservation {
+            task: id,
+            name: rec.task.name.clone(),
+            shape,
+            x,
+            y,
+            start,
+            active: start + cfg,
+            end: start + cfg + rec.task.duration,
+            rects,
+        };
+        let (active, end) = (r.active, r.end);
+        if self.ledger.commit(&self.region, r).is_err() {
+            return false;
+        }
+        self.queue.retain(|q| *q != id);
+        tpoint!(self.config.tracer, "sched.commit",
+            "task" => id, "shape" => shape, "x" => x, "y" => y,
+            "start" => start, "end" => end);
+        self.record(SchedEvent::Commit {
+            task: id,
+            shape,
+            x,
+            y,
+            start,
+            active,
+            end,
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rrf_core::Module;
+    use rrf_fabric::{device, ResourceKind};
+    use rrf_geost::{ShapeDef, ShiftedBox};
+
+    fn region(w: i32, h: i32) -> Region {
+        Region::whole(device::homogeneous(w, h))
+    }
+
+    fn clb_module(name: &str, w: i32, h: i32) -> Module {
+        Module::new(
+            name,
+            vec![ShapeDef::new(vec![ShiftedBox::new(
+                0,
+                0,
+                w,
+                h,
+                ResourceKind::Clb,
+            )])],
+        )
+    }
+
+    fn alt_module(name: &str) -> Module {
+        // A wide and a tall variant of the same 8-tile module.
+        Module::new(
+            name,
+            vec![
+                ShapeDef::new(vec![ShiftedBox::new(0, 0, 4, 2, ResourceKind::Clb)]),
+                ShapeDef::new(vec![ShiftedBox::new(0, 0, 2, 4, ResourceKind::Clb)]),
+            ],
+        )
+    }
+
+    fn task(module: Module, duration: Tick, deadline: Option<Tick>) -> Task {
+        Task {
+            name: module.name.clone(),
+            module,
+            arrival: 0,
+            duration,
+            deadline,
+            priority: 0,
+        }
+    }
+
+    fn sched(w: i32, h: i32) -> Scheduler {
+        Scheduler::new(
+            region(w, h),
+            SchedConfig {
+                keep_log: true,
+                ..SchedConfig::default()
+            },
+        )
+    }
+
+    #[test]
+    fn admits_and_places_immediately() {
+        let mut s = sched(8, 4);
+        let (id, outcome) = s.submit(task(clb_module("a", 2, 2), 100, None));
+        assert_eq!(outcome, AdmitOutcome::Admitted);
+        let id = id.unwrap();
+        assert_eq!(s.queue_depth(), 0);
+        let r = s.reservations()[0].clone();
+        assert_eq!(r.task, id);
+        assert_eq!(r.start, 0);
+        // 2 CLB columns = 800 words * 20ns = 16_000 ns = 16 ticks at 1µs.
+        assert_eq!(r.active, 16);
+        assert_eq!(r.end, 116);
+    }
+
+    #[test]
+    fn rejects_unplaceable_and_impossible_deadline() {
+        let mut s = sched(4, 4);
+        let (_, o) = s.submit(task(clb_module("big", 6, 2), 10, None));
+        assert_eq!(o, AdmitOutcome::RejectedUnplaceable);
+        // Fits spatially, but config (8 ticks) + duration (100) > 50.
+        let (_, o) = s.submit(task(clb_module("late", 1, 1), 100, Some(50)));
+        assert_eq!(o, AdmitOutcome::RejectedDeadline);
+        assert_eq!(s.stats().rejected_unplaceable, 1);
+        assert_eq!(s.stats().rejected_deadline, 1);
+    }
+
+    #[test]
+    fn completion_frees_volume_and_counts_goodput() {
+        let mut s = sched(4, 2);
+        // Region holds exactly one 4x2 module at a time.
+        let (a, _) = s.submit(task(clb_module("a", 4, 2), 50, None));
+        let (b, _) = s.submit(task(clb_module("b", 4, 2), 50, None));
+        let (a, b) = (a.unwrap(), b.unwrap());
+        // b cannot run concurrently; it is booked after a ends.
+        let ra_end = s.ledger.get(a).unwrap().end;
+        let rb = s.ledger.get(b).unwrap();
+        assert!(rb.start >= ra_end);
+        assert_eq!(s.stats().booked_ahead, 1);
+        s.advance_to(ra_end);
+        assert_eq!(s.stats().completed, 1);
+        assert_eq!(s.stats().useful_area_ticks, 8 * 50);
+        s.advance_to(10_000);
+        assert_eq!(s.stats().completed, 2);
+    }
+
+    #[test]
+    fn tight_deadline_prefers_fast_loading_alternative() {
+        let mut s = sched(8, 4);
+        // Occupy columns so only the tall layout's columns stay cheap? No:
+        // simpler — wide touches 4 columns (32 ticks config), tall 2
+        // columns (16 ticks). A deadline of 16 + duration forces tall.
+        let (id, o) = s.submit(task(alt_module("m"), 100, Some(116)));
+        assert_eq!(o, AdmitOutcome::Admitted);
+        let r = s.ledger.get(id.unwrap()).unwrap();
+        assert_eq!(r.shape, 1, "only the 2-column layout meets the deadline");
+    }
+
+    #[test]
+    fn expires_queued_task_when_deadline_unreachable() {
+        let mut s = sched(4, 2);
+        let (_a, _) = s.submit(task(clb_module("a", 4, 2), 1_000, None));
+        // b's deadline passes while a still holds the whole region.
+        let (b, o) = s.submit(task(clb_module("b", 4, 2), 10, Some(60)));
+        assert_eq!(o, AdmitOutcome::Admitted);
+        assert!(b.is_some());
+        assert_eq!(s.queue_depth(), 1, "no volume for b before its deadline");
+        s.advance_to(5_000);
+        assert_eq!(s.stats().deadline_misses, 1);
+        assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn urgent_task_evicts_future_booking() {
+        let mut s = sched(4, 2);
+        let (_a, _) = s.submit(task(clb_module("a", 4, 2), 200, None));
+        // b books the slot after a (best effort, far future).
+        let (b, _) = s.submit(task(clb_module("b", 4, 2), 500, None));
+        let b = b.unwrap();
+        assert!(s.ledger.get(b).unwrap().start > s.now());
+        // c needs that future slot to meet a deadline that b's booking
+        // blocks. c's deadline makes it strictly more urgent than b
+        // (which has none). At the moment c must start, b is evicted.
+        let a_end = s.ledger.get(_a.unwrap()).unwrap().end;
+        // 4 CLB columns = 32 ticks of config; the deadline is exactly
+        // reachable only by starting at a_end.
+        let mut c = task(clb_module("c", 4, 2), 100, Some(a_end + 32 + 100));
+        c.arrival = a_end;
+        let (c, o) = s.submit(c);
+        assert_eq!(o, AdmitOutcome::Admitted);
+        s.advance_to(a_end);
+        let c = c.unwrap();
+        let rc = s.ledger.get(c).expect("c got the slot").clone();
+        assert_eq!(rc.start, a_end);
+        assert_eq!(s.stats().evicted, 1);
+        // b was requeued and immediately rebooked *after* c by the same
+        // replan fixpoint — evicted, not dropped.
+        let rb = s.ledger.get(b).expect("b rebooked later");
+        assert!(rb.start >= rc.end);
+    }
+
+    #[test]
+    fn fault_evicts_future_and_kills_active() {
+        let mut s = sched(8, 2);
+        let (a, _) = s.submit(task(clb_module("a", 4, 2), 100, None));
+        let (b, _) = s.submit(task(clb_module("b", 4, 2), 100, None));
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let rb = s.ledger.get(b).unwrap().clone();
+        assert_eq!(rb.start, 0, "both fit side by side");
+        // Let both begin loading, then fault a tile under a only.
+        s.advance_to(5);
+        let ra = s.ledger.get(a).unwrap().clone();
+        let summary = s.inject_fault(Fault::Tile { x: ra.x, y: ra.y });
+        assert_eq!(summary.killed, vec![a], "a had started loading");
+        assert!(s.ledger.get(b).is_some(), "b untouched");
+        assert_eq!(s.stats().fault_killed, 1);
+        // No reservation overlaps the faulted tile.
+        for r in s.reservations() {
+            for rect in &r.rects {
+                assert!(!rect.tiles().any(|t| s.region.is_faulted(t.x, t.y)));
+            }
+        }
+    }
+
+    #[test]
+    fn cancel_outcomes() {
+        let mut s = sched(4, 2);
+        let (a, _) = s.submit(task(clb_module("a", 4, 2), 100, None));
+        let (b, _) = s.submit(task(clb_module("b", 4, 2), 100, None));
+        let (a, b) = (a.unwrap(), b.unwrap());
+        assert_eq!(s.cancel(b), CancelOutcome::Reserved, "b was booked ahead");
+        // a has begun loading once the clock passes its start tick.
+        s.advance_to(5);
+        assert_eq!(s.cancel(a), CancelOutcome::Active);
+        assert_eq!(s.cancel(77), CancelOutcome::Unknown);
+        assert_eq!(s.stats().cancelled, 2);
+        assert!(s.reservations().is_empty());
+    }
+
+    #[test]
+    fn deterministic_replay_digest() {
+        let run = || {
+            let mut s = sched(8, 4);
+            let mut ids = Vec::new();
+            for i in 0..6u64 {
+                let (id, _) = s.submit(task(
+                    alt_module(&format!("m{i}")),
+                    50 + i * 10,
+                    if i % 2 == 0 { Some(2_000) } else { None },
+                ));
+                ids.push(id);
+                s.advance_to(i * 7);
+            }
+            s.inject_fault(Fault::Column { x: 2 });
+            s.advance_to(300);
+            if let Some(Some(id)) = ids.get(3) {
+                s.cancel(*id);
+            }
+            s.advance_to(1_000);
+            (s.digest(), s.stats().clone())
+        };
+        let (d1, s1) = run();
+        let (d2, s2) = run();
+        assert_eq!(d1, d2);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn committed_reservations_meet_their_deadlines() {
+        let mut s = sched(8, 4);
+        for i in 0..10u64 {
+            s.submit(task(alt_module(&format!("m{i}")), 40, Some(200 + i * 30)));
+        }
+        for r in s.reservations() {
+            let rec = &s.tasks[&r.task];
+            if let Some(d) = rec.task.deadline {
+                assert!(r.end <= d, "committed reservation misses its deadline");
+            }
+        }
+    }
+}

@@ -55,12 +55,12 @@ fn install_signal_handlers() {
     }
 }
 
+const USAGE: &str = "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
+                     [--deadline-ms MS] [--cache N] [--journal PATH] \
+                     [--journal-fsync-every N] [--trace PATH] [--help] [--version]";
+
 fn usage() -> ! {
-    eprintln!(
-        "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--deadline-ms MS] [--cache N] [--journal PATH] \
-         [--journal-fsync-every N] [--trace PATH]"
-    );
+    eprintln!("{USAGE}");
     std::process::exit(2);
 }
 
@@ -73,6 +73,14 @@ fn main() {
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
         match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--version" | "-V" => {
+                println!("rrf-serve {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
             "--addr" => config.addr = value(),
             "--workers" => config.workers = value().parse().unwrap_or_else(|_| usage()),
             "--queue" => config.queue_depth = value().parse().unwrap_or_else(|_| usage()),

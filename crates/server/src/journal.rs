@@ -31,6 +31,7 @@ use std::path::{Path, PathBuf};
 use rrf_core::{Module, OnlineStats, PlacedModule, RepairReport};
 use rrf_fabric::{Fault, Region};
 use rrf_flow::{ModuleEntry, RegionSpec};
+use rrf_sched::TaskSpec;
 use serde::{Deserialize, Serialize};
 
 /// One live slot inside a [`SessionSnapshot`].
@@ -43,6 +44,38 @@ pub struct SlotSnapshot {
     pub placed: PlacedModule,
 }
 
+/// One deterministic scheduler operation (see `rrf-sched`). Because the
+/// scheduler is a pure function of its op sequence, the complete ordered
+/// list reconstructs clock, queue, and ledger bit-identically — which is
+/// how both snapshots and journal replay restore schedule state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SchedOp {
+    /// Scheduler creation: the session's region frozen at that moment —
+    /// its fault set as of the open, plus the live slots' footprints
+    /// added as static masks (the scheduler plans around them). Storing
+    /// the whole region makes replay self-contained: later changes to
+    /// the *session's* fault set cannot skew reconstruction.
+    Open {
+        region: Region,
+    },
+    Submit {
+        task: TaskSpec,
+    },
+    Cancel {
+        task: u64,
+    },
+    Advance {
+        to: u64,
+    },
+    Fault {
+        fault: Fault,
+    },
+    ClearFault {
+        fault: Fault,
+    },
+}
+
 /// The full durable state of one session: the region (carrying its fault
 /// set), every live slot, and the counters. The occupancy grid is derived
 /// state and is rebuilt on restore.
@@ -53,6 +86,10 @@ pub struct SessionSnapshot {
     pub next_slot: u64,
     pub stats: OnlineStats,
     pub slots: Vec<SlotSnapshot>,
+    /// The session scheduler's complete op history (empty when the
+    /// session never scheduled); restore replays it.
+    #[serde(default)]
+    pub sched_ops: Vec<SchedOp>,
 }
 
 /// One journal line. On disk: `{"op":"insert","session":1,...}`.
@@ -80,6 +117,15 @@ pub enum JournalRecord {
     /// applies the delta instead of re-running the deadline-dependent
     /// search.
     Repair { session: u64, report: RepairReport },
+    /// A scheduler operation was applied to the session (deterministic;
+    /// re-executed on replay). For submits, `admitted` records the
+    /// assigned task id so replay can detect divergence.
+    Sched {
+        session: u64,
+        sched: SchedOp,
+        #[serde(default)]
+        admitted: Option<u64>,
+    },
     /// A session was closed.
     Close { session: u64 },
     /// Compaction point: replay discards everything before this record
@@ -101,6 +147,7 @@ impl JournalRecord {
             | JournalRecord::Fault { session, .. }
             | JournalRecord::ClearFault { session, .. }
             | JournalRecord::Repair { session, .. }
+            | JournalRecord::Sched { session, .. }
             | JournalRecord::Close { session } => Some(session),
             JournalRecord::Snapshot { .. } => None,
         }
@@ -417,7 +464,7 @@ mod tests {
 
     #[test]
     fn snapshot_record_roundtrips_with_full_session_state() {
-        use rrf_fabric::device;
+        use rrf_fabric::{device, Rect};
         use rrf_geost::{ShapeDef, ShiftedBox};
 
         let mut region = Region::whole(device::homogeneous(6, 4));
@@ -454,10 +501,76 @@ mod tests {
                         y: 0,
                     },
                 }],
+                sched_ops: vec![
+                    SchedOp::Open {
+                        region: {
+                            let mut r = Region::whole(device::homogeneous(6, 4));
+                            r.add_static_mask(Rect::new(2, 0, 2, 2));
+                            r
+                        },
+                    },
+                    SchedOp::Advance { to: 100 },
+                ],
             }],
         };
         let json = serde_json::to_string(&record).unwrap();
         let back: JournalRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back, record);
+    }
+
+    #[test]
+    fn sched_records_roundtrip_and_old_snapshots_still_parse() {
+        use rrf_fabric::ResourceKind;
+        use rrf_geost::{ShapeDef, ShiftedBox};
+
+        let record = JournalRecord::Sched {
+            session: 2,
+            sched: SchedOp::Submit {
+                task: TaskSpec {
+                    module: ModuleEntry {
+                        name: "t".into(),
+                        shapes: vec![ShapeDef::new(vec![ShiftedBox::new(
+                            0,
+                            0,
+                            2,
+                            2,
+                            ResourceKind::Clb,
+                        )])],
+                        netlist: None,
+                    },
+                    arrival: 0,
+                    duration: 50,
+                    deadline: Some(400),
+                    priority: 1,
+                },
+            },
+            admitted: Some(1),
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.starts_with(r#"{"op":"sched""#));
+        assert_eq!(
+            serde_json::from_str::<JournalRecord>(&json).unwrap(),
+            record
+        );
+
+        // A snapshot written before the scheduler existed has no
+        // `sched_ops` field; it must still load (empty history).
+        let old = r#"{"session":1,"region":{"fabric":X,"bounds":null},
+            "next_slot":1,"stats":{},"slots":[]}"#;
+        let _ = old; // the region's JSON shape is covered elsewhere; here
+                     // we only check the field default on a direct value.
+        let snap = SessionSnapshot {
+            session: 1,
+            region: Region::whole(rrf_fabric::device::homogeneous(4, 2)),
+            next_slot: 1,
+            stats: OnlineStats::default(),
+            slots: vec![],
+            sched_ops: vec![],
+        };
+        let mut v = serde_json::to_string(&snap).unwrap();
+        // Strip the sched_ops field to simulate the old on-disk form.
+        v = v.replace(r#","sched_ops":[]"#, "");
+        let back: SessionSnapshot = serde_json::from_str(&v).unwrap();
+        assert_eq!(back, snap);
     }
 }

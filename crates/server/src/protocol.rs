@@ -16,6 +16,7 @@
 use rrf_core::RepairReport;
 use rrf_fabric::Fault;
 use rrf_flow::{FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
+use rrf_sched::{Reservation, SchedStats, TaskSpec};
 use serde::{Deserialize, Serialize};
 
 use crate::stats::{DetailStats, ServerStats};
@@ -68,6 +69,26 @@ pub enum Request {
         #[serde(default)]
         budget_ms: Option<u64>,
     },
+    /// Submit a task — a module with design alternatives plus
+    /// duration/deadline/priority — to the session's spatio-temporal
+    /// scheduler (deadline-aware admission; see `rrf-sched`). The
+    /// scheduler runs on logical time driven by `schedule_status`.
+    SubmitTask {
+        id: u64,
+        session: u64,
+        task: TaskSpec,
+    },
+    /// Cancel a scheduled task by the id `task_submitted` returned.
+    CancelTask { id: u64, session: u64, task: u64 },
+    /// Fetch the session's schedule (ledger, queue, counters), optionally
+    /// advancing its logical clock first. Clock advances are journaled;
+    /// pure reads are not.
+    ScheduleStatus {
+        id: u64,
+        session: u64,
+        #[serde(default)]
+        advance_to: Option<u64>,
+    },
     /// Dump a session's durable state — slots, placements, and an
     /// occupancy-grid digest — for operators and recovery tests.
     DumpSession { id: u64, session: u64 },
@@ -98,6 +119,9 @@ impl Request {
             | Request::InjectFault { id, .. }
             | Request::ClearFault { id, .. }
             | Request::Repair { id, .. }
+            | Request::SubmitTask { id, .. }
+            | Request::CancelTask { id, .. }
+            | Request::ScheduleStatus { id, .. }
             | Request::DumpSession { id, .. }
             | Request::DebugPanic { id }
             | Request::Stats { id }
@@ -222,6 +246,38 @@ pub enum Response {
         report: RepairReport,
         utilization: f64,
     },
+    /// Answer to [`Request::SubmitTask`]; `task` is `None` when admission
+    /// rejected it (`outcome` names the reason — a rejection, not an
+    /// error).
+    TaskSubmitted {
+        id: u64,
+        session: u64,
+        task: Option<u64>,
+        outcome: String,
+        queue_depth: u64,
+        /// The session scheduler's logical clock.
+        now: u64,
+    },
+    /// Answer to [`Request::CancelTask`].
+    TaskCancelled {
+        id: u64,
+        session: u64,
+        /// What the cancel hit: `queued`, `reserved`, `active`, `unknown`.
+        outcome: String,
+        now: u64,
+    },
+    /// Answer to [`Request::ScheduleStatus`]: the committed schedule.
+    Schedule {
+        id: u64,
+        session: u64,
+        now: u64,
+        queue_depth: u64,
+        /// Hex digest of clock + queue + ledger — equal digests mean
+        /// bit-identical schedules (the recovery tests' currency).
+        digest: String,
+        reservations: Vec<Reservation>,
+        stats: SchedStats,
+    },
     /// Answer to [`Request::DumpSession`].
     SessionState {
         id: u64,
@@ -271,6 +327,9 @@ impl Response {
             | Response::FaultInjected { id, .. }
             | Response::FaultCleared { id, .. }
             | Response::Repaired { id, .. }
+            | Response::TaskSubmitted { id, .. }
+            | Response::TaskCancelled { id, .. }
+            | Response::Schedule { id, .. }
             | Response::SessionState { id, .. }
             | Response::Stats { id, .. }
             | Response::StatsDetail { id, .. }
@@ -359,6 +418,47 @@ mod tests {
                 budget_ms: None
             }
         );
+    }
+
+    #[test]
+    fn sched_requests_roundtrip() {
+        let json = r#"{"type":"submit_task","id":4,"session":1,"task":
+            {"module":{"name":"m","shapes":[{"boxes":
+            [{"dx":0,"dy":0,"w":2,"h":2,"resource":"Clb"}]}]},
+            "duration":100,"deadline":500}}"#
+            .replace('\n', "");
+        let req: Request = serde_json::from_str(&json).unwrap();
+        match &req {
+            Request::SubmitTask { id, session, task } => {
+                assert_eq!((*id, *session), (4, 1));
+                assert_eq!(task.duration, 100);
+                assert_eq!(task.deadline, Some(500));
+                assert_eq!(task.arrival, 0, "arrival defaults on the wire");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Status without an advance is a pure read.
+        let req: Request =
+            serde_json::from_str(r#"{"type":"schedule_status","id":5,"session":1}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::ScheduleStatus {
+                id: 5,
+                session: 1,
+                advance_to: None
+            }
+        );
+        let cancel = Request::CancelTask {
+            id: 6,
+            session: 1,
+            task: 3,
+        };
+        let json = serde_json::to_string(&cancel).unwrap();
+        assert_eq!(
+            json,
+            r#"{"type":"cancel_task","id":6,"session":1,"task":3}"#
+        );
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), cancel);
     }
 
     #[test]

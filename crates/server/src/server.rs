@@ -28,9 +28,10 @@ use rrf_core::{
 };
 use rrf_fabric::Region;
 use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
+use rrf_sched::{AdmitOutcome, SchedConfig, Scheduler, TaskSpec};
 
 use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
-use crate::journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
+use crate::journal::{Journal, JournalRecord, SchedOp, SessionSnapshot, SlotSnapshot};
 use crate::protocol::{PlaceMethod, Request, Response, SlotState};
 use crate::stats::{DetailCollector, ServerStats};
 
@@ -119,11 +120,38 @@ impl Watchdog {
     }
 }
 
+/// What one scheduler op produced — the handler's view of
+/// [`Session::apply_sched_op`]. Replay only inspects the submit outcome
+/// (divergence check) and the failure marker.
+enum SchedApplied {
+    Opened,
+    Submitted(Option<u64>, AdmitOutcome),
+    Cancelled(rrf_sched::CancelOutcome),
+    Advanced,
+    Faulted,
+    Cleared,
+    /// The op could not be applied (no scheduler, unresolvable task spec)
+    /// — only reachable through a corrupt or hand-edited journal, since
+    /// the handlers validate before journaling.
+    Failed,
+}
+
 /// One stateful online session.
 struct Session {
     placer: OnlinePlacer,
     /// Resolved module per live slot, for reporting names.
     names: HashMap<u64, String>,
+    /// The session's reservation scheduler (`rrf-sched`), created lazily
+    /// by the first `submit_task`.
+    sched: Option<Scheduler>,
+    /// Complete ordered scheduler-op history. The scheduler is a pure
+    /// function of this sequence, so snapshots carry it verbatim and
+    /// restore replays it — that is the whole durability story for
+    /// schedule state.
+    sched_ops: Vec<SchedOp>,
+    /// Deadline misses already folded into the detail collector, so each
+    /// handler reports only the delta.
+    sched_misses_reported: u64,
 }
 
 impl Session {
@@ -131,7 +159,58 @@ impl Session {
         Session {
             placer: OnlinePlacer::new(region),
             names: HashMap::new(),
+            sched: None,
+            sched_ops: Vec::new(),
+            sched_misses_reported: 0,
         }
+    }
+
+    /// The single mutation path for schedule state: request handlers,
+    /// journal replay, and snapshot restore all come through here, so a
+    /// live scheduler and a recovered one see byte-identical op
+    /// sequences. Appends the op to the durable history exactly when it
+    /// applied.
+    fn apply_sched_op(&mut self, op: &SchedOp, tracer: &rrf_trace::Tracer) -> SchedApplied {
+        let applied = match op {
+            SchedOp::Open { region } => {
+                let config = SchedConfig {
+                    tracer: tracer.clone(),
+                    ..SchedConfig::default()
+                };
+                self.sched = Some(Scheduler::new(region.clone(), config));
+                SchedApplied::Opened
+            }
+            _ => {
+                let Some(sched) = &mut self.sched else {
+                    return SchedApplied::Failed;
+                };
+                match op {
+                    SchedOp::Submit { task } => match task.resolve() {
+                        Ok(task) => {
+                            let (id, outcome) = sched.submit(task);
+                            SchedApplied::Submitted(id, outcome)
+                        }
+                        Err(_) => return SchedApplied::Failed,
+                    },
+                    SchedOp::Cancel { task } => SchedApplied::Cancelled(sched.cancel(*task)),
+                    SchedOp::Advance { to } => {
+                        sched.advance_to(*to);
+                        SchedApplied::Advanced
+                    }
+                    SchedOp::Fault { fault } => {
+                        sched.inject_fault(*fault);
+                        SchedApplied::Faulted
+                    }
+                    SchedOp::ClearFault { fault } => {
+                        sched.clear_fault(*fault);
+                        SchedApplied::Cleared
+                    }
+                    SchedOp::Open { .. } => unreachable!("handled above"),
+                }
+            }
+        };
+        self.sched_ops.push(op.clone());
+        applied
     }
 
     /// The session's full durable state (see [`crate::journal`]).
@@ -152,28 +231,46 @@ impl Session {
                     placed: *placed,
                 })
                 .collect(),
+            sched_ops: self.sched_ops.clone(),
         }
     }
 
     fn restore(snapshot: SessionSnapshot) -> Session {
+        let SessionSnapshot {
+            region,
+            next_slot,
+            stats,
+            slots,
+            sched_ops,
+            ..
+        } = snapshot;
         let mut names = HashMap::new();
-        let slots = snapshot
-            .slots
+        let slots = slots
             .into_iter()
             .map(|s| {
                 names.insert(s.slot, s.name);
                 (s.slot, s.module, s.placed)
             })
             .collect();
-        Session {
-            placer: OnlinePlacer::restore(
-                snapshot.region,
-                slots,
-                snapshot.next_slot,
-                snapshot.stats,
-            ),
+        let mut session = Session {
+            placer: OnlinePlacer::restore(region, slots, next_slot, stats),
             names,
+            sched: None,
+            sched_ops: Vec::new(),
+            sched_misses_reported: 0,
+        };
+        let tracer = rrf_trace::Tracer::default();
+        for op in &sched_ops {
+            session.apply_sched_op(op, &tracer);
         }
+        // Misses accumulated before this restore are history, not news:
+        // only post-restore deltas reach the detail collector.
+        session.sched_misses_reported = session
+            .sched
+            .as_ref()
+            .map(|s| s.stats().deadline_misses)
+            .unwrap_or(0);
+        session
     }
 }
 
@@ -544,6 +641,14 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
         }
         Request::InjectFault { id, session, fault } => with_session(shared, *id, *session, |s| {
             let impact = s.placer.inject_fault(*fault);
+            // The session scheduler plans over the same fabric: the fault
+            // reaches it too (kills started work on the dead tiles, evicts
+            // and requeues future bookings). One journal record covers
+            // both — replay routes it into both as well.
+            if s.sched.is_some() {
+                s.apply_sched_op(&SchedOp::Fault { fault: *fault }, &shared.tracer);
+                note_sched_detail(shared, s);
+            }
             journal_append(
                 shared,
                 &JournalRecord::Fault {
@@ -562,6 +667,10 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
         }),
         Request::ClearFault { id, session, fault } => with_session(shared, *id, *session, |s| {
             let tiles = s.placer.clear_fault(*fault);
+            if s.sched.is_some() {
+                s.apply_sched_op(&SchedOp::ClearFault { fault: *fault }, &shared.tracer);
+                note_sched_detail(shared, s);
+            }
             journal_append(
                 shared,
                 &JournalRecord::ClearFault {
@@ -609,6 +718,69 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
                 report,
                 utilization: s.placer.utilization(),
             }
+        }),
+        Request::SubmitTask { id, session, task } => {
+            handle_submit_task(shared, *id, *session, task)
+        }
+        Request::CancelTask { id, session, task } => with_session(shared, *id, *session, |s| {
+            if s.sched.is_none() {
+                // No scheduler yet means no such task — a benign miss,
+                // not an error, and nothing to journal.
+                return Response::TaskCancelled {
+                    id: *id,
+                    session: *session,
+                    outcome: rrf_sched::CancelOutcome::Unknown.as_str().to_string(),
+                    now: 0,
+                };
+            }
+            let op = SchedOp::Cancel { task: *task };
+            let applied = s.apply_sched_op(&op, &shared.tracer);
+            journal_append(
+                shared,
+                &JournalRecord::Sched {
+                    session: *session,
+                    sched: op,
+                    admitted: None,
+                },
+            );
+            shared.stats.lock().sched_cancels += 1;
+            note_sched_detail(shared, s);
+            let outcome = match applied {
+                SchedApplied::Cancelled(outcome) => outcome.as_str().to_string(),
+                _ => rrf_sched::CancelOutcome::Unknown.as_str().to_string(),
+            };
+            Response::TaskCancelled {
+                id: *id,
+                session: *session,
+                outcome,
+                now: s.sched.as_ref().map(|g| g.now()).unwrap_or(0),
+            }
+        }),
+        Request::ScheduleStatus {
+            id,
+            session,
+            advance_to,
+        } => with_session(shared, *id, *session, |s| {
+            if let Some(to) = advance_to {
+                // An advance mutates the schedule (tasks finish, queued
+                // work commits or expires), so it is journaled; a plain
+                // status read is not.
+                if s.sched.is_some() {
+                    let op = SchedOp::Advance { to: *to };
+                    s.apply_sched_op(&op, &shared.tracer);
+                    journal_append(
+                        shared,
+                        &JournalRecord::Sched {
+                            session: *session,
+                            sched: op,
+                            admitted: None,
+                        },
+                    );
+                    shared.stats.lock().sched_advances += 1;
+                    note_sched_detail(shared, s);
+                }
+            }
+            schedule_response(*id, *session, s)
         }),
         Request::DumpSession { id, session } => with_session(shared, *id, *session, |s| {
             let slots = s
@@ -768,13 +940,41 @@ fn replay_records(records: &[JournalRecord]) -> Replayed {
             JournalRecord::Fault { session, fault } => match sessions.get_mut(session) {
                 Some(s) => {
                     s.placer.inject_fault(*fault);
+                    // Mirrors the handler: one fault record feeds both the
+                    // online placer and the session scheduler.
+                    if s.sched.is_some() {
+                        s.apply_sched_op(
+                            &SchedOp::Fault { fault: *fault },
+                            &rrf_trace::Tracer::default(),
+                        );
+                    }
                 }
                 None => errors += 1,
             },
             JournalRecord::ClearFault { session, fault } => match sessions.get_mut(session) {
                 Some(s) => {
                     s.placer.clear_fault(*fault);
+                    if s.sched.is_some() {
+                        s.apply_sched_op(
+                            &SchedOp::ClearFault { fault: *fault },
+                            &rrf_trace::Tracer::default(),
+                        );
+                    }
                 }
+                None => errors += 1,
+            },
+            JournalRecord::Sched {
+                session,
+                sched,
+                admitted,
+            } => match sessions.get_mut(session) {
+                Some(s) => match s.apply_sched_op(sched, &rrf_trace::Tracer::default()) {
+                    // Deterministic replay must hand out the same task id
+                    // the live run journaled; anything else is divergence.
+                    SchedApplied::Submitted(got, _) if got != *admitted => errors += 1,
+                    SchedApplied::Failed => errors += 1,
+                    _ => {}
+                },
                 None => errors += 1,
             },
             JournalRecord::Repair { session, report } => match sessions.get_mut(session) {
@@ -894,6 +1094,118 @@ fn handle_insert(shared: &Arc<Shared>, id: u64, session: u64, entry: &ModuleEntr
             slot,
             placement,
             utilization: s.placer.utilization(),
+        }
+    })
+}
+
+/// Fold one scheduler mutation's observable deltas into the counters
+/// behind `stats_detail`: the queue-depth gauge after the op, and any
+/// deadline misses it produced. Called with the session lock held.
+fn note_sched_detail(shared: &Shared, s: &mut Session) {
+    let Some(sched) = &s.sched else { return };
+    let misses = sched.stats().deadline_misses;
+    let delta = misses.saturating_sub(s.sched_misses_reported);
+    s.sched_misses_reported = misses;
+    let mut detail = shared.detail.lock();
+    detail.record_sched_queue_depth(sched.queue_depth() as u64);
+    if delta > 0 {
+        detail.record_deadline_misses(delta);
+    }
+}
+
+/// The `schedule_status` reply body. A session that never submitted a
+/// task has no scheduler; it reads as an empty schedule at tick 0.
+fn schedule_response(id: u64, session: u64, s: &Session) -> Response {
+    match &s.sched {
+        Some(sched) => Response::Schedule {
+            id,
+            session,
+            now: sched.now(),
+            queue_depth: sched.queue_depth() as u64,
+            digest: format!("{:016x}", sched.digest()),
+            reservations: sched.reservations().into_iter().cloned().collect(),
+            stats: sched.stats().clone(),
+        },
+        None => Response::Schedule {
+            id,
+            session,
+            now: 0,
+            queue_depth: 0,
+            digest: format!("{:016x}", 0u64),
+            reservations: vec![],
+            stats: rrf_sched::SchedStats::default(),
+        },
+    }
+}
+
+/// Admit one task into the session's scheduler, creating the scheduler on
+/// first use. The scheduler's region is frozen at creation: the session
+/// region as of that moment (faults included) with every live slot's
+/// footprint added as a static mask, so scheduled work never lands on
+/// tiles the online placer already occupies. The freeze is journaled as
+/// its own `SchedOp::Open` record, making replay independent of whatever
+/// the session's slots and faults do afterwards.
+fn handle_submit_task(shared: &Arc<Shared>, id: u64, session: u64, spec: &TaskSpec) -> Response {
+    // Validate up front: an unresolvable module is a protocol error, not
+    // a scheduler rejection, and is never journaled.
+    if let Err(e) = spec.resolve() {
+        return Response::Error {
+            id,
+            message: format!("task spec error: {e}"),
+        };
+    }
+    with_session(shared, id, session, |s| {
+        let span = rrf_trace::tspan!(shared.tracer, "sched.admit", "req" => id);
+        if s.sched.is_none() {
+            let mut region = s.placer.region().clone();
+            for (_, module, placed) in s.placer.slots() {
+                for b in module.shapes()[placed.shape].boxes() {
+                    region.add_static_mask(b.placed(placed.x, placed.y));
+                }
+            }
+            let open = SchedOp::Open { region };
+            s.apply_sched_op(&open, &shared.tracer);
+            journal_append(
+                shared,
+                &JournalRecord::Sched {
+                    session,
+                    sched: open,
+                    admitted: None,
+                },
+            );
+        }
+        let op = SchedOp::Submit { task: spec.clone() };
+        let applied = s.apply_sched_op(&op, &shared.tracer);
+        let (task_id, outcome) = match applied {
+            SchedApplied::Submitted(task_id, outcome) => (task_id, outcome),
+            _ => (None, AdmitOutcome::RejectedUnplaceable),
+        };
+        journal_append(
+            shared,
+            &JournalRecord::Sched {
+                session,
+                sched: op,
+                admitted: task_id,
+            },
+        );
+        {
+            let mut stats = shared.stats.lock();
+            stats.sched_submits += 1;
+            match task_id {
+                Some(_) => stats.sched_admitted += 1,
+                None => stats.sched_rejected += 1,
+            }
+        }
+        note_sched_detail(shared, s);
+        span.close();
+        let sched = s.sched.as_ref().expect("scheduler exists after submit");
+        Response::TaskSubmitted {
+            id,
+            session,
+            task: task_id,
+            outcome: outcome.as_str().to_string(),
+            queue_depth: sched.queue_depth() as u64,
+            now: sched.now(),
         }
     })
 }

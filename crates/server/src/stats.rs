@@ -80,6 +80,22 @@ pub struct ServerStats {
     /// Faults cleared from session regions.
     #[serde(default)]
     pub faults_cleared: u64,
+    /// Scheduler task submissions (`sched_admitted + sched_rejected`).
+    #[serde(default)]
+    pub sched_submits: u64,
+    /// Submissions the scheduler admitted.
+    #[serde(default)]
+    pub sched_admitted: u64,
+    /// Submissions admission control turned away (deadline unmeetable,
+    /// unplaceable, or queue full).
+    #[serde(default)]
+    pub sched_rejected: u64,
+    /// `cancel_task` requests that reached a scheduler.
+    #[serde(default)]
+    pub sched_cancels: u64,
+    /// Journaled logical-clock advances via `schedule_status`.
+    #[serde(default)]
+    pub sched_advances: u64,
     /// Repair passes run.
     #[serde(default)]
     pub repairs: u64,
@@ -147,6 +163,11 @@ impl Default for ServerStats {
             online_defrags: 0,
             faults_injected: 0,
             faults_cleared: 0,
+            sched_submits: 0,
+            sched_admitted: 0,
+            sched_rejected: 0,
+            sched_cancels: 0,
+            sched_advances: 0,
             repairs: 0,
             repaired_relocated: 0,
             repaired_evicted: 0,
@@ -241,6 +262,16 @@ pub struct DetailStats {
     /// Analyzer diagnostics observed, by code — `analyze` requests and
     /// cache-missing `place` preflights both count.
     pub diagnostics_by_code: BTreeMap<String, u64>,
+    /// Scheduler queue depth sampled after every mutating scheduler op
+    /// (a gauge folded into a histogram; `max_us`/`p50_us` etc. read as
+    /// depths, not microseconds).
+    #[serde(default)]
+    pub sched_queue_depth: StageStats,
+    /// Deadline misses session schedulers accumulated during this run
+    /// (expired in queue or killed by faults; recovery replay's
+    /// historical misses are excluded).
+    #[serde(default)]
+    pub sched_deadline_misses: u64,
 }
 
 /// Internal aggregation behind [`DetailStats`]; lives in the daemon's
@@ -251,7 +282,13 @@ pub struct DetailCollector {
     total: Option<Histogram>,
     ladder: LadderStats,
     diagnostics_by_code: BTreeMap<String, u64>,
+    sched_queue_depth: Option<Histogram>,
+    sched_deadline_misses: u64,
 }
+
+/// Bucket bounds (exclusive) for the scheduler queue-depth gauge — depths
+/// in tasks, not microseconds, so the wall-time bounds don't fit.
+const QUEUE_DEPTH_BOUNDS: &[u64] = &[1, 2, 4, 8, 16, 32, 64, 128];
 
 impl DetailCollector {
     /// Record one phase of one `place` request. `phase` may carry the
@@ -287,6 +324,18 @@ impl DetailCollector {
         self.ladder.cp_skipped_tight_budget += 1;
     }
 
+    /// Sample the scheduler queue depth after a mutating scheduler op.
+    pub fn record_sched_queue_depth(&mut self, depth: u64) {
+        self.sched_queue_depth
+            .get_or_insert_with(|| Histogram::new(QUEUE_DEPTH_BOUNDS))
+            .record(depth);
+    }
+
+    /// Count newly observed scheduler deadline misses.
+    pub fn record_deadline_misses(&mut self, delta: u64) {
+        self.sched_deadline_misses += delta;
+    }
+
     /// Count one analyzer diagnostic by its code.
     pub fn record_diagnostic_code(&mut self, code: &str) {
         *self
@@ -310,6 +359,12 @@ impl DetailCollector {
                 .unwrap_or_default(),
             ladder: self.ladder,
             diagnostics_by_code: self.diagnostics_by_code.clone(),
+            sched_queue_depth: self
+                .sched_queue_depth
+                .as_ref()
+                .map(StageStats::from_histogram)
+                .unwrap_or_default(),
+            sched_deadline_misses: self.sched_deadline_misses,
         }
     }
 }

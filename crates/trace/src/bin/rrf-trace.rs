@@ -15,7 +15,7 @@ use rrf_trace::{
 };
 
 fn usage() -> ExitCode {
-    eprintln!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] FILE");
+    eprintln!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] [--help] [--version] FILE");
     ExitCode::from(2)
 }
 
@@ -43,7 +43,11 @@ fn main() -> ExitCode {
             "--counters" => counters = true,
             "--check" => check = true,
             "--help" | "-h" => {
-                println!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] FILE");
+                println!("usage: rrf-trace [--phases] [--props [N]] [--counters] [--check] [--help] [--version] FILE");
+                return ExitCode::SUCCESS;
+            }
+            "--version" | "-V" => {
+                println!("rrf-trace {}", env!("CARGO_PKG_VERSION"));
                 return ExitCode::SUCCESS;
             }
             _ if file.is_none() && !arg.starts_with('-') || arg == "-" => file = Some(arg),

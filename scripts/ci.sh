@@ -69,4 +69,38 @@ cargo test -q -p rrf-server --test fault_e2e
 echo "==> kill-and-recover smoke test (SIGKILL mid-session, journal replay)"
 cargo test -q -p rrf-server --test kill_and_recover
 
+echo "==> scheduler unit + property tests"
+cargo test -q -p rrf-sched
+
+echo "==> scheduler e2e (submit/cancel/status over the wire, SIGKILL replay)"
+cargo test -q -p rrf-server --test sched_e2e
+
+echo "==> golden-schedule regression (byte-exact replay)"
+# The scheduler is purely logical-time, so a replayed op script must
+# produce the identical event stream, digest, and stats every run. Drift
+# means admission or packing behavior changed — review, then regenerate
+# with the two rrf-sched commands below.
+SCHED=target/release/rrf-sched
+"$SCHED" --tasks tests/expected/sched/small_trace.tasks.ndjson \
+    --width 12 --height 8 --bram-period 0 --advance-to 2000 > "$tmp/small_trace.ndjson"
+diff -u tests/expected/sched/small_trace.ndjson "$tmp/small_trace.ndjson"
+"$SCHED" --gen poisson:20:11 --advance-to 4000 > "$tmp/gen_poisson20.ndjson"
+diff -u tests/expected/sched/gen_poisson20.ndjson "$tmp/gen_poisson20.ndjson"
+
+echo "==> schedule ablation gate (alternatives must help at equal load)"
+# Exits nonzero if the with-alternatives arm is not measurably better on
+# goodput or deadline-miss rate; refreshes the committed artifact.
+target/release/sched_load 120 3 40 --out BENCH_sched.json
+
+echo "==> CLI --help/--version consistency"
+version="$(sed -n 's/^version = "\(.*\)"$/\1/p' Cargo.toml | head -1)"
+for tool in rrf-serve rrf-analyze rrf-trace rrf-sched; do
+    got="$(target/release/$tool --version)"
+    if [ "$got" != "$tool $version" ]; then
+        echo "version mismatch: $tool reported '$got', want '$tool $version'"
+        exit 1
+    fi
+    target/release/$tool --help > /dev/null
+done
+
 echo "ci: all green"
