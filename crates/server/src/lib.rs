@@ -54,13 +54,15 @@
 
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod cache;
 pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
+pub use admission::{BreakerState, BreakerStats};
 pub use journal::{Journal, JournalRecord, SessionSnapshot, SlotSnapshot};
 pub use protocol::{PlaceMethod, Request, Response, SlotState};
-pub use server::{start, ServerConfig, ServerHandle};
+pub use server::{replay_summary, start, ReplaySummary, ServerConfig, ServerHandle};
 pub use stats::{DetailStats, LadderStats, ServerStats, StageStats, HISTOGRAM_BOUNDS_MS};

@@ -303,10 +303,24 @@ pub enum Response {
     Pong {
         id: u64,
     },
+    /// Load was shed *before* the request executed: the bounded queue was
+    /// full, the estimated queue wait already exceeded the request's
+    /// deadline, or the daemon is at its connection cap. Because the
+    /// request never ran, retrying is always safe — even for
+    /// state-mutating operations. `retry_after_ms` is the daemon's
+    /// backpressure hint: roughly how long the current backlog needs to
+    /// drain, derived from the observed solve-latency histogram.
+    Overloaded {
+        id: u64,
+        message: String,
+        retry_after_ms: u64,
+    },
     /// The request could not be served: malformed input, unknown session,
-    /// or backpressure (`message` says which). `id` is the request's own
-    /// id when it could be recovered, or the reserved sentinel 0 for
-    /// lines too malformed to carry one (see the module docs).
+    /// or an internal failure (`message` says which). `id` is the
+    /// request's own id when it could be recovered, or the reserved
+    /// sentinel 0 for lines too malformed to carry one (see the module
+    /// docs). Unlike [`Response::Overloaded`], an error carries no
+    /// promise that the request did not execute.
     Error {
         id: u64,
         message: String,
@@ -334,6 +348,7 @@ impl Response {
             | Response::Stats { id, .. }
             | Response::StatsDetail { id, .. }
             | Response::Pong { id }
+            | Response::Overloaded { id, .. }
             | Response::Error { id, .. } => id,
         }
     }
@@ -459,6 +474,30 @@ mod tests {
             r#"{"type":"cancel_task","id":6,"session":1,"task":3}"#
         );
         assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), cancel);
+    }
+
+    #[test]
+    fn overloaded_response_wire_format() {
+        let resp = Response::Overloaded {
+            id: 9,
+            message: "server overloaded: request queue full".to_string(),
+            retry_after_ms: 120,
+        };
+        assert_eq!(resp.id(), 9);
+        let json = serde_json::to_string(&resp).unwrap();
+        assert_eq!(
+            json,
+            r#"{"type":"overloaded","id":9,"message":"server overloaded: request queue full","retry_after_ms":120}"#
+        );
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Overloaded {
+                id, retry_after_ms, ..
+            } => {
+                assert_eq!(id, 9);
+                assert_eq!(retry_after_ms, 120);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

@@ -30,6 +30,7 @@ use rrf_fabric::Region;
 use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleReport, RegionSpec};
 use rrf_sched::{AdmitOutcome, SchedConfig, Scheduler, TaskSpec};
 
+use crate::admission::{estimated_wait_ms, retry_after_ms, Breaker};
 use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
 use crate::journal::{Journal, JournalRecord, SchedOp, SessionSnapshot, SlotSnapshot};
 use crate::protocol::{PlaceMethod, Request, Response, SlotState};
@@ -68,6 +69,37 @@ pub struct ServerConfig {
     /// whose `solve.*` phase spans tile its wall time exactly, plus the
     /// solver's own `place`/`search` spans nested within.
     pub trace_path: Option<String>,
+    /// Hard cap on concurrently open connections; one past the cap gets
+    /// a single `overloaded` line and is closed (0 = unlimited).
+    pub max_conns: usize,
+    /// Maximum accepted request-line length in bytes. A longer line is
+    /// answered with a structured error and discarded up to its newline;
+    /// the connection survives, but the line buffer never grows past the
+    /// cap — a hostile client cannot balloon daemon memory. Because each
+    /// connection is served strictly in order, this also bounds the
+    /// connection's in-flight request bytes.
+    pub max_line_bytes: usize,
+    /// Write timeout towards clients, milliseconds. A client that stalls
+    /// a response write longer than this is forcibly disconnected (0 =
+    /// no timeout).
+    pub write_timeout_ms: u64,
+    /// Grace period for shutdown: new requests are refused, but queued
+    /// and in-flight ones get up to this long to finish before solver
+    /// stop flags fire and the final journal snapshot is taken.
+    pub shutdown_grace_ms: u64,
+    /// Adaptive admission control. When on (the default), a full queue
+    /// rejects immediately with `overloaded` + `retry_after_ms`, and a
+    /// `place` request whose estimated queue wait already exceeds its
+    /// deadline is shed before spending any solver budget. When off —
+    /// the overload-ablation baseline — a full queue *blocks* the
+    /// connection thread instead and nothing is shed.
+    pub admission_control: bool,
+    /// Consecutive deadline-blown CP attempts that trip the circuit
+    /// breaker open (CP is then skipped in favor of the greedy/LNS
+    /// ladder until a half-open probe succeeds).
+    pub breaker_threshold: u32,
+    /// How long an open breaker waits before admitting a half-open probe.
+    pub breaker_cooldown_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -81,6 +113,13 @@ impl Default for ServerConfig {
             journal_path: None,
             journal_fsync_every: 1,
             trace_path: None,
+            max_conns: 1024,
+            max_line_bytes: 4 * 1024 * 1024,
+            write_timeout_ms: 10_000,
+            shutdown_grace_ms: 2_000,
+            admission_control: true,
+            breaker_threshold: 3,
+            breaker_cooldown_ms: 5_000,
         }
     }
 }
@@ -300,6 +339,17 @@ struct Shared {
     tracer: rrf_trace::Tracer,
     /// Per-phase latency aggregation behind the `stats_detail` request.
     detail: Mutex<DetailCollector>,
+    /// Set while a graceful shutdown drains: new requests are refused,
+    /// queued and in-flight ones run to completion (within the grace
+    /// period) before the final snapshot.
+    draining: AtomicBool,
+    /// Requests admitted to the queue and not yet answered (queued +
+    /// in-flight); the drain phase waits for this to reach zero.
+    pending: AtomicU64,
+    /// Open-connection gauge, enforced against `max_conns`.
+    conns_open: AtomicU64,
+    /// The CP rung's circuit breaker (see [`crate::admission`]).
+    breaker: Mutex<Breaker>,
 }
 
 /// One queued request and the channel its response goes back on.
@@ -329,6 +379,19 @@ impl ServerHandle {
     }
 
     fn stop(&mut self) {
+        // Phase 1 — drain: refuse new requests but let everything already
+        // admitted (queued or in a worker) finish naturally, so the final
+        // snapshot never races an in-flight mutation and accepted work is
+        // not cut off mid-solve. Bounded by `shutdown_grace_ms`.
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let grace = Duration::from_millis(self.shared.config.shutdown_grace_ms);
+        let deadline = Instant::now() + grace;
+        while self.shared.pending.load(Ordering::SeqCst) > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Phase 2 — hard stop: trip every in-flight solver stop flag
+        // (anything still running overstayed the grace period), stop the
+        // loops, and join the pool.
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.watchdog.fire_all();
         for handle in self.threads.drain(..) {
@@ -381,6 +444,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     };
 
     let cache_capacity = config.cache_capacity;
+    let breaker = Breaker::new(
+        config.breaker_threshold,
+        Duration::from_millis(config.breaker_cooldown_ms),
+    );
     let shared = Arc::new(Shared {
         config,
         stats: Mutex::new(stats),
@@ -393,6 +460,10 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         workers_alive: AtomicU64::new(0),
         tracer,
         detail: Mutex::new(DetailCollector::default()),
+        draining: AtomicBool::new(false),
+        pending: AtomicU64::new(0),
+        conns_open: AtomicU64::new(0),
+        breaker: Mutex::new(breaker),
     });
 
     let (jobs_tx, jobs_rx) = channel::bounded::<Job>(shared.config.queue_depth.max(1));
@@ -434,15 +505,35 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
+/// Decrements the open-connection gauge however the connection thread
+/// exits (clean close, io error, or shutdown).
+struct ConnGuard<'a>(&'a Shared);
+
+impl Drop for ConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conns_open.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) {
     // Connection threads are detached: they exit on client disconnect or
     // on the shutdown flag (their reads time out every POLL interval).
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _)) => {
+                // Hard connection cap: one past the limit gets a single
+                // `overloaded` line (with a backpressure hint) and is
+                // closed — bounded thread count, bounded accept backlog.
+                let cap = shared.config.max_conns;
+                if cap > 0 && shared.conns_open.load(Ordering::SeqCst) >= cap as u64 {
+                    reject_connection(stream, shared);
+                    continue;
+                }
+                shared.conns_open.fetch_add(1, Ordering::SeqCst);
                 let shared = Arc::clone(shared);
                 let jobs_tx = jobs_tx.clone();
                 std::thread::spawn(move || {
+                    let _guard = ConnGuard(&shared);
                     let _ = serve_connection(stream, &shared, &jobs_tx);
                 });
             }
@@ -452,37 +543,139 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, jobs_tx: &Sender<Jo
     }
 }
 
+/// Turn away a connection at the `max_conns` cap: best-effort write of
+/// one structured `overloaded` line, then drop the stream.
+fn reject_connection(mut stream: TcpStream, shared: &Shared) {
+    shared.stats.lock().conns_rejected += 1;
+    let p50 = shared.detail.lock().solve_p50_us();
+    let response = Response::Overloaded {
+        id: 0,
+        message: "server overloaded: connection limit reached".to_string(),
+        retry_after_ms: retry_after_ms(p50, shared.config.queue_depth, shared.config.workers),
+    };
+    let mut line = serde_json::to_string(&response).expect("protocol types serialize infallibly");
+    line.push('\n');
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
+    let _ = stream.write_all(line.as_bytes());
+}
+
+/// Serialize and write one response line. A write that stalls past the
+/// configured write timeout marks the client slow; the caller drops the
+/// connection (a half-written line is unrecoverable anyway).
+fn write_response(
+    writer: &mut TcpStream,
+    response: &Response,
+    shared: &Shared,
+) -> std::io::Result<()> {
+    let mut out = serde_json::to_string(response).expect("protocol types serialize infallibly");
+    out.push('\n');
+    writer.write_all(out.as_bytes()).inspect_err(|e| {
+        if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut {
+            shared.stats.lock().slow_client_disconnects += 1;
+        }
+    })
+}
+
+/// Best-effort recovery of the `"id"` field from a raw (possibly
+/// truncated) request line that will never parse as JSON — the reserved
+/// sentinel 0 when none can be found.
+fn scan_id(bytes: &[u8]) -> u64 {
+    let Some(pos) = bytes.windows(4).position(|w| w == b"\"id\"") else {
+        return 0;
+    };
+    let mut it = bytes[pos + 4..]
+        .iter()
+        .copied()
+        .skip_while(|b| b.is_ascii_whitespace());
+    if it.next() != Some(b':') {
+        return 0;
+    }
+    let digits: Vec<u8> = it
+        .skip_while(|b| b.is_ascii_whitespace())
+        .take_while(|b| b.is_ascii_digit())
+        .collect();
+    std::str::from_utf8(&digits)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 fn serve_connection(
     stream: TcpStream,
     shared: &Arc<Shared>,
     jobs_tx: &Sender<Job>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL))?;
+    if shared.config.write_timeout_ms > 0 {
+        stream.set_write_timeout(Some(Duration::from_millis(shared.config.write_timeout_ms)))?;
+    }
     stream.set_nodelay(true)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
-    let mut line = String::new();
+    let max_line = shared.config.max_line_bytes.max(1);
+    // The line buffer is bounded by `max_line`: once a line exceeds the
+    // cap it is answered with a structured error and the remainder is
+    // *discarded* chunk by chunk — a hostile or broken client cannot
+    // grow daemon memory with an endless unterminated line.
+    let mut line: Vec<u8> = Vec::new();
+    let mut discarding = false;
     loop {
         if shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
         }
-        match reader.read_line(&mut line) {
-            Ok(0) => return Ok(()), // client closed
-            Ok(_) => {
-                let response = dispatch(line.trim(), shared, jobs_tx);
-                line.clear();
-                if let Some(response) = response {
-                    let mut out = serde_json::to_string(&response)
-                        .expect("protocol types serialize infallibly");
-                    out.push('\n');
-                    writer.write_all(out.as_bytes())?;
+        let (chunk, newline_at) = {
+            let available = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    continue
                 }
+                Err(e) => return Err(e),
+            };
+            if available.is_empty() {
+                return Ok(()); // client closed
             }
-            // Timeout mid-wait: partial bytes (if any) stay in `line`
-            // (read_line appends what it read before the error).
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {}
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(e) => return Err(e),
+            let newline_at = available.iter().position(|&b| b == b'\n');
+            let upto = newline_at.map(|p| p + 1).unwrap_or(available.len());
+            (available[..upto].to_vec(), newline_at)
+        };
+        reader.consume(chunk.len());
+        let body = match newline_at {
+            Some(p) => &chunk[..p],
+            None => &chunk[..],
+        };
+        if discarding {
+            // Tail of an already-rejected oversized line.
+            discarding = newline_at.is_none();
+            continue;
+        }
+        if line.len() + body.len() > max_line {
+            // Cap blown mid-line: keep only the capped prefix (enough to
+            // scan for the request id), answer once, discard the rest.
+            let keep = max_line.saturating_sub(line.len()).min(body.len());
+            line.extend_from_slice(&body[..keep]);
+            shared.stats.lock().oversized_lines += 1;
+            let response = Response::Error {
+                id: scan_id(&line),
+                message: format!("request line exceeds {max_line} byte cap"),
+            };
+            line.clear();
+            discarding = newline_at.is_none();
+            write_response(&mut writer, &response, shared)?;
+            continue;
+        }
+        line.extend_from_slice(body);
+        if newline_at.is_none() {
+            continue; // mid-line: wait for the rest
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        let response = dispatch(text.trim(), shared, jobs_tx);
+        line.clear();
+        if let Some(response) = response {
+            write_response(&mut writer, &response, shared)?;
         }
     }
 }
@@ -515,22 +708,71 @@ fn dispatch(line: &str, shared: &Arc<Shared>, jobs_tx: &Sender<Job>) -> Option<R
         }
     };
     let id = request.id();
+    if shared.draining.load(Ordering::SeqCst) {
+        shared.stats.lock().rejected_draining += 1;
+        return Some(Response::Error {
+            id,
+            message: "server draining for shutdown".to_string(),
+        });
+    }
+    let workers = shared.config.workers.max(1);
+    // Deadline-aware shedding: if the backlog alone already eats the
+    // request's whole deadline, solving it would only waste budget the
+    // queued requests need — reject up front with an honest hint.
+    if shared.config.admission_control {
+        if let Request::Place { deadline_ms, .. } = &request {
+            let deadline = deadline_ms.unwrap_or(shared.config.default_deadline_ms);
+            let depth = jobs_tx.len();
+            let p50 = shared.detail.lock().solve_p50_us();
+            if let Some(est) = estimated_wait_ms(p50, depth, workers) {
+                if est > deadline {
+                    shared.stats.lock().shed_deadline += 1;
+                    return Some(Response::Overloaded {
+                        id,
+                        message: format!(
+                            "server overloaded: estimated queue wait {est}ms \
+                             exceeds deadline {deadline}ms"
+                        ),
+                        retry_after_ms: retry_after_ms(p50, depth, workers),
+                    });
+                }
+            }
+        }
+    }
     let (reply_tx, reply_rx) = channel::bounded::<Response>(1);
     let job = Job {
         request,
         accepted_at: Instant::now(),
         reply: reply_tx,
     };
-    match jobs_tx.try_send(job) {
+    // `pending` counts admitted-but-unanswered requests (for the shutdown
+    // drain). Incremented *before* the send so a fast worker can never
+    // decrement first and underflow the gauge.
+    shared.pending.fetch_add(1, Ordering::SeqCst);
+    let send_result = if shared.config.admission_control {
+        jobs_tx.try_send(job)
+    } else {
+        // No-shedding mode (ablation baseline): block until the queue
+        // accepts, however long that takes.
+        jobs_tx
+            .send(job)
+            .map_err(|e| TrySendError::Disconnected(e.0))
+    };
+    match send_result {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
+            let depth = jobs_tx.len();
+            let p50 = shared.detail.lock().solve_p50_us();
             shared.stats.lock().rejected_backpressure += 1;
-            return Some(Response::Error {
+            return Some(Response::Overloaded {
                 id,
                 message: "server overloaded: request queue full".to_string(),
+                retry_after_ms: retry_after_ms(p50, depth, workers),
             });
         }
         Err(TrySendError::Disconnected(_)) => {
+            shared.pending.fetch_sub(1, Ordering::SeqCst);
             return Some(Response::Error {
                 id,
                 message: "server shutting down".to_string(),
@@ -563,6 +805,7 @@ fn worker_loop(shared: &Arc<Shared>, jobs: &Receiver<Job>) {
                         }
                     });
                 let _ = job.reply.send(response);
+                shared.pending.fetch_sub(1, Ordering::SeqCst);
             }
             Err(RecvTimeoutError::Timeout) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
@@ -808,12 +1051,14 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
         Request::Stats { id } => {
             let mut stats = shared.stats.lock().clone();
             stats.workers_alive = shared.workers_alive.load(Ordering::SeqCst);
+            stats.conns_open = shared.conns_open.load(Ordering::SeqCst);
             Response::Stats { id: *id, stats }
         }
-        Request::StatsDetail { id } => Response::StatsDetail {
-            id: *id,
-            detail: shared.detail.lock().snapshot(),
-        },
+        Request::StatsDetail { id } => {
+            let mut detail = shared.detail.lock().snapshot();
+            detail.breaker = shared.breaker.lock().stats();
+            Response::StatsDetail { id: *id, detail }
+        }
         Request::Ping { id } => Response::Pong { id: *id },
     }
 }
@@ -998,6 +1243,54 @@ fn replay_records(records: &[JournalRecord]) -> Replayed {
             .collect(),
         next_session,
         errors,
+    }
+}
+
+/// One session's state at digest granularity, as produced by
+/// [`replay_summary`] — enough to compare two replays for bit-identical
+/// equivalence without exposing the live session type.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReplaySessionSummary {
+    pub session: u64,
+    pub grid_digest: u64,
+    pub next_slot: u64,
+    pub occupied_slots: u64,
+}
+
+/// Deterministic digest of replaying a record sequence, for robustness
+/// tests: two replays of the same records must produce equal summaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    pub next_session: u64,
+    pub recovery_errors: u64,
+    /// Sorted by session id.
+    pub sessions: Vec<ReplaySessionSummary>,
+}
+
+/// Replay journal records and summarize the resulting state. This is the
+/// same replay the daemon runs at startup; tests use it to assert that
+/// recovery from arbitrary journal prefixes is deterministic and
+/// panic-free.
+pub fn replay_summary(records: &[JournalRecord]) -> ReplaySummary {
+    let replayed = replay_records(records);
+    let mut sessions: Vec<ReplaySessionSummary> = replayed
+        .sessions
+        .iter()
+        .map(|(id, session)| {
+            let session = session.lock();
+            ReplaySessionSummary {
+                session: *id,
+                grid_digest: session.placer.grid_digest(),
+                next_slot: session.placer.next_slot(),
+                occupied_slots: session.placer.slots().len() as u64,
+            }
+        })
+        .collect();
+    sessions.sort();
+    ReplaySummary {
+        next_session: replayed.next_session,
+        recovery_errors: replayed.errors,
+        sessions,
     }
 }
 
@@ -1449,18 +1742,32 @@ fn handle_place(
     // deadline-degraded answer.
     let solve_budget = deadline.saturating_duration_since(solve_started);
 
-    // Rung 1: the CP placer, unless the budget is already tight.
+    // Rung 1: the CP placer — unless the budget is already tight, or the
+    // circuit breaker is open because CP has recently blown deadlines
+    // (then requests route straight to the greedy/LNS ladder below).
     let mut picked: Option<(Floorplan, PlaceMethod, bool, SolveStats)> = None;
     let mut proven_infeasible = false;
-    if solve_budget >= TIGHT_BUDGET {
+    let budget_tight = solve_budget < TIGHT_BUDGET;
+    let cp_admitted = !budget_tight && shared.breaker.lock().admit_cp(Instant::now());
+    if cp_admitted {
         let mut config = canonical.placer.to_config_with_stop(Arc::clone(&stop));
         config.tracer = shared.tracer.clone();
         config.time_limit = Some(match config.time_limit {
             Some(limit) => limit.min(solve_budget),
             None => solve_budget,
         });
+        let allotted = config.time_limit.unwrap_or(solve_budget);
+        let cp_started = Instant::now();
         let outcome = cp::place(&problem, &config);
+        let cp_elapsed = cp_started.elapsed();
         clock.lap("solve.cp");
+        // Breaker bookkeeping: the attempt "blew its deadline" if it
+        // neither proved a result nor finished with budget to spare.
+        let blew_deadline = !outcome.proven && cp_elapsed >= allotted.mul_f64(0.9);
+        shared
+            .breaker
+            .lock()
+            .record_cp(blew_deadline, Instant::now());
         if outcome.stats.shapes_pruned > 0 {
             shared.stats.lock().shapes_pruned += outcome.stats.shapes_pruned as u64;
         }
@@ -1474,7 +1781,7 @@ fn handle_place(
         } else {
             proven_infeasible = outcome.proven;
         }
-    } else {
+    } else if budget_tight {
         shared.detail.lock().record_cp_skipped();
     }
 
@@ -1507,8 +1814,13 @@ fn handle_place(
         }
     }
 
-    let solve_ms = solve_started.elapsed().as_millis() as u64;
+    let solve_elapsed = solve_started.elapsed();
+    let solve_ms = solve_elapsed.as_millis() as u64;
     shared.stats.lock().record_solve_ms(solve_ms);
+    shared
+        .detail
+        .lock()
+        .record_solve_us((solve_elapsed.as_micros() as u64).max(1));
 
     let Some((plan, method, proven, mut solve_stats)) = picked else {
         shared.stats.lock().infeasible += 1;

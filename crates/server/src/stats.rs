@@ -65,6 +65,30 @@ pub struct ServerStats {
     pub analyze_us_total: u64,
     /// Requests refused because the bounded queue was full.
     pub rejected_backpressure: u64,
+    /// `place` requests shed by deadline-aware admission control: the
+    /// estimated queue wait already exceeded the request's deadline, so
+    /// no solver budget was spent (also answered `overloaded`).
+    #[serde(default)]
+    pub shed_deadline: u64,
+    /// Connections turned away at the `--max-conns` cap (each got one
+    /// `overloaded` line and was closed).
+    #[serde(default)]
+    pub conns_rejected: u64,
+    /// Connections currently open (a gauge, like `workers_alive`).
+    #[serde(default)]
+    pub conns_open: u64,
+    /// Request lines rejected for exceeding the configured length cap
+    /// (the rest of the oversized line is discarded, the connection
+    /// survives).
+    #[serde(default)]
+    pub oversized_lines: u64,
+    /// Connections force-closed because a write stalled past the
+    /// configured write timeout (slow or dead client).
+    #[serde(default)]
+    pub slow_client_disconnects: u64,
+    /// Requests refused because the daemon was draining for shutdown.
+    #[serde(default)]
+    pub rejected_draining: u64,
     /// Unparseable request lines.
     pub protocol_errors: u64,
     pub sessions_opened: u64,
@@ -153,6 +177,12 @@ impl Default for ServerStats {
             analyze_requests: 0,
             analyze_us_total: 0,
             rejected_backpressure: 0,
+            shed_deadline: 0,
+            conns_rejected: 0,
+            conns_open: 0,
+            oversized_lines: 0,
+            slow_client_disconnects: 0,
+            rejected_draining: 0,
             protocol_errors: 0,
             sessions_opened: 0,
             sessions_closed: 0,
@@ -272,6 +302,14 @@ pub struct DetailStats {
     /// historical misses are excluded).
     #[serde(default)]
     pub sched_deadline_misses: u64,
+    /// Solver-only latency per cache-missing `place` request (µs) — the
+    /// histogram the `overloaded` backpressure hints are derived from.
+    #[serde(default)]
+    pub solve_us: StageStats,
+    /// The CP circuit breaker: current state plus transition counters
+    /// (see `admission::Breaker`).
+    #[serde(default)]
+    pub breaker: crate::admission::BreakerStats,
 }
 
 /// Internal aggregation behind [`DetailStats`]; lives in the daemon's
@@ -284,6 +322,7 @@ pub struct DetailCollector {
     diagnostics_by_code: BTreeMap<String, u64>,
     sched_queue_depth: Option<Histogram>,
     sched_deadline_misses: u64,
+    solve_us: Option<Histogram>,
 }
 
 /// Bucket bounds (exclusive) for the scheduler queue-depth gauge — depths
@@ -336,6 +375,19 @@ impl DetailCollector {
         self.sched_deadline_misses += delta;
     }
 
+    /// Record one cache-missing `place` request's solver-only latency.
+    pub fn record_solve_us(&mut self, us: u64) {
+        self.solve_us
+            .get_or_insert_with(|| Histogram::new(WALL_US_BOUNDS))
+            .record(us);
+    }
+
+    /// Median observed solve latency (µs), the admission-control
+    /// estimate; `None` until the first solve completes.
+    pub fn solve_p50_us(&self) -> Option<u64> {
+        self.solve_us.as_ref().and_then(|h| h.quantile(0.5))
+    }
+
     /// Count one analyzer diagnostic by its code.
     pub fn record_diagnostic_code(&mut self, code: &str) {
         *self
@@ -344,7 +396,9 @@ impl DetailCollector {
             .or_insert(0) += 1;
     }
 
-    /// Snapshot into the serializable reply shape.
+    /// Snapshot into the serializable reply shape. The breaker lives
+    /// outside this collector (it is consulted on the hot solve path);
+    /// the `stats_detail` handler fills `breaker` in afterwards.
     pub fn snapshot(&self) -> DetailStats {
         DetailStats {
             phases: self
@@ -365,6 +419,12 @@ impl DetailCollector {
                 .map(StageStats::from_histogram)
                 .unwrap_or_default(),
             sched_deadline_misses: self.sched_deadline_misses,
+            solve_us: self
+                .solve_us
+                .as_ref()
+                .map(StageStats::from_histogram)
+                .unwrap_or_default(),
+            breaker: crate::admission::BreakerStats::default(),
         }
     }
 }

@@ -502,11 +502,19 @@ fn full_queue_rejects_with_backpressure_and_queued_work_still_verifies() {
     });
     std::thread::sleep(Duration::from_millis(300));
     match conn_c.roundtrip(&Request::Ping { id: 3 }) {
-        Response::Error { id, message } => {
+        Response::Overloaded {
+            id,
+            message,
+            retry_after_ms,
+        } => {
             assert_eq!(id, 3);
             assert!(message.contains("overloaded"), "message: {message}");
+            assert!(
+                (25..=10_000).contains(&retry_after_ms),
+                "retry hint must stay within its clamp: {retry_after_ms}"
+            );
         }
-        other => panic!("expected backpressure error, got {other:?}"),
+        other => panic!("expected backpressure rejection, got {other:?}"),
     }
 
     // Both heavy requests complete within their deadlines with verified

@@ -92,9 +92,26 @@ echo "==> schedule ablation gate (alternatives must help at equal load)"
 # goodput or deadline-miss rate; refreshes the committed artifact.
 target/release/sched_load 120 3 40 --out BENCH_sched.json
 
+echo "==> overload e2e (request-line cap, backpressure -> retrying client)"
+cargo test -q -p rrf-server --test overload_e2e
+
+echo "==> journal torn-tail robustness (every byte offset + corruption proptest)"
+cargo test -q -p rrf-server --test journal_props
+
+echo "==> chaos soak (seeded fault-injection proxy against the real daemon)"
+# Deterministic: RRF_CHAOS_SEED pins the injection sequence (default 42);
+# the test asserts zero invariant violations, live workers, bounded shed,
+# and bit-identical journal recovery after a SIGKILL.
+cargo test --release -q -p rrf-server --test chaos_soak
+
+echo "==> overload ablation gate (shedding must buy goodput at 2x saturation)"
+# Exits nonzero unless the admission arm's within-SLO goodput strictly
+# beats the no-shedding arm's; refreshes the committed artifact.
+target/release/overload_load 12 10 0 --out BENCH_overload.json
+
 echo "==> CLI --help/--version consistency"
 version="$(sed -n 's/^version = "\(.*\)"$/\1/p' Cargo.toml | head -1)"
-for tool in rrf-serve rrf-analyze rrf-trace rrf-sched; do
+for tool in rrf-serve rrf-analyze rrf-trace rrf-sched rrf-client rrf-chaos; do
     got="$(target/release/$tool --version)"
     if [ "$got" != "$tool $version" ]; then
         echo "version mismatch: $tool reported '$got', want '$tool $version'"
