@@ -4,6 +4,7 @@
 //! Usage: `ablation_alternatives [runs] [budget_secs] [modules]`
 //! (defaults 10, 5, 30).
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
 use rrf_core::{PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

@@ -5,6 +5,7 @@
 //! Usage: `ablation_baseline [runs] [budget_secs] [modules]`
 //! (defaults 10, 5, 20).
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, workload_modules};
 use rrf_core::{anneal, baseline, cp, metrics, verify, PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

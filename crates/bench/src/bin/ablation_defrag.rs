@@ -10,6 +10,7 @@
 //! Usage: `ablation_defrag [runs] [events] [budget_secs]`
 //! (defaults 8, 200, 5).
 
+#![forbid(unsafe_code)]
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use rrf_bench::experiment::{workload_modules, ExperimentSetup};

@@ -8,6 +8,7 @@
 //!
 //! Usage: `ablation_heterogeneity [runs] [budget_secs] [modules]`.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{run_arm, workload_modules, ExperimentSetup, TableOneRow};
 use rrf_core::{PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

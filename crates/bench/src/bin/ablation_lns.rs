@@ -4,6 +4,7 @@
 //! Usage: `ablation_lns [runs] [budget_secs] [modules]`
 //! (defaults 8, 5, 30).
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, workload_modules};
 use rrf_core::{baseline, cp, lns, metrics, verify, PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

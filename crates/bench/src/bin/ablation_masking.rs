@@ -13,6 +13,7 @@
 //!
 //! Usage: `ablation_masking [runs] [budget_secs] [modules] [soft_factor]`.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
 use rrf_core::{PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, spec::BRAM_BLOCK_TILES, WorkloadSpec};

@@ -9,6 +9,7 @@
 //! Usage: `ablation_online [runs] [events] [region_width]`
 //! (defaults 10, 300, 120).
 
+#![forbid(unsafe_code)]
 use rand::Rng;
 use rrf_bench::experiment::ExperimentSetup;
 use rrf_bench::workload::{arrive_next, stream_rng, workload_arms};

@@ -4,6 +4,7 @@
 //! Usage: `ablation_search [runs] [budget_secs] [modules]`
 //! (defaults 5, 5, 20).
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
 use rrf_core::{Heuristic, PlacementProblem, PlacerConfig, SearchStrategy};
 use rrf_modgen::{generate_workload, WorkloadSpec};

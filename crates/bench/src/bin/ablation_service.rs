@@ -9,6 +9,7 @@
 //! Usage: `ablation_service [runs] [budget_secs] [region_width]`
 //! (defaults 10, 3, 120).
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{workload_modules, ExperimentSetup};
 use rrf_core::{service, PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

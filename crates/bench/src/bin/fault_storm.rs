@@ -14,6 +14,7 @@
 //! (defaults 10, 300, 40, 20 — a region tight enough that a displaced
 //! module cannot always be saved, which is where shape freedom shows).
 
+#![forbid(unsafe_code)]
 use std::time::Duration;
 
 use rand::Rng;

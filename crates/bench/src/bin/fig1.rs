@@ -8,6 +8,7 @@
 //! memory blocks for equivalent CLB area — the "different amount of
 //! dedicated resources" case from the caption.
 
+#![forbid(unsafe_code)]
 use rrf_fabric::{Point, ResourceKind};
 use rrf_geost::ShapeDef;
 use rrf_modgen::{derive_alternatives, layout::LayoutParams, ModuleSpec};

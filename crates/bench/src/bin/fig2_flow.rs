@@ -6,6 +6,7 @@
 //! report JSON, and prints both paths plus a summary (the file formats are
 //! the ReCoBus-Builder-style interface of the flow crate).
 
+#![forbid(unsafe_code)]
 use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
 use rrf_modgen::{generate_workload, WorkloadSpec};
 use std::path::PathBuf;

@@ -6,6 +6,7 @@
 //! the region more tightly. We use a small module set so both arms solve
 //! to proven optimality and render the two floorplans.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{run_arm, workload_modules, ExperimentSetup};
 use rrf_core::{cp, PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

@@ -8,6 +8,7 @@
 //!     design;
 //! (d) non-overlap — a placed module blocks its footprint for others.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::ExperimentSetup;
 use rrf_fabric::{Rect, Region, ResourceKind};
 use rrf_geost::{allowed_anchors, ShapeDef, ShiftedBox};

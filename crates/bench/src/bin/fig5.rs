@@ -5,6 +5,7 @@
 //! four-alternative module family; a time budget replaces the exactness
 //! requirement.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{workload_modules, ExperimentSetup};
 use rrf_core::{cp, metrics, PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

@@ -39,6 +39,7 @@
 //!         [--slo-ms MS] [--overload-factor F] [--out PATH]`
 //! (defaults 12, 10, 0, 600, 2.0).
 
+#![forbid(unsafe_code)]
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 

@@ -17,6 +17,7 @@
 //! Usage: `sched_load [tasks] [seeds] [mean_gap] [--out FILE]`
 //! (defaults 120, 3, 40).
 
+#![forbid(unsafe_code)]
 use std::time::Instant;
 
 use rand::Rng;

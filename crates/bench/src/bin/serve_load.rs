@@ -12,6 +12,7 @@
 //!         [--addr HOST:PORT] [--deadline-ms MS]`
 //! (defaults 4, 30, 0; without `--addr` an in-process daemon is started).
 
+#![forbid(unsafe_code)]
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};

@@ -14,6 +14,7 @@
 //! report *time-to-best* — when the reported floorplan was found — which is
 //! the comparable "how long until this quality" number.
 
+#![forbid(unsafe_code)]
 use rrf_bench::experiment::{paper_region, run_arm, workload_modules, TableOneRow};
 use rrf_core::{PlacementProblem, PlacerConfig};
 use rrf_modgen::{generate_workload, WorkloadSpec};

@@ -22,6 +22,7 @@
 //! `--wall` adds the wall-clock records back (useful for feeding the
 //! `rrf-trace` CLI's `--phases` view; not reproducible byte-for-byte).
 
+#![forbid(unsafe_code)]
 use std::io::Write;
 use std::sync::Arc;
 

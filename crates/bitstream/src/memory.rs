@@ -4,7 +4,7 @@
 use crate::assemble::PartialBitstream;
 use crate::frame::FrameGeometry;
 use rrf_fabric::Region;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Loading failures.
@@ -61,8 +61,10 @@ impl std::error::Error for LoadError {}
 pub struct ConfigMemory {
     region: Region,
     geometry: FrameGeometry,
-    /// column -> (words, owner name per non-zero word).
-    columns: HashMap<i32, (Vec<u32>, Vec<Option<String>>)>,
+    /// column -> (words, owner name per non-zero word). Ordered so that
+    /// whole-memory walks (unload, live_words) are column-ascending and
+    /// replay-stable.
+    columns: BTreeMap<i32, (Vec<u32>, Vec<Option<String>>)>,
 }
 
 impl ConfigMemory {
@@ -70,7 +72,7 @@ impl ConfigMemory {
         ConfigMemory {
             region,
             geometry,
-            columns: HashMap::new(),
+            columns: BTreeMap::new(),
         }
     }
 

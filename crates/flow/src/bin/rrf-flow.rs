@@ -8,6 +8,7 @@
 //! The job-file format is `rrf_flow::spec::FlowSpec`; see the crate docs
 //! and `examples/design_flow.rs`.
 
+#![forbid(unsafe_code)]
 use rrf_flow::{io, run, DeviceSpec, FlowSpec, ModuleEntry, PlacerSettings, RegionSpec};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;

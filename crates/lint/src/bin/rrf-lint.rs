@@ -1,0 +1,136 @@
+//! CLI for the workspace lint. Mirrors `rrf-analyze`: NDJSON findings
+//! on stdout, a human summary on stderr, exit code 0/1/2/3.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rrf_lint::{exit_code, run, write_registries, Config, Severity};
+
+const USAGE: &str = "\
+rrf-lint: determinism & replay-safety static analysis over the workspace
+
+USAGE:
+    rrf-lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>        Lint root containing crates/ and lint.toml [default: .]
+    --config <FILE>     Config file [default: <root>/lint.toml]
+    --format <FMT>      Output format: ndjson | text [default: ndjson]
+    --write-registry    Regenerate the registry snapshot files and exit
+    -h, --help          Print this help
+    -V, --version       Print version
+
+PASSES:
+    RRFL001-003  determinism: wall clock, unseeded RNG, unordered-map
+                 iteration in designated logical/replay modules
+    RRFL004      panic-safety: unwrap/expect/indexing in handler paths
+                 outside catch_unwind isolation
+    RRFL005-006  registry drift: wire names, journal tags, counters and
+                 diagnostic codes append-only vs committed snapshots
+    RRFL007-008  unsafe-code policy: #![forbid(unsafe_code)] everywhere,
+                 #[allow] only in the whitelist
+    RRFL009-010  suppression hygiene: reasons mandatory, no stale allows
+
+EXIT CODES:
+    0  clean (or info-level findings only)
+    1  warnings
+    2  errors
+    3  usage or configuration error
+
+Suppressed findings stay in the output (flagged, with their reason) but
+do not affect the exit code. Suppress with:
+    // rrf-lint: allow(RRFLxxx, reason=\"...\")
+";
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("rrf-lint: {message}");
+    ExitCode::from(3)
+}
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut config_path: Option<PathBuf> = None;
+    let mut format = "ndjson".to_string();
+    let mut write_registry = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            "-V" | "--version" => {
+                println!("rrf-lint {}", env!("CARGO_PKG_VERSION"));
+                return ExitCode::SUCCESS;
+            }
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return fail("--root needs a value"),
+            },
+            "--config" => match args.next() {
+                Some(v) => config_path = Some(PathBuf::from(v)),
+                None => return fail("--config needs a value"),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "ndjson" || v == "text" => format = v,
+                _ => return fail("--format must be ndjson or text"),
+            },
+            "--write-registry" => write_registry = true,
+            other => return fail(&format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+
+    let config_path = config_path.unwrap_or_else(|| root.join("lint.toml"));
+    let config_text = match std::fs::read_to_string(&config_path) {
+        Ok(text) => text,
+        Err(e) => return fail(&format!("cannot read {}: {e}", config_path.display())),
+    };
+    let config = match Config::parse(&config_text) {
+        Ok(config) => config,
+        Err(e) => return fail(&format!("{}: {e}", config_path.display())),
+    };
+
+    if write_registry {
+        return match write_registries(&root, &config) {
+            Ok(written) => {
+                for rel in written {
+                    eprintln!("rrf-lint: wrote {rel}");
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&e),
+        };
+    }
+
+    let findings = match run(&root, &config) {
+        Ok(findings) => findings,
+        Err(e) => return fail(&e),
+    };
+    for finding in &findings {
+        match format.as_str() {
+            "ndjson" => println!("{}", finding.to_ndjson()),
+            _ => println!("{finding}"),
+        }
+    }
+    let (mut errors, mut warns, mut infos, mut suppressed) = (0usize, 0usize, 0usize, 0usize);
+    for f in &findings {
+        if f.suppressed.is_some() {
+            suppressed += 1;
+        } else {
+            match f.severity {
+                Severity::Error => errors += 1,
+                Severity::Warn => warns += 1,
+                Severity::Info => infos += 1,
+            }
+        }
+    }
+    eprintln!(
+        "rrf-lint: {} findings ({errors} errors, {warns} warns, {infos} info, \
+         {suppressed} suppressed)",
+        findings.len()
+    );
+    ExitCode::from(exit_code(&findings))
+}

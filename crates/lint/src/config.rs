@@ -1,0 +1,347 @@
+//! `lint.toml` — which paths the determinism and panic-safety passes
+//! cover, the unsafe-code whitelist, and the registry specifications.
+//!
+//! Parsed by a hand-rolled reader for the TOML subset the file actually
+//! uses (`[section]` headers, string values, string arrays, `#`
+//! comments) — the zero-dependency rule applies to configuration too.
+//! Anything outside the subset is a hard error, not a silent skip: a
+//! config typo must fail the gate, never weaken it.
+
+use std::collections::BTreeMap;
+
+/// A designated path: a whole file, or one function within it via the
+/// `path#fn_name` form (e.g. `crates/server/src/server.rs#dispatch`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Designation {
+    pub path: String,
+    pub func: Option<String>,
+}
+
+impl Designation {
+    fn parse(s: &str) -> Designation {
+        match s.split_once('#') {
+            Some((path, func)) => Designation {
+                path: path.to_string(),
+                func: Some(func.to_string()),
+            },
+            None => Designation {
+                path: s.to_string(),
+                func: None,
+            },
+        }
+    }
+}
+
+/// What a registry snapshot records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegistryKind {
+    /// Variant names of `symbol`, snake_cased — the serde wire tags of
+    /// `rename_all = "snake_case"` enums.
+    EnumVariantsSnake,
+    /// Field names of struct `symbol` — counter registries.
+    StructFields,
+    /// String literals matching `RRF\d{3}` / `RRFL\d{3}` — the
+    /// diagnostic-code registries of the analyzer and this lint.
+    CodeLiterals,
+}
+
+/// One append-only registry: entries extracted from `files`, checked
+/// against the committed snapshot `<registry_dir>/<name>.txt`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegistrySpec {
+    pub name: String,
+    pub kind: RegistryKind,
+    /// The enum/struct to extract from (`None` for [`RegistryKind::CodeLiterals`]).
+    pub symbol: Option<String>,
+    pub files: Vec<String>,
+}
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Config {
+    /// Logical/replay modules: the determinism passes (RRFL001–003)
+    /// run only here.
+    pub logical: Vec<Designation>,
+    /// Server handler paths outside `catch_unwind` isolation: the
+    /// panic-safety pass (RRFL004) runs only here.
+    pub handlers: Vec<Designation>,
+    /// Files allowed to carry `#[allow(unsafe_code)]` (and exempt from
+    /// the `#![forbid(unsafe_code)]` requirement).
+    pub unsafe_allow: Vec<String>,
+    /// Directory of the committed registry snapshots, relative to the
+    /// lint root.
+    pub registry_dir: String,
+    pub registries: Vec<RegistrySpec>,
+}
+
+/// A parsed `key = value` where the value is a string or string array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Str(String),
+    Array(Vec<String>),
+}
+
+/// Parse the raw TOML subset into `section -> key -> value`.
+fn parse_raw(src: &str) -> Result<BTreeMap<String, BTreeMap<String, Value>>, String> {
+    let mut sections: BTreeMap<String, BTreeMap<String, Value>> = BTreeMap::new();
+    let mut current = String::new();
+    let mut lines = src.lines().enumerate().peekable();
+    while let Some((n, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            current = name.trim().to_string();
+            sections.entry(current.clone()).or_default();
+            continue;
+        }
+        let (key, rest) = line
+            .split_once('=')
+            .ok_or_else(|| format!("line {}: expected `key = value`, got {raw:?}", n + 1))?;
+        let key = key.trim().to_string();
+        let mut rest = rest.trim().to_string();
+        if rest.starts_with('[') {
+            // A string array, possibly spanning lines until `]`.
+            while !rest.contains(']') {
+                let (_, more) = lines
+                    .next()
+                    .ok_or_else(|| format!("line {}: unterminated array", n + 1))?;
+                rest.push(' ');
+                rest.push_str(strip_comment(more).trim());
+            }
+            let body = rest
+                .trim()
+                .strip_prefix('[')
+                .and_then(|r| r.trim_end().strip_suffix(']'))
+                .ok_or_else(|| format!("line {}: malformed array", n + 1))?;
+            let mut items = Vec::new();
+            for item in body.split(',') {
+                let item = item.trim();
+                if item.is_empty() {
+                    continue; // trailing comma
+                }
+                items.push(parse_string(item).ok_or_else(|| {
+                    format!("line {}: array item {item:?} is not a quoted string", n + 1)
+                })?);
+            }
+            insert(&mut sections, &current, &key, Value::Array(items), n + 1)?;
+        } else {
+            let s = parse_string(&rest)
+                .ok_or_else(|| format!("line {}: value {rest:?} is not a quoted string", n + 1))?;
+            insert(&mut sections, &current, &key, Value::Str(s), n + 1)?;
+        }
+    }
+    Ok(sections)
+}
+
+fn insert(
+    sections: &mut BTreeMap<String, BTreeMap<String, Value>>,
+    section: &str,
+    key: &str,
+    value: Value,
+    line: usize,
+) -> Result<(), String> {
+    let dup = sections
+        .entry(section.to_string())
+        .or_default()
+        .insert(key.to_string(), value);
+    if dup.is_some() {
+        return Err(format!("line {line}: duplicate key {key:?} in [{section}]"));
+    }
+    Ok(())
+}
+
+/// Strip a `#` comment, respecting quoted strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(s: &str) -> Option<String> {
+    s.strip_prefix('"')
+        .and_then(|r| r.strip_suffix('"'))
+        .filter(|r| !r.contains('"'))
+        .map(|r| r.to_string())
+}
+
+impl Config {
+    /// Parse and validate a `lint.toml`. Unknown sections, unknown
+    /// keys, and unknown registry kinds are errors.
+    pub fn parse(src: &str) -> Result<Config, String> {
+        let sections = parse_raw(src)?;
+        let mut config = Config {
+            registry_dir: "tests/expected/lint".to_string(),
+            ..Config::default()
+        };
+        for (section, keys) in &sections {
+            match section.as_str() {
+                "determinism" => {
+                    for (key, value) in keys {
+                        match (key.as_str(), value) {
+                            ("logical", Value::Array(items)) => {
+                                config.logical =
+                                    items.iter().map(|s| Designation::parse(s)).collect();
+                            }
+                            _ => return Err(format!("[determinism]: unknown key {key:?}")),
+                        }
+                    }
+                }
+                "panic_safety" => {
+                    for (key, value) in keys {
+                        match (key.as_str(), value) {
+                            ("handlers", Value::Array(items)) => {
+                                config.handlers =
+                                    items.iter().map(|s| Designation::parse(s)).collect();
+                            }
+                            _ => return Err(format!("[panic_safety]: unknown key {key:?}")),
+                        }
+                    }
+                }
+                "unsafe_code" => {
+                    for (key, value) in keys {
+                        match (key.as_str(), value) {
+                            ("allow", Value::Array(items)) => {
+                                config.unsafe_allow = items.clone();
+                            }
+                            _ => return Err(format!("[unsafe_code]: unknown key {key:?}")),
+                        }
+                    }
+                }
+                "registry" => {
+                    for (key, value) in keys {
+                        match (key.as_str(), value) {
+                            ("dir", Value::Str(s)) => config.registry_dir = s.clone(),
+                            _ => return Err(format!("[registry]: unknown key {key:?}")),
+                        }
+                    }
+                }
+                name => {
+                    let reg_name = name.strip_prefix("registry.").ok_or_else(|| {
+                        format!("unknown section [{name}] (typo? it would silently not lint)")
+                    })?;
+                    let mut kind = None;
+                    let mut symbol = None;
+                    let mut files = Vec::new();
+                    for (key, value) in keys {
+                        match (key.as_str(), value) {
+                            ("kind", Value::Str(s)) => {
+                                kind = Some(match s.as_str() {
+                                    "enum_variants_snake" => RegistryKind::EnumVariantsSnake,
+                                    "struct_fields" => RegistryKind::StructFields,
+                                    "code_literals" => RegistryKind::CodeLiterals,
+                                    other => {
+                                        return Err(format!(
+                                            "[{name}]: unknown registry kind {other:?}"
+                                        ))
+                                    }
+                                });
+                            }
+                            ("symbol", Value::Str(s)) => symbol = Some(s.clone()),
+                            ("files", Value::Array(items)) => files = items.clone(),
+                            _ => return Err(format!("[{name}]: unknown key {key:?}")),
+                        }
+                    }
+                    let kind = kind.ok_or_else(|| format!("[{name}]: missing `kind`"))?;
+                    if files.is_empty() {
+                        return Err(format!("[{name}]: missing or empty `files`"));
+                    }
+                    if symbol.is_none() && kind != RegistryKind::CodeLiterals {
+                        return Err(format!("[{name}]: `symbol` required for this kind"));
+                    }
+                    config.registries.push(RegistrySpec {
+                        name: reg_name.to_string(),
+                        kind,
+                        symbol,
+                        files,
+                    });
+                }
+            }
+        }
+        Ok(config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r##"
+# comment
+[determinism]
+logical = [
+    "crates/server/src/journal.rs",
+    "crates/server/src/server.rs#replay_records", # per-fn designation
+]
+
+[panic_safety]
+handlers = ["crates/server/src/server.rs#dispatch"]
+
+[unsafe_code]
+allow = ["crates/server/src/bin/rrf-serve.rs"]
+
+[registry]
+dir = "tests/expected/lint"
+
+[registry.journal_records]
+kind = "enum_variants_snake"
+symbol = "JournalRecord"
+files = ["crates/server/src/journal.rs"]
+
+[registry.diag_codes]
+kind = "code_literals"
+files = ["crates/analyze/src/diagnostic.rs", "crates/lint/src/diagnostic.rs"]
+"##;
+
+    #[test]
+    fn parses_the_full_shape() {
+        let c = Config::parse(SAMPLE).unwrap();
+        assert_eq!(c.logical.len(), 2);
+        assert_eq!(c.logical[0].func, None);
+        assert_eq!(c.logical[1].func.as_deref(), Some("replay_records"));
+        assert_eq!(c.handlers[0].path, "crates/server/src/server.rs");
+        assert_eq!(c.unsafe_allow, vec!["crates/server/src/bin/rrf-serve.rs"]);
+        assert_eq!(c.registry_dir, "tests/expected/lint");
+        assert_eq!(c.registries.len(), 2);
+        let journal = c
+            .registries
+            .iter()
+            .find(|r| r.name == "journal_records")
+            .unwrap();
+        assert_eq!(journal.kind, RegistryKind::EnumVariantsSnake);
+        assert_eq!(journal.symbol.as_deref(), Some("JournalRecord"));
+        let codes = c
+            .registries
+            .iter()
+            .find(|r| r.name == "diag_codes")
+            .unwrap();
+        assert_eq!(codes.kind, RegistryKind::CodeLiterals);
+        assert_eq!(codes.files.len(), 2);
+    }
+
+    #[test]
+    fn typos_fail_loudly() {
+        assert!(Config::parse("[determinizm]\nlogical = []").is_err());
+        assert!(Config::parse("[determinism]\nlogicall = []").is_err());
+        assert!(Config::parse("[registry.x]\nkind = \"nope\"\nfiles = [\"a\"]").is_err());
+        assert!(Config::parse("[registry.x]\nfiles = [\"a\"]").is_err());
+        assert!(
+            Config::parse("[registry.x]\nkind = \"struct_fields\"\nfiles = [\"a\"]").is_err(),
+            "struct_fields needs a symbol"
+        );
+        assert!(Config::parse("key = unquoted").is_err());
+        assert!(Config::parse("[determinism]\nlogical = [\"a\"\nlogical = [\"b\"]").is_err());
+    }
+
+    #[test]
+    fn multiline_arrays_and_trailing_commas() {
+        let c = Config::parse("[determinism]\nlogical = [\n  \"a.rs\",\n  \"b.rs\",\n]\n").unwrap();
+        assert_eq!(c.logical.len(), 2);
+    }
+}

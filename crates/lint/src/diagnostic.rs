@@ -1,0 +1,249 @@
+//! Stable machine-readable lint findings, mirroring `rrf-analyze`'s
+//! diagnostic model: every finding has a fixed code (`RRFL001`…), a
+//! fixed severity, and a source span. The code set is append-only —
+//! codes are never renumbered or reused, so committed golden files and
+//! the registry-drift gate stay valid across releases. (The code list
+//! itself is one of the registries the drift pass checks.)
+
+use std::fmt;
+
+/// Finding severity. `Error` findings break a determinism or
+/// append-only invariant outright; `Warn` findings are hazards (panic
+/// paths, stale suppressions) that need a fix or a reasoned suppression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    Info,
+    Warn,
+    Error,
+}
+
+impl Severity {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// The lint's diagnostic codes (append-only; see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Code {
+    /// Wall-clock read (`Instant::now`, `SystemTime::now`, …) inside a
+    /// designated logical/replay module.
+    WallClockInLogical,
+    /// Unseeded RNG construction (`thread_rng`, `from_entropy`, `OsRng`)
+    /// inside a designated logical/replay module.
+    UnseededRngInLogical,
+    /// `HashMap`/`HashSet` *iteration* (not lookup) inside a designated
+    /// logical/replay module — iteration order is randomized per
+    /// process and must never escape into journaled or golden bytes.
+    UnorderedIterInLogical,
+    /// `unwrap`/`expect`/indexing/panic-macro in a server handler path
+    /// that runs outside the worker pool's `catch_unwind` isolation.
+    PanicInHandler,
+    /// A registry entry present in the committed snapshot is gone from
+    /// the source: wire names, journal tags, counters, and diagnostic
+    /// codes are append-only.
+    RegistryEntryRemoved,
+    /// A source entry missing from the committed registry snapshot —
+    /// additions must be registered (`rrf-lint --write-registry`) in
+    /// the same change that introduces them.
+    RegistryEntryUnlisted,
+    /// A crate root without `#![forbid(unsafe_code)]`.
+    MissingForbidUnsafe,
+    /// `#[allow(unsafe_code)]` outside the whitelisted FFI files.
+    UnsafeAllowOutsideWhitelist,
+    /// A malformed `rrf-lint:` comment: unparseable, unknown code, or a
+    /// missing/empty reason (reasons are mandatory).
+    BadSuppression,
+    /// A well-formed suppression that matched no finding — stale after
+    /// a fix, or aimed at the wrong line/code.
+    UnusedSuppression,
+}
+
+/// Every code, in code order. Registry extraction and `--help` both
+/// iterate this; a new code must be appended here (and only here).
+pub const ALL_CODES: [Code; 10] = [
+    Code::WallClockInLogical,
+    Code::UnseededRngInLogical,
+    Code::UnorderedIterInLogical,
+    Code::PanicInHandler,
+    Code::RegistryEntryRemoved,
+    Code::RegistryEntryUnlisted,
+    Code::MissingForbidUnsafe,
+    Code::UnsafeAllowOutsideWhitelist,
+    Code::BadSuppression,
+    Code::UnusedSuppression,
+];
+
+impl Code {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::WallClockInLogical => "RRFL001",
+            Code::UnseededRngInLogical => "RRFL002",
+            Code::UnorderedIterInLogical => "RRFL003",
+            Code::PanicInHandler => "RRFL004",
+            Code::RegistryEntryRemoved => "RRFL005",
+            Code::RegistryEntryUnlisted => "RRFL006",
+            Code::MissingForbidUnsafe => "RRFL007",
+            Code::UnsafeAllowOutsideWhitelist => "RRFL008",
+            Code::BadSuppression => "RRFL009",
+            Code::UnusedSuppression => "RRFL010",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Code> {
+        ALL_CODES.iter().copied().find(|c| c.as_str() == s)
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(self) -> Severity {
+        match self {
+            Code::WallClockInLogical
+            | Code::UnseededRngInLogical
+            | Code::UnorderedIterInLogical
+            | Code::RegistryEntryRemoved
+            | Code::RegistryEntryUnlisted
+            | Code::MissingForbidUnsafe
+            | Code::UnsafeAllowOutsideWhitelist
+            | Code::BadSuppression => Severity::Error,
+            Code::PanicInHandler | Code::UnusedSuppression => Severity::Warn,
+        }
+    }
+}
+
+/// One lint finding. Suppressed findings stay in the output (flagged,
+/// with their reason) so suppressions are auditable from the NDJSON
+/// alone; only *unsuppressed* findings count toward the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    pub code: Code,
+    pub severity: Severity,
+    /// Path relative to the lint root, `/`-separated.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    pub message: String,
+    /// `Some(reason)` when an in-source suppression covers this finding.
+    pub suppressed: Option<String>,
+}
+
+impl Finding {
+    pub fn new(code: Code, path: &str, line: u32, message: impl Into<String>) -> Finding {
+        Finding {
+            code,
+            severity: code.severity(),
+            path: path.to_string(),
+            line,
+            message: message.into(),
+            suppressed: None,
+        }
+    }
+
+    /// One NDJSON line (no trailing newline). Hand-rolled so the bytes
+    /// depend on nothing but this crate: fixed key order, minimal JSON
+    /// string escaping.
+    pub fn to_ndjson(&self) -> String {
+        let mut out = String::with_capacity(96 + self.message.len());
+        out.push_str("{\"code\":\"");
+        out.push_str(self.code.as_str());
+        out.push_str("\",\"severity\":\"");
+        out.push_str(self.severity.as_str());
+        out.push_str("\",\"path\":\"");
+        json_escape_into(&self.path, &mut out);
+        out.push_str("\",\"line\":");
+        out.push_str(&self.line.to_string());
+        out.push_str(",\"message\":\"");
+        json_escape_into(&self.message, &mut out);
+        out.push_str("\",\"suppressed\":");
+        match &self.suppressed {
+            None => out.push_str("false}"),
+            Some(reason) => {
+                out.push_str("true,\"reason\":\"");
+                json_escape_into(reason, &mut out);
+                out.push_str("\"}");
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Finding {
+    /// Human-readable one-liner:
+    /// `crates/core/src/online.rs:394: RRFL001 error: ...`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {} {}: {}",
+            self.path,
+            self.line,
+            self.code.as_str(),
+            self.severity.as_str(),
+            self.message
+        )?;
+        if let Some(reason) = &self.suppressed {
+            write!(f, " [suppressed: {reason}]")?;
+        }
+        Ok(())
+    }
+}
+
+fn json_escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_roundtrip_and_stay_stable() {
+        for (i, code) in ALL_CODES.iter().enumerate() {
+            assert_eq!(code.as_str(), format!("RRFL{:03}", i + 1));
+            assert_eq!(Code::parse(code.as_str()), Some(*code));
+        }
+        assert_eq!(Code::parse("RRFL999"), None);
+        assert_eq!(Code::parse("RRF001"), None, "analyzer codes are not ours");
+    }
+
+    #[test]
+    fn ndjson_shape_and_escaping() {
+        let mut f = Finding::new(
+            Code::PanicInHandler,
+            "crates/server/src/server.rs",
+            556,
+            "call to `.expect()` with \"quotes\"",
+        );
+        assert_eq!(
+            f.to_ndjson(),
+            "{\"code\":\"RRFL004\",\"severity\":\"warn\",\
+             \"path\":\"crates/server/src/server.rs\",\"line\":556,\
+             \"message\":\"call to `.expect()` with \\\"quotes\\\"\",\
+             \"suppressed\":false}"
+        );
+        f.suppressed = Some("serialization is infallible".to_string());
+        assert!(f
+            .to_ndjson()
+            .ends_with("\"suppressed\":true,\"reason\":\"serialization is infallible\"}"));
+    }
+
+    #[test]
+    fn display_is_grep_friendly() {
+        let f = Finding::new(Code::WallClockInLogical, "a/b.rs", 7, "Instant::now");
+        assert_eq!(f.to_string(), "a/b.rs:7: RRFL001 error: Instant::now");
+    }
+}

@@ -1,0 +1,673 @@
+//! A minimal Rust lexer — just enough structure for the lint passes.
+//!
+//! Produces a flat token stream (identifiers, literals, punctuation)
+//! with line numbers, plus the `// rrf-lint: allow(...)` suppression
+//! comments the passes honor. There is deliberately no parser:
+//! structural questions (function bodies, enum variants, `#[cfg(test)]`
+//! modules) are answered by pattern matching and bracket counting over
+//! the token stream. That is robust for this workspace's idiomatic Rust
+//! and fails open (no tokens matched, no findings) on anything exotic —
+//! a lint must never block CI on code it merely failed to understand.
+
+/// Token classes. Keywords are ordinary [`TokKind::Ident`] tokens; the
+/// passes match on their text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Lifetime,
+    /// String literal (cooked, raw, or byte); `text` is the uncooked
+    /// body without quotes or hashes.
+    Str,
+    /// Character or byte literal.
+    Char,
+    Num,
+    /// One punctuation character; multi-character operators appear as
+    /// consecutive tokens (`::` is two `:`).
+    Punct,
+}
+
+/// One lexed token with the 1-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Token {
+    pub fn is(&self, kind: TokKind, text: &str) -> bool {
+        self.kind == kind && self.text == text
+    }
+
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.is(TokKind::Ident, text)
+    }
+
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == ch as u8
+    }
+}
+
+/// A well-formed `// rrf-lint: allow(CODE, reason="...")` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    pub line: u32,
+    pub code: String,
+    pub reason: String,
+    /// Whether the comment trails code on its own line (applies to that
+    /// line) or stands alone (applies to the next line).
+    pub trailing: bool,
+}
+
+/// Result of lexing one file.
+#[derive(Debug, Default)]
+pub struct LexOut {
+    pub tokens: Vec<Token>,
+    pub suppressions: Vec<Suppression>,
+    /// `rrf-lint:` comments that failed to parse or carried no reason:
+    /// `(line, full comment text)`. Reported as RRFL009.
+    pub malformed: Vec<(u32, String)>,
+}
+
+/// Render a suppression comment exactly as [`lex`] parses it back — the
+/// canonical form documented in DESIGN.md and exercised by the
+/// round-trip property test.
+pub fn format_suppression(code: &str, reason: &str) -> String {
+    format!("// rrf-lint: allow({code}, reason=\"{reason}\")")
+}
+
+/// Parse the body of a comment containing `rrf-lint:` into
+/// `(code, reason)`. `None` means malformed; an empty reason is
+/// returned as such and rejected by the caller (reasons are mandatory).
+pub fn parse_suppression(comment: &str) -> Option<(String, String)> {
+    let rest = comment.split_once("rrf-lint:")?.1;
+    let rest = rest.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?.trim_start();
+    let code_len = rest
+        .find(|c: char| !c.is_ascii_alphanumeric())
+        .unwrap_or(rest.len());
+    let (code, rest) = rest.split_at(code_len);
+    if code.is_empty() {
+        return None;
+    }
+    let rest = rest.trim_start().strip_prefix(',')?.trim_start();
+    let rest = rest.strip_prefix("reason")?.trim_start();
+    let rest = rest.strip_prefix('=')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    let (reason, rest) = rest.split_once('"')?;
+    rest.trim_start().strip_prefix(')')?;
+    Some((code.to_string(), reason.to_string()))
+}
+
+/// Lex one file. Never fails: unrecognized bytes become punctuation
+/// tokens and the passes simply won't match them.
+pub fn lex(src: &str) -> LexOut {
+    let b = src.as_bytes();
+    let mut out = LexOut::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    // Line of the most recently emitted token, to classify suppression
+    // comments as trailing (code before it on the line) or standalone.
+    let mut last_token_line = 0u32;
+
+    fn is_ident_start(c: u8) -> bool {
+        c == b'_' || c.is_ascii_alphabetic()
+    }
+    fn is_ident_cont(c: u8) -> bool {
+        c == b'_' || c.is_ascii_alphanumeric()
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                // A suppression is a plain `//` comment whose body leads
+                // with the marker. Doc comments (`///`, `//!`) and prose
+                // that merely mentions `rrf-lint:` are never suppressions.
+                let is_doc = text.starts_with('/') || text.starts_with('!');
+                if !is_doc && text.trim_start().starts_with("rrf-lint:") {
+                    let trailing = last_token_line == line;
+                    match parse_suppression(text) {
+                        Some((code, reason)) if !reason.trim().is_empty() => {
+                            out.suppressions.push(Suppression {
+                                line,
+                                code,
+                                reason,
+                                trailing,
+                            });
+                        }
+                        _ => out.malformed.push((line, text.trim().to_string())),
+                    }
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                // Nested block comment.
+                let mut depth = 1;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => {
+                let tok_line = line;
+                i += 1;
+                let start = i;
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        b'\n' => {
+                            line += 1;
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                let end = i.min(b.len());
+                i = end + 1;
+                out.tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: src.get(start..end).unwrap_or_default().to_string(),
+                    line: tok_line,
+                });
+                last_token_line = tok_line;
+            }
+            b'\'' => {
+                // Char literal vs lifetime: `'\...'` and `'X'` are
+                // chars; anything else starts a lifetime.
+                let tok_line = line;
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text: String::new(),
+                        line: tok_line,
+                    });
+                } else if b.get(i + 2) == Some(&b'\'') && b.get(i + 1).is_some() {
+                    let text = src.get(i + 1..i + 2).unwrap_or_default().to_string();
+                    i += 3;
+                    out.tokens.push(Token {
+                        kind: TokKind::Char,
+                        text,
+                        line: tok_line,
+                    });
+                } else {
+                    i += 1;
+                    let start = i;
+                    while i < b.len() && is_ident_cont(b[i]) {
+                        i += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: src[start..i].to_string(),
+                        line: tok_line,
+                    });
+                }
+                last_token_line = tok_line;
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let start = i;
+                i += 1;
+                while i < b.len() {
+                    if is_ident_cont(b[i]) {
+                        i += 1;
+                    } else if b[i] == b'.'
+                        && b.get(i + 1).is_some_and(|n| n.is_ascii_digit())
+                        && b.get(i.wrapping_sub(1)) != Some(&b'.')
+                    {
+                        i += 1; // float like 1.5; stops before ranges 0..n
+                    } else {
+                        break;
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Num,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+                last_token_line = tok_line;
+            }
+            c if is_ident_start(c) => {
+                let tok_line = line;
+                // Raw strings (`r"`, `r#"`, `br#"`) and byte strings
+                // (`b"`, `b'`) masquerade as identifier starts.
+                let after_prefix = match (c, b.get(i + 1)) {
+                    (b'r', _) => Some(i + 1),
+                    (b'b', Some(&b'r')) => Some(i + 2),
+                    (b'b', Some(&b'"')) => Some(i + 1),
+                    (b'b', Some(&b'\'')) => {
+                        // Byte literal: reuse the char path by skipping
+                        // the `b` prefix.
+                        i += 1;
+                        continue;
+                    }
+                    _ => None,
+                };
+                let raw = after_prefix.and_then(|mut j| {
+                    let mut hashes = 0usize;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    (b.get(j) == Some(&b'"')).then_some((j + 1, hashes))
+                });
+                if let Some((body_start, hashes)) = raw {
+                    let closer: Vec<u8> = std::iter::once(b'"')
+                        .chain(std::iter::repeat_n(b'#', hashes))
+                        .collect();
+                    let mut j = body_start;
+                    while j < b.len() && !b[j..].starts_with(&closer) {
+                        if b[j] == b'\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Str,
+                        text: src.get(body_start..j).unwrap_or_default().to_string(),
+                        line: tok_line,
+                    });
+                    i = (j + closer.len()).min(b.len());
+                    last_token_line = tok_line;
+                    continue;
+                }
+                let start = i;
+                while i < b.len() && is_ident_cont(b[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: src[start..i].to_string(),
+                    line: tok_line,
+                });
+                last_token_line = tok_line;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                last_token_line = line;
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Index of the bracket matching the opener at `open`, counting all of
+/// `()`, `[]`, `{}`. `None` on unbalanced input.
+pub fn matching_bracket(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            match t.text.as_bytes().first() {
+                Some(b'(' | b'[' | b'{') => depth += 1,
+                Some(b')' | b']' | b'}') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(k);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    None
+}
+
+/// One `fn` item: name, token span of its body (brace indices,
+/// inclusive), and line span.
+#[derive(Debug, Clone)]
+pub struct FnSpan {
+    pub name: String,
+    pub body_start: usize,
+    pub body_end: usize,
+    pub start_line: u32,
+    pub end_line: u32,
+}
+
+/// Every function with a body, in source order. Bodyless trait methods
+/// (ending in `;` before any brace) are skipped.
+pub fn fn_spans(tokens: &[Token]) -> Vec<FnSpan> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 1 < tokens.len() {
+        if tokens[i].is_ident("fn") && tokens[i + 1].kind == TokKind::Ident {
+            let name = tokens[i + 1].text.clone();
+            let start_line = tokens[i].line;
+            // The body is the first `{` at bracket depth 0 after the
+            // name; a `;` first means there is no body.
+            let mut j = i + 2;
+            let mut depth = 0i64;
+            let mut body = None;
+            while j < tokens.len() {
+                let t = &tokens[j];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(' | b'[') => depth += 1,
+                        Some(b')' | b']') => depth -= 1,
+                        Some(b'{') if depth == 0 => {
+                            body = Some(j);
+                            break;
+                        }
+                        Some(b';') if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                j += 1;
+            }
+            if let Some(open) = body {
+                if let Some(close) = matching_bracket(tokens, open) {
+                    spans.push(FnSpan {
+                        name,
+                        body_start: open,
+                        body_end: close,
+                        start_line,
+                        end_line: tokens[close].line,
+                    });
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Line spans of `#[cfg(test)] mod ... { }` bodies — test code is
+/// exempt from the determinism and panic-safety passes.
+pub fn cfg_test_mod_lines(tokens: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i + 6 < tokens.len() {
+        let attr = tokens[i].is_punct('#')
+            && tokens[i + 1].is_punct('[')
+            && tokens[i + 2].is_ident("cfg")
+            && tokens[i + 3].is_punct('(')
+            && tokens[i + 4].is_ident("test")
+            && tokens[i + 5].is_punct(')')
+            && tokens[i + 6].is_punct(']');
+        if attr {
+            let mut j = i + 7;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mod"))
+                && tokens.get(j + 1).is_some_and(|t| t.kind == TokKind::Ident)
+            {
+                j += 2;
+                if tokens.get(j).is_some_and(|t| t.is_punct('{')) {
+                    if let Some(close) = matching_bracket(tokens, j) {
+                        spans.push((tokens[i].line, tokens[close].line));
+                        i = close;
+                        continue;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Skip an attribute `#[...]` (or inner `#![...]`) starting at `i`;
+/// returns the index just past it, or `i` unchanged if not an attribute.
+fn skip_attr(tokens: &[Token], i: usize) -> usize {
+    if !tokens.get(i).is_some_and(|t| t.is_punct('#')) {
+        return i;
+    }
+    let mut j = i + 1;
+    if tokens.get(j).is_some_and(|t| t.is_punct('!')) {
+        j += 1;
+    }
+    if tokens.get(j).is_some_and(|t| t.is_punct('[')) {
+        if let Some(close) = matching_bracket(tokens, j) {
+            return close + 1;
+        }
+    }
+    i
+}
+
+/// Variant names (with lines) of `enum name`, in declaration order.
+pub fn enum_variants(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    body_items(tokens, "enum", name, false)
+}
+
+/// Field names (with lines) of `struct name`, in declaration order.
+pub fn struct_fields(tokens: &[Token], name: &str) -> Vec<(String, u32)> {
+    body_items(tokens, "struct", name, true)
+}
+
+/// Shared walker for enum variants and struct fields: top-level
+/// identifiers of the item's brace body, skipping attributes (and, for
+/// structs, visibility modifiers and everything after the `:`).
+fn body_items(tokens: &[Token], keyword: &str, name: &str, fields: bool) -> Vec<(String, u32)> {
+    let mut items = Vec::new();
+    let Some(kw) = (0..tokens.len().saturating_sub(1))
+        .find(|&i| tokens[i].is_ident(keyword) && tokens[i + 1].is_ident(name))
+    else {
+        return items;
+    };
+    let Some(open) = (kw + 2..tokens.len()).find(|&i| tokens[i].is_punct('{')) else {
+        return items;
+    };
+    let Some(close) = matching_bracket(tokens, open) else {
+        return items;
+    };
+    let mut i = open + 1;
+    while i < close {
+        let skipped = skip_attr(tokens, i);
+        if skipped != i {
+            i = skipped;
+            continue;
+        }
+        if fields && tokens[i].is_ident("pub") {
+            i += 1;
+            if tokens.get(i).is_some_and(|t| t.is_punct('(')) {
+                i = matching_bracket(tokens, i).map_or(i + 1, |c| c + 1);
+            }
+            continue;
+        }
+        if tokens[i].kind == TokKind::Ident {
+            let ok = !fields || tokens.get(i + 1).is_some_and(|t| t.is_punct(':'));
+            if ok {
+                items.push((tokens[i].text.clone(), tokens[i].line));
+            }
+            // Skip this item's payload up to the separating comma.
+            let mut depth = 0i64;
+            while i < close {
+                let t = &tokens[i];
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(' | b'[' | b'{') => depth += 1,
+                        Some(b')' | b']' | b'}') => depth -= 1,
+                        Some(b',') if depth == 0 => break,
+                        _ => {}
+                    }
+                }
+                i += 1;
+            }
+        }
+        i += 1;
+    }
+    items
+}
+
+/// CamelCase to snake_case, matching serde's `rename_all = "snake_case"`.
+pub fn to_snake_case(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 4);
+    for (i, c) in s.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_carry_lines_and_kinds() {
+        let out = lex("fn main() {\n    let x = 1.5; // plain comment\n}\n");
+        let idents: Vec<_> = out
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("fn", 1), ("main", 1), ("let", 2), ("x", 2)]);
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Num && t.text == "1.5"));
+        assert!(out.suppressions.is_empty());
+    }
+
+    #[test]
+    fn strings_comments_and_lifetimes_do_not_leak_tokens() {
+        let src = r##"
+            let s = "Instant::now() inside a string";
+            let r = r#"HashMap "iteration" in a raw string"#;
+            /* Instant::now() in /* a nested */ block comment */
+            fn f<'a>(x: &'a str) -> char { 'x' }
+        "##;
+        let out = lex(src);
+        assert!(!out.tokens.iter().any(|t| t.is_ident("Instant")));
+        assert!(!out.tokens.iter().any(|t| t.is_ident("HashMap")));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        assert!(out
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokKind::Char && t.text == "x"));
+    }
+
+    #[test]
+    fn suppressions_parse_with_trailing_flag() {
+        let src = "\
+// rrf-lint: allow(RRFL001, reason=\"standalone, guards next line\")
+let t = Instant::now(); // rrf-lint: allow(RRFL001, reason=\"trailing\")
+// rrf-lint: allow(RRFL002)
+// rrf-lint: allow(RRFL003, reason=\"\")
+";
+        let out = lex(src);
+        assert_eq!(out.suppressions.len(), 2);
+        assert_eq!(out.suppressions[0].code, "RRFL001");
+        assert!(!out.suppressions[0].trailing);
+        assert_eq!(out.suppressions[0].line, 1);
+        assert!(out.suppressions[1].trailing);
+        assert_eq!(out.suppressions[1].line, 2);
+        // Missing reason and empty reason are both malformed.
+        assert_eq!(out.malformed.len(), 2);
+        assert_eq!(out.malformed[0].0, 3);
+        assert_eq!(out.malformed[1].0, 4);
+    }
+
+    #[test]
+    fn suppression_canonical_form_roundtrips() {
+        let comment = format_suppression("RRFL004", "slice bounded by the match above");
+        let parsed = parse_suppression(&comment);
+        assert_eq!(
+            parsed,
+            Some((
+                "RRFL004".to_string(),
+                "slice bounded by the match above".to_string()
+            ))
+        );
+    }
+
+    #[test]
+    fn fn_spans_cover_bodies() {
+        let src = "\
+fn alpha(x: Vec<u32>) -> Result<(), E> {
+    inner();
+}
+trait T { fn bodyless(&self); }
+fn beta() { { nested } }
+";
+        let out = lex(src);
+        let spans = fn_spans(&out.tokens);
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["alpha", "beta"]);
+        assert_eq!((spans[0].start_line, spans[0].end_line), (1, 3));
+        assert_eq!((spans[1].start_line, spans[1].end_line), (5, 5));
+    }
+
+    #[test]
+    fn cfg_test_mods_are_found() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+";
+        let out = lex(src);
+        assert_eq!(cfg_test_mod_lines(&out.tokens), vec![(2, 5)]);
+    }
+
+    #[test]
+    fn enum_variants_and_struct_fields() {
+        let src = r#"
+#[derive(Debug)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Record {
+    Open { session: u64 },
+    ClearFault(Fault),
+    Close,
+}
+pub struct Counters {
+    pub requests: u64,
+    #[serde(default)]
+    pub cache_hits: u64,
+}
+"#;
+        let out = lex(src);
+        let variants: Vec<_> = enum_variants(&out.tokens, "Record")
+            .into_iter()
+            .map(|(n, _)| to_snake_case(&n))
+            .collect();
+        assert_eq!(variants, vec!["open", "clear_fault", "close"]);
+        let fields: Vec<_> = struct_fields(&out.tokens, "Counters")
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        assert_eq!(fields, vec!["requests", "cache_hits"]);
+    }
+}

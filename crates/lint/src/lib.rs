@@ -1,0 +1,70 @@
+//! `rrf-lint` — determinism & replay-safety static analysis over the
+//! workspace sources.
+//!
+//! The repo's load-bearing invariant is bit-identical determinism:
+//! journal replay, golden logical traces, and schedule digests all
+//! break silently if wall-clock time, unseeded randomness, or
+//! unordered-map iteration leaks into a logical/replay path.
+//! `rrf-analyze` guards the *problem data*; this crate is the
+//! complementary pass over *code and artifacts*, enforced as a blocking
+//! CI gate (`scripts/ci.sh`).
+//!
+//! Three pass families (see [`diagnostic::Code`] for the full list):
+//!
+//! * **determinism** (RRFL001–003): wall-clock reads, unseeded RNG, and
+//!   `HashMap`/`HashSet` *iteration* inside the logical/replay modules
+//!   designated in `lint.toml`;
+//! * **panic-safety** (RRFL004): `unwrap`/`expect`/indexing in server
+//!   handler paths that run outside `catch_unwind` isolation;
+//! * **registry drift** (RRFL005–008): protocol variants, journal tags,
+//!   stats counters, and diagnostic codes append-only against committed
+//!   snapshots in `tests/expected/lint/`, plus the
+//!   `#![forbid(unsafe_code)]` policy.
+//!
+//! False positives are silenced in-source with
+//! `// rrf-lint: allow(RRFLxxx, reason="...")` — the reason is
+//! mandatory, suppressed findings stay visible in the NDJSON output,
+//! and stale suppressions are themselves findings (RRFL009/010).
+
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod diagnostic;
+pub mod lexer;
+pub mod passes;
+
+pub use config::Config;
+pub use diagnostic::{Code, Finding, Severity, ALL_CODES};
+pub use passes::{run, write_registries};
+
+/// Exit code from a finding list, mirroring `rrf-analyze`: 0 clean (or
+/// info only), 1 warnings, 2 errors. (3 is reserved for usage/config
+/// errors.) Suppressed findings don't count.
+pub fn exit_code(findings: &[Finding]) -> u8 {
+    let max = findings
+        .iter()
+        .filter(|f| f.suppressed.is_none())
+        .map(|f| f.severity)
+        .max();
+    match max {
+        Some(Severity::Error) => 2,
+        Some(Severity::Warn) => 1,
+        Some(Severity::Info) | None => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exit_codes_ignore_suppressed() {
+        let mut f = Finding::new(Code::WallClockInLogical, "a.rs", 1, "x");
+        assert_eq!(exit_code(&[f.clone()]), 2);
+        f.suppressed = Some("reason".to_string());
+        assert_eq!(exit_code(&[f.clone()]), 0);
+        let warn = Finding::new(Code::PanicInHandler, "a.rs", 2, "y");
+        assert_eq!(exit_code(&[f, warn]), 1);
+        assert_eq!(exit_code(&[]), 0);
+    }
+}

@@ -1,0 +1,933 @@
+//! The lint passes: determinism (RRFL001–003), panic-safety (RRFL004),
+//! registry drift (RRFL005–006), unsafe-code policy (RRFL007–008), and
+//! suppression hygiene (RRFL009–010).
+//!
+//! Passes work on the token stream of `crates/*/src/**/*.rs` under the
+//! lint root. Scope comes from `lint.toml`: the determinism passes run
+//! only inside designated logical/replay modules (whole files or
+//! `path#fn` spans), the panic pass only inside designated handler
+//! functions. `#[cfg(test)] mod` bodies are always exempt — tests may
+//! time, index, and unwrap freely.
+//!
+//! Output is deterministic by construction: files are visited in
+//! sorted path order, findings are sorted by (path, line, code,
+//! message), and nothing reads the clock or the environment.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::config::{Config, Designation, RegistryKind, RegistrySpec};
+use crate::diagnostic::{Code, Finding};
+use crate::lexer::{self, LexOut, TokKind, Token};
+
+/// Methods whose call on a `HashMap`/`HashSet` observes iteration
+/// order. Lookup (`get`, `contains_key`, `insert`, `remove`, `len`) is
+/// deterministic and deliberately not listed.
+const ITER_METHODS: [&str; 9] = [
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+];
+
+/// Wall-clock sources: `<type>::now()`.
+const CLOCK_TYPES: [&str; 4] = ["Date", "Instant", "Local", "SystemTime"];
+
+/// Unseeded randomness: flagged wherever these appear in a designated
+/// logical module (construction implies use).
+const RNG_CALLS: [&str; 4] = ["OsRng", "from_entropy", "getrandom", "thread_rng"];
+
+/// One lexed workspace file.
+struct FileData {
+    rel: String,
+    lex: LexOut,
+    fns: Vec<lexer::FnSpan>,
+    test_lines: Vec<(u32, u32)>,
+}
+
+impl FileData {
+    fn in_tests(&self, line: u32) -> bool {
+        self.test_lines.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+}
+
+/// Walk `<root>/crates/*/src` for `.rs` files, sorted by relative path.
+fn walk_sources(root: &Path) -> Result<Vec<(String, PathBuf)>, String> {
+    let crates = root.join("crates");
+    let mut files = Vec::new();
+    let entries =
+        fs::read_dir(&crates).map_err(|e| format!("cannot read {}: {e}", crates.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("readdir: {e}"))?;
+        let src = entry.path().join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .map_err(|_| format!("{} escapes the lint root", path.display()))?
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        out.push((rel, path));
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let path = entry.map_err(|e| format!("readdir: {e}"))?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Line ranges a designation covers within `file` — `None` for the
+/// whole file. A `path#fn` naming a function the file doesn't define is
+/// a config error: a typo must fail the gate, never silently skip.
+fn designated_lines(
+    file: &FileData,
+    designations: &[Designation],
+) -> Result<Option<Vec<(u32, u32)>>, String> {
+    let mut ranges = Vec::new();
+    for d in designations.iter().filter(|d| d.path == file.rel) {
+        match &d.func {
+            None => return Ok(Some(Vec::new())), // empty = whole file
+            Some(func) => {
+                let spans: Vec<_> = file.fns.iter().filter(|f| &f.name == func).collect();
+                if spans.is_empty() {
+                    return Err(format!("lint.toml: no fn `{func}` in {}", file.rel));
+                }
+                ranges.extend(spans.iter().map(|f| (f.start_line, f.end_line)));
+            }
+        }
+    }
+    if designations.iter().any(|d| d.path == file.rel) {
+        Ok(Some(ranges))
+    } else {
+        Ok(None)
+    }
+}
+
+fn in_ranges(ranges: &[(u32, u32)], line: u32) -> bool {
+    ranges.is_empty() || ranges.iter().any(|&(a, b)| a <= line && line <= b)
+}
+
+/// Every binding of a name to a map/set type in this file, with the line
+/// it occurs on and whether the type is unordered (`true` for
+/// `HashMap`/`HashSet`, `false` for `BTreeMap`/`BTreeSet`). A name can be
+/// bound to both in one file — e.g. a shared `HashMap` field plus an
+/// ordered local of the same name in a replay function — so a use site
+/// resolves against the *nearest binding at or above it*, approximating
+/// lexical shadowing without a real scope tree.
+struct MapBindings(BTreeMap<String, Vec<(u32, bool)>>);
+
+impl MapBindings {
+    /// Whether `name` at `line` resolves to an unordered map/set. Falls
+    /// back to the first binding below the use when none is above it (a
+    /// method used before its struct's field declaration).
+    fn is_hash_at(&self, name: &str, line: u32) -> bool {
+        let Some(binds) = self.0.get(name) else {
+            return false;
+        };
+        match binds.iter().rev().find(|(l, _)| *l <= line) {
+            Some((_, unordered)) => *unordered,
+            None => binds.first().is_some_and(|(_, unordered)| *unordered),
+        }
+    }
+}
+
+/// Collect [`MapBindings`] — via a typed binding/field/param
+/// (`name: HashMap<...>`, through wrappers like `Mutex<HashMap<...>>`)
+/// or a `let` whose initializer mentions the type
+/// (`let m = HashMap::new()`).
+fn map_bound_names(tokens: &[Token]) -> MapBindings {
+    let mut names: BTreeMap<String, Vec<(u32, bool)>> = BTreeMap::new();
+    let kind_of = |t: &Token| -> Option<bool> {
+        if t.is_ident("HashMap") || t.is_ident("HashSet") {
+            Some(true)
+        } else if t.is_ident("BTreeMap") || t.is_ident("BTreeSet") {
+            Some(false)
+        } else {
+            None
+        }
+    };
+    for i in 0..tokens.len() {
+        if tokens[i].is_ident("let") {
+            let mut j = i + 1;
+            if tokens.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = tokens.get(j).filter(|t| t.kind == TokKind::Ident) else {
+                continue;
+            };
+            let mut depth = 0i64;
+            let mut k = j + 1;
+            let mut seen = None;
+            while k < tokens.len() && k < j + 200 {
+                let t = &tokens[k];
+                if seen.is_none() {
+                    seen = kind_of(t);
+                }
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(' | b'[' | b'{') => depth += 1,
+                        Some(b')' | b']' | b'}') => depth -= 1,
+                        Some(b';') if depth <= 0 => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+            if let Some(unordered) = seen {
+                names
+                    .entry(name.text.clone())
+                    .or_default()
+                    .push((name.line, unordered));
+            }
+        } else if tokens[i].kind == TokKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+        {
+            // `name: <type>` — scan the type region (commas inside
+            // (), [], {} don't end it; generic commas at depth 0 do,
+            // which only under-collects deeply nested cases).
+            let mut depth = 0i64;
+            let mut k = i + 2;
+            while k < tokens.len() && k < i + 40 {
+                let t = &tokens[k];
+                if let Some(unordered) = kind_of(t) {
+                    names
+                        .entry(tokens[i].text.clone())
+                        .or_default()
+                        .push((tokens[i].line, unordered));
+                    break;
+                }
+                if t.kind == TokKind::Punct {
+                    match t.text.as_bytes().first() {
+                        Some(b'(' | b'[' | b'{') => depth += 1,
+                        Some(b')' | b']' | b'}') if depth > 0 => depth -= 1,
+                        Some(b')' | b']' | b'}' | b',' | b';' | b'=') => break,
+                        _ => {}
+                    }
+                }
+                k += 1;
+            }
+        }
+    }
+    for binds in names.values_mut() {
+        binds.sort_unstable();
+    }
+    MapBindings(names)
+}
+
+/// RRFL001–003 over one designated file.
+fn determinism_pass(file: &FileData, ranges: &[(u32, u32)], findings: &mut Vec<Finding>) {
+    let tokens = &file.lex.tokens;
+    let bound = map_bound_names(tokens);
+    let applies = |line: u32| -> bool { in_ranges(ranges, line) && !file.in_tests(line) };
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !applies(t.line) {
+            continue;
+        }
+        // `Instant::now(` and friends.
+        if CLOCK_TYPES.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 2).is_some_and(|t| t.is_punct(':'))
+            && tokens.get(i + 3).is_some_and(|t| t.is_ident("now"))
+        {
+            findings.push(Finding::new(
+                Code::WallClockInLogical,
+                &file.rel,
+                t.line,
+                format!(
+                    "wall-clock read `{}::now()` in a designated logical/replay module; \
+                     journal the outcome instead of the clock",
+                    t.text
+                ),
+            ));
+        }
+        // Unseeded RNG construction.
+        if RNG_CALLS.contains(&t.text.as_str()) {
+            findings.push(Finding::new(
+                Code::UnseededRngInLogical,
+                &file.rel,
+                t.line,
+                format!(
+                    "unseeded RNG `{}` in a designated logical/replay module; \
+                     derive randomness from a journaled seed",
+                    t.text
+                ),
+            ));
+        }
+        // `name.iter()` / `x.name.values()` for a hash-bound `name`.
+        if bound.is_hash_at(&t.text, t.line)
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && tokens
+                .get(i + 2)
+                .is_some_and(|t| ITER_METHODS.contains(&t.text.as_str()))
+            && tokens.get(i + 3).is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(Finding::new(
+                Code::UnorderedIterInLogical,
+                &file.rel,
+                t.line,
+                format!(
+                    "iteration over unordered map/set `{}.{}()` in a designated \
+                     logical/replay module; use BTreeMap/BTreeSet or sort first",
+                    t.text,
+                    tokens[i + 2].text
+                ),
+            ));
+        }
+        // `for ... in &self.name {`.
+        if t.is_ident("in") {
+            let mut j = i + 1;
+            while tokens
+                .get(j)
+                .is_some_and(|t| t.is_punct('&') || t.is_ident("mut"))
+            {
+                j += 1;
+            }
+            let mut last_ident = None;
+            while tokens.get(j).is_some_and(|t| t.kind == TokKind::Ident) {
+                last_ident = Some(j);
+                if tokens.get(j + 1).is_some_and(|t| t.is_punct('.')) {
+                    j += 2;
+                } else {
+                    j += 1;
+                    break;
+                }
+            }
+            if let Some(k) = last_ident {
+                if tokens.get(j).is_some_and(|t| t.is_punct('{'))
+                    && bound.is_hash_at(&tokens[k].text, tokens[k].line)
+                {
+                    findings.push(Finding::new(
+                        Code::UnorderedIterInLogical,
+                        &file.rel,
+                        tokens[k].line,
+                        format!(
+                            "`for` loop over unordered map/set `{}` in a designated \
+                             logical/replay module; use BTreeMap/BTreeSet or sort first",
+                            tokens[k].text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// RRFL004 over one designated handler file.
+fn panic_pass(file: &FileData, ranges: &[(u32, u32)], findings: &mut Vec<Finding>) {
+    let tokens = &file.lex.tokens;
+    let applies = |line: u32| -> bool { in_ranges(ranges, line) && !file.in_tests(line) };
+    const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+    for i in 0..tokens.len() {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !applies(t.line) {
+            continue;
+        }
+        if (t.is_ident("unwrap") || t.is_ident("expect"))
+            && i > 0
+            && tokens[i - 1].is_punct('.')
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+        {
+            findings.push(Finding::new(
+                Code::PanicInHandler,
+                &file.rel,
+                t.line,
+                format!(
+                    "`.{}()` in a handler path outside catch_unwind isolation; \
+                     a panic here tears down the connection, not just the request",
+                    t.text
+                ),
+            ));
+        }
+        if PANIC_MACROS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            findings.push(Finding::new(
+                Code::PanicInHandler,
+                &file.rel,
+                t.line,
+                format!(
+                    "`{}!` in a handler path outside catch_unwind isolation",
+                    t.text
+                ),
+            ));
+        }
+        // `name[index]` — direct indexing. Range slicing (`name[a..b]`)
+        // is excluded: this workspace's slices are bounds-derived, and
+        // the signal is in scalar indexing. Keywords are excluded so
+        // slice patterns (`let [a, b] = ..`) don't look like indexing.
+        const KEYWORDS: [&str; 10] = [
+            "box", "else", "if", "in", "let", "match", "move", "mut", "ref", "return",
+        ];
+        if !KEYWORDS.contains(&t.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('['))
+        {
+            if let Some(close) = lexer::matching_bracket(tokens, i + 1) {
+                let is_range = (i + 2..close).any(|k| {
+                    tokens[k].is_punct('.') && tokens.get(k + 1).is_some_and(|t| t.is_punct('.'))
+                });
+                if !is_range && close > i + 2 {
+                    findings.push(Finding::new(
+                        Code::PanicInHandler,
+                        &file.rel,
+                        t.line,
+                        format!(
+                            "indexing `{}[..]` in a handler path outside catch_unwind \
+                             isolation; use `.get()` or prove the bound",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// RRFL007/008: crate roots must `#![forbid(unsafe_code)]`; `#[allow
+/// (unsafe_code)]` only in whitelisted files.
+fn unsafe_policy_pass(file: &FileData, config: &Config, findings: &mut Vec<Finding>) {
+    let whitelisted = config.unsafe_allow.iter().any(|p| p == &file.rel);
+    let tokens = &file.lex.tokens;
+    let has_call = |name: &str| -> Option<u32> {
+        (0..tokens.len()).find_map(|i| {
+            (tokens[i].is_ident(name)
+                && tokens.get(i + 1).is_some_and(|t| t.is_punct('('))
+                && tokens.get(i + 2).is_some_and(|t| t.is_ident("unsafe_code")))
+            .then(|| tokens[i].line)
+        })
+    };
+    if is_crate_root(&file.rel) && !whitelisted && has_call("forbid").is_none() {
+        findings.push(Finding::new(
+            Code::MissingForbidUnsafe,
+            &file.rel,
+            1,
+            "crate root without `#![forbid(unsafe_code)]`",
+        ));
+    }
+    if !whitelisted {
+        if let Some(line) = has_call("allow") {
+            findings.push(Finding::new(
+                Code::UnsafeAllowOutsideWhitelist,
+                &file.rel,
+                line,
+                "`#[allow(unsafe_code)]` outside the lint.toml [unsafe_code] whitelist",
+            ));
+        }
+    }
+}
+
+/// A compilation-unit root: `src/lib.rs`, `src/main.rs`, `src/bin/*.rs`.
+fn is_crate_root(rel: &str) -> bool {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", _, "src", "lib.rs" | "main.rs"] => true,
+        ["crates", _, "src", "bin", f] => f.ends_with(".rs"),
+        _ => false,
+    }
+}
+
+/// Entries of one registry, with the source position of each first
+/// occurrence.
+fn extract_registry(
+    spec: &RegistrySpec,
+    files: &[FileData],
+) -> Result<Vec<(String, String, u32)>, String> {
+    let mut entries: Vec<(String, String, u32)> = Vec::new();
+    let mut seen = BTreeSet::new();
+    for path in &spec.files {
+        let file = files
+            .iter()
+            .find(|f| &f.rel == path)
+            .ok_or_else(|| format!("lint.toml: [registry.{}] file {path} not found", spec.name))?;
+        let raw: Vec<(String, u32)> = match spec.kind {
+            RegistryKind::EnumVariantsSnake => {
+                let symbol = spec.symbol.as_deref().unwrap_or_default();
+                let variants = lexer::enum_variants(&file.lex.tokens, symbol);
+                if variants.is_empty() {
+                    return Err(format!(
+                        "lint.toml: [registry.{}] no variants for enum `{symbol}` in {path}",
+                        spec.name
+                    ));
+                }
+                variants
+                    .into_iter()
+                    .map(|(n, l)| (lexer::to_snake_case(&n), l))
+                    .collect()
+            }
+            RegistryKind::StructFields => {
+                let symbol = spec.symbol.as_deref().unwrap_or_default();
+                let fields = lexer::struct_fields(&file.lex.tokens, symbol);
+                if fields.is_empty() {
+                    return Err(format!(
+                        "lint.toml: [registry.{}] no fields for struct `{symbol}` in {path}",
+                        spec.name
+                    ));
+                }
+                fields
+            }
+            // Test modules are excluded: tests exercise invalid codes
+            // ("RRF999") that must never enter the registry.
+            RegistryKind::CodeLiterals => file
+                .lex
+                .tokens
+                .iter()
+                .filter(|t| {
+                    t.kind == TokKind::Str && is_code_literal(&t.text) && !file.in_tests(t.line)
+                })
+                .map(|t| (t.text.clone(), t.line))
+                .collect(),
+        };
+        for (entry, line) in raw {
+            if seen.insert(entry.clone()) {
+                entries.push((entry, file.rel.clone(), line));
+            }
+        }
+    }
+    Ok(entries)
+}
+
+/// `RRF001`-style or `RRFL001`-style diagnostic code literal.
+fn is_code_literal(s: &str) -> bool {
+    let digits = s
+        .strip_prefix("RRFL")
+        .or_else(|| s.strip_prefix("RRF"))
+        .unwrap_or("");
+    digits.len() == 3 && digits.bytes().all(|b| b.is_ascii_digit())
+}
+
+/// RRFL005/006: diff every registry against its committed snapshot.
+fn registry_pass(
+    root: &Path,
+    config: &Config,
+    files: &[FileData],
+    findings: &mut Vec<Finding>,
+) -> Result<(), String> {
+    for spec in &config.registries {
+        let entries = extract_registry(spec, files)?;
+        let current: BTreeSet<&str> = entries.iter().map(|(e, _, _)| e.as_str()).collect();
+        let snapshot_rel = format!("{}/{}.txt", config.registry_dir, spec.name);
+        let snapshot_path = root.join(&snapshot_rel);
+        let committed: Vec<(String, u32)> = match fs::read_to_string(&snapshot_path) {
+            Ok(text) => text
+                .lines()
+                .enumerate()
+                .map(|(i, l)| (l.trim().to_string(), i as u32 + 1))
+                .filter(|(l, _)| !l.is_empty() && !l.starts_with('#'))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        let committed_set: BTreeSet<&str> = committed.iter().map(|(e, _)| e.as_str()).collect();
+        for (entry, line) in &committed {
+            if !current.contains(entry.as_str()) {
+                findings.push(Finding::new(
+                    Code::RegistryEntryRemoved,
+                    &snapshot_rel,
+                    *line,
+                    format!(
+                        "registry `{}` entry `{entry}` no longer exists in the source; \
+                         registries are append-only (wire/artifact compatibility)",
+                        spec.name
+                    ),
+                ));
+            }
+        }
+        for (entry, path, line) in &entries {
+            if !committed_set.contains(entry.as_str()) {
+                findings.push(Finding::new(
+                    Code::RegistryEntryUnlisted,
+                    path,
+                    *line,
+                    format!(
+                        "`{entry}` is not in the committed registry `{snapshot_rel}`; \
+                         run `rrf-lint --write-registry` and commit the result",
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Apply in-source suppressions, then report suppression hygiene
+/// (RRFL009 malformed / unknown code, RRFL010 unused).
+fn apply_suppressions(files: &[FileData], findings: &mut Vec<Finding>) {
+    let mut extra = Vec::new();
+    for file in files {
+        let mut used = vec![false; file.lex.suppressions.len()];
+        for (si, s) in file.lex.suppressions.iter().enumerate() {
+            let Some(code) = Code::parse(&s.code) else {
+                extra.push(Finding::new(
+                    Code::BadSuppression,
+                    &file.rel,
+                    s.line,
+                    format!("suppression names unknown code `{}`", s.code),
+                ));
+                used[si] = true; // already reported; not also "unused"
+                continue;
+            };
+            let target = if s.trailing { s.line } else { s.line + 1 };
+            for f in findings.iter_mut() {
+                if f.path == file.rel
+                    && f.line == target
+                    && f.code == code
+                    && f.suppressed.is_none()
+                {
+                    f.suppressed = Some(s.reason.clone());
+                    used[si] = true;
+                }
+            }
+        }
+        for (si, s) in file.lex.suppressions.iter().enumerate() {
+            if !used[si] {
+                extra.push(Finding::new(
+                    Code::UnusedSuppression,
+                    &file.rel,
+                    s.line,
+                    format!(
+                        "suppression for {} matched no finding; stale after a fix, \
+                         or on the wrong line",
+                        s.code
+                    ),
+                ));
+            }
+        }
+        for (line, text) in &file.lex.malformed {
+            extra.push(Finding::new(
+                Code::BadSuppression,
+                &file.rel,
+                *line,
+                format!(
+                    "malformed suppression `{text}`; the form is \
+                     `// rrf-lint: allow(RRFLxxx, reason=\"...\")` and the reason is mandatory"
+                ),
+            ));
+        }
+    }
+    findings.extend(extra);
+}
+
+fn load_files(root: &Path) -> Result<Vec<FileData>, String> {
+    let mut files = Vec::new();
+    for (rel, path) in walk_sources(root)? {
+        let src = fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let lex = lexer::lex(&src);
+        let fns = lexer::fn_spans(&lex.tokens);
+        let test_lines = lexer::cfg_test_mod_lines(&lex.tokens);
+        files.push(FileData {
+            rel,
+            lex,
+            fns,
+            test_lines,
+        });
+    }
+    Ok(files)
+}
+
+/// Run every pass over the workspace at `root`. The result is sorted
+/// and byte-stable: two runs over the same tree produce identical
+/// findings (the CI gate diffs exactly this).
+pub fn run(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let files = load_files(root)?;
+    // Every designation must point at a real file (typo safety).
+    for d in config.logical.iter().chain(&config.handlers) {
+        if !files.iter().any(|f| f.rel == d.path) {
+            return Err(format!("lint.toml: designated file {} not found", d.path));
+        }
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        if let Some(ranges) = designated_lines(file, &config.logical)? {
+            determinism_pass(file, &ranges, &mut findings);
+        }
+        if let Some(ranges) = designated_lines(file, &config.handlers)? {
+            panic_pass(file, &ranges, &mut findings);
+        }
+        unsafe_policy_pass(file, config, &mut findings);
+    }
+    registry_pass(root, config, &files, &mut findings)?;
+    apply_suppressions(&files, &mut findings);
+    findings.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.code.as_str(), a.message.as_str()).cmp(&(
+            b.path.as_str(),
+            b.line,
+            b.code.as_str(),
+            b.message.as_str(),
+        ))
+    });
+    Ok(findings)
+}
+
+/// Regenerate every registry snapshot from the current sources (sorted,
+/// one entry per line). Returns the written paths, relative to `root`.
+pub fn write_registries(root: &Path, config: &Config) -> Result<Vec<String>, String> {
+    let files = load_files(root)?;
+    let dir = root.join(&config.registry_dir);
+    fs::create_dir_all(&dir).map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+    let mut written = Vec::new();
+    for spec in &config.registries {
+        let mut entries: Vec<String> = extract_registry(spec, &files)?
+            .into_iter()
+            .map(|(e, _, _)| e)
+            .collect();
+        entries.sort();
+        let rel = format!("{}/{}.txt", config.registry_dir, spec.name);
+        let mut body = entries.join("\n");
+        body.push('\n');
+        fs::write(root.join(&rel), body).map_err(|e| format!("cannot write {rel}: {e}"))?;
+        written.push(rel);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn file(rel: &str, src: &str) -> FileData {
+        let lex = lex(src);
+        let fns = lexer::fn_spans(&lex.tokens);
+        let test_lines = lexer::cfg_test_mod_lines(&lex.tokens);
+        FileData {
+            rel: rel.to_string(),
+            lex,
+            fns,
+            test_lines,
+        }
+    }
+
+    #[test]
+    fn hash_bindings_cover_fields_lets_and_params() {
+        let src = "
+struct S { active: HashMap<u64, V>, sessions: Mutex<HashMap<u64, S>> }
+fn f(owner: HashMap<K, V>) {
+    let before: HashMap<u64, P> = x.collect();
+    let scratch = HashMap::with_capacity(4);
+    let fine: BTreeMap<u64, P> = y.collect();
+}
+";
+        let names = map_bound_names(&lex(src).tokens);
+        for n in ["active", "sessions", "owner", "before", "scratch"] {
+            assert!(names.is_hash_at(n, 99), "missing {n}");
+        }
+        assert!(!names.is_hash_at("fine", 99));
+        assert!(!names.is_hash_at("unbound", 99));
+    }
+
+    #[test]
+    fn nearest_binding_above_wins() {
+        // A shared HashMap field early in the file must not shadow an
+        // ordered local of the same name in a later replay function —
+        // and vice versa.
+        let src = "
+struct Shared { sessions: Mutex<HashMap<u64, S>> }
+fn replay() {
+    let sessions: BTreeMap<u64, S> = BTreeMap::new();
+    sessions.iter();
+}
+fn later(sessions: HashMap<u64, S>) {
+    sessions.iter();
+}
+";
+        let names = map_bound_names(&lex(src).tokens);
+        assert!(names.is_hash_at("sessions", 2));
+        assert!(!names.is_hash_at("sessions", 5), "BTreeMap local shadows");
+        assert!(names.is_hash_at("sessions", 8), "HashMap param rebinds");
+        // A use before any binding falls back to the first one below.
+        assert!(names.is_hash_at("sessions", 1));
+    }
+
+    #[test]
+    fn determinism_flags_iteration_not_lookup() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "
+struct S { map: HashMap<u64, V> }
+impl S {
+    fn bad(&self) {
+        for (k, v) in &self.map {}
+        let _: Vec<_> = self.map.values().collect();
+    }
+    fn good(&self) -> Option<&V> {
+        self.map.insert(1, v);
+        self.map.get(&1)
+    }
+}
+",
+        );
+        let mut findings = Vec::new();
+        determinism_pass(&f, &[], &mut findings);
+        assert_eq!(findings.len(), 2);
+        assert!(findings
+            .iter()
+            .all(|f| f.code == Code::UnorderedIterInLogical));
+        assert_eq!(findings[0].line, 5);
+        assert_eq!(findings[1].line, 6);
+    }
+
+    #[test]
+    fn determinism_flags_clocks_and_rng_outside_tests() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "
+fn logical() {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = thread_rng();
+}
+#[cfg(test)]
+mod tests {
+    fn timing_is_fine() { let t = Instant::now(); }
+}
+",
+        );
+        let mut findings = Vec::new();
+        determinism_pass(&f, &[], &mut findings);
+        let codes: Vec<_> = findings.iter().map(|f| f.code).collect();
+        assert_eq!(
+            codes,
+            vec![
+                Code::WallClockInLogical,
+                Code::WallClockInLogical,
+                Code::UnseededRngInLogical
+            ]
+        );
+    }
+
+    #[test]
+    fn fn_designation_scopes_the_pass() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "
+fn designated() { let t = Instant::now(); }
+fn other() { let t = Instant::now(); }
+",
+        );
+        let config_ranges = designated_lines(
+            &f,
+            &[Designation {
+                path: "crates/x/src/lib.rs".to_string(),
+                func: Some("designated".to_string()),
+            }],
+        )
+        .unwrap()
+        .unwrap();
+        let mut findings = Vec::new();
+        determinism_pass(&f, &config_ranges, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn panic_pass_flags_unwrap_expect_index_not_slices() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "
+fn handler(v: Vec<u8>, i: usize) {
+    let a = v[i];
+    let s = &v[1..3];
+    let b = x.unwrap();
+    let c = y.expect(\"msg\");
+    let d = z.unwrap_or(0);
+    panic!(\"no\");
+}
+",
+        );
+        let mut findings = Vec::new();
+        panic_pass(&f, &[], &mut findings);
+        let lines: Vec<_> = findings.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![3, 5, 6, 8], "{findings:?}");
+    }
+
+    #[test]
+    fn crate_roots_need_forbid() {
+        let cfg = Config::default();
+        let mut findings = Vec::new();
+        unsafe_policy_pass(
+            &file("crates/x/src/bin/tool.rs", "fn main() {}"),
+            &cfg,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, Code::MissingForbidUnsafe);
+        findings.clear();
+        unsafe_policy_pass(
+            &file("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\nfn ok() {}"),
+            &cfg,
+            &mut findings,
+        );
+        assert!(findings.is_empty());
+        // Non-root files don't need forbid, but allow is still policed.
+        unsafe_policy_pass(
+            &file("crates/x/src/inner.rs", "#[allow(unsafe_code)]\nfn f() {}"),
+            &cfg,
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, Code::UnsafeAllowOutsideWhitelist);
+    }
+
+    #[test]
+    fn suppressions_apply_by_line_and_code() {
+        let f = file(
+            "crates/x/src/lib.rs",
+            "fn logical() {
+    let a = Instant::now(); // rrf-lint: allow(RRFL001, reason=\"deadline is journaled\")
+    // rrf-lint: allow(RRFL001, reason=\"standalone form\")
+    let b = Instant::now();
+    let c = Instant::now();
+    // rrf-lint: allow(RRFL003, reason=\"wrong code, stays unused\")
+    let d = Instant::now();
+}
+",
+        );
+        let mut findings = Vec::new();
+        determinism_pass(&f, &[], &mut findings);
+        apply_suppressions(std::slice::from_ref(&f), &mut findings);
+        let suppressed: Vec<_> = findings
+            .iter()
+            .filter(|f| f.suppressed.is_some())
+            .map(|f| f.line)
+            .collect();
+        assert_eq!(suppressed, vec![2, 4]);
+        assert!(findings
+            .iter()
+            .any(|f| f.code == Code::UnusedSuppression && f.line == 6));
+        assert!(findings
+            .iter()
+            .any(|f| f.code == Code::WallClockInLogical && f.line == 5 && f.suppressed.is_none()));
+    }
+
+    #[test]
+    fn code_literal_shape() {
+        assert!(is_code_literal("RRF001"));
+        assert!(is_code_literal("RRFL010"));
+        assert!(!is_code_literal("RRF01"));
+        assert!(!is_code_literal("RRFL0100"));
+        assert!(!is_code_literal("RRFX001"));
+    }
+}

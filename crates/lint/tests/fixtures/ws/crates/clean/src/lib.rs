@@ -1,0 +1,9 @@
+//! A clean crate: proves the walk spans crates and flags nothing here.
+
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+
+pub fn ordered_sum(map: &BTreeMap<u64, u64>) -> u64 {
+    map.values().sum()
+}

@@ -1,0 +1,4 @@
+//! Whitelisted in `lint.toml` `[unsafe_code] allow`: no finding.
+
+#[allow(unsafe_code)]
+pub fn poke() {}

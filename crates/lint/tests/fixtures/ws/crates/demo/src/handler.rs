@@ -1,0 +1,15 @@
+//! Handler fixture: `handle` is designated (seeds RRFL004 twice);
+//! `worker_side` is not, so its unwrap stays silent.
+
+pub fn handle(input: &str) -> u64 {
+    let v: Vec<u64> = parse(input).unwrap(); // seeds RRFL004
+    v[0] // seeds RRFL004 (indexing)
+}
+
+pub fn worker_side(input: &str) -> u64 {
+    parse(input).unwrap().len() as u64
+}
+
+fn parse(input: &str) -> Option<Vec<u64>> {
+    input.split(',').map(|s| s.parse().ok()).collect()
+}

@@ -1,0 +1,7 @@
+//! Fixture crate root deliberately missing `#![forbid(unsafe_code)]`
+//! (seeds RRFL007). Never compiled — only lexed by the lint's tests.
+
+pub mod ffi;
+pub mod handler;
+pub mod logic;
+pub mod rogue;

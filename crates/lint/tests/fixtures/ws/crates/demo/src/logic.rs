@@ -1,0 +1,35 @@
+//! Designated logical module with one seeded violation per determinism
+//! code, one reasoned suppression, one malformed suppression, and one
+//! stale suppression.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Registry fixture: `alpha` and `beta_gamma` are committed in the
+/// snapshot; `unregistered` is not (seeds RRFL006). The snapshot also
+/// carries a `ghost_entry` no variant produces (seeds RRFL005).
+pub enum Op {
+    Alpha,
+    BetaGamma,
+    Unregistered,
+}
+
+pub fn step(map: &HashMap<u64, u64>) -> u64 {
+    let t = Instant::now(); // seeds RRFL001
+    let r = thread_rng(); // seeds RRFL002
+    let sum: u64 = map.values().sum(); // seeds RRFL003
+    // rrf-lint: allow(RRFL001, reason="fixture: a reasoned suppression stays visible but exits clean")
+    let t2 = Instant::now();
+    // rrf-lint: allow(RRFL002)
+    // rrf-lint: allow(RRFL003, reason="fixture: aims at a line with no finding")
+    let stale = 1u64;
+    sum + stale
+}
+
+#[cfg(test)]
+mod tests {
+    // Test modules are exempt: no finding for this clock read.
+    fn timing_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

@@ -1,0 +1,4 @@
+//! Not whitelisted: the allow below seeds RRFL008.
+
+#[allow(unsafe_code)]
+pub fn sneak() {}

@@ -1,0 +1,164 @@
+//! End-to-end lint runs over the seeded fixture workspace in
+//! `tests/fixtures/ws`: every diagnostic code fires where seeded, the
+//! NDJSON output is byte-identical across runs and matches the committed
+//! golden file, and the exit-code mapping holds.
+
+#![forbid(unsafe_code)]
+
+use std::path::{Path, PathBuf};
+
+use rrf_lint::{exit_code, run, Code, Config, Finding};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn run_fixture() -> Vec<Finding> {
+    let root = fixture_root();
+    let config_text = std::fs::read_to_string(root.join("lint.toml")).unwrap();
+    let config = Config::parse(&config_text).unwrap();
+    run(&root, &config).unwrap()
+}
+
+fn ndjson(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_ndjson());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn every_code_fires_where_seeded() {
+    let findings = run_fixture();
+    let at = |code: Code| -> Vec<(&str, u32)> {
+        findings
+            .iter()
+            .filter(|f| f.code == code)
+            .map(|f| (f.path.as_str(), f.line))
+            .collect()
+    };
+    assert_eq!(
+        at(Code::WallClockInLogical).len(),
+        2,
+        "one live, one suppressed"
+    );
+    assert_eq!(
+        at(Code::UnseededRngInLogical),
+        [("crates/demo/src/logic.rs", 19)]
+    );
+    assert_eq!(
+        at(Code::UnorderedIterInLogical),
+        [("crates/demo/src/logic.rs", 20)]
+    );
+    assert_eq!(
+        at(Code::PanicInHandler),
+        [
+            ("crates/demo/src/handler.rs", 5),
+            ("crates/demo/src/handler.rs", 6)
+        ],
+        "only the designated `handle` fn, not worker_side"
+    );
+    assert_eq!(
+        at(Code::RegistryEntryRemoved),
+        [("tests/expected/lint/ops.txt", 5)]
+    );
+    assert_eq!(
+        at(Code::RegistryEntryUnlisted),
+        [("crates/demo/src/logic.rs", 14)]
+    );
+    assert_eq!(
+        at(Code::MissingForbidUnsafe),
+        [("crates/demo/src/lib.rs", 1)]
+    );
+    assert_eq!(
+        at(Code::UnsafeAllowOutsideWhitelist),
+        [("crates/demo/src/rogue.rs", 3)]
+    );
+    assert_eq!(at(Code::BadSuppression), [("crates/demo/src/logic.rs", 23)]);
+    assert_eq!(
+        at(Code::UnusedSuppression),
+        [("crates/demo/src/logic.rs", 24)]
+    );
+}
+
+#[test]
+fn suppressions_are_visible_but_do_not_gate() {
+    let findings = run_fixture();
+    let suppressed: Vec<_> = findings.iter().filter(|f| f.suppressed.is_some()).collect();
+    assert_eq!(suppressed.len(), 1);
+    assert_eq!(suppressed[0].code, Code::WallClockInLogical);
+    assert_eq!(suppressed[0].line, 22);
+    assert!(suppressed[0]
+        .suppressed
+        .as_deref()
+        .unwrap()
+        .contains("fixture"));
+    // Errors remain, so the exit code is still 2 — but dropping the
+    // unsuppressed findings must yield 0: suppressed ones never gate.
+    assert_eq!(exit_code(&findings), 2);
+    let only_suppressed: Vec<Finding> = findings
+        .into_iter()
+        .filter(|f| f.suppressed.is_some())
+        .collect();
+    assert_eq!(exit_code(&only_suppressed), 0);
+}
+
+#[test]
+fn ndjson_is_byte_identical_across_runs_and_matches_golden() {
+    let first = ndjson(&run_fixture());
+    let second = ndjson(&run_fixture());
+    assert_eq!(
+        first, second,
+        "two consecutive runs must emit identical bytes"
+    );
+
+    let golden_path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/expected/lint/fixture_findings.ndjson");
+    let golden = std::fs::read_to_string(&golden_path).unwrap();
+    assert_eq!(
+        first,
+        golden,
+        "fixture output drifted from {}; regenerate with \
+         `rrf-lint --root crates/lint/tests/fixtures/ws --format ndjson` \
+         if the change is intentional",
+        golden_path.display()
+    );
+}
+
+#[test]
+fn registry_drift_gates_both_directions() {
+    // The fixture registry both misses a source entry (`unregistered`)
+    // and carries a removed one (`ghost_entry`): the append-only gate
+    // must fail in both directions at once.
+    let findings = run_fixture();
+    let removed = findings
+        .iter()
+        .find(|f| f.code == Code::RegistryEntryRemoved)
+        .unwrap();
+    assert!(removed.message.contains("ghost_entry"));
+    let unlisted = findings
+        .iter()
+        .find(|f| f.code == Code::RegistryEntryUnlisted)
+        .unwrap();
+    assert!(unlisted.message.contains("unregistered"));
+}
+
+#[test]
+fn config_typos_are_hard_errors() {
+    for bad in [
+        "[determinizm]\nlogical = []",
+        "[determinism]\nloogical = []",
+        "[registry.x]\nkind = \"unknown_kind\"\nfiles = [\"a\"]",
+    ] {
+        assert!(Config::parse(bad).is_err(), "accepted: {bad}");
+    }
+}
+
+#[test]
+fn missing_designated_path_is_a_hard_error() {
+    let config = Config::parse("[determinism]\nlogical = [\"crates/demo/src/nope.rs\"]").unwrap();
+    let err = run(&fixture_root(), &config).unwrap_err();
+    assert!(err.contains("nope.rs"), "got: {err}");
+}

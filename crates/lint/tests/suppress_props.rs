@@ -1,0 +1,85 @@
+//! Property: suppression comments round-trip through the lexer. A
+//! comment rendered by `format_suppression` — standalone or trailing
+//! arbitrary code — lexes back to exactly one `Suppression` with the
+//! same code, the same reason, and the right trailing flag.
+
+#![forbid(unsafe_code)]
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use rrf_lint::lexer::{format_suppression, lex, parse_suppression};
+use rrf_lint::ALL_CODES;
+
+/// Reason charset: printable ASCII minus `"` (ends the reason string)
+/// and `\` (the lexer does not unescape comments — a reason is plain
+/// text by construction).
+const REASON_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 \
+      !#$%&'()*+,-./:;<=>?@[]^_`{|}~";
+
+fn reason_strategy() -> impl Strategy<Value = String> {
+    vec(0usize..REASON_CHARS.len(), 1..60)
+        .prop_map(|idxs| idxs.iter().map(|&i| REASON_CHARS[i] as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn standalone_suppression_roundtrips(
+        code_idx in 0usize..ALL_CODES.len(),
+        reason in reason_strategy(),
+    ) {
+        let code = ALL_CODES[code_idx].as_str();
+        let comment = format_suppression(code, &reason);
+
+        // The comment body alone parses back.
+        let parsed = parse_suppression(&comment);
+        prop_assert_eq!(parsed, Some((code.to_string(), reason.clone())));
+
+        // Standalone: the comment on its own line, code on the next.
+        let src = format!("fn f() {{\n    {comment}\n    let x = 1;\n}}\n");
+        let out = lex(&src);
+        prop_assert!(out.malformed.is_empty(), "malformed: {:?}", out.malformed);
+        prop_assert_eq!(out.suppressions.len(), 1);
+        let s = &out.suppressions[0];
+        prop_assert_eq!(s.code.as_str(), code);
+        prop_assert_eq!(s.reason.as_str(), reason.as_str());
+        prop_assert_eq!(s.line, 2);
+        prop_assert!(!s.trailing, "a comment on its own line is standalone");
+    }
+
+    #[test]
+    fn trailing_suppression_roundtrips(
+        code_idx in 0usize..ALL_CODES.len(),
+        reason in reason_strategy(),
+    ) {
+        let code = ALL_CODES[code_idx].as_str();
+        let comment = format_suppression(code, &reason);
+
+        // Trailing: code before the comment on the same line.
+        let src = format!("fn f() {{\n    let x = 1; {comment}\n}}\n");
+        let out = lex(&src);
+        prop_assert!(out.malformed.is_empty(), "malformed: {:?}", out.malformed);
+        prop_assert_eq!(out.suppressions.len(), 1);
+        let s = &out.suppressions[0];
+        prop_assert_eq!(s.code.as_str(), code);
+        prop_assert_eq!(s.reason.as_str(), reason.as_str());
+        prop_assert_eq!(s.line, 2);
+        prop_assert!(s.trailing, "a comment after code is trailing");
+    }
+
+    #[test]
+    fn reason_never_leaks_into_malformed(
+        code_idx in 0usize..ALL_CODES.len(),
+        reason in reason_strategy(),
+    ) {
+        // Whatever the reason contains (parens, commas, `allow(`...),
+        // the rendered comment must never be classified as malformed.
+        let code = ALL_CODES[code_idx].as_str();
+        let src = format_suppression(code, &reason);
+        let out = lex(&src);
+        prop_assert!(out.malformed.is_empty());
+        prop_assert_eq!(out.suppressions.len(), 1);
+    }
+}

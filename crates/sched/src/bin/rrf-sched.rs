@@ -18,6 +18,7 @@
 //! digest — is byte-identical across runs, which is what the golden
 //! schedule test in CI diffs against.
 
+#![forbid(unsafe_code)]
 use std::io::Write as _;
 use std::process::ExitCode;
 

@@ -11,7 +11,7 @@
 //! in-flight search aborts mid-branch instead of overshooting; shutdown
 //! trips every registered flag the same way.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -427,7 +427,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     if let Some(path) = &config.journal_path {
         let loaded = Journal::load(path)?;
         let replayed = replay_records(&loaded.records);
-        sessions = replayed.sessions;
+        sessions.extend(replayed.sessions);
         next_session = replayed.next_session;
         stats.recovered_sessions = sessions.len() as u64;
         stats.recovery_errors = replayed.errors + u64::from(loaded.truncated);
@@ -553,6 +553,7 @@ fn reject_connection(mut stream: TcpStream, shared: &Shared) {
         message: "server overloaded: connection limit reached".to_string(),
         retry_after_ms: retry_after_ms(p50, shared.config.queue_depth, shared.config.workers),
     };
+    // rrf-lint: allow(RRFL004, reason="Response serialization cannot fail (no non-string map keys, no fallible Serialize impls); a panic would only drop this already-rejected connection")
     let mut line = serde_json::to_string(&response).expect("protocol types serialize infallibly");
     line.push('\n');
     let _ = stream.set_write_timeout(Some(Duration::from_millis(1_000)));
@@ -567,6 +568,7 @@ fn write_response(
     response: &Response,
     shared: &Shared,
 ) -> std::io::Result<()> {
+    // rrf-lint: allow(RRFL004, reason="Response serialization cannot fail (no non-string map keys, no fallible Serialize impls); a panic would only tear down this one connection thread")
     let mut out = serde_json::to_string(response).expect("protocol types serialize infallibly");
     out.push('\n');
     writer.write_all(out.as_bytes()).inspect_err(|e| {
@@ -1104,9 +1106,10 @@ fn compact_journal(shared: &Shared) {
     }
 }
 
-/// Sessions rebuilt from a journal, plus replay bookkeeping.
+/// Sessions rebuilt from a journal, plus replay bookkeeping. The map is
+/// ordered (BTreeMap) so replay output never depends on hash order.
 struct Replayed {
-    sessions: HashMap<u64, Arc<Mutex<Session>>>,
+    sessions: BTreeMap<u64, Arc<Mutex<Session>>>,
     next_session: u64,
     /// Records that could not be applied, or whose deterministic replay
     /// diverged from the journaled outcome.
@@ -1117,7 +1120,7 @@ struct Replayed {
 /// re-execute through the live code paths; repairs apply their journaled
 /// state delta; a snapshot record resets everything to its contents.
 fn replay_records(records: &[JournalRecord]) -> Replayed {
-    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut sessions: BTreeMap<u64, Session> = BTreeMap::new();
     let mut next_session = 1u64;
     let mut errors = 0u64;
     for record in records {

@@ -1,0 +1,206 @@
+//! Byte-level determinism regression: two freshly started daemons driven
+//! through an identical request sequence — inserts, removals, a fault, a
+//! repair, a defrag, task submissions, and logical-clock advances — must
+//! answer `dump_session` and `schedule_status` with *byte-identical*
+//! response lines. This pins the ordering fixes in the online placer
+//! (BTreeMap-backed slot map) and the replay path: any unordered-map
+//! iteration leaking into response bytes shows up here as a diff.
+
+#![forbid(unsafe_code)]
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use rrf_fabric::{Fault, ResourceKind};
+use rrf_flow::{DeviceSpec, ModuleEntry, RegionSpec};
+use rrf_geost::{ShapeDef, ShiftedBox};
+use rrf_sched::TaskSpec;
+use rrf_server::{start, Request, ServerConfig};
+
+struct RawClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawClient {
+    fn connect(addr: std::net::SocketAddr) -> RawClient {
+        let stream = TcpStream::connect(addr).expect("connect to daemon");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(60)))
+            .unwrap();
+        RawClient {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Send one request, return the raw (unparsed) response line — the
+    /// exact bytes a client would see, trailing newline stripped.
+    fn roundtrip_raw(&mut self, request: &Request) -> String {
+        let mut line = serde_json::to_string(request).unwrap();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes()).unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).expect("read response");
+        reply.trim_end().to_string()
+    }
+}
+
+fn shape(w: i32, h: i32) -> ShapeDef {
+    ShapeDef::new(vec![ShiftedBox::new(0, 0, w, h, ResourceKind::Clb)])
+}
+
+fn module(name: &str, shapes: Vec<ShapeDef>) -> ModuleEntry {
+    ModuleEntry {
+        name: name.into(),
+        shapes,
+        netlist: None,
+    }
+}
+
+fn task(name: &str, duration: u64, deadline: Option<u64>) -> TaskSpec {
+    TaskSpec {
+        module: module(name, vec![shape(2, 2), shape(4, 1)]),
+        arrival: 0,
+        duration,
+        deadline,
+        priority: 0,
+    }
+}
+
+/// Drive one fresh daemon through the fixed sequence and collect the raw
+/// response lines of every state-bearing read.
+fn run_once() -> Vec<String> {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = RawClient::connect(handle.addr());
+
+    let mut id = 0u64;
+    let mut next_id = || {
+        id += 1;
+        id
+    };
+
+    // Session 1: placement churn — inserts with alternatives, a removal,
+    // a fault targeting occupied tiles, a repair, then a defrag.
+    client.roundtrip_raw(&Request::OpenSession {
+        id: next_id(),
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 12,
+                height: 8,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+    });
+    for (name, shapes) in [
+        ("a", vec![shape(3, 3), shape(5, 2)]),
+        ("b", vec![shape(2, 4)]),
+        ("c", vec![shape(4, 2), shape(2, 4)]),
+        ("d", vec![shape(3, 2)]),
+        ("e", vec![shape(2, 2)]),
+    ] {
+        client.roundtrip_raw(&Request::Insert {
+            id: next_id(),
+            session: 1,
+            module: module(name, shapes),
+        });
+    }
+    client.roundtrip_raw(&Request::Remove {
+        id: next_id(),
+        session: 1,
+        slot: 1,
+    });
+    client.roundtrip_raw(&Request::InjectFault {
+        id: next_id(),
+        session: 1,
+        fault: Fault::Tile { x: 1, y: 1 },
+    });
+    client.roundtrip_raw(&Request::Repair {
+        id: next_id(),
+        session: 1,
+        budget_ms: Some(200),
+    });
+    client.roundtrip_raw(&Request::Defrag {
+        id: next_id(),
+        session: 1,
+    });
+
+    // Session 2: scheduler churn — submissions (one unschedulable), a
+    // cancel, and clock advances.
+    client.roundtrip_raw(&Request::OpenSession {
+        id: next_id(),
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 8,
+                height: 6,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+    });
+    for (name, duration, deadline) in [
+        ("t1", 10, None),
+        ("t2", 5, Some(30)),
+        ("t3", 7, Some(9)),
+        ("t4", 12, None),
+    ] {
+        client.roundtrip_raw(&Request::SubmitTask {
+            id: next_id(),
+            session: 2,
+            task: task(name, duration, deadline),
+        });
+    }
+    client.roundtrip_raw(&Request::CancelTask {
+        id: next_id(),
+        session: 2,
+        task: 2,
+    });
+    client.roundtrip_raw(&Request::ScheduleStatus {
+        id: next_id(),
+        session: 2,
+        advance_to: Some(6),
+    });
+
+    // The state-bearing reads whose bytes must not vary run to run.
+    let observed = vec![
+        client.roundtrip_raw(&Request::DumpSession {
+            id: 900,
+            session: 1,
+        }),
+        client.roundtrip_raw(&Request::DumpSession {
+            id: 901,
+            session: 2,
+        }),
+        client.roundtrip_raw(&Request::ScheduleStatus {
+            id: 902,
+            session: 2,
+            advance_to: None,
+        }),
+    ];
+
+    handle.shutdown();
+    observed
+}
+
+#[test]
+fn dump_and_schedule_bytes_identical_across_runs() {
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(
+        first, second,
+        "state-bearing response bytes differ between two identically \
+         driven daemons — unordered iteration is leaking into output"
+    );
+    // Sanity: the dumps actually carry state (slots and a digest), so a
+    // regression can't hide behind an empty response.
+    assert!(first[0].contains("\"grid_digest\""));
+    assert!(first[0].contains("\"slots\""));
+    assert!(first[2].contains("\"schedule\"") || first[2].contains("\"ledger\""));
+}

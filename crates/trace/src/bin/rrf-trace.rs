@@ -7,6 +7,7 @@
 //! validates span structure (exit 1 on imbalance). `FILE` of `-` reads
 //! stdin.
 
+#![forbid(unsafe_code)]
 use std::io::Read;
 use std::process::ExitCode;
 

@@ -13,6 +13,20 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo build --release"
 cargo build --release --workspace
 
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "==> rrf-lint gate (determinism/panic-safety/registry drift, byte-exact NDJSON)"
+# Blocking: any unsuppressed finding fails CI. Output must also be
+# byte-identical across two consecutive runs — the lint holds itself to
+# the same determinism bar it enforces. Registry additions are committed
+# with `rrf-lint --write-registry`; false positives get an in-source
+# `// rrf-lint: allow(RRFLxxx, reason="...")` with a real reason.
+LINT=target/release/rrf-lint
+"$LINT" --root . --format ndjson > "$tmp/lint.a.ndjson"
+"$LINT" --root . --format ndjson > "$tmp/lint.b.ndjson"
+diff -u "$tmp/lint.a.ndjson" "$tmp/lint.b.ndjson"
+
 echo "==> cargo test -q"
 cargo test -q --workspace
 
@@ -21,8 +35,6 @@ echo "==> analyzer regression gate (diagnostic drift over bench workloads)"
 # committed expected files is a behavior change that must be reviewed
 # (and the files regenerated deliberately).
 ANALYZE=target/release/rrf-analyze
-tmp="$(mktemp -d)"
-trap 'rm -rf "$tmp"' EXIT
 "$ANALYZE" --workload paper:1 --format ndjson > "$tmp/paper1_clean.ndjson" 2>/dev/null
 set +e
 "$ANALYZE" --workload paper:1 --width 24 --format ndjson > "$tmp/paper1_width24.ndjson" 2>/dev/null
@@ -111,7 +123,7 @@ target/release/overload_load 12 10 0 --out BENCH_overload.json
 
 echo "==> CLI --help/--version consistency"
 version="$(sed -n 's/^version = "\(.*\)"$/\1/p' Cargo.toml | head -1)"
-for tool in rrf-serve rrf-analyze rrf-trace rrf-sched rrf-client rrf-chaos; do
+for tool in rrf-serve rrf-analyze rrf-trace rrf-sched rrf-client rrf-chaos rrf-lint; do
     got="$(target/release/$tool --version)"
     if [ "$got" != "$tool $version" ]; then
         echo "version mismatch: $tool reported '$got', want '$tool $version'"
