@@ -32,7 +32,13 @@
 //!
 //! An `overloaded` response is *always* retry-safe regardless of
 //! classification: the daemon rejected the request before executing any
-//! of it (see `rrf_server::protocol::Response::Overloaded`).
+//! of it (see `rrf_server::protocol::Response::Overloaded`). That
+//! includes the coalescing path: a `place` that joined another request's
+//! in-flight solve and timed out waiting answers `overloaded` without
+//! having run (or cancelled) anything itself, and the leader's result —
+//! if the solve succeeded — lands in the placement cache, so the retry
+//! this crate's existing loop issues typically returns as a cache hit
+//! after the `retry_after_ms` sleep.
 
 #![forbid(unsafe_code)]
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! rrf-serve [--addr HOST:PORT] [--workers N] [--queue N]
-//!           [--deadline-ms MS] [--cache N]
+//!           [--deadline-ms MS] [--cache N] [--cache-shards N]
+//!           [--cache-persist PATH] [--no-coalesce]
 //!           [--journal PATH] [--journal-fsync-every N]
 //!           [--trace PATH]
 //!           [--max-conns N] [--max-line-bytes N] [--write-timeout-ms MS]
@@ -59,7 +60,8 @@ fn install_signal_handlers() {
 }
 
 const USAGE: &str = "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-                     [--deadline-ms MS] [--cache N] [--journal PATH] \
+                     [--deadline-ms MS] [--cache N] [--cache-shards N] \
+                     [--cache-persist PATH] [--no-coalesce] [--journal PATH] \
                      [--journal-fsync-every N] [--trace PATH] [--max-conns N] \
                      [--max-line-bytes N] [--write-timeout-ms MS] \
                      [--shutdown-grace-ms MS] [--no-admission] \
@@ -95,6 +97,9 @@ fn main() {
                 config.default_deadline_ms = value().parse().unwrap_or_else(|_| usage())
             }
             "--cache" => config.cache_capacity = value().parse().unwrap_or_else(|_| usage()),
+            "--cache-shards" => config.cache_shards = value().parse().unwrap_or_else(|_| usage()),
+            "--cache-persist" => config.cache_persist_path = Some(value()),
+            "--no-coalesce" => config.coalesce = false,
             "--journal" => config.journal_path = Some(value()),
             "--trace" => config.trace_path = Some(value()),
             "--journal-fsync-every" => {

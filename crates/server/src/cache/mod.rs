@@ -7,8 +7,25 @@
 //! within each module, modules sorted by their serialized form — solves
 //! the canonical instance, caches the canonical report, and remaps module
 //! and shape indices back to the request's own ordering on the way out.
+//!
+//! The cache itself is split across three submodules:
+//!
+//! * [`shard`] — the lock-striped [`ShardedCache`]: N shards keyed by a
+//!   deterministic FNV-1a hash of the canonical key, per-shard LRU
+//!   eviction and hit/miss/eviction counters.
+//! * [`singleflight`] — duplicate-solve coalescing: concurrent misses on
+//!   the same canonical key with compatible budgets join the in-flight
+//!   leader's solve instead of each running the solver.
+//! * [`persist`] — the byte-deterministic NDJSON snapshot written on
+//!   graceful shutdown and warm-loaded at startup (`--cache-persist`).
 
-use std::collections::{HashMap, VecDeque};
+pub mod persist;
+pub mod shard;
+pub mod singleflight;
+
+pub use shard::{CacheDetail, Probe, ShardDetail, ShardedCache};
+pub use singleflight::{FlightGuard, Role, SingleFlight};
+
 use std::time::Duration;
 
 use rrf_core::{Floorplan, PlacedModule};
@@ -163,46 +180,6 @@ impl CacheEntry {
     }
 }
 
-/// A bounded FIFO cache over canonical cache keys.
-pub struct PlacementCache {
-    capacity: usize,
-    map: HashMap<String, CacheEntry>,
-    order: VecDeque<String>,
-}
-
-impl PlacementCache {
-    pub fn new(capacity: usize) -> PlacementCache {
-        PlacementCache {
-            capacity: capacity.max(1),
-            map: HashMap::new(),
-            order: VecDeque::new(),
-        }
-    }
-
-    pub fn get(&self, key: &str) -> Option<&CacheEntry> {
-        self.map.get(key)
-    }
-
-    pub fn insert(&mut self, key: String, entry: CacheEntry) {
-        if self.map.insert(key.clone(), entry).is_none() {
-            self.order.push_back(key);
-            while self.order.len() > self.capacity {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.map.remove(&oldest);
-                }
-            }
-        }
-    }
-
-    pub fn len(&self) -> usize {
-        self.map.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -328,33 +305,6 @@ mod tests {
         assert_eq!(plan.placements[0].x, 2);
         assert_eq!(plan.placements[1].module, 1); // alu
         assert_eq!(plan.placements[1].shape, orig_idx);
-    }
-
-    #[test]
-    fn fifo_eviction_respects_capacity() {
-        let report = FlowReport {
-            feasible: false,
-            proven: true,
-            extent: None,
-            placements: vec![],
-            metrics: None,
-            stats: rrf_core::SolveStats::default(),
-            floorplan: None,
-        };
-        let mut cache = PlacementCache::new(2);
-        for k in ["a", "b", "c"] {
-            cache.insert(
-                k.to_string(),
-                CacheEntry {
-                    method: PlaceMethod::Optimal,
-                    report: report.clone(),
-                    budget: Duration::from_secs(1),
-                },
-            );
-        }
-        assert_eq!(cache.len(), 2);
-        assert!(cache.get("a").is_none(), "oldest entry evicted");
-        assert!(cache.get("b").is_some() && cache.get("c").is_some());
     }
 
     #[test]

@@ -31,7 +31,10 @@ use rrf_flow::{resolve_module, FlowReport, FlowSpec, ModuleEntry, PlacedModuleRe
 use rrf_sched::{AdmitOutcome, SchedConfig, Scheduler, TaskSpec};
 
 use crate::admission::{estimated_wait_ms, retry_after_ms, Breaker};
-use crate::cache::{cache_key, canonicalize, remap_report, CacheEntry, PlacementCache};
+use crate::cache::{
+    cache_key, canonicalize, persist, remap_report, CacheEntry, FlightGuard, Probe, Role,
+    ShardedCache, SingleFlight,
+};
 use crate::journal::{Journal, JournalRecord, SchedOp, SessionSnapshot, SlotSnapshot};
 use crate::protocol::{PlaceMethod, Request, Response, SlotState};
 use crate::stats::{DetailCollector, ServerStats};
@@ -43,6 +46,13 @@ const TIGHT_BUDGET: Duration = Duration::from_millis(200);
 const LNS_WORTHWHILE: Duration = Duration::from_millis(20);
 /// Poll interval of the connection reader loops and the watchdog.
 const POLL: Duration = Duration::from_millis(20);
+/// Extra wait a coalesced joiner grants the leader beyond the joiner's
+/// own remaining budget (covers the leader's post-solve verify/remap
+/// overhead). A joiner can only be waiting on a leader with at least as
+/// much budget, so in practice the leader publishes well before this
+/// fires; past it, the joiner answers `overloaded` (retry-safe — the
+/// request never executed anything).
+const COALESCE_SLACK: Duration = Duration::from_secs(2);
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -55,8 +65,22 @@ pub struct ServerConfig {
     pub queue_depth: usize,
     /// Deadline applied to `place` requests that do not carry their own.
     pub default_deadline_ms: u64,
-    /// Placement-cache capacity (entries).
+    /// Placement-cache capacity (entries), split evenly across shards.
     pub cache_capacity: usize,
+    /// Placement-cache lock stripes (shards). Concurrent requests for
+    /// different specs only contend when their canonical keys hash to
+    /// the same stripe; 1 reproduces the old single-mutex behavior.
+    pub cache_shards: usize,
+    /// Cache snapshot path. With a path, graceful shutdown writes the
+    /// cache as a byte-deterministic NDJSON snapshot and startup
+    /// warm-loads it (torn tails tolerated like the journal's), so a
+    /// restarted daemon does not re-solve its whole working set.
+    pub cache_persist_path: Option<String>,
+    /// Single-flight coalescing: concurrent cache-missing `place`
+    /// requests with the same canonical key and compatible budgets share
+    /// one solve (see `cache::singleflight`). On by default; off is the
+    /// cache-ablation baseline.
+    pub coalesce: bool,
     /// Session journal path. `None` disables durability; with a path, the
     /// daemon replays the journal at startup (crash recovery) and logs
     /// every state-changing session operation before answering it.
@@ -110,6 +134,9 @@ impl Default for ServerConfig {
             queue_depth: 64,
             default_deadline_ms: 10_000,
             cache_capacity: 256,
+            cache_shards: 8,
+            cache_persist_path: None,
+            coalesce: true,
             journal_path: None,
             journal_fsync_every: 1,
             trace_path: None,
@@ -322,7 +349,11 @@ impl Session {
 struct Shared {
     config: ServerConfig,
     stats: Mutex<ServerStats>,
-    cache: Mutex<PlacementCache>,
+    /// Lock-striped placement cache; no outer lock — each shard locks
+    /// itself (see [`crate::cache::shard`]).
+    cache: ShardedCache,
+    /// In-flight solve table for duplicate-request coalescing.
+    singleflight: SingleFlight,
     sessions: Mutex<HashMap<u64, Arc<Mutex<Session>>>>,
     next_session: AtomicU64,
     watchdog: Watchdog,
@@ -401,6 +432,13 @@ impl ServerHandle {
         // change any more; compact the journal down to one snapshot line
         // so the next start replays in O(sessions) instead of O(history).
         compact_journal(&self.shared);
+        // Same quiescence argument for the cache snapshot: nothing can
+        // insert any more, so the export is a consistent, final state.
+        if let Some(path) = &self.shared.config.cache_persist_path {
+            if let Err(e) = persist::save(path, &self.shared.cache.export()) {
+                eprintln!("rrf-server: cache snapshot write failed: {e}");
+            }
+        }
         self.shared.tracer.flush();
     }
 }
@@ -443,7 +481,19 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         None => rrf_trace::Tracer::default(),
     };
 
-    let cache_capacity = config.cache_capacity;
+    // Warm-load the persisted cache snapshot, if configured: entries
+    // come back with their original solve budgets, so the degraded-entry
+    // upgrade rule keeps working across the restart.
+    let cache = ShardedCache::new(config.cache_capacity, config.cache_shards);
+    if let Some(path) = &config.cache_persist_path {
+        let loaded = persist::load(path)?;
+        stats.cache_persist_loaded = loaded.entries.len() as u64;
+        stats.cache_load_errors = loaded.errors;
+        for (key, entry) in loaded.entries {
+            cache.insert(key, entry);
+        }
+    }
+
     let breaker = Breaker::new(
         config.breaker_threshold,
         Duration::from_millis(config.breaker_cooldown_ms),
@@ -451,7 +501,8 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let shared = Arc::new(Shared {
         config,
         stats: Mutex::new(stats),
-        cache: Mutex::new(PlacementCache::new(cache_capacity)),
+        cache,
+        singleflight: SingleFlight::default(),
         sessions: Mutex::new(sessions),
         next_session: AtomicU64::new(next_session),
         watchdog: Watchdog::default(),
@@ -1054,11 +1105,23 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
             let mut stats = shared.stats.lock().clone();
             stats.workers_alive = shared.workers_alive.load(Ordering::SeqCst);
             stats.conns_open = shared.conns_open.load(Ordering::SeqCst);
+            stats.cache_evictions = shared.cache.evictions();
+            stats.coalesced_joins = shared.singleflight.joins();
+            stats.coalesced_leader_solves = shared.singleflight.leader_solves();
             Response::Stats { id: *id, stats }
         }
         Request::StatsDetail { id } => {
             let mut detail = shared.detail.lock().snapshot();
             detail.breaker = shared.breaker.lock().stats();
+            detail.cache = shared.cache.detail();
+            detail.cache.coalesced_joins = shared.singleflight.joins();
+            detail.cache.coalesced_leader_solves = shared.singleflight.leader_solves();
+            detail.cache.coalesce_timeouts = shared.singleflight.timeouts();
+            {
+                let stats = shared.stats.lock();
+                detail.cache.persist_loaded = stats.cache_persist_loaded;
+                detail.cache.load_errors = stats.cache_load_errors;
+            }
             Response::StatsDetail { id: *id, detail }
         }
         Request::Ping { id } => Response::Pong { id: *id },
@@ -1637,6 +1700,31 @@ fn finish_place_trace(shared: &Shared, id: u64, clock: PhaseClock, method: &'sta
     detail.record_total(total);
 }
 
+/// The one cache write-back. Every solved `place` — feasible or
+/// infeasible — funnels through here: insert the entry (with the budget
+/// that produced it, for the degraded-upgrade rule), then release any
+/// coalesced joiners with a clone of the same entry. Keeping this a
+/// single site is what guarantees the cache and the joiners can never
+/// see different answers for one solve.
+fn finish_solve(
+    shared: &Shared,
+    key: String,
+    flight: Option<FlightGuard<'_>>,
+    method: PlaceMethod,
+    report: &FlowReport,
+    solve_budget: Duration,
+) {
+    let entry = CacheEntry {
+        method,
+        report: report.clone(),
+        budget: solve_budget,
+    };
+    shared.cache.insert(key, entry.clone());
+    if let Some(flight) = flight {
+        flight.publish(entry);
+    }
+}
+
 /// The degradation ladder (see the crate docs): optimal CP within the
 /// deadline → LNS over a greedy seed → raw greedy — always returning a
 /// verified floorplan when one exists.
@@ -1661,34 +1749,87 @@ fn handle_place(
     // produced them (see [`CacheEntry::servable_within`]). Anything else
     // is recomputed with the bigger budget and the entry overwritten.
     let mut bypassed_degraded = false;
-    let served = {
-        let cache = shared.cache.lock();
-        match cache.get(&key) {
-            Some(entry) if entry.servable_within(remaining) => Some(entry.clone()),
-            Some(_) => {
-                bypassed_degraded = true;
-                None
-            }
-            None => None,
+    match shared.cache.probe(&key, remaining) {
+        Probe::Served(entry) => {
+            clock.lap("solve.cache_probe");
+            shared.stats.lock().cache_hits += 1;
+            finish_place_trace(shared, id, clock, "cache_hit");
+            return Response::Placed {
+                id,
+                method: entry.method,
+                cache_hit: true,
+                report: remap_report(&entry.report, &map),
+                elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+            };
         }
-    };
-    clock.lap("solve.cache_probe");
-    if let Some(entry) = served {
-        shared.stats.lock().cache_hits += 1;
-        finish_place_trace(shared, id, clock, "cache_hit");
-        return Response::Placed {
-            id,
-            method: entry.method,
-            cache_hit: true,
-            report: remap_report(&entry.report, &map),
-            elapsed_ms: accepted_at.elapsed().as_millis() as u64,
-        };
+        Probe::Degraded => bypassed_degraded = true,
+        Probe::Miss => {}
     }
+    clock.lap("solve.cache_probe");
     {
         let mut stats = shared.stats.lock();
         stats.cache_misses += 1;
         if bypassed_degraded {
             stats.cache_bypass_degraded += 1;
+        }
+    }
+
+    // Single-flight: the first miss on a key leads (and must publish —
+    // the guard's Drop wakes joiners with `None` on any early return or
+    // panic below); a concurrent miss with no more budget joins and gets
+    // the leader's answer without touching the solver; a roomier miss
+    // solves solo, upgrading the entry as it always did.
+    let mut flight: Option<FlightGuard> = None;
+    if shared.config.coalesce {
+        match shared.singleflight.begin(&key, remaining) {
+            Role::Leader(guard) => flight = Some(guard),
+            Role::Joiner(rx) => {
+                let wait = deadline.saturating_duration_since(Instant::now()) + COALESCE_SLACK;
+                let outcome = rx.recv_timeout(wait);
+                clock.lap("solve.coalesce_wait");
+                match outcome {
+                    Ok(Some(entry)) => {
+                        // Not marked `cache_hit`: this answer comes from
+                        // a live solve, not a prior result — the M
+                        // coalesced responses are byte-identical up to
+                        // `elapsed_ms`.
+                        finish_place_trace(shared, id, clock, "coalesced");
+                        return Response::Placed {
+                            id,
+                            method: entry.method,
+                            cache_hit: false,
+                            report: remap_report(&entry.report, &map),
+                            elapsed_ms: accepted_at.elapsed().as_millis() as u64,
+                        };
+                    }
+                    // The leader failed (spec error, verify violation,
+                    // panic): fall through and solve for ourselves, solo
+                    // — re-coalescing a deterministic failure would loop.
+                    Ok(None) => {}
+                    Err(_) => {
+                        // Waited past our own deadline plus slack: shed.
+                        // Retry-safe — nothing was executed on our
+                        // behalf — so the client retry loop treats it
+                        // like any other `overloaded`.
+                        shared.singleflight.record_timeout();
+                        let retry = {
+                            let detail = shared.detail.lock();
+                            retry_after_ms(
+                                detail.solve_p50_us(),
+                                shared.config.queue_depth,
+                                shared.config.workers,
+                            )
+                        };
+                        finish_place_trace(shared, id, clock, "coalesce_timeout");
+                        return Response::Overloaded {
+                            id,
+                            message: "coalesced solve outlived this request's deadline".into(),
+                            retry_after_ms: retry,
+                        };
+                    }
+                }
+            }
+            Role::Solo => {}
         }
     }
 
@@ -1836,13 +1977,13 @@ fn handle_place(
             stats: SolveStats::default(),
             floorplan: None,
         };
-        shared.cache.lock().insert(
+        finish_solve(
+            shared,
             key,
-            CacheEntry {
-                method: PlaceMethod::Infeasible,
-                report: report.clone(),
-                budget: solve_budget,
-            },
+            flight,
+            PlaceMethod::Infeasible,
+            &report,
+            solve_budget,
         );
         shared.detail.lock().record_method(PlaceMethod::Infeasible);
         finish_place_trace(shared, id, clock, "infeasible");
@@ -1897,14 +2038,7 @@ fn handle_place(
             PlaceMethod::Infeasible => unreachable!("picked implies a floorplan"),
         }
     }
-    shared.cache.lock().insert(
-        key,
-        CacheEntry {
-            method,
-            report: report.clone(),
-            budget: solve_budget,
-        },
-    );
+    finish_solve(shared, key, flight, method, &report, solve_budget);
     shared.detail.lock().record_method(method);
     finish_place_trace(shared, id, clock, method_name(method));
     Response::Placed {

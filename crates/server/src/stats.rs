@@ -39,6 +39,26 @@ pub struct ServerStats {
     /// because the request's deadline allowed a better answer (these also
     /// count as `cache_misses`).
     pub cache_bypass_degraded: u64,
+    /// Entries evicted from the sharded cache (per-shard LRU overflow);
+    /// a gauge copied from the cache at snapshot time.
+    #[serde(default)]
+    pub cache_evictions: u64,
+    /// Cache-missing `place` requests that joined another request's
+    /// in-flight solve for the same canonical key instead of running the
+    /// solver themselves (these also count as `cache_misses`).
+    #[serde(default)]
+    pub coalesced_joins: u64,
+    /// Solves whose result was shared with at least one coalesced joiner
+    /// (one per duplicate burst, however wide the burst).
+    #[serde(default)]
+    pub coalesced_leader_solves: u64,
+    /// Entries warm-loaded from the `--cache-persist` snapshot at start.
+    #[serde(default)]
+    pub cache_persist_loaded: u64,
+    /// Snapshot defects at warm-load (torn tail, unknown version, short
+    /// file): loading stopped at the last sound record.
+    #[serde(default)]
+    pub cache_load_errors: u64,
     /// Proven-optimal placements within deadline.
     pub placed_optimal: u64,
     /// CP incumbents returned at the deadline (degraded).
@@ -167,6 +187,11 @@ impl Default for ServerStats {
             cache_hits: 0,
             cache_misses: 0,
             cache_bypass_degraded: 0,
+            cache_evictions: 0,
+            coalesced_joins: 0,
+            coalesced_leader_solves: 0,
+            cache_persist_loaded: 0,
+            cache_load_errors: 0,
             placed_optimal: 0,
             placed_cp_incumbent: 0,
             placed_lns: 0,
@@ -282,8 +307,8 @@ pub struct LadderStats {
 pub struct DetailStats {
     /// Per-phase latency summaries (µs), keyed by the same phase names
     /// the trace stream uses for its `solve.*` wall spans (minus the
-    /// `solve.` prefix): `queue_wait`, `cache_probe`, `preflight`, `cp`,
-    /// `lns`, `bottom_left`, `verify`, `other`.
+    /// `solve.` prefix): `queue_wait`, `cache_probe`, `coalesce_wait`,
+    /// `preflight`, `cp`, `lns`, `bottom_left`, `verify`, `other`.
     pub phases: BTreeMap<String, StageStats>,
     /// End-to-end `place` handling (µs). The phases tile this exactly:
     /// `sum(phases[*].total_us) == total.total_us`.
@@ -310,6 +335,12 @@ pub struct DetailStats {
     /// (see `admission::Breaker`).
     #[serde(default)]
     pub breaker: crate::admission::BreakerStats,
+    /// The sharded placement cache: per-shard hit/miss/eviction rows,
+    /// single-flight coalescing counters, and persistence warm-load
+    /// results (see `cache::shard`). Like `breaker`, this lives outside
+    /// the collector; the `stats_detail` handler fills it in.
+    #[serde(default)]
+    pub cache: crate::cache::CacheDetail,
 }
 
 /// Internal aggregation behind [`DetailStats`]; lives in the daemon's
@@ -425,6 +456,7 @@ impl DetailCollector {
                 .map(StageStats::from_histogram)
                 .unwrap_or_default(),
             breaker: crate::admission::BreakerStats::default(),
+            cache: crate::cache::CacheDetail::default(),
         }
     }
 }

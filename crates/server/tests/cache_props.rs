@@ -1,0 +1,250 @@
+//! Reference-model property test for the sharded cache: drive a random
+//! op sequence (inserts with proven/degraded entries and varying
+//! budgets, probes with varying remaining budgets) through
+//! [`ShardedCache`] and through a deliberately naive single-map model
+//! that re-implements the documented semantics — FNV-1a shard labels,
+//! per-shard LRU with per-shard capacity `ceil(capacity / shards)`,
+//! overwrite-never-evicts, served-probes-bump-recency,
+//! degraded-probes-don't — and demand identical outcomes: every probe
+//! classification, every eviction victim, every counter, and the final
+//! key-sorted export.
+//!
+//! The model keys everything off the *pinned* FNV-1a function (the
+//! `fnv1a_is_pinned` unit test guards the constant), so a change to
+//! shard selection, tick bookkeeping, or the eviction rule shows up as
+//! a divergence here rather than as a silent behavior shift.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use rrf_flow::FlowReport;
+use rrf_server::cache::{CacheEntry, Probe, ShardedCache};
+use rrf_server::PlaceMethod;
+
+/// The same FNV-1a the cache uses, re-implemented rather than imported:
+/// the test must fail if the cache's function changes.
+fn fnv1a(key: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in key.as_bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn entry(proven: bool, budget_ms: u64) -> CacheEntry {
+    CacheEntry {
+        method: if proven {
+            PlaceMethod::Optimal
+        } else {
+            PlaceMethod::BottomLeft
+        },
+        report: FlowReport {
+            feasible: true,
+            proven,
+            extent: None,
+            placements: vec![],
+            metrics: None,
+            stats: rrf_core::SolveStats::default(),
+            floorplan: None,
+        },
+        budget: Duration::from_millis(budget_ms),
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert {
+        key: usize,
+        proven: bool,
+        budget_ms: u64,
+    },
+    Probe {
+        key: usize,
+        remaining_ms: u64,
+    },
+}
+
+/// Single ordered map, no striping, no locks: shard membership is just a
+/// label on each slot, and ticks are tracked per label exactly like each
+/// real shard's own counter.
+struct Model {
+    shards: usize,
+    per_shard_capacity: usize,
+    slots: BTreeMap<String, ModelSlot>,
+    ticks: Vec<u64>,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+struct ModelSlot {
+    proven: bool,
+    budget_ms: u64,
+    last_used: u64,
+    shard: usize,
+}
+
+impl Model {
+    fn new(capacity: usize, shards: usize) -> Model {
+        let shards = shards.max(1);
+        Model {
+            shards,
+            per_shard_capacity: capacity.max(1).div_ceil(shards),
+            slots: BTreeMap::new(),
+            ticks: vec![0; shards],
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    fn shard_of(&self, key: &str) -> usize {
+        (fnv1a(key) % self.shards as u64) as usize
+    }
+
+    /// Returns "served" / "degraded" / "miss" for comparison.
+    fn probe(&mut self, key: &str, remaining_ms: u64) -> &'static str {
+        let shard = self.shard_of(key);
+        self.ticks[shard] += 1;
+        let tick = self.ticks[shard];
+        match self.slots.get_mut(key) {
+            Some(slot) if slot.proven || remaining_ms <= slot.budget_ms => {
+                slot.last_used = tick;
+                self.hits += 1;
+                "served"
+            }
+            Some(_) => {
+                self.misses += 1;
+                "degraded"
+            }
+            None => {
+                self.misses += 1;
+                "miss"
+            }
+        }
+    }
+
+    /// Returns the evicted key, if the insert overflowed its shard.
+    fn insert(&mut self, key: &str, proven: bool, budget_ms: u64) -> Option<String> {
+        let shard = self.shard_of(key);
+        self.ticks[shard] += 1;
+        let tick = self.ticks[shard];
+        let existed = self
+            .slots
+            .insert(
+                key.to_string(),
+                ModelSlot {
+                    proven,
+                    budget_ms,
+                    last_used: tick,
+                    shard,
+                },
+            )
+            .is_some();
+        self.insertions += 1;
+        let resident = self.slots.values().filter(|s| s.shard == shard).count();
+        if !existed && resident > self.per_shard_capacity {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.shard == shard)
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("overfull shard has a victim");
+            self.slots.remove(&victim);
+            self.evictions += 1;
+            return Some(victim);
+        }
+        None
+    }
+
+    fn export_keys(&self) -> Vec<String> {
+        self.slots.keys().cloned().collect()
+    }
+}
+
+fn probe_name(probe: &Probe) -> &'static str {
+    match probe {
+        Probe::Served(_) => "served",
+        Probe::Degraded => "degraded",
+        Probe::Miss => "miss",
+    }
+}
+
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (0usize..12, prop_oneof![Just(false), Just(true)], 0u64..500).prop_map(
+            |(key, proven, budget_ms)| Op::Insert {
+                key,
+                proven,
+                budget_ms,
+            }
+        ),
+        (0usize..12, 0u64..500).prop_map(|(key, remaining_ms)| Op::Probe { key, remaining_ms }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every probe outcome, eviction victim, counter, and the final
+    /// export agree between the sharded cache and the single-map model —
+    /// across shard counts including the degenerate single-shard config
+    /// (which is the old global-map cache).
+    #[test]
+    fn sharded_cache_matches_single_map_model(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        capacity in 1usize..16,
+        shards in 1usize..8,
+    ) {
+        let cache = ShardedCache::new(capacity, shards);
+        let mut model = Model::new(capacity, shards);
+
+        for (step, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Insert { key, proven, budget_ms } => {
+                    let key = format!("key-{key:02}");
+                    let evicted = cache.insert(key.clone(), entry(proven, budget_ms));
+                    let expected = model.insert(&key, proven, budget_ms);
+                    prop_assert_eq!(
+                        evicted, expected,
+                        "step {}: eviction victims diverge", step
+                    );
+                }
+                Op::Probe { key, remaining_ms } => {
+                    let key = format!("key-{key:02}");
+                    let got = cache.probe(&key, Duration::from_millis(remaining_ms));
+                    let expected = model.probe(&key, remaining_ms);
+                    prop_assert_eq!(
+                        probe_name(&got), expected,
+                        "step {}: probe outcomes diverge on {}", step, key
+                    );
+                    // A served entry is byte-equal to what the model
+                    // says was inserted (proven flag and budget).
+                    if let Probe::Served(served) = got {
+                        let slot = &model.slots[&key];
+                        prop_assert_eq!(served.report.proven, slot.proven);
+                        prop_assert_eq!(
+                            served.budget,
+                            Duration::from_millis(slot.budget_ms)
+                        );
+                    }
+                }
+            }
+        }
+
+        let exported: Vec<String> = cache.export().into_iter().map(|(k, _)| k).collect();
+        prop_assert_eq!(exported, model.export_keys(), "final resident sets diverge");
+        let detail = cache.detail();
+        prop_assert_eq!(detail.hits, model.hits);
+        prop_assert_eq!(detail.misses, model.misses);
+        prop_assert_eq!(detail.insertions, model.insertions);
+        prop_assert_eq!(detail.evictions, model.evictions);
+        prop_assert_eq!(detail.entries, model.slots.len() as u64);
+    }
+}

@@ -189,6 +189,68 @@ fn run_once() -> Vec<String> {
     observed
 }
 
+/// Drive a persisted daemon through a fixed `place` sequence and return
+/// the response lines with the one timing-bearing field (`elapsed_ms`,
+/// serialized last) stripped.
+fn run_persisted(persist: &std::path::Path, shards: usize) -> Vec<String> {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        cache_shards: shards,
+        cache_persist_path: Some(persist.to_str().unwrap().to_string()),
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+    let mut client = RawClient::connect(handle.addr());
+
+    let spec = |salt: i32| rrf_flow::FlowSpec {
+        region: RegionSpec {
+            device: DeviceSpec::Homogeneous {
+                width: 12,
+                height: 6,
+            },
+            bounds: None,
+            static_masks: vec![],
+        },
+        modules: vec![
+            module(
+                &format!("m{salt}"),
+                vec![shape(3 + salt % 2, 2), shape(2, 4)],
+            ),
+            module("ctl", vec![shape(2, 2)]),
+        ],
+        placer: rrf_flow::PlacerSettings::default(),
+    };
+
+    let mut observed = Vec::new();
+    // Three distinct solves, then a repeat of the first (a cache hit —
+    // its bytes must be deterministic too). Wall-time fields (the
+    // response's `elapsed_ms` and the report's solver timings) are
+    // scrubbed before comparison; everything else — placements, extent,
+    // metrics, search counters — must match byte for byte.
+    for (id, salt) in [(1, 0), (2, 1), (3, 2), (4, 0)] {
+        let line = client.roundtrip_raw(&Request::Place {
+            id,
+            spec: spec(salt),
+            deadline_ms: None,
+        });
+        let mut response: rrf_server::Response = serde_json::from_str(&line).expect("parse placed");
+        match &mut response {
+            rrf_server::Response::Placed {
+                elapsed_ms, report, ..
+            } => {
+                *elapsed_ms = 0;
+                report.stats.duration = Duration::ZERO;
+                report.stats.time_to_best = Duration::ZERO;
+            }
+            other => panic!("expected placed, got {other:?}"),
+        }
+        observed.push(serde_json::to_string(&response).unwrap());
+    }
+    handle.shutdown();
+    observed
+}
+
 #[test]
 fn dump_and_schedule_bytes_identical_across_runs() {
     let first = run_once();
@@ -203,4 +265,36 @@ fn dump_and_schedule_bytes_identical_across_runs() {
     assert!(first[0].contains("\"grid_digest\""));
     assert!(first[0].contains("\"slots\""));
     assert!(first[2].contains("\"schedule\"") || first[2].contains("\"ledger\""));
+}
+
+/// Two identically driven daemons with `--cache-persist` — and different
+/// shard counts — must answer `place` with identical payload bytes and
+/// write byte-identical cache snapshots on shutdown. This pins the whole
+/// chain: canonical keys, deterministic solves, key-sorted export,
+/// fixed-field-order records.
+#[test]
+fn cache_snapshots_byte_identical_across_runs_and_shard_counts() {
+    let dir = std::env::temp_dir();
+    let path_a = dir.join(format!("rrf_det_cache_a_{}.ndjson", std::process::id()));
+    let path_b = dir.join(format!("rrf_det_cache_b_{}.ndjson", std::process::id()));
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
+
+    let first = run_persisted(&path_a, 8);
+    let second = run_persisted(&path_b, 3);
+    assert_eq!(
+        first, second,
+        "place payload bytes differ between identically driven daemons"
+    );
+    assert!(first[3].contains("\"cache_hit\":true"));
+
+    let snapshot_a = std::fs::read(&path_a).expect("snapshot A written");
+    let snapshot_b = std::fs::read(&path_b).expect("snapshot B written");
+    assert!(!snapshot_a.is_empty());
+    assert_eq!(
+        snapshot_a, snapshot_b,
+        "cache snapshot bytes differ across runs/shard counts"
+    );
+    let _ = std::fs::remove_file(&path_a);
+    let _ = std::fs::remove_file(&path_b);
 }

@@ -121,6 +121,21 @@ echo "==> overload ablation gate (shedding must buy goodput at 2x saturation)"
 # beats the no-shedding arm's; refreshes the committed artifact.
 target/release/overload_load 12 10 0 --out BENCH_overload.json
 
+echo "==> cache concurrency battery (model equivalence, coalescing, persistence)"
+# Sharded-cache reference-model proptest, single-flight burst e2e,
+# SIGTERM/truncation/byte-flip persistence tests, and the cross-run
+# cross-shard-count snapshot byte-determinism diff.
+cargo test -q -p rrf-server --test cache_props
+cargo test --release -q -p rrf-server --test cache_e2e
+cargo test --release -q -p rrf-server --test cache_persist_e2e
+cargo test -q -p rrf-server --test determinism_e2e
+
+echo "==> cache ablation gate (coalescing must 2x goodput on duplicate-heavy load)"
+# Exits nonzero unless the sharded+coalescing arm's within-SLO goodput is
+# at least 2x the unsharded/no-coalescing baseline's on the mid-flight
+# duplicate workload; refreshes the committed artifact.
+target/release/cache_load 48 0 --out BENCH_cache.json
+
 echo "==> CLI --help/--version consistency"
 version="$(sed -n 's/^version = "\(.*\)"$/\1/p' Cargo.toml | head -1)"
 for tool in rrf-serve rrf-analyze rrf-trace rrf-sched rrf-client rrf-chaos rrf-lint; do
