@@ -1,0 +1,193 @@
+//! `bench_gate` — the unified bench-regression gate.
+//!
+//! Reads every committed `BENCH_*.json` artifact and enforces each
+//! ablation's floor in one place, replacing the per-binary exit-1
+//! checks that used to be copy-pasted into `sched_load`,
+//! `overload_load`, and `cache_load`. The load binaries now only
+//! *measure and record*; this binary *judges* — so a fresh measurement
+//! and a committed artifact are gated by exactly the same rules, and
+//! adding a floor means adding one rule here instead of another inline
+//! check somewhere.
+//!
+//! Floors (one rule per `bench` name):
+//!
+//! | bench             | floor                                                        |
+//! |-------------------|--------------------------------------------------------------|
+//! | sched_load        | alternatives arm: more goodput area AND no worse miss rate   |
+//! | overload_ablation | admission goodput strictly above no-shedding goodput         |
+//! | cache_ablation    | coalesced goodput >= 2x baseline goodput                     |
+//! | cluster_ablation  | four-backend goodput >= 2.5x one-backend goodput             |
+//!
+//! An artifact whose `bench` name has no rule **fails** the gate — a new
+//! ablation must land with its floor, not silently ride along.
+//!
+//! Usage: `bench_gate [FILE...]` (defaults to the four committed
+//! artifacts). Prints a floor/actual line per rule; exits nonzero if any
+//! floor is violated, any file is missing, or any record is unjudged.
+
+#![forbid(unsafe_code)]
+
+use serde_json::Value;
+
+/// One arm's metrics, looked up by the `arm` param.
+struct Arm<'a> {
+    metrics: &'a Value,
+}
+
+impl Arm<'_> {
+    fn metric(&self, key: &str) -> f64 {
+        match self.metrics.get(key) {
+            Some(Value::UInt(n)) => *n as f64,
+            Some(Value::Int(n)) => *n as f64,
+            Some(Value::Float(f)) => *f,
+            _ => panic!("metric {key} missing or non-numeric"),
+        }
+    }
+}
+
+fn arm<'a>(records: &'a [Value], bench: &str, name: &str) -> Arm<'a> {
+    for record in records {
+        let is_bench = record.get("bench").and_then(Value::as_str) == Some(bench);
+        let is_arm = record
+            .get("params")
+            .and_then(|p| p.get("arm"))
+            .and_then(Value::as_str)
+            == Some(name);
+        if is_bench && is_arm {
+            let metrics = record
+                .get("metrics")
+                .unwrap_or_else(|| panic!("{bench}/{name}: metrics missing"));
+            return Arm { metrics };
+        }
+    }
+    panic!("{bench}: arm {name:?} not found");
+}
+
+/// One gate verdict: floor description, actual, pass.
+struct Verdict {
+    rule: String,
+    pass: bool,
+}
+
+fn judge(path: &str, records: &[Value]) -> Vec<Verdict> {
+    let benches: std::collections::BTreeSet<&str> = records
+        .iter()
+        .filter_map(|r| r.get("bench").and_then(Value::as_str))
+        .collect();
+    let mut verdicts = Vec::new();
+    for bench in benches {
+        match bench {
+            "sched_load" => {
+                let with = arm(records, bench, "with_alternatives");
+                let without = arm(records, bench, "without_alternatives");
+                let miss = |a: &Arm| {
+                    (a.metric("rejected") + a.metric("deadline_misses"))
+                        / a.metric("submitted").max(1.0)
+                };
+                let (gw, go) = (
+                    with.metric("goodput_area_ticks"),
+                    without.metric("goodput_area_ticks"),
+                );
+                let (mw, mo) = (miss(&with), miss(&without));
+                verdicts.push(Verdict {
+                    rule: format!(
+                        "sched: alternatives goodput_area {gw} > {go} and miss {mw:.3} <= {mo:.3}"
+                    ),
+                    pass: gw > go && mw <= mo,
+                });
+            }
+            "overload_ablation" => {
+                let with = arm(records, bench, "admission");
+                let without = arm(records, bench, "no_shedding");
+                let (gw, go) = (with.metric("goodput"), without.metric("goodput"));
+                verdicts.push(Verdict {
+                    rule: format!("overload: admission goodput {gw} > no_shedding {go}"),
+                    pass: gw > go,
+                });
+            }
+            "cache_ablation" => {
+                let with = arm(records, bench, "coalesced");
+                let without = arm(records, bench, "baseline");
+                let (gw, go) = (with.metric("goodput"), without.metric("goodput"));
+                verdicts.push(Verdict {
+                    rule: format!("cache: coalesced goodput {gw} >= 2x baseline {go}"),
+                    pass: gw >= 2.0 * go.max(1.0),
+                });
+            }
+            "cluster_ablation" => {
+                let four = arm(records, bench, "four_backends");
+                let one = arm(records, bench, "one_backend");
+                let (gf, go) = (four.metric("goodput"), one.metric("goodput"));
+                verdicts.push(Verdict {
+                    rule: format!("cluster: four_backends goodput {gf} >= 2.5x one_backend {go}"),
+                    pass: gf >= 2.5 * go.max(1.0),
+                });
+            }
+            other => verdicts.push(Verdict {
+                rule: format!("{path}: bench {other:?} has no gate rule — add its floor here"),
+                pass: false,
+            }),
+        }
+    }
+    if verdicts.is_empty() {
+        verdicts.push(Verdict {
+            rule: format!("{path}: no records"),
+            pass: false,
+        });
+    }
+    verdicts
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: bench_gate [FILE...]  (default: the four committed BENCH_*.json)");
+        return;
+    }
+    let defaults = [
+        "BENCH_sched.json",
+        "BENCH_overload.json",
+        "BENCH_cache.json",
+        "BENCH_cluster.json",
+    ];
+    let files: Vec<String> = if args.is_empty() {
+        defaults.iter().map(|s| s.to_string()).collect()
+    } else {
+        args
+    };
+
+    let mut failed = false;
+    for path in &files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("FAIL {path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        let records: Vec<Value> = match serde_json::from_str::<Value>(&text) {
+            Ok(Value::Array(records)) => records,
+            Ok(_) => {
+                eprintln!("FAIL {path}: not a JSON array of records");
+                failed = true;
+                continue;
+            }
+            Err(e) => {
+                eprintln!("FAIL {path}: unparseable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        for verdict in judge(path, &records) {
+            let tag = if verdict.pass { "ok  " } else { "FAIL" };
+            eprintln!("{tag} {}", verdict.rule);
+            failed |= !verdict.pass;
+        }
+    }
+    if failed {
+        eprintln!("bench_gate: floors violated");
+        std::process::exit(1);
+    }
+    eprintln!("bench_gate: all floors hold");
+}

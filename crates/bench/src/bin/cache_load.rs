@@ -42,8 +42,8 @@
 //! **Goodput** is a response that is feasible *and arrived within the
 //! client's SLO of the send time* — same judge as `overload_load`. The
 //! binary writes both arms to `BENCH_cache.json` (shared `BenchRecord`
-//! schema) and exits nonzero unless the coalescing arm's goodput is at
-//! least 2x the baseline's — the CI gate for this PR.
+//! schema); the `bench_gate` binary enforces the floor (coalesced
+//! goodput at least 2x the baseline's).
 //!
 //! Usage: `cache_load [waves] [seed] [--slo-ms MS] [--out PATH]`
 //! (defaults 48, 0, 600).
@@ -425,17 +425,10 @@ fn main() {
     write_records(&out_path, &records).expect("write records");
     eprintln!("cache_load: wrote {out_path}");
 
-    // The gate: sharding + coalescing must at least double within-SLO
-    // feasible work on the duplicate-heavy workload at saturation.
-    if coalesced.goodput < 2 * baseline.goodput.max(1) {
-        eprintln!(
-            "cache ablation FAILED: coalesced goodput {} < 2x baseline goodput {}",
-            coalesced.goodput, baseline.goodput
-        );
-        std::process::exit(1);
-    }
+    // Floors live in `bench_gate`: coalesced goodput must be >= 2x the
+    // baseline on this duplicate-heavy workload.
     eprintln!(
-        "cache ablation ok: coalesced goodput {} >= 2x baseline goodput {}",
+        "cache_load: coalesced goodput {} vs baseline {} (bench_gate enforces the floor)",
         coalesced.goodput, baseline.goodput
     );
 }

@@ -32,8 +32,8 @@
 //! like a blown reconfiguration slot in the paper's runtime setting.
 //! The SLO is the tenant's own bar, deliberately not attached to the
 //! request. The binary writes both arms to `BENCH_overload.json`
-//! (shared `BenchRecord` schema) and exits nonzero unless the admission
-//! arm's goodput is strictly higher — the CI gate for this PR.
+//! (shared `BenchRecord` schema); the `bench_gate` binary enforces the
+//! floor (admission goodput strictly above no-shedding).
 //!
 //! Usage: `overload_load [clients] [requests_per_client] [seed]
 //!         [--slo-ms MS] [--overload-factor F] [--out PATH]`
@@ -353,17 +353,10 @@ fn main() {
     write_records(&out_path, &records).expect("write records");
     eprintln!("overload_load: wrote {out_path}");
 
-    // The gate: shedding before spending solver budget must buy strictly
-    // more within-deadline work at >= 2x saturation, not just drop load.
-    if with.goodput <= without.goodput {
-        eprintln!(
-            "overload ablation FAILED: admission goodput {} <= no-shedding goodput {}",
-            with.goodput, without.goodput
-        );
-        std::process::exit(1);
-    }
+    // Floors live in `bench_gate`: admission goodput must strictly beat
+    // the no-shedding arm at >= 2x saturation.
     eprintln!(
-        "overload ablation ok: admission goodput {} > no-shedding goodput {}",
+        "overload_load: admission goodput {} vs no-shedding {} (bench_gate enforces the floor)",
         with.goodput, without.goodput
     );
 }

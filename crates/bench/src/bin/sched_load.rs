@@ -214,21 +214,7 @@ fn main() {
         eprintln!("wrote {path}");
     }
 
-    // The ablation's point, enforced: at equal offered load the
-    // alternatives arm must do at least as well on both headline metrics
-    // and strictly better on one.
-    let with_miss = (with.rejected + with.deadline_misses) as f64 / with.submitted.max(1) as f64;
-    let wo_miss =
-        (without.rejected + without.deadline_misses) as f64 / without.submitted.max(1) as f64;
-    if with.goodput < without.goodput || with_miss > wo_miss {
-        eprintln!(
-            "FAIL: alternatives did not help (goodput {} vs {}, miss {:.3} vs {:.3})",
-            with.goodput, without.goodput, with_miss, wo_miss
-        );
-        std::process::exit(1);
-    }
-    if with.goodput == without.goodput && (with_miss - wo_miss).abs() < f64::EPSILON {
-        eprintln!("FAIL: arms are indistinguishable — ablation shows nothing");
-        std::process::exit(1);
-    }
+    // Floors live in `bench_gate`, which judges the written record the
+    // same way whether it is freshly measured or committed.
+    eprintln!("sched_load: floors are enforced by the bench_gate stage");
 }

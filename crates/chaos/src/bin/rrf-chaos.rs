@@ -23,7 +23,8 @@ static SHUTDOWN: AtomicBool = AtomicBool::new(false);
 
 const USAGE: &str = "usage: rrf-chaos --upstream HOST:PORT [--listen HOST:PORT] [--seed N] \
                      [--disconnect P] [--corrupt P] [--torn P] [--stall P] [--stall-ms MS] \
-                     [--delay P] [--delay-ms-max MS] [--help] [--version]";
+                     [--delay P] [--delay-ms-max MS] [--partition-after-ms MS] \
+                     [--partition-for-ms MS] [--help] [--version]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -32,6 +33,8 @@ fn usage() -> ! {
 
 fn main() {
     let mut config = ChaosConfig::default();
+    let mut partition_after_ms: Option<u64> = None;
+    let mut partition_for_ms: u64 = 1_000;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = || args.next().unwrap_or_else(|| usage());
@@ -54,6 +57,10 @@ fn main() {
             "--stall-ms" => config.stall_ms = value().parse().unwrap_or_else(|_| usage()),
             "--delay" => config.delay_prob = value().parse().unwrap_or_else(|_| usage()),
             "--delay-ms-max" => config.delay_ms_max = value().parse().unwrap_or_else(|_| usage()),
+            "--partition-after-ms" => {
+                partition_after_ms = Some(value().parse().unwrap_or_else(|_| usage()))
+            }
+            "--partition-for-ms" => partition_for_ms = value().parse().unwrap_or_else(|_| usage()),
             _ => usage(),
         }
     }
@@ -67,8 +74,26 @@ fn main() {
     match start(config) {
         Ok(mut proxy) => {
             println!("rrf-chaos listening on {}", proxy.addr());
+            // Scripted mid-soak partition: pull the cable once at the
+            // requested offset, heal it after the window. One-shot by
+            // design — replayable soaks want one fault at a known time.
+            let mut partition_at =
+                partition_after_ms.map(|ms| std::time::Instant::now() + Duration::from_millis(ms));
+            let mut heal_at = None;
             while !SHUTDOWN.load(Ordering::SeqCst) {
-                std::thread::sleep(Duration::from_millis(100));
+                let now = std::time::Instant::now();
+                if partition_at.is_some_and(|t| now >= t) {
+                    partition_at = None;
+                    proxy.set_partitioned(true);
+                    heal_at = Some(now + Duration::from_millis(partition_for_ms));
+                    eprintln!("rrf-chaos: partition on ({partition_for_ms} ms)");
+                }
+                if heal_at.is_some_and(|t| now >= t) {
+                    heal_at = None;
+                    proxy.set_partitioned(false);
+                    eprintln!("rrf-chaos: partition healed");
+                }
+                std::thread::sleep(Duration::from_millis(20));
             }
             proxy.stop();
             eprintln!("rrf-chaos: {:?}", proxy.stats());

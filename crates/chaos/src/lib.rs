@@ -89,6 +89,8 @@ pub struct ChaosStats {
     pub stalls: u64,
     pub delays: u64,
     pub bytes_forwarded: u64,
+    /// Partition onsets ([`ChaosProxy::set_partitioned`] false→true).
+    pub partitions: u64,
 }
 
 #[derive(Default)]
@@ -100,6 +102,7 @@ struct Counters {
     stalls: AtomicU64,
     delays: AtomicU64,
     bytes_forwarded: AtomicU64,
+    partitions: AtomicU64,
 }
 
 /// A running proxy. Dropping the handle (or calling [`ChaosProxy::stop`])
@@ -107,6 +110,7 @@ struct Counters {
 pub struct ChaosProxy {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
     counters: Arc<Counters>,
     accept_thread: Option<JoinHandle<()>>,
 }
@@ -127,15 +131,20 @@ pub fn start(config: ChaosConfig) -> std::io::Result<ChaosProxy> {
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let partitioned = Arc::new(AtomicBool::new(false));
     let counters = Arc::new(Counters::default());
     let accept_thread = {
         let shutdown = Arc::clone(&shutdown);
+        let partitioned = Arc::clone(&partitioned);
         let counters = Arc::clone(&counters);
-        std::thread::spawn(move || accept_loop(&listener, &config, &shutdown, &counters))
+        std::thread::spawn(move || {
+            accept_loop(&listener, &config, &shutdown, &partitioned, &counters)
+        })
     };
     Ok(ChaosProxy {
         addr,
         shutdown,
+        partitioned,
         counters,
         accept_thread: Some(accept_thread),
     })
@@ -157,7 +166,25 @@ impl ChaosProxy {
             stalls: c.stalls.load(Ordering::SeqCst),
             delays: c.delays.load(Ordering::SeqCst),
             bytes_forwarded: c.bytes_forwarded.load(Ordering::SeqCst),
+            partitions: c.partitions.load(Ordering::SeqCst),
         }
+    }
+
+    /// Simulate a network partition between proxy and upstream: while
+    /// set, new connections are refused at accept and live pumps cut
+    /// both directions at their next chunk — from the client's view the
+    /// backend just vanished, exactly like a pulled cable. Clearing the
+    /// flag heals the partition (new connections flow again; the cut
+    /// ones stay dead, as real TCP sessions would).
+    pub fn set_partitioned(&self, on: bool) {
+        let was = self.partitioned.swap(on, Ordering::SeqCst);
+        if on && !was {
+            self.counters.partitions.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned.load(Ordering::SeqCst)
     }
 
     pub fn stop(&mut self) {
@@ -178,6 +205,7 @@ fn accept_loop(
     listener: &TcpListener,
     config: &ChaosConfig,
     shutdown: &Arc<AtomicBool>,
+    partitioned: &Arc<AtomicBool>,
     counters: &Arc<Counters>,
 ) {
     let mut conn_id = 0u64;
@@ -186,6 +214,12 @@ fn accept_loop(
             Ok((client, _)) => {
                 conn_id += 1;
                 counters.conns.fetch_add(1, Ordering::SeqCst);
+                if partitioned.load(Ordering::SeqCst) {
+                    // Partitioned: the upstream is unreachable, so the
+                    // client sees an immediate close on connect.
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                }
                 let upstream = match TcpStream::connect(&config.upstream) {
                     Ok(upstream) => upstream,
                     Err(_) => {
@@ -204,6 +238,7 @@ fn accept_loop(
                     ChaCha8Rng::seed_from_u64(mix(conn_seed)),
                     config.clone(),
                     Arc::clone(shutdown),
+                    Arc::clone(partitioned),
                     Arc::clone(counters),
                 );
                 spawn_pump(
@@ -213,6 +248,7 @@ fn accept_loop(
                     ChaCha8Rng::seed_from_u64(mix(conn_seed ^ 1)),
                     config.clone(),
                     Arc::clone(shutdown),
+                    Arc::clone(partitioned),
                     Arc::clone(counters),
                 );
             }
@@ -236,13 +272,23 @@ fn spawn_pump(
     rng: ChaCha8Rng,
     config: ChaosConfig,
     shutdown: Arc<AtomicBool>,
+    partitioned: Arc<AtomicBool>,
     counters: Arc<Counters>,
 ) {
     let (Ok(from), Ok(to)) = (from, to) else {
         return;
     };
     std::thread::spawn(move || {
-        let _ = pump(from, to, direction, rng, &config, &shutdown, &counters);
+        let _ = pump(
+            from,
+            to,
+            direction,
+            rng,
+            &config,
+            &shutdown,
+            &partitioned,
+            &counters,
+        );
     });
 }
 
@@ -319,6 +365,7 @@ impl Injector {
 
 /// Forward bytes `from` → `to`, injecting faults per chunk. Returns when
 /// either side closes, a disconnect is injected, or the proxy shuts down.
+#[allow(clippy::too_many_arguments)]
 fn pump(
     mut from: TcpStream,
     mut to: TcpStream,
@@ -326,6 +373,7 @@ fn pump(
     rng: ChaCha8Rng,
     config: &ChaosConfig,
     shutdown: &AtomicBool,
+    partitioned: &AtomicBool,
     counters: &Counters,
 ) -> std::io::Result<()> {
     from.set_read_timeout(Some(POLL))?;
@@ -338,6 +386,12 @@ fn pump(
     let mut buf = [0u8; 8192];
     loop {
         if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        if partitioned.load(Ordering::SeqCst) {
+            // The cable is pulled: cut both directions mid-stream.
+            let _ = from.shutdown(Shutdown::Both);
+            let _ = to.shutdown(Shutdown::Both);
             return Ok(());
         }
         let n = match from.read(&mut buf) {
@@ -521,6 +575,62 @@ mod tests {
         );
         let d: Vec<_> = lens.iter().map(|&n| no_corrupt.decide(n)).collect();
         assert!(d.iter().all(|dec| dec.corrupt_at.is_none()));
+    }
+
+    #[test]
+    fn partition_cuts_live_and_new_connections_until_healed() {
+        let (upstream, _handle) = echo_server();
+        let mut proxy = start(ChaosConfig {
+            upstream: upstream.to_string(),
+            disconnect_prob: 0.0,
+            corrupt_prob: 0.0,
+            torn_write_prob: 0.0,
+            stall_prob: 0.0,
+            delay_prob: 0.0,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+
+        // A live connection works, then dies when the cable is pulled.
+        let mut conn = TcpStream::connect(proxy.addr()).unwrap();
+        conn.write_all(b"before partition\n").unwrap();
+        let mut reader = BufReader::new(conn.try_clone().unwrap());
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "before partition\n");
+
+        proxy.set_partitioned(true);
+        assert!(proxy.is_partitioned());
+        let _ = conn.write_all(b"into the void\n");
+        reply.clear();
+        // The pump cuts at its next poll tick (≤ POLL): the read sees
+        // EOF or a reset, never an echo.
+        match reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("echo must not cross a partition: {reply:?}"),
+        }
+
+        // New connections during the partition die without an echo too.
+        let mut cut = TcpStream::connect(proxy.addr()).unwrap();
+        let _ = cut.write_all(b"also doomed\n");
+        let mut cut_reader = BufReader::new(cut);
+        reply.clear();
+        match cut_reader.read_line(&mut reply) {
+            Ok(0) | Err(_) => {}
+            Ok(_) => panic!("new connections must not cross a partition"),
+        }
+
+        // Healing restores service for fresh connections.
+        proxy.set_partitioned(false);
+        let mut healed = TcpStream::connect(proxy.addr()).unwrap();
+        healed.write_all(b"after heal\n").unwrap();
+        let mut healed_reader = BufReader::new(healed.try_clone().unwrap());
+        reply.clear();
+        healed_reader.read_line(&mut reply).unwrap();
+        assert_eq!(reply, "after heal\n");
+
+        proxy.stop();
+        assert_eq!(proxy.stats().partitions, 1);
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub fn retry_class(request: &Request) -> RetryClass {
             Some(_) => RetryClass::Mutating,
         },
         Request::OpenSession { .. }
+        | Request::AdoptJournal { .. }
         | Request::Insert { .. }
         | Request::Remove { .. }
         | Request::Defrag { .. }
@@ -220,6 +221,20 @@ impl From<std::io::Error> for ClientError {
     }
 }
 
+/// Whether a failure proves the endpoint is down *right now*: the TCP
+/// connect was refused, so the OS (not a timeout) answered immediately
+/// and the request was never sent. Such failures are not worth the full
+/// retry-with-backoff budget against the same endpoint — a router that
+/// ejected a backend, or a crashed daemon, keeps refusing until it is
+/// replaced — and they are never ambiguous, even for mutating requests.
+pub fn is_fast_fail(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(e) => e.kind() == ErrorKind::ConnectionRefused,
+        ClientError::RetriesExhausted { last, .. } => is_fast_fail(last),
+        _ => false,
+    }
+}
+
 /// Outcome of [`Client::call_mutating`].
 #[derive(Debug)]
 pub enum MutationOutcome {
@@ -338,6 +353,10 @@ impl Client {
     /// * Transport failures are retried only for idempotent requests.
     ///   For mutating requests the error surfaces immediately — use
     ///   [`Client::call_mutating`] to resume safely.
+    /// * A refused connection ([`is_fast_fail`]) surfaces immediately
+    ///   for every request class: the endpoint is down now, and burning
+    ///   the whole backoff budget against it only delays whoever (an
+    ///   [`EndpointPool`], a router) could try elsewhere.
     pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
         let idempotent = retry_class(request) == RetryClass::Idempotent;
         self.backoff.reset();
@@ -364,7 +383,7 @@ impl Client {
                 Ok(response) => return Ok(response),
                 Err(e) => e,
             };
-            if !idempotent || attempts > self.config.max_retries {
+            if is_fast_fail(&failure) || !idempotent || attempts > self.config.max_retries {
                 return if attempts > 1 {
                     Err(ClientError::RetriesExhausted {
                         attempts,
@@ -441,6 +460,12 @@ impl Client {
                 Ok(response) => return Ok(MutationOutcome::Responded(Box::new(response))),
                 Err(e) => e,
             };
+            // A refused connect never sent the request — nothing
+            // ambiguous happened, the endpoint is just down: fail fast
+            // (no digest check, no backoff) so the caller can move on.
+            if is_fast_fail(&failure) {
+                return Err(failure);
+            }
             // Ambiguous: the request may or may not have executed.
             let after = self.session_digest(session)?;
             if after != before {
@@ -458,6 +483,92 @@ impl Client {
             before = after;
             std::thread::sleep(self.backoff.next_delay(None));
         }
+    }
+}
+
+/// A multi-endpoint pool: one [`Client`] per endpoint, with a sticky
+/// preference. Calls go to the preferred endpoint; a fast-fail
+/// ([`is_fast_fail`] — the endpoint refused the connection, so it is
+/// down *now* and the request was never sent) rotates to the next
+/// endpoint immediately instead of burning the per-endpoint retry
+/// budget, and whichever endpoint answers becomes preferred. Any other
+/// failure surfaces unchanged: a slow or ambiguous endpoint is not
+/// grounds to silently switch targets mid-conversation.
+pub struct EndpointPool {
+    clients: Vec<Client>,
+    preferred: usize,
+}
+
+impl EndpointPool {
+    /// One pooled client per endpoint, sharing `config`'s tuning
+    /// (`config.addr` is ignored — the endpoints replace it).
+    pub fn new(endpoints: &[String], config: &ClientConfig) -> EndpointPool {
+        assert!(
+            !endpoints.is_empty(),
+            "endpoint pool needs at least one endpoint"
+        );
+        let clients = endpoints
+            .iter()
+            .map(|addr| {
+                Client::new(ClientConfig {
+                    addr: addr.clone(),
+                    ..config.clone()
+                })
+            })
+            .collect();
+        EndpointPool {
+            clients,
+            preferred: 0,
+        }
+    }
+
+    /// The endpoint the next call will try first.
+    pub fn preferred_addr(&self) -> &str {
+        &self.clients[self.preferred].config.addr
+    }
+
+    /// [`Client::call`] against the preferred endpoint, rotating through
+    /// the others on fast-fail. Fails only when every endpoint refused
+    /// (returning the last refusal) or one failed non-fast.
+    pub fn call(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let n = self.clients.len();
+        let mut last = None;
+        for step in 0..n {
+            let idx = (self.preferred + step) % n;
+            match self.clients[idx].call(request) {
+                Ok(response) => {
+                    self.preferred = idx;
+                    return Ok(response);
+                }
+                Err(e) if is_fast_fail(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("pool has at least one endpoint"))
+    }
+
+    /// [`Client::call_mutating`] against the preferred endpoint,
+    /// rotating on fast-fail — safe even for mutating requests, because
+    /// a refused connect proves the request was never sent.
+    pub fn call_mutating(
+        &mut self,
+        session: u64,
+        request: &Request,
+    ) -> Result<MutationOutcome, ClientError> {
+        let n = self.clients.len();
+        let mut last = None;
+        for step in 0..n {
+            let idx = (self.preferred + step) % n;
+            match self.clients[idx].call_mutating(session, request) {
+                Ok(outcome) => {
+                    self.preferred = idx;
+                    return Ok(outcome);
+                }
+                Err(e) if is_fast_fail(&e) => last = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.expect("pool has at least one endpoint"))
     }
 }
 
@@ -535,5 +646,92 @@ mod tests {
         for _ in 0..50 {
             assert_eq!(a.next_delay(None), b.next_delay(None));
         }
+    }
+
+    /// An address nothing listens on (bound, resolved, released) — a
+    /// connect to it is refused immediately by the OS.
+    fn dead_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    }
+
+    /// A one-shot stub daemon: accepts connections and answers every
+    /// request line with `pong` (echoing nothing else), until dropped.
+    fn stub_pong_server() -> (String, std::thread::JoinHandle<()>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let handle = std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut line = String::new();
+                while {
+                    line.clear();
+                    reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false)
+                } {
+                    let id = serde_json::from_str::<Request>(line.trim())
+                        .map(|r| r.id())
+                        .unwrap_or(0);
+                    let reply = serde_json::to_string(&Response::Pong { id }).unwrap();
+                    if writer.write_all(format!("{reply}\n").as_bytes()).is_err() {
+                        break;
+                    }
+                }
+            }
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn connection_refused_fails_fast_without_burning_retries() {
+        let mut client = Client::new(ClientConfig {
+            addr: dead_addr(),
+            max_retries: 6,
+            backoff_base: Duration::from_millis(500),
+            backoff_cap: Duration::from_secs(5),
+            ..ClientConfig::default()
+        });
+        let started = std::time::Instant::now();
+        let err = client.call(&Request::Ping { id: 1 }).unwrap_err();
+        assert!(is_fast_fail(&err), "want fast-fail, got {err}");
+        // Six retries at a 500ms backoff floor would take seconds; a
+        // refused connect must surface in well under one backoff sleep.
+        assert!(
+            started.elapsed() < Duration::from_millis(400),
+            "refused connect burned the retry budget: {:?}",
+            started.elapsed()
+        );
+        // Mutating path: refused connect is not ambiguous either.
+        let err = client
+            .call_mutating(1, &Request::Defrag { id: 2, session: 1 })
+            .unwrap_err();
+        assert!(is_fast_fail(&err), "want fast-fail, got {err}");
+    }
+
+    #[test]
+    fn endpoint_pool_rotates_on_refused_and_sticks_to_the_survivor() {
+        let (live, _server) = stub_pong_server();
+        let endpoints = vec![dead_addr(), live.clone()];
+        let mut pool = EndpointPool::new(
+            &endpoints,
+            &ClientConfig {
+                max_retries: 2,
+                backoff_base: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        );
+        assert_eq!(pool.preferred_addr(), endpoints[0]);
+        match pool.call(&Request::Ping { id: 7 }).unwrap() {
+            Response::Pong { id } => assert_eq!(id, 7),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        // The endpoint that answered is now preferred.
+        assert_eq!(pool.preferred_addr(), live);
+
+        // All endpoints dead: the pool reports the (fast) refusal.
+        let mut dead_pool =
+            EndpointPool::new(&[dead_addr(), dead_addr()], &ClientConfig::default());
+        let err = dead_pool.call(&Request::Ping { id: 1 }).unwrap_err();
+        assert!(is_fast_fail(&err), "want fast-fail, got {err}");
     }
 }

@@ -1,0 +1,94 @@
+//! `rrf-router` — shard NDJSON requests across `rrf-serve` backends.
+//!
+//! ```text
+//! rrf-router --backend 127.0.0.1:7171,journal=/var/rrf/a.journal \
+//!            --backend 127.0.0.1:7172,journal=/var/rrf/b.journal \
+//!            --listen 127.0.0.1:7170
+//! ```
+//!
+//! Stateless requests go least-loaded; sessions pin by rendezvous hash;
+//! dead journaled backends fail their sessions over to a standby. See
+//! the `rrf-router` crate docs for the full contract.
+
+#![forbid(unsafe_code)]
+
+use rrf_router::{start, BackendSpec, RouterConfig};
+
+const USAGE: &str = "\
+rrf-router: horizontal sharding frontend for rrf-serve backends
+
+USAGE:
+    rrf-router --backend ADDR[,journal=PATH] [--backend ...] [OPTIONS]
+
+OPTIONS:
+    --backend SPEC          Backend daemon as ADDR[,journal=PATH]; repeat
+                            for each backend. journal=PATH enables session
+                            failover for that backend (the path must be
+                            readable by the standby daemons).
+    --listen ADDR           Bind address (default 127.0.0.1:0; the chosen
+                            port is printed on stdout)
+    --probe-interval-ms N   Health-probe cadence (default 200)
+    --eject-threshold N     Consecutive failures before ejecting a
+                            backend (default 3)
+    --cooldown-ms N         Ejection cooldown before a half-open
+                            re-probe (default 2000)
+    --connect-timeout-ms N  Backend connect timeout (default 1000)
+    --io-timeout-ms N       Socket read/write timeout (default 30000)
+    --trace PATH            Write NDJSON trace counters to PATH
+    --help                  Show this help
+    --version               Show version
+";
+
+fn main() {
+    match run() {
+        Ok(()) => {}
+        Err(message) => {
+            eprintln!("rrf-router: {message}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut config = RouterConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().ok_or_else(|| format!("{arg} requires a value"));
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return Ok(());
+            }
+            "--version" | "-V" => {
+                println!("rrf-router {}", env!("CARGO_PKG_VERSION"));
+                return Ok(());
+            }
+            "--backend" => config.backends.push(BackendSpec::parse(&value()?)?),
+            "--listen" => config.listen = value()?,
+            "--probe-interval-ms" => config.probe_interval_ms = parse(&arg, &value()?)?,
+            "--eject-threshold" => config.eject_threshold = parse(&arg, &value()?)?,
+            "--cooldown-ms" => config.cooldown_ms = parse(&arg, &value()?)?,
+            "--connect-timeout-ms" => config.connect_timeout_ms = parse(&arg, &value()?)?,
+            "--io-timeout-ms" => config.io_timeout_ms = parse(&arg, &value()?)?,
+            "--trace" => config.trace_path = Some(value()?),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    if config.backends.is_empty() {
+        return Err(format!("at least one --backend is required\n\n{USAGE}"));
+    }
+    let handle = start(config).map_err(|e| e.to_string())?;
+    println!("rrf-router listening on {}", handle.addr());
+
+    // Park until SIGTERM/SIGINT kills the process; the router's own
+    // threads carry all the work. (The daemon handles signals itself;
+    // the router holds no durable state, so a hard kill is always safe.)
+    loop {
+        std::thread::park();
+    }
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, raw: &str) -> Result<T, String> {
+    raw.parse()
+        .map_err(|_| format!("{flag}: cannot parse '{raw}'"))
+}

@@ -1,0 +1,460 @@
+//! Router failover end-to-end, against real `rrf-serve` processes: pin
+//! sessions across two journaled backends through the router, SIGKILL
+//! one backend with a mutating operation in flight, and demand
+//!
+//! * the in-flight operation resolves exactly once (via `rrf-client`'s
+//!   digest-compare resume over the router's dropped connection),
+//! * every session pinned to the dead backend fails over to the
+//!   survivor with bit-identical occupancy digests,
+//! * sessions pinned to the survivor never notice, and
+//! * the failed-over session's final state is bit-identical to a
+//!   control run against a single unkilled daemon.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rrf_client::{Client, ClientConfig, MutationOutcome};
+use rrf_fabric::ResourceKind;
+use rrf_flow::{DeviceSpec, ModuleEntry, RegionSpec};
+use rrf_geost::{ShapeDef, ShiftedBox};
+use rrf_router::{hrw, start, BackendSpec, RouterConfig};
+use rrf_server::{Request, Response};
+
+/// The `rrf-serve` binary next to this crate's own test binary. Cargo
+/// only exports `CARGO_BIN_EXE_*` for the current crate, so the
+/// daemon's path is derived from the router binary's directory; when a
+/// bare `cargo test -p rrf-router` has not built the daemon yet, the
+/// test skips (the workspace run always builds both).
+fn serve_binary() -> Option<PathBuf> {
+    let router = PathBuf::from(env!("CARGO_BIN_EXE_rrf-router"));
+    let serve = router.parent()?.join("rrf-serve");
+    serve.exists().then_some(serve)
+}
+
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+fn spawn_daemon(serve: &Path, journal: &Path, backend_id: &str) -> Daemon {
+    let mut child = Command::new(serve)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--journal",
+            journal.to_str().unwrap(),
+            "--journal-fsync-every",
+            "1",
+            "--backend-id",
+            backend_id,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rrf-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("rrf-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    Daemon { child, addr }
+}
+
+fn wait_for_exit(child: &mut Child) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        if child.try_wait().expect("try_wait").is_some() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit in time");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn client_for(addr: &str) -> Client {
+    Client::new(ClientConfig {
+        addr: addr.to_string(),
+        max_retries: 40,
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_millis(250),
+        request_timeout: Duration::from_secs(10),
+        ..ClientConfig::default()
+    })
+}
+
+fn region() -> RegionSpec {
+    RegionSpec {
+        device: DeviceSpec::Homogeneous {
+            width: 10,
+            height: 4,
+        },
+        bounds: None,
+        static_masks: vec![],
+    }
+}
+
+fn clb_module(name: &str, w: i32, h: i32) -> ModuleEntry {
+    ModuleEntry {
+        name: name.into(),
+        shapes: vec![ShapeDef::new(vec![ShiftedBox::new(
+            0,
+            0,
+            w,
+            h,
+            ResourceKind::Clb,
+        )])],
+        netlist: None,
+    }
+}
+
+fn open_session(client: &mut Client, id: u64) -> u64 {
+    match client.call(&Request::OpenSession {
+        id,
+        region: region(),
+    }) {
+        Ok(Response::SessionOpened { session, .. }) => session,
+        other => panic!("expected session opened, got {other:?}"),
+    }
+}
+
+fn insert(client: &mut Client, id: u64, session: u64, module: ModuleEntry) -> u64 {
+    match client.call_mutating(
+        session,
+        &Request::Insert {
+            id,
+            session,
+            module,
+        },
+    ) {
+        Ok(MutationOutcome::Responded(response)) => match *response {
+            Response::Inserted {
+                slot: Some(slot), ..
+            } => slot,
+            other => panic!("expected accepted insert, got {other:?}"),
+        },
+        // Applied but the ack was lost (the kill raced the response):
+        // the module is in; the slot id is recoverable from the dump.
+        Ok(MutationOutcome::AppliedNoResponse { .. }) => u64::MAX,
+        Err(e) => panic!("insert failed: {e:?}"),
+    }
+}
+
+fn dump(client: &mut Client, id: u64, session: u64) -> (String, Vec<u64>) {
+    match client.call(&Request::DumpSession { id, session }) {
+        Ok(Response::SessionState {
+            grid_digest, slots, ..
+        }) => {
+            let mut sorted: Vec<u64> = slots.iter().map(|s| s.slot).collect();
+            sorted.sort_unstable();
+            (grid_digest, sorted)
+        }
+        other => panic!("expected session state, got {other:?}"),
+    }
+}
+
+/// The per-session module sequence: distinct footprints per session so
+/// every digest is session-unique.
+fn modules_for(which: u64) -> Vec<ModuleEntry> {
+    let w = 1 + (which as i32 % 3);
+    vec![
+        clb_module(&format!("s{which}_a"), w + 1, 2),
+        clb_module(&format!("s{which}_b"), w, 2),
+    ]
+}
+
+#[test]
+fn sigkill_pinned_backend_fails_sessions_over_bit_identically() {
+    let Some(serve) = serve_binary() else {
+        eprintln!("skipping: rrf-serve binary not built (run the workspace test suite)");
+        return;
+    };
+    let tag = std::process::id();
+    let tmp = std::env::temp_dir();
+    let journal_a = tmp.join(format!("rrf_router_failover_a_{tag}.journal"));
+    let journal_b = tmp.join(format!("rrf_router_failover_b_{tag}.journal"));
+    let _ = std::fs::remove_file(&journal_a);
+    let _ = std::fs::remove_file(&journal_b);
+
+    let mut daemon_a = spawn_daemon(&serve, &journal_a, "a");
+    let mut daemon_b = spawn_daemon(&serve, &journal_b, "b");
+
+    // Fast probes and a two-strike ejection so failover lands within a
+    // few hundred milliseconds; a long cooldown keeps the dead backend
+    // from re-probing its way back mid-assertion.
+    let router = start(RouterConfig {
+        backends: vec![
+            BackendSpec {
+                addr: daemon_a.addr.clone(),
+                journal: Some(journal_a.to_str().unwrap().to_string()),
+            },
+            BackendSpec {
+                addr: daemon_b.addr.clone(),
+                journal: Some(journal_b.to_str().unwrap().to_string()),
+            },
+        ],
+        probe_interval_ms: 150,
+        eject_threshold: 2,
+        cooldown_ms: 120_000,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let router_addr = router.addr().to_string();
+    let mut client = client_for(&router_addr);
+
+    // The router pins rsid -> backend by rendezvous hash over the
+    // healthy set; the test recomputes that pure function to know which
+    // backend owns each session without asking the router.
+    let owner = |rsid: u64| {
+        hrw::pick(
+            &rsid.to_le_bytes(),
+            [
+                (0usize, daemon_a.addr.as_str()),
+                (1usize, daemon_b.addr.as_str()),
+            ],
+        )
+        .unwrap()
+    };
+
+    // Open sessions until both backends own at least one (rsids are
+    // allocated 1, 2, 3, ... in open order).
+    let mut sessions: Vec<u64> = Vec::new();
+    for id in 1..=8u64 {
+        let rsid = open_session(&mut client, id);
+        assert_eq!(rsid, id, "router session ids are dense from 1");
+        sessions.push(rsid);
+        let owners: Vec<usize> = sessions.iter().map(|&s| owner(s)).collect();
+        if sessions.len() >= 2 && owners.contains(&0) && owners.contains(&1) {
+            break;
+        }
+    }
+    let victim_idx = owner(sessions[0]);
+    let victim_sessions: Vec<u64> = sessions
+        .iter()
+        .copied()
+        .filter(|&s| owner(s) == victim_idx)
+        .collect();
+    let survivor_sessions: Vec<u64> = sessions
+        .iter()
+        .copied()
+        .filter(|&s| owner(s) != victim_idx)
+        .collect();
+    assert!(!victim_sessions.is_empty() && !survivor_sessions.is_empty());
+
+    // Populate every session and snapshot pre-kill state.
+    let mut next_id = 100u64;
+    for &rsid in &sessions {
+        for module in modules_for(rsid) {
+            insert(&mut client, next_id, rsid, module);
+            next_id += 1;
+        }
+    }
+    let before: Vec<(u64, (String, Vec<u64>))> = sessions
+        .iter()
+        .map(|&rsid| (rsid, dump(&mut client, next_id, rsid)))
+        .collect();
+
+    // SIGKILL the victim backend, then immediately drive a mutating
+    // operation at one of its sessions. The router's forward fails, it
+    // drops the client connection (the ambiguity contract), and the
+    // client's digest-compare resume retries through the overloaded
+    // failover window until the survivor serves the session.
+    let target = victim_sessions[0];
+    let (victim_daemon, survivor_addr) = if victim_idx == 0 {
+        (&mut daemon_a.child, daemon_b.addr.clone())
+    } else {
+        (&mut daemon_b.child, daemon_a.addr.clone())
+    };
+    victim_daemon.kill().expect("SIGKILL victim backend");
+    wait_for_exit(victim_daemon);
+
+    // First attempt rides the ambiguity contract: the forward fails and
+    // the router drops the connection rather than promise non-execution
+    // (unless the prober already ejected the backend, in which case the
+    // pinned request defers with `overloaded` — both are exact).
+    let inflight = clb_module("inflight", 2, 2);
+    match client.call_once(&Request::Insert {
+        id: 900,
+        session: target,
+        module: inflight.clone(),
+    }) {
+        Err(_) => {}
+        Ok(Response::Overloaded { .. }) => {}
+        Ok(other) => panic!("a dead backend cannot answer an insert: {other:?}"),
+    }
+    // The resume path: digest-compare retries across the failover
+    // window until the survivor serves the session.
+    insert(&mut client, 901, target, inflight.clone());
+
+    // Every victim session must have failed over bit-identically (the
+    // target additionally carries the in-flight module, asserted below
+    // against the control run); survivor sessions must be untouched.
+    for (rsid, state) in &before {
+        if *rsid == target {
+            continue;
+        }
+        assert_eq!(
+            dump(&mut client, 1000 + rsid, *rsid),
+            *state,
+            "session {rsid} changed across failover"
+        );
+    }
+
+    // The adopted sessions now live on the survivor.
+    let mut survivor_direct = client_for(&survivor_addr);
+    let adopted = match survivor_direct.call(&Request::Stats { id: 1 }) {
+        Ok(Response::Stats { stats, .. }) => {
+            assert_eq!(stats.backend_id, if victim_idx == 0 { "b" } else { "a" });
+            stats.adopted_sessions
+        }
+        other => panic!("expected stats, got {other:?}"),
+    };
+    assert_eq!(adopted as usize, victim_sessions.len());
+
+    // Control: the same logical sequence for the target session against
+    // one unkilled daemon must yield a bit-identical digest and slot
+    // set — zero lost, zero double-applied.
+    let journal_c = tmp.join(format!("rrf_router_failover_c_{tag}.journal"));
+    let _ = std::fs::remove_file(&journal_c);
+    let mut control = spawn_daemon(&serve, &journal_c, "control");
+    let mut control_client = client_for(&control.addr);
+    let control_sid = open_session(&mut control_client, 1);
+    let mut id = 10u64;
+    for module in modules_for(target) {
+        insert(&mut control_client, id, control_sid, module);
+        id += 1;
+    }
+    insert(&mut control_client, id, control_sid, inflight);
+    let expected = dump(&mut control_client, id + 1, control_sid);
+    let actual = dump(&mut client, 2000, target);
+    assert_eq!(
+        actual.0, expected.0,
+        "occupancy digest diverged from control"
+    );
+    assert_eq!(actual.1.len(), expected.1.len(), "slot count diverged");
+
+    // Router bookkeeping: one ejection, one failover, every victim
+    // session re-pinned, at least one ambiguous drop, nothing lost.
+    let stats = router.stats();
+    assert!(stats.ejections >= 1, "{stats:?}");
+    assert_eq!(stats.failovers, 1, "{stats:?}");
+    assert_eq!(stats.failover_sessions as usize, victim_sessions.len());
+    assert_eq!(stats.failover_lost_sessions, 0, "{stats:?}");
+    assert!(
+        stats.dropped_ambiguous + stats.deferred_pinned >= 1,
+        "{stats:?}"
+    );
+    assert_eq!(stats.ejected_backends, 1, "{stats:?}");
+
+    router.shutdown();
+    let survivor_child = if victim_idx == 0 {
+        &mut daemon_b.child
+    } else {
+        &mut daemon_a.child
+    };
+    survivor_child.kill().expect("kill survivor");
+    wait_for_exit(survivor_child);
+    control.child.kill().expect("kill control");
+    wait_for_exit(&mut control.child);
+    for journal in [&journal_a, &journal_b, &journal_c] {
+        let _ = std::fs::remove_file(journal);
+    }
+}
+
+#[test]
+fn stateless_requests_spread_and_router_stats_answer() {
+    let Some(serve) = serve_binary() else {
+        eprintln!("skipping: rrf-serve binary not built (run the workspace test suite)");
+        return;
+    };
+    let tag = std::process::id();
+    let tmp = std::env::temp_dir();
+    let journal_a = tmp.join(format!("rrf_router_stateless_a_{tag}.journal"));
+    let journal_b = tmp.join(format!("rrf_router_stateless_b_{tag}.journal"));
+    let _ = std::fs::remove_file(&journal_a);
+    let _ = std::fs::remove_file(&journal_b);
+    let mut daemon_a = spawn_daemon(&serve, &journal_a, "a");
+    let mut daemon_b = spawn_daemon(&serve, &journal_b, "b");
+    let router = start(RouterConfig {
+        backends: vec![
+            BackendSpec {
+                addr: daemon_a.addr.clone(),
+                journal: None,
+            },
+            BackendSpec {
+                addr: daemon_b.addr.clone(),
+                journal: None,
+            },
+        ],
+        probe_interval_ms: 50,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+    let mut client = client_for(&router.addr().to_string());
+
+    for id in 1..=16u64 {
+        match client.call(&Request::Ping { id }) {
+            Ok(Response::Pong { id: got }) => assert_eq!(got, id),
+            other => panic!("expected pong, got {other:?}"),
+        }
+    }
+    // `stats` through the router reaches a backend and reports its id.
+    match client.call(&Request::Stats { id: 17 }) {
+        Ok(Response::Stats { stats, .. }) => {
+            assert!(stats.backend_id == "a" || stats.backend_id == "b")
+        }
+        other => panic!("expected stats, got {other:?}"),
+    }
+    // A session opened and closed through the router round-trips with
+    // router-owned session ids.
+    let rsid = open_session(&mut client, 18);
+    match client.call_mutating(
+        rsid,
+        &Request::CloseSession {
+            id: 19,
+            session: rsid,
+        },
+    ) {
+        Ok(MutationOutcome::Responded(response)) => match *response {
+            Response::SessionClosed {
+                session,
+                closed: true,
+                ..
+            } => assert_eq!(session, rsid),
+            other => panic!("expected session closed, got {other:?}"),
+        },
+        other => panic!("close failed: {other:?}"),
+    }
+    // adopt_journal must not be routable from clients.
+    match client.call_once(&Request::AdoptJournal {
+        id: 20,
+        path: "/nonexistent".to_string(),
+    }) {
+        Ok(Response::Error { message, .. }) => {
+            assert!(message.contains("backend-direct"), "{message}")
+        }
+        other => panic!("expected routing error, got {other:?}"),
+    }
+
+    // The router-only stats line answers without touching the protocol.
+    let stats = router.stats();
+    assert!(stats.routed_stateless >= 17, "{stats:?}");
+    assert_eq!(stats.sessions_opened, 1, "{stats:?}");
+    assert_eq!(stats.ejections, 0, "{stats:?}");
+
+    router.shutdown();
+    daemon_a.child.kill().expect("kill a");
+    daemon_b.child.kill().expect("kill b");
+    wait_for_exit(&mut daemon_a.child);
+    wait_for_exit(&mut daemon_b.child);
+    let _ = std::fs::remove_file(&journal_a);
+    let _ = std::fs::remove_file(&journal_b);
+}

@@ -1,0 +1,155 @@
+//! Partition soak: one backend sits behind the chaos proxy, the proxy
+//! pulls the cable mid-soak, and the router must (a) keep serving
+//! stateless traffic from the surviving backend throughout, (b) eject
+//! the partitioned backend, and (c) let it rejoin after the partition
+//! heals and the breaker's half-open re-probe succeeds.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use rrf_chaos::ChaosConfig;
+use rrf_client::{Client, ClientConfig};
+use rrf_router::{start, BackendSpec, RouterConfig};
+use rrf_server::{Request, Response};
+
+fn serve_binary() -> Option<PathBuf> {
+    let router = PathBuf::from(env!("CARGO_BIN_EXE_rrf-router"));
+    let serve = router.parent()?.join("rrf-serve");
+    serve.exists().then_some(serve)
+}
+
+fn spawn_daemon(serve: &Path, backend_id: &str) -> (Child, String) {
+    let mut child = Command::new(serve)
+        .args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "2",
+            "--backend-id",
+            backend_id,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rrf-serve");
+    let stdout = child.stdout.take().unwrap();
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read startup line");
+    let addr = line
+        .trim()
+        .strip_prefix("rrf-serve listening on ")
+        .unwrap_or_else(|| panic!("unexpected startup line: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+#[test]
+fn partitioned_backend_is_ejected_and_rejoins_after_heal() {
+    let Some(serve) = serve_binary() else {
+        eprintln!("skipping: rrf-serve binary not built (run the workspace test suite)");
+        return;
+    };
+    let (mut daemon_a, addr_a) = spawn_daemon(&serve, "a");
+    let (mut daemon_b, addr_b) = spawn_daemon(&serve, "b");
+
+    // Backend B is reachable only through the chaos proxy — the
+    // partition switch. All injection probabilities are zeroed: this
+    // soak tests the partition primitive, not byte-level faults.
+    let proxy = rrf_chaos::start(ChaosConfig {
+        upstream: addr_b.clone(),
+        disconnect_prob: 0.0,
+        corrupt_prob: 0.0,
+        torn_write_prob: 0.0,
+        stall_prob: 0.0,
+        delay_prob: 0.0,
+        ..ChaosConfig::default()
+    })
+    .expect("start chaos proxy");
+
+    let router = start(RouterConfig {
+        backends: vec![
+            BackendSpec {
+                addr: addr_a.clone(),
+                journal: None,
+            },
+            BackendSpec {
+                addr: proxy.addr().to_string(),
+                journal: None,
+            },
+        ],
+        probe_interval_ms: 50,
+        eject_threshold: 2,
+        cooldown_ms: 300,
+        connect_timeout_ms: 250,
+        io_timeout_ms: 1_000,
+        ..RouterConfig::default()
+    })
+    .expect("start router");
+
+    let mut client = Client::new(ClientConfig {
+        addr: router.addr().to_string(),
+        max_retries: 20,
+        backoff_base: Duration::from_millis(25),
+        backoff_cap: Duration::from_millis(200),
+        request_timeout: Duration::from_secs(5),
+        ..ClientConfig::default()
+    });
+
+    let ping = |client: &mut Client, id: u64| match client.call(&Request::Ping { id }) {
+        Ok(Response::Pong { id: got }) => assert_eq!(got, id),
+        other => panic!("ping {id} failed: {other:?}"),
+    };
+
+    // Warm-up soak: both backends healthy.
+    for id in 1..=20u64 {
+        ping(&mut client, id);
+    }
+
+    // Pull the cable mid-soak. Every ping must keep succeeding — the
+    // retrying client plus the surviving backend absorb the partition.
+    proxy.set_partitioned(true);
+    for id in 100..=160u64 {
+        ping(&mut client, id);
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let mid = router.stats();
+    assert!(
+        mid.ejections >= 1,
+        "partitioned backend not ejected: {mid:?}"
+    );
+    assert_eq!(mid.ejected_backends, 1, "{mid:?}");
+
+    // Heal. The breaker's cooldown (300 ms) expires, the half-open
+    // re-probe succeeds, and the backend rejoins.
+    proxy.set_partitioned(false);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let stats = router.stats();
+        if stats.rejoins >= 1 && stats.ejected_backends == 0 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "backend never rejoined after heal: {stats:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Post-heal soak still works, and the fleet serves from both again.
+    for id in 200..=220u64 {
+        ping(&mut client, id);
+    }
+    let stats = router.stats();
+    assert_eq!(stats.ejected_backends, 0, "{stats:?}");
+    assert!(stats.probes_ok > 0 && stats.probes_failed > 0, "{stats:?}");
+
+    router.shutdown();
+    daemon_a.kill().expect("kill a");
+    daemon_b.kill().expect("kill b");
+    let _ = daemon_a.wait();
+    let _ = daemon_b.wait();
+}

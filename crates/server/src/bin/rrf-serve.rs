@@ -9,6 +9,7 @@
 //!           [--max-conns N] [--max-line-bytes N] [--write-timeout-ms MS]
 //!           [--shutdown-grace-ms MS] [--no-admission]
 //!           [--breaker-threshold N] [--breaker-cooldown-ms MS]
+//!           [--backend-id NAME]
 //! ```
 //!
 //! Speaks newline-delimited JSON (see `rrf_server::protocol`); try it with
@@ -66,7 +67,7 @@ const USAGE: &str = "usage: rrf-serve [--addr HOST:PORT] [--workers N] [--queue 
                      [--max-line-bytes N] [--write-timeout-ms MS] \
                      [--shutdown-grace-ms MS] [--no-admission] \
                      [--breaker-threshold N] [--breaker-cooldown-ms MS] \
-                     [--help] [--version]";
+                     [--backend-id NAME] [--help] [--version]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -122,6 +123,7 @@ fn main() {
             "--breaker-cooldown-ms" => {
                 config.breaker_cooldown_ms = value().parse().unwrap_or_else(|_| usage())
             }
+            "--backend-id" => config.backend_id = value(),
             _ => usage(),
         }
     }

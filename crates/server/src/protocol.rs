@@ -92,6 +92,14 @@ pub enum Request {
     /// Dump a session's durable state — slots, placements, and an
     /// occupancy-grid digest — for operators and recovery tests.
     DumpSession { id: u64, session: u64 },
+    /// Adopt a dead peer's journal: load the file at `path`, replay it
+    /// through the standard recovery path, and graft the recovered
+    /// sessions into this daemon under fresh session ids. The response
+    /// maps each journal session id to its adopted local id. Used by
+    /// `rrf-router` to fail pinned sessions over to a standby backend;
+    /// the caller is responsible for ensuring the journal's owner is
+    /// actually dead (adopting a live backend's journal forks state).
+    AdoptJournal { id: u64, path: String },
     /// Deliberately panic the handling worker (panic-isolation testing;
     /// the worker must survive and answer with an internal error).
     DebugPanic { id: u64 },
@@ -123,6 +131,7 @@ impl Request {
             | Request::CancelTask { id, .. }
             | Request::ScheduleStatus { id, .. }
             | Request::DumpSession { id, .. }
+            | Request::AdoptJournal { id, .. }
             | Request::DebugPanic { id }
             | Request::Stats { id }
             | Request::StatsDetail { id }
@@ -147,6 +156,15 @@ pub enum PlaceMethod {
     /// No floorplan exists (or none was found): `report.feasible` is
     /// false, and `report.proven` says whether infeasibility was proved.
     Infeasible,
+}
+
+/// One recovered session in a [`Response::JournalAdopted`] reply: the
+/// session id the journal knew (`from`) and the fresh id the adopting
+/// daemon assigned (`to`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdoptedSession {
+    pub from: u64,
+    pub to: u64,
 }
 
 /// One live slot in a [`Response::SessionState`] dump.
@@ -291,6 +309,15 @@ pub enum Response {
         total_faults: u64,
         slots: Vec<SlotState>,
     },
+    /// Answer to [`Request::AdoptJournal`]: the old-id → new-id mapping
+    /// of every session grafted in, plus replay defects (torn tails,
+    /// divergences) that were survived, in the recovery path's
+    /// deterministic order.
+    JournalAdopted {
+        id: u64,
+        adopted: Vec<AdoptedSession>,
+        errors: Vec<String>,
+    },
     Stats {
         id: u64,
         stats: ServerStats,
@@ -345,6 +372,7 @@ impl Response {
             | Response::TaskCancelled { id, .. }
             | Response::Schedule { id, .. }
             | Response::SessionState { id, .. }
+            | Response::JournalAdopted { id, .. }
             | Response::Stats { id, .. }
             | Response::StatsDetail { id, .. }
             | Response::Pong { id }

@@ -36,7 +36,7 @@ use crate::cache::{
     ShardedCache, SingleFlight,
 };
 use crate::journal::{Journal, JournalRecord, SchedOp, SessionSnapshot, SlotSnapshot};
-use crate::protocol::{PlaceMethod, Request, Response, SlotState};
+use crate::protocol::{AdoptedSession, PlaceMethod, Request, Response, SlotState};
 use crate::stats::{DetailCollector, ServerStats};
 
 /// Below this remaining budget the CP attempt is skipped entirely and the
@@ -124,6 +124,10 @@ pub struct ServerConfig {
     pub breaker_threshold: u32,
     /// How long an open breaker waits before admitting a half-open probe.
     pub breaker_cooldown_ms: u64,
+    /// Stable name this backend reports in its `stats` reply (empty when
+    /// unset). A cluster router matches it against its own backend table
+    /// to verify which daemon answered a probe.
+    pub backend_id: String,
 }
 
 impl Default for ServerConfig {
@@ -147,6 +151,7 @@ impl Default for ServerConfig {
             admission_control: true,
             breaker_threshold: 3,
             breaker_cooldown_ms: 5_000,
+            backend_id: String::new(),
         }
     }
 }
@@ -1100,9 +1105,12 @@ fn handle(shared: &Arc<Shared>, job: &Job) -> Response {
                 slots,
             }
         }),
+        Request::AdoptJournal { id, path } => handle_adopt_journal(shared, *id, path),
         Request::DebugPanic { .. } => panic!("debug_panic requested by client"),
         Request::Stats { id } => {
             let mut stats = shared.stats.lock().clone();
+            stats.backend_id = shared.config.backend_id.clone();
+            stats.pending = shared.pending.load(Ordering::SeqCst);
             stats.workers_alive = shared.workers_alive.load(Ordering::SeqCst);
             stats.conns_open = shared.conns_open.load(Ordering::SeqCst);
             stats.cache_evictions = shared.cache.evictions();
@@ -1405,6 +1413,57 @@ fn handle_open_session(shared: &Arc<Shared>, id: u64, spec: &RegionSpec) -> Resp
     );
     shared.stats.lock().sessions_opened += 1;
     Response::SessionOpened { id, session }
+}
+
+/// Graft a dead peer's journaled sessions into this daemon under fresh
+/// session ids, through the exact replay path startup recovery uses. The
+/// peer's journal file is only read, never modified; once the sessions
+/// are live here, this daemon's own journal is compacted so the adopted
+/// state survives *our* next restart without the peer's file.
+fn handle_adopt_journal(shared: &Arc<Shared>, id: u64, path: &str) -> Response {
+    let loaded = match Journal::load(path) {
+        Ok(loaded) => loaded,
+        Err(e) => {
+            return Response::Error {
+                id,
+                message: format!("adopt_journal: cannot read {path}: {e}"),
+            }
+        }
+    };
+    let mut errors: Vec<String> = Vec::new();
+    if loaded.truncated {
+        errors.push("torn tail dropped".to_string());
+    }
+    let replayed = replay_records(&loaded.records);
+    if replayed.errors > 0 {
+        errors.push(format!("{} replay divergences", replayed.errors));
+    }
+    // The BTreeMap iterates ascending by the journal's session id, so the
+    // old-id -> new-id mapping is deterministic for a given journal.
+    let mut adopted = Vec::with_capacity(replayed.sessions.len());
+    {
+        let mut map = shared.sessions.lock();
+        for (from, session) in replayed.sessions {
+            let to = shared.next_session.fetch_add(1, Ordering::Relaxed);
+            map.insert(to, session);
+            adopted.push(AdoptedSession { from, to });
+        }
+    }
+    {
+        let mut stats = shared.stats.lock();
+        stats.adopted_sessions += adopted.len() as u64;
+        stats.recovery_errors += replayed.errors;
+    }
+    // No session lock is held here, so compacting is safe; it snapshots
+    // the grafted sessions into our journal in one durable record.
+    if !adopted.is_empty() {
+        compact_journal(shared);
+    }
+    Response::JournalAdopted {
+        id,
+        adopted,
+        errors,
+    }
 }
 
 fn handle_insert(shared: &Arc<Shared>, id: u64, session: u64, entry: &ModuleEntry) -> Response {

@@ -30,6 +30,14 @@ pub const HISTOGRAM_BOUNDS_MS: [u64; 8] = [1, 3, 10, 30, 100, 300, 1000, 3000];
 ///   `analyze` request and on every cache-missing `place` preflight.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ServerStats {
+    /// The daemon's `--backend-id` (empty when unset). A cluster router
+    /// uses it to verify which backend answered a probe.
+    #[serde(default)]
+    pub backend_id: String,
+    /// Requests accepted but not yet answered (a gauge, like
+    /// `conns_open`) — the router's least-loaded routing signal.
+    #[serde(default)]
+    pub pending: u64,
     /// Every request line received, parseable or not.
     pub requests: u64,
     pub place_requests: u64,
@@ -170,6 +178,10 @@ pub struct ServerStats {
     /// Sessions rebuilt from the journal at startup.
     #[serde(default)]
     pub recovered_sessions: u64,
+    /// Sessions grafted in from a dead peer's journal via
+    /// `adopt_journal` (failover; not counted as `recovered_sessions`).
+    #[serde(default)]
+    pub adopted_sessions: u64,
     /// Replay divergences and torn tails observed during recovery.
     #[serde(default)]
     pub recovery_errors: u64,
@@ -182,6 +194,8 @@ pub struct ServerStats {
 impl Default for ServerStats {
     fn default() -> ServerStats {
         ServerStats {
+            backend_id: String::new(),
+            pending: 0,
             requests: 0,
             place_requests: 0,
             cache_hits: 0,
@@ -232,6 +246,7 @@ impl Default for ServerStats {
             journal_errors: 0,
             journal_compactions: 0,
             recovered_sessions: 0,
+            adopted_sessions: 0,
             recovery_errors: 0,
             solve_ms_histogram: vec![0; HISTOGRAM_BOUNDS_MS.len() + 1],
         }
